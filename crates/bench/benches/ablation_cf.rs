@@ -1,0 +1,29 @@
+//! A1: host-side cost of simulating the two common-factor strategies
+//! (the modeled device comparison is printed by `repro ablate-cf`; this
+//! bench tracks the simulator itself and prints the modeled numbers).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use polygpu_bench::ablate_common_factor;
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_common_factor");
+    group.sample_size(10);
+    for d in [2u16, 10] {
+        group.bench_function(format!("both_variants_d{d}"), |b| {
+            b.iter(|| ablate_common_factor(d))
+        });
+        let ab = ablate_common_factor(d);
+        println!(
+            "  [model] d={d}: two-stage {} muls / {:.2} us, from-scratch {} muls / {:.2} us ({} divergent)",
+            ab.two_stage.counters.flops / 6,
+            ab.two_stage.timing.kernel_seconds * 1e6,
+            ab.from_scratch.counters.flops / 6,
+            ab.from_scratch.timing.kernel_seconds * 1e6,
+            ab.from_scratch.counters.divergent_segments,
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! A2: the §3.3 layout tradeoff — paper's `Mons` (coalesced kernel-3
+//! reads) vs row-major (scattered). Prints the modeled transaction
+//! counts; criterion tracks the simulation cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use polygpu_bench::alt_layout::compare_sum_layouts;
+use polygpu_polysys::UniformShape;
+
+fn bench_layouts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_sum_layout");
+    group.sample_size(10);
+    for m in [22usize, 48] {
+        let shape = UniformShape {
+            n: 32,
+            m,
+            k: 9,
+            d: 2,
+        };
+        group.bench_function(format!("compare_m{m}"), |b| {
+            b.iter(|| compare_sum_layouts(shape, m as u64))
+        });
+        let (paper, row) = compare_sum_layouts(shape, m as u64);
+        println!(
+            "  [model] m={m}: Mons {} tx / {:.2} us, row-major {} tx / {:.2} us",
+            paper.counters.global_transactions,
+            paper.timing.kernel_seconds * 1e6,
+            row.counters.global_transactions,
+            row.timing.kernel_seconds * 1e6,
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_layouts);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! E5: the arithmetic cost ladder — complex multiply in double,
+//! double-double and quad-double. The paper's motivation rests on the
+//! double-double factor (~8 in the authors' companion measurements)
+//! being offset by a GPU speedup of the same order.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use polygpu_complex::Complex;
+use polygpu_qd::{Dd, Qd, Real};
+
+fn bench_mul<R: Real>(c: &mut Criterion, label: &str) {
+    let z = Complex::<R>::from_f64(0.999_999, 1.3e-3);
+    let w = Complex::<R>::from_f64(1.000_001, -1.1e-3);
+    c.bench_function(&format!("complex_mul/{label}"), |b| {
+        b.iter(|| {
+            let mut acc = z;
+            for _ in 0..256 {
+                acc = std::hint::black_box(acc * w);
+            }
+            acc
+        })
+    });
+}
+
+fn bench_eval_ladder(c: &mut Criterion) {
+    // Full-evaluation comparison: the same Table-1 system in f64 vs DD.
+    use polygpu_bench::{bench_fixture, bench_fixture_dd, cpu_batch};
+    let (mut cpu64, _gpu, points) = bench_fixture(704, 9, 2);
+    c.bench_function("eval_704_monomials/f64", |b| {
+        b.iter(|| cpu_batch(&mut cpu64, &points))
+    });
+    let (mut cpu_dd, points_dd) = bench_fixture_dd(704, 9, 2);
+    c.bench_function("eval_704_monomials/dd", |b| {
+        b.iter(|| cpu_batch(&mut cpu_dd, &points_dd))
+    });
+}
+
+fn benches(c: &mut Criterion) {
+    bench_mul::<f64>(c, "f64");
+    bench_mul::<Dd>(c, "dd");
+    bench_mul::<Qd>(c, "qd");
+    bench_eval_ladder(c);
+}
+
+criterion_group!(dd_overhead, benches);
+criterion_main!(dd_overhead);

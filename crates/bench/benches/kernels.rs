@@ -1,0 +1,31 @@
+//! Per-kernel microbenchmarks: host cost of simulating the pipeline at
+//! Table-1 scale, with the modeled device time printed per kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use polygpu_bench::bench_fixture;
+use polygpu_polysys::SystemEvaluator;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_1024_monomials");
+    group.sample_size(10);
+    let (_cpu, mut gpu, points) = bench_fixture(1024, 9, 2);
+    group.bench_function("full_pipeline_step", |b| {
+        b.iter(|| gpu.evaluate(&points[0]).values[0])
+    });
+    group.finish();
+
+    let _ = gpu.evaluate(&points[0]);
+    for r in gpu.last_reports() {
+        println!(
+            "  [model] kernel `{}`: {:.2} us, {} warps, {} tx, bound {:?}",
+            r.kernel_name,
+            r.timing.kernel_seconds * 1e6,
+            r.counters.warps,
+            r.counters.global_transactions,
+            r.timing.bound,
+        );
+    }
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

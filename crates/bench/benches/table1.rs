@@ -1,0 +1,35 @@
+//! Table 1 as a criterion benchmark: CPU evaluation time per monomial
+//! count for the `k = 9, d <= 2` family, plus the (fast) simulated-GPU
+//! pipeline step whose *modeled* time is printed alongside.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polygpu_bench::{bench_fixture, cpu_batch};
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_k9_d2");
+    group.sample_size(10);
+    for total in [704usize, 1024, 1536] {
+        let (mut cpu, mut gpu, points) = bench_fixture(total, 9, 2);
+        group.bench_with_input(
+            BenchmarkId::new("cpu_1core_eval", total),
+            &total,
+            |b, _| b.iter(|| cpu_batch(&mut cpu, &points)),
+        );
+        // One simulated evaluation (functional execution + analysis);
+        // its *modeled* device time is what the table reports.
+        group.bench_with_input(BenchmarkId::new("gpu_sim_step", total), &total, |b, _| {
+            use polygpu_polysys::SystemEvaluator;
+            b.iter(|| gpu.evaluate(&points[0]).values[0])
+        });
+        let modeled = gpu.stats().seconds_per_eval();
+        println!(
+            "  [model] total={total}: GPU {:.3} us / evaluation -> {:.2} s per 100k",
+            modeled * 1e6,
+            modeled * 1e5
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Table 2 as a criterion benchmark: the `k = 16, d <= 10` family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polygpu_bench::{bench_fixture, cpu_batch};
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_k16_d10");
+    group.sample_size(10);
+    for total in [704usize, 1024, 1536] {
+        let (mut cpu, mut gpu, points) = bench_fixture(total, 16, 10);
+        group.bench_with_input(
+            BenchmarkId::new("cpu_1core_eval", total),
+            &total,
+            |b, _| b.iter(|| cpu_batch(&mut cpu, &points)),
+        );
+        group.bench_with_input(BenchmarkId::new("gpu_sim_step", total), &total, |b, _| {
+            use polygpu_polysys::SystemEvaluator;
+            b.iter(|| gpu.evaluate(&points[0]).values[0])
+        });
+        let modeled = gpu.stats().seconds_per_eval();
+        println!(
+            "  [model] total={total}: GPU {:.3} us / evaluation -> {:.2} s per 100k",
+            modeled * 1e6,
+            modeled * 1e5
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,511 @@
+//! # polygpu-bench — the experiment harness
+//!
+//! Regenerates every quantitative result of the paper's evaluation
+//! (§4) plus the in-text claims, as catalogued in `DESIGN.md`:
+//!
+//! * **Table 1 / Table 2** — [`run_table`]: wall time of `N`
+//!   evaluations of a dimension-32 system and its Jacobian, simulated
+//!   GPU (modeled time) vs 1 CPU core (measured), speedups;
+//! * **E3** — [`capacity_sweep`]: the constant-memory wall at 2,048
+//!   monomials with `k = 16`, and the compact-encoding extension that
+//!   lifts it;
+//! * **E4** — [`count_multiplications`]: the `5k − 4` / `3k − 6`
+//!   multiplication counts;
+//! * **E5** — [`measure_cost_factors`]: the double-double arithmetic
+//!   overhead factor (the paper's companion work reports ≈ 8);
+//! * **A1 / A2** — [`ablate_common_factor`], [`alt_layout`]:
+//!   the design choices of §3.1 and §3.3.
+//!
+//! The `repro` binary prints these in paper-style tables; the criterion
+//! benches under `benches/` track the same quantities as regressions.
+
+use polygpu_complex::{CDd, Complex, Real, C64};
+use polygpu_core::pipeline::{GpuEvaluator, GpuOptions};
+use polygpu_core::EncodingKind;
+use polygpu_gpusim::prelude::*;
+use polygpu_polysys::{
+    cost, random_points, random_system, AdEvaluator, BenchmarkParams, SystemEvaluator,
+};
+use std::time::Instant;
+
+pub mod alt_layout;
+pub mod multicore;
+
+/// One row of a reproduced table.
+#[derive(Debug, Clone)]
+pub struct TableRow {
+    pub monomials: usize,
+    /// Modeled GPU seconds for `reported_evals` evaluations.
+    pub gpu_seconds: f64,
+    /// Measured 1-core CPU seconds, scaled to `reported_evals`.
+    pub cpu_seconds: f64,
+    /// `cpu_seconds / gpu_seconds`: the modeled device against *this
+    /// host's* CPU — deflated relative to the paper because the host is
+    /// ~14 years newer than the Xeon X5690 while the device model stays
+    /// a C2050.
+    pub speedup: f64,
+    /// `paper_cpu / gpu_seconds`: the modeled device against the
+    /// paper's own 2012 CPU baseline — the era-consistent comparison,
+    /// and fully deterministic (no wall-clock measurement involved).
+    pub speedup_vs_2012_cpu: f64,
+    /// The paper's figures for the same cell.
+    pub paper_gpu: f64,
+    pub paper_cpu: f64,
+    pub paper_speedup: f64,
+}
+
+/// A table specification (Table 1 or Table 2 of the paper).
+#[derive(Debug, Clone)]
+pub struct TableSpec {
+    pub name: &'static str,
+    pub k: usize,
+    pub d: u16,
+    pub totals: [usize; 3],
+    pub paper_gpu: [f64; 3],
+    pub paper_cpu: [f64; 3],
+}
+
+/// Table 1: `k = 9`, `d <= 2`; paper GPU 14.514/15.265/17.000 s, CPU
+/// 110.9/159.3/238.7 s (1 min 50.9 s etc.).
+pub fn table1_spec() -> TableSpec {
+    TableSpec {
+        name: "Table 1 (k = 9, d <= 2)",
+        k: 9,
+        d: 2,
+        totals: [704, 1024, 1536],
+        paper_gpu: [14.514, 15.265, 17.000],
+        paper_cpu: [110.9, 159.3, 238.7],
+    }
+}
+
+/// Table 2: `k = 16`, `d <= 10`; paper GPU 19.068/20.800/21.763 s, CPU
+/// 196.9/283.3/425.8 s.
+pub fn table2_spec() -> TableSpec {
+    TableSpec {
+        name: "Table 2 (k = 16, d <= 10)",
+        k: 16,
+        d: 10,
+        totals: [704, 1024, 1536],
+        paper_gpu: [19.068, 20.800, 21.763],
+        paper_cpu: [196.9, 283.3, 425.8],
+    }
+}
+
+/// Robust per-evaluation CPU time: minimum over `repeats` timed passes
+/// of the whole point batch (one untimed warm-up pass first). The
+/// minimum filters scheduler and frequency noise, which matters in
+/// shared environments.
+fn measure_cpu_per_eval(
+    cpu: &mut AdEvaluator<f64>,
+    points: &[Vec<C64>],
+    repeats: usize,
+) -> f64 {
+    let mut sink = 0.0;
+    for p in points {
+        sink += cpu.evaluate(p).residual_norm();
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats.max(1) {
+        let t0 = Instant::now();
+        for p in points {
+            sink += cpu.evaluate(p).residual_norm();
+        }
+        best = best.min(t0.elapsed().as_secs_f64() / points.len() as f64);
+    }
+    std::hint::black_box(sink);
+    best
+}
+
+/// Reproduce one table. `measured_evals` CPU evaluations are timed per
+/// pass (minimum of 3 passes) and scaled to `reported_evals` (the
+/// paper times 100,000); the GPU time is the pipeline's modeled
+/// per-evaluation cost times `reported_evals`.
+pub fn run_table(spec: &TableSpec, measured_evals: usize, reported_evals: usize) -> Vec<TableRow> {
+    let mut rows = Vec::with_capacity(spec.totals.len());
+    for (i, &total) in spec.totals.iter().enumerate() {
+        let params = BenchmarkParams {
+            n: 32,
+            m: total / 32,
+            k: spec.k,
+            d: spec.d,
+            seed: 0xC2050 + i as u64,
+        };
+        let system = random_system::<f64>(&params);
+        // --- CPU: measure the sequential AD algorithm. ---
+        let mut cpu = AdEvaluator::new(system.clone()).expect("generator yields uniform systems");
+        let points = random_points::<f64>(32, measured_evals.max(1), params.seed ^ 0xAB);
+        let cpu_per_eval = measure_cpu_per_eval(&mut cpu, &points, 3);
+        // --- GPU: modeled time from the simulated pipeline. ---
+        let mut gpu = GpuEvaluator::new(&system, GpuOptions::default())
+            .expect("table systems fit the C2050");
+        for p in points.iter().take(3) {
+            let _ = gpu.evaluate(p);
+        }
+        let gpu_per_eval = gpu.stats().seconds_per_eval();
+        let gpu_seconds = gpu_per_eval * reported_evals as f64;
+        let cpu_seconds = cpu_per_eval * reported_evals as f64;
+        rows.push(TableRow {
+            monomials: total,
+            gpu_seconds,
+            cpu_seconds,
+            speedup: cpu_seconds / gpu_seconds,
+            speedup_vs_2012_cpu: spec.paper_cpu[i] / gpu_seconds,
+            paper_gpu: spec.paper_gpu[i],
+            paper_cpu: spec.paper_cpu[i],
+            paper_speedup: spec.paper_cpu[i] / spec.paper_gpu[i],
+        });
+    }
+    rows
+}
+
+/// Render a reproduced table in markdown, paper figures alongside.
+pub fn format_table(spec: &TableSpec, rows: &[TableRow], reported_evals: usize) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "### {} — {} evaluations of a dim-32 system + Jacobian\n\n",
+        spec.name, reported_evals
+    ));
+    s.push_str(
+        "| #monomials | GPU-sim (model) | 1 CPU core (measured) | speedup | speedup vs 2012 CPU | paper GPU | paper CPU | paper speedup |\n",
+    );
+    s.push_str(
+        "|-----------:|----------------:|----------------------:|--------:|--------------------:|----------:|----------:|--------------:|\n",
+    );
+    for r in rows {
+        s.push_str(&format!(
+            "| {} | {:.3} s | {:.1} s | {:.2} | {:.2} | {:.3} s | {:.1} s | {:.2} |\n",
+            r.monomials,
+            r.gpu_seconds,
+            r.cpu_seconds,
+            r.speedup,
+            r.speedup_vs_2012_cpu,
+            r.paper_gpu,
+            r.paper_cpu,
+            r.paper_speedup
+        ));
+    }
+    s
+}
+
+/// Shape checks on a reproduced table, mirroring the paper's central
+/// observations:
+///
+/// 1. the era-consistent speedup grows with the monomial count and is
+///    double-digit at the top (deterministic: modeled GPU vs the
+///    paper's own CPU column);
+/// 2. the measured CPU time grows with the monomial count;
+/// 3. the modeled GPU time grows much slower than the CPU time
+///    (latency-bound device, the reason speedup rises).
+pub fn table_shape_holds(rows: &[TableRow]) -> bool {
+    let cpu_grows = rows.windows(2).all(|w| w[1].cpu_seconds > w[0].cpu_seconds);
+    let gpu_flat = {
+        let first = rows.first().map(|r| r.gpu_seconds).unwrap_or(0.0);
+        let last = rows.last().map(|r| r.gpu_seconds).unwrap_or(0.0);
+        let cpu_ratio = rows.last().map(|r| r.cpu_seconds).unwrap_or(1.0)
+            / rows.first().map(|r| r.cpu_seconds).unwrap_or(1.0);
+        last / first < cpu_ratio
+    };
+    table_shape_holds_model(rows) && cpu_grows && gpu_flat
+}
+
+/// The wall-clock-free subset of [`table_shape_holds`]: only the
+/// modeled GPU side and the paper's own CPU column, hence fully
+/// deterministic (safe under parallel test execution, where measuring
+/// this host's CPU is unreliable).
+pub fn table_shape_holds_model(rows: &[TableRow]) -> bool {
+    rows.windows(2)
+        .all(|w| w[1].speedup_vs_2012_cpu > w[0].speedup_vs_2012_cpu)
+        && rows.iter().all(|r| r.speedup_vs_2012_cpu > 1.0)
+}
+
+/// E3: for each total monomial count, can the `k = 16` system be set
+/// up on the device? Returns `(total, direct_ok, compact_ok,
+/// direct_bytes_needed)`.
+pub fn capacity_sweep(totals: &[usize]) -> Vec<(usize, bool, bool, usize)> {
+    totals
+        .iter()
+        .map(|&total| {
+            let params = BenchmarkParams {
+                n: 32,
+                m: total / 32,
+                k: 16,
+                d: 10,
+                seed: 1,
+            };
+            let system = random_system::<f64>(&params);
+            let direct = GpuEvaluator::new(&system, GpuOptions::default()).is_ok();
+            let compact = GpuEvaluator::new(
+                &system,
+                GpuOptions {
+                    encoding: EncodingKind::Compact,
+                    ..Default::default()
+                },
+            )
+            .is_ok();
+            (total, direct, compact, 2 * total * 16)
+        })
+        .collect()
+}
+
+/// E4: instrumented multiplication counts of kernel 2 per monomial for
+/// a range of `k`: `(k, measured, 5k−4 formula, 3k−6 part, k−1 part)`.
+pub fn count_multiplications(ks: &[usize]) -> Vec<(usize, u64, u64, u64, u64)> {
+    ks.iter()
+        .map(|&k| {
+            let params = BenchmarkParams {
+                n: 32.max(k),
+                m: 1,
+                k,
+                d: 3,
+                seed: k as u64,
+            };
+            let system = random_system::<f64>(&params);
+            let mut gpu = GpuEvaluator::new(&system, GpuOptions::default()).unwrap();
+            let x = polygpu_polysys::random_point::<f64>(params.n, 9);
+            let _ = gpu.evaluate(&x);
+            // Kernel 2 is report index 1; complex muls = flops / 6.
+            let k2 = &gpu.last_reports()[1];
+            let muls_measured = k2.counters.flops / 6 / params.n as u64;
+            (
+                k,
+                muls_measured,
+                cost::kernel2_muls(k),
+                cost::speelpenning_muls(k),
+                cost::common_factor_muls(k),
+            )
+        })
+        .collect()
+}
+
+/// E5: measured wall-clock cost factors of complex double-double and
+/// quad-double multiplication relative to complex double, on this
+/// host. The paper's companion work reports ≈ 8 for double-double.
+pub fn measure_cost_factors(iters: usize) -> (f64, f64) {
+    fn bench_mul<R: Real>(iters: usize) -> f64 {
+        let mut z = Complex::<R>::from_f64(0.999_999, 1.3e-3);
+        let w = Complex::<R>::from_f64(1.000_001, -1.1e-3);
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            z = std::hint::black_box(z * w);
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        std::hint::black_box(z);
+        dt / iters as f64
+    }
+    let f = bench_mul::<f64>(iters);
+    let dd = bench_mul::<polygpu_qd::Dd>(iters);
+    let qd = bench_mul::<polygpu_qd::Qd>(iters / 16 + 1);
+    (dd / f, qd / f)
+}
+
+/// A1: modeled counters for the two-stage common-factor kernel vs the
+/// from-scratch alternative of §3.1, at maximal degree `d`.
+pub struct AblationCf {
+    pub two_stage: LaunchReport,
+    pub from_scratch: LaunchReport,
+}
+
+pub fn ablate_common_factor(d: u16) -> AblationCf {
+    let params = BenchmarkParams {
+        n: 32,
+        m: 32,
+        k: 9,
+        d,
+        seed: 77,
+    };
+    let system = random_system::<f64>(&params);
+    let x = polygpu_polysys::random_point::<f64>(32, 3);
+    let mut a = GpuEvaluator::new(&system, GpuOptions::default()).unwrap();
+    let _ = a.evaluate(&x);
+    let mut b = GpuEvaluator::new(
+        &system,
+        GpuOptions {
+            from_scratch_cf: true,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let _ = b.evaluate(&x);
+    AblationCf {
+        two_stage: a.last_reports()[0].clone(),
+        from_scratch: b.last_reports()[0].clone(),
+    }
+}
+
+/// One row of the dimension-feasibility sweep (paper §3.1–§3.2): for
+/// dimension `n` with `m = n` monomials per polynomial and `k = n/2`
+/// variables per monomial, does the system fit the device in the given
+/// precision?
+#[derive(Debug, Clone)]
+pub struct DimRow {
+    pub n: usize,
+    /// Constant-memory bytes the direct encoding needs.
+    pub constant_bytes: usize,
+    /// Kernel-2 shared memory per block, bytes.
+    pub shared_bytes: usize,
+    /// Fits with complex double?
+    pub fits_f64: bool,
+    /// Fits with complex double-double?
+    pub fits_dd: bool,
+}
+
+/// Reproduce the paper's working-dimension analysis: "those are ranging
+/// from 30 to 40" for constant memory, and "we also could increase
+/// precision from double to double double and still work with
+/// dimensions up to 70, as long as k is less or equal than a half of
+/// dimension" for shared memory.
+pub fn dimension_sweep(dims: &[usize]) -> Vec<DimRow> {
+    let _device = DeviceSpec::tesla_c2050();
+    dims.iter()
+        .map(|&n| {
+            let k = (n / 2).max(1);
+            let m = n;
+            let params = BenchmarkParams {
+                n,
+                m,
+                k,
+                d: 3,
+                seed: n as u64,
+            };
+            let constant_bytes = 2 * n * m * k;
+            // Kernel 2 shared: (n + B*(k+1)) elements.
+            let elems = n + 32 * (k + 1);
+            let shared_bytes_dd = elems * 32;
+            let system = random_system::<f64>(&params);
+            let fits_f64 = GpuEvaluator::new(&system, GpuOptions::default()).is_ok();
+            let system_dd = system.convert::<polygpu_qd::Dd>();
+            let fits_dd = GpuEvaluator::new(&system_dd, GpuOptions::default()).is_ok();
+            DimRow {
+                n,
+                constant_bytes,
+                shared_bytes: shared_bytes_dd,
+                fits_f64,
+                fits_dd,
+            }
+        })
+        .collect()
+}
+
+/// A batch CPU evaluation helper shared by the criterion benches:
+/// evaluates `points.len()` times and returns a residual checksum so
+/// the optimizer cannot discard the work.
+pub fn cpu_batch<R: Real>(eval: &mut AdEvaluator<R>, points: &[Vec<Complex<R>>]) -> f64 {
+    let mut sink = 0.0;
+    for p in points {
+        sink += eval.evaluate(p).residual_norm().to_f64();
+    }
+    sink
+}
+
+/// Convenience: a table-shaped system and points for benches.
+pub fn bench_fixture(
+    total: usize,
+    k: usize,
+    d: u16,
+) -> (AdEvaluator<f64>, GpuEvaluator<f64>, Vec<Vec<C64>>) {
+    let params = BenchmarkParams {
+        n: 32,
+        m: total / 32,
+        k,
+        d,
+        seed: 0xBEEF,
+    };
+    let system = random_system::<f64>(&params);
+    let cpu = AdEvaluator::new(system.clone()).unwrap();
+    let gpu = GpuEvaluator::new(&system, GpuOptions::default()).unwrap();
+    let points = random_points::<f64>(32, 16, 7);
+    (cpu, gpu, points)
+}
+
+/// Double-double variant of the fixture (for the quality-up benches).
+pub fn bench_fixture_dd(
+    total: usize,
+    k: usize,
+    d: u16,
+) -> (AdEvaluator<polygpu_qd::Dd>, Vec<Vec<CDd>>) {
+    let params = BenchmarkParams {
+        n: 32,
+        m: total / 32,
+        k,
+        d,
+        seed: 0xBEEF,
+    };
+    let system = random_system::<f64>(&params).convert();
+    let cpu = AdEvaluator::new(system).unwrap();
+    let points: Vec<Vec<CDd>> = random_points::<f64>(32, 16, 7)
+        .into_iter()
+        .map(|p| p.into_iter().map(|z| z.convert()).collect())
+        .collect();
+    (cpu, points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shape_reproduces() {
+        // Unit tests run in parallel, so only the deterministic
+        // (modeled) side of the shape is asserted here; the measured
+        // side is checked by `repro table1` (serial, release).
+        let rows = run_table(&table1_spec(), 20, 100_000);
+        assert_eq!(rows.len(), 3);
+        assert!(
+            table_shape_holds_model(&rows),
+            "modeled table shape broken: speedups(2012) {:?}",
+            rows.iter().map(|r| r.speedup_vs_2012_cpu).collect::<Vec<_>>(),
+        );
+        // Double-digit speedup at the top against the era-consistent
+        // baseline, as in the paper; GPU time nearly flat in monomials.
+        assert!(rows[2].speedup_vs_2012_cpu > 10.0);
+        assert!(rows[2].gpu_seconds / rows[0].gpu_seconds < 1.6);
+    }
+
+    #[test]
+    fn capacity_sweep_matches_paper() {
+        let sweep = capacity_sweep(&[1536, 2048]);
+        // 1,536 fits directly (the paper's largest point).
+        assert!(sweep[0].1);
+        // 2,048 does not fit directly (E3) but fits compactly (X1).
+        assert!(!sweep[1].1);
+        assert!(sweep[1].2);
+        assert_eq!(sweep[1].3, 65_536);
+    }
+
+    #[test]
+    fn counts_match_formulas() {
+        for (k, measured, formula, spl, cf) in count_multiplications(&[2, 3, 9, 16]) {
+            assert_eq!(measured, formula, "k = {k}");
+            assert_eq!(formula, spl + 2 * k as u64 + 2, "decomposition for k = {k}");
+            assert_eq!(cf, k as u64 - 1);
+        }
+    }
+
+    #[test]
+    fn dd_cost_factor_is_significant() {
+        let (dd, qd) = measure_cost_factors(200_000);
+        // The paper's companion work reports ~8; allow a broad band for
+        // host variation but require a real overhead and ordering.
+        assert!(dd > 2.0, "dd factor suspiciously low: {dd}");
+        assert!(qd > dd, "qd must cost more than dd: {qd} vs {dd}");
+    }
+
+    #[test]
+    fn ablation_prefers_two_stage_at_high_degree() {
+        let ab = ablate_common_factor(10);
+        assert!(ab.from_scratch.counters.flops > ab.two_stage.counters.flops);
+        assert!(ab.from_scratch.counters.divergent_segments > 0);
+        assert_eq!(ab.two_stage.counters.divergent_segments, 0);
+    }
+
+    #[test]
+    fn formatting_contains_all_rows() {
+        let spec = table1_spec();
+        let rows = run_table(&spec, 5, 1000);
+        let s = format_table(&spec, &rows, 1000);
+        assert!(s.contains("704"));
+        assert!(s.contains("1024"));
+        assert!(s.contains("1536"));
+        assert!(s.contains("paper"));
+    }
+}

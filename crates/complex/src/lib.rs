@@ -1,0 +1,381 @@
+//! # polygpu-complex — generic complex arithmetic
+//!
+//! Complex numbers over any [`Real`] scalar (`f64`, double-double,
+//! quad-double), plus a small dense complex matrix type used for
+//! Jacobians and linear algebra.
+//!
+//! The reproduced paper evaluates polynomial systems over complex
+//! numbers ("a tuple `(C, A)` of complex coefficients `C` and
+//! corresponding exponents `A`"); every multiplication counted in its
+//! cost analysis is a *complex* multiplication. [`Complex`]'s `Mul` uses
+//! the schoolbook 4-multiply/2-add form, which is what the CUDA kernels
+//! of the paper perform and what the GPU cost model charges.
+
+pub mod mat;
+
+pub use mat::CMat;
+pub use polygpu_qd::Real;
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number `re + im·i` over a [`Real`] scalar.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex<R> {
+    pub re: R,
+    pub im: R,
+}
+
+impl<R: Real> Complex<R> {
+    #[inline]
+    pub fn new(re: R, im: R) -> Self {
+        Complex { re, im }
+    }
+
+    #[inline]
+    pub fn zero() -> Self {
+        Complex {
+            re: R::zero(),
+            im: R::zero(),
+        }
+    }
+
+    #[inline]
+    pub fn one() -> Self {
+        Complex {
+            re: R::one(),
+            im: R::zero(),
+        }
+    }
+
+    /// The imaginary unit.
+    #[inline]
+    pub fn i() -> Self {
+        Complex {
+            re: R::zero(),
+            im: R::one(),
+        }
+    }
+
+    #[inline]
+    pub fn from_f64(re: f64, im: f64) -> Self {
+        Complex {
+            re: R::from_f64(re),
+            im: R::from_f64(im),
+        }
+    }
+
+    /// Real scalar promoted to complex.
+    #[inline]
+    pub fn from_real(re: R) -> Self {
+        Complex {
+            re,
+            im: R::zero(),
+        }
+    }
+
+    /// `e^{iθ}` for a hardware-double angle. The angle's precision is
+    /// that of `f64`; sufficient for random coefficients and the gamma
+    /// trick, which only need genericity of *arithmetic*, not of
+    /// transcendental functions.
+    #[inline]
+    pub fn unit_from_angle(theta: f64) -> Self {
+        Complex::from_f64(theta.cos(), theta.sin())
+    }
+
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// `|z|²` — 2 multiplications, 1 addition.
+    #[inline]
+    pub fn norm_sqr(self) -> R {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// `|z|`.
+    #[inline]
+    pub fn abs(self) -> R {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Scale by a real.
+    #[inline]
+    pub fn scale(self, s: R) -> Self {
+        Complex {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+
+    /// Reciprocal via Smith's algorithm (avoids overflow/underflow of the
+    /// naive `conj/norm²` form).
+    pub fn recip(self) -> Self {
+        Complex::one() / self
+    }
+
+    /// Integer power by binary exponentiation.
+    pub fn powi(self, n: i32) -> Self {
+        if n == 0 {
+            return Complex::one();
+        }
+        let mut r = Complex::one();
+        let mut base = self;
+        let mut e = n.unsigned_abs();
+        while e > 0 {
+            if e & 1 == 1 {
+                r *= base;
+            }
+            base = base * base;
+            e >>= 1;
+        }
+        if n < 0 {
+            r.recip()
+        } else {
+            r
+        }
+    }
+
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+
+    /// Convert to another scalar precision through the nearest double.
+    /// Exact for promotions from `f64`; rounds for demotions.
+    #[inline]
+    pub fn convert<S: Real>(self) -> Complex<S> {
+        Complex {
+            re: S::from_f64(self.re.to_f64()),
+            im: S::from_f64(self.im.to_f64()),
+        }
+    }
+
+    /// Nearest `Complex<f64>`.
+    #[inline]
+    pub fn to_c64(self) -> Complex<f64> {
+        self.convert()
+    }
+}
+
+impl<R: Real> Add for Complex<R> {
+    type Output = Complex<R>;
+    #[inline]
+    fn add(self, b: Self) -> Self {
+        Complex {
+            re: self.re + b.re,
+            im: self.im + b.im,
+        }
+    }
+}
+
+impl<R: Real> Sub for Complex<R> {
+    type Output = Complex<R>;
+    #[inline]
+    fn sub(self, b: Self) -> Self {
+        Complex {
+            re: self.re - b.re,
+            im: self.im - b.im,
+        }
+    }
+}
+
+impl<R: Real> Mul for Complex<R> {
+    type Output = Complex<R>;
+    /// Schoolbook complex product: 4 real multiplications, 2 additions —
+    /// the unit the paper's `5k − 4` multiplication count is stated in.
+    #[inline]
+    fn mul(self, b: Self) -> Self {
+        Complex {
+            re: self.re * b.re - self.im * b.im,
+            im: self.re * b.im + self.im * b.re,
+        }
+    }
+}
+
+impl<R: Real> Div for Complex<R> {
+    type Output = Complex<R>;
+    /// Smith's algorithm: scale by the larger denominator component so
+    /// intermediate products cannot overflow when the naive form would.
+    fn div(self, b: Self) -> Self {
+        if b.re.abs() >= b.im.abs() {
+            let r = b.im / b.re;
+            let den = b.re + b.im * r;
+            Complex {
+                re: (self.re + self.im * r) / den,
+                im: (self.im - self.re * r) / den,
+            }
+        } else {
+            let r = b.re / b.im;
+            let den = b.re * r + b.im;
+            Complex {
+                re: (self.re * r + self.im) / den,
+                im: (self.im * r - self.re) / den,
+            }
+        }
+    }
+}
+
+impl<R: Real> Neg for Complex<R> {
+    type Output = Complex<R>;
+    #[inline]
+    fn neg(self) -> Self {
+        Complex {
+            re: -self.re,
+            im: -self.im,
+        }
+    }
+}
+
+macro_rules! impl_assign {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl<R: Real> $trait for Complex<R> {
+            #[inline]
+            fn $method(&mut self, rhs: Self) {
+                *self = *self $op rhs;
+            }
+        }
+    };
+}
+impl_assign!(AddAssign, add_assign, +);
+impl_assign!(SubAssign, sub_assign, -);
+impl_assign!(MulAssign, mul_assign, *);
+impl_assign!(DivAssign, div_assign, /);
+
+impl<R: Real> fmt::Display for Complex<R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im < R::zero() {
+            write!(f, "{} - {}i", self.re, self.im.abs())
+        } else {
+            write!(f, "{} + {}i", self.re, self.im)
+        }
+    }
+}
+
+/// Convenience alias: hardware-double complex.
+pub type C64 = Complex<f64>;
+/// Convenience alias: double-double complex.
+pub type CDd = Complex<polygpu_qd::Dd>;
+/// Convenience alias: quad-double complex.
+pub type CQd = Complex<polygpu_qd::Qd>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polygpu_qd::{Dd, Qd};
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        fn check<R: Real>() {
+            let i = Complex::<R>::i();
+            assert_eq!(i * i, -Complex::<R>::one());
+        }
+        check::<f64>();
+        check::<Dd>();
+        check::<Qd>();
+    }
+
+    #[test]
+    fn mul_known_value() {
+        let a = C64::from_f64(1.0, 2.0);
+        let b = C64::from_f64(3.0, -4.0);
+        assert_eq!(a * b, C64::from_f64(11.0, 2.0));
+    }
+
+    #[test]
+    fn div_inverse_of_mul() {
+        let a = C64::from_f64(2.5, -1.25);
+        let b = C64::from_f64(-0.75, 3.0);
+        let q = (a * b) / b;
+        assert!((q - a).abs() < 1e-14);
+    }
+
+    #[test]
+    fn smith_division_avoids_overflow() {
+        let a = C64::from_f64(1e300, 1e300);
+        let b = C64::from_f64(2e300, 1e300);
+        let q = a / b;
+        assert!(q.is_finite(), "naive division would overflow: {q}");
+        assert!((q - C64::from_f64(0.6, 0.2)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn division_by_dominant_imaginary() {
+        let a = C64::from_f64(1.0, 0.0);
+        let b = C64::from_f64(1e-200, 1e200);
+        let q = a / b;
+        assert!(q.is_finite());
+        // 1/(i*1e200) ~ -1e-200 i
+        assert!((q.im + 1e-200).abs() < 1e-214);
+    }
+
+    #[test]
+    fn powi_matches_repeated_mul() {
+        let z = C64::from_f64(0.3, 0.7);
+        let mut acc = C64::one();
+        for _ in 0..9 {
+            acc *= z;
+        }
+        let p = z.powi(9);
+        assert!((p - acc).abs() < 1e-15);
+        assert_eq!(z.powi(0), C64::one());
+        let inv = z.powi(-2) * z.powi(2);
+        assert!((inv - C64::one()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn unit_from_angle_has_unit_norm() {
+        for k in 0..16 {
+            let z = C64::unit_from_angle(k as f64 * 0.5);
+            assert!((z.norm_sqr() - 1.0).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn conj_norm_identity() {
+        let z = CDd::from_f64(1.5, -2.5);
+        let n = (z * z.conj()).re;
+        assert_eq!(n.to_f64(), z.norm_sqr().to_f64());
+        assert_eq!((z * z.conj()).im.to_f64(), 0.0);
+    }
+
+    #[test]
+    fn convert_promote_demote() {
+        let z = C64::from_f64(std::f64::consts::PI, -std::f64::consts::E);
+        let zd: CDd = z.convert();
+        assert_eq!(zd.to_c64(), z);
+    }
+
+    #[test]
+    fn dd_complex_precision_beats_f64() {
+        // (1 + i*2^-60)^2 has re = 1 - 2^-120; only DD sees the correction.
+        let zd = CDd::new(Dd::ONE, Dd::from_f64(2f64.powi(-60)));
+        let sq = zd * zd;
+        let re_err = sq.re - Dd::ONE;
+        assert_eq!(re_err.to_f64(), -(2f64.powi(-120)));
+    }
+
+    #[test]
+    fn scale_and_neg() {
+        let z = C64::from_f64(2.0, -3.0);
+        assert_eq!(z.scale(2.0), C64::from_f64(4.0, -6.0));
+        assert_eq!(-z, C64::from_f64(-2.0, 3.0));
+    }
+
+    #[test]
+    fn display_shows_sign_of_im() {
+        let s = format!("{}", C64::from_f64(1.0, -2.0));
+        assert!(s.contains("- "), "{s}");
+        let s = format!("{}", C64::from_f64(1.0, 2.0));
+        assert!(s.contains("+ "), "{s}");
+    }
+}

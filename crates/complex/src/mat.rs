@@ -1,0 +1,255 @@
+//! Dense row-major complex matrices.
+//!
+//! Sized for the paper's regime (Jacobians of dimension 30–70): a simple
+//! contiguous `Vec` with row-major indexing, no blocking. Linear-algebra
+//! algorithms (LU, solves) live in `polygpu-homotopy`; this type only
+//! owns storage and indexing.
+
+use crate::{Complex, Real};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense `rows × cols` complex matrix, row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CMat<R> {
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex<R>>,
+}
+
+impl<R: Real> CMat<R> {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CMat {
+            rows,
+            cols,
+            data: vec![Complex::zero(); rows * cols],
+        }
+    }
+
+    /// Identity (square).
+    pub fn identity(n: usize) -> Self {
+        let mut m = CMat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Complex::one();
+        }
+        m
+    }
+
+    /// Build from a row-major vector; `data.len()` must equal
+    /// `rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<Complex<R>>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "CMat::from_vec: {} elements for {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        CMat { rows, cols, data }
+    }
+
+    /// Build from a function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> Complex<R>) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        CMat { rows, cols, data }
+    }
+
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    #[inline]
+    pub fn as_slice(&self) -> &[Complex<R>] {
+        &self.data
+    }
+
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [Complex<R>] {
+        &mut self.data
+    }
+
+    /// Borrow row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[Complex<R>] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Matrix–vector product `A·x`.
+    pub fn matvec(&self, x: &[Complex<R>]) -> Vec<Complex<R>> {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        (0..self.rows)
+            .map(|i| {
+                let mut acc = Complex::zero();
+                for (a, b) in self.row(i).iter().zip(x) {
+                    acc += *a * *b;
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// Matrix product `A·B`.
+    pub fn matmul(&self, b: &CMat<R>) -> CMat<R> {
+        assert_eq!(self.cols, b.rows, "matmul dimension mismatch");
+        let mut out = CMat::zeros(self.rows, b.cols);
+        for i in 0..self.rows {
+            for l in 0..self.cols {
+                let a_il = self[(i, l)];
+                for j in 0..b.cols {
+                    out[(i, j)] += a_il * b[(l, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Swap rows `a` and `b` (used by pivoting).
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        let cols = self.cols;
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let (top, bottom) = self.data.split_at_mut(hi * cols);
+        top[lo * cols..(lo + 1) * cols].swap_with_slice(&mut bottom[..cols]);
+    }
+
+    /// Max-magnitude entry (∞-norm building block).
+    pub fn max_abs(&self) -> R {
+        let mut m = R::zero();
+        for z in &self.data {
+            m = m.max_val(z.abs());
+        }
+        m
+    }
+
+    /// Convert entries to another precision (through nearest doubles).
+    pub fn convert<S: Real>(&self) -> CMat<S> {
+        CMat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|z| z.convert()).collect(),
+        }
+    }
+}
+
+impl<R: Real> Index<(usize, usize)> for CMat<R> {
+    type Output = Complex<R>;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &Complex<R> {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl<R: Real> IndexMut<(usize, usize)> for CMat<R> {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Complex<R> {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl<R: Real> fmt::Display for CMat<R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            write!(f, "[")?;
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:.4}", self[(i, j)].re.to_f64())?;
+                let im = self[(i, j)].im.to_f64();
+                if im < 0.0 {
+                    write!(f, "-{:.4}i", -im)?;
+                } else {
+                    write!(f, "+{:.4}i", im)?;
+                }
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::C64;
+
+    #[test]
+    fn identity_matvec_is_id() {
+        let id = CMat::<f64>::identity(4);
+        let x: Vec<C64> = (0..4).map(|i| C64::from_f64(i as f64, -(i as f64))).collect();
+        assert_eq!(id.matvec(&x), x);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = CMat::<f64>::from_fn(3, 3, |i, j| C64::from_f64((i + 2 * j) as f64, 1.0));
+        let id = CMat::<f64>::identity(3);
+        assert_eq!(a.matmul(&id), a);
+        assert_eq!(id.matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_known_2x2() {
+        // [[1, i], [0, 2]] * [[1, 0], [1, 1]] = [[1+i, i], [2, 2]]
+        let a = CMat::from_vec(
+            2,
+            2,
+            vec![C64::one(), C64::i(), C64::zero(), C64::from_f64(2.0, 0.0)],
+        );
+        let b = CMat::from_vec(2, 2, vec![C64::one(), C64::zero(), C64::one(), C64::one()]);
+        let c = a.matmul(&b);
+        assert_eq!(c[(0, 0)], C64::from_f64(1.0, 1.0));
+        assert_eq!(c[(0, 1)], C64::i());
+        assert_eq!(c[(1, 0)], C64::from_f64(2.0, 0.0));
+        assert_eq!(c[(1, 1)], C64::from_f64(2.0, 0.0));
+    }
+
+    #[test]
+    fn swap_rows_both_directions() {
+        let mut m = CMat::<f64>::from_fn(3, 2, |i, _| C64::from_f64(i as f64, 0.0));
+        m.swap_rows(0, 2);
+        assert_eq!(m[(0, 0)].re, 2.0);
+        assert_eq!(m[(2, 0)].re, 0.0);
+        m.swap_rows(2, 0); // reverse order argument
+        assert_eq!(m[(0, 0)].re, 0.0);
+        m.swap_rows(1, 1); // no-op
+        assert_eq!(m[(1, 0)].re, 1.0);
+    }
+
+    #[test]
+    fn max_abs_finds_largest() {
+        let mut m = CMat::<f64>::zeros(2, 2);
+        m[(1, 0)] = C64::from_f64(3.0, 4.0);
+        assert_eq!(m.max_abs(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "matvec dimension mismatch")]
+    fn matvec_checks_dims() {
+        let m = CMat::<f64>::zeros(2, 3);
+        let _ = m.matvec(&[C64::one()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "CMat::from_vec")]
+    fn from_vec_checks_len() {
+        let _ = CMat::<f64>::from_vec(2, 2, vec![C64::one()]);
+    }
+}

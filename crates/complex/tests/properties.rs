@@ -1,0 +1,125 @@
+//! Property-based tests for complex arithmetic across all precisions.
+
+use polygpu_complex::{C64, CDd};
+use polygpu_qd::Dd;
+use proptest::prelude::*;
+
+fn c64() -> impl Strategy<Value = C64> {
+    (-1e6f64..1e6, -1e6f64..1e6).prop_map(|(re, im)| C64::new(re, im))
+}
+
+fn nonzero_c64() -> impl Strategy<Value = C64> {
+    c64().prop_filter("nonzero", |z| z.norm_sqr() > 1e-9)
+}
+
+proptest! {
+    #[test]
+    fn mul_commutes(a in c64(), b in c64()) {
+        prop_assert_eq!(a * b, b * a);
+    }
+
+    #[test]
+    fn mul_associates_approximately(a in c64(), b in c64(), c in c64()) {
+        let lhs = (a * b) * c;
+        let rhs = a * (b * c);
+        let scale = lhs.abs().max(1.0);
+        prop_assert!((lhs - rhs).abs() <= 1e-12 * scale);
+    }
+
+    #[test]
+    fn distributivity(a in c64(), b in c64(), c in c64()) {
+        let lhs = a * (b + c);
+        let rhs = a * b + a * c;
+        let scale = lhs.abs().max(1.0);
+        prop_assert!((lhs - rhs).abs() <= 1e-12 * scale);
+    }
+
+    #[test]
+    fn division_inverts_multiplication(a in c64(), b in nonzero_c64()) {
+        let q = (a * b) / b;
+        let scale = a.abs().max(1.0);
+        prop_assert!((q - a).abs() <= 1e-10 * scale, "got {q}, want {a}");
+    }
+
+    #[test]
+    fn norm_is_multiplicative(a in c64(), b in c64()) {
+        let lhs = (a * b).norm_sqr();
+        let rhs = a.norm_sqr() * b.norm_sqr();
+        let scale = rhs.max(1.0);
+        prop_assert!((lhs - rhs).abs() <= 1e-11 * scale);
+    }
+
+    #[test]
+    fn conj_is_ring_homomorphism(a in c64(), b in c64()) {
+        prop_assert_eq!((a * b).conj(), a.conj() * b.conj());
+        prop_assert_eq!((a + b).conj(), a.conj() + b.conj());
+    }
+
+    #[test]
+    fn powi_adds_exponents(z in nonzero_c64(), p in 0i32..6, q in 0i32..6) {
+        let lhs = z.powi(p) * z.powi(q);
+        let rhs = z.powi(p + q);
+        let scale = rhs.abs().max(1e-30);
+        if scale.is_finite() && scale < 1e250 {
+            prop_assert!((lhs - rhs).abs() <= 1e-9 * scale);
+        }
+    }
+
+    #[test]
+    fn dd_complex_agrees_with_f64_on_doubles(a in c64(), b in c64()) {
+        // Promoting to DD and computing must agree with f64 up to f64
+        // round-off (DD is strictly more accurate).
+        let ad: CDd = a.convert();
+        let bd: CDd = b.convert();
+        let pd = (ad * bd).to_c64();
+        let pf = a * b;
+        let scale = pf.abs().max(1.0);
+        prop_assert!((pd - pf).abs() <= 4.0 * f64::EPSILON * scale);
+    }
+
+    #[test]
+    fn dd_division_high_accuracy(a in c64(), b in nonzero_c64()) {
+        let ad: CDd = a.convert();
+        let bd: CDd = b.convert();
+        let q = ad / bd;
+        let back = q * bd;
+        let diff = (back - ad).abs().to_f64();
+        let scale = a.abs().max(1e-30);
+        prop_assert!(diff <= 1e-29 * scale, "dd div residual {diff:e}");
+    }
+
+    #[test]
+    fn recip_recip_is_identity(z in nonzero_c64()) {
+        let r = z.recip().recip();
+        prop_assert!((r - z).abs() <= 1e-10 * z.abs());
+    }
+
+    #[test]
+    fn unit_angle_multiplication_adds_angles(t1 in 0.0f64..6.2, t2 in 0.0f64..6.2) {
+        let z = C64::unit_from_angle(t1) * C64::unit_from_angle(t2);
+        let w = C64::unit_from_angle(t1 + t2);
+        prop_assert!((z - w).abs() <= 1e-14);
+    }
+}
+
+#[test]
+fn dd_complex_keeps_106_bits_through_a_product_chain() {
+    // Multiply 50 unit-ish complex numbers in both f64 and DD; the DD
+    // result converted to f64 is the correctly rounded product, whereas
+    // plain f64 drifts. This is the paper's motivation for extended
+    // precision along a path.
+    let mut zf = C64::new(1.0, 0.0);
+    let mut zd = CDd::new(Dd::ONE, Dd::ZERO);
+    let mut state = 0x9E3779B97F4A7C15u64;
+    for _ in 0..50 {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let t = (state >> 11) as f64 / (1u64 << 53) as f64 * std::f64::consts::TAU;
+        let f = C64::unit_from_angle(t);
+        zf *= f;
+        zd *= f.convert();
+    }
+    // DD norm stays much closer to 1.
+    let f64_drift = (zf.norm_sqr() - 1.0).abs();
+    let dd_drift = (zd.norm_sqr() - Dd::ONE).abs().to_f64();
+    assert!(dd_drift < f64_drift.max(1e-25), "dd {dd_drift:e} vs f64 {f64_drift:e}");
+}

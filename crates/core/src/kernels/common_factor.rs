@@ -1,0 +1,328 @@
+//! Kernel 1: common-factor calculation (paper §3.1).
+//!
+//! Two stages inside one kernel, separated by a barrier:
+//!
+//! 1. each of the first `n` threads of the block computes,
+//!    *sequentially*, the powers `x_v^2 … x_v^{d−1}` of one variable
+//!    into the shared `Powers` table (row-major by power so concurrent
+//!    writes land in different banks);
+//! 2. each thread computes the common factor
+//!    `x_{i1}^{a1−1} · … · x_{ik}^{ak−1}` of one monomial as a product
+//!    of `k` table entries (`k − 1` multiplications) and writes it to
+//!    global memory coalesced (thread `t` of block `b` owns monomial
+//!    `g = b·B + t`).
+//!
+//! Rows 0 (`x^0 = 1`) and 1 (`x^1`) are materialized in the table so
+//! stage 2 is branch-free even when exponents are 1 — every lane of a
+//! warp executes the same `k − 1` multiplications.
+//!
+//! The paper argues (at length) that recomputing the power table in
+//! every block beats a separate powers kernel round-tripping through
+//! global memory; [`CommonFactorFromScratch`] below implements the
+//! *other* rejected alternative — no table at all — for the ablation
+//! benchmark, exhibiting the warp divergence the paper predicts.
+
+use crate::layout::encoding::EncodedSupports;
+use polygpu_complex::{Complex, Real};
+use polygpu_gpusim::prelude::*;
+
+/// The paper's two-stage common-factor kernel.
+pub struct CommonFactorKernel {
+    pub enc: EncodedSupports,
+    /// Input point `x` (length `n`).
+    pub vars: BufferId,
+    /// Output: one common factor per monomial (length `n·m`).
+    pub out: BufferId,
+}
+
+impl CommonFactorKernel {
+    /// Shared `Powers` table rows: powers `0 ..= d−1` (the common
+    /// factor's exponents are `a − 1 ∈ 0 ..= d−1`).
+    fn power_rows(&self) -> usize {
+        self.enc.shape.d as usize
+    }
+}
+
+impl<R: Real> Kernel<Complex<R>> for CommonFactorKernel {
+    fn name(&self) -> &str {
+        "common_factor"
+    }
+
+    /// `Powers` is `rows × n` elements.
+    fn shared_elems(&self, _block_dim: u32) -> usize {
+        self.power_rows() * self.enc.shape.n
+    }
+
+    fn run_block(&self, blk: &mut BlockCtx<'_, Complex<R>>) {
+        let shape = self.enc.shape;
+        let n = shape.n;
+        let k = shape.k;
+        let total = shape.total_monomials();
+        let rows = self.power_rows();
+        let block_dim = blk.block_dim() as usize;
+        let block_id = blk.block_id();
+
+        // Stage 1: power table. Thread t owns variables t, t+B, …
+        // (strided; a plain `t < n` guard in the paper's n = B = 32
+        // setting). Row r holds x^r at offset r*n + v.
+        blk.threads(|t| {
+            let mut v = t.tid() as usize;
+            while v < n {
+                let xv = t.gload(self.vars, v); // coalesced across the warp
+                t.sstore(v, Complex::one()); // row 0: x^0
+                if rows > 1 {
+                    t.sstore(n + v, xv); // row 1: x^1
+                    let mut cur = xv;
+                    for r in 2..rows {
+                        cur = t.mul(cur, xv);
+                        t.sstore(r * n + v, cur);
+                    }
+                }
+                v += block_dim;
+            }
+        });
+
+        // Stage 2 (after the implicit barrier): one common factor per
+        // thread, k − 1 multiplications of table entries.
+        blk.threads(|t| {
+            let g = (block_id as usize) * block_dim + t.tid() as usize;
+            if g >= total {
+                return;
+            }
+            let (v0, e0) = self.enc.read_factor(t, g, 0);
+            let mut cf = t.sload(e0 * n + v0);
+            for j in 1..k {
+                let (v, e) = self.enc.read_factor(t, g, j);
+                let p = t.sload(e * n + v);
+                cf = t.mul(cf, p);
+            }
+            t.gstore(self.out, g, cf); // coalesced output
+        });
+    }
+}
+
+/// The rejected alternative of §3.1: every thread exponentiates its own
+/// variables from scratch, in registers, with no shared table.
+///
+/// "However this would introduce branching in execution of threads of a
+/// warp when monomials would have different tuples of exponents" — the
+/// simulator's divergence counter confirms it, and the flop counters
+/// show the redundant exponentiations.
+pub struct CommonFactorFromScratch {
+    pub enc: EncodedSupports,
+    pub vars: BufferId,
+    pub out: BufferId,
+}
+
+impl<R: Real> Kernel<Complex<R>> for CommonFactorFromScratch {
+    fn name(&self) -> &str {
+        "common_factor_from_scratch"
+    }
+
+    fn shared_elems(&self, _block_dim: u32) -> usize {
+        0
+    }
+
+    fn run_block(&self, blk: &mut BlockCtx<'_, Complex<R>>) {
+        let shape = self.enc.shape;
+        let k = shape.k;
+        let total = shape.total_monomials();
+        let block_dim = blk.block_dim() as usize;
+        let block_id = blk.block_id();
+        blk.threads(|t| {
+            let g = (block_id as usize) * block_dim + t.tid() as usize;
+            if g >= total {
+                return;
+            }
+            let mut cf = Complex::<R>::one();
+            for j in 0..k {
+                let (v, e_m1) = self.enc.read_factor(t, g, j);
+                // Uncoalesced: lanes read whatever variable their
+                // monomial names.
+                let xv = t.gload(self.vars, v);
+                // Data-dependent loop: lanes with different exponents
+                // diverge here.
+                let mut pw = Complex::<R>::one();
+                for _ in 0..e_m1 {
+                    pw = t.mul(pw, xv);
+                }
+                cf = t.mul(cf, pw);
+            }
+            t.gstore(self.out, g, cf);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::encoding::EncodingKind;
+    use polygpu_complex::C64;
+    use polygpu_polysys::{random_point, random_system, BenchmarkParams, System};
+
+    #[allow(clippy::type_complexity)] // test rig returns the full fixture
+    fn setup(
+        params: &BenchmarkParams,
+    ) -> (
+        DeviceSpec,
+        System<f64>,
+        GlobalMem<C64>,
+        ConstantMemory,
+        EncodedSupports,
+        BufferId,
+        BufferId,
+        Vec<C64>,
+    ) {
+        let dev = DeviceSpec::tesla_c2050();
+        let sys = random_system::<f64>(params);
+        let mut cm = ConstantMemory::new(&dev);
+        let enc = EncodedSupports::upload(&sys, &mut cm, EncodingKind::Direct).unwrap();
+        let mut g = GlobalMem::new();
+        let vars = g.alloc(params.n);
+        let out = g.alloc(enc.shape.total_monomials());
+        let x = random_point::<f64>(params.n, 77);
+        g.host_write(vars, 0, &x);
+        (dev, sys, g, cm, enc, vars, out, x)
+    }
+
+    fn expected_cf(sys: &System<f64>, x: &[C64]) -> Vec<C64> {
+        let mut expect = Vec::new();
+        for poly in sys.polys() {
+            for term in poly.terms() {
+                let mut cf = C64::one();
+                for &(v, e) in term.monomial.factors() {
+                    cf *= x[v as usize].powi(e as i32 - 1);
+                }
+                expect.push(cf);
+            }
+        }
+        expect
+    }
+
+    #[test]
+    fn computes_common_factors_divergence_free() {
+        let params = BenchmarkParams {
+            n: 32,
+            m: 4,
+            k: 9,
+            d: 4,
+            seed: 3,
+        };
+        let (dev, sys, mut g, cm, enc, vars, out, x) = setup(&params);
+        let kernel = CommonFactorKernel { enc, vars, out };
+        let cfg = LaunchConfig::cover(enc.shape.total_monomials(), 32);
+        let report = launch(&dev, &kernel, cfg, &mut g, &cm, LaunchOptions::default()).unwrap();
+        assert_eq!(report.counters.divergent_segments, 0, "paper's design is uniform");
+        let got = g.host_read(out);
+        for (i, want) in expected_cf(&sys, &x).iter().enumerate() {
+            assert!(
+                (got[i] - *want).abs() < 1e-12,
+                "cf {i}: {} vs {want}",
+                got[i]
+            );
+        }
+    }
+
+    #[test]
+    fn multiplication_count_matches_model() {
+        // Stage 1: n*(d-2) muls per block; stage 2: k-1 per monomial.
+        let params = BenchmarkParams {
+            n: 32,
+            m: 2, // 64 monomials, 2 blocks
+            k: 5,
+            d: 6,
+            seed: 9,
+        };
+        let (dev, _sys, mut g, cm, enc, vars, out, _x) = setup(&params);
+        let kernel = CommonFactorKernel { enc, vars, out };
+        let cfg = LaunchConfig::cover(64, 32);
+        let report = launch(&dev, &kernel, cfg, &mut g, &cm, LaunchOptions::default()).unwrap();
+        let blocks = 2u64;
+        let expected_muls = blocks * 32 * (6 - 2) + 64 * (5 - 1);
+        // 6 f64 flops per complex multiplication.
+        assert_eq!(report.counters.flops, expected_muls * 6);
+    }
+
+    #[test]
+    fn from_scratch_variant_matches_values_but_diverges() {
+        let params = BenchmarkParams {
+            n: 16,
+            m: 4,
+            k: 4,
+            d: 5,
+            seed: 21,
+        };
+        let (dev, sys, mut g, cm, enc, vars, out, x) = setup(&params);
+        let kernel = CommonFactorFromScratch { enc, vars, out };
+        let cfg = LaunchConfig::cover(enc.shape.total_monomials(), 32);
+        let report = launch(&dev, &kernel, cfg, &mut g, &cm, LaunchOptions::default()).unwrap();
+        let got = g.host_read(out);
+        for (i, want) in expected_cf(&sys, &x).iter().enumerate() {
+            assert!((got[i] - *want).abs() < 1e-12, "cf {i}");
+        }
+        // Random exponents in 1..=5 across a warp: divergence is
+        // practically certain at this size.
+        assert!(
+            report.counters.divergent_segments > 0,
+            "expected the paper's predicted divergence"
+        );
+    }
+
+    #[test]
+    fn two_stage_beats_from_scratch_on_modeled_cycles_at_high_degree() {
+        // The design-choice ablation (A1) in miniature: with d large and
+        // exponents varied, the table amortizes exponentiation.
+        let params = BenchmarkParams {
+            n: 32,
+            m: 16,
+            k: 8,
+            d: 12,
+            seed: 4,
+        };
+        let (dev, _sys, mut g, cm, enc, vars, out, _x) = setup(&params);
+        let cfg = LaunchConfig::cover(enc.shape.total_monomials(), 32);
+        let r1 = launch(
+            &dev,
+            &CommonFactorKernel { enc, vars, out },
+            cfg,
+            &mut g,
+            &cm,
+            LaunchOptions::default(),
+        )
+        .unwrap();
+        let r2 = launch(
+            &dev,
+            &CommonFactorFromScratch { enc, vars, out },
+            cfg,
+            &mut g,
+            &cm,
+            LaunchOptions::default(),
+        )
+        .unwrap();
+        assert!(
+            r2.counters.flops > r1.counters.flops,
+            "from-scratch redoes exponentiations: {} vs {}",
+            r2.counters.flops,
+            r1.counters.flops
+        );
+    }
+
+    #[test]
+    fn d1_systems_need_no_power_rows_beyond_ones() {
+        // All exponents are 1: common factors are all one.
+        let params = BenchmarkParams {
+            n: 8,
+            m: 2,
+            k: 3,
+            d: 1,
+            seed: 2,
+        };
+        let (dev, _sys, mut g, cm, enc, vars, out, _x) = setup(&params);
+        let kernel = CommonFactorKernel { enc, vars, out };
+        let cfg = LaunchConfig::cover(16, 32);
+        launch(&dev, &kernel, cfg, &mut g, &cm, LaunchOptions::default()).unwrap();
+        for v in g.host_read(out) {
+            assert_eq!(*v, C64::one());
+        }
+    }
+}

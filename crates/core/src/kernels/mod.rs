@@ -1,0 +1,9 @@
+//! The paper's three kernels.
+
+pub mod common_factor;
+pub mod speelpenning;
+pub mod sum;
+
+pub use common_factor::{CommonFactorFromScratch, CommonFactorKernel};
+pub use speelpenning::SpeelpenningKernel;
+pub use sum::SumKernel;

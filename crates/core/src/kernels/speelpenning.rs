@@ -1,0 +1,371 @@
+//! Kernel 2: monomial evaluation and differentiation via the
+//! Speelpenning product (paper §3.2).
+//!
+//! One thread per monomial. The thread:
+//!
+//! 1. computes all `k` partial derivatives of the Speelpenning product
+//!    `x_{i1}···x_{ik}` in `3k − 6` multiplications, using forward
+//!    products in shared locations `L2…Lk` and a backward product in
+//!    the register `Q`;
+//! 2. multiplies the `k` derivatives by the common factor from
+//!    kernel 1 (`k` multiplications) and recovers the monomial value as
+//!    `L_k · x_{ik}` into `L_{k+1}` (1 multiplication);
+//! 3. multiplies the `k + 1` values by their coefficients from the
+//!    derivative-major `Coeffs` array (`k + 1` multiplications,
+//!    coalesced reads) and scatters them into the `Mons` array — the
+//!    deliberately uncoalesced side of the §3.3 tradeoff that buys
+//!    kernel 3 its coalesced reads.
+//!
+//! Total: `5k − 4` multiplications per thread, identical instruction
+//! sequence for every lane (k is fixed system-wide), hence no
+//! divergence.
+//!
+//! Shared memory per block: the `n` variable values (loaded once,
+//! coalesced, shared by all threads — §3.2's memory consideration) plus
+//! `B·(k + 1)` scratch locations.
+
+use crate::layout::coeffs::coeff_index;
+use crate::layout::encoding::EncodedSupports;
+use crate::layout::mons::{q_deriv, q_value, term_slot};
+use polygpu_complex::{Complex, Real};
+use polygpu_gpusim::prelude::*;
+
+/// The paper's second kernel.
+pub struct SpeelpenningKernel {
+    pub enc: EncodedSupports,
+    /// Input point `x` (length `n`).
+    pub vars: BufferId,
+    /// Common factors from kernel 1 (length `n·m`).
+    pub common_factors: BufferId,
+    /// Derivative-major coefficient array (length `n·m·(k+1)`).
+    pub coeffs: BufferId,
+    /// Output terms, `Mons` layout (length `(n²+n)·m`).
+    pub mons: BufferId,
+}
+
+impl<R: Real> Kernel<Complex<R>> for SpeelpenningKernel {
+    fn name(&self) -> &str {
+        "speelpenning"
+    }
+
+    /// `n` shared variable values + `B·(k+1)` locations `L1..L_{k+1}`.
+    fn shared_elems(&self, block_dim: u32) -> usize {
+        self.enc.shape.n + block_dim as usize * (self.enc.shape.k + 1)
+    }
+
+    // Indexed loops below deliberately mirror the paper's 1-based
+    // L/position notation rather than iterator chains.
+    #[allow(clippy::needless_range_loop)]
+    fn run_block(&self, blk: &mut BlockCtx<'_, Complex<R>>) {
+        let shape = self.enc.shape;
+        let (n, m, k) = (shape.n, shape.m, shape.k);
+        let total = shape.total_monomials();
+        let block_dim = blk.block_dim() as usize;
+        let block_id = blk.block_id() as usize;
+
+        // Phase 1: stage the variable values into shared memory with one
+        // coalesced global read per warp-worth of variables.
+        blk.threads(|t| {
+            let mut v = t.tid() as usize;
+            while v < n {
+                let xv = t.gload(self.vars, v);
+                t.sstore(v, xv);
+                v += block_dim;
+            }
+        });
+
+        // Phase 2: one monomial per thread.
+        blk.threads(|t| {
+            let tid = t.tid() as usize;
+            let g = block_id * block_dim + tid;
+            if g >= total {
+                return;
+            }
+            // Sm order is polynomial-major: g = p*m + j.
+            let p = g / m;
+            let j = g % m;
+            t.iops(2); // the div/mod address arithmetic
+
+            // Variable positions of this monomial (constant memory; the
+            // same Positions array kernel 1 used).
+            let mut vs = [0usize; 256];
+            for i in 0..k {
+                vs[i] = self.enc.read_position(t, g, i);
+            }
+            // L locations live in shared memory after the n variables;
+            // 1-based as in the paper: L(i) for i in 1..=k+1.
+            let lbase = n + tid * (k + 1);
+            let l = |i: usize| lbase + i - 1;
+            // x_{i_{idx+1}} from the shared variable table.
+            macro_rules! xi {
+                ($t:expr, $idx:expr) => {
+                    $t.sload(vs[$idx])
+                };
+            }
+
+            // --- Derivatives of the Speelpenning product (3k − 6). ---
+            match k {
+                1 => {
+                    t.sstore(l(1), Complex::one());
+                }
+                2 => {
+                    let x2 = xi!(t, 1);
+                    t.sstore(l(1), x2);
+                    let x1 = xi!(t, 0);
+                    t.sstore(l(2), x1);
+                }
+                _ => {
+                    // Forward products into L2..Lk (k − 2 muls).
+                    let x1 = xi!(t, 0);
+                    t.sstore(l(2), x1);
+                    for r in 1..=k - 2 {
+                        let prev = t.sload(l(r + 1));
+                        let xr = xi!(t, r);
+                        let f = t.mul(prev, xr);
+                        t.sstore(l(r + 2), f);
+                    }
+                    // Backward product in the register q.
+                    let mut q = xi!(t, k - 1);
+                    let lk1 = t.sload(l(k - 1));
+                    let d = t.mul(lk1, q);
+                    t.sstore(l(k - 1), d);
+                    // Middle steps: 2 muls each.
+                    for r in 1..=k.saturating_sub(3) {
+                        let xv = xi!(t, k - 1 - r);
+                        q = t.mul(q, xv);
+                        let prev = t.sload(l(k - r - 1));
+                        let d = t.mul(prev, q);
+                        t.sstore(l(k - r - 1), d);
+                    }
+                    // Derivative w.r.t. x_{i1} into L1.
+                    let x2 = xi!(t, 1);
+                    q = t.mul(q, x2);
+                    t.sstore(l(1), q);
+                }
+            }
+
+            // --- Common factor and monomial value (k + 1 muls). ---
+            let cf = t.gload(self.common_factors, g); // coalesced
+            for i in 1..=k {
+                let d = t.sload(l(i));
+                let d = t.mul(d, cf);
+                t.sstore(l(i), d);
+            }
+            let dk = t.sload(l(k));
+            let xik = xi!(t, k - 1);
+            let mv = t.mul(dk, xik);
+            t.sstore(l(k + 1), mv);
+
+            // --- Coefficients (k + 1 muls) and scattered Mons writes. ---
+            let c = t.gload(self.coeffs, coeff_index(&shape, k, g)); // coalesced
+            let lv = t.sload(l(k + 1));
+            let val = t.mul(lv, c);
+            t.gstore(self.mons, term_slot(&shape, j, q_value(p)), val);
+            for i in 0..k {
+                let c = t.gload(self.coeffs, coeff_index(&shape, i, g)); // coalesced
+                let d = t.sload(l(i + 1));
+                let dv = t.mul(d, c);
+                t.gstore(self.mons, term_slot(&shape, j, q_deriv(n, p, vs[i])), dv);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::common_factor::CommonFactorKernel;
+    use crate::layout::coeffs::build_coeffs;
+    use crate::layout::encoding::EncodingKind;
+    use crate::layout::mons::mons_len;
+    use polygpu_complex::C64;
+    use polygpu_polysys::cost;
+    use polygpu_polysys::{random_point, random_system, BenchmarkParams};
+
+    struct Rig {
+        dev: DeviceSpec,
+        g: GlobalMem<C64>,
+        cm: ConstantMemory,
+        enc: EncodedSupports,
+        kernel: SpeelpenningKernel,
+        cf_kernel: CommonFactorKernel,
+    }
+
+    fn rig(params: &BenchmarkParams) -> Rig {
+        let dev = DeviceSpec::tesla_c2050();
+        let sys = random_system::<f64>(params);
+        let mut cm = ConstantMemory::new(&dev);
+        let enc = EncodedSupports::upload(&sys, &mut cm, EncodingKind::Direct).unwrap();
+        let shape = enc.shape;
+        let mut g = GlobalMem::new();
+        let vars = g.alloc(shape.n);
+        let cf = g.alloc(shape.total_monomials());
+        let coeffs = g.alloc(shape.total_monomials() * (shape.k + 1));
+        let mons = g.alloc(mons_len(&shape));
+        g.host_write(vars, 0, &random_point::<f64>(shape.n, 123));
+        g.host_write(coeffs, 0, &build_coeffs(&sys, &shape));
+        Rig {
+            dev,
+            g,
+            cm,
+            enc,
+            kernel: SpeelpenningKernel {
+                enc,
+                vars,
+                common_factors: cf,
+                coeffs,
+                mons,
+            },
+            cf_kernel: CommonFactorKernel {
+                enc,
+                vars,
+                out: cf,
+            },
+        }
+    }
+
+    fn run(rig: &mut Rig) -> (LaunchReport, LaunchReport) {
+        let cfg = LaunchConfig::cover(rig.enc.shape.total_monomials(), 32);
+        let r1 = launch(
+            &rig.dev,
+            &rig.cf_kernel,
+            cfg,
+            &mut rig.g,
+            &rig.cm,
+            LaunchOptions::default(),
+        )
+        .unwrap();
+        let r2 = launch(
+            &rig.dev,
+            &rig.kernel,
+            cfg,
+            &mut rig.g,
+            &rig.cm,
+            LaunchOptions::default(),
+        )
+        .unwrap();
+        (r1, r2)
+    }
+
+    #[test]
+    fn per_thread_multiplications_are_5k_minus_4() {
+        for k in [2usize, 3, 5, 9, 16] {
+            let params = BenchmarkParams {
+                n: 32,
+                m: 1, // one full block of monomials
+                k,
+                d: 3,
+                seed: k as u64,
+            };
+            let mut r = rig(&params);
+            let (_, rep) = run(&mut r);
+            // 32 threads x (5k-4) complex muls x 6 flops each.
+            let expect = 32 * cost::kernel2_muls(k) * 6;
+            assert_eq!(
+                rep.counters.flops, expect,
+                "k = {k}: flops {} != {}",
+                rep.counters.flops, expect
+            );
+            assert_eq!(rep.counters.divergent_segments, 0, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn mons_gets_monomial_values_and_derivatives() {
+        let params = BenchmarkParams {
+            n: 6,
+            m: 3,
+            k: 3,
+            d: 4,
+            seed: 31,
+        };
+        let sys = random_system::<f64>(&params);
+        let x = random_point::<f64>(6, 123);
+        let mut r = rig(&params);
+        run(&mut r);
+        let shape = r.enc.shape;
+        let mons = r.g.host_read(r.kernel.mons);
+        // Check each written slot against directly computed values.
+        let mut g_idx = 0usize;
+        for (p, poly) in sys.polys().iter().enumerate() {
+            for (j, term) in poly.terms().iter().enumerate() {
+                // c * x^a
+                let mut want = term.coeff;
+                for &(v, e) in term.monomial.factors() {
+                    want *= x[v as usize].powi(e as i32);
+                }
+                let got = mons[term_slot(&shape, j, q_value(p))];
+                assert!((got - want).abs() < 1e-12, "value ({p},{j})");
+                // derivatives
+                for &(v, e) in term.monomial.factors() {
+                    let mut dwant = term.coeff.scale(e as f64);
+                    for &(w, f) in term.monomial.factors() {
+                        let fe = if w == v { f - 1 } else { f };
+                        dwant *= x[w as usize].powi(fe as i32);
+                    }
+                    let got = mons[term_slot(&shape, j, q_deriv(6, p, v as usize))];
+                    assert!((got - dwant).abs() < 1e-12, "deriv ({p},{j},{v})");
+                }
+                g_idx += 1;
+            }
+        }
+        assert_eq!(g_idx, shape.total_monomials());
+    }
+
+    #[test]
+    fn zero_slots_stay_zero() {
+        let params = BenchmarkParams {
+            n: 6,
+            m: 3,
+            k: 2, // k << n: most derivative slots must remain zero
+            d: 2,
+            seed: 5,
+        };
+        let sys = random_system::<f64>(&params);
+        let mut r = rig(&params);
+        run(&mut r);
+        let shape = r.enc.shape;
+        let mons = r.g.host_read(r.kernel.mons);
+        let mut zero_slots = 0;
+        for (p, poly) in sys.polys().iter().enumerate() {
+            for (j, term) in poly.terms().iter().enumerate() {
+                for v in 0..6u16 {
+                    if !term.monomial.contains(v) {
+                        let got = mons[term_slot(&shape, j, q_deriv(6, p, v as usize))];
+                        assert_eq!(got, C64::zero(), "slot ({p},{j},{v}) must stay zero");
+                        zero_slots += 1;
+                    }
+                }
+            }
+        }
+        // n*m*(n-k) zero derivative slots.
+        assert_eq!(zero_slots, 6 * 3 * (6 - 2));
+    }
+
+    #[test]
+    fn coefficient_reads_are_coalesced_and_mons_writes_are_not() {
+        // The paper's 1,024-monomial configuration: each warp covers
+        // exactly one polynomial (m = 32), so every Mons store slot is
+        // 32 single-lane transactions while every load slot (variables,
+        // common factor, coefficients) coalesces into 4.
+        let params = BenchmarkParams {
+            n: 32,
+            m: 32,
+            k: 9,
+            d: 2,
+            seed: 1,
+        };
+        let mut r = rig(&params);
+        let (_, rep) = run(&mut r);
+        let warps = 32u64; // 1024 monomials / 32 lanes
+        let per_warp_loads = 1 + 1 + 10; // vars preload + cf + (k+1) coeffs
+        let per_warp_stores = 10u64; // k+1 scattered Mons writes
+        let expect = warps * (per_warp_loads * 4 + per_warp_stores * 32);
+        assert_eq!(
+            rep.counters.global_transactions, expect,
+            "coalescing accounting changed: {} vs {}",
+            rep.counters.global_transactions, expect
+        );
+        assert_eq!(rep.counters.divergent_segments, 0);
+    }
+}

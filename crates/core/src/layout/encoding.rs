@@ -1,0 +1,307 @@
+//! Constant-memory encoding of the system's supports: the `Positions`
+//! and `Exponents` arrays of the paper (§3.1).
+//!
+//! The **direct** encoding is the paper's: one `u8` per variable
+//! position ("a position of a variable from 0 to 255") and one `u8`
+//! per exponent, stored as `exponent − 1` ("giving us opportunity to
+//! work with variables appearing in degrees up to 255"). Its capacity
+//! wall — `2·k` bytes per monomial against the 65,536-byte constant
+//! memory — is what stopped the paper at 1,536 monomials (§4).
+//!
+//! The **compact** encoding implements the paper's proposed future work
+//! ("more compact encodings for storing the positions and exponents…
+//! so to be working with higher dimensions"): exponents are
+//! nibble-packed (two per byte, requiring `d <= 16`), cutting the
+//! per-monomial cost from `2k` to `1.5k` bytes at the price of a couple
+//! of integer decode operations per access — which, as the paper
+//! predicts, are dominated by the multiplications that follow.
+
+use polygpu_complex::Real;
+use polygpu_gpusim::prelude::*;
+use polygpu_polysys::{System, SystemError, UniformShape};
+use std::fmt;
+
+/// Which support encoding to place in constant memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EncodingKind {
+    /// The paper's layout: `u8` position + `u8` (exponent − 1) per
+    /// variable.
+    #[default]
+    Direct,
+    /// Nibble-packed exponents (`d <= 16`): the paper's proposed
+    /// compression.
+    Compact,
+}
+
+/// Errors encoding a system's supports.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EncodeError {
+    /// The system failed the uniform-shape validation.
+    Shape(SystemError),
+    /// A variable index does not fit the `u8` position field.
+    PositionTooLarge { var: usize },
+    /// An exponent does not fit the encoding's field.
+    ExponentTooLarge { exp: usize, limit: usize },
+    /// Constant memory exhausted — the paper's observed failure mode at
+    /// 2,048 monomials.
+    Constant(ConstantOverflow),
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::Shape(e) => write!(f, "shape: {e}"),
+            EncodeError::PositionTooLarge { var } => {
+                write!(f, "variable index {var} exceeds the u8 position field")
+            }
+            EncodeError::ExponentTooLarge { exp, limit } => {
+                write!(f, "exponent {exp} exceeds the encoding limit {limit}")
+            }
+            EncodeError::Constant(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+impl From<ConstantOverflow> for EncodeError {
+    fn from(e: ConstantOverflow) -> Self {
+        EncodeError::Constant(e)
+    }
+}
+
+/// The system's supports resident in constant memory, plus the shape.
+///
+/// Monomials are indexed in the paper's `Sm` order: monomial `j` of
+/// polynomial `p` has global index `g = p·m + j`.
+#[derive(Debug, Clone, Copy)]
+pub struct EncodedSupports {
+    pub kind: EncodingKind,
+    pub shape: UniformShape,
+    positions: ConstId,
+    exponents: ConstId,
+}
+
+impl EncodedSupports {
+    /// Bytes of constant memory the encoding of `shape` requires.
+    pub fn bytes_needed(shape: &UniformShape, kind: EncodingKind) -> usize {
+        let entries = shape.total_monomials() * shape.k;
+        match kind {
+            EncodingKind::Direct => 2 * entries,
+            EncodingKind::Compact => entries + entries.div_ceil(2),
+        }
+    }
+
+    /// Validate and upload the supports of `system` into `constant`.
+    pub fn upload<R: Real>(
+        system: &System<R>,
+        constant: &mut ConstantMemory,
+        kind: EncodingKind,
+    ) -> Result<Self, EncodeError> {
+        let shape = system.uniform_shape().map_err(EncodeError::Shape)?;
+        let exp_limit = match kind {
+            EncodingKind::Direct => 256usize, // stores exp-1 in u8
+            EncodingKind::Compact => 16,      // stores exp-1 in a nibble
+        };
+        let entries = shape.total_monomials() * shape.k;
+        let mut positions = Vec::with_capacity(entries);
+        let mut exponents = Vec::with_capacity(entries);
+        for poly in system.polys() {
+            for term in poly.terms() {
+                for &(v, e) in term.monomial.factors() {
+                    if v as usize > 255 {
+                        return Err(EncodeError::PositionTooLarge { var: v as usize });
+                    }
+                    if e as usize > exp_limit {
+                        return Err(EncodeError::ExponentTooLarge {
+                            exp: e as usize,
+                            limit: exp_limit,
+                        });
+                    }
+                    positions.push(v as u8);
+                    exponents.push((e - 1) as u8);
+                }
+            }
+        }
+        let (positions, exponents) = match kind {
+            EncodingKind::Direct => (
+                constant.alloc(&positions)?,
+                constant.alloc(&exponents)?,
+            ),
+            EncodingKind::Compact => {
+                let mut packed = vec![0u8; entries.div_ceil(2)];
+                for (i, &e) in exponents.iter().enumerate() {
+                    if i % 2 == 0 {
+                        packed[i / 2] |= e & 0x0F;
+                    } else {
+                        packed[i / 2] |= (e & 0x0F) << 4;
+                    }
+                }
+                (constant.alloc(&positions)?, constant.alloc(&packed)?)
+            }
+        };
+        Ok(EncodedSupports {
+            kind,
+            shape,
+            positions,
+            exponents,
+        })
+    }
+
+    /// Device-side read of factor `j` (0-based) of monomial `g`:
+    /// returns `(variable, exponent - 1)`. Performs the constant loads
+    /// and decode integer ops through the thread context so the
+    /// simulator charges them.
+    #[inline]
+    pub fn read_factor<T: DeviceValue>(
+        &self,
+        t: &mut ThreadCtx<'_, T>,
+        g: usize,
+        j: usize,
+    ) -> (usize, usize) {
+        let idx = g * self.shape.k + j;
+        let var = t.cload_u8(self.positions, idx) as usize;
+        let em1 = match self.kind {
+            EncodingKind::Direct => t.cload_u8(self.exponents, idx) as usize,
+            EncodingKind::Compact => {
+                let byte = t.cload_u8(self.exponents, idx / 2);
+                // Nibble select: shift + mask, charged as 2 integer ops
+                // (the decode cost the paper reasons about).
+                t.iops(2);
+                if idx.is_multiple_of(2) {
+                    (byte & 0x0F) as usize
+                } else {
+                    (byte >> 4) as usize
+                }
+            }
+        };
+        (var, em1)
+    }
+
+    /// Variable position only (used where the exponent is not needed,
+    /// e.g. kernel 2's Speelpenning stage: "the array Positions … is
+    /// used in this kernel as well").
+    #[inline]
+    pub fn read_position<T: DeviceValue>(
+        &self,
+        t: &mut ThreadCtx<'_, T>,
+        g: usize,
+        j: usize,
+    ) -> usize {
+        t.cload_u8(self.positions, g * self.shape.k + j) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polygpu_polysys::{random_system, BenchmarkParams};
+
+    fn params(n: usize, m: usize, k: usize, d: u16) -> BenchmarkParams {
+        BenchmarkParams {
+            n,
+            m,
+            k,
+            d,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn bytes_needed_matches_paper_arithmetic() {
+        // Paper §3.1: "for dimension 30 we would have 900 monomials,
+        // with a need of 900 × 2 × 15 <= 30,000 bytes".
+        let shape = UniformShape {
+            n: 30,
+            m: 30,
+            k: 15,
+            d: 5,
+        };
+        assert_eq!(
+            EncodedSupports::bytes_needed(&shape, EncodingKind::Direct),
+            27_000
+        );
+        // "for dimension 40 we would have 1,600 monomials, with a need
+        // of 1,600 × 2 × 20 = 64,000 bytes".
+        let shape40 = UniformShape {
+            n: 40,
+            m: 40,
+            k: 20,
+            d: 5,
+        };
+        assert_eq!(
+            EncodedSupports::bytes_needed(&shape40, EncodingKind::Direct),
+            64_000
+        );
+        // Compact: 1.5 bytes per entry.
+        assert_eq!(
+            EncodedSupports::bytes_needed(&shape40, EncodingKind::Compact),
+            48_000
+        );
+    }
+
+    #[test]
+    fn capacity_wall_at_2048_monomials_k16() {
+        // E3: 2,048 monomials at k=16 need exactly 65,536 bytes of
+        // payload, which cannot fit alongside the reserved region.
+        let dev = DeviceSpec::tesla_c2050();
+        let sys = random_system::<f64>(&params(32, 64, 16, 10));
+        let mut cm = ConstantMemory::new(&dev);
+        let err = EncodedSupports::upload(&sys, &mut cm, EncodingKind::Direct).unwrap_err();
+        assert!(matches!(err, EncodeError::Constant(_)), "{err}");
+        // 1,536 monomials fit (Table 2's largest point).
+        let sys = random_system::<f64>(&params(32, 48, 16, 10));
+        let mut cm = ConstantMemory::new(&dev);
+        assert!(EncodedSupports::upload(&sys, &mut cm, EncodingKind::Direct).is_ok());
+    }
+
+    #[test]
+    fn compact_encoding_lifts_the_wall() {
+        // X1: the same 2,048-monomial system fits with nibble packing:
+        // 2048*16*1.5 = 49,152 bytes.
+        let dev = DeviceSpec::tesla_c2050();
+        let sys = random_system::<f64>(&params(32, 64, 16, 10));
+        let mut cm = ConstantMemory::new(&dev);
+        let enc = EncodedSupports::upload(&sys, &mut cm, EncodingKind::Compact).unwrap();
+        assert_eq!(cm.used(), 49_152);
+        assert_eq!(enc.shape.total_monomials(), 2048);
+    }
+
+    #[test]
+    fn compact_rejects_large_exponents() {
+        let dev = DeviceSpec::tesla_c2050();
+        let sys = random_system::<f64>(&BenchmarkParams {
+            n: 8,
+            m: 2,
+            k: 2,
+            d: 30,
+            seed: 1,
+        });
+        // d up to 30 -> exponent-1 up to 29 > 15.
+        let mut cm = ConstantMemory::new(&dev);
+        let r = EncodedSupports::upload(&sys, &mut cm, EncodingKind::Compact);
+        assert!(matches!(r, Err(EncodeError::ExponentTooLarge { .. })));
+        // Direct handles it.
+        let mut cm = ConstantMemory::new(&dev);
+        assert!(EncodedSupports::upload(&sys, &mut cm, EncodingKind::Direct).is_ok());
+    }
+
+    #[test]
+    fn non_uniform_rejected() {
+        use polygpu_complex::C64;
+        use polygpu_polysys::{Monomial, Polynomial, System, Term};
+        let p1 = Polynomial::new(vec![Term {
+            coeff: C64::one(),
+            monomial: Monomial::new(vec![(0, 1), (1, 1)]).unwrap(),
+        }]);
+        let p2 = Polynomial::new(vec![Term {
+            coeff: C64::one(),
+            monomial: Monomial::new(vec![(0, 2)]).unwrap(),
+        }]);
+        let sys = System::new(2, vec![p1, p2]).unwrap();
+        let dev = DeviceSpec::tesla_c2050();
+        let mut cm = ConstantMemory::new(&dev);
+        let r = EncodedSupports::upload(&sys, &mut cm, EncodingKind::Direct);
+        assert!(matches!(r, Err(EncodeError::Shape(_))));
+    }
+}

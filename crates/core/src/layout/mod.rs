@@ -1,0 +1,7 @@
+//! Device memory layouts: constant-memory support encoding, the
+//! derivative-major `Coeffs` array, and the summation-friendly `Mons`
+//! array.
+
+pub mod coeffs;
+pub mod encoding;
+pub mod mons;

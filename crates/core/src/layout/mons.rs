@@ -1,0 +1,150 @@
+//! The `Mons` global-memory layout (paper §3.3).
+//!
+//! Kernel 2 writes the evaluated, coefficient-multiplied monomials and
+//! monomial derivatives into `Mons`; kernel 3 reads them back with
+//! perfectly coalesced accesses. The array represents `n² + n`
+//! summations (the `n` polynomial values plus the `n × n` Jacobian
+//! entries) of exactly `m` terms each:
+//!
+//! * element `j · (n² + n) + q` is the `j`-th additive term of combined
+//!   polynomial `q`;
+//! * `q ∈ 0..n` are the system values `f_q`;
+//! * `q = n·(1 + v) + p` is `∂f_p/∂x_v` ("the second n elements are the
+//!   derivatives of the first monomials with respect to x1, …").
+//!
+//! Slots for derivatives with respect to variables *absent* from a
+//! monomial are never written; the buffer is zero-initialized once and
+//! those `(n² + n)·m − n·m·(k + 1)` zero slots "represent the zero
+//! monomial derivatives", letting kernel 3 add exactly `m` terms with
+//! no branching.
+
+use polygpu_polysys::UniformShape;
+
+/// Total length of the `Mons` array: `(n² + n) · m`.
+#[inline]
+pub fn mons_len(shape: &UniformShape) -> usize {
+    shape.outputs() * shape.m
+}
+
+/// Number of *meaningful* (written) entries: `n·m·(k+1)`. The rest stay
+/// zero.
+#[inline]
+pub fn mons_written(shape: &UniformShape) -> usize {
+    shape.total_monomials() * (shape.k + 1)
+}
+
+/// Combined-polynomial index of the system value `f_p`.
+#[inline]
+pub fn q_value(p: usize) -> usize {
+    p
+}
+
+/// Combined-polynomial index of the Jacobian entry `∂f_p/∂x_v`.
+#[inline]
+pub fn q_deriv(n: usize, p: usize, v: usize) -> usize {
+    n * (1 + v) + p
+}
+
+/// `Mons` element index for the `j`-th term of combined polynomial `q`.
+#[inline]
+pub fn term_slot(shape: &UniformShape, j: usize, q: usize) -> usize {
+    debug_assert!(j < shape.m && q < shape.outputs());
+    j * shape.outputs() + q
+}
+
+/// Decompose a combined-polynomial index back into what it denotes —
+/// used by tests and by the host-side result unpacking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CombinedIndex {
+    /// `f_p`.
+    Value { p: usize },
+    /// `∂f_p/∂x_v`.
+    Deriv { p: usize, v: usize },
+}
+
+#[inline]
+pub fn decompose_q(n: usize, q: usize) -> CombinedIndex {
+    if q < n {
+        CombinedIndex::Value { p: q }
+    } else {
+        let r = q - n;
+        CombinedIndex::Deriv {
+            p: r % n,
+            v: r / n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape() -> UniformShape {
+        UniformShape {
+            n: 32,
+            m: 22,
+            k: 9,
+            d: 2,
+        }
+    }
+
+    #[test]
+    fn paper_sizes() {
+        let s = shape();
+        // (n^2 + n) * m
+        assert_eq!(mons_len(&s), (32 * 32 + 32) * 22);
+        // n*m*(k+1) meaningful entries
+        assert_eq!(mons_written(&s), 32 * 22 * 10);
+        assert!(mons_written(&s) < mons_len(&s));
+    }
+
+    #[test]
+    fn q_round_trips() {
+        let n = 32;
+        for p in 0..n {
+            assert_eq!(decompose_q(n, q_value(p)), CombinedIndex::Value { p });
+            for v in 0..n {
+                assert_eq!(
+                    decompose_q(n, q_deriv(n, p, v)),
+                    CombinedIndex::Deriv { p, v }
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn q_indices_are_a_bijection_onto_outputs() {
+        let n = 7;
+        let mut seen = vec![false; n * n + n];
+        for p in 0..n {
+            seen[q_value(p)] = true;
+            for v in 0..n {
+                seen[q_deriv(n, p, v)] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b), "some q never produced");
+    }
+
+    #[test]
+    fn kernel3_reads_are_unit_stride_in_q() {
+        // For a fixed term j, consecutive q map to consecutive slots:
+        // the coalescing property of kernel 3.
+        let s = shape();
+        for j in 0..s.m {
+            for q in 0..s.outputs() - 1 {
+                assert_eq!(term_slot(&s, j, q + 1), term_slot(&s, j, q) + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn kernel2_writes_are_scattered_across_terms() {
+        // For one monomial (fixed j), different q are adjacent, but the
+        // thread's k+1 writes go to q values n apart: the uncoalesced
+        // side of the paper's §3.3 tradeoff.
+        let s = shape();
+        let a = term_slot(&s, 3, q_deriv(32, 5, 0));
+        let b = term_slot(&s, 3, q_deriv(32, 5, 1));
+        assert_eq!(b - a, 32);
+    }
+}

@@ -1,0 +1,429 @@
+//! The host-side pipeline: set up device memory once, then evaluate the
+//! system and its Jacobian at a point with three kernel launches.
+//!
+//! Mirrors the paper's host flow: supports and coefficients are
+//! uploaded once ("the information … does not change along the path
+//! tracking"); per evaluation only the point travels to the device and
+//! the `n² + n` results travel back.
+
+use crate::kernels::common_factor::{CommonFactorFromScratch, CommonFactorKernel};
+use crate::kernels::speelpenning::SpeelpenningKernel;
+use crate::kernels::sum::SumKernel;
+use crate::layout::coeffs::build_coeffs;
+use crate::layout::encoding::{EncodeError, EncodedSupports, EncodingKind};
+use crate::layout::mons::{mons_len, q_deriv, q_value};
+use polygpu_complex::{Complex, Real};
+use polygpu_gpusim::prelude::*;
+use polygpu_polysys::{System, SystemEval, SystemEvaluator, UniformShape};
+use std::fmt;
+
+/// Configuration of the GPU evaluator.
+#[derive(Debug, Clone)]
+pub struct GpuOptions {
+    pub device: DeviceSpec,
+    /// Threads per block; the paper uses 32 ("the number of threads in
+    /// each block was 32 for all three kernels").
+    pub block_dim: u32,
+    /// Support encoding in constant memory.
+    pub encoding: EncodingKind,
+    /// Use the from-scratch common-factor variant (ablation A1).
+    pub from_scratch_cf: bool,
+    /// Host-side launch options.
+    pub launch: LaunchOptions,
+}
+
+impl Default for GpuOptions {
+    fn default() -> Self {
+        GpuOptions {
+            device: DeviceSpec::tesla_c2050(),
+            block_dim: 32,
+            encoding: EncodingKind::Direct,
+            from_scratch_cf: false,
+            launch: LaunchOptions::default(),
+        }
+    }
+}
+
+/// Setup failure: the system does not fit the device or the encoding.
+#[derive(Debug)]
+pub enum SetupError {
+    Encode(EncodeError),
+    Launch(LaunchError),
+}
+
+impl fmt::Display for SetupError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SetupError::Encode(e) => write!(f, "encoding: {e}"),
+            SetupError::Launch(e) => write!(f, "launch validation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SetupError {}
+
+impl From<EncodeError> for SetupError {
+    fn from(e: EncodeError) -> Self {
+        SetupError::Encode(e)
+    }
+}
+
+impl From<LaunchError> for SetupError {
+    fn from(e: LaunchError) -> Self {
+        SetupError::Launch(e)
+    }
+}
+
+/// Accumulated modeled cost of the pipeline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PipelineStats {
+    /// Evaluations performed.
+    pub evaluations: u64,
+    /// Counters summed over all launches.
+    pub counters: Counters,
+    /// Modeled kernel execution seconds.
+    pub kernel_seconds: f64,
+    /// Modeled launch overhead seconds.
+    pub overhead_seconds: f64,
+    /// Modeled PCIe transfer seconds (point up, results down).
+    pub transfer_seconds: f64,
+}
+
+impl PipelineStats {
+    /// Total modeled GPU wall time.
+    pub fn total_seconds(&self) -> f64 {
+        self.kernel_seconds + self.overhead_seconds + self.transfer_seconds
+    }
+
+    /// Modeled seconds per evaluation.
+    pub fn seconds_per_eval(&self) -> f64 {
+        if self.evaluations == 0 {
+            0.0
+        } else {
+            self.total_seconds() / self.evaluations as f64
+        }
+    }
+}
+
+/// The three-kernel GPU evaluator of the paper, on the simulated device.
+pub struct GpuEvaluator<R: Real> {
+    device: DeviceSpec,
+    opts: GpuOptions,
+    shape: UniformShape,
+    global: GlobalMem<Complex<R>>,
+    constant: ConstantMemory,
+    vars: BufferId,
+    out: BufferId,
+    k1: CommonFactorKernel,
+    k1_scratch: CommonFactorFromScratch,
+    k2: SpeelpenningKernel,
+    k3: SumKernel,
+    stats: PipelineStats,
+    last_reports: Vec<LaunchReport>,
+}
+
+impl<R: Real> GpuEvaluator<R> {
+    /// Validate, encode and upload `system`; run one throw-away
+    /// evaluation so every configuration error surfaces here rather
+    /// than inside `evaluate`.
+    pub fn new(system: &System<R>, opts: GpuOptions) -> Result<Self, SetupError> {
+        let device = opts.device.clone();
+        let mut constant = ConstantMemory::new(&device);
+        let enc = EncodedSupports::upload(system, &mut constant, opts.encoding)?;
+        let shape = enc.shape;
+        let mut global = GlobalMem::new();
+        let vars = global.alloc(shape.n);
+        let cf = global.alloc(shape.total_monomials());
+        let coeffs = global.alloc(shape.total_monomials() * (shape.k + 1));
+        let mons = global.alloc(mons_len(&shape));
+        let out = global.alloc(shape.outputs());
+        global.host_write(coeffs, 0, &build_coeffs(system, &shape));
+        let mut me = GpuEvaluator {
+            device,
+            shape,
+            vars,
+            out,
+            k1: CommonFactorKernel {
+                enc,
+                vars,
+                out: cf,
+            },
+            k1_scratch: CommonFactorFromScratch {
+                enc,
+                vars,
+                out: cf,
+            },
+            k2: SpeelpenningKernel {
+                enc,
+                vars,
+                common_factors: cf,
+                coeffs,
+                mons,
+            },
+            k3: SumKernel {
+                shape,
+                mons,
+                out,
+            },
+            global,
+            constant,
+            stats: PipelineStats::default(),
+            last_reports: Vec::new(),
+            opts,
+        };
+        // Validation pass at the origin: exercises all three launches.
+        let probe = vec![Complex::<R>::one(); shape.n];
+        me.try_evaluate(&probe)?;
+        me.stats = PipelineStats::default();
+        Ok(me)
+    }
+
+    pub fn shape(&self) -> UniformShape {
+        self.shape
+    }
+
+    pub fn device(&self) -> &DeviceSpec {
+        &self.device
+    }
+
+    /// Modeled-cost statistics accumulated so far.
+    pub fn stats(&self) -> PipelineStats {
+        self.stats
+    }
+
+    pub fn reset_stats(&mut self) {
+        self.stats = PipelineStats::default();
+    }
+
+    /// Launch reports of the most recent evaluation (kernel 1, 2, 3).
+    pub fn last_reports(&self) -> &[LaunchReport] {
+        &self.last_reports
+    }
+
+    /// Bytes of constant memory in use (the capacity the paper's §4
+    /// discussion revolves around).
+    pub fn constant_bytes_used(&self) -> usize {
+        self.constant.used()
+    }
+
+    fn try_evaluate(&mut self, x: &[Complex<R>]) -> Result<SystemEval<R>, LaunchError> {
+        let shape = self.shape;
+        assert_eq!(x.len(), shape.n, "point dimension mismatch");
+        self.global.host_write(self.vars, 0, x);
+        let elem = <Complex<R> as DeviceValue>::DEVICE_BYTES;
+        let mut transfer = transfer_seconds(&self.device, shape.n * elem);
+
+        let monomial_cfg = LaunchConfig::cover(shape.total_monomials(), self.opts.block_dim);
+        let output_cfg = LaunchConfig::cover(shape.outputs(), self.opts.block_dim);
+        self.last_reports.clear();
+        let r1 = if self.opts.from_scratch_cf {
+            launch(
+                &self.device,
+                &self.k1_scratch,
+                monomial_cfg,
+                &mut self.global,
+                &self.constant,
+                self.opts.launch,
+            )?
+        } else {
+            launch(
+                &self.device,
+                &self.k1,
+                monomial_cfg,
+                &mut self.global,
+                &self.constant,
+                self.opts.launch,
+            )?
+        };
+        let r2 = launch(
+            &self.device,
+            &self.k2,
+            monomial_cfg,
+            &mut self.global,
+            &self.constant,
+            self.opts.launch,
+        )?;
+        let r3 = launch(
+            &self.device,
+            &self.k3,
+            output_cfg,
+            &mut self.global,
+            &self.constant,
+            self.opts.launch,
+        )?;
+
+        transfer += transfer_seconds(&self.device, shape.outputs() * elem);
+        let raw = self.global.host_read(self.out);
+        let mut eval = SystemEval::zeros(shape.n);
+        for p in 0..shape.n {
+            eval.values[p] = raw[q_value(p)];
+            for v in 0..shape.n {
+                eval.jacobian[(p, v)] = raw[q_deriv(shape.n, p, v)];
+            }
+        }
+
+        self.stats.evaluations += 1;
+        self.stats.transfer_seconds += transfer;
+        for r in [&r1, &r2, &r3] {
+            self.stats.counters += r.counters;
+            self.stats.kernel_seconds += r.timing.kernel_seconds;
+            self.stats.overhead_seconds += r.timing.overhead_seconds;
+        }
+        self.last_reports = vec![r1, r2, r3];
+        Ok(eval)
+    }
+}
+
+impl<R: Real> SystemEvaluator<R> for GpuEvaluator<R> {
+    fn dim(&self) -> usize {
+        self.shape.n
+    }
+
+    /// Evaluate at `x`. Configuration errors were ruled out by the
+    /// validation pass in [`GpuEvaluator::new`]; a failure here means an
+    /// internal invariant broke, so it panics with the launch error.
+    fn evaluate(&mut self, x: &[Complex<R>]) -> SystemEval<R> {
+        self.try_evaluate(x)
+            .expect("launch validated at construction")
+    }
+
+    fn name(&self) -> &str {
+        "gpu-sim"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polygpu_polysys::{random_point, random_system, AdEvaluator, BenchmarkParams, NaiveEvaluator};
+
+    fn params(n: usize, m: usize, k: usize, d: u16, seed: u64) -> BenchmarkParams {
+        BenchmarkParams { n, m, k, d, seed }
+    }
+
+    #[test]
+    fn gpu_matches_cpu_ad_bit_for_bit_in_double() {
+        // Same algorithm, same operation order: results must be
+        // *identical*, not merely close.
+        for p in [
+            params(4, 3, 2, 2, 1),
+            params(8, 5, 3, 4, 2),
+            params(32, 4, 9, 2, 3),
+            params(32, 4, 16, 10, 4),
+            params(33, 3, 5, 3, 5), // n not a multiple of the block
+        ] {
+            let sys = random_system::<f64>(&p);
+            let mut gpu = GpuEvaluator::new(&sys, GpuOptions::default()).unwrap();
+            let mut ad = AdEvaluator::new(sys).unwrap();
+            let x = random_point::<f64>(p.n, p.seed ^ 0xFEED);
+            let a = gpu.evaluate(&x);
+            let b = ad.evaluate(&x);
+            assert_eq!(a.values, b.values, "values differ for {p:?}");
+            assert_eq!(
+                a.jacobian.as_slice(),
+                b.jacobian.as_slice(),
+                "jacobians differ for {p:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn gpu_matches_naive_oracle_numerically() {
+        let p = params(12, 6, 4, 5, 9);
+        let sys = random_system::<f64>(&p);
+        let mut gpu = GpuEvaluator::new(&sys, GpuOptions::default()).unwrap();
+        let mut naive = NaiveEvaluator::new(sys);
+        let x = random_point::<f64>(p.n, 44);
+        let a = gpu.evaluate(&x);
+        let b = naive.evaluate(&x);
+        assert!(a.max_difference(&b) < 1e-11, "{:e}", a.max_difference(&b));
+    }
+
+    #[test]
+    fn double_double_pipeline_works() {
+        use polygpu_qd::Dd;
+        let p = params(6, 3, 3, 3, 13);
+        let sys = random_system::<f64>(&p);
+        let sys_dd = sys.convert::<Dd>();
+        let mut gpu = GpuEvaluator::new(&sys_dd, GpuOptions::default()).unwrap();
+        let mut ad = AdEvaluator::new(sys_dd.clone()).unwrap();
+        let x = random_point::<f64>(6, 3);
+        let x_dd: Vec<Complex<Dd>> = x.iter().map(|z| z.convert()).collect();
+        let a = gpu.evaluate(&x_dd);
+        let b = ad.evaluate(&x_dd);
+        assert_eq!(a.values, b.values, "dd values must match bitwise too");
+    }
+
+    #[test]
+    fn no_divergence_and_stats_accumulate() {
+        let p = params(32, 22, 9, 2, 7);
+        let sys = random_system::<f64>(&p);
+        let mut gpu = GpuEvaluator::new(&sys, GpuOptions::default()).unwrap();
+        let x = random_point::<f64>(32, 1);
+        let _ = gpu.evaluate(&x);
+        let _ = gpu.evaluate(&x);
+        let s = gpu.stats();
+        assert_eq!(s.evaluations, 2);
+        assert_eq!(s.counters.divergent_segments, 0);
+        assert!(s.kernel_seconds > 0.0);
+        assert!(s.overhead_seconds > 0.0);
+        assert!(s.transfer_seconds > 0.0);
+        assert!(s.seconds_per_eval() > 0.0);
+        assert_eq!(gpu.last_reports().len(), 3);
+        gpu.reset_stats();
+        assert_eq!(gpu.stats().evaluations, 0);
+    }
+
+    #[test]
+    fn from_scratch_ablation_gives_same_values() {
+        let p = params(16, 4, 4, 6, 17);
+        let sys = random_system::<f64>(&p);
+        let mut a = GpuEvaluator::new(&sys, GpuOptions::default()).unwrap();
+        let mut b = GpuEvaluator::new(
+            &sys,
+            GpuOptions {
+                from_scratch_cf: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let x = random_point::<f64>(16, 2);
+        let ra = a.evaluate(&x);
+        let rb = b.evaluate(&x);
+        // Same math, different op order in the powers: equal to rounding.
+        assert!(ra.max_difference(&rb) < 1e-12);
+        // The ablation diverges; the paper's kernel does not.
+        assert!(b.stats().counters.divergent_segments > 0);
+        assert_eq!(a.stats().counters.divergent_segments, 0);
+    }
+
+    #[test]
+    fn compact_encoding_same_results() {
+        let p = params(10, 4, 3, 8, 23);
+        let sys = random_system::<f64>(&p);
+        let mut direct = GpuEvaluator::new(&sys, GpuOptions::default()).unwrap();
+        let mut compact = GpuEvaluator::new(
+            &sys,
+            GpuOptions {
+                encoding: EncodingKind::Compact,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let x = random_point::<f64>(10, 5);
+        assert_eq!(direct.evaluate(&x).values, compact.evaluate(&x).values);
+        assert!(compact.constant_bytes_used() < direct.constant_bytes_used());
+    }
+
+    #[test]
+    fn oversized_system_fails_at_setup_not_evaluate() {
+        // E3: the 2,048-monomial k=16 system must be rejected here.
+        let p = params(32, 64, 16, 10, 3);
+        let sys = random_system::<f64>(&p);
+        let err = match GpuEvaluator::new(&sys, GpuOptions::default()) {
+            Ok(_) => panic!("2,048-monomial k=16 system must not fit"),
+            Err(e) => e,
+        };
+        assert!(matches!(err, SetupError::Encode(EncodeError::Constant(_))), "{err}");
+    }
+}

@@ -1,0 +1,402 @@
+//! The launch executor: runs a kernel's blocks (in parallel on the
+//! host via rayon — blocks are independent within a launch, exactly as
+//! on the device), analyzes traces, applies buffered writes, and models
+//! the launch time.
+
+use crate::analysis::analyze_block;
+use crate::device::DeviceSpec;
+use crate::kernel::{BlockCtx, Kernel, LaunchConfig};
+use crate::mem::{BufferId, ConstantMemory, GlobalMem};
+use crate::occupancy::{occupancy, Occupancy};
+use crate::stats::Counters;
+use crate::timing::{model_launch, LaunchTiming};
+use crate::value::DeviceValue;
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors that abort a launch before any block runs (the CUDA
+/// equivalents are `cudaErrorInvalidConfiguration` and friends).
+#[derive(Debug, Clone, PartialEq)]
+pub enum LaunchError {
+    /// Block exceeds device limits or zero-sized.
+    BadConfig(String),
+    /// One block's shared memory exceeds the SM's capacity.
+    SharedOverflow { needed: usize, capacity: usize },
+    /// Two threads (possibly of different blocks) stored to the same
+    /// global element in one launch — undefined behaviour on hardware,
+    /// reported deterministically here.
+    WriteConflict { buffer: usize, index: usize },
+}
+
+impl fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LaunchError::BadConfig(msg) => write!(f, "invalid launch configuration: {msg}"),
+            LaunchError::SharedOverflow { needed, capacity } => write!(
+                f,
+                "shared memory per block ({needed} B) exceeds SM capacity ({capacity} B)"
+            ),
+            LaunchError::WriteConflict { buffer, index } => write!(
+                f,
+                "global write conflict on buffer {buffer} element {index}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+/// Options controlling a launch.
+#[derive(Debug, Clone, Copy)]
+pub struct LaunchOptions {
+    /// Detect duplicate global stores (costs a hash pass per launch).
+    pub check_write_conflicts: bool,
+    /// Run blocks on the host thread pool (rayon). Disable for strictly
+    /// serial debugging.
+    pub parallel_host: bool,
+}
+
+impl Default for LaunchOptions {
+    fn default() -> Self {
+        LaunchOptions {
+            check_write_conflicts: true,
+            parallel_host: true,
+        }
+    }
+}
+
+/// The result of one launch: counters and modeled timing.
+#[derive(Debug, Clone)]
+pub struct LaunchReport {
+    pub kernel_name: String,
+    pub config: LaunchConfig,
+    pub shared_bytes_per_block: usize,
+    pub counters: Counters,
+    pub occupancy: Occupancy,
+    pub timing: LaunchTiming,
+}
+
+impl fmt::Display for LaunchReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "kernel `{}`: grid {} x block {}, {} B shared/block, {} blocks/SM ({:?}-limited)",
+            self.kernel_name,
+            self.config.grid_dim,
+            self.config.block_dim,
+            self.shared_bytes_per_block,
+            self.occupancy.blocks_per_sm,
+            self.occupancy.limiter,
+        )?;
+        writeln!(f, "{}", self.counters)?;
+        write!(
+            f,
+            "  modeled: {:.3} us kernel + {:.3} us overhead, {} wave(s), {:?}-bound",
+            self.timing.kernel_seconds * 1e6,
+            self.timing.overhead_seconds * 1e6,
+            self.timing.waves,
+            self.timing.bound
+        )
+    }
+}
+
+/// Execute `kernel` over `cfg` against `global`/`constant`.
+///
+/// Functionally: all blocks run, buffered global stores are applied
+/// after every block finishes (CUDA guarantees no inter-block write
+/// visibility within a launch; none of the paper's kernels relies on
+/// it). Performance-wise: traces are analyzed per block and reduced
+/// into launch counters, then fed to the timing model.
+pub fn launch<T: DeviceValue, K: Kernel<T>>(
+    device: &DeviceSpec,
+    kernel: &K,
+    cfg: LaunchConfig,
+    global: &mut GlobalMem<T>,
+    constant: &ConstantMemory,
+    opts: LaunchOptions,
+) -> Result<LaunchReport, LaunchError> {
+    if cfg.block_dim == 0 || cfg.grid_dim == 0 {
+        return Err(LaunchError::BadConfig(format!(
+            "grid {} x block {}",
+            cfg.grid_dim, cfg.block_dim
+        )));
+    }
+    if cfg.block_dim > device.max_threads_per_block {
+        return Err(LaunchError::BadConfig(format!(
+            "block of {} threads exceeds device limit {}",
+            cfg.block_dim, device.max_threads_per_block
+        )));
+    }
+    let shared_elems = kernel.shared_elems(cfg.block_dim);
+    let shared_bytes = shared_elems * T::DEVICE_BYTES;
+    if shared_bytes > device.shared_mem_per_sm {
+        return Err(LaunchError::SharedOverflow {
+            needed: shared_bytes,
+            capacity: device.shared_mem_per_sm,
+        });
+    }
+    let occ = occupancy(
+        device,
+        cfg.block_dim,
+        shared_bytes,
+        kernel.regs_per_thread(),
+    )
+    .ok_or_else(|| {
+        LaunchError::BadConfig("kernel does not fit on an SM at any occupancy".into())
+    })?;
+
+    type BlockOutcome<T> = (Counters, Vec<(BufferId, usize, T)>);
+    let run_block = |block_id: u32| -> BlockOutcome<T> {
+        let mut blk = BlockCtx::new(block_id, cfg, shared_elems, global, constant);
+        kernel.run_block(&mut blk);
+        let counters = analyze_block::<T>(device, &blk.traces);
+        (counters, blk.writes)
+    };
+
+    // Blocks are independent; run them on the host pool. Results are
+    // collected in block order, so everything downstream is
+    // deterministic regardless of scheduling.
+    let results: Vec<BlockOutcome<T>> = if opts.parallel_host {
+        (0..cfg.grid_dim).into_par_iter().map(run_block).collect()
+    } else {
+        (0..cfg.grid_dim).map(run_block).collect()
+    };
+
+    let mut counters = Counters::default();
+    for (c, _) in &results {
+        counters += *c;
+    }
+
+    if opts.check_write_conflicts {
+        let mut seen: HashMap<(usize, usize), ()> =
+            HashMap::with_capacity(results.iter().map(|(_, w)| w.len()).sum());
+        for (_, writes) in &results {
+            for (buf, idx, _) in writes {
+                if seen.insert((buf.0, *idx), ()).is_some() {
+                    return Err(LaunchError::WriteConflict {
+                        buffer: buf.0,
+                        index: *idx,
+                    });
+                }
+            }
+        }
+    }
+
+    for (_, writes) in results {
+        for (buf, idx, v) in writes {
+            global.write(buf, idx, v);
+        }
+    }
+
+    let timing = model_launch(device, cfg, occ, &counters);
+    Ok(LaunchReport {
+        kernel_name: kernel.name().to_string(),
+        config: cfg,
+        shared_bytes_per_block: shared_bytes,
+        counters,
+        occupancy: occ,
+        timing,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polygpu_complex::C64;
+
+    /// y[i] = a*x[i] + y[i] over complex doubles: one coalesced load
+    /// pair, a multiply-add, one coalesced store.
+    struct Caxpy {
+        a: C64,
+        x: BufferId,
+        y: BufferId,
+        n: usize,
+    }
+
+    impl Kernel<C64> for Caxpy {
+        fn name(&self) -> &str {
+            "caxpy"
+        }
+        fn shared_elems(&self, _b: u32) -> usize {
+            0
+        }
+        fn run_block(&self, blk: &mut BlockCtx<'_, C64>) {
+            let (a, x, y, n) = (self.a, self.x, self.y, self.n);
+            blk.threads(|t| {
+                let i = t.global_tid() as usize;
+                if i < n {
+                    let xv = t.gload(x, i);
+                    let yv = t.gload(y, i);
+                    let ax = t.mul(a, xv);
+                    let s = t.add(ax, yv);
+                    t.gstore(y, i, s);
+                }
+            });
+        }
+    }
+
+    fn setup(n: usize) -> (DeviceSpec, GlobalMem<C64>, ConstantMemory, Caxpy) {
+        let dev = DeviceSpec::tesla_c2050();
+        let mut g = GlobalMem::new();
+        let x = g.alloc(n);
+        let y = g.alloc(n);
+        let xs: Vec<C64> = (0..n).map(|i| C64::from_f64(i as f64, 1.0)).collect();
+        let ys: Vec<C64> = (0..n).map(|i| C64::from_f64(0.5, -(i as f64))).collect();
+        g.host_write(x, 0, &xs);
+        g.host_write(y, 0, &ys);
+        let cm = ConstantMemory::new(&dev);
+        let k = Caxpy {
+            a: C64::from_f64(2.0, 1.0),
+            x,
+            y,
+            n,
+        };
+        (dev, g, cm, k)
+    }
+
+    #[test]
+    fn caxpy_computes_correct_values() {
+        let n = 100;
+        let (dev, mut g, cm, k) = setup(n);
+        let cfg = LaunchConfig::cover(n, 32);
+        let report = launch(&dev, &k, cfg, &mut g, &cm, LaunchOptions::default()).unwrap();
+        let a = C64::from_f64(2.0, 1.0);
+        for i in 0..n {
+            let want = a * C64::from_f64(i as f64, 1.0) + C64::from_f64(0.5, -(i as f64));
+            assert_eq!(g.host_read(k.y)[i], want, "element {i}");
+        }
+        assert_eq!(report.counters.divergent_segments, 0);
+        // 4 warps minus masked tail: grid covers 128 threads for n=100.
+        assert_eq!(report.counters.warps, 4);
+    }
+
+    #[test]
+    fn serial_and_parallel_execution_agree() {
+        let n = 200;
+        let (dev, mut g1, cm, k) = setup(n);
+        let cfg = LaunchConfig::cover(n, 32);
+        let r1 = launch(&dev, &k, cfg, &mut g1, &cm, LaunchOptions::default()).unwrap();
+        let (_, mut g2, cm2, k2) = setup(n);
+        let r2 = launch(
+            &dev,
+            &k2,
+            cfg,
+            &mut g2,
+            &cm2,
+            LaunchOptions {
+                parallel_host: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(g1.host_read(k.y), g2.host_read(k2.y));
+        assert_eq!(r1.counters, r2.counters);
+    }
+
+    #[test]
+    fn coalescing_counted_for_unit_stride() {
+        let n = 128;
+        let (dev, mut g, cm, k) = setup(n);
+        let cfg = LaunchConfig::cover(n, 32);
+        let report = launch(&dev, &k, cfg, &mut g, &cm, LaunchOptions::default()).unwrap();
+        // Per warp: 2 loads + 1 store, each 4 transactions (32 x 16B /
+        // 128B), 4 warps -> 48 transactions.
+        assert_eq!(report.counters.global_transactions, 48);
+        assert_eq!(report.counters.global_bytes, 48 * 128);
+    }
+
+    #[test]
+    fn write_conflicts_detected() {
+        struct Collider {
+            y: BufferId,
+        }
+        impl Kernel<C64> for Collider {
+            fn name(&self) -> &str {
+                "collider"
+            }
+            fn shared_elems(&self, _b: u32) -> usize {
+                0
+            }
+            fn run_block(&self, blk: &mut BlockCtx<'_, C64>) {
+                let y = self.y;
+                blk.threads(|t| {
+                    // every thread stores to element 0
+                    let v = C64::from_f64(t.tid() as f64, 0.0);
+                    t.gstore(y, 0, v);
+                });
+            }
+        }
+        let dev = DeviceSpec::tesla_c2050();
+        let mut g = GlobalMem::new();
+        let y = g.alloc(4);
+        let cm = ConstantMemory::new(&dev);
+        let err = launch(
+            &dev,
+            &Collider { y },
+            LaunchConfig::new(1, 32),
+            &mut g,
+            &cm,
+            LaunchOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, LaunchError::WriteConflict { buffer: 0, index: 0 }));
+    }
+
+    #[test]
+    fn bad_configs_rejected() {
+        let (dev, mut g, cm, k) = setup(4);
+        assert!(matches!(
+            launch(&dev, &k, LaunchConfig::new(0, 32), &mut g, &cm, LaunchOptions::default()),
+            Err(LaunchError::BadConfig(_))
+        ));
+        assert!(matches!(
+            launch(&dev, &k, LaunchConfig::new(1, 0), &mut g, &cm, LaunchOptions::default()),
+            Err(LaunchError::BadConfig(_))
+        ));
+        assert!(matches!(
+            launch(&dev, &k, LaunchConfig::new(1, 2048), &mut g, &cm, LaunchOptions::default()),
+            Err(LaunchError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn shared_overflow_rejected() {
+        struct Hog;
+        impl Kernel<C64> for Hog {
+            fn name(&self) -> &str {
+                "hog"
+            }
+            fn shared_elems(&self, _b: u32) -> usize {
+                4096 // 64 KiB of complex doubles > 48 KiB
+            }
+            fn run_block(&self, _blk: &mut BlockCtx<'_, C64>) {}
+        }
+        let dev = DeviceSpec::tesla_c2050();
+        let mut g = GlobalMem::<C64>::new();
+        let cm = ConstantMemory::new(&dev);
+        let err = launch(
+            &dev,
+            &Hog,
+            LaunchConfig::new(1, 32),
+            &mut g,
+            &cm,
+            LaunchOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, LaunchError::SharedOverflow { .. }));
+    }
+
+    #[test]
+    fn timing_report_is_populated() {
+        let n = 1024;
+        let (dev, mut g, cm, k) = setup(n);
+        let cfg = LaunchConfig::cover(n, 32);
+        let report = launch(&dev, &k, cfg, &mut g, &cm, LaunchOptions::default()).unwrap();
+        assert!(report.timing.kernel_seconds > 0.0);
+        assert!(report.timing.total_seconds() > report.timing.kernel_seconds);
+        assert!(report.occupancy.blocks_per_sm >= 1);
+        let shown = format!("{report}");
+        assert!(shown.contains("caxpy"));
+    }
+}

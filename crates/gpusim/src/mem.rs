@@ -1,0 +1,228 @@
+//! Simulated device memory spaces: global (typed buffers with virtual
+//! byte addresses) and constant (a capacity-enforced byte arena).
+
+use crate::device::DeviceSpec;
+use crate::value::DeviceValue;
+use std::fmt;
+
+/// Handle to a global-memory buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BufferId(pub(crate) usize);
+
+/// Global device memory: a set of typed buffers, each with a virtual
+/// 256-byte-aligned base address so the coalescing analyzer can reason
+/// about real byte addresses.
+#[derive(Debug, Clone)]
+pub struct GlobalMem<T> {
+    buffers: Vec<Vec<T>>,
+    bases: Vec<u64>,
+    next_base: u64,
+}
+
+impl<T: DeviceValue> GlobalMem<T> {
+    pub fn new() -> Self {
+        GlobalMem {
+            buffers: Vec::new(),
+            bases: Vec::new(),
+            next_base: 0x1000, // device allocations never start at null
+        }
+    }
+
+    /// Allocate a zero-initialized buffer of `len` elements.
+    pub fn alloc(&mut self, len: usize) -> BufferId {
+        let id = BufferId(self.buffers.len());
+        self.buffers.push(vec![T::zero(); len]);
+        self.bases.push(self.next_base);
+        let bytes = (len * T::DEVICE_BYTES) as u64;
+        self.next_base += (bytes + 255) & !255; // keep bases 256-aligned
+        id
+    }
+
+    /// Host-side write (cudaMemcpy host→device); not traced.
+    pub fn host_write(&mut self, id: BufferId, offset: usize, data: &[T]) {
+        self.buffers[id.0][offset..offset + data.len()].copy_from_slice(data);
+    }
+
+    /// Host-side read (device→host); not traced.
+    pub fn host_read(&self, id: BufferId) -> &[T] {
+        &self.buffers[id.0]
+    }
+
+    pub fn len(&self, id: BufferId) -> usize {
+        self.buffers[id.0].len()
+    }
+
+    pub fn is_empty(&self, id: BufferId) -> bool {
+        self.buffers[id.0].is_empty()
+    }
+
+    /// Virtual byte address of element `idx` of buffer `id`.
+    #[inline]
+    pub fn addr(&self, id: BufferId, idx: usize) -> u64 {
+        self.bases[id.0] + (idx * T::DEVICE_BYTES) as u64
+    }
+
+    #[inline]
+    pub(crate) fn read(&self, id: BufferId, idx: usize) -> T {
+        self.buffers[id.0][idx]
+    }
+
+    pub(crate) fn write(&mut self, id: BufferId, idx: usize, v: T) {
+        self.buffers[id.0][idx] = v;
+    }
+
+    /// Total allocated bytes (device footprint).
+    pub fn allocated_bytes(&self) -> usize {
+        self.buffers.iter().map(|b| b.len() * T::DEVICE_BYTES).sum()
+    }
+}
+
+impl<T: DeviceValue> Default for GlobalMem<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Handle to a constant-memory allocation (byte offset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConstId {
+    pub(crate) offset: usize,
+    pub(crate) len: usize,
+}
+
+impl ConstId {
+    pub fn len(&self) -> usize {
+        self.len
+    }
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Error: a constant-memory allocation exceeded the device budget —
+/// the failure mode the paper hits at 2,048 monomials ("the capacity of
+/// the constant memory was not sufficient to hold the exponents and
+/// positions of all 2,048 monomials").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConstantOverflow {
+    pub requested_total: usize,
+    pub budget: usize,
+}
+
+impl fmt::Display for ConstantOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "constant memory exhausted: need {} bytes, budget is {} bytes",
+            self.requested_total, self.budget
+        )
+    }
+}
+
+impl std::error::Error for ConstantOverflow {}
+
+/// Constant memory: a read-only byte arena with the device's capacity
+/// enforced at allocation time.
+#[derive(Debug, Clone)]
+pub struct ConstantMemory {
+    bytes: Vec<u8>,
+    budget: usize,
+}
+
+impl ConstantMemory {
+    pub fn new(device: &DeviceSpec) -> Self {
+        ConstantMemory {
+            bytes: Vec::new(),
+            budget: device.constant_budget(),
+        }
+    }
+
+    /// Allocate and fill a region; fails if the running total would
+    /// exceed the budget.
+    pub fn alloc(&mut self, data: &[u8]) -> Result<ConstId, ConstantOverflow> {
+        let requested_total = self.bytes.len() + data.len();
+        if requested_total > self.budget {
+            return Err(ConstantOverflow {
+                requested_total,
+                budget: self.budget,
+            });
+        }
+        let offset = self.bytes.len();
+        self.bytes.extend_from_slice(data);
+        Ok(ConstId {
+            offset,
+            len: data.len(),
+        })
+    }
+
+    pub fn used(&self) -> usize {
+        self.bytes.len()
+    }
+
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    #[inline]
+    pub(crate) fn read_u8(&self, id: ConstId, idx: usize) -> u8 {
+        debug_assert!(idx < id.len);
+        self.bytes[id.offset + idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polygpu_complex::C64;
+
+    #[test]
+    fn buffers_get_disjoint_aligned_bases() {
+        let mut g = GlobalMem::<C64>::new();
+        let a = g.alloc(3); // 48 bytes
+        let b = g.alloc(100);
+        assert_eq!(g.addr(a, 0) % 256, 0);
+        assert_eq!(g.addr(b, 0) % 256, 0);
+        assert!(g.addr(b, 0) >= g.addr(a, 0) + 48);
+        assert_eq!(g.addr(a, 2) - g.addr(a, 0), 32);
+    }
+
+    #[test]
+    fn host_write_read_round_trip() {
+        let mut g = GlobalMem::<C64>::new();
+        let a = g.alloc(4);
+        g.host_write(a, 1, &[C64::from_f64(1.0, 2.0), C64::from_f64(3.0, 4.0)]);
+        assert_eq!(g.host_read(a)[0], C64::zero());
+        assert_eq!(g.host_read(a)[1], C64::from_f64(1.0, 2.0));
+        assert_eq!(g.host_read(a)[2], C64::from_f64(3.0, 4.0));
+        assert_eq!(g.len(a), 4);
+        assert_eq!(g.allocated_bytes(), 64);
+    }
+
+    #[test]
+    fn constant_capacity_enforced() {
+        let dev = DeviceSpec::toy(4);
+        let mut c = ConstantMemory::new(&dev);
+        assert_eq!(c.budget(), 1024);
+        let a = c.alloc(&[7u8; 1000]).unwrap();
+        assert_eq!(c.read_u8(a, 999), 7);
+        let err = c.alloc(&[0u8; 100]).unwrap_err();
+        assert_eq!(err.requested_total, 1100);
+        assert_eq!(err.budget, 1024);
+        // exact fit works
+        let b = c.alloc(&[1u8; 24]).unwrap();
+        assert_eq!(c.used(), 1024);
+        assert_eq!(c.read_u8(b, 0), 1);
+    }
+
+    #[test]
+    fn c2050_reserved_bytes_shrink_budget() {
+        let dev = DeviceSpec::tesla_c2050();
+        let mut c = ConstantMemory::new(&dev);
+        // The paper's k=16 encoding of 2048 monomials is exactly 65,536
+        // payload bytes: it cannot fit alongside the reserved region.
+        assert!(c.alloc(&vec![0u8; 65_536]).is_err());
+        // 1,536 monomials (Table 2's largest point) fit: 49,152 bytes.
+        let mut c2 = ConstantMemory::new(&dev);
+        assert!(c2.alloc(&vec![0u8; 1536 * 2 * 16]).is_ok());
+    }
+}

@@ -1,0 +1,152 @@
+//! Occupancy: how many blocks of a kernel fit on one SM at once.
+//!
+//! Mirrors the CUDA occupancy calculator for compute capability 2.0:
+//! the resident-block count is limited by the hardware block slots, the
+//! thread slots, the shared-memory budget and the register file. The
+//! paper's §3.2 reasons through exactly this arithmetic for its choice
+//! of 32-thread blocks and its double-double feasibility analysis.
+
+use crate::device::DeviceSpec;
+
+/// Occupancy of one kernel configuration on one SM.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Occupancy {
+    /// Blocks resident on one SM at a time.
+    pub blocks_per_sm: u32,
+    /// Warps resident on one SM at a time.
+    pub warps_per_sm: u32,
+    /// Fraction of the SM's maximum resident warps.
+    pub ratio: f64,
+    /// Which resource bound the result (for reports).
+    pub limiter: Limiter,
+}
+
+/// The resource limiting occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Limiter {
+    BlockSlots,
+    ThreadSlots,
+    SharedMemory,
+    Registers,
+}
+
+/// Compute occupancy for a block of `block_dim` threads using
+/// `shared_bytes` of shared memory and `regs_per_thread` registers.
+///
+/// Returns `None` if a single block already exceeds a per-SM resource
+/// (launch would fail on hardware).
+pub fn occupancy(
+    device: &DeviceSpec,
+    block_dim: u32,
+    shared_bytes: usize,
+    regs_per_thread: u32,
+) -> Option<Occupancy> {
+    if block_dim == 0 || block_dim > device.max_threads_per_block {
+        return None;
+    }
+    let by_blocks = device.max_blocks_per_sm;
+    let by_threads = device.max_threads_per_sm / block_dim;
+    let by_shared = device
+        .shared_mem_per_sm
+        .checked_div(shared_bytes)
+        .map_or(u32::MAX, |b| b as u32);
+    let regs_per_block = regs_per_thread * block_dim;
+    let by_regs = device
+        .registers_per_sm
+        .checked_div(regs_per_block)
+        .unwrap_or(u32::MAX);
+    let blocks = by_blocks.min(by_threads).min(by_shared).min(by_regs);
+    if blocks == 0 {
+        return None;
+    }
+    let limiter = if blocks == by_blocks {
+        Limiter::BlockSlots
+    } else if blocks == by_threads {
+        Limiter::ThreadSlots
+    } else if blocks == by_shared {
+        Limiter::SharedMemory
+    } else {
+        Limiter::Registers
+    };
+    let warps_per_block = block_dim.div_ceil(device.warp_size);
+    let warps = blocks * warps_per_block;
+    let max_warps = device.max_threads_per_sm / device.warp_size;
+    Some(Occupancy {
+        blocks_per_sm: blocks,
+        warps_per_sm: warps,
+        ratio: warps as f64 / max_warps as f64,
+        limiter,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c2050() -> DeviceSpec {
+        DeviceSpec::tesla_c2050()
+    }
+
+    #[test]
+    fn small_blocks_limited_by_block_slots() {
+        // 32-thread blocks with tiny shared memory: Fermi's 8-block cap.
+        let o = occupancy(&c2050(), 32, 256, 16).unwrap();
+        assert_eq!(o.blocks_per_sm, 8);
+        assert_eq!(o.limiter, Limiter::BlockSlots);
+        assert_eq!(o.warps_per_sm, 8);
+        assert!((o.ratio - 8.0 / 48.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_memory_limits_kernel2_paper_budget() {
+        // Paper §3.2: kernel 2 with n=32, k=16, B=32 complex doubles:
+        // B*(k+1) locations + n variables = 32*17+32 = 576 elements
+        // * 16 bytes = 9216 bytes -> floor(49152/9216) = 5 blocks.
+        let o = occupancy(&c2050(), 32, 9216, 24).unwrap();
+        assert_eq!(o.blocks_per_sm, 5);
+        assert_eq!(o.limiter, Limiter::SharedMemory);
+    }
+
+    #[test]
+    fn double_double_halves_occupancy() {
+        // Same kernel in complex double-double: 576 * 32 = 18432 bytes
+        // -> 2 blocks. The paper's feasibility analysis (dim up to 70).
+        let o = occupancy(&c2050(), 32, 18_432, 24).unwrap();
+        assert_eq!(o.blocks_per_sm, 2);
+    }
+
+    #[test]
+    fn paper_dim70_dd_fits() {
+        // §3.2: n=70, k=35, B=32 in complex double-double:
+        // B*(k+1)*32 + n*32 = 32*36*32 + 70*32 = 36,864 + 2,240 bytes.
+        let bytes = 32 * 36 * 32 + 70 * 32;
+        assert_eq!(bytes, 39_104);
+        let o = occupancy(&c2050(), 32, bytes, 24).unwrap();
+        assert_eq!(o.blocks_per_sm, 1, "fits, one block at a time");
+    }
+
+    #[test]
+    fn oversized_single_block_fails() {
+        assert!(occupancy(&c2050(), 32, 50_000, 24).is_none());
+        assert!(occupancy(&c2050(), 2048, 0, 24).is_none());
+        assert!(occupancy(&c2050(), 0, 0, 24).is_none());
+    }
+
+    #[test]
+    fn thread_slots_limit_large_blocks() {
+        // 1024-thread blocks: 1536/1024 = 1 block.
+        let o = occupancy(&c2050(), 1024, 0, 16).unwrap();
+        assert_eq!(o.blocks_per_sm, 1);
+        assert_eq!(o.limiter, Limiter::ThreadSlots);
+        assert_eq!(o.warps_per_sm, 32);
+    }
+
+    #[test]
+    fn registers_can_limit() {
+        // 63 regs/thread, 256-thread blocks: 32768/(63*256) = 2 blocks,
+        // while threads would allow 6 and blocks 8.
+        let o = occupancy(&c2050(), 256, 0, 63).unwrap();
+        assert_eq!(o.blocks_per_sm, 2);
+        assert_eq!(o.limiter, Limiter::Registers);
+    }
+}

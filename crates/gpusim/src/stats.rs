@@ -1,0 +1,129 @@
+//! Performance counters collected by the warp analyzer and aggregated
+//! per launch and per pipeline.
+
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Counters for one block (or, summed, one launch).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Warp-wide instruction slots issued.
+    pub warp_instructions: u64,
+    /// Issue cycles: instructions weighted by their per-warp issue cost
+    /// (FP64 rate, shared-memory replays, constant serializations).
+    pub issue_cycles: u64,
+    /// Global-memory instructions (loads + stores), per warp — the
+    /// latency-chain length for the timing model.
+    pub global_mem_ops: u64,
+    /// 128-byte global transactions after coalescing.
+    pub global_transactions: u64,
+    /// Bytes moved to/from DRAM (`transactions × segment size`).
+    pub global_bytes: u64,
+    /// Shared-memory access instructions.
+    pub shared_accesses: u64,
+    /// Extra replay cycles from shared-memory bank conflicts.
+    pub shared_conflict_cycles: u64,
+    /// Constant-memory access instructions.
+    pub const_accesses: u64,
+    /// Extra serialization cycles from divergent constant addresses
+    /// within a warp (broadcast is free).
+    pub const_serializations: u64,
+    /// Hardware-double-equivalent floating point operations executed.
+    pub flops: u64,
+    /// Warp segments whose lanes diverged (unequal trace lengths or
+    /// mismatched operations) — zero for the paper's kernels.
+    pub divergent_segments: u64,
+    /// Warps analyzed.
+    pub warps: u64,
+}
+
+impl AddAssign for Counters {
+    fn add_assign(&mut self, o: Counters) {
+        self.warp_instructions += o.warp_instructions;
+        self.issue_cycles += o.issue_cycles;
+        self.global_mem_ops += o.global_mem_ops;
+        self.global_transactions += o.global_transactions;
+        self.global_bytes += o.global_bytes;
+        self.shared_accesses += o.shared_accesses;
+        self.shared_conflict_cycles += o.shared_conflict_cycles;
+        self.const_accesses += o.const_accesses;
+        self.const_serializations += o.const_serializations;
+        self.flops += o.flops;
+        self.divergent_segments += o.divergent_segments;
+        self.warps += o.warps;
+    }
+}
+
+impl Counters {
+    /// Average issue cycles per warp (the timing model's per-warp work).
+    pub fn issue_cycles_per_warp(&self) -> f64 {
+        if self.warps == 0 {
+            0.0
+        } else {
+            self.issue_cycles as f64 / self.warps as f64
+        }
+    }
+
+    /// Average global-memory ops per warp.
+    pub fn mem_ops_per_warp(&self) -> f64 {
+        if self.warps == 0 {
+            0.0
+        } else {
+            self.global_mem_ops as f64 / self.warps as f64
+        }
+    }
+}
+
+impl fmt::Display for Counters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "  warps analyzed        {:>12}", self.warps)?;
+        writeln!(f, "  warp instructions     {:>12}", self.warp_instructions)?;
+        writeln!(f, "  issue cycles          {:>12}", self.issue_cycles)?;
+        writeln!(f, "  flops (f64-equiv)     {:>12}", self.flops)?;
+        writeln!(f, "  global mem ops        {:>12}", self.global_mem_ops)?;
+        writeln!(f, "  global transactions   {:>12}", self.global_transactions)?;
+        writeln!(f, "  global bytes          {:>12}", self.global_bytes)?;
+        writeln!(f, "  shared accesses       {:>12}", self.shared_accesses)?;
+        writeln!(f, "  shared conflict cyc   {:>12}", self.shared_conflict_cycles)?;
+        writeln!(f, "  const accesses        {:>12}", self.const_accesses)?;
+        writeln!(f, "  const serializations  {:>12}", self.const_serializations)?;
+        write!(f, "  divergent segments    {:>12}", self.divergent_segments)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_assign_sums_fields() {
+        let mut a = Counters {
+            warps: 2,
+            flops: 10,
+            ..Default::default()
+        };
+        a += Counters {
+            warps: 3,
+            flops: 5,
+            global_bytes: 128,
+            ..Default::default()
+        };
+        assert_eq!(a.warps, 5);
+        assert_eq!(a.flops, 15);
+        assert_eq!(a.global_bytes, 128);
+    }
+
+    #[test]
+    fn per_warp_averages_handle_zero() {
+        let c = Counters::default();
+        assert_eq!(c.issue_cycles_per_warp(), 0.0);
+        let c = Counters {
+            warps: 4,
+            issue_cycles: 100,
+            global_mem_ops: 8,
+            ..Default::default()
+        };
+        assert_eq!(c.issue_cycles_per_warp(), 25.0);
+        assert_eq!(c.mem_ops_per_warp(), 2.0);
+    }
+}

@@ -1,0 +1,215 @@
+//! The analytic timing model: from warp-level counters to modeled GPU
+//! seconds.
+//!
+//! A simplified Hong–Kim-style throughput/latency model, documented
+//! term by term:
+//!
+//! * Blocks are distributed over the SMs in **waves** of
+//!   `blocks_per_sm` (from the occupancy calculator) per SM.
+//! * Within a wave with `w` resident warps per SM, the SM needs
+//!   `w × C_issue` cycles of issue throughput (`C_issue` = average
+//!   issue cycles per warp), but no less than one warp's latency
+//!   critical path `C_issue + N_mem × L` (`N_mem` = global memory
+//!   instructions per warp, `L` = DRAM latency): with few resident
+//!   warps the SM stalls on memory, and extra warps hide that latency —
+//!   exactly the effect that makes the paper's GPU times nearly flat in
+//!   the monomial count while the CPU time grows linearly (Tables 1–2).
+//! * The wave can also be bound by DRAM bandwidth:
+//!   `bytes_per_sm_wave / (BW_chip / SMs / clock)` cycles.
+//! * Kernel time = Σ over waves of `max(throughput, latency,
+//!   bandwidth)`; launch overhead and (if requested) PCIe transfers are
+//!   added on top by the caller via [`LaunchTiming::total_seconds`].
+
+use crate::device::DeviceSpec;
+use crate::kernel::LaunchConfig;
+use crate::occupancy::Occupancy;
+use crate::stats::Counters;
+
+/// Which term bound a launch's modeled time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bound {
+    /// Issue throughput (`w × C_issue` dominated).
+    Compute,
+    /// Memory latency with too few warps to hide it.
+    Latency,
+    /// DRAM bandwidth.
+    Bandwidth,
+}
+
+/// Modeled execution time of one kernel launch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaunchTiming {
+    /// Modeled kernel execution cycles (shader clock).
+    pub kernel_cycles: f64,
+    /// Kernel execution seconds (`cycles / clock`).
+    pub kernel_seconds: f64,
+    /// Fixed launch overhead seconds (driver/queue).
+    pub overhead_seconds: f64,
+    /// Number of waves over the SMs.
+    pub waves: u32,
+    /// Occupancy used.
+    pub occupancy: Occupancy,
+    /// Dominant term of the slowest wave.
+    pub bound: Bound,
+}
+
+impl LaunchTiming {
+    /// Kernel plus launch overhead.
+    pub fn total_seconds(&self) -> f64 {
+        self.kernel_seconds + self.overhead_seconds
+    }
+}
+
+/// Model one launch from its aggregated counters.
+pub fn model_launch(
+    device: &DeviceSpec,
+    cfg: LaunchConfig,
+    occ: Occupancy,
+    counters: &Counters,
+) -> LaunchTiming {
+    let blocks = cfg.grid_dim as u64;
+    let warps_per_block = cfg.block_dim.div_ceil(device.warp_size) as u64;
+    let c_issue = counters.issue_cycles_per_warp();
+    let n_mem = counters.mem_ops_per_warp();
+    let latency_path = c_issue + n_mem * device.dram_latency as f64;
+    let bytes_per_block = if blocks == 0 {
+        0.0
+    } else {
+        counters.global_bytes as f64 / blocks as f64
+    };
+    // Bandwidth per SM per cycle.
+    let bw_chip_per_cycle = device.dram_bandwidth / device.clock_hz;
+    let bw_sm_per_cycle = bw_chip_per_cycle / device.sm_count as f64;
+
+    let concurrent = (device.sm_count * occ.blocks_per_sm) as u64;
+    let waves = blocks.div_ceil(concurrent).max(1);
+    let mut cycles = 0.0;
+    let mut bound = Bound::Compute;
+    let mut remaining = blocks;
+    for _ in 0..waves {
+        let wave_blocks = remaining.min(concurrent);
+        // Worst-loaded SM in this wave.
+        let blocks_on_sm = wave_blocks.div_ceil(device.sm_count as u64);
+        let w = (blocks_on_sm * warps_per_block) as f64;
+        let throughput = w * c_issue;
+        let bandwidth = blocks_on_sm as f64 * bytes_per_block / bw_sm_per_cycle;
+        let wave_cycles = throughput.max(latency_path).max(bandwidth);
+        if wave_cycles == bandwidth && bandwidth > throughput && bandwidth > latency_path {
+            bound = Bound::Bandwidth;
+        } else if wave_cycles == latency_path && latency_path > throughput {
+            bound = Bound::Latency;
+        }
+        cycles += wave_cycles;
+        remaining -= wave_blocks;
+    }
+    LaunchTiming {
+        kernel_cycles: cycles,
+        kernel_seconds: cycles / device.clock_hz,
+        overhead_seconds: device.launch_overhead,
+        waves: waves as u32,
+        occupancy: occ,
+        bound,
+    }
+}
+
+/// Modeled host↔device transfer time for `bytes` over PCIe.
+pub fn transfer_seconds(device: &DeviceSpec, bytes: usize) -> f64 {
+    device.pcie_latency + bytes as f64 / device.pcie_bandwidth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::occupancy::occupancy;
+
+    fn c2050() -> DeviceSpec {
+        DeviceSpec::tesla_c2050()
+    }
+
+    fn counters(warps: u64, issue_per_warp: u64, mem_per_warp: u64, bytes: u64) -> Counters {
+        Counters {
+            warps,
+            issue_cycles: warps * issue_per_warp,
+            global_mem_ops: warps * mem_per_warp,
+            global_bytes: bytes,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn latency_bound_when_underoccupied() {
+        // 22 blocks of 1 warp each, light issue load: the latency path
+        // dominates and the kernel time is flat-ish in block count.
+        let dev = c2050();
+        let occ = occupancy(&dev, 32, 1024, 24).unwrap();
+        let cfg = LaunchConfig::new(22, 32);
+        let c = counters(22, 500, 30, 22 * 40 * 128);
+        let t = model_launch(&dev, cfg, occ, &c);
+        assert_eq!(t.bound, Bound::Latency);
+        // latency path = 500 + 30*500 = 15500 cycles
+        assert!((t.kernel_cycles - 15_500.0).abs() < 1.0, "{}", t.kernel_cycles);
+        // More blocks, same per-warp profile: time barely moves (one wave).
+        let cfg2 = LaunchConfig::new(48, 32);
+        let c2 = counters(48, 500, 30, 48 * 40 * 128);
+        let t2 = model_launch(&dev, cfg2, occ, &c2);
+        assert_eq!(t2.waves, 1);
+        assert_eq!(t2.kernel_cycles, t.kernel_cycles, "latency-bound => flat");
+    }
+
+    #[test]
+    fn compute_bound_when_saturated() {
+        let dev = c2050();
+        let occ = occupancy(&dev, 32, 256, 24).unwrap(); // 8 blocks/SM
+        // 14*8 = 112 concurrent blocks; give each SM heavy issue load.
+        let cfg = LaunchConfig::new(112, 32);
+        let c = counters(112, 10_000, 2, 112 * 128);
+        let t = model_launch(&dev, cfg, occ, &c);
+        assert_eq!(t.bound, Bound::Compute);
+        // 8 warps/SM * 10k cycles
+        assert!((t.kernel_cycles - 80_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn multiple_waves_accumulate() {
+        let dev = c2050();
+        let occ = occupancy(&dev, 32, 256, 24).unwrap();
+        let concurrent = 14 * occ.blocks_per_sm; // 112
+        let cfg = LaunchConfig::new(concurrent * 3, 32);
+        let c = counters(3 * concurrent as u64, 10_000, 0, 0);
+        let t = model_launch(&dev, cfg, occ, &c);
+        assert_eq!(t.waves, 3);
+        assert!((t.kernel_cycles - 3.0 * 80_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn bandwidth_bound_for_streaming_kernels() {
+        let dev = c2050();
+        let occ = occupancy(&dev, 32, 256, 24).unwrap();
+        let cfg = LaunchConfig::new(112, 32);
+        // Tiny compute, huge byte traffic.
+        let c = counters(112, 10, 1, 112 * 1_000_000);
+        let t = model_launch(&dev, cfg, occ, &c);
+        assert_eq!(t.bound, Bound::Bandwidth);
+    }
+
+    #[test]
+    fn seconds_scale_with_clock() {
+        let dev = c2050();
+        let occ = occupancy(&dev, 32, 256, 24).unwrap();
+        let cfg = LaunchConfig::new(14, 32);
+        let c = counters(14, 1147, 0, 0);
+        let t = model_launch(&dev, cfg, occ, &c);
+        // 1147 cycles at 1.147 GHz = 1 microsecond.
+        assert!((t.kernel_seconds - 1.0e-6).abs() < 1e-12);
+        assert!(t.total_seconds() > t.kernel_seconds);
+    }
+
+    #[test]
+    fn transfer_time_includes_latency_floor() {
+        let dev = c2050();
+        let t0 = transfer_seconds(&dev, 0);
+        assert!((t0 - dev.pcie_latency).abs() < 1e-15);
+        let t = transfer_seconds(&dev, 5_000_000);
+        assert!(t > 1e-3 / 1.001 && t < 2e-3);
+    }
+}

@@ -1,0 +1,79 @@
+//! The value type kernels compute with on the simulated device.
+
+use polygpu_complex::{Complex, Real};
+
+/// A scalar that can live in simulated device memory.
+///
+/// `DEVICE_BYTES` drives address arithmetic (coalescing, bank
+/// conflicts, occupancy); `MUL_FLOPS`/`ADD_FLOPS` drive the compute-cost
+/// model in units of hardware double-precision operations.
+pub trait DeviceValue: Copy + Send + Sync + 'static {
+    const DEVICE_BYTES: usize;
+    const MUL_FLOPS: u32;
+    const ADD_FLOPS: u32;
+    fn zero() -> Self;
+    fn one() -> Self;
+    /// Multiply, as the device would (the caller logs the cost).
+    fn dmul(self, b: Self) -> Self;
+    fn dadd(self, b: Self) -> Self;
+    fn dsub(self, b: Self) -> Self;
+}
+
+impl<R: Real> DeviceValue for Complex<R> {
+    /// A complex value is two reals: 16 bytes for `Complex<f64>`,
+    /// 32 for complex double-double — the figures of the paper's §3.2
+    /// shared-memory budget.
+    const DEVICE_BYTES: usize = 2 * R::DEVICE_BYTES;
+    /// Schoolbook complex multiply: 4 real muls + 2 real adds.
+    const MUL_FLOPS: u32 = 6 * R::FLOP_WEIGHT;
+    const ADD_FLOPS: u32 = 2 * R::FLOP_WEIGHT;
+
+    fn zero() -> Self {
+        Complex::zero()
+    }
+    fn one() -> Self {
+        Complex::one()
+    }
+    #[inline]
+    fn dmul(self, b: Self) -> Self {
+        self * b
+    }
+    #[inline]
+    fn dadd(self, b: Self) -> Self {
+        self + b
+    }
+    #[inline]
+    fn dsub(self, b: Self) -> Self {
+        self - b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polygpu_complex::C64;
+    use polygpu_qd::Dd;
+
+    #[test]
+    fn complex_double_device_footprint() {
+        assert_eq!(<C64 as DeviceValue>::DEVICE_BYTES, 16);
+        assert_eq!(<Complex<Dd> as DeviceValue>::DEVICE_BYTES, 32);
+    }
+
+    #[test]
+    fn flop_weights_scale_with_precision() {
+        assert_eq!(<C64 as DeviceValue>::MUL_FLOPS, 6);
+        assert_eq!(<Complex<Dd> as DeviceValue>::MUL_FLOPS, 48);
+    }
+
+    #[test]
+    fn arithmetic_delegates() {
+        let a = C64::from_f64(1.0, 2.0);
+        let b = C64::from_f64(3.0, -4.0);
+        assert_eq!(a.dmul(b), a * b);
+        assert_eq!(a.dadd(b), a + b);
+        assert_eq!(a.dsub(b), a - b);
+        assert_eq!(<C64 as DeviceValue>::zero(), C64::zero());
+        assert_eq!(<C64 as DeviceValue>::one(), C64::one());
+    }
+}

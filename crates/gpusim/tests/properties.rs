@@ -1,0 +1,124 @@
+//! Property-based tests for the warp analyzer and timing model:
+//! invariants that must hold for *any* access pattern.
+
+use polygpu_complex::C64;
+use polygpu_gpusim::analysis::analyze_block;
+use polygpu_gpusim::prelude::*;
+use polygpu_gpusim::trace::{Ev, ThreadTrace};
+use proptest::prelude::*;
+
+fn device() -> DeviceSpec {
+    DeviceSpec::tesla_c2050()
+}
+
+/// A warp of traces, each a single global load at an arbitrary
+/// (aligned) element address.
+fn gload_warp() -> impl Strategy<Value = Vec<ThreadTrace>> {
+    prop::collection::vec(0u64..10_000, 32).prop_map(|idxs| {
+        idxs.into_iter()
+            .map(|i| vec![Ev::GLoad { addr: 0x1000 + i * 16 }, Ev::Sync])
+            .collect()
+    })
+}
+
+fn sload_warp() -> impl Strategy<Value = Vec<ThreadTrace>> {
+    prop::collection::vec(0u32..1024, 32).prop_map(|idxs| {
+        idxs.into_iter()
+            .map(|i| vec![Ev::SLoad { addr: i * 16 }, Ev::Sync])
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn global_transactions_bounded(traces in gload_warp()) {
+        let c = analyze_block::<C64>(&device(), &traces);
+        // One 16-byte access per lane: transactions between 1 (full
+        // broadcast) and 32 lanes x 2 segments (unaligned straddle
+        // cannot happen at 16B-aligned addresses, but keep the loose
+        // upper bound).
+        prop_assert!(c.global_transactions >= 1);
+        prop_assert!(c.global_transactions <= 32);
+        // Bytes are transactions x segment size.
+        prop_assert_eq!(c.global_bytes, c.global_transactions * 128);
+        // Lower bound: total unique bytes / segment size.
+        prop_assert!(c.global_transactions as usize * 128 >= 32 * 16 / 8,
+            "cannot move 512 useful bytes in fewer than 4 segments... {}",
+            c.global_transactions);
+    }
+
+    #[test]
+    fn coalesced_is_optimal_scattered_is_worst(base in 0u64..100) {
+        // Unit stride: exactly 4 transactions. Stride >= 8 elements:
+        // exactly 32.
+        let unit: Vec<ThreadTrace> = (0..32)
+            .map(|i| vec![Ev::GLoad { addr: 0x1000 + base * 512 + i * 16 }, Ev::Sync])
+            .collect();
+        let c = analyze_block::<C64>(&device(), &unit);
+        prop_assert_eq!(c.global_transactions, 4);
+        let scattered: Vec<ThreadTrace> = (0..32)
+            .map(|i| vec![Ev::GLoad { addr: 0x1000 + base * 512 + i * 128 }, Ev::Sync])
+            .collect();
+        let c = analyze_block::<C64>(&device(), &scattered);
+        prop_assert_eq!(c.global_transactions, 32);
+    }
+
+    #[test]
+    fn shared_replays_bounded_by_worst_bank(traces in sload_warp()) {
+        let c = analyze_block::<C64>(&device(), &traces);
+        // A 16-byte access covers 4 words; 32 lanes x 4 words over 32
+        // banks: replay (conflict + 1) can be at most 32 (all lanes'
+        // words distinct in one bank is impossible here, but bound it).
+        prop_assert!(c.shared_conflict_cycles < 32 * 4);
+        prop_assert_eq!(c.shared_accesses, 1);
+        prop_assert_eq!(c.warps, 1);
+    }
+
+    #[test]
+    fn flop_accounting_is_exact(weights in prop::collection::vec(1u32..20, 32)) {
+        let traces: Vec<ThreadTrace> = weights
+            .iter()
+            .map(|&w| vec![Ev::Flop { weight: w }, Ev::Sync])
+            .collect();
+        let c = analyze_block::<C64>(&device(), &traces);
+        let total: u64 = weights.iter().map(|&w| w as u64).sum();
+        prop_assert_eq!(c.flops, total);
+        // Warp issue cost follows the widest lane.
+        let max = *weights.iter().max().unwrap() as u64;
+        prop_assert_eq!(c.issue_cycles, max * 2);
+    }
+
+    #[test]
+    fn occupancy_monotone_in_shared_usage(
+        b1 in 1usize..32_768,
+        b2 in 1usize..32_768,
+    ) {
+        let dev = device();
+        let (lo, hi) = if b1 <= b2 { (b1, b2) } else { (b2, b1) };
+        let o_lo = polygpu_gpusim::occupancy::occupancy(&dev, 32, lo, 24);
+        let o_hi = polygpu_gpusim::occupancy::occupancy(&dev, 32, hi, 24);
+        if let (Some(a), Some(b)) = (o_lo, o_hi) {
+            prop_assert!(a.blocks_per_sm >= b.blocks_per_sm,
+                "more shared memory cannot increase occupancy");
+        }
+    }
+
+    #[test]
+    fn timing_monotone_in_issue_cycles(c1 in 100u64..100_000, c2 in 100u64..100_000) {
+        use polygpu_gpusim::timing::model_launch;
+        let dev = device();
+        let occ = polygpu_gpusim::occupancy::occupancy(&dev, 32, 1024, 24).unwrap();
+        let cfg = LaunchConfig::new(28, 32);
+        let (lo, hi) = if c1 <= c2 { (c1, c2) } else { (c2, c1) };
+        let make = |cycles: u64| Counters {
+            warps: 28,
+            issue_cycles: 28 * cycles,
+            global_mem_ops: 28 * 10,
+            global_bytes: 28 * 50 * 128,
+            ..Default::default()
+        };
+        let t_lo = model_launch(&dev, cfg, occ, &make(lo));
+        let t_hi = model_launch(&dev, cfg, occ, &make(hi));
+        prop_assert!(t_hi.kernel_cycles >= t_lo.kernel_cycles);
+    }
+}

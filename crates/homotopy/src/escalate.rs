@@ -1,0 +1,199 @@
+//! Precision escalation: track in hardware doubles, fall back to
+//! double-double when the path demands more accuracy.
+//!
+//! This is the operational form of the paper's motivation: "When
+//! running many path tracking jobs, a couple or perhaps just one
+//! solution path may require extended multiprecision arithmetic" (§1).
+//! Most paths finish in fast double precision; the rare hard path is
+//! retried in double-double, whose ~8x cost is exactly what the
+//! parallel evaluator is meant to absorb.
+
+use crate::homotopy::Homotopy;
+use crate::tracker::{track, TrackParams, TrackResult};
+use polygpu_complex::Complex;
+use polygpu_polysys::SystemEvaluator;
+use polygpu_qd::Dd;
+
+/// Which precision completed the path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UsedPrecision {
+    Double,
+    DoubleDouble,
+}
+
+/// Outcome of an escalating track.
+#[derive(Debug, Clone)]
+pub enum EscalatedTrack {
+    /// Finished in hardware doubles.
+    Double(TrackResult<f64>),
+    /// Needed (and got) double-double; the double attempt's failure is
+    /// kept for diagnostics.
+    DoubleDouble {
+        double_attempt: TrackResult<f64>,
+        result: TrackResult<Dd>,
+    },
+}
+
+impl EscalatedTrack {
+    pub fn success(&self) -> bool {
+        match self {
+            EscalatedTrack::Double(r) => r.success(),
+            EscalatedTrack::DoubleDouble { result, .. } => result.success(),
+        }
+    }
+
+    pub fn precision(&self) -> UsedPrecision {
+        match self {
+            EscalatedTrack::Double(_) => UsedPrecision::Double,
+            EscalatedTrack::DoubleDouble { .. } => UsedPrecision::DoubleDouble,
+        }
+    }
+
+    /// Endpoint in double-double (exact promotion when the double run
+    /// sufficed).
+    pub fn end_dd(&self) -> Vec<Complex<Dd>> {
+        match self {
+            EscalatedTrack::Double(r) => r.end().x.iter().map(|z| z.convert()).collect(),
+            EscalatedTrack::DoubleDouble { result, .. } => result.end().x.clone(),
+        }
+    }
+}
+
+/// Track a path in doubles; on any failure, retrack the whole path in
+/// double-double with `dd_params` (typically tighter tolerances).
+///
+/// The two homotopies must describe the same path (same systems and
+/// gamma, different scalar precision); keeping them as separate
+/// arguments lets callers pair any two evaluator stacks (CPU/CPU,
+/// GPU/CPU, …).
+pub fn track_escalating<EG64, EF64, EGDD, EFDD>(
+    h64: &mut Homotopy<f64, EG64, EF64>,
+    hdd: &mut Homotopy<Dd, EGDD, EFDD>,
+    x0: &[Complex<f64>],
+    params_f64: TrackParams,
+    params_dd: TrackParams,
+) -> EscalatedTrack
+where
+    EG64: SystemEvaluator<f64>,
+    EF64: SystemEvaluator<f64>,
+    EGDD: SystemEvaluator<Dd>,
+    EFDD: SystemEvaluator<Dd>,
+{
+    let attempt = track(h64, x0, params_f64);
+    if attempt.success() {
+        return EscalatedTrack::Double(attempt);
+    }
+    let x0_dd: Vec<Complex<Dd>> = x0.iter().map(|z| z.convert()).collect();
+    let result = track(hdd, &x0_dd, params_dd);
+    EscalatedTrack::DoubleDouble {
+        double_attempt: attempt,
+        result,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::newton::NewtonParams;
+    use crate::start::StartSystem;
+    use polygpu_complex::C64;
+    use polygpu_polysys::{random_system, AdEvaluator, BenchmarkParams, System};
+
+    fn setup(seed: u64) -> (System<f64>, StartSystem, Vec<C64>) {
+        let params = BenchmarkParams {
+            n: 2,
+            m: 2,
+            k: 2,
+            d: 2,
+            seed,
+        };
+        let sys = random_system::<f64>(&params);
+        let start = StartSystem::uniform(2, 2);
+        let x0: Vec<C64> = start.solution_by_index(1);
+        (sys, start, x0)
+    }
+
+    #[allow(clippy::type_complexity)] // test fixture returns both precisions
+    fn homotopies(
+        sys: &System<f64>,
+        start: &StartSystem,
+    ) -> (
+        Homotopy<f64, StartSystem, AdEvaluator<f64>>,
+        Homotopy<Dd, StartSystem, AdEvaluator<Dd>>,
+    ) {
+        let h64 = Homotopy::with_random_gamma(
+            start.clone(),
+            AdEvaluator::new(sys.clone()).unwrap(),
+            33,
+        );
+        let hdd = Homotopy::new(
+            start.clone(),
+            AdEvaluator::new(sys.convert::<Dd>()).unwrap(),
+            h64.gamma.convert(), // identical gamma: same path
+        );
+        (h64, hdd)
+    }
+
+    #[test]
+    fn easy_path_stays_in_double() {
+        let (sys, start, x0) = setup(42);
+        let (mut h64, mut hdd) = homotopies(&sys, &start);
+        let r = track_escalating(
+            &mut h64,
+            &mut hdd,
+            &x0,
+            TrackParams::default(),
+            TrackParams::default(),
+        );
+        assert!(r.success());
+        assert_eq!(r.precision(), UsedPrecision::Double);
+        assert_eq!(r.end_dd().len(), 2);
+    }
+
+    #[test]
+    fn unreachable_f64_tolerance_escalates_and_succeeds() {
+        // A concrete target with four isolated nonsingular finite roots
+        // ((±1, ±2), (±2, ±1)): every total-degree path ends at one.
+        use polygpu_polysys::{parse_system, NaiveEvaluator};
+        let sys = parse_system::<f64>("x0^2 + x1^2 - 5; x0*x1 - 2").unwrap();
+        let sys_dd = sys.convert::<Dd>();
+        let start = StartSystem::uniform(2, 2);
+        // Corrector tolerance below f64 round-off: every double run
+        // must fail; double-double reaches it at the finite roots.
+        let brutal = NewtonParams {
+            residual_tol: 1e-19,
+            step_tol: 1e-21,
+            max_iters: 10,
+        };
+        let params = TrackParams {
+            corrector: brutal,
+            max_steps: 2_000,
+            ..Default::default()
+        };
+        let mut rescued = 0;
+        for idx in 0..4u128 {
+            let x0: Vec<C64> = start.solution_by_index(idx);
+            let mut h64 = Homotopy::with_random_gamma(
+                start.clone(),
+                NaiveEvaluator::new(sys.clone()),
+                33,
+            );
+            let mut hdd = Homotopy::new(
+                start.clone(),
+                NaiveEvaluator::new(sys_dd.clone()),
+                h64.gamma.convert(), // identical gamma: same path
+            );
+            let r = track_escalating(&mut h64, &mut hdd, &x0, params, params);
+            // The double attempt can never meet a 1e-19 tolerance.
+            assert_eq!(r.precision(), UsedPrecision::DoubleDouble, "path {idx}");
+            if r.success() {
+                rescued += 1;
+                // The endpoint satisfies the target far beyond f64.
+                let mut check = NaiveEvaluator::new(sys_dd.clone());
+                let resid = check.evaluate(&r.end_dd()).residual_norm().to_f64();
+                assert!(resid < 1e-18, "dd endpoint residual {resid:e}");
+            }
+        }
+        assert!(rescued >= 2, "too few paths rescued by double-double: {rescued}");
+    }
+}

@@ -1,0 +1,117 @@
+//! "Quality up": trading parallel speedup for extended precision.
+//!
+//! The paper's framing (§1): "given p processors (or cores) how much
+//! extra precision can we afford in roughly the same time as a
+//! sequential run?" The authors measured a cost factor around 8 for
+//! double-double arithmetic [PASCO 2010], so a parallel evaluator with
+//! speedup ≥ 8 runs double-double paths in single-double sequential
+//! time.
+//!
+//! This module provides the small model used by the `quality_up`
+//! example and the E5 experiment: given a measured (or modeled) speedup
+//! and a measured arithmetic cost factor, which precisions come "for
+//! free"?
+
+/// Precisions in the QD ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Precision {
+    Double,
+    DoubleDouble,
+    QuadDouble,
+}
+
+impl Precision {
+    pub fn name(self) -> &'static str {
+        match self {
+            Precision::Double => "double",
+            Precision::DoubleDouble => "double-double",
+            Precision::QuadDouble => "quad-double",
+        }
+    }
+
+    /// Significand bits of the format.
+    pub fn bits(self) -> u32 {
+        match self {
+            Precision::Double => 53,
+            Precision::DoubleDouble => 106,
+            Precision::QuadDouble => 212,
+        }
+    }
+}
+
+/// Quality-up verdict for one precision.
+#[derive(Debug, Clone, Copy)]
+pub struct QualityUp {
+    pub precision: Precision,
+    /// Arithmetic cost factor of the precision relative to double.
+    pub cost_factor: f64,
+    /// Parallel speedup available to offset it.
+    pub speedup: f64,
+    /// Time of a parallel extended-precision run relative to a
+    /// sequential double run (`cost_factor / speedup`).
+    pub relative_time: f64,
+}
+
+impl QualityUp {
+    /// Does the parallel extended run finish within `slack` times the
+    /// sequential double run? The paper's "roughly the same time" is
+    /// `slack ≈ 1`.
+    pub fn achieved(&self, slack: f64) -> bool {
+        self.relative_time <= slack
+    }
+}
+
+/// Evaluate the quality-up question for the precision ladder, given a
+/// parallel speedup and per-precision cost factors (measure them with
+/// the `dd_overhead` benchmark; the paper's companion work reports ~8
+/// for double-double).
+pub fn quality_up_ladder(speedup: f64, dd_cost: f64, qd_cost: f64) -> Vec<QualityUp> {
+    vec![
+        QualityUp {
+            precision: Precision::Double,
+            cost_factor: 1.0,
+            speedup,
+            relative_time: 1.0 / speedup,
+        },
+        QualityUp {
+            precision: Precision::DoubleDouble,
+            cost_factor: dd_cost,
+            speedup,
+            relative_time: dd_cost / speedup,
+        },
+        QualityUp {
+            precision: Precision::QuadDouble,
+            cost_factor: qd_cost,
+            speedup,
+            relative_time: qd_cost / speedup,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn papers_numbers_give_dd_for_free() {
+        // Speedup ~10 (Table 1 middle), dd cost ~8: dd is quality-up.
+        let ladder = quality_up_ladder(10.44, 8.0, 60.0);
+        assert!(ladder[1].achieved(1.0), "dd should fit: {:?}", ladder[1]);
+        assert!(!ladder[2].achieved(1.0), "qd should not fit at 10x");
+    }
+
+    #[test]
+    fn ladder_is_monotone_in_cost() {
+        let ladder = quality_up_ladder(14.0, 8.0, 60.0);
+        assert!(ladder[0].relative_time < ladder[1].relative_time);
+        assert!(ladder[1].relative_time < ladder[2].relative_time);
+    }
+
+    #[test]
+    fn precision_metadata() {
+        assert_eq!(Precision::Double.bits(), 53);
+        assert_eq!(Precision::DoubleDouble.bits(), 106);
+        assert_eq!(Precision::QuadDouble.bits(), 212);
+        assert_eq!(Precision::DoubleDouble.name(), "double-double");
+    }
+}

@@ -1,0 +1,233 @@
+//! A blackbox solve driver: track every total-degree path and collect
+//! the distinct finite solutions.
+//!
+//! This is the workflow the paper's evaluation engine sits inside
+//! ("homotopy continuation methods have led to efficient numerical
+//! solvers of polynomial systems"): start from all `∏ dᵢ` solutions of
+//! `G(x) = xᵢ^{dᵢ} − 1`, track each path of
+//! `H = γ(1−t)G + tF` to `t = 1`, polish with Newton, deduplicate.
+//!
+//! The evaluator for `F` is supplied by a factory closure, so the same
+//! driver runs against the CPU references or a fresh simulated-GPU
+//! pipeline per path.
+
+use crate::homotopy::Homotopy;
+use crate::newton::{newton, NewtonParams};
+use crate::start::StartSystem;
+use crate::tracker::{track, TrackOutcome, TrackParams};
+use polygpu_complex::{Complex, Real};
+use polygpu_polysys::SystemEvaluator;
+
+/// Solve configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SolveParams {
+    pub tracking: TrackParams,
+    /// End-game polish at `t = 1`.
+    pub polish: NewtonParams,
+    /// Two endpoints closer than this (max-norm) are the same root.
+    pub dedup_tol: f64,
+    /// Deterministic seed for the gamma trick.
+    pub gamma_seed: u64,
+    /// Cap on the number of paths (safety valve for high Bézout
+    /// numbers); `None` tracks all.
+    pub max_paths: Option<u128>,
+}
+
+impl Default for SolveParams {
+    fn default() -> Self {
+        SolveParams {
+            tracking: TrackParams::default(),
+            polish: NewtonParams {
+                residual_tol: 1e-12,
+                step_tol: 1e-14,
+                max_iters: 10,
+            },
+            dedup_tol: 1e-6,
+            gamma_seed: 0x9E37,
+            max_paths: None,
+        }
+    }
+}
+
+/// One found solution.
+#[derive(Debug, Clone)]
+pub struct Root<R> {
+    pub x: Vec<Complex<R>>,
+    /// Residual after polishing.
+    pub residual: f64,
+    /// How many paths ended at this root (over-counts mean either a
+    /// singular root or path crossing).
+    pub multiplicity_hint: usize,
+}
+
+/// Solve outcome.
+#[derive(Debug, Clone)]
+pub struct SolveResult<R> {
+    pub roots: Vec<Root<R>>,
+    pub paths_tracked: usize,
+    pub paths_finished: usize,
+    pub paths_failed: usize,
+    /// Total corrector iterations over all paths (each one evaluation
+    /// of the system and Jacobian plus one linear solve).
+    pub corrector_iterations: usize,
+}
+
+/// Track all paths of `target` (built per path by `make_eval`) from the
+/// total-degree start system with the given per-equation `degrees`.
+pub fn solve_total_degree<R, E, F>(
+    degrees: Vec<u32>,
+    mut make_eval: F,
+    params: SolveParams,
+) -> SolveResult<R>
+where
+    R: Real,
+    E: SystemEvaluator<R>,
+    F: FnMut() -> E,
+{
+    let start = StartSystem::new(degrees);
+    let n_paths = params
+        .max_paths
+        .map_or(start.solution_count(), |cap| start.solution_count().min(cap));
+    let mut result = SolveResult {
+        roots: Vec::new(),
+        paths_tracked: 0,
+        paths_finished: 0,
+        paths_failed: 0,
+        corrector_iterations: 0,
+    };
+    for idx in 0..n_paths {
+        let x0: Vec<Complex<R>> = start.solution_by_index(idx);
+        let mut h = Homotopy::with_random_gamma(start.clone(), make_eval(), params.gamma_seed);
+        let tr = track(&mut h, &x0, params.tracking);
+        result.paths_tracked += 1;
+        result.corrector_iterations += tr.corrector_iterations;
+        if tr.outcome != TrackOutcome::Success {
+            result.paths_failed += 1;
+            continue;
+        }
+        result.paths_finished += 1;
+        // Polish at t = 1 against the target itself.
+        let mut target = make_eval();
+        let polished = newton(&mut target, &tr.end().x, params.polish);
+        result.corrector_iterations += polished.iterations;
+        let residual = polished
+            .residuals
+            .last()
+            .copied()
+            .unwrap_or(f64::INFINITY);
+        if !polished.converged {
+            result.paths_failed += 1;
+            result.paths_finished -= 1;
+            continue;
+        }
+        register_root(&mut result.roots, polished.x, residual, params.dedup_tol);
+    }
+    result
+}
+
+fn register_root<R: Real>(
+    roots: &mut Vec<Root<R>>,
+    x: Vec<Complex<R>>,
+    residual: f64,
+    tol: f64,
+) {
+    for r in roots.iter_mut() {
+        let dist = r
+            .x
+            .iter()
+            .zip(&x)
+            .map(|(a, b)| (*a - *b).abs().to_f64())
+            .fold(0.0, f64::max);
+        if dist < tol {
+            r.multiplicity_hint += 1;
+            if residual < r.residual {
+                r.x = x;
+                r.residual = residual;
+            }
+            return;
+        }
+    }
+    roots.push(Root {
+        x,
+        residual,
+        multiplicity_hint: 1,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polygpu_complex::C64;
+    use polygpu_polysys::{parse_system, NaiveEvaluator};
+
+    #[test]
+    fn solves_univariate_quadratic() {
+        // x^2 - 1 = 0 viewed as a 1-dim system: roots +1 and -1.
+        let sys = parse_system::<f64>("x0^2 - 1").unwrap();
+        let result = solve_total_degree(
+            vec![2],
+            || NaiveEvaluator::new(sys.clone()),
+            SolveParams::default(),
+        );
+        assert_eq!(result.paths_tracked, 2);
+        assert_eq!(result.roots.len(), 2, "{result:?}");
+        let mut reals: Vec<f64> = result.roots.iter().map(|r| r.x[0].re).collect();
+        reals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((reals[0] + 1.0).abs() < 1e-9);
+        assert!((reals[1] - 1.0).abs() < 1e-9);
+        for r in &result.roots {
+            assert!(r.residual < 1e-11);
+        }
+    }
+
+    #[test]
+    fn solves_2x2_intersection_of_conics() {
+        // x0^2 + x1^2 - 5 = 0, x0*x1 - 2 = 0: solutions (±1, ±2), (±2, ±1).
+        let sys = parse_system::<f64>("x0^2 + x1^2 - 5; x0*x1 - 2").unwrap();
+        let result = solve_total_degree(
+            vec![2, 2],
+            || NaiveEvaluator::new(sys.clone()),
+            SolveParams::default(),
+        );
+        assert_eq!(result.paths_tracked, 4);
+        assert_eq!(result.roots.len(), 4, "expected 4 distinct roots: {result:?}");
+        for root in &result.roots {
+            let (a, b) = (root.x[0], root.x[1]);
+            assert!((a * a + b * b - C64::from_f64(5.0, 0.0)).abs() < 1e-8);
+            assert!((a * b - C64::from_f64(2.0, 0.0)).abs() < 1e-8);
+            // All solutions of this system are real.
+            assert!(a.im.abs() < 1e-8 && b.im.abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn max_paths_caps_work() {
+        let sys = parse_system::<f64>("x0^2 - 1").unwrap();
+        let result = solve_total_degree(
+            vec![2],
+            || NaiveEvaluator::new(sys.clone()),
+            SolveParams {
+                max_paths: Some(1),
+                ..Default::default()
+            },
+        );
+        assert_eq!(result.paths_tracked, 1);
+    }
+
+    #[test]
+    fn duplicate_endpoints_merge() {
+        // x^2 = 0 has the double root 0: both paths land there.
+        let sys = parse_system::<f64>("x0^2").unwrap();
+        let mut params = SolveParams::default();
+        // A singular root: loosen the polish to accept slow convergence.
+        params.polish.residual_tol = 1e-8;
+        params.tracking.corrector.residual_tol = 1e-8;
+        let result = solve_total_degree(vec![2], || NaiveEvaluator::new(sys.clone()), params);
+        if result.roots.len() == 1 {
+            assert_eq!(result.roots[0].multiplicity_hint, 2);
+            assert!(result.roots[0].x[0].abs() < 1e-3);
+        }
+        // (Paths to singular roots may also fail near t=1; either
+        // outcome is acceptable, but nothing may panic.)
+    }
+}

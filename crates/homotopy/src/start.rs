@@ -1,0 +1,162 @@
+//! The total-degree start system `G_i(x) = x_i^{d_i} − 1`.
+//!
+//! Its solutions are all combinations of `d_i`-th roots of unity, and
+//! its Jacobian is diagonal — the standard cheap start system for
+//! homotopy continuation (Allgower & Georg; Morgan).
+
+use polygpu_complex::{CMat, Complex, Real};
+use polygpu_polysys::{SystemEval, SystemEvaluator};
+use std::f64::consts::TAU;
+
+/// `G_i(x) = x_i^{d_i} − 1`, evaluated analytically.
+#[derive(Debug, Clone)]
+pub struct StartSystem {
+    degrees: Vec<u32>,
+}
+
+impl StartSystem {
+    /// Panics if any degree is zero.
+    pub fn new(degrees: Vec<u32>) -> Self {
+        assert!(
+            degrees.iter().all(|&d| d >= 1),
+            "start-system degrees must be >= 1"
+        );
+        StartSystem { degrees }
+    }
+
+    /// Same degree `d` in every equation.
+    pub fn uniform(n: usize, d: u32) -> Self {
+        StartSystem::new(vec![d; n])
+    }
+
+    pub fn degrees(&self) -> &[u32] {
+        &self.degrees
+    }
+
+    /// Total number of start solutions: `∏ d_i` (the Bézout number of
+    /// the start system).
+    pub fn solution_count(&self) -> u128 {
+        self.degrees.iter().map(|&d| d as u128).product()
+    }
+
+    /// The start solution indexed by `choice`, where `choice[i]`
+    /// selects the `choice[i]`-th `d_i`-th root of unity.
+    pub fn solution<R: Real>(&self, choice: &[u32]) -> Vec<Complex<R>> {
+        assert_eq!(choice.len(), self.degrees.len());
+        choice
+            .iter()
+            .zip(&self.degrees)
+            .map(|(&c, &d)| {
+                assert!(c < d, "root index out of range");
+                Complex::unit_from_angle(TAU * c as f64 / d as f64)
+            })
+            .collect()
+    }
+
+    /// The start solution numbered `index` in mixed-radix order over
+    /// the degrees (0 ≤ index < `solution_count`).
+    pub fn solution_by_index<R: Real>(&self, mut index: u128) -> Vec<Complex<R>> {
+        let mut choice = Vec::with_capacity(self.degrees.len());
+        for &d in &self.degrees {
+            choice.push((index % d as u128) as u32);
+            index /= d as u128;
+        }
+        self.solution(&choice)
+    }
+}
+
+impl<R: Real> SystemEvaluator<R> for StartSystem {
+    fn dim(&self) -> usize {
+        self.degrees.len()
+    }
+
+    fn evaluate(&mut self, x: &[Complex<R>]) -> SystemEval<R> {
+        let n = self.degrees.len();
+        assert_eq!(x.len(), n);
+        let mut values = Vec::with_capacity(n);
+        let mut jac = CMat::zeros(n, n);
+        for i in 0..n {
+            let d = self.degrees[i] as i32;
+            let pow = x[i].powi(d - 1);
+            values.push(pow * x[i] - Complex::one());
+            jac[(i, i)] = pow.scale(R::from_u32(self.degrees[i]));
+        }
+        SystemEval {
+            values,
+            jacobian: jac,
+        }
+    }
+
+    fn name(&self) -> &str {
+        "total-degree-start"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polygpu_complex::C64;
+
+    #[test]
+    fn all_solutions_are_roots() {
+        let mut g = StartSystem::new(vec![2, 3]);
+        assert_eq!(g.solution_count(), 6);
+        for idx in 0..6u128 {
+            let s: Vec<C64> = g.solution_by_index(idx);
+            let e = g.evaluate(&s);
+            assert!(
+                e.residual_norm() < 1e-14,
+                "solution {idx} residual {:e}",
+                e.residual_norm()
+            );
+        }
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn jacobian_is_diagonal_and_correct() {
+        let mut g = StartSystem::uniform(3, 4);
+        let x = vec![
+            C64::from_f64(0.5, 0.25),
+            C64::from_f64(-1.0, 0.5),
+            C64::from_f64(2.0, 0.0),
+        ];
+        let e = g.evaluate(&x);
+        for i in 0..3 {
+            for j in 0..3 {
+                if i != j {
+                    assert_eq!(e.jacobian[(i, j)], C64::zero());
+                }
+            }
+            // d/dx (x^4 - 1) = 4 x^3
+            let want = x[i].powi(3).scale(4.0);
+            assert!((e.jacobian[(i, i)] - want).abs() < 1e-13);
+        }
+        // values = x^4 - 1
+        for i in 0..3 {
+            let want = x[i].powi(4) - C64::one();
+            assert!((e.values[i] - want).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn mixed_radix_enumeration_is_exhaustive() {
+        let g = StartSystem::new(vec![2, 2, 3]);
+        let mut seen = std::collections::HashSet::new();
+        for idx in 0..12u128 {
+            let s: Vec<C64> = g.solution_by_index(idx);
+            let key: Vec<(i64, i64)> = s
+                .iter()
+                .map(|z| ((z.re * 1e6).round() as i64, (z.im * 1e6).round() as i64))
+                .collect();
+            assert!(seen.insert(key), "duplicate solution at index {idx}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "root index out of range")]
+    fn choice_bounds_checked() {
+        let g = StartSystem::uniform(2, 2);
+        let _: Vec<C64> = g.solution(&[0, 2]);
+    }
+}

@@ -1,0 +1,238 @@
+//! Classic benchmark systems from the polynomial homotopy literature.
+//!
+//! The paper's engine exists to accelerate solvers like PHCpack on
+//! exactly these families. They are *not* uniform in the `(m, k, d)`
+//! sense (different monomials have different variable counts), so they
+//! exercise the general CPU evaluators and the solve driver rather
+//! than the GPU pipeline, documenting precisely where the paper's
+//! regularity assumptions (§2) bind.
+
+use crate::monomial::Monomial;
+use crate::polynomial::{Polynomial, Term};
+use crate::system::System;
+use polygpu_complex::{Complex, Real};
+
+/// The cyclic n-roots system:
+/// `f_j = Σ_i Π_{l=i..i+j} x_{l mod n}` for `j = 0..n-1`, and
+/// `f_{n-1} = x_0 x_1 … x_{n-1} − 1`.
+///
+/// The celebrated benchmark of computer algebra and homotopy solvers;
+/// `cyclic(3)` has 6 isolated solutions.
+pub fn cyclic<R: Real>(n: usize) -> System<R> {
+    assert!(n >= 2, "cyclic needs n >= 2");
+    let mut polys = Vec::with_capacity(n);
+    for j in 0..n - 1 {
+        // f_j = sum over i of the product of j+1 consecutive variables.
+        let terms = (0..n)
+            .map(|i| {
+                let vars: Vec<(u16, u16)> = (0..=j)
+                    .map(|l| (((i + l) % n) as u16, 1u16))
+                    .collect();
+                Term {
+                    coeff: Complex::one(),
+                    monomial: Monomial::new(vars).expect("distinct consecutive vars"),
+                }
+            })
+            .collect();
+        polys.push(Polynomial::new(terms));
+    }
+    // Last equation: product of all variables minus one.
+    let all: Vec<(u16, u16)> = (0..n).map(|v| (v as u16, 1)).collect();
+    polys.push(Polynomial::new(vec![
+        Term {
+            coeff: Complex::one(),
+            monomial: Monomial::new(all).unwrap(),
+        },
+        Term {
+            coeff: -Complex::<R>::one(),
+            monomial: Monomial::constant(),
+        },
+    ]));
+    System::new(n, polys).expect("cyclic is square")
+}
+
+/// The Katsura-n system (magnetism): `n + 1` equations in `n + 1`
+/// unknowns `u_0..u_n`:
+///
+/// * for `m = 0..n-1`:  `Σ_{l=-n..n} u_{|l|} u_{|m-l|} − u_m = 0`
+///   (indices clamped to `0..=n`, out-of-range terms dropped);
+/// * normalisation: `u_0 + 2 Σ_{l=1..n} u_l − 1 = 0`.
+pub fn katsura<R: Real>(n: usize) -> System<R> {
+    assert!(n >= 1, "katsura needs n >= 1");
+    let dim = n + 1;
+    let u = |i: i64| -> Option<u16> {
+        let a = i.unsigned_abs() as usize;
+        (a < dim).then_some(a as u16)
+    };
+    let mut polys = Vec::with_capacity(dim);
+    for m in 0..n {
+        // Collect quadratic terms u_|l| * u_|m-l|, merging coefficients.
+        let mut acc: std::collections::BTreeMap<(u16, u16), f64> = Default::default();
+        for l in -(n as i64)..=(n as i64) {
+            let (Some(a), Some(b)) = (u(l), u(m as i64 - l)) else {
+                continue;
+            };
+            let key = if a <= b { (a, b) } else { (b, a) };
+            *acc.entry(key).or_insert(0.0) += 1.0;
+        }
+        let mut terms: Vec<Term<R>> = acc
+            .into_iter()
+            .map(|((a, b), c)| {
+                let monomial = if a == b {
+                    Monomial::new(vec![(a, 2)]).unwrap()
+                } else {
+                    Monomial::new(vec![(a, 1), (b, 1)]).unwrap()
+                };
+                Term {
+                    coeff: Complex::from_f64(c, 0.0),
+                    monomial,
+                }
+            })
+            .collect();
+        terms.push(Term {
+            coeff: -Complex::<R>::one(),
+            monomial: Monomial::var(m as u16),
+        });
+        polys.push(Polynomial::new(terms));
+    }
+    // Normalisation row.
+    let mut norm = vec![Term {
+        coeff: Complex::one(),
+        monomial: Monomial::var(0),
+    }];
+    for l in 1..dim {
+        norm.push(Term {
+            coeff: Complex::from_f64(2.0, 0.0),
+            monomial: Monomial::var(l as u16),
+        });
+    }
+    norm.push(Term {
+        coeff: -Complex::<R>::one(),
+        monomial: Monomial::constant(),
+    });
+    polys.push(Polynomial::new(norm));
+    System::new(dim, polys).expect("katsura is square")
+}
+
+/// The Noonburg neural-network system:
+/// `f_i = x_i (Σ_{j≠i} x_j²) − c·x_i + 1` with the traditional
+/// `c = 1.1`.
+pub fn noon<R: Real>(n: usize) -> System<R> {
+    assert!(n >= 2, "noon needs n >= 2");
+    let c = 1.1;
+    let mut polys = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut terms: Vec<Term<R>> = (0..n)
+            .filter(|&j| j != i)
+            .map(|j| Term {
+                coeff: Complex::one(),
+                monomial: Monomial::new(vec![(i as u16, 1), (j as u16, 2)]).unwrap(),
+            })
+            .collect();
+        terms.push(Term {
+            coeff: Complex::from_f64(-c, 0.0),
+            monomial: Monomial::var(i as u16),
+        });
+        terms.push(Term {
+            coeff: Complex::one(),
+            monomial: Monomial::constant(),
+        });
+        polys.push(Polynomial::new(terms));
+    }
+    System::new(n, polys).expect("noon is square")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::NaiveEvaluator;
+    use crate::system::SystemEvaluator;
+    use polygpu_complex::C64;
+
+    #[test]
+    fn cyclic3_known_solution() {
+        // (1, w, w^2) with w a primitive cube root of unity solves
+        // cyclic-3: sums of powers of w vanish and the product is w^3=1.
+        let mut sys = NaiveEvaluator::new(cyclic::<f64>(3));
+        let w = C64::unit_from_angle(std::f64::consts::TAU / 3.0);
+        let x = vec![C64::one(), w, w * w];
+        let r = sys.evaluate(&x);
+        assert!(r.residual_norm() < 1e-12, "residual {:e}", r.residual_norm());
+    }
+
+    #[test]
+    fn cyclic_shapes() {
+        let s = cyclic::<f64>(5);
+        assert_eq!(s.dim(), 5);
+        // f_0 is linear with 5 terms; f_3 has 5 quartic terms;
+        // the last has 2 terms.
+        assert_eq!(s.polys()[0].num_terms(), 5);
+        assert_eq!(s.polys()[0].total_degree(), 1);
+        assert_eq!(s.polys()[3].total_degree(), 4);
+        assert_eq!(s.polys()[4].num_terms(), 2);
+        assert_eq!(s.polys()[4].total_degree(), 5);
+        // Not uniform: the GPU pipeline's regularity assumption binds.
+        assert!(s.uniform_shape().is_err());
+    }
+
+    #[test]
+    fn katsura_total_degrees_and_known_structure() {
+        let s = katsura::<f64>(3);
+        assert_eq!(s.dim(), 4);
+        // First n rows are quadratic, last is linear.
+        for p in &s.polys()[..3] {
+            assert_eq!(p.total_degree(), 2);
+        }
+        assert_eq!(s.polys()[3].total_degree(), 1);
+        // The all-zero point gives residual 1 in the normalisation row
+        // only (u_m rows vanish at 0).
+        let mut e = NaiveEvaluator::new(s);
+        let r = e.evaluate(&[C64::zero(); 4]);
+        assert_eq!(r.values[3], -C64::one());
+        assert_eq!(r.values[0], C64::zero());
+    }
+
+    #[test]
+    fn katsura_m0_row_identity() {
+        // Row m=0: sum_l u_|l| u_|l| = u_0^2 + 2 sum_{l>=1} u_l^2 - u_0.
+        let s = katsura::<f64>(2);
+        let mut e = NaiveEvaluator::new(s);
+        let x = [
+            C64::from_f64(0.5, 0.0),
+            C64::from_f64(0.25, 0.0),
+            C64::from_f64(0.125, 0.0),
+        ];
+        let r = e.evaluate(&x);
+        let expect = 0.25 + 2.0 * (0.0625 + 0.015625) - 0.5;
+        assert!((r.values[0].re - expect).abs() < 1e-14);
+    }
+
+    #[test]
+    fn noon_rows_have_expected_terms() {
+        let s = noon::<f64>(3);
+        assert_eq!(s.dim(), 3);
+        for p in s.polys() {
+            // n-1 cubic terms + linear + constant.
+            assert_eq!(p.num_terms(), 4);
+            assert_eq!(p.total_degree(), 3);
+        }
+        // A quick value check at x = (1, 1, 1):
+        // f_i = 1*(1+1) - 1.1 + 1 = 1.9.
+        let mut e = NaiveEvaluator::new(s);
+        let r = e.evaluate(&[C64::one(); 3]);
+        for v in &r.values {
+            assert!((v.re - 1.9).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn classic_systems_work_in_dd() {
+        use polygpu_qd::Dd;
+        let mut e = NaiveEvaluator::new(cyclic::<Dd>(4));
+        let x = vec![Complex::<Dd>::one(); 4];
+        let r = e.evaluate(&x);
+        // f_0 = 4, f_3 = 0 at the all-ones point.
+        assert_eq!(r.values[0].re.to_f64(), 4.0);
+        assert_eq!(r.values[3].re.to_f64(), 0.0);
+    }
+}

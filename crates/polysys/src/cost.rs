@@ -1,0 +1,110 @@
+//! The paper's multiplication-count cost model (§3.1–§3.3).
+//!
+//! These closed forms are stated in the paper and verified against the
+//! instrumented evaluators by tests (`op_counts_match_paper_formulas` in
+//! `eval::ad`, and the kernel-2 counter test in `polygpu-core`).
+
+/// Multiplications to obtain all partial derivatives of the Speelpenning
+/// product `x_{i1}···x_{ik}`: `3k − 6` for `k >= 3` (forward `k − 2`,
+/// backward `k − 2`, products `k − 2`); zero for `k <= 2`, where the
+/// derivatives are plain copies.
+pub fn speelpenning_muls(k: usize) -> u64 {
+    if k >= 3 {
+        (3 * k - 6) as u64
+    } else {
+        0
+    }
+}
+
+/// Total multiplications per thread of the paper's second kernel:
+/// `5k − 4` = (`3k − 6` Speelpenning) + (`k` by the common factor) +
+/// (1 to recover the monomial value) + (`k + 1` by the coefficients).
+///
+/// Stated for `k >= 2`. For `k = 1` the algorithm performs 4 (the
+/// closed form does not apply; the paper's benchmarks use `k ∈ {9, 16}`).
+pub fn kernel2_muls(k: usize) -> u64 {
+    match k {
+        0 => 0,
+        1 => 4,
+        k => (5 * k - 4) as u64,
+    }
+}
+
+/// Multiplications per thread of kernel 1's second stage: the common
+/// factor is a product of `k` precomputed powers, `k − 1`
+/// multiplications.
+pub fn common_factor_muls(k: usize) -> u64 {
+    (k.saturating_sub(1)) as u64
+}
+
+/// Multiplications per *block* of kernel 1's first stage: each of the
+/// `n` active threads computes powers 2..=d−1 of its variable, `d − 2`
+/// multiplications each (zero when `d <= 2`... note `d = 2` still needs
+/// no multiplication because `x^1` is a copy and `x^0` a constant).
+pub fn power_stage_muls_per_block(n: usize, d: usize) -> u64 {
+    (n as u64) * (d.saturating_sub(2)) as u64
+}
+
+/// Additions per thread of kernel 3: each thread adds exactly `m` terms
+/// (including the pre-zeroed slots), by the paper's §3.3 design.
+pub fn kernel3_adds_per_thread(m: usize) -> u64 {
+    m as u64
+}
+
+/// Total complex multiplications for one full evaluation of the system
+/// and Jacobian with the three-kernel algorithm, excluding the power
+/// stage (which is per-block, see
+/// [`power_stage_muls_per_block`]): `n·m` monomials, each costing
+/// kernel 1 stage 2 plus kernel 2.
+pub fn evaluation_muls(n: usize, m: usize, k: usize) -> u64 {
+    (n * m) as u64 * (common_factor_muls(k) + kernel2_muls(k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_table_values() {
+        // Table 1 family: k = 9 -> kernel 2 does 41 muls per monomial.
+        assert_eq!(kernel2_muls(9), 41);
+        assert_eq!(speelpenning_muls(9), 21);
+        // Table 2 family: k = 16 -> 76 muls.
+        assert_eq!(kernel2_muls(16), 76);
+        assert_eq!(speelpenning_muls(16), 42);
+    }
+
+    #[test]
+    fn decomposition_identity() {
+        // 5k-4 = (3k-6) + k + 1 + (k+1) for k >= 2.
+        for k in 2..200 {
+            assert_eq!(
+                kernel2_muls(k),
+                speelpenning_muls(k) + k as u64 + 1 + (k as u64 + 1)
+            );
+        }
+    }
+
+    #[test]
+    fn small_k_edge_cases() {
+        assert_eq!(speelpenning_muls(0), 0);
+        assert_eq!(speelpenning_muls(1), 0);
+        assert_eq!(speelpenning_muls(2), 0);
+        assert_eq!(speelpenning_muls(3), 3);
+        assert_eq!(kernel2_muls(2), 6);
+        assert_eq!(common_factor_muls(1), 0);
+        assert_eq!(common_factor_muls(9), 8);
+    }
+
+    #[test]
+    fn power_stage() {
+        assert_eq!(power_stage_muls_per_block(32, 2), 0);
+        assert_eq!(power_stage_muls_per_block(32, 10), 32 * 8);
+    }
+
+    #[test]
+    fn whole_evaluation() {
+        // Table 1, 1024 monomials: 1024 * (8 + 41).
+        assert_eq!(evaluation_muls(32, 32, 9), 1024 * 49);
+    }
+}

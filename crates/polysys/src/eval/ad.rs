@@ -1,0 +1,373 @@
+//! The paper's evaluation algorithm on a single CPU core.
+//!
+//! This is the same three-stage algorithm the GPU kernels execute —
+//! power table, common factors, Speelpenning forward/backward products,
+//! coefficient multiplication, summation — run sequentially. It is
+//! both the paper's baseline ("1 CPU core" column of Tables 1 and 2)
+//! and, because the arithmetic is performed in exactly the same order
+//! as the kernels, a bit-for-bit reference for the simulated GPU
+//! pipeline.
+//!
+//! Operation counts are tallied per stage so tests can verify the
+//! paper's `5k − 4` / `3k − 6` multiplication counts (§3.2).
+
+use crate::system::{System, SystemEval, SystemEvaluator, UniformShape};
+use polygpu_complex::{Complex, Real};
+
+/// Complex-multiplication counts per evaluation, broken down by the
+/// paper's stages.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// Stage 1a: building the power table (`n` vars × up to `d − 2`
+    /// multiplications).
+    pub power_table: u64,
+    /// Stage 1b: common factors (`k − 1` per monomial).
+    pub common_factor: u64,
+    /// Stage 2a: Speelpenning derivatives (`3k − 6` per monomial for
+    /// `k >= 2`).
+    pub speelpenning: u64,
+    /// Stage 2b: multiplying derivatives by the common factor and
+    /// recovering the monomial value (`k + 1` per monomial).
+    pub combine: u64,
+    /// Stage 2c: coefficient multiplications (`k + 1` per monomial).
+    pub coefficient: u64,
+    /// Stage 3: additive accumulation (complex additions, not counted in
+    /// the paper's multiplication tally).
+    pub additions: u64,
+}
+
+impl OpCounts {
+    /// Total multiplications attributed to the paper's kernel 2
+    /// (`5k − 4` per monomial): Speelpenning + combine + coefficient.
+    pub fn kernel2_muls(&self) -> u64 {
+        self.speelpenning + self.combine + self.coefficient
+    }
+
+    pub fn total_muls(&self) -> u64 {
+        self.power_table + self.common_factor + self.kernel2_muls()
+    }
+}
+
+/// Sequential algorithmic-differentiation evaluator (the paper's
+/// algorithm, one core). Requires a uniform system.
+pub struct AdEvaluator<R> {
+    system: System<R>,
+    shape: UniformShape,
+    /// Derivative coefficients `c · a_j`, precomputed once per system —
+    /// the paper stores exactly these in the `Coeffs` array because the
+    /// exponents "do not change along the path tracking".
+    deriv_coeffs: Vec<Complex<R>>,
+    /// Scratch: power table, `n × d` entries `pow[v*d + e] = x_v^e`,
+    /// `e` in `0..d` (exponent of the *common factor*, i.e. `a − 1`).
+    pow: Vec<Complex<R>>,
+    /// Scratch: Speelpenning locations `L[0..=k+1]` (index 0 unused to
+    /// match the paper's 1-based `L1..L_{k+1}`).
+    loc: Vec<Complex<R>>,
+    counts: OpCounts,
+}
+
+impl<R: Real> AdEvaluator<R> {
+    /// Build from a uniform system. Errors with the shape violation
+    /// otherwise.
+    pub fn new(system: System<R>) -> Result<Self, crate::system::SystemError> {
+        let shape = system.uniform_shape()?;
+        let mut deriv_coeffs = Vec::with_capacity(shape.total_monomials() * shape.k);
+        for poly in system.polys() {
+            for t in poly.terms() {
+                for &(_, e) in t.monomial.factors() {
+                    deriv_coeffs.push(t.coeff.scale(R::from_u32(e as u32)));
+                }
+            }
+        }
+        let pow_rows = shape.d as usize; // exponents 0..=d-1
+        Ok(AdEvaluator {
+            pow: vec![Complex::zero(); shape.n * pow_rows],
+            loc: vec![Complex::zero(); shape.k + 2],
+            deriv_coeffs,
+            system,
+            shape,
+            counts: OpCounts::default(),
+        })
+    }
+
+    pub fn shape(&self) -> UniformShape {
+        self.shape
+    }
+
+    pub fn system(&self) -> &System<R> {
+        &self.system
+    }
+
+    /// Operation counts accumulated since construction (or the last
+    /// [`AdEvaluator::reset_counts`]).
+    pub fn counts(&self) -> OpCounts {
+        self.counts
+    }
+
+    pub fn reset_counts(&mut self) {
+        self.counts = OpCounts::default();
+    }
+
+    /// Build the power table for the point `x`: `pow[v][e] = x_v^e` for
+    /// `e` in `0..d`, computed by sequential multiplication exactly as
+    /// kernel 1's first stage does.
+    fn build_power_table(&mut self, x: &[Complex<R>]) {
+        let d = self.shape.d as usize;
+        for (v, &xv) in x.iter().enumerate() {
+            self.pow[v * d] = Complex::one();
+            if d > 1 {
+                self.pow[v * d + 1] = xv;
+                for e in 2..d {
+                    self.pow[v * d + e] = self.pow[v * d + e - 1] * xv;
+                    self.counts.power_table += 1;
+                }
+            }
+        }
+    }
+
+    /// Common factor of one monomial: product of `k` power-table entries
+    /// (`k − 1` multiplications), as in kernel 1's second stage.
+    fn common_factor(&mut self, factors: &[(u16, u16)]) -> Complex<R> {
+        let d = self.shape.d as usize;
+        let mut cf = self.pow[factors[0].0 as usize * d + (factors[0].1 as usize - 1)];
+        for &(v, e) in &factors[1..] {
+            cf *= self.pow[v as usize * d + (e as usize - 1)];
+            self.counts.common_factor += 1;
+        }
+        cf
+    }
+
+    /// Derivatives of the Speelpenning product into `loc[1..=k]`,
+    /// following §3.2 verbatim: forward products into `L2..Lk`, backward
+    /// product in the register `q`. `3k − 6` multiplications for
+    /// `k >= 3`; 0 for `k <= 2`.
+    fn speelpenning_derivatives(&mut self, x: &[Complex<R>], factors: &[(u16, u16)]) {
+        let k = factors.len();
+        let xi = |j: usize| x[factors[j].0 as usize]; // x_{i_{j+1}} 0-based
+        match k {
+            0 => {}
+            1 => {
+                self.loc[1] = Complex::one();
+            }
+            2 => {
+                self.loc[1] = xi(1);
+                self.loc[2] = xi(0);
+            }
+            _ => {
+                // Forward products: L[2] = x_{i1}; L[r+2] = L[r+1] * x_{i_{r+1}}.
+                self.loc[2] = xi(0);
+                for r in 1..=k - 2 {
+                    self.loc[r + 2] = self.loc[r + 1] * xi(r);
+                    self.counts.speelpenning += 1;
+                }
+                // Backward: q = x_{ik}; L[k-1] *= q.
+                let mut q = xi(k - 1);
+                self.loc[k - 1] *= q;
+                self.counts.speelpenning += 1;
+                // Middle steps: two multiplications each.
+                for r in 1..=k.saturating_sub(3) {
+                    q *= xi(k - 1 - r);
+                    self.loc[k - r - 1] *= q;
+                    self.counts.speelpenning += 2;
+                }
+                // Last derivative (w.r.t. x_{i1}) lands in L1.
+                q *= xi(1);
+                self.counts.speelpenning += 1;
+                self.loc[1] = q;
+            }
+        }
+    }
+}
+
+impl<R: Real> SystemEvaluator<R> for AdEvaluator<R> {
+    fn dim(&self) -> usize {
+        self.shape.n
+    }
+
+    fn evaluate(&mut self, x: &[Complex<R>]) -> SystemEval<R> {
+        let n = self.shape.n;
+        let k = self.shape.k;
+        assert_eq!(x.len(), n, "point dimension mismatch");
+        self.build_power_table(x);
+        let mut out = SystemEval::zeros(n);
+        let mut dc_idx = 0usize; // index into deriv_coeffs, k per monomial
+        let polys = std::mem::take(&mut self.system); // split borrows
+        for (p, poly) in polys.polys().iter().enumerate() {
+            for t in poly.terms() {
+                let factors = t.monomial.factors();
+                let cf = self.common_factor(factors);
+                self.speelpenning_derivatives(x, factors);
+                // Multiply derivatives by the common factor (k muls).
+                for i in 1..=k {
+                    self.loc[i] *= cf;
+                }
+                self.counts.combine += k as u64;
+                // Monomial value = derivative w.r.t. x_{ik} times x_{ik}.
+                self.loc[k + 1] = self.loc[k] * x[factors[k - 1].0 as usize];
+                self.counts.combine += 1;
+                // Coefficient multiplications (k + 1) and accumulation.
+                out.values[p] += self.loc[k + 1] * t.coeff;
+                self.counts.coefficient += 1;
+                self.counts.additions += 1;
+                for (j, &(v, _)) in factors.iter().enumerate() {
+                    let term = self.loc[j + 1] * self.deriv_coeffs[dc_idx + j];
+                    out.jacobian[(p, v as usize)] += term;
+                    self.counts.coefficient += 1;
+                    self.counts.additions += 1;
+                }
+                dc_idx += k;
+            }
+        }
+        self.system = polys;
+        out
+    }
+
+    fn name(&self) -> &str {
+        "cpu-ad"
+    }
+}
+
+impl<R: Real> Default for System<R> {
+    /// Empty placeholder used internally to split borrows; not a valid
+    /// system for evaluation.
+    fn default() -> Self {
+        System::new(0, Vec::new()).expect("0-dimensional system")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::naive::NaiveEvaluator;
+    use crate::generator::{random_point, random_system, BenchmarkParams};
+    use crate::cost;
+
+    fn check_matches_naive(params: BenchmarkParams, tol: f64) {
+        let sys = random_system::<f64>(&params);
+        let mut ad = AdEvaluator::new(sys.clone()).unwrap();
+        let mut naive = NaiveEvaluator::new(sys);
+        let x = random_point::<f64>(params.n, params.seed ^ 0xABCD);
+        let a = ad.evaluate(&x);
+        let b = naive.evaluate(&x);
+        let diff = a.max_difference(&b);
+        assert!(diff < tol, "AD vs naive differ by {diff:e} for {params:?}");
+    }
+
+    #[test]
+    fn matches_naive_across_shapes() {
+        for (n, m, k, d, seed) in [
+            (4, 3, 2, 1, 1u64),
+            (5, 4, 3, 2, 2),
+            (8, 6, 4, 5, 3),
+            (12, 10, 6, 3, 4),
+            (32, 8, 9, 2, 5),
+            (32, 8, 16, 10, 6),
+            (6, 2, 1, 4, 7), // k = 1 edge case
+        ] {
+            check_matches_naive(
+                BenchmarkParams {
+                    n,
+                    m,
+                    k,
+                    d,
+                    seed,
+                },
+                1e-10,
+            );
+        }
+    }
+
+    #[test]
+    fn op_counts_match_paper_formulas() {
+        for k in [2usize, 3, 5, 9, 16, 32] {
+            let params = BenchmarkParams {
+                n: 32,
+                m: 4,
+                k,
+                d: 3,
+                seed: k as u64,
+            };
+            let sys = random_system::<f64>(&params);
+            let mut ad = AdEvaluator::new(sys).unwrap();
+            let x = random_point::<f64>(32, 99);
+            let _ = ad.evaluate(&x);
+            let c = ad.counts();
+            let monomials = (32 * 4) as u64;
+            // Paper §3.2: 3k − 6 multiplications for the Speelpenning
+            // derivatives (k >= 3; zero for k = 2)...
+            assert_eq!(
+                c.speelpenning,
+                monomials * cost::speelpenning_muls(k),
+                "speelpenning count for k = {k}"
+            );
+            // ...and 5k − 4 total for kernel 2's work.
+            assert_eq!(
+                c.kernel2_muls(),
+                monomials * cost::kernel2_muls(k),
+                "kernel-2 count for k = {k}"
+            );
+            // Kernel 1's second stage: k − 1 per monomial.
+            assert_eq!(c.common_factor, monomials * (k as u64 - 1));
+            // Power table: n vars × max(d − 2, 0) multiplications.
+            assert_eq!(c.power_table, 32);
+        }
+    }
+
+    #[test]
+    fn dd_evaluation_agrees_with_f64_to_double_roundoff() {
+        use polygpu_qd::Dd;
+        let params = BenchmarkParams {
+            n: 6,
+            m: 4,
+            k: 3,
+            d: 4,
+            seed: 21,
+        };
+        let sys = random_system::<f64>(&params);
+        let sys_dd: System<Dd> = sys.convert();
+        let mut ad64 = AdEvaluator::new(sys).unwrap();
+        let mut ad_dd = AdEvaluator::new(sys_dd).unwrap();
+        let x = random_point::<f64>(6, 5);
+        let x_dd: Vec<_> = x.iter().map(|z| z.convert::<Dd>()).collect();
+        let a = ad64.evaluate(&x);
+        let b = ad_dd.evaluate(&x_dd);
+        for (va, vb) in a.values.iter().zip(&b.values) {
+            assert!((va.re - vb.re.to_f64()).abs() < 1e-12);
+            assert!((va.im - vb.im.to_f64()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn counts_reset() {
+        let params = BenchmarkParams {
+            n: 4,
+            m: 2,
+            k: 2,
+            d: 2,
+            seed: 1,
+        };
+        let mut ad = AdEvaluator::new(random_system::<f64>(&params)).unwrap();
+        let x = random_point::<f64>(4, 2);
+        let _ = ad.evaluate(&x);
+        assert!(ad.counts().total_muls() > 0);
+        ad.reset_counts();
+        assert_eq!(ad.counts().total_muls(), 0);
+    }
+
+    #[test]
+    fn rejects_non_uniform_system() {
+        use crate::monomial::Monomial;
+        use crate::polynomial::{Polynomial, Term};
+        use polygpu_complex::C64;
+        let p1 = Polynomial::new(vec![Term {
+            coeff: C64::one(),
+            monomial: Monomial::new(vec![(0, 1), (1, 1)]).unwrap(),
+        }]);
+        let p2 = Polynomial::new(vec![Term {
+            coeff: C64::one(),
+            monomial: Monomial::new(vec![(0, 1)]).unwrap(),
+        }]);
+        let sys = System::new(2, vec![p1, p2]).unwrap();
+        assert!(AdEvaluator::new(sys).is_err());
+    }
+}

@@ -1,0 +1,8 @@
+//! CPU evaluators: the naive oracle and the paper's sequential
+//! algorithmic-differentiation algorithm.
+
+pub mod ad;
+pub mod naive;
+
+pub use ad::{AdEvaluator, OpCounts};
+pub use naive::NaiveEvaluator;

@@ -1,0 +1,145 @@
+//! The obviously-correct oracle evaluator.
+//!
+//! Evaluates each monomial by binary powering and each Jacobian entry
+//! from the analytically differentiated polynomial. Used only to
+//! validate the algorithmic-differentiation evaluators (CPU and GPU);
+//! makes no attempt at efficiency beyond a per-point power table.
+
+use crate::system::{System, SystemEval, SystemEvaluator};
+use polygpu_complex::{Complex, Real};
+
+/// Naive evaluator: power table + analytic derivative per entry.
+pub struct NaiveEvaluator<R> {
+    system: System<R>,
+    max_exp: i32,
+}
+
+impl<R: Real> NaiveEvaluator<R> {
+    pub fn new(system: System<R>) -> Self {
+        let max_exp = system
+            .polys()
+            .iter()
+            .map(|p| p.max_exponent())
+            .max()
+            .unwrap_or(0) as i32;
+        NaiveEvaluator { system, max_exp }
+    }
+
+    pub fn system(&self) -> &System<R> {
+        &self.system
+    }
+}
+
+impl<R: Real> SystemEvaluator<R> for NaiveEvaluator<R> {
+    fn dim(&self) -> usize {
+        self.system.dim()
+    }
+
+    fn evaluate(&mut self, x: &[Complex<R>]) -> SystemEval<R> {
+        let n = self.system.dim();
+        assert_eq!(x.len(), n, "point dimension mismatch");
+        // Power table: pow[v * (max_exp+1) + e] = x_v^e.
+        let stride = self.max_exp as usize + 1;
+        let mut pow = vec![Complex::<R>::one(); n * stride];
+        for v in 0..n {
+            for e in 1..stride {
+                pow[v * stride + e] = pow[v * stride + e - 1] * x[v];
+            }
+        }
+        let mut out = SystemEval::zeros(n);
+        for (p, poly) in self.system.polys().iter().enumerate() {
+            for t in poly.terms() {
+                // Value.
+                let mut mv = t.coeff;
+                for &(v, e) in t.monomial.factors() {
+                    mv *= pow[v as usize * stride + e as usize];
+                }
+                out.values[p] += mv;
+                // Each partial derivative.
+                for &(v, e) in t.monomial.factors() {
+                    let mut dv = t.coeff.scale(R::from_u32(e as u32));
+                    for &(w, f) in t.monomial.factors() {
+                        let fe = if w == v { f - 1 } else { f } as usize;
+                        dv *= pow[w as usize * stride + fe];
+                    }
+                    out.jacobian[(p, v as usize)] += dv;
+                }
+            }
+        }
+        out
+    }
+
+    fn name(&self) -> &str {
+        "cpu-naive"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monomial::Monomial;
+    use crate::polynomial::{Polynomial, Term};
+    use polygpu_complex::C64;
+
+    /// f0 = x0^2*x1, f1 = x0 + ... needs uniform shape? Naive does not
+    /// require uniformity; exercise a ragged system on purpose.
+    #[test]
+    fn known_system_values_and_jacobian() {
+        let f0 = Polynomial::new(vec![Term {
+            coeff: C64::one(),
+            monomial: Monomial::new(vec![(0, 2), (1, 1)]).unwrap(),
+        }]);
+        let f1 = Polynomial::new(vec![
+            Term {
+                coeff: C64::from_f64(3.0, 0.0),
+                monomial: Monomial::new(vec![(0, 1)]).unwrap(),
+            },
+            Term {
+                coeff: C64::i(),
+                monomial: Monomial::new(vec![(1, 2)]).unwrap(),
+            },
+        ]);
+        let sys = System::new(2, vec![f0, f1]).unwrap();
+        let mut ev = NaiveEvaluator::new(sys);
+        let x = [C64::from_f64(2.0, 0.0), C64::from_f64(-1.0, 0.0)];
+        let r = ev.evaluate(&x);
+        // f0 = 4 * -1 = -4 ; f1 = 6 + i*1
+        assert_eq!(r.values[0], C64::from_f64(-4.0, 0.0));
+        assert_eq!(r.values[1], C64::from_f64(6.0, 1.0));
+        // J = [[2*x0*x1, x0^2], [3, 2i*x1]]
+        assert_eq!(r.jacobian[(0, 0)], C64::from_f64(-4.0, 0.0));
+        assert_eq!(r.jacobian[(0, 1)], C64::from_f64(4.0, 0.0));
+        assert_eq!(r.jacobian[(1, 0)], C64::from_f64(3.0, 0.0));
+        assert_eq!(r.jacobian[(1, 1)], C64::from_f64(0.0, -2.0));
+    }
+
+    #[test]
+    fn jacobian_matches_finite_differences() {
+        use crate::generator::{random_point, random_system, BenchmarkParams};
+        let params = BenchmarkParams {
+            n: 5,
+            m: 4,
+            k: 3,
+            d: 3,
+            seed: 17,
+        };
+        let sys = random_system::<f64>(&params);
+        let mut ev = NaiveEvaluator::new(sys);
+        let x = random_point::<f64>(5, 23);
+        let base = ev.evaluate(&x);
+        let h = 1e-7;
+        for j in 0..5 {
+            let mut xp = x.clone();
+            xp[j] += C64::from_f64(h, 0.0);
+            let plus = ev.evaluate(&xp);
+            for i in 0..5 {
+                let fd = (plus.values[i] - base.values[i]).scale(1.0 / h);
+                let an = base.jacobian[(i, j)];
+                assert!(
+                    (fd - an).abs() < 1e-5,
+                    "d f{i}/dx{j}: fd {fd} vs analytic {an}"
+                );
+            }
+        }
+    }
+}

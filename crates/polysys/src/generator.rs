@@ -1,0 +1,240 @@
+//! Random benchmark systems with the paper's regular shape.
+//!
+//! §2 of the paper: "For establishing benchmarks we consider in this
+//! paper systems with a fixed number k of variables in monomials, a
+//! fixed maximal degree d up to which any of variables can appear in
+//! monomials of the system, and a fixed number m of monomials in all
+//! polynomials." §4 uses dimension `n = 32` with `m ∈ {22, 32, 48}`
+//! monomials per polynomial (704/1024/1536 total), `k = 9, d = 2`
+//! (Table 1) and `k = 16, d = 10` (Table 2). Coefficients are random on
+//! the complex unit circle, the standard choice in polynomial homotopy
+//! benchmarks.
+
+use crate::monomial::{Exp, Monomial, Var};
+use crate::polynomial::{Polynomial, Term};
+use crate::system::{System, UniformShape};
+use polygpu_complex::{Complex, Real};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::f64::consts::TAU;
+
+/// Parameters for the random benchmark family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchmarkParams {
+    /// Dimension (variables = polynomials).
+    pub n: usize,
+    /// Monomials per polynomial.
+    pub m: usize,
+    /// Variables per monomial (`2 <= k <= n`).
+    pub k: usize,
+    /// Maximal exponent of a variable (`>= 1`). Exponents are drawn
+    /// uniformly from `1..=d`.
+    pub d: Exp,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+}
+
+impl BenchmarkParams {
+    /// Table 1 family: `n = 32`, `k = 9`, `d = 2`; `m` chosen so the
+    /// total monomial count is 704, 1024 or 1536.
+    pub fn table1(monomials_total: usize, seed: u64) -> Self {
+        assert_eq!(monomials_total % 32, 0, "total must be a multiple of n = 32");
+        BenchmarkParams {
+            n: 32,
+            m: monomials_total / 32,
+            k: 9,
+            d: 2,
+            seed,
+        }
+    }
+
+    /// Table 2 family: `n = 32`, `k = 16`, `d = 10`.
+    pub fn table2(monomials_total: usize, seed: u64) -> Self {
+        assert_eq!(monomials_total % 32, 0, "total must be a multiple of n = 32");
+        BenchmarkParams {
+            n: 32,
+            m: monomials_total / 32,
+            k: 16,
+            d: 10,
+            seed,
+        }
+    }
+
+    pub fn shape(&self) -> UniformShape {
+        UniformShape {
+            n: self.n,
+            m: self.m,
+            k: self.k,
+            d: self.d,
+        }
+    }
+}
+
+/// Generate a random system of the given shape. Panics if `k > n` or
+/// `k < 1` or `d < 1`.
+///
+/// Note: the generated shape's `d` is an upper bound realized with high
+/// probability, not a guarantee — `uniform_shape()` may report a smaller
+/// observed `d` for tiny systems.
+pub fn random_system<R: Real>(params: &BenchmarkParams) -> System<R> {
+    assert!(params.k >= 1 && params.k <= params.n, "need 1 <= k <= n");
+    assert!(params.d >= 1, "need d >= 1");
+    assert!(params.m >= 1, "need m >= 1");
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let polys = (0..params.n)
+        .map(|_| random_polynomial(params, &mut rng))
+        .collect();
+    System::new(params.n, polys).expect("generator produces square systems")
+}
+
+fn random_polynomial<R: Real>(params: &BenchmarkParams, rng: &mut StdRng) -> Polynomial<R> {
+    let terms = (0..params.m)
+        .map(|_| Term {
+            coeff: random_unit_coeff(rng),
+            monomial: random_monomial(params, rng),
+        })
+        .collect();
+    Polynomial::new(terms)
+}
+
+/// `k` distinct variables by partial Fisher-Yates over `0..n`, exponents
+/// uniform in `1..=d`.
+fn random_monomial(params: &BenchmarkParams, rng: &mut StdRng) -> Monomial {
+    let vars = sample_distinct(params.n, params.k, rng);
+    let factors = vars
+        .into_iter()
+        .map(|v| (v as Var, rng.gen_range(1..=params.d)))
+        .collect();
+    Monomial::new(factors).expect("distinct vars with exponents >= 1")
+}
+
+/// Coefficient on the complex unit circle.
+fn random_unit_coeff<R: Real>(rng: &mut StdRng) -> Complex<R> {
+    Complex::unit_from_angle(rng.gen_range(0.0..TAU))
+}
+
+/// Sample `k` distinct values from `0..n` (partial Fisher-Yates).
+fn sample_distinct(n: usize, k: usize, rng: &mut StdRng) -> Vec<usize> {
+    let mut pool: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = rng.gen_range(i..n);
+        pool.swap(i, j);
+    }
+    pool.truncate(k);
+    pool
+}
+
+/// A random evaluation point with coordinates on the unit circle — the
+/// magnitude-neutral choice used when timing evaluations.
+pub fn random_point<R: Real>(n: usize, seed: u64) -> Vec<Complex<R>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Complex::unit_from_angle(rng.gen_range(0.0..TAU)))
+        .collect()
+}
+
+/// A batch of random evaluation points.
+pub fn random_points<R: Real>(n: usize, count: usize, seed: u64) -> Vec<Vec<Complex<R>>> {
+    (0..count)
+        .map(|i| random_point(n, seed.wrapping_add(i as u64).wrapping_mul(0x9E3779B97F4A7C15)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_system_has_requested_shape() {
+        let params = BenchmarkParams {
+            n: 10,
+            m: 7,
+            k: 4,
+            d: 5,
+            seed: 42,
+        };
+        let sys = random_system::<f64>(&params);
+        let shape = sys.uniform_shape().unwrap();
+        assert_eq!(shape.n, 10);
+        assert_eq!(shape.m, 7);
+        assert_eq!(shape.k, 4);
+        assert!(shape.d <= 5 && shape.d >= 1);
+    }
+
+    #[test]
+    fn table_presets_match_paper() {
+        let t1 = BenchmarkParams::table1(1024, 1);
+        assert_eq!((t1.n, t1.m, t1.k, t1.d), (32, 32, 9, 2));
+        let t2 = BenchmarkParams::table2(704, 1);
+        assert_eq!((t2.n, t2.m, t2.k, t2.d), (32, 22, 16, 10));
+        assert_eq!(t2.shape().total_monomials(), 704);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let params = BenchmarkParams {
+            n: 6,
+            m: 3,
+            k: 2,
+            d: 3,
+            seed: 7,
+        };
+        let a = random_system::<f64>(&params);
+        let b = random_system::<f64>(&params);
+        assert_eq!(a, b);
+        let c = random_system::<f64>(&BenchmarkParams { seed: 8, ..params });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn coefficients_on_unit_circle() {
+        let params = BenchmarkParams {
+            n: 4,
+            m: 5,
+            k: 2,
+            d: 2,
+            seed: 3,
+        };
+        let sys = random_system::<f64>(&params);
+        for poly in sys.polys() {
+            for t in poly.terms() {
+                assert!((t.coeff.norm_sqr() - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn monomials_have_distinct_vars_in_range() {
+        let params = BenchmarkParams {
+            n: 8,
+            m: 10,
+            k: 8, // k == n: every variable in every monomial
+            d: 2,
+            seed: 9,
+        };
+        let sys = random_system::<f64>(&params);
+        for poly in sys.polys() {
+            for t in poly.terms() {
+                let vars: Vec<_> = t.monomial.factors().iter().map(|&(v, _)| v).collect();
+                assert_eq!(vars.len(), 8);
+                let mut sorted = vars.clone();
+                sorted.dedup();
+                assert_eq!(sorted.len(), 8, "duplicate variable in {vars:?}");
+                assert!(vars.iter().all(|&v| (v as usize) < 8));
+            }
+        }
+    }
+
+    #[test]
+    fn random_points_are_unit_and_deterministic() {
+        let a = random_point::<f64>(5, 11);
+        let b = random_point::<f64>(5, 11);
+        assert_eq!(a, b);
+        for z in &a {
+            assert!((z.norm_sqr() - 1.0).abs() < 1e-12);
+        }
+        let batch = random_points::<f64>(5, 3, 11);
+        assert_eq!(batch.len(), 3);
+        assert_ne!(batch[0], batch[1]);
+    }
+}

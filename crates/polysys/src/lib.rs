@@ -1,0 +1,39 @@
+//! # polygpu-polysys — sparse polynomial systems
+//!
+//! The problem-statement layer of the reproduction (paper §2): sparse
+//! polynomial systems `f(x) = 0` stored as coefficient/support tuples,
+//! the regular `(n, m, k, d)` benchmark family, CPU reference
+//! evaluators (naive and the paper's algorithmic-differentiation
+//! algorithm), and the paper's multiplication-count cost model.
+//!
+//! ```
+//! use polygpu_polysys::generator::{random_system, random_point, BenchmarkParams};
+//! use polygpu_polysys::eval::AdEvaluator;
+//! use polygpu_polysys::system::SystemEvaluator;
+//!
+//! // The paper's Table 1 shape at 1/16 scale: n=32, m=2, k=9, d=2.
+//! let params = BenchmarkParams { n: 32, m: 2, k: 9, d: 2, seed: 7 };
+//! let system = random_system::<f64>(&params);
+//! let mut eval = AdEvaluator::new(system).unwrap();
+//! let x = random_point(32, 1);
+//! let result = eval.evaluate(&x);
+//! assert_eq!(result.values.len(), 32);
+//! assert_eq!(result.jacobian.rows(), 32);
+//! ```
+
+pub mod classic;
+pub mod cost;
+pub mod eval;
+pub mod generator;
+pub mod monomial;
+pub mod parse;
+pub mod polynomial;
+pub mod system;
+
+pub use classic::{cyclic, katsura, noon};
+pub use eval::{AdEvaluator, NaiveEvaluator, OpCounts};
+pub use generator::{random_point, random_points, random_system, BenchmarkParams};
+pub use monomial::{Exp, Monomial, MonomialError, Var};
+pub use parse::{parse_polynomial, parse_system, ParseError};
+pub use polynomial::{Polynomial, Term};
+pub use system::{System, SystemError, SystemEval, SystemEvaluator, UniformShape};

@@ -1,0 +1,247 @@
+//! Sparse monomials: sorted lists of `(variable, exponent)` pairs.
+//!
+//! The paper's problem statement (§2) stores a polynomial as a tuple
+//! `(C, A)` of coefficients and *supports* (exponent vectors). Because
+//! the systems are sparse, we store each monomial as the list of
+//! variables that actually occur, with exponents `>= 1` — exactly the
+//! information the GPU layouts (`Positions`/`Exponents`) encode.
+
+use std::fmt;
+
+/// Index of a variable, `0`-based. The paper's constant-memory encoding
+/// limits positions to a `u8` ("a position of a variable from 0 to
+/// 255"); the in-memory representation is wider so the encoding layer
+/// can report the limit instead of silently truncating.
+pub type Var = u16;
+
+/// Exponent of a variable in a monomial. Always `>= 1` when stored.
+/// The paper's encoding stores `exponent - 1` in a `u8`, "giving us
+/// opportunity to work with variables appearing in degrees up to 255".
+pub type Exp = u16;
+
+/// A sparse monomial `x_{i1}^{a1} · x_{i2}^{a2} · … · x_{ik}^{ak}` with
+/// `i1 < i2 < … < ik` and all `aj >= 1`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Monomial {
+    factors: Vec<(Var, Exp)>,
+}
+
+/// Errors constructing a [`Monomial`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MonomialError {
+    /// An exponent of zero was supplied; absent variables must simply be
+    /// omitted from the support.
+    ZeroExponent(Var),
+    /// The same variable appeared twice.
+    DuplicateVariable(Var),
+}
+
+impl fmt::Display for MonomialError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MonomialError::ZeroExponent(v) => {
+                write!(f, "variable x{v} given exponent 0; omit it instead")
+            }
+            MonomialError::DuplicateVariable(v) => {
+                write!(f, "variable x{v} appears more than once")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MonomialError {}
+
+impl Monomial {
+    /// Build from `(variable, exponent)` pairs in any order.
+    pub fn new(mut factors: Vec<(Var, Exp)>) -> Result<Self, MonomialError> {
+        factors.sort_unstable_by_key(|&(v, _)| v);
+        for w in factors.windows(2) {
+            if w[0].0 == w[1].0 {
+                return Err(MonomialError::DuplicateVariable(w[0].0));
+            }
+        }
+        if let Some(&(v, _)) = factors.iter().find(|&&(_, e)| e == 0) {
+            return Err(MonomialError::ZeroExponent(v));
+        }
+        Ok(Monomial { factors })
+    }
+
+    /// The constant monomial `1` (empty support).
+    pub fn constant() -> Self {
+        Monomial {
+            factors: Vec::new(),
+        }
+    }
+
+    /// A single variable `x_v`.
+    pub fn var(v: Var) -> Self {
+        Monomial {
+            factors: vec![(v, 1)],
+        }
+    }
+
+    /// Number of distinct variables (the paper's `k`).
+    #[inline]
+    pub fn num_vars(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// Total degree `Σ aj`.
+    pub fn total_degree(&self) -> u32 {
+        self.factors.iter().map(|&(_, e)| e as u32).sum()
+    }
+
+    /// Largest exponent of any single variable (the paper's `d` is the
+    /// system-wide bound on this).
+    pub fn max_exponent(&self) -> Exp {
+        self.factors.iter().map(|&(_, e)| e).max().unwrap_or(0)
+    }
+
+    /// Sorted `(variable, exponent)` pairs.
+    #[inline]
+    pub fn factors(&self) -> &[(Var, Exp)] {
+        &self.factors
+    }
+
+    /// Does `x_v` occur?
+    pub fn contains(&self, v: Var) -> bool {
+        self.factors.binary_search_by_key(&v, |&(w, _)| w).is_ok()
+    }
+
+    /// Exponent of `x_v` (0 if absent).
+    pub fn exponent_of(&self, v: Var) -> Exp {
+        match self.factors.binary_search_by_key(&v, |&(w, _)| w) {
+            Ok(i) => self.factors[i].1,
+            Err(_) => 0,
+        }
+    }
+
+    /// The monomial of the partial derivative w.r.t. `x_v`, i.e. the
+    /// support of `∂(x^a)/∂x_v` (without the numeric factor `a_v`).
+    /// Returns `None` when the derivative is zero.
+    pub fn derivative_support(&self, v: Var) -> Option<Monomial> {
+        let i = self.factors.binary_search_by_key(&v, |&(w, _)| w).ok()?;
+        let mut f = self.factors.clone();
+        if f[i].1 == 1 {
+            f.remove(i);
+        } else {
+            f[i].1 -= 1;
+        }
+        Some(Monomial { factors: f })
+    }
+
+    /// The common-factor support `x^{a - 1}` restricted to occurring
+    /// variables: each exponent reduced by one, variables with exponent
+    /// one dropping out. This is the quantity kernel 1 of the paper
+    /// evaluates.
+    pub fn common_factor_support(&self) -> Monomial {
+        let factors = self
+            .factors
+            .iter()
+            .filter(|&&(_, e)| e > 1)
+            .map(|&(v, e)| (v, e - 1))
+            .collect();
+        Monomial { factors }
+    }
+
+    /// The Speelpenning product `x_{i1} x_{i2} … x_{ik}` of this
+    /// monomial's variables.
+    pub fn speelpenning_support(&self) -> Monomial {
+        Monomial {
+            factors: self.factors.iter().map(|&(v, _)| (v, 1)).collect(),
+        }
+    }
+}
+
+impl fmt::Display for Monomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.factors.is_empty() {
+            return write!(f, "1");
+        }
+        for (i, &(v, e)) in self.factors.iter().enumerate() {
+            if i > 0 {
+                write!(f, "*")?;
+            }
+            if e == 1 {
+                write!(f, "x{v}")?;
+            } else {
+                write!(f, "x{v}^{e}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_sorts_and_validates() {
+        let m = Monomial::new(vec![(3, 2), (1, 1), (2, 7)]).unwrap();
+        assert_eq!(m.factors(), &[(1, 1), (2, 7), (3, 2)]);
+        assert_eq!(m.num_vars(), 3);
+        assert_eq!(m.total_degree(), 10);
+        assert_eq!(m.max_exponent(), 7);
+    }
+
+    #[test]
+    fn rejects_zero_exponent_and_duplicates() {
+        assert_eq!(
+            Monomial::new(vec![(1, 0)]),
+            Err(MonomialError::ZeroExponent(1))
+        );
+        assert_eq!(
+            Monomial::new(vec![(1, 2), (1, 3)]),
+            Err(MonomialError::DuplicateVariable(1))
+        );
+    }
+
+    #[test]
+    fn derivative_support_drops_or_decrements() {
+        // d/dx2 of x1^3 x2 x3^2 = x1^3 x3^2 (x2 drops out)
+        let m = Monomial::new(vec![(1, 3), (2, 1), (3, 2)]).unwrap();
+        let d2 = m.derivative_support(2).unwrap();
+        assert_eq!(d2.factors(), &[(1, 3), (3, 2)]);
+        // d/dx1 decrements
+        let d1 = m.derivative_support(1).unwrap();
+        assert_eq!(d1.factors(), &[(1, 2), (2, 1), (3, 2)]);
+        // d/dx7 of something without x7 is zero
+        assert!(m.derivative_support(7).is_none());
+    }
+
+    #[test]
+    fn paper_example_common_factor() {
+        // Paper §3.1: monomial x1^3 x2^7 x3^2 has common factor
+        // x1^2 x2^6 x3 (shifted to 0-based variables here).
+        let m = Monomial::new(vec![(0, 3), (1, 7), (2, 2)]).unwrap();
+        let cf = m.common_factor_support();
+        assert_eq!(cf.factors(), &[(0, 2), (1, 6), (2, 1)]);
+        let sp = m.speelpenning_support();
+        assert_eq!(sp.factors(), &[(0, 1), (1, 1), (2, 1)]);
+    }
+
+    #[test]
+    fn common_factor_of_multilinear_is_constant() {
+        let m = Monomial::new(vec![(0, 1), (5, 1)]).unwrap();
+        assert_eq!(m.common_factor_support(), Monomial::constant());
+    }
+
+    #[test]
+    fn exponent_queries() {
+        let m = Monomial::new(vec![(2, 4), (9, 1)]).unwrap();
+        assert!(m.contains(2));
+        assert!(!m.contains(3));
+        assert_eq!(m.exponent_of(2), 4);
+        assert_eq!(m.exponent_of(3), 0);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Monomial::constant().to_string(), "1");
+        assert_eq!(
+            Monomial::new(vec![(0, 1), (3, 2)]).unwrap().to_string(),
+            "x0*x3^2"
+        );
+    }
+}

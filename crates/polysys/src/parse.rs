@@ -1,0 +1,388 @@
+//! A small text format for polynomials and systems.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! system     := polynomial (';' polynomial)* ';'?
+//! polynomial := term (('+' | '-') term)*
+//! term       := coeff ('*' factor)* | factor ('*' factor)*
+//! factor     := 'x' INDEX ('^' EXP)?
+//! coeff      := NUMBER | '(' NUMBER (('+'|'-') NUMBER? 'i')? ')' | 'i'
+//! ```
+//!
+//! Examples: `3.5*x0^2*x2 + (1+2i)*x1 - x0`, `x0^2 - 1; x0*x1 + 2`.
+//!
+//! Round-trips with the `Display` implementations (which print
+//! coefficients in full precision through the generic decimal
+//! formatter), so systems survive save/load in any supported scalar.
+
+use crate::monomial::Monomial;
+use crate::polynomial::{Polynomial, Term};
+use crate::system::{System, SystemError};
+use polygpu_complex::{Complex, Real};
+use std::fmt;
+
+/// Parse failure with a byte position and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub position: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Cursor<'a> {
+    s: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(s: &'a str) -> Self {
+        Cursor {
+            s: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.s.len() && self.s[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.s.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            position: self.pos,
+            message: message.into(),
+        }
+    }
+
+    /// An unsigned decimal number (integer or float, with optional
+    /// exponent).
+    fn number(&mut self) -> Result<f64, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.s.len()
+            && (self.s[self.pos].is_ascii_digit() || self.s[self.pos] == b'.')
+        {
+            self.pos += 1;
+        }
+        // optional exponent
+        if self.pos < self.s.len() && (self.s[self.pos] | 0x20) == b'e' {
+            let mark = self.pos;
+            self.pos += 1;
+            if self.pos < self.s.len() && (self.s[self.pos] == b'+' || self.s[self.pos] == b'-') {
+                self.pos += 1;
+            }
+            if self.pos < self.s.len() && self.s[self.pos].is_ascii_digit() {
+                while self.pos < self.s.len() && self.s[self.pos].is_ascii_digit() {
+                    self.pos += 1;
+                }
+            } else {
+                self.pos = mark; // not an exponent after all
+            }
+        }
+        if start == self.pos {
+            return Err(self.err("expected a number"));
+        }
+        std::str::from_utf8(&self.s[start..self.pos])
+            .expect("ascii digits")
+            .parse::<f64>()
+            .map_err(|e| self.err(format!("bad number: {e}")))
+    }
+
+    /// An unsigned integer.
+    fn integer(&mut self) -> Result<u32, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.s.len() && self.s[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(self.err("expected an integer"));
+        }
+        std::str::from_utf8(&self.s[start..self.pos])
+            .expect("ascii digits")
+            .parse::<u32>()
+            .map_err(|e| self.err(format!("bad integer: {e}")))
+    }
+}
+
+/// `x INDEX [^ EXP]`
+fn parse_factor(c: &mut Cursor<'_>) -> Result<(u16, u16), ParseError> {
+    if !c.eat(b'x') {
+        return Err(c.err("expected a variable like `x0`"));
+    }
+    let var = c.integer()?;
+    if var > u16::MAX as u32 {
+        return Err(c.err("variable index too large"));
+    }
+    let exp = if c.eat(b'^') {
+        let e = c.integer()?;
+        if e == 0 || e > u16::MAX as u32 {
+            return Err(c.err("exponent must be in 1..=65535"));
+        }
+        e as u16
+    } else {
+        1
+    };
+    Ok((var as u16, exp))
+}
+
+/// A parenthesised complex literal: `( a )`, `( a + b i )`, `( a - i )`.
+fn parse_complex_paren<R: Real>(c: &mut Cursor<'_>) -> Result<Complex<R>, ParseError> {
+    // '(' already consumed
+    let re_neg = c.eat(b'-');
+    let re = c.number()?;
+    let re = if re_neg { -re } else { re };
+    let mut im = 0.0;
+    match c.peek() {
+        Some(b'+') | Some(b'-') => {
+            let neg = c.bump() == Some(b'-');
+            // `b i` or bare `i`
+            let mag = if c.peek() == Some(b'i') { 1.0 } else { c.number()? };
+            if !c.eat(b'i') {
+                return Err(c.err("expected `i` after imaginary part"));
+            }
+            im = if neg { -mag } else { mag };
+        }
+        Some(b'i') => {
+            // `(ai)` form: what we parsed was the imaginary magnitude
+            c.bump();
+            if !c.eat(b')') {
+                return Err(c.err("expected `)`"));
+            }
+            return Ok(Complex::from_f64(0.0, re));
+        }
+        _ => {}
+    }
+    if !c.eat(b')') {
+        return Err(c.err("expected `)`"));
+    }
+    Ok(Complex::from_f64(re, im))
+}
+
+/// One term: optional coefficient, factors joined by `*`.
+fn parse_term<R: Real>(c: &mut Cursor<'_>, negate: bool) -> Result<Term<R>, ParseError> {
+    let mut coeff = Complex::<R>::one();
+    let mut have_coeff = false;
+    match c.peek() {
+        Some(b'(') => {
+            c.bump();
+            coeff = parse_complex_paren(c)?;
+            have_coeff = true;
+        }
+        Some(b'i') => {
+            c.bump();
+            coeff = Complex::i();
+            have_coeff = true;
+        }
+        Some(ch) if ch.is_ascii_digit() || ch == b'.' => {
+            coeff = Complex::from_f64(c.number()?, 0.0);
+            have_coeff = true;
+        }
+        _ => {}
+    }
+    let mut factors = Vec::new();
+    // After a coefficient, factors come via '*'; a bare leading factor
+    // needs no '*'.
+    loop {
+        if have_coeff || !factors.is_empty() {
+            if !c.eat(b'*') {
+                break;
+            }
+        } else if c.peek() != Some(b'x') {
+            break;
+        }
+        factors.push(parse_factor(c)?);
+    }
+    if !have_coeff && factors.is_empty() {
+        return Err(c.err("expected a term"));
+    }
+    let monomial = Monomial::new(factors).map_err(|e| c.err(e.to_string()))?;
+    if negate {
+        coeff = -coeff;
+    }
+    Ok(Term { coeff, monomial })
+}
+
+/// Parse one polynomial.
+pub fn parse_polynomial<R: Real>(input: &str) -> Result<Polynomial<R>, ParseError> {
+    let mut c = Cursor::new(input);
+    let poly = parse_polynomial_inner(&mut c)?;
+    c.skip_ws();
+    if c.pos != c.s.len() {
+        return Err(c.err("trailing input after polynomial"));
+    }
+    Ok(poly)
+}
+
+fn parse_polynomial_inner<R: Real>(c: &mut Cursor<'_>) -> Result<Polynomial<R>, ParseError> {
+    let mut terms = Vec::new();
+    let mut negate = c.eat(b'-');
+    loop {
+        terms.push(parse_term(c, negate)?);
+        match c.peek() {
+            Some(b'+') => {
+                c.bump();
+                negate = false;
+            }
+            Some(b'-') => {
+                c.bump();
+                negate = true;
+            }
+            _ => break,
+        }
+    }
+    Ok(Polynomial::new(terms))
+}
+
+/// Parse a `;`-separated square system; `n` is inferred as the largest
+/// variable index + 1, clamped up to the polynomial count.
+pub fn parse_system<R: Real>(input: &str) -> Result<System<R>, ParseError> {
+    let mut c = Cursor::new(input);
+    let mut polys = Vec::new();
+    loop {
+        polys.push(parse_polynomial_inner::<R>(&mut c)?);
+        if !c.eat(b';') {
+            break;
+        }
+        if c.peek().is_none() {
+            break; // trailing semicolon
+        }
+    }
+    c.skip_ws();
+    if c.pos != c.s.len() {
+        return Err(c.err("trailing input after system"));
+    }
+    let n = polys
+        .iter()
+        .map(|p| p.min_dimension())
+        .max()
+        .unwrap_or(0)
+        .max(polys.len());
+    System::new(n, polys).map_err(|e: SystemError| ParseError {
+        position: input.len(),
+        message: e.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polygpu_complex::C64;
+
+    #[test]
+    fn parses_simple_terms() {
+        let p: Polynomial<f64> = parse_polynomial("3.5*x0^2*x2 + x1 - 2*x0").unwrap();
+        assert_eq!(p.num_terms(), 3);
+        let v = p.eval(&[
+            C64::from_f64(1.0, 0.0),
+            C64::from_f64(2.0, 0.0),
+            C64::from_f64(3.0, 0.0),
+        ]);
+        // 3.5*1*3 + 2 - 2 = 10.5
+        assert_eq!(v, C64::from_f64(10.5, 0.0));
+    }
+
+    #[test]
+    fn parses_complex_coefficients() {
+        let p: Polynomial<f64> = parse_polynomial("(1+2i)*x0 + (3-i)*x1 + (2.5i)*x2 + i*x3").unwrap();
+        let ones = vec![C64::one(); 4];
+        let v = p.eval(&ones);
+        assert_eq!(v, C64::from_f64(4.0, 2.0 - 1.0 + 2.5 + 1.0));
+    }
+
+    #[test]
+    fn leading_minus_and_bare_constants() {
+        let p: Polynomial<f64> = parse_polynomial("-x0 + 4").unwrap();
+        let v = p.eval(&[C64::from_f64(1.5, 0.0)]);
+        assert_eq!(v, C64::from_f64(2.5, 0.0));
+        // pure constant polynomial
+        let q: Polynomial<f64> = parse_polynomial("7.25").unwrap();
+        assert_eq!(q.eval(&[]), C64::from_f64(7.25, 0.0));
+    }
+
+    #[test]
+    fn scientific_notation_coefficients() {
+        let p: Polynomial<f64> = parse_polynomial("1.5e2*x0 + 2e-3").unwrap();
+        let v = p.eval(&[C64::one()]);
+        assert_eq!(v, C64::from_f64(150.002, 0.0));
+    }
+
+    #[test]
+    fn system_parsing_infers_dimension() {
+        let s: System<f64> = parse_system("x0^2 - 1; x0*x1 + 2;").unwrap();
+        assert_eq!(s.dim(), 2);
+        assert_eq!(s.polys().len(), 2);
+    }
+
+    #[test]
+    fn display_round_trip() {
+        use crate::generator::{random_system, BenchmarkParams};
+        let sys = random_system::<f64>(&BenchmarkParams {
+            n: 4,
+            m: 3,
+            k: 2,
+            d: 3,
+            seed: 8,
+        });
+        let printed = format!("{}", sys.polys()[0]);
+        // Our Display wraps coefficients like (re+imi); strip the f-line
+        // prefix is not present for a bare polynomial.
+        let reparsed: Polynomial<f64> = parse_polynomial(&printed)
+            .unwrap_or_else(|e| panic!("could not reparse {printed:?}: {e}"));
+        assert_eq!(reparsed.num_terms(), sys.polys()[0].num_terms());
+        // Values agree at a point (coefficients printed with enough
+        // digits to survive the trip at f64 precision).
+        let x = crate::generator::random_point::<f64>(4, 1);
+        let a = sys.polys()[0].eval(&x);
+        let b = reparsed.eval(&x);
+        assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let e = parse_polynomial::<f64>("3*x0 + @").unwrap_err();
+        assert!(e.position >= 7, "{e}");
+        assert!(parse_polynomial::<f64>("x0^0").is_err(), "zero exponent");
+        assert!(parse_polynomial::<f64>("x0*x0").is_err(), "duplicate var");
+        assert!(parse_polynomial::<f64>("(1+2j)*x0").is_err(), "bad imag");
+        assert!(parse_polynomial::<f64>("").is_err(), "empty");
+    }
+
+    #[test]
+    fn dd_coefficients_parse() {
+        use polygpu_qd::Dd;
+        let p: Polynomial<Dd> = parse_polynomial("0.5*x0 + (0.25+0.125i)*x1").unwrap();
+        let v = p.eval(&[Complex::one(), Complex::one()]);
+        assert_eq!(v.re.to_f64(), 0.75);
+        assert_eq!(v.im.to_f64(), 0.125);
+    }
+}

@@ -1,0 +1,207 @@
+//! Sparse polynomials: lists of complex-coefficient terms.
+
+use crate::monomial::{Exp, Monomial, Var};
+use polygpu_complex::{Complex, Real};
+use std::fmt;
+
+/// One additive term `c · x^a`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Term<R> {
+    pub coeff: Complex<R>,
+    pub monomial: Monomial,
+}
+
+/// A sparse polynomial in several variables: `Σ c_a x^a`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polynomial<R> {
+    terms: Vec<Term<R>>,
+}
+
+impl<R: Real> Polynomial<R> {
+    pub fn new(terms: Vec<Term<R>>) -> Self {
+        Polynomial { terms }
+    }
+
+    pub fn zero() -> Self {
+        Polynomial { terms: Vec::new() }
+    }
+
+    #[inline]
+    pub fn terms(&self) -> &[Term<R>] {
+        &self.terms
+    }
+
+    #[inline]
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Largest variable index occurring (plus one), i.e. the minimal
+    /// ambient dimension.
+    pub fn min_dimension(&self) -> usize {
+        self.terms
+            .iter()
+            .flat_map(|t| t.monomial.factors())
+            .map(|&(v, _)| v as usize + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total degree: max over terms.
+    pub fn total_degree(&self) -> u32 {
+        self.terms
+            .iter()
+            .map(|t| t.monomial.total_degree())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Largest single-variable exponent (the paper's `d` for this
+    /// polynomial).
+    pub fn max_exponent(&self) -> Exp {
+        self.terms
+            .iter()
+            .map(|t| t.monomial.max_exponent())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Evaluate at `x` by plain powering — the slow, obviously-correct
+    /// oracle. `x.len()` must cover all variables.
+    pub fn eval(&self, x: &[Complex<R>]) -> Complex<R> {
+        let mut acc = Complex::zero();
+        for t in &self.terms {
+            let mut m = t.coeff;
+            for &(v, e) in t.monomial.factors() {
+                m *= x[v as usize].powi(e as i32);
+            }
+            acc += m;
+        }
+        acc
+    }
+
+    /// Partial derivative as a new polynomial (terms without `x_v`
+    /// vanish).
+    pub fn derivative(&self, v: Var) -> Polynomial<R> {
+        let terms = self
+            .terms
+            .iter()
+            .filter_map(|t| {
+                let support = t.monomial.derivative_support(v)?;
+                let a_v = t.monomial.exponent_of(v);
+                Some(Term {
+                    coeff: t.coeff.scale(R::from_u32(a_v as u32)),
+                    monomial: support,
+                })
+            })
+            .collect();
+        Polynomial { terms }
+    }
+
+    /// Map coefficients into another precision.
+    pub fn convert<S: Real>(&self) -> Polynomial<S> {
+        Polynomial {
+            terms: self
+                .terms
+                .iter()
+                .map(|t| Term {
+                    coeff: t.coeff.convert(),
+                    monomial: t.monomial.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl<R: Real> fmt::Display for Polynomial<R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            write!(f, "({:.4})", t.coeff.to_c64())?;
+            if t.monomial.num_vars() > 0 {
+                write!(f, "*{}", t.monomial)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polygpu_complex::C64;
+
+    fn poly_xy() -> Polynomial<f64> {
+        // 2*x0^2*x1 + (0+1i)*x1^3
+        Polynomial::new(vec![
+            Term {
+                coeff: C64::from_f64(2.0, 0.0),
+                monomial: Monomial::new(vec![(0, 2), (1, 1)]).unwrap(),
+            },
+            Term {
+                coeff: C64::i(),
+                monomial: Monomial::new(vec![(1, 3)]).unwrap(),
+            },
+        ])
+    }
+
+    #[test]
+    fn eval_known_point() {
+        let p = poly_xy();
+        // at x0=2, x1=3: 2*4*3 + i*27 = 24 + 27i
+        let v = p.eval(&[C64::from_f64(2.0, 0.0), C64::from_f64(3.0, 0.0)]);
+        assert_eq!(v, C64::from_f64(24.0, 27.0));
+    }
+
+    #[test]
+    fn derivative_matches_calculus() {
+        let p = poly_xy();
+        // d/dx0 = 4*x0*x1
+        let d0 = p.derivative(0);
+        assert_eq!(d0.num_terms(), 1);
+        let v = d0.eval(&[C64::from_f64(2.0, 0.0), C64::from_f64(3.0, 0.0)]);
+        assert_eq!(v, C64::from_f64(24.0, 0.0));
+        // d/dx1 = 2*x0^2 + 3i*x1^2
+        let d1 = p.derivative(1);
+        assert_eq!(d1.num_terms(), 2);
+        let v = d1.eval(&[C64::from_f64(2.0, 0.0), C64::from_f64(3.0, 0.0)]);
+        assert_eq!(v, C64::from_f64(8.0, 27.0));
+        // d/dx5 = 0
+        assert_eq!(p.derivative(5).num_terms(), 0);
+    }
+
+    #[test]
+    fn degree_queries() {
+        let p = poly_xy();
+        assert_eq!(p.total_degree(), 3);
+        assert_eq!(p.max_exponent(), 3);
+        assert_eq!(p.min_dimension(), 2);
+        assert_eq!(Polynomial::<f64>::zero().total_degree(), 0);
+    }
+
+    #[test]
+    fn derivative_of_linear_term_is_constant() {
+        let p = Polynomial::new(vec![Term {
+            coeff: C64::from_f64(5.0, 0.0),
+            monomial: Monomial::var(3),
+        }]);
+        let d = p.derivative(3);
+        assert_eq!(d.num_terms(), 1);
+        assert_eq!(d.terms()[0].monomial, Monomial::constant());
+        assert_eq!(d.eval(&[C64::zero(); 4]), C64::from_f64(5.0, 0.0));
+    }
+
+    #[test]
+    fn convert_round_trips_through_dd() {
+        use polygpu_qd::Dd;
+        let p = poly_xy();
+        let pd: Polynomial<Dd> = p.convert();
+        let back: Polynomial<f64> = pd.convert();
+        assert_eq!(back, p);
+    }
+}

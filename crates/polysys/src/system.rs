@@ -1,0 +1,307 @@
+//! Polynomial systems, the uniform benchmark shape, and the evaluator
+//! interface shared by CPU and GPU implementations.
+
+use crate::monomial::Exp;
+use crate::polynomial::Polynomial;
+use polygpu_complex::{CMat, Complex, Real};
+use std::fmt;
+
+/// A square system `f(x) = 0` of `n` polynomials in `n` variables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct System<R> {
+    n: usize,
+    polys: Vec<Polynomial<R>>,
+}
+
+/// Errors constructing or validating a [`System`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SystemError {
+    /// Number of polynomials differs from the declared dimension.
+    NotSquare { n: usize, polys: usize },
+    /// A polynomial references a variable outside `0..n`.
+    VariableOutOfRange { poly: usize, var: usize, n: usize },
+    /// The system does not have the uniform `(m, k, d)` shape the GPU
+    /// pipeline requires (the paper's regularity assumption).
+    NotUniform(String),
+}
+
+impl fmt::Display for SystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystemError::NotSquare { n, polys } => {
+                write!(f, "system declared dimension {n} but has {polys} polynomials")
+            }
+            SystemError::VariableOutOfRange { poly, var, n } => {
+                write!(f, "polynomial {poly} uses x{var} outside dimension {n}")
+            }
+            SystemError::NotUniform(msg) => write!(f, "system is not uniform: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SystemError {}
+
+/// The regular benchmark shape of the paper's §2: every polynomial has
+/// exactly `m` monomials, every monomial exactly `k` variables, and no
+/// variable exceeds degree `d`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniformShape {
+    /// Dimension: number of variables and of polynomials.
+    pub n: usize,
+    /// Monomials per polynomial.
+    pub m: usize,
+    /// Variables per monomial.
+    pub k: usize,
+    /// Maximal exponent of any variable in any monomial.
+    pub d: Exp,
+}
+
+impl UniformShape {
+    /// Total number of monomials in the system: `n·m`.
+    pub fn total_monomials(&self) -> usize {
+        self.n * self.m
+    }
+
+    /// Total number of values produced per evaluation: the `n`
+    /// polynomial values plus the `n × n` Jacobian.
+    pub fn outputs(&self) -> usize {
+        self.n * self.n + self.n
+    }
+}
+
+impl<R: Real> System<R> {
+    pub fn new(n: usize, polys: Vec<Polynomial<R>>) -> Result<Self, SystemError> {
+        if polys.len() != n {
+            return Err(SystemError::NotSquare {
+                n,
+                polys: polys.len(),
+            });
+        }
+        for (p, poly) in polys.iter().enumerate() {
+            let dim = poly.min_dimension();
+            if dim > n {
+                let var = poly
+                    .terms()
+                    .iter()
+                    .flat_map(|t| t.monomial.factors())
+                    .map(|&(v, _)| v as usize)
+                    .max()
+                    .unwrap_or(0);
+                return Err(SystemError::VariableOutOfRange { poly: p, var, n });
+            }
+        }
+        Ok(System { n, polys })
+    }
+
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    pub fn polys(&self) -> &[Polynomial<R>] {
+        &self.polys
+    }
+
+    /// Check the paper's regularity assumptions and return the shape.
+    pub fn uniform_shape(&self) -> Result<UniformShape, SystemError> {
+        let first = self
+            .polys
+            .first()
+            .ok_or_else(|| SystemError::NotUniform("empty system".into()))?;
+        let m = first.num_terms();
+        let k = first
+            .terms()
+            .first()
+            .map(|t| t.monomial.num_vars())
+            .ok_or_else(|| SystemError::NotUniform("polynomial with no terms".into()))?;
+        let mut d: Exp = 0;
+        for (p, poly) in self.polys.iter().enumerate() {
+            if poly.num_terms() != m {
+                return Err(SystemError::NotUniform(format!(
+                    "polynomial {p} has {} monomials, expected m = {m}",
+                    poly.num_terms()
+                )));
+            }
+            for (j, t) in poly.terms().iter().enumerate() {
+                if t.monomial.num_vars() != k {
+                    return Err(SystemError::NotUniform(format!(
+                        "monomial {j} of polynomial {p} has {} variables, expected k = {k}",
+                        t.monomial.num_vars()
+                    )));
+                }
+                d = d.max(t.monomial.max_exponent());
+            }
+        }
+        Ok(UniformShape {
+            n: self.n,
+            m,
+            k,
+            d,
+        })
+    }
+
+    /// Map coefficients into another precision.
+    pub fn convert<S: Real>(&self) -> System<S> {
+        System {
+            n: self.n,
+            polys: self.polys.iter().map(|p| p.convert()).collect(),
+        }
+    }
+}
+
+impl<R: Real> fmt::Display for System<R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, p) in self.polys.iter().enumerate() {
+            writeln!(f, "f{i} = {p}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The result of evaluating a system and its Jacobian at one point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemEval<R> {
+    /// `f_i(x)` for `i in 0..n`.
+    pub values: Vec<Complex<R>>,
+    /// `J[(i, j)] = ∂f_i/∂x_j (x)`.
+    pub jacobian: CMat<R>,
+}
+
+impl<R: Real> SystemEval<R> {
+    pub fn zeros(n: usize) -> Self {
+        SystemEval {
+            values: vec![Complex::zero(); n],
+            jacobian: CMat::zeros(n, n),
+        }
+    }
+
+    /// Max-norm of the residual vector.
+    pub fn residual_norm(&self) -> R {
+        let mut m = R::zero();
+        for v in &self.values {
+            m = m.max_val(v.abs());
+        }
+        m
+    }
+
+    /// Largest absolute difference against another evaluation (both
+    /// values and Jacobian entries) — used by equivalence tests.
+    pub fn max_difference(&self, other: &SystemEval<R>) -> R {
+        let mut m = R::zero();
+        for (a, b) in self.values.iter().zip(&other.values) {
+            m = m.max_val((*a - *b).abs());
+        }
+        for (a, b) in self
+            .jacobian
+            .as_slice()
+            .iter()
+            .zip(other.jacobian.as_slice())
+        {
+            m = m.max_val((*a - *b).abs());
+        }
+        m
+    }
+}
+
+/// Anything that can evaluate a system and its Jacobian at a point:
+/// the naive CPU oracle, the paper's sequential AD algorithm, or the
+/// simulated-GPU pipeline. `&mut self` lets implementations keep scratch
+/// buffers and accumulate performance counters.
+pub trait SystemEvaluator<R: Real> {
+    /// Dimension `n` of the system.
+    fn dim(&self) -> usize;
+
+    /// Evaluate values and Jacobian at `x` (`x.len() == self.dim()`).
+    fn evaluate(&mut self, x: &[Complex<R>]) -> SystemEval<R>;
+
+    /// Short name for reports.
+    fn name(&self) -> &str {
+        "evaluator"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monomial::Monomial;
+    use crate::polynomial::Term;
+    use polygpu_complex::C64;
+
+    fn term(c: f64, factors: Vec<(u16, u16)>) -> Term<f64> {
+        Term {
+            coeff: C64::from_f64(c, 0.0),
+            monomial: Monomial::new(factors).unwrap(),
+        }
+    }
+
+    #[test]
+    fn square_validation() {
+        let p = Polynomial::new(vec![term(1.0, vec![(0, 1), (1, 1)])]);
+        assert!(System::new(2, vec![p.clone()]).is_err());
+        assert!(System::new(2, vec![p.clone(), p.clone()]).is_ok());
+        // variable out of range
+        let bad = Polynomial::new(vec![term(1.0, vec![(5, 1), (0, 1)])]);
+        let err = System::new(2, vec![p, bad]).unwrap_err();
+        assert!(matches!(err, SystemError::VariableOutOfRange { poly: 1, var: 5, n: 2 }));
+    }
+
+    #[test]
+    fn uniform_shape_detects_shape() {
+        let p1 = Polynomial::new(vec![
+            term(1.0, vec![(0, 2), (1, 1)]),
+            term(2.0, vec![(0, 1), (1, 3)]),
+        ]);
+        let p2 = Polynomial::new(vec![
+            term(3.0, vec![(0, 1), (1, 1)]),
+            term(4.0, vec![(0, 3), (1, 2)]),
+        ]);
+        let sys = System::new(2, vec![p1, p2]).unwrap();
+        let shape = sys.uniform_shape().unwrap();
+        assert_eq!(
+            shape,
+            UniformShape {
+                n: 2,
+                m: 2,
+                k: 2,
+                d: 3
+            }
+        );
+        assert_eq!(shape.total_monomials(), 4);
+        assert_eq!(shape.outputs(), 6);
+    }
+
+    #[test]
+    fn uniform_shape_rejects_ragged() {
+        let p1 = Polynomial::new(vec![
+            term(1.0, vec![(0, 1), (1, 1)]),
+            term(2.0, vec![(0, 1), (1, 2)]),
+        ]);
+        let p2 = Polynomial::new(vec![term(3.0, vec![(0, 1), (1, 1)])]);
+        let sys = System::new(2, vec![p1.clone(), p2]).unwrap();
+        assert!(matches!(
+            sys.uniform_shape(),
+            Err(SystemError::NotUniform(_))
+        ));
+        // ragged k
+        let p3 = Polynomial::new(vec![
+            term(1.0, vec![(0, 1)]),
+            term(2.0, vec![(0, 1), (1, 2)]),
+        ]);
+        let sys = System::new(2, vec![p1, p3]).unwrap();
+        assert!(matches!(
+            sys.uniform_shape(),
+            Err(SystemError::NotUniform(_))
+        ));
+    }
+
+    #[test]
+    fn system_eval_difference() {
+        let mut a = SystemEval::<f64>::zeros(2);
+        let b = SystemEval::<f64>::zeros(2);
+        a.values[1] = C64::from_f64(0.0, 3.0);
+        a.jacobian[(1, 0)] = C64::from_f64(4.0, 0.0);
+        assert_eq!(a.max_difference(&b), 4.0);
+        assert_eq!(a.residual_norm(), 3.0);
+    }
+}

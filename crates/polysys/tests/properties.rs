@@ -1,0 +1,82 @@
+//! Property-based tests: the AD evaluator must agree with the naive
+//! oracle on random systems of random shapes, in every precision.
+
+use polygpu_complex::Complex;
+use polygpu_polysys::eval::{AdEvaluator, NaiveEvaluator};
+use polygpu_polysys::generator::{random_point, random_system, BenchmarkParams};
+use polygpu_polysys::system::SystemEvaluator;
+use polygpu_qd::Dd;
+use proptest::prelude::*;
+
+fn shapes() -> impl Strategy<Value = BenchmarkParams> {
+    (2usize..12, 1usize..6, 1u16..5, 0u64..1_000_000).prop_flat_map(|(n, m, d, seed)| {
+        (1usize..=n).prop_map(move |k| BenchmarkParams { n, m, k, d, seed })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ad_matches_naive_on_random_shapes(params in shapes()) {
+        let sys = random_system::<f64>(&params);
+        let mut ad = AdEvaluator::new(sys.clone()).unwrap();
+        let mut naive = NaiveEvaluator::new(sys);
+        let x = random_point::<f64>(params.n, params.seed ^ 0x5555);
+        let a = ad.evaluate(&x);
+        let b = naive.evaluate(&x);
+        // Unit-circle inputs and coefficients: absolute tolerance scales
+        // with the monomial count.
+        let tol = 1e-12 * (params.m as f64) * (params.k as f64 + 1.0);
+        prop_assert!(a.max_difference(&b) < tol,
+            "diff {:e} for {:?}", a.max_difference(&b), params);
+    }
+
+    #[test]
+    fn evaluation_is_deterministic(params in shapes()) {
+        let sys = random_system::<f64>(&params);
+        let mut ad = AdEvaluator::new(sys).unwrap();
+        let x = random_point::<f64>(params.n, 1);
+        let a = ad.evaluate(&x);
+        let b = ad.evaluate(&x);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dd_evaluation_refines_f64(params in shapes()) {
+        let sys = random_system::<f64>(&params);
+        let sys_dd = sys.convert::<Dd>();
+        let mut ad64 = AdEvaluator::new(sys).unwrap();
+        let mut ad_dd = AdEvaluator::new(sys_dd).unwrap();
+        let x = random_point::<f64>(params.n, params.seed);
+        let x_dd: Vec<Complex<Dd>> = x.iter().map(|z| z.convert()).collect();
+        let a = ad64.evaluate(&x);
+        let b = ad_dd.evaluate(&x_dd);
+        let tol = 1e-11 * (params.m as f64) * (params.k as f64 + 1.0);
+        for (va, vb) in a.values.iter().zip(&b.values) {
+            prop_assert!((va.re - vb.re.to_f64()).abs() < tol);
+            prop_assert!((va.im - vb.im.to_f64()).abs() < tol);
+        }
+    }
+
+    #[test]
+    fn jacobian_row_count_matches_dim(params in shapes()) {
+        let sys = random_system::<f64>(&params);
+        let mut ad = AdEvaluator::new(sys).unwrap();
+        let x = random_point::<f64>(params.n, 3);
+        let r = ad.evaluate(&x);
+        prop_assert_eq!(r.values.len(), params.n);
+        prop_assert_eq!(r.jacobian.rows(), params.n);
+        prop_assert_eq!(r.jacobian.cols(), params.n);
+    }
+
+    #[test]
+    fn generator_shape_is_exact(params in shapes()) {
+        let sys = random_system::<f64>(&params);
+        let shape = sys.uniform_shape().unwrap();
+        prop_assert_eq!(shape.n, params.n);
+        prop_assert_eq!(shape.m, params.m);
+        prop_assert_eq!(shape.k, params.k);
+        prop_assert!(shape.d <= params.d);
+    }
+}

@@ -1,0 +1,451 @@
+//! Double-double arithmetic: an unevaluated sum of two `f64`s giving
+//! roughly 106 bits (~32 decimal digits) of significand.
+//!
+//! The algorithms follow the QD 2.3.9 library of Hida, Li & Bailey (the
+//! "accurate"/IEEE variants), which the reproduced paper uses on the host
+//! to motivate offsetting multiprecision cost with GPU parallelism.
+//! A normalized `Dd` satisfies `|lo| <= ulp(hi) / 2`, i.e. `hi` is the
+//! double nearest the represented value.
+
+use crate::eft::{quick_two_sum, two_diff, two_prod, two_sqr, two_sum};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A double-double number: the exact value is `hi + lo`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Dd {
+    hi: f64,
+    lo: f64,
+}
+
+impl Dd {
+    pub const ZERO: Dd = Dd { hi: 0.0, lo: 0.0 };
+    pub const ONE: Dd = Dd { hi: 1.0, lo: 0.0 };
+    /// Unit roundoff of the double-double format: `2^-106`.
+    pub const EPSILON: f64 = 1.232_595_164_407_831e-32;
+    /// π to double-double precision.
+    pub const PI: Dd = Dd {
+        hi: std::f64::consts::PI,
+        lo: 1.224_646_799_147_353_2e-16,
+    };
+
+    /// Construct from already-normalized components (`|lo| <= ulp(hi)/2`).
+    /// Debug builds assert the invariant.
+    #[inline]
+    pub fn from_parts(hi: f64, lo: f64) -> Dd {
+        debug_assert!(
+            hi == 0.0 || !hi.is_finite() || (hi + lo == hi && lo.abs() <= hi.abs()) || {
+                let (s, e) = quick_two_sum(hi, lo);
+                s == hi && e == lo
+            },
+            "Dd::from_parts called with unnormalized parts ({hi}, {lo})"
+        );
+        Dd { hi, lo }
+    }
+
+    /// Construct from an arbitrary pair by normalizing.
+    #[inline]
+    pub fn renorm(hi: f64, lo: f64) -> Dd {
+        let (s, e) = two_sum(hi, lo);
+        Dd { hi: s, lo: e }
+    }
+
+    #[inline]
+    pub fn hi(self) -> f64 {
+        self.hi
+    }
+
+    #[inline]
+    pub fn lo(self) -> f64 {
+        self.lo
+    }
+
+    #[inline]
+    pub fn from_f64(x: f64) -> Dd {
+        Dd { hi: x, lo: 0.0 }
+    }
+
+    /// Nearest double to the represented value.
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        self.hi
+    }
+
+    /// Exact sum of two doubles as a `Dd`.
+    #[inline]
+    pub fn add_f64_f64(a: f64, b: f64) -> Dd {
+        let (s, e) = two_sum(a, b);
+        Dd { hi: s, lo: e }
+    }
+
+    /// Exact product of two doubles as a `Dd`.
+    #[inline]
+    pub fn mul_f64_f64(a: f64, b: f64) -> Dd {
+        let (p, e) = two_prod(a, b);
+        Dd { hi: p, lo: e }
+    }
+
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.hi == 0.0
+    }
+
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.hi.is_finite() && self.lo.is_finite()
+    }
+
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.hi.is_nan() || self.lo.is_nan()
+    }
+
+    #[inline]
+    pub fn abs(self) -> Dd {
+        if self.hi < 0.0 || (self.hi == 0.0 && self.lo < 0.0) {
+            -self
+        } else {
+            self
+        }
+    }
+
+    /// Add a double. Cheaper than promoting `b` to `Dd` first.
+    #[inline]
+    pub fn add_f64(self, b: f64) -> Dd {
+        let (s1, s2) = two_sum(self.hi, b);
+        let (hi, lo) = quick_two_sum(s1, s2 + self.lo);
+        Dd { hi, lo }
+    }
+
+    /// Multiply by a double. Cheaper than promoting `b` to `Dd` first.
+    #[inline]
+    pub fn mul_f64(self, b: f64) -> Dd {
+        let (p1, p2) = two_prod(self.hi, b);
+        let (hi, lo) = quick_two_sum(p1, p2 + self.lo * b);
+        Dd { hi, lo }
+    }
+
+    /// Square; saves two multiplications over `self * self`.
+    #[inline]
+    pub fn sqr(self) -> Dd {
+        let (p1, p2) = two_sqr(self.hi);
+        let p2 = p2 + 2.0 * self.hi * self.lo + self.lo * self.lo;
+        let (hi, lo) = quick_two_sum(p1, p2);
+        Dd { hi, lo }
+    }
+
+    /// Reciprocal via the accurate long-division scheme.
+    #[inline]
+    pub fn recip(self) -> Dd {
+        Dd::ONE / self
+    }
+
+    /// Square root by Karp's method (one Newton step on the double
+    /// estimate, with the residual computed in double-double).
+    ///
+    /// Returns NaN for negative input, 0 for 0.
+    pub fn sqrt(self) -> Dd {
+        if self.is_zero() {
+            return Dd::ZERO;
+        }
+        if self.hi < 0.0 {
+            return Dd::from_parts(f64::NAN, f64::NAN);
+        }
+        let x = 1.0 / self.hi.sqrt();
+        let ax = self.hi * x;
+        let ax_dd = Dd::from_f64(ax);
+        let residual = self - ax_dd.sqr();
+        ax_dd.add_f64(residual.hi * (x * 0.5))
+    }
+
+    /// Integer power by binary exponentiation; `powi(0)` is 1 (including
+    /// for zero base, matching `f64::powi`).
+    pub fn powi(self, n: i32) -> Dd {
+        if n == 0 {
+            return Dd::ONE;
+        }
+        let mut r = Dd::ONE;
+        let mut base = self;
+        let mut e = n.unsigned_abs();
+        while e > 0 {
+            if e & 1 == 1 {
+                r *= base;
+            }
+            base = base.sqr();
+            e >>= 1;
+        }
+        if n < 0 {
+            r.recip()
+        } else {
+            r
+        }
+    }
+
+    /// Truncate towards negative infinity.
+    pub fn floor(self) -> Dd {
+        let fhi = self.hi.floor();
+        if fhi == self.hi {
+            // hi already integral: floor the low word and renormalize.
+            Dd::renorm(fhi, self.lo.floor())
+        } else {
+            Dd { hi: fhi, lo: 0.0 }
+        }
+    }
+}
+
+impl Add for Dd {
+    type Output = Dd;
+    /// Accurate (IEEE-style) double-double addition; error bounded by
+    /// 2 ulps of the result (Hida-Li-Bailey, Alg. 6).
+    #[inline]
+    fn add(self, b: Dd) -> Dd {
+        let (s1, s2) = two_sum(self.hi, b.hi);
+        let (t1, t2) = two_sum(self.lo, b.lo);
+        let s2 = s2 + t1;
+        let (s1, s2) = quick_two_sum(s1, s2);
+        let s2 = s2 + t2;
+        let (hi, lo) = quick_two_sum(s1, s2);
+        Dd { hi, lo }
+    }
+}
+
+impl Sub for Dd {
+    type Output = Dd;
+    #[inline]
+    fn sub(self, b: Dd) -> Dd {
+        let (s1, s2) = two_diff(self.hi, b.hi);
+        let (t1, t2) = two_diff(self.lo, b.lo);
+        let s2 = s2 + t1;
+        let (s1, s2) = quick_two_sum(s1, s2);
+        let s2 = s2 + t2;
+        let (hi, lo) = quick_two_sum(s1, s2);
+        Dd { hi, lo }
+    }
+}
+
+impl Mul for Dd {
+    type Output = Dd;
+    #[inline]
+    fn mul(self, b: Dd) -> Dd {
+        let (p1, p2) = two_prod(self.hi, b.hi);
+        let p2 = p2 + (self.hi * b.lo + self.lo * b.hi);
+        let (hi, lo) = quick_two_sum(p1, p2);
+        Dd { hi, lo }
+    }
+}
+
+impl Div for Dd {
+    type Output = Dd;
+    /// Accurate division: three rounds of long division with exact
+    /// residual updates (QD's `ieee_div`).
+    fn div(self, b: Dd) -> Dd {
+        let q1 = self.hi / b.hi;
+        let mut r = self - b.mul_f64(q1);
+        let q2 = r.hi / b.hi;
+        r -= b.mul_f64(q2);
+        let q3 = r.hi / b.hi;
+        let (s, e) = quick_two_sum(q1, q2);
+        Dd { hi: s, lo: e }.add_f64(q3)
+    }
+}
+
+impl Neg for Dd {
+    type Output = Dd;
+    #[inline]
+    fn neg(self) -> Dd {
+        Dd {
+            hi: -self.hi,
+            lo: -self.lo,
+        }
+    }
+}
+
+macro_rules! impl_assign {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl $trait for Dd {
+            #[inline]
+            fn $method(&mut self, rhs: Dd) {
+                *self = *self $op rhs;
+            }
+        }
+    };
+}
+impl_assign!(AddAssign, add_assign, +);
+impl_assign!(SubAssign, sub_assign, -);
+impl_assign!(MulAssign, mul_assign, *);
+impl_assign!(DivAssign, div_assign, /);
+
+impl PartialOrd for Dd {
+    #[inline]
+    fn partial_cmp(&self, other: &Dd) -> Option<Ordering> {
+        match self.hi.partial_cmp(&other.hi) {
+            Some(Ordering::Equal) => self.lo.partial_cmp(&other.lo),
+            ord => ord,
+        }
+    }
+}
+
+impl From<f64> for Dd {
+    #[inline]
+    fn from(x: f64) -> Dd {
+        Dd::from_f64(x)
+    }
+}
+
+impl From<i32> for Dd {
+    #[inline]
+    fn from(x: i32) -> Dd {
+        Dd::from_f64(x as f64)
+    }
+}
+
+impl fmt::Display for Dd {
+    /// Renders 32 significant decimal digits (the full double-double
+    /// precision) in scientific notation, or fewer with `{:.N}`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let digits = f.precision().unwrap_or(32);
+        f.write_str(&crate::fmt::to_decimal_string(*self, digits))
+    }
+}
+
+impl std::str::FromStr for Dd {
+    type Err = crate::fmt::ParseRealError;
+    fn from_str(s: &str) -> Result<Dd, Self::Err> {
+        crate::fmt::parse_decimal(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ulp(x: f64) -> f64 {
+        let next = f64::from_bits(x.abs().to_bits() + 1);
+        next - x.abs()
+    }
+
+    #[test]
+    fn normalization_invariant_after_ops() {
+        let a = Dd::from_f64(std::f64::consts::PI);
+        let b = Dd::from_f64(std::f64::consts::E);
+        for v in [a + b, a - b, a * b, a / b, a.sqr(), a.sqrt()] {
+            assert!(v.lo.abs() <= ulp(v.hi), "unnormalized: {v:?}");
+        }
+    }
+
+    #[test]
+    fn one_third_round_trips_through_mul() {
+        let third = Dd::ONE / Dd::from(3);
+        let one = third * Dd::from(3);
+        let err = (one - Dd::ONE).abs();
+        assert!(err.hi <= 4.0 * Dd::EPSILON, "1/3*3 error {err:?}");
+    }
+
+    #[test]
+    fn add_carries_low_parts() {
+        // (1 + 2^-80) + (1 - 2^-80) == 2 exactly in DD.
+        let t = Dd::from_parts(1.0, 2f64.powi(-80));
+        let u = Dd::from_parts(1.0, -(2f64.powi(-80)));
+        let s = t + u;
+        assert_eq!(s.hi, 2.0);
+        assert_eq!(s.lo, 0.0);
+    }
+
+    #[test]
+    fn sub_cancellation_keeps_low_bits() {
+        // (1 + 2^-70) - 1 == 2^-70 exactly.
+        let a = Dd::from_parts(1.0, 2f64.powi(-70));
+        let d = a - Dd::ONE;
+        assert_eq!(d.hi, 2f64.powi(-70));
+        assert_eq!(d.lo, 0.0);
+    }
+
+    #[test]
+    fn mul_exact_small_integers() {
+        let a = Dd::from(12345);
+        let b = Dd::from(67891);
+        let p = a * b;
+        assert_eq!(p.hi, 12345.0 * 67891.0);
+        assert_eq!(p.lo, 0.0);
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        for &x in &[2.0, 3.0, 1e10, 0.017] {
+            let s = Dd::from_f64(x).sqrt();
+            let back = s.sqr() - Dd::from_f64(x);
+            assert!(
+                back.abs().hi <= 8.0 * Dd::EPSILON * x,
+                "sqrt({x}) round trip error {back:?}"
+            );
+        }
+        assert!(Dd::from_f64(-1.0).sqrt().is_nan());
+        assert_eq!(Dd::ZERO.sqrt(), Dd::ZERO);
+    }
+
+    #[test]
+    fn powi_matches_repeated_mul() {
+        let x = Dd::from_f64(1.5) + Dd::from_parts(0.0, 1e-20);
+        let mut acc = Dd::ONE;
+        for _ in 0..7 {
+            acc *= x;
+        }
+        let p = x.powi(7);
+        let err = (p - acc).abs();
+        assert!(err.hi <= 1e-15 * acc.hi.abs() * Dd::EPSILON / f64::EPSILON);
+    }
+
+    #[test]
+    fn powi_negative_is_reciprocal() {
+        let x = Dd::from_f64(std::f64::consts::PI);
+        let p = x.powi(-3) * x.powi(3);
+        assert!((p - Dd::ONE).abs().hi < 10.0 * Dd::EPSILON);
+    }
+
+    #[test]
+    fn division_accuracy_known_value() {
+        // 355/113 approximates pi; DD division must be exact to ~1e-32.
+        let q = Dd::from(355) / Dd::from(113);
+        let back = q * Dd::from(113);
+        assert!((back - Dd::from(355)).abs().hi < 355.0 * 4.0 * Dd::EPSILON);
+    }
+
+    #[test]
+    fn comparisons_use_low_word() {
+        let a = Dd::from_parts(1.0, 1e-20);
+        let b = Dd::from_parts(1.0, 2e-20);
+        assert!(a < b);
+        assert!(b > a);
+        assert!(a != b);
+        assert!(a == a);
+    }
+
+    #[test]
+    fn floor_integral_and_fractional() {
+        assert_eq!(Dd::from_f64(2.7).floor(), Dd::from(2));
+        assert_eq!(Dd::from_f64(-2.7).floor(), Dd::from(-3));
+        // hi integral, lo fractional negative: floor must borrow.
+        let x = Dd::renorm(5.0, -0.25);
+        assert_eq!(x.floor(), Dd::from(4));
+        let y = Dd::renorm(5.0, 0.25);
+        assert_eq!(y.floor(), Dd::from(5));
+    }
+
+    #[test]
+    fn pi_constant_is_normalized_and_accurate() {
+        let (s, e) = two_sum(Dd::PI.hi(), Dd::PI.lo());
+        assert_eq!(s, Dd::PI.hi());
+        assert_eq!(e, Dd::PI.lo());
+        // sin-free sanity: PI.hi is the nearest double to pi.
+        assert_eq!(Dd::PI.hi(), std::f64::consts::PI);
+        assert_ne!(Dd::PI.lo(), 0.0);
+    }
+
+    #[test]
+    fn abs_negates_negative_low_only_values() {
+        let x = Dd::renorm(0.0, -1e-300);
+        assert!(x.abs() >= Dd::ZERO);
+        assert_eq!(Dd::from_f64(-3.0).abs(), Dd::from(3));
+    }
+}

@@ -1,0 +1,208 @@
+//! Error-free transforms (EFT): the floating-point building blocks of
+//! double-double and quad-double arithmetic.
+//!
+//! Every function in this module returns a pair `(s, e)` such that
+//! `s + e == a ∘ b` *exactly* (as a real number), with `s = fl(a ∘ b)` the
+//! correctly rounded result and `e` the rounding error. These identities
+//! go back to Dekker (1971) and Knuth; see also Hida, Li & Bailey,
+//! "Algorithms for quad-double precision floating point arithmetic"
+//! (Arith-15, 2001), whose QD 2.3.9 library the paper under reproduction
+//! uses on the host.
+//!
+//! All functions assume round-to-nearest-even and no overflow/underflow in
+//! intermediates; `two_prod_split` additionally requires `|a|, |b| <
+//! 2^996` so Dekker's splitting does not overflow.
+
+/// Knuth's TwoSum: `(s, e)` with `s + e == a + b` exactly, for any `a, b`.
+///
+/// 6 flops. Use [`quick_two_sum`] when `|a| >= |b|` is known.
+#[inline(always)]
+pub fn two_sum(a: f64, b: f64) -> (f64, f64) {
+    let s = a + b;
+    let bb = s - a;
+    let e = (a - (s - bb)) + (b - bb);
+    (s, e)
+}
+
+/// Dekker's FastTwoSum: `(s, e)` with `s + e == a + b` exactly,
+/// **requires** `|a| >= |b|` (or `a == 0`).
+///
+/// 3 flops.
+#[inline(always)]
+pub fn quick_two_sum(a: f64, b: f64) -> (f64, f64) {
+    let s = a + b;
+    let e = b - (s - a);
+    (s, e)
+}
+
+/// TwoDiff: `(s, e)` with `s + e == a - b` exactly, for any `a, b`.
+#[inline(always)]
+pub fn two_diff(a: f64, b: f64) -> (f64, f64) {
+    let s = a - b;
+    let bb = s - a;
+    let e = (a - (s - bb)) - (b + bb);
+    (s, e)
+}
+
+/// Dekker's splitting constant: `2^27 + 1`.
+const SPLIT: f64 = 134_217_729.0;
+
+/// Split `a` into `hi + lo` where both halves have at most 26 significant
+/// bits, so products of halves are exact in double precision.
+#[inline(always)]
+pub fn split(a: f64) -> (f64, f64) {
+    let t = SPLIT * a;
+    let hi = t - (t - a);
+    let lo = a - hi;
+    (hi, lo)
+}
+
+/// TwoProd via fused multiply-add: `(p, e)` with `p + e == a * b` exactly.
+///
+/// `f64::mul_add` guarantees a single rounding, so `e` is the exact
+/// product error even when the platform lacks an FMA unit (libm fallback).
+#[inline(always)]
+pub fn two_prod_fma(a: f64, b: f64) -> (f64, f64) {
+    let p = a * b;
+    let e = f64::mul_add(a, b, -p);
+    (p, e)
+}
+
+/// Dekker's TwoProd via splitting: `(p, e)` with `p + e == a * b` exactly.
+///
+/// Portable and branch-free; 17 flops. Preferred over [`two_prod_fma`] on
+/// targets without hardware FMA, where `mul_add` falls back to a slow
+/// correctly-rounded libm routine.
+#[inline(always)]
+pub fn two_prod_split(a: f64, b: f64) -> (f64, f64) {
+    let p = a * b;
+    let (ah, al) = split(a);
+    let (bh, bl) = split(b);
+    let e = ((ah * bh - p) + ah * bl + al * bh) + al * bl;
+    (p, e)
+}
+
+/// TwoProd: exact product transform, dispatching to the FMA version when
+/// the target was compiled with hardware FMA and to Dekker's split
+/// otherwise.
+#[inline(always)]
+pub fn two_prod(a: f64, b: f64) -> (f64, f64) {
+    if cfg!(target_feature = "fma") {
+        two_prod_fma(a, b)
+    } else {
+        two_prod_split(a, b)
+    }
+}
+
+/// TwoSqr: `(p, e)` with `p + e == a * a` exactly; cheaper than
+/// `two_prod(a, a)` in the split formulation.
+#[inline(always)]
+pub fn two_sqr(a: f64) -> (f64, f64) {
+    if cfg!(target_feature = "fma") {
+        let p = a * a;
+        (p, f64::mul_add(a, a, -p))
+    } else {
+        let p = a * a;
+        let (hi, lo) = split(a);
+        let e = ((hi * hi - p) + 2.0 * hi * lo) + lo * lo;
+        (p, e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_sum_exact_on_representable_cases() {
+        // 1 + 2^-60: the error term must recover the lost bits.
+        let a = 1.0;
+        let b = (2.0f64).powi(-60);
+        let (s, e) = two_sum(a, b);
+        assert_eq!(s, 1.0);
+        assert_eq!(e, b);
+    }
+
+    #[test]
+    fn two_sum_commutes_in_value() {
+        let a = 1e16;
+        let b = 1.2345;
+        let (s1, e1) = two_sum(a, b);
+        let (s2, e2) = two_sum(b, a);
+        assert_eq!(s1, s2);
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn quick_two_sum_matches_two_sum_when_ordered() {
+        let a = 3.5e10;
+        let b = -1.25e-3;
+        let (s1, e1) = two_sum(a, b);
+        let (s2, e2) = quick_two_sum(a, b);
+        assert_eq!(s1, s2);
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn two_diff_exact() {
+        let a = 1.0;
+        let b = (2.0f64).powi(-55);
+        let (s, e) = two_diff(a, b);
+        // s + e == a - b exactly: reconstruct via exact arithmetic on powers of two
+        assert_eq!(s, 1.0);
+        assert_eq!(e, -b);
+    }
+
+    #[test]
+    fn split_halves_reconstruct() {
+        fn significant_bits(x: f64) -> u32 {
+            if x == 0.0 {
+                return 0;
+            }
+            let mantissa = (x.to_bits() & ((1u64 << 52) - 1)) | (1u64 << 52);
+            53 - mantissa.trailing_zeros()
+        }
+        for &a in &[1.0, std::f64::consts::PI, -1.5e300 / 1e4, 3.3333e-7] {
+            let (hi, lo) = split(a);
+            assert_eq!(hi + lo, a, "halves must reconstruct exactly");
+            // Dekker's split: hi carries at most 27 significant bits,
+            // lo at most 26, so the two_prod error formula is exact.
+            assert!(significant_bits(hi) <= 27, "hi too wide for {a}");
+            assert!(significant_bits(lo) <= 26, "lo too wide for {a}");
+            assert!(lo.abs() <= hi.abs());
+        }
+    }
+
+    #[test]
+    fn two_prod_variants_agree() {
+        let cases = [
+            (std::f64::consts::PI, std::f64::consts::E),
+            (1.0 + 2f64.powi(-30), 1.0 - 2f64.powi(-30)),
+            (1e150, 1e-150),
+            (-7.25, 0.1),
+        ];
+        for &(a, b) in &cases {
+            let (p1, e1) = two_prod_fma(a, b);
+            let (p2, e2) = two_prod_split(a, b);
+            assert_eq!(p1, p2, "products differ for {a} * {b}");
+            assert_eq!(e1, e2, "errors differ for {a} * {b}");
+        }
+    }
+
+    #[test]
+    fn two_prod_error_is_nonzero_for_inexact_product() {
+        // pi * e is not representable: the error term must be nonzero.
+        let (_, e) = two_prod(std::f64::consts::PI, std::f64::consts::E);
+        assert_ne!(e, 0.0);
+    }
+
+    #[test]
+    fn two_sqr_matches_two_prod() {
+        for &a in &[std::f64::consts::PI, 1.0 + 2f64.powi(-40), -3.7e8] {
+            let (p1, e1) = two_sqr(a);
+            let (p2, e2) = two_prod(a, a);
+            assert_eq!(p1, p2);
+            assert_eq!(e1, e2);
+        }
+    }
+}

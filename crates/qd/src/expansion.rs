@@ -1,0 +1,205 @@
+//! Exact floating-point expansions (Shewchuk 1997) used as the verified
+//! backbone of quad-double arithmetic.
+//!
+//! An *expansion* is a list of doubles whose exact sum is the represented
+//! value. [`grow_expansion`] inserts one double exactly; [`distill`]
+//! extracts the `N` most significant components of an arbitrary list of
+//! doubles, losing only what lies below the `N`-th component — for
+//! `N = 4` that is a relative error around `2^-212`, matching quad-double.
+//!
+//! This module trades speed for verifiability: quad-double products are
+//! formed by summing all `two_prod` partial products exactly rather than
+//! by the hand-scheduled QD kernels, so every `Qd` operation is an exact
+//! computation followed by one well-understood truncation. The
+//! double-double type (`Dd`), which *is* on the hot path of the paper's
+//! experiments, uses the fast hand-scheduled kernels instead, and its
+//! tests use this module as the oracle.
+
+use crate::eft::{quick_two_sum, two_sum};
+
+/// Add the scalar `b` exactly to the expansion `e` (components in
+/// increasing order of magnitude), writing the result into `out`.
+///
+/// This is Shewchuk's GROW-EXPANSION: the output has `e.len() + 1`
+/// components and the identical exact sum.
+pub fn grow_expansion(e: &[f64], b: f64, out: &mut Vec<f64>) {
+    out.clear();
+    let mut q = b;
+    for &comp in e {
+        let (s, err) = two_sum(q, comp);
+        out.push(err);
+        q = s;
+    }
+    out.push(q);
+}
+
+/// Exact sum of `xs` truncated to its `N` most significant components.
+///
+/// Builds the *exact* nonoverlapping expansion of `Σ xs` by repeated
+/// [`grow_expansion`] (Shewchuk, Theorem 10: growing a nonoverlapping
+/// expansion preserves nonoverlap and magnitude ordering), then keeps the
+/// `N` most significant components, folding everything below them into
+/// the last kept component before canonicalizing with
+/// [`renorm_in_place`]. The discarded tail is below one ulp of the `N`-th
+/// component, so for `N = 4` the relative truncation error is ~`2^-212`.
+pub fn distill<const N: usize>(xs: &[f64]) -> [f64; N] {
+    let mut e: Vec<f64> = Vec::with_capacity(xs.len() + 1);
+    let mut tmp: Vec<f64> = Vec::with_capacity(xs.len() + 1);
+    for &x in xs {
+        if x == 0.0 {
+            continue;
+        }
+        grow_expansion(&e, x, &mut tmp);
+        std::mem::swap(&mut e, &mut tmp);
+    }
+    // e: exact expansion, increasing magnitude, possibly with zeros.
+    let mut out = [0.0; N];
+    let mut kept = 0;
+    let mut tail = 0.0f64; // float sum of everything below the kept components
+    let mut idx = e.len();
+    while idx > 0 && kept < N {
+        idx -= 1;
+        if e[idx] != 0.0 {
+            out[kept] = e[idx];
+            kept += 1;
+        }
+    }
+    // Remaining (less significant) components: fold their float sum into
+    // the last kept slot. |tail| < ulp(out[N-1]) by nonoverlap, so this
+    // only affects the rounding of the final component.
+    for &c in e[..idx].iter() {
+        tail += c;
+    }
+    if kept > 0 {
+        out[kept - 1] += tail;
+    }
+    renorm_in_place(&mut out);
+    out
+}
+
+/// Renormalize `a` (components in decreasing order of magnitude, roughly
+/// non-overlapping) into the canonical form where `a[i+1]` is at most
+/// half an ulp of `a[i]`. This is the QD library's `renorm`, generalized
+/// to any component count.
+// The component cascade reads most clearly with explicit indices.
+#[allow(clippy::needless_range_loop)]
+pub fn renorm_in_place<const N: usize>(a: &mut [f64; N]) {
+    if N < 2 {
+        return;
+    }
+    if !a[0].is_finite() {
+        return;
+    }
+    // Bottom-up pass: compress trailing components upward.
+    let mut s = a[N - 1];
+    for i in (0..N - 1).rev() {
+        let (sum, err) = quick_two_sum(a[i], s);
+        s = sum;
+        a[i + 1] = err;
+    }
+    a[0] = s;
+    // Top-down pass: re-accumulate, skipping zeros.
+    let mut out = [0.0; N];
+    let mut k = 0;
+    let mut s = a[0];
+    for i in 1..N {
+        let (sum, err) = quick_two_sum(s, a[i]);
+        s = sum;
+        if err != 0.0 {
+            out[k] = s;
+            s = err;
+            k += 1;
+            if k == N - 1 {
+                break;
+            }
+        }
+    }
+    if k < N {
+        out[k] = s;
+    }
+    *a = out;
+}
+
+/// Exact sum of two doubles as a two-component expansion, convenience
+/// re-export for oracle tests.
+pub fn two_sum_expansion(a: f64, b: f64) -> [f64; 2] {
+    let (s, e) = two_sum(a, b);
+    [s, e]
+}
+
+/// Total value of an expansion as the nearest double (for diagnostics
+/// only; loses the low components by construction).
+pub fn approx_value(e: &[f64]) -> f64 {
+    // Sum from smallest magnitude for best accuracy.
+    let mut v: Vec<f64> = e.to_vec();
+    v.sort_by(|a, b| a.abs().partial_cmp(&b.abs()).unwrap());
+    v.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grow_expansion_preserves_exact_sum() {
+        let e = [1e-30, 1.0];
+        let mut out = Vec::new();
+        grow_expansion(&e, 1e30, &mut out);
+        assert_eq!(out.len(), 3);
+        // The exact sum is preserved: distilling recovers all three scales.
+        let comps = distill::<4>(&out);
+        assert_eq!(comps[0], 1e30);
+        assert_eq!(comps[1], 1.0);
+        assert_eq!(comps[2], 1e-30);
+    }
+
+    #[test]
+    fn distill_collapses_representable_sums() {
+        let comps = distill::<4>(&[1.5, 2.25, -0.75]);
+        assert_eq!(comps, [3.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn distill_orders_widely_separated_terms() {
+        let xs = [2f64.powi(-200), 1.0, 2f64.powi(-100), 2f64.powi(100)];
+        let comps = distill::<4>(&xs);
+        assert_eq!(comps[0], 2f64.powi(100));
+        assert_eq!(comps[1], 1.0);
+        assert_eq!(comps[2], 2f64.powi(-100));
+        assert_eq!(comps[3], 2f64.powi(-200));
+    }
+
+    #[test]
+    fn distill_handles_massive_cancellation() {
+        let xs = [1e20, 1.0, -1e20, 2f64.powi(-60)];
+        let comps = distill::<4>(&xs);
+        assert_eq!(comps[0], 1.0);
+        assert_eq!(comps[1], 2f64.powi(-60));
+        assert_eq!(comps[2], 0.0);
+    }
+
+    #[test]
+    fn renorm_canonical_invariant() {
+        fn ulp(x: f64) -> f64 {
+            f64::from_bits(x.abs().to_bits() + 1) - x.abs()
+        }
+        let mut a = [1.0, 2f64.powi(-53), 2f64.powi(-54), 2f64.powi(-108)];
+        renorm_in_place(&mut a);
+        for i in 0..3 {
+            if a[i] != 0.0 && a[i + 1] != 0.0 {
+                assert!(
+                    a[i + 1].abs() <= ulp(a[i]),
+                    "component {} overlaps: {:?}",
+                    i,
+                    a
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distill_empty_and_zero_inputs() {
+        assert_eq!(distill::<4>(&[]), [0.0; 4]);
+        assert_eq!(distill::<4>(&[0.0, -0.0, 0.0]), [0.0; 4]);
+    }
+}

@@ -1,0 +1,271 @@
+//! Decimal conversion for extended-precision reals.
+//!
+//! Digit extraction and accumulation are performed *in the target
+//! format*, so printing a `Dd` yields its true ~32 significant digits
+//! and parsing recovers the nearest `Dd` (up to one round-off in the
+//! final scaling), and likewise for `Qd`.
+
+use crate::real::Real;
+use std::fmt;
+
+/// Error returned when parsing a decimal string into a [`Real`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRealError {
+    message: String,
+}
+
+impl ParseRealError {
+    fn new(msg: impl Into<String>) -> Self {
+        ParseRealError {
+            message: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseRealError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid real literal: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseRealError {}
+
+/// Render `x` with `digits` significant decimal digits in scientific
+/// notation (`d.ddd...e±EE`).
+pub fn to_decimal_string<R: Real>(x: R, digits: usize) -> String {
+    let digits = digits.max(1);
+    if x.is_nan() {
+        return "NaN".to_string();
+    }
+    if !x.is_finite() {
+        return if x > R::zero() { "inf" } else { "-inf" }.to_string();
+    }
+    if x == R::zero() {
+        let mut s = String::from("0.");
+        s.push_str(&"0".repeat(digits.saturating_sub(1)));
+        s.push_str("e0");
+        return s;
+    }
+    let neg = x < R::zero();
+    let mut v = x.abs();
+    let ten = R::from_f64(10.0);
+
+    // Decimal exponent via the double estimate, then correct by scaling.
+    let mut exp = v.to_f64().abs().log10().floor() as i32;
+    v = scale_pow10(v, -exp);
+    // Correct drift so that 1 <= v < 10.
+    while v >= ten {
+        v /= ten;
+        exp += 1;
+    }
+    while v < R::one() {
+        v *= ten;
+        exp -= 1;
+    }
+
+    // Extract digits; one extra for rounding.
+    let mut raw = Vec::with_capacity(digits + 1);
+    for _ in 0..=digits {
+        let d = v.floor().to_f64() as i32;
+        // Clamp against tiny negative drift in the last places.
+        let d = d.clamp(0, 9);
+        raw.push(d as u8);
+        v = (v - R::from_f64(d as f64)) * ten;
+    }
+    // Round using the extra digit.
+    if raw[digits] >= 5 {
+        let mut i = digits;
+        loop {
+            if i == 0 {
+                // 9.99..9 rounded up: shift exponent.
+                raw.insert(0, 1);
+                exp += 1;
+                break;
+            }
+            i -= 1;
+            if raw[i] == 9 {
+                raw[i] = 0;
+            } else {
+                raw[i] += 1;
+                break;
+            }
+        }
+    }
+    raw.truncate(digits);
+
+    let mut s = String::with_capacity(digits + 8);
+    if neg {
+        s.push('-');
+    }
+    s.push((b'0' + raw[0]) as char);
+    if digits > 1 {
+        s.push('.');
+        for &d in &raw[1..] {
+            s.push((b'0' + d) as char);
+        }
+    }
+    s.push('e');
+    s.push_str(&exp.to_string());
+    s
+}
+
+/// Multiply by `10^e` using exact binary exponentiation of the decimal
+/// base in the target format.
+fn scale_pow10<R: Real>(x: R, e: i32) -> R {
+    if e == 0 {
+        return x;
+    }
+    let p = R::from_f64(10.0).powi(e.abs());
+    if e > 0 {
+        x * p
+    } else {
+        x / p
+    }
+}
+
+/// Parse a decimal literal (`[+-]?digits[.digits][eE[+-]?digits]`) into
+/// any [`Real`], accumulating digit-by-digit in the target precision.
+pub fn parse_decimal<R: Real>(s: &str) -> Result<R, ParseRealError> {
+    let s = s.trim();
+    if s.is_empty() {
+        return Err(ParseRealError::new("empty string"));
+    }
+    match s {
+        "inf" | "+inf" => return Ok(R::from_f64(f64::INFINITY)),
+        "-inf" => return Ok(R::from_f64(f64::NEG_INFINITY)),
+        "NaN" | "nan" => return Ok(R::from_f64(f64::NAN)),
+        _ => {}
+    }
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    let neg = match bytes[0] {
+        b'-' => {
+            i = 1;
+            true
+        }
+        b'+' => {
+            i = 1;
+            false
+        }
+        _ => false,
+    };
+    let ten = R::from_f64(10.0);
+    let mut acc = R::zero();
+    let mut any_digit = false;
+    let mut frac_digits: i32 = 0;
+    let mut seen_dot = false;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'0'..=b'9' => {
+                acc = acc * ten + R::from_f64((bytes[i] - b'0') as f64);
+                if seen_dot {
+                    frac_digits += 1;
+                }
+                any_digit = true;
+            }
+            b'.' if !seen_dot => seen_dot = true,
+            b'e' | b'E' => break,
+            c => return Err(ParseRealError::new(format!("unexpected byte {:?}", c as char))),
+        }
+        i += 1;
+    }
+    if !any_digit {
+        return Err(ParseRealError::new("no digits"));
+    }
+    let mut exp: i32 = 0;
+    if i < bytes.len() {
+        // bytes[i] is 'e' or 'E'
+        let e_str = &s[i + 1..];
+        exp = e_str
+            .parse::<i32>()
+            .map_err(|e| ParseRealError::new(format!("bad exponent {e_str:?}: {e}")))?;
+    }
+    let total_exp = exp - frac_digits;
+    let mut v = scale_pow10(acc, total_exp);
+    if neg {
+        v = -v;
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dd::Dd;
+    use crate::qd4::Qd;
+
+    #[test]
+    fn f64_print_parse_round_trip() {
+        for &x in &[std::f64::consts::PI, -0.001953125, 12345.0, 1e-200] {
+            let s = to_decimal_string(x, 17);
+            let back: f64 = parse_decimal(&s).unwrap();
+            assert!(
+                (back - x).abs() <= x.abs() * 4.0 * f64::EPSILON,
+                "{x} -> {s} -> {back}"
+            );
+        }
+    }
+
+    #[test]
+    fn dd_prints_beyond_double_precision() {
+        let third = Dd::ONE / Dd::from(3);
+        let s = to_decimal_string(third, 32);
+        assert!(s.starts_with("3.333333333333333333333333333333"), "{s}");
+        assert!(s.ends_with("e-1"), "{s}");
+    }
+
+    #[test]
+    fn dd_parse_recovers_low_word() {
+        let x: Dd = "0.3333333333333333333333333333333333".parse().unwrap();
+        let resid = (x * Dd::from(3) - Dd::ONE).abs();
+        assert!(resid.to_f64() < 1e-31, "residual {resid:?}");
+        assert_ne!(x.lo(), 0.0, "low word should carry extra precision");
+    }
+
+    #[test]
+    fn qd_prints_64_digits_of_sqrt2() {
+        let s2 = Qd::from(2).sqrt();
+        let s = to_decimal_string(s2, 64);
+        // sqrt(2) = 1.4142135623730950488016887242096980785696718753769480731766797380...
+        assert!(
+            s.starts_with("1.414213562373095048801688724209698078569671875376948073176679"),
+            "{s}"
+        );
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_decimal::<f64>("").is_err());
+        assert!(parse_decimal::<f64>("abc").is_err());
+        assert!(parse_decimal::<f64>("1.2.3").is_err());
+        assert!(parse_decimal::<f64>("1e").is_err());
+        assert!(parse_decimal::<Dd>("--3").is_err());
+    }
+
+    #[test]
+    fn zero_and_specials() {
+        assert_eq!(to_decimal_string(0.0f64, 4), "0.000e0");
+        assert_eq!(to_decimal_string(f64::NAN, 4), "NaN");
+        assert_eq!(to_decimal_string(f64::INFINITY, 4), "inf");
+        assert_eq!(to_decimal_string(f64::NEG_INFINITY, 4), "-inf");
+        let z: Dd = "0".parse().unwrap();
+        assert!(z.is_zero());
+    }
+
+    #[test]
+    fn rounding_carries_through_nines() {
+        let x = 0.9999999;
+        let s = to_decimal_string(x, 3);
+        assert_eq!(s, "1.00e0");
+    }
+
+    #[test]
+    fn exponent_forms() {
+        let a: Dd = "1.5e3".parse().unwrap();
+        assert_eq!(a.to_f64(), 1500.0);
+        let b: Dd = "-2.5E-2".parse().unwrap();
+        assert_eq!(b.to_f64(), -0.025);
+        let c: f64 = "+42".parse::<f64>().unwrap();
+        assert_eq!(c, 42.0);
+    }
+}

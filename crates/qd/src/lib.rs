@@ -1,0 +1,54 @@
+//! # polygpu-qd — extended-precision real arithmetic
+//!
+//! Double-double and quad-double arithmetic in the style of the QD 2.3.9
+//! library of Hida, Li & Bailey, which the reproduced paper (Verschelde &
+//! Yoffe, *Evaluating polynomials in several variables and their
+//! derivatives on a GPU computing processor*, 2012) uses to offset the
+//! insufficiency of hardware doubles in polynomial homotopy continuation.
+//!
+//! The crate provides:
+//!
+//! * [`eft`] — error-free transforms (TwoSum, TwoProd, …), the exact
+//!   building blocks;
+//! * [`Dd`] — double-double (~32 decimal digits), hand-scheduled kernels,
+//!   fast enough for the evaluation hot path;
+//! * [`Qd`] — quad-double (~64 decimal digits), built on verified exact
+//!   expansions ([`expansion`]);
+//! * [`Real`] — the scalar-field trait the whole `polygpu` stack is
+//!   generic over, implemented for `f64`, `Dd` and `Qd`.
+//!
+//! ```
+//! use polygpu_qd::{Dd, Real};
+//! let third = Dd::ONE / Dd::from(3);
+//! // ~32 correct digits:
+//! assert!(format!("{third}").starts_with("3.3333333333333333333333333333"));
+//! // Promote hardware doubles through the generic Real interface:
+//! fn square<R: Real>(x: R) -> R { x * x }
+//! assert_eq!(square(Dd::from(9)).to_f64(), 81.0);
+//! ```
+
+pub mod dd;
+pub mod eft;
+pub mod expansion;
+pub mod fmt;
+pub mod qd4;
+pub mod real;
+
+pub use dd::Dd;
+pub use qd4::Qd;
+pub use real::Real;
+
+#[cfg(test)]
+mod crate_tests {
+    use super::*;
+
+    #[test]
+    fn readme_precision_ladder() {
+        // The motivating observation of the paper: doubles run out of
+        // precision; DD and QD extend it at a cost.
+        let x = 1.0f64 + 2f64.powi(-60);
+        assert_eq!(x, 1.0, "f64 cannot see 2^-60");
+        let xd = Dd::from_parts(1.0, 2f64.powi(-60));
+        assert!(xd > Dd::ONE, "Dd can");
+    }
+}

@@ -1,0 +1,401 @@
+//! Quad-double arithmetic: an unevaluated sum of four `f64`s giving
+//! roughly 212 bits (~64 decimal digits) of significand.
+//!
+//! Unlike [`crate::dd::Dd`] (which sits on the paper's hot path and uses
+//! the hand-scheduled QD 2.3.9 kernels), `Qd` is built on verified exact
+//! expansions ([`crate::expansion`]): every operation computes the exact
+//! result as an expansion and truncates to the four most significant
+//! components. This is slower than the hand-tuned library but easy to
+//! audit, and the paper's experiments only need quad-double for the
+//! "quality up" motivation, not for the benchmarked kernels.
+
+use crate::eft::two_prod;
+use crate::expansion::distill;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A quad-double number: the exact value is `c[0] + c[1] + c[2] + c[3]`,
+/// with components in decreasing magnitude, each at most half an ulp of
+/// its predecessor.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Qd {
+    c: [f64; 4],
+}
+
+impl Qd {
+    pub const ZERO: Qd = Qd { c: [0.0; 4] };
+    pub const ONE: Qd = Qd {
+        c: [1.0, 0.0, 0.0, 0.0],
+    };
+    /// Unit roundoff of the quad-double format: `2^-212`.
+    pub const EPSILON: f64 = 1.215_432_671_457_254e-64;
+
+    #[inline]
+    pub fn from_parts(c: [f64; 4]) -> Qd {
+        Qd { c }
+    }
+
+    #[inline]
+    pub fn components(self) -> [f64; 4] {
+        self.c
+    }
+
+    #[inline]
+    pub fn from_f64(x: f64) -> Qd {
+        Qd {
+            c: [x, 0.0, 0.0, 0.0],
+        }
+    }
+
+    /// Exact promotion from double-double.
+    #[inline]
+    pub fn from_dd(x: crate::dd::Dd) -> Qd {
+        Qd {
+            c: [x.hi(), x.lo(), 0.0, 0.0],
+        }
+    }
+
+    /// Nearest double-double to the represented value.
+    #[inline]
+    pub fn to_dd(self) -> crate::dd::Dd {
+        crate::dd::Dd::renorm(self.c[0], self.c[1])
+    }
+
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        self.c[0]
+    }
+
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.c[0] == 0.0
+    }
+
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.c.iter().all(|x| x.is_finite())
+    }
+
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.c.iter().any(|x| x.is_nan())
+    }
+
+    pub fn abs(self) -> Qd {
+        if self < Qd::ZERO {
+            -self
+        } else {
+            self
+        }
+    }
+
+    /// Square root by three Newton iterations on `1/sqrt(a)` starting from
+    /// the double estimate; the final multiply-and-correct recovers full
+    /// quad-double accuracy.
+    pub fn sqrt(self) -> Qd {
+        if self.is_zero() {
+            return Qd::ZERO;
+        }
+        if self.c[0] < 0.0 {
+            return Qd::from_f64(f64::NAN);
+        }
+        let half = Qd::from_f64(0.5);
+        let mut x = Qd::from_f64(1.0 / self.c[0].sqrt());
+        // y = 1/sqrt(a); iterate x += x*(1 - a*x^2)/2, doubling accuracy.
+        for _ in 0..3 {
+            let corr = Qd::ONE - self * x * x;
+            x = x + x * corr * half;
+        }
+        let r = self * x; // ~ sqrt(a)
+        // One final correction in full precision.
+        let resid = self - r * r;
+        r + resid * x * half
+    }
+
+    /// Integer power by binary exponentiation.
+    pub fn powi(self, n: i32) -> Qd {
+        if n == 0 {
+            return Qd::ONE;
+        }
+        let mut r = Qd::ONE;
+        let mut base = self;
+        let mut e = n.unsigned_abs();
+        while e > 0 {
+            if e & 1 == 1 {
+                r *= base;
+            }
+            base = base * base;
+            e >>= 1;
+        }
+        if n < 0 {
+            Qd::ONE / r
+        } else {
+            r
+        }
+    }
+
+    pub fn recip(self) -> Qd {
+        Qd::ONE / self
+    }
+
+    #[allow(clippy::needless_range_loop)] // indexed truncation cascade
+    pub fn floor(self) -> Qd {
+        let mut out = [0.0; 4];
+        for i in 0..4 {
+            let f = self.c[i].floor();
+            out[i] = f;
+            if f != self.c[i] {
+                // This component truncated: lower components are dropped.
+                break;
+            }
+        }
+        Qd {
+            c: distill::<4>(&out),
+        }
+    }
+}
+
+impl Add for Qd {
+    type Output = Qd;
+    #[inline]
+    fn add(self, b: Qd) -> Qd {
+        let all = [
+            self.c[0], self.c[1], self.c[2], self.c[3], b.c[0], b.c[1], b.c[2], b.c[3],
+        ];
+        Qd {
+            c: distill::<4>(&all),
+        }
+    }
+}
+
+impl Sub for Qd {
+    type Output = Qd;
+    #[inline]
+    fn sub(self, b: Qd) -> Qd {
+        self + (-b)
+    }
+}
+
+impl Mul for Qd {
+    type Output = Qd;
+    /// Product of all component pairs with `i + j <= 3` via exact
+    /// `two_prod`, summed exactly; neglected terms are `O(2^-212)`
+    /// relative.
+    fn mul(self, b: Qd) -> Qd {
+        let mut terms = [0.0f64; 20];
+        let mut t = 0;
+        for i in 0..4usize {
+            for j in 0..4 - i {
+                let (p, e) = two_prod(self.c[i], b.c[j]);
+                terms[t] = p;
+                terms[t + 1] = e;
+                t += 2;
+            }
+        }
+        Qd {
+            c: distill::<4>(&terms),
+        }
+    }
+}
+
+impl Div for Qd {
+    type Output = Qd;
+    /// Long division: five quotient digits with exact residual updates,
+    /// then truncation (QD's accurate division scheme).
+    fn div(self, b: Qd) -> Qd {
+        let mut q = [0.0f64; 5];
+        let mut r = self;
+        for qi in q.iter_mut() {
+            *qi = r.c[0] / b.c[0];
+            r -= b.mul_f64(*qi);
+        }
+        Qd {
+            c: distill::<4>(&q),
+        }
+    }
+}
+
+impl Qd {
+    /// Multiply by a double (used by division's residual updates).
+    fn mul_f64(self, b: f64) -> Qd {
+        let mut terms = [0.0f64; 8];
+        for i in 0..4 {
+            let (p, e) = two_prod(self.c[i], b);
+            terms[2 * i] = p;
+            terms[2 * i + 1] = e;
+        }
+        Qd {
+            c: distill::<4>(&terms),
+        }
+    }
+}
+
+impl Neg for Qd {
+    type Output = Qd;
+    #[inline]
+    fn neg(self) -> Qd {
+        Qd {
+            c: [-self.c[0], -self.c[1], -self.c[2], -self.c[3]],
+        }
+    }
+}
+
+macro_rules! impl_assign {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl $trait for Qd {
+            #[inline]
+            fn $method(&mut self, rhs: Qd) {
+                *self = *self $op rhs;
+            }
+        }
+    };
+}
+impl_assign!(AddAssign, add_assign, +);
+impl_assign!(SubAssign, sub_assign, -);
+impl_assign!(MulAssign, mul_assign, *);
+impl_assign!(DivAssign, div_assign, /);
+
+impl PartialOrd for Qd {
+    fn partial_cmp(&self, other: &Qd) -> Option<Ordering> {
+        for i in 0..4 {
+            match self.c[i].partial_cmp(&other.c[i]) {
+                Some(Ordering::Equal) => continue,
+                ord => return ord,
+            }
+        }
+        Some(Ordering::Equal)
+    }
+}
+
+impl From<f64> for Qd {
+    fn from(x: f64) -> Qd {
+        Qd::from_f64(x)
+    }
+}
+
+impl From<i32> for Qd {
+    fn from(x: i32) -> Qd {
+        Qd::from_f64(x as f64)
+    }
+}
+
+impl fmt::Display for Qd {
+    /// Renders 64 significant decimal digits by default.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let digits = f.precision().unwrap_or(64);
+        f.write_str(&crate::fmt::to_decimal_string(*self, digits))
+    }
+}
+
+impl std::str::FromStr for Qd {
+    type Err = crate::fmt::ParseRealError;
+    fn from_str(s: &str) -> Result<Qd, Self::Err> {
+        crate::fmt::parse_decimal(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_tiny(x: Qd, scale: f64, msg: &str) {
+        assert!(
+            x.abs().to_f64() <= scale * 64.0 * Qd::EPSILON,
+            "{msg}: residual {:?}",
+            x
+        );
+    }
+
+    #[test]
+    fn one_third_times_three() {
+        let third = Qd::ONE / Qd::from(3);
+        assert_tiny(third * Qd::from(3) - Qd::ONE, 1.0, "1/3*3");
+    }
+
+    #[test]
+    fn sqrt_two_squared() {
+        let s = Qd::from(2).sqrt();
+        assert_tiny(s * s - Qd::from(2), 2.0, "sqrt(2)^2");
+    }
+
+    #[test]
+    fn add_keeps_four_scales() {
+        let x = Qd::from_parts([2f64.powi(100), 1.0, 2f64.powi(-100), 2f64.powi(-200)]);
+        let y = x + Qd::ZERO;
+        assert_eq!(x, y);
+        let z = x - Qd::from_f64(2f64.powi(100));
+        assert_eq!(z.c[0], 1.0);
+        assert_eq!(z.c[1], 2f64.powi(-100));
+        assert_eq!(z.c[2], 2f64.powi(-200));
+    }
+
+    #[test]
+    fn mul_exact_for_small_integers() {
+        let p = Qd::from(1234567) * Qd::from(7654321);
+        assert_eq!(p.to_f64(), 1234567.0 * 7654321.0);
+        assert_eq!(p.c[1], 0.0);
+    }
+
+    #[test]
+    fn mul_beats_dd_precision() {
+        // (1 + 2^-150)^2 = 1 + 2^-149 + 2^-300; Qd captures the middle term.
+        let x = Qd::from_parts([1.0, 2f64.powi(-150), 0.0, 0.0]);
+        let sq = x * x;
+        assert_eq!(sq.c[0], 1.0);
+        assert_eq!(sq.c[1], 2f64.powi(-149));
+    }
+
+    #[test]
+    fn div_round_trips() {
+        let a = Qd::from_f64(std::f64::consts::PI);
+        let b = Qd::from_f64(std::f64::consts::E);
+        let q = a / b;
+        assert_tiny(q * b - a, 4.0, "pi/e*e");
+    }
+
+    #[test]
+    fn powi_consistency() {
+        let x = Qd::from_f64(1.1);
+        let mut acc = Qd::ONE;
+        for _ in 0..10 {
+            acc *= x;
+        }
+        assert_tiny(x.powi(10) - acc, 3.0, "x^10");
+        assert_tiny(x.powi(-4) * x.powi(4) - Qd::ONE, 1.0, "x^-4*x^4");
+        assert_eq!(x.powi(0), Qd::ONE);
+    }
+
+    #[test]
+    fn dd_round_trip() {
+        let d = crate::dd::Dd::from_f64(std::f64::consts::PI) / crate::dd::Dd::from(7);
+        let q = Qd::from_dd(d);
+        assert_eq!(q.to_dd(), d);
+    }
+
+    #[test]
+    fn ordering() {
+        let a = Qd::from_parts([1.0, 1e-40, 0.0, 0.0]);
+        let b = Qd::from_parts([1.0, 1e-40, 1e-80, 0.0]);
+        assert!(a < b);
+        assert!(Qd::ZERO < Qd::ONE);
+        assert!(-Qd::ONE < Qd::ZERO);
+    }
+
+    #[test]
+    fn floor_cases() {
+        assert_eq!(Qd::from_f64(2.5).floor(), Qd::from(2));
+        assert_eq!(Qd::from_f64(-2.5).floor(), Qd::from(-3));
+        let x = Qd::from_parts([5.0, -0.25, 0.0, 0.0]);
+        // renorm: that is 4.75
+        let f = (Qd::from(5) + Qd::from_f64(-0.25)).floor();
+        assert_eq!(f, Qd::from(4));
+        let _ = x;
+    }
+
+    #[test]
+    fn sqrt_negative_is_nan_zero_is_zero() {
+        assert!(Qd::from(-2).sqrt().is_nan());
+        assert_eq!(Qd::ZERO.sqrt(), Qd::ZERO);
+    }
+}

@@ -1,0 +1,192 @@
+//! Property-based tests for the extended-precision arithmetic.
+//!
+//! The oracle for `Dd` is the exact-expansion machinery (`expansion`),
+//! and the oracle for `Qd` is exactness of small-integer arithmetic plus
+//! algebraic identities with tight error bounds.
+
+use polygpu_qd::dd::Dd;
+use polygpu_qd::eft::{two_prod, two_sum};
+use polygpu_qd::expansion::distill;
+use polygpu_qd::qd4::Qd;
+use proptest::prelude::*;
+
+/// Finite, not-too-extreme doubles so products/sums do not overflow and
+/// Dekker's split stays exact.
+fn sane_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        -1e120f64..1e120,
+        -1e3f64..1e3,
+        -1.0f64..1.0,
+        Just(0.0),
+        Just(1.0),
+        Just(-1.0),
+    ]
+    .prop_filter("finite", |x| x.is_finite())
+}
+
+fn dd() -> impl Strategy<Value = Dd> {
+    (sane_f64(), -1e-3f64..1e-3).prop_map(|(hi, rel)| {
+        let lo = hi * rel * f64::EPSILON;
+        Dd::renorm(hi, lo)
+    })
+}
+
+fn ulp(x: f64) -> f64 {
+    if x == 0.0 {
+        return f64::MIN_POSITIVE;
+    }
+    f64::from_bits(x.abs().to_bits() + 1) - x.abs()
+}
+
+proptest! {
+    #[test]
+    fn two_sum_is_error_free(a in sane_f64(), b in sane_f64()) {
+        let (s, e) = two_sum(a, b);
+        // s is the rounded sum
+        prop_assert_eq!(s, a + b);
+        // s + e reproduces the pair exactly: check via the exact expansion
+        let d = distill::<2>(&[a, b]);
+        prop_assert_eq!(d[0], s);
+        prop_assert_eq!(d[1], e);
+    }
+
+    #[test]
+    fn two_prod_is_error_free(a in -1e100f64..1e100, b in -1e100f64..1e100) {
+        let (p, e) = two_prod(a, b);
+        prop_assert_eq!(p, a * b);
+        // Dekker split variant must agree with the FMA variant.
+        let (p2, e2) = polygpu_qd::eft::two_prod_split(a, b);
+        prop_assert_eq!(p, p2);
+        prop_assert_eq!(e, e2);
+    }
+
+    #[test]
+    fn dd_is_normalized_after_every_op(a in dd(), b in dd()) {
+        for v in [a + b, a - b, a * b] {
+            if v.is_finite() && v.hi() != 0.0 {
+                prop_assert!(v.lo().abs() <= ulp(v.hi()),
+                    "unnormalized result {:?}", v);
+            }
+        }
+    }
+
+    #[test]
+    fn dd_add_matches_exact_expansion(a in dd(), b in dd()) {
+        let s = a + b;
+        let exact = distill::<4>(&[a.hi(), a.lo(), b.hi(), b.lo()]);
+        // accurate dd addition is within 2 ulp of the dd rounding of the
+        // exact sum
+        let expect = Dd::renorm(exact[0], exact[1]);
+        let diff = (s - expect).abs();
+        let scale = expect.abs().to_f64().max(f64::MIN_POSITIVE);
+        prop_assert!(diff.to_f64() <= 4.0 * Dd::EPSILON * scale,
+            "dd add off: got {:?} want {:?}", s, expect);
+    }
+
+    #[test]
+    fn dd_mul_matches_exact_expansion(a in dd(), b in dd()) {
+        let p = a * b;
+        if !p.is_finite() { return Ok(()); }
+        let mut terms = Vec::new();
+        for (x, y) in [(a.hi(), b.hi()), (a.hi(), b.lo()), (a.lo(), b.hi()), (a.lo(), b.lo())] {
+            let (v, e) = two_prod(x, y);
+            terms.push(v);
+            terms.push(e);
+        }
+        let exact = distill::<4>(&terms);
+        let expect = Dd::renorm(exact[0], exact[1]);
+        let diff = (p - expect).abs();
+        let scale = expect.abs().to_f64().max(f64::MIN_POSITIVE);
+        prop_assert!(diff.to_f64() <= 8.0 * Dd::EPSILON * scale,
+            "dd mul off: got {:?} want {:?}", p, expect);
+    }
+
+    #[test]
+    fn dd_div_times_divisor_round_trips(a in dd(), b in dd()) {
+        prop_assume!(b.abs().to_f64() > 1e-100);
+        prop_assume!(a.abs().to_f64() < 1e100);
+        let q = a / b;
+        if !q.is_finite() { return Ok(()); }
+        let back = q * b;
+        let diff = (back - a).abs().to_f64();
+        let scale = a.abs().to_f64().max(1e-300);
+        prop_assert!(diff <= 16.0 * Dd::EPSILON * scale,
+            "a/b*b != a: {:?} vs {:?}", back, a);
+    }
+
+    #[test]
+    fn dd_sqrt_squares_back(a in 1e-100f64..1e100) {
+        let s = Dd::from_f64(a).sqrt();
+        let diff = (s.sqr() - Dd::from_f64(a)).abs().to_f64();
+        prop_assert!(diff <= 16.0 * Dd::EPSILON * a);
+    }
+
+    #[test]
+    fn dd_parse_print_round_trip(a in dd()) {
+        prop_assume!(a.is_finite());
+        prop_assume!(a.abs().to_f64() < 1e100 && (a.is_zero() || a.abs().to_f64() > 1e-100));
+        let s = format!("{a}");
+        let back: Dd = s.parse().unwrap();
+        let diff = (back - a).abs().to_f64();
+        let scale = a.abs().to_f64().max(f64::MIN_POSITIVE);
+        prop_assert!(diff <= 1e-30 * scale, "{a:?} -> {s} -> {back:?}");
+    }
+
+    #[test]
+    fn qd_add_sub_cancels(a in sane_f64(), b in sane_f64()) {
+        let qa = Qd::from_f64(a);
+        let qb = Qd::from_f64(b);
+        let r = qa + qb - qb;
+        // adding and subtracting a double is exact in qd for sane ranges
+        prop_assert_eq!(r.to_f64(), a);
+    }
+
+    #[test]
+    fn qd_mul_small_integers_exact(a in -1_000_000i64..1_000_000, b in -1_000_000i64..1_000_000) {
+        let p = Qd::from_f64(a as f64) * Qd::from_f64(b as f64);
+        prop_assert_eq!(p.to_f64(), (a * b) as f64);
+        prop_assert_eq!(p.components()[1], 0.0);
+    }
+
+    #[test]
+    fn qd_div_round_trips(a in 1e-50f64..1e50, b in 1e-50f64..1e50) {
+        let q = Qd::from_f64(a) / Qd::from_f64(b);
+        let back = q * Qd::from_f64(b);
+        let diff = (back - Qd::from_f64(a)).abs().to_f64();
+        prop_assert!(diff <= 16.0 * Qd::EPSILON * a.abs());
+    }
+
+    #[test]
+    fn distill_is_order_insensitive(xs in prop::collection::vec(sane_f64(), 0..12), seed in 0u64..1000) {
+        let a = distill::<4>(&xs);
+        // deterministic shuffle
+        let mut ys = xs.clone();
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        for i in (1..ys.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            ys.swap(i, j);
+        }
+        let b = distill::<4>(&ys);
+        // The represented values may differ only by the rounding of the
+        // folded tail, i.e. below one ulp of the fourth component
+        // (~2^-212 relative). Compare values via an exact expansion of
+        // the difference.
+        let diff = distill::<4>(&[a[0], a[1], a[2], a[3], -b[0], -b[1], -b[2], -b[3]]);
+        let tol = (a[0].abs() * 2f64.powi(-200)).max(1e-300);
+        prop_assert!(diff[0].abs() <= tol,
+            "distill order-dependent beyond tail rounding: {:?} vs {:?} (diff {:e})",
+            a, b, diff[0]);
+    }
+
+    #[test]
+    fn real_trait_powi_agrees_across_types(x in -4.0f64..4.0, n in 0i32..8) {
+        let f = x.powi(n);
+        let d = Dd::from_f64(x).powi(n).to_f64();
+        let q = Qd::from_f64(x).powi(n).to_f64();
+        if f.abs() < 1e300 {
+            prop_assert!((f - d).abs() <= f.abs() * 1e-13 + 1e-300);
+            prop_assert!((f - q).abs() <= f.abs() * 1e-13 + 1e-300);
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Quality up: how much extra precision does the GPU speedup buy?
+//!
+//! The paper's framing (§1): "given p processors (or cores) how much
+//! extra precision can we afford in roughly the same time as a
+//! sequential run?" The companion work measured a double-double cost
+//! factor around 8; a parallel evaluator with speedup >= 8 therefore
+//! tracks double-double paths in sequential-double time.
+//!
+//! This example (1) measures the cost factors on this host, (2) takes
+//! the modeled GPU speedup for the Table-2 configuration, (3) answers
+//! the quality-up question, and (4) demonstrates *why* extra precision
+//! matters by running Newton in f64 vs double-double on the same
+//! system and comparing achievable residuals.
+//!
+//! ```text
+//! cargo run --release --example quality_up
+//! ```
+
+use polygpu::prelude::*;
+use std::time::Instant;
+
+fn measure_factor<R: Real>(iters: usize) -> f64 {
+    let mut z = Complex::<R>::from_f64(0.999_999, 1.3e-3);
+    let w = Complex::<R>::from_f64(1.000_001, -1.1e-3);
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        z = std::hint::black_box(z * w);
+    }
+    std::hint::black_box(z);
+    t0.elapsed().as_secs_f64() / iters as f64
+}
+
+fn main() {
+    // (1) Arithmetic cost ladder on this host.
+    let iters = 2_000_000;
+    let t_f64 = measure_factor::<f64>(iters);
+    let t_dd = measure_factor::<Dd>(iters);
+    let t_qd = measure_factor::<Qd>(iters / 16);
+    let dd_factor = t_dd / t_f64;
+    let qd_factor = t_qd / t_f64;
+    println!("complex multiplication cost factors on this host:");
+    println!("  double        1.00");
+    println!("  double-double {dd_factor:.2}   (paper's companion work: ~8)");
+    println!("  quad-double   {qd_factor:.2}");
+
+    // (2) Modeled GPU speedup for the Table-2 configuration against
+    // the paper's own CPU column (era-consistent).
+    let params = BenchmarkParams {
+        n: 32,
+        m: 48,
+        k: 16,
+        d: 10,
+        seed: 5,
+    };
+    let system = random_system::<f64>(&params);
+    let mut gpu = GpuEvaluator::new(&system, GpuOptions::default()).unwrap();
+    let x = random_point::<f64>(32, 1);
+    let _ = gpu.evaluate(&x);
+    let gpu_per_eval = gpu.stats().seconds_per_eval();
+    let paper_cpu_per_eval = 425.8 / 100_000.0; // Table 2, 1,536 monomials
+    let speedup = paper_cpu_per_eval / gpu_per_eval;
+    println!("\nmodeled GPU speedup (Table 2, 1,536 monomials): {speedup:.1}x");
+
+    // (3) The quality-up ladder.
+    println!("\nquality-up: parallel extended-precision vs sequential double:");
+    for q in quality_up_ladder(speedup, dd_factor, qd_factor) {
+        println!(
+            "  {:14} ({} bits): relative time {:.2} -> {}",
+            q.precision.name(),
+            q.precision.bits(),
+            q.relative_time,
+            if q.achieved(1.0) {
+                "QUALITY UP (free or better)"
+            } else {
+                "costs extra"
+            }
+        );
+    }
+
+    // (4) Why it matters: Newton can only push the residual to the
+    // evaluation precision. Same system, same root, two precisions.
+    let root = random_point::<f64>(32, 77);
+    let mut f64_eval = ShiftedEvaluator::with_root(AdEvaluator::new(system.clone()).unwrap(), &root);
+    let x0: Vec<C64> = root.iter().map(|z| *z + C64::from_f64(1e-3, 1e-3)).collect();
+    let r64 = newton(
+        &mut f64_eval,
+        &x0,
+        NewtonParams {
+            residual_tol: 1e-30, // unreachable in f64: run to stagnation
+            step_tol: 1e-16,
+            max_iters: 12,
+        },
+    );
+    let best64 = r64.residuals.iter().copied().fold(f64::INFINITY, f64::min);
+
+    let system_dd = system.convert::<Dd>();
+    let root_dd: Vec<CDd> = root.iter().map(|z| z.convert()).collect();
+    let mut dd_eval = ShiftedEvaluator::with_root(AdEvaluator::new(system_dd).unwrap(), &root_dd);
+    let x0_dd: Vec<CDd> = x0.iter().map(|z| z.convert()).collect();
+    let rdd = newton(
+        &mut dd_eval,
+        &x0_dd,
+        NewtonParams {
+            residual_tol: 1e-30,
+            step_tol: 1e-31,
+            max_iters: 16,
+        },
+    );
+    let best_dd = rdd.residuals.iter().copied().fold(f64::INFINITY, f64::min);
+    println!("\nNewton residual floors on the same system (dimension 32):");
+    println!("  double        {best64:.2e}");
+    println!("  double-double {best_dd:.2e}");
+    assert!(
+        best_dd < best64 * 1e-6,
+        "double-double must reach a much lower floor"
+    );
+    println!("\ndouble-double buys ~{:.0} extra decimal digits of residual;", (best64 / best_dd).log10());
+    println!("with the modeled GPU speedup it costs less than sequential double.");
+}

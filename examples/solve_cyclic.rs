@@ -1,0 +1,60 @@
+//! Solve the cyclic 3-roots system end to end with the blackbox
+//! total-degree driver — the kind of workload (PHCpack-style solving)
+//! the paper's evaluation engine exists to accelerate.
+//!
+//! cyclic-3:  x0 + x1 + x2 = 0
+//!            x0·x1 + x1·x2 + x2·x0 = 0
+//!            x0·x1·x2 − 1 = 0
+//!
+//! has exactly 6 isolated solutions (the permutations of
+//! `(1, w, w²)` and `(1, w², w)` scaled by cube roots of unity).
+//!
+//! ```text
+//! cargo run --release --example solve_cyclic
+//! ```
+
+use polygpu::prelude::*;
+use polygpu::polysys::classic::cyclic;
+
+fn main() {
+    let system = cyclic::<f64>(3);
+    println!("cyclic 3-roots:\n{system}");
+    let degrees: Vec<u32> = system.polys().iter().map(|p| p.total_degree()).collect();
+    println!("total degrees {degrees:?} -> Bezout number {}", degrees.iter().product::<u32>());
+
+    let result = solve_total_degree(
+        degrees,
+        || NaiveEvaluator::new(system.clone()),
+        SolveParams::default(),
+    );
+    println!(
+        "\ntracked {} paths: {} finished, {} failed; {} corrector iterations",
+        result.paths_tracked, result.paths_finished, result.paths_failed,
+        result.corrector_iterations
+    );
+    println!("distinct roots found: {}", result.roots.len());
+    for (i, root) in result.roots.iter().enumerate() {
+        print!("  root {i}: (");
+        for (j, z) in root.x.iter().enumerate() {
+            if j > 0 {
+                print!(", ");
+            }
+            print!("{:.4}{:+.4}i", z.re, z.im);
+        }
+        println!(")  residual {:.1e}", root.residual);
+    }
+
+    // Verify every root on the original system.
+    let mut check = NaiveEvaluator::new(system);
+    for root in &result.roots {
+        let resid = check.evaluate(&root.x).residual_norm();
+        assert!(resid < 1e-8, "root fails verification: {resid:e}");
+    }
+    println!("\nall roots verified against the system (residual < 1e-8).");
+    assert!(
+        result.roots.len() == 6,
+        "cyclic-3 has 6 isolated solutions, found {}",
+        result.roots.len()
+    );
+    println!("found the full solution set (6 isolated roots) — matching theory.");
+}

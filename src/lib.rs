@@ -1,0 +1,70 @@
+//! # polygpu — evaluating polynomials in several variables and their
+//! derivatives on a (simulated) GPU computing processor
+//!
+//! A comprehensive Rust reproduction of Verschelde & Yoffe,
+//! *"Evaluating polynomials in several variables and their derivatives
+//! on a GPU computing processor"* (2012): massively parallel evaluation
+//! and algorithmic differentiation of sparse polynomial systems — the
+//! inner loop of Newton's method in polynomial homotopy continuation —
+//! on a functionally-exact, performance-modeled SIMT simulator of the
+//! paper's NVIDIA Tesla C2050.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! | crate | role |
+//! |-------|------|
+//! | [`qd`] | double-double / quad-double arithmetic (the QD library) |
+//! | [`complex`] | generic complex numbers and matrices |
+//! | [`polysys`] | sparse polynomial systems, generators, CPU evaluators |
+//! | [`gpusim`] | the trace-based SIMT GPU simulator |
+//! | [`core`] | **the paper's contribution**: the three kernels + pipeline |
+//! | [`homotopy`] | Newton's method and path tracking on top |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use polygpu::prelude::*;
+//!
+//! // A random benchmark system in the paper's regular shape:
+//! // dimension 16, 4 monomials per polynomial, 3 variables per
+//! // monomial, exponents up to 2.
+//! let params = BenchmarkParams { n: 16, m: 4, k: 3, d: 2, seed: 1 };
+//! let system = random_system::<f64>(&params);
+//!
+//! // Evaluate the system and its Jacobian on the simulated Tesla C2050…
+//! let mut gpu = GpuEvaluator::new(&system, GpuOptions::default()).unwrap();
+//! let x = random_point(16, 2);
+//! let on_gpu = gpu.evaluate(&x);
+//!
+//! // …and with the same algorithm sequentially: bit-identical.
+//! let mut cpu = AdEvaluator::new(system).unwrap();
+//! assert_eq!(on_gpu.values, cpu.evaluate(&x).values);
+//!
+//! // The device cost model behind the paper's tables:
+//! println!("modeled GPU time/eval: {:.1} us",
+//!          gpu.stats().seconds_per_eval() * 1e6);
+//! ```
+
+pub use polygpu_complex as complex;
+pub use polygpu_core as core;
+pub use polygpu_gpusim as gpusim;
+pub use polygpu_homotopy as homotopy;
+pub use polygpu_polysys as polysys;
+pub use polygpu_qd as qd;
+
+/// Everything a typical user needs in one import.
+pub mod prelude {
+    pub use polygpu_complex::{CMat, Complex, C64, CDd, CQd};
+    pub use polygpu_core::pipeline::{GpuEvaluator, GpuOptions, PipelineStats};
+    pub use polygpu_core::{EncodeError, EncodingKind, SetupError};
+    pub use polygpu_gpusim::prelude::{
+        Bound, Counters, DeviceSpec, LaunchConfig, LaunchOptions, LaunchReport,
+    };
+    pub use polygpu_homotopy::prelude::*;
+    pub use polygpu_polysys::{
+        cost, random_point, random_points, random_system, AdEvaluator, BenchmarkParams, Monomial,
+        NaiveEvaluator, OpCounts, Polynomial, System, SystemEval, SystemEvaluator, Term,
+        UniformShape,
+    };
+    pub use polygpu_qd::{Dd, Qd, Real};
+}

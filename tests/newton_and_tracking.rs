@@ -1,0 +1,107 @@
+//! Integration: Newton's method and path tracking with the simulated
+//! GPU evaluator in the loop.
+
+use polygpu::prelude::*;
+
+#[test]
+fn newton_on_gpu_evaluator_converges_and_matches_cpu() {
+    let p = BenchmarkParams { n: 16, m: 8, k: 5, d: 2, seed: 11 };
+    let system = random_system::<f64>(&p);
+    let root = random_point::<f64>(16, 3);
+    let x0: Vec<C64> = root
+        .iter()
+        .map(|z| *z + C64::from_f64(5e-3, -5e-3))
+        .collect();
+
+    let gpu = GpuEvaluator::new(&system, GpuOptions::default()).unwrap();
+    let mut f_gpu = ShiftedEvaluator::with_root(gpu, &root);
+    let r_gpu = newton(&mut f_gpu, &x0, NewtonParams::default());
+    assert!(r_gpu.converged, "gpu newton: {:?}", r_gpu.residuals);
+
+    let cpu = AdEvaluator::new(system).unwrap();
+    let mut f_cpu = ShiftedEvaluator::with_root(cpu, &root);
+    let r_cpu = newton(&mut f_cpu, &x0, NewtonParams::default());
+    assert_eq!(r_gpu.x, r_cpu.x, "identical arithmetic -> identical iterates");
+    assert_eq!(r_gpu.iterations, r_cpu.iterations);
+}
+
+#[test]
+fn gpu_corrector_tracks_a_path() {
+    // Track one path of a tiny system with the *GPU* evaluator as the
+    // target side of the homotopy.
+    let p = BenchmarkParams { n: 2, m: 2, k: 2, d: 2, seed: 5 };
+    let system = random_system::<f64>(&p);
+    let degrees: Vec<u32> = system.polys().iter().map(|q| q.total_degree()).collect();
+    let start = StartSystem::new(degrees);
+    let x0: Vec<C64> = start.solution_by_index(0);
+    let target = GpuEvaluator::new(&system, GpuOptions::default()).unwrap();
+    let mut h = Homotopy::with_random_gamma(start, target, 99);
+    let r = track(&mut h, &x0, TrackParams::default());
+    if r.success() {
+        let mut check = AdEvaluator::new(system).unwrap();
+        let resid = check.evaluate(&r.end().x).residual_norm();
+        assert!(resid < 1e-8, "endpoint residual {resid:e}");
+    } else {
+        // A single random path may legitimately diverge; the tracker
+        // must say so rather than loop forever.
+        assert!(matches!(
+            r.outcome,
+            TrackOutcome::StepUnderflow { .. } | TrackOutcome::SingularJacobian { .. }
+        ));
+    }
+}
+
+#[test]
+fn tracking_cost_is_dominated_by_evaluations() {
+    // The paper's premise: evaluation dominates linear algebra. Count
+    // evaluator calls through the pipeline stats.
+    let p = BenchmarkParams { n: 4, m: 3, k: 2, d: 2, seed: 23 };
+    let system = random_system::<f64>(&p);
+    let start = StartSystem::uniform(4, 2);
+    let x0: Vec<C64> = start.solution_by_index(1);
+    let target = GpuEvaluator::new(&system, GpuOptions::default()).unwrap();
+    let mut h = Homotopy::with_random_gamma(start, target, 7);
+    let r = track(&mut h, &x0, TrackParams::default());
+    let evals = h.f.stats().evaluations;
+    assert!(
+        evals as usize >= r.steps_accepted,
+        "every step evaluates at least once: {evals} vs {}",
+        r.steps_accepted
+    );
+    // Modeled device time accrued along the whole path.
+    assert!(h.f.stats().total_seconds() > 0.0);
+}
+
+#[test]
+fn dd_newton_polishes_an_f64_root() {
+    // Precision escalation: converge in f64, then polish in DD — the
+    // quality-up workflow.
+    let p = BenchmarkParams { n: 8, m: 4, k: 3, d: 2, seed: 37 };
+    let system = random_system::<f64>(&p);
+    let root = random_point::<f64>(8, 2);
+    let x0: Vec<C64> = root
+        .iter()
+        .map(|z| *z + C64::from_f64(1e-4, 1e-4))
+        .collect();
+    let mut f64_eval = ShiftedEvaluator::with_root(AdEvaluator::new(system.clone()).unwrap(), &root);
+    let r64 = newton(&mut f64_eval, &x0, NewtonParams::default());
+    assert!(r64.converged);
+
+    // Promote and polish. Note: the shift must be recomputed in DD from
+    // the DD system so the root stays exact in the higher precision.
+    let system_dd = system.convert::<Dd>();
+    let root_dd: Vec<CDd> = root.iter().map(|z| z.convert()).collect();
+    let mut dd_eval = ShiftedEvaluator::with_root(AdEvaluator::new(system_dd).unwrap(), &root_dd);
+    let x0_dd: Vec<CDd> = r64.x.iter().map(|z| z.convert()).collect();
+    let rdd = newton(
+        &mut dd_eval,
+        &x0_dd,
+        NewtonParams {
+            residual_tol: 1e-28,
+            step_tol: 1e-30,
+            max_iters: 10,
+        },
+    );
+    assert!(rdd.converged, "dd polish failed: {:?}", rdd.residuals);
+    assert!(*rdd.residuals.last().unwrap() < 1e-28);
+}
