@@ -1,0 +1,41 @@
+//! Batched vs single-point evaluation throughput: host cost of
+//! simulating one `P = 64` batch against 64 single-point pipeline
+//! steps, with the modeled device throughput printed alongside.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use polygpu_bench::{batch_fixture, bench_fixture};
+use polygpu_polysys::{BatchSystemEvaluator, SystemEvaluator};
+
+fn bench_batch_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_throughput_704_monomials");
+    group.sample_size(10);
+
+    let (mut batch, points) = batch_fixture(704, 9, 2, 64);
+    group.bench_function("batch_64_points", |b| {
+        b.iter(|| batch.evaluate_batch(&points)[0].values[0])
+    });
+
+    let (_cpu, mut gpu, single_points) = bench_fixture(704, 9, 2);
+    group.bench_function("single_64_points", |b| {
+        b.iter(|| {
+            let mut acc = single_points[0][0];
+            for _ in 0..64 {
+                acc = gpu.evaluate(&single_points[0]).values[0];
+            }
+            acc
+        })
+    });
+    group.finish();
+
+    let _ = batch.evaluate_batch(&points);
+    let s = batch.stats();
+    println!(
+        "  [model] batch P=64: {:.3} us/eval, {:.0} evals/sec, overhead+transfer {:.3} us/eval",
+        s.seconds_per_eval() * 1e6,
+        s.throughput_evals_per_sec(),
+        (s.overhead_seconds + s.transfer_seconds) / s.evaluations as f64 * 1e6,
+    );
+}
+
+criterion_group!(benches, bench_batch_throughput);
+criterion_main!(benches);

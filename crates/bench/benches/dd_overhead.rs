@@ -10,7 +10,7 @@ use polygpu_qd::{Dd, Qd, Real};
 fn bench_mul<R: Real>(c: &mut Criterion, label: &str) {
     let z = Complex::<R>::from_f64(0.999_999, 1.3e-3);
     let w = Complex::<R>::from_f64(1.000_001, -1.1e-3);
-    c.bench_function(&format!("complex_mul/{label}"), |b| {
+    c.bench_function(format!("complex_mul/{label}"), |b| {
         b.iter(|| {
             let mut acc = z;
             for _ in 0..256 {

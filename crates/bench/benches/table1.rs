@@ -10,11 +10,9 @@ fn bench_table1(c: &mut Criterion) {
     group.sample_size(10);
     for total in [704usize, 1024, 1536] {
         let (mut cpu, mut gpu, points) = bench_fixture(total, 9, 2);
-        group.bench_with_input(
-            BenchmarkId::new("cpu_1core_eval", total),
-            &total,
-            |b, _| b.iter(|| cpu_batch(&mut cpu, &points)),
-        );
+        group.bench_with_input(BenchmarkId::new("cpu_1core_eval", total), &total, |b, _| {
+            b.iter(|| cpu_batch(&mut cpu, &points))
+        });
         // One simulated evaluation (functional execution + analysis);
         // its *modeled* device time is what the table reports.
         group.bench_with_input(BenchmarkId::new("gpu_sim_step", total), &total, |b, _| {

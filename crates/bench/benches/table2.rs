@@ -8,11 +8,9 @@ fn bench_table2(c: &mut Criterion) {
     group.sample_size(10);
     for total in [704usize, 1024, 1536] {
         let (mut cpu, mut gpu, points) = bench_fixture(total, 16, 10);
-        group.bench_with_input(
-            BenchmarkId::new("cpu_1core_eval", total),
-            &total,
-            |b, _| b.iter(|| cpu_batch(&mut cpu, &points)),
-        );
+        group.bench_with_input(BenchmarkId::new("cpu_1core_eval", total), &total, |b, _| {
+            b.iter(|| cpu_batch(&mut cpu, &points))
+        });
         group.bench_with_input(BenchmarkId::new("gpu_sim_step", total), &total, |b, _| {
             use polygpu_polysys::SystemEvaluator;
             b.iter(|| gpu.evaluate(&points[0]).values[0])

@@ -8,6 +8,7 @@
 //! repro ddcost              E5: double-double cost factor
 //! repro ablate-cf           A1: two-stage vs from-scratch common factors
 //! repro ablate-layout       A2: Mons layout vs row-major summation
+//! repro batch               B1: batched engine sweep over P in {1,4,16,64,256}
 //! repro multicore           multicore quality-up (companion experiment)
 //! repro dims                working-dimension feasibility sweep (sections 3.1-3.2)
 //! repro all [--full]        everything above, in order
@@ -34,6 +35,7 @@ fn main() -> ExitCode {
         "ddcost" => ddcost(),
         "ablate-cf" => ablate_cf(),
         "ablate-layout" => ablate_layout(),
+        "batch" => batch(),
         "multicore" => multicore(),
         "dims" => dims(),
         "all" => {
@@ -44,6 +46,7 @@ fn main() -> ExitCode {
             ddcost();
             ablate_cf();
             ablate_layout();
+            batch();
             multicore();
             dims();
         }
@@ -61,13 +64,31 @@ fn table(spec: &TableSpec, measured: usize) {
     println!("{}", format_table(spec, &rows, reported));
     println!(
         "shape check (speedup grows with monomials, all > 1): {}\n",
-        if table_shape_holds(&rows) { "PASS" } else { "FAIL" }
+        if table_shape_holds(&rows) {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+    );
+}
+
+fn batch() {
+    let rows = batch_sweep(704, 9, 2, &[1, 4, 16, 64, 256]);
+    println!("{}", format_batch_sweep(704, &rows));
+    println!(
+        "model: one batch pays 3 launch overheads and 2 PCIe latencies for P\n\
+         evaluations, so the fixed cost per evaluation falls ~P-fold while the\n\
+         kernel seconds stay proportional to the work; throughput approaches the\n\
+         kernel-bound ceiling as P grows.\n"
     );
 }
 
 fn multicore() {
     let r = multicore::multicore_quality_up(256);
-    println!("### Multicore quality up (companion experiment, {} threads)\n", r.threads);
+    println!(
+        "### Multicore quality up (companion experiment, {} threads)\n",
+        r.threads
+    );
     println!("| run | seconds ({} evals) |", r.evals);
     println!("|-----|-------------------:|");
     println!("| double, 1 core | {:.4} |", r.f64_seq_s);
@@ -76,11 +97,18 @@ fn multicore() {
     println!("| double-double, {} cores | {:.4} |", r.threads, r.dd_par_s);
     println!();
     println!("parallel speedup (double): {:.2}x", r.f64_speedup());
-    println!("double-double cost factor: {:.2}x (paper companion: ~8)", r.dd_cost_factor());
+    println!(
+        "double-double cost factor: {:.2}x (paper companion: ~8)",
+        r.dd_cost_factor()
+    );
     println!(
         "quality-up ratio (dd parallel / double sequential): {:.2} -> {}\n",
         r.quality_up_ratio(),
-        if r.quality_up_ratio() <= 1.0 { "QUALITY UP" } else { "not achieved on this host" }
+        if r.quality_up_ratio() <= 1.0 {
+            "QUALITY UP"
+        } else {
+            "not achieved on this host"
+        }
     );
 }
 
@@ -148,7 +176,10 @@ fn ablate_cf() {
     println!("|--:|---------|-------------:|-------------------:|------------------:|");
     for d in [2u16, 5, 10] {
         let ab = ablate_common_factor(d);
-        for (name, r) in [("two-stage", &ab.two_stage), ("from-scratch", &ab.from_scratch)] {
+        for (name, r) in [
+            ("two-stage", &ab.two_stage),
+            ("from-scratch", &ab.from_scratch),
+        ] {
             println!(
                 "| {} | {} | {} | {} | {:.2} |",
                 d,

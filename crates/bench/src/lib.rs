@@ -1,7 +1,7 @@
 //! # polygpu-bench — the experiment harness
 //!
 //! Regenerates every quantitative result of the paper's evaluation
-//! (§4) plus the in-text claims, as catalogued in `DESIGN.md`:
+//! (§4) plus the in-text claims, as catalogued below:
 //!
 //! * **Table 1 / Table 2** — [`run_table`]: wall time of `N`
 //!   evaluations of a dimension-32 system and its Jacobian, simulated
@@ -14,17 +14,20 @@
 //! * **E5** — [`measure_cost_factors`]: the double-double arithmetic
 //!   overhead factor (the paper's companion work reports ≈ 8);
 //! * **A1 / A2** — [`ablate_common_factor`], [`alt_layout`]:
-//!   the design choices of §3.1 and §3.3.
+//!   the design choices of §3.1 and §3.3;
+//! * **B1** — [`batch_sweep`]: the batched multi-point engine's
+//!   launch/transfer amortization over `P ∈ {1, 4, 16, 64, 256}`.
 //!
 //! The `repro` binary prints these in paper-style tables; the criterion
 //! benches under `benches/` track the same quantities as regressions.
 
 use polygpu_complex::{CDd, Complex, Real, C64};
 use polygpu_core::pipeline::{GpuEvaluator, GpuOptions};
-use polygpu_core::EncodingKind;
+use polygpu_core::{BatchGpuEvaluator, EncodingKind};
 use polygpu_gpusim::prelude::*;
 use polygpu_polysys::{
-    cost, random_points, random_system, AdEvaluator, BenchmarkParams, SystemEvaluator,
+    cost, random_points, random_system, AdEvaluator, BatchSystemEvaluator, BenchmarkParams,
+    SystemEvaluator,
 };
 use std::time::Instant;
 
@@ -44,6 +47,10 @@ pub struct TableRow {
     /// ~14 years newer than the Xeon X5690 while the device model stays
     /// a C2050.
     pub speedup: f64,
+    /// Modeled single-point evaluation throughput (evals/sec).
+    pub gpu_evals_per_sec: f64,
+    /// Modeled throughput of the batched engine at `P = 64`.
+    pub gpu_batch64_evals_per_sec: f64,
     /// `paper_cpu / gpu_seconds`: the modeled device against the
     /// paper's own 2012 CPU baseline — the era-consistent comparison,
     /// and fully deterministic (no wall-clock measurement involved).
@@ -95,11 +102,7 @@ pub fn table2_spec() -> TableSpec {
 /// of the whole point batch (one untimed warm-up pass first). The
 /// minimum filters scheduler and frequency noise, which matters in
 /// shared environments.
-fn measure_cpu_per_eval(
-    cpu: &mut AdEvaluator<f64>,
-    points: &[Vec<C64>],
-    repeats: usize,
-) -> f64 {
+fn measure_cpu_per_eval(cpu: &mut AdEvaluator<f64>, points: &[Vec<C64>], repeats: usize) -> f64 {
     let mut sink = 0.0;
     for p in points {
         sink += cpu.evaluate(p).residual_norm();
@@ -136,19 +139,26 @@ pub fn run_table(spec: &TableSpec, measured_evals: usize, reported_evals: usize)
         let points = random_points::<f64>(32, measured_evals.max(1), params.seed ^ 0xAB);
         let cpu_per_eval = measure_cpu_per_eval(&mut cpu, &points, 3);
         // --- GPU: modeled time from the simulated pipeline. ---
-        let mut gpu = GpuEvaluator::new(&system, GpuOptions::default())
-            .expect("table systems fit the C2050");
+        let mut gpu =
+            GpuEvaluator::new(&system, GpuOptions::default()).expect("table systems fit the C2050");
         for p in points.iter().take(3) {
             let _ = gpu.evaluate(p);
         }
         let gpu_per_eval = gpu.stats().seconds_per_eval();
         let gpu_seconds = gpu_per_eval * reported_evals as f64;
         let cpu_seconds = cpu_per_eval * reported_evals as f64;
+        // --- Batched engine at P = 64: one round trip, same math. ---
+        let mut batch = BatchGpuEvaluator::new(&system, 64, GpuOptions::default())
+            .expect("table systems fit the C2050");
+        let batch_points = random_points::<f64>(32, 64, params.seed ^ 0xB);
+        let _ = batch.evaluate_batch(&batch_points);
         rows.push(TableRow {
             monomials: total,
             gpu_seconds,
             cpu_seconds,
             speedup: cpu_seconds / gpu_seconds,
+            gpu_evals_per_sec: gpu.stats().throughput_evals_per_sec(),
+            gpu_batch64_evals_per_sec: batch.stats().throughput_evals_per_sec(),
             speedup_vs_2012_cpu: spec.paper_cpu[i] / gpu_seconds,
             paper_gpu: spec.paper_gpu[i],
             paper_cpu: spec.paper_cpu[i],
@@ -166,16 +176,18 @@ pub fn format_table(spec: &TableSpec, rows: &[TableRow], reported_evals: usize) 
         spec.name, reported_evals
     ));
     s.push_str(
-        "| #monomials | GPU-sim (model) | 1 CPU core (measured) | speedup | speedup vs 2012 CPU | paper GPU | paper CPU | paper speedup |\n",
+        "| #monomials | GPU-sim (model) | evals/s | evals/s (batch P=64) | 1 CPU core (measured) | speedup | speedup vs 2012 CPU | paper GPU | paper CPU | paper speedup |\n",
     );
     s.push_str(
-        "|-----------:|----------------:|----------------------:|--------:|--------------------:|----------:|----------:|--------------:|\n",
+        "|-----------:|----------------:|--------:|---------------------:|----------------------:|--------:|--------------------:|----------:|----------:|--------------:|\n",
     );
     for r in rows {
         s.push_str(&format!(
-            "| {} | {:.3} s | {:.1} s | {:.2} | {:.2} | {:.3} s | {:.1} s | {:.2} |\n",
+            "| {} | {:.3} s | {:.0} | {:.0} | {:.1} s | {:.2} | {:.2} | {:.3} s | {:.1} s | {:.2} |\n",
             r.monomials,
             r.gpu_seconds,
+            r.gpu_evals_per_sec,
+            r.gpu_batch64_evals_per_sec,
             r.cpu_seconds,
             r.speedup,
             r.speedup_vs_2012_cpu,
@@ -417,6 +429,100 @@ pub fn bench_fixture(
     (cpu, gpu, points)
 }
 
+/// One row of the batched-engine sweep (B1).
+#[derive(Debug, Clone, Copy)]
+pub struct BatchRow {
+    /// Batch size.
+    pub p: usize,
+    /// Modeled seconds per evaluation.
+    pub seconds_per_eval: f64,
+    /// Modeled evaluations per second.
+    pub evals_per_sec: f64,
+    /// Modeled fixed-cost (launch overhead + transfer) seconds per
+    /// evaluation — the quantity batching amortizes `P`-fold.
+    pub overhead_transfer_per_eval: f64,
+    /// Throughput relative to the `P = 1` row.
+    pub speedup_vs_p1: f64,
+}
+
+/// B1: sweep the batched engine over batch sizes on a Table-1-shaped
+/// system, reporting the modeled launch/transfer amortization.
+pub fn batch_sweep(total: usize, k: usize, d: u16, ps: &[usize]) -> Vec<BatchRow> {
+    let params = BenchmarkParams {
+        n: 32,
+        m: total / 32,
+        k,
+        d,
+        seed: 0xBA7C4,
+    };
+    let system = random_system::<f64>(&params);
+    // Dedicated P = 1 reference so `speedup_vs_p1` means the same
+    // thing regardless of which batch sizes (and in which order) the
+    // caller asks for.
+    let p1_throughput = {
+        let mut gpu = BatchGpuEvaluator::new(&system, 1, GpuOptions::default())
+            .expect("sweep systems fit the C2050");
+        let points = random_points::<f64>(32, 1, params.seed ^ 1);
+        let _ = gpu.evaluate_batch(&points);
+        gpu.stats().throughput_evals_per_sec()
+    };
+    let mut rows: Vec<BatchRow> = Vec::with_capacity(ps.len());
+    for &p in ps {
+        let mut gpu = BatchGpuEvaluator::new(&system, p, GpuOptions::default())
+            .expect("sweep systems fit the C2050");
+        let points = random_points::<f64>(32, p, params.seed ^ p as u64);
+        let _ = gpu.evaluate_batch(&points);
+        let s = gpu.stats();
+        let evals_per_sec = s.throughput_evals_per_sec();
+        rows.push(BatchRow {
+            p,
+            seconds_per_eval: s.seconds_per_eval(),
+            evals_per_sec,
+            overhead_transfer_per_eval: s.overhead_transfer_per_eval(),
+            speedup_vs_p1: evals_per_sec / p1_throughput,
+        });
+    }
+    rows
+}
+
+/// Render the batch sweep in markdown.
+pub fn format_batch_sweep(total: usize, rows: &[BatchRow]) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "### B1 — batched evaluation engine ({total} monomials, one 3-launch round trip per batch)\n\n",
+    ));
+    s.push_str("| P | modeled s/eval | evals/s | overhead+transfer s/eval | speedup vs P=1 |\n");
+    s.push_str("|--:|---------------:|--------:|-------------------------:|---------------:|\n");
+    for r in rows {
+        s.push_str(&format!(
+            "| {} | {:.3e} | {:.0} | {:.3e} | {:.2} |\n",
+            r.p, r.seconds_per_eval, r.evals_per_sec, r.overhead_transfer_per_eval, r.speedup_vs_p1
+        ));
+    }
+    s
+}
+
+/// Fixture for the batch benches: a batched evaluator at `capacity`
+/// plus matching random points.
+pub fn batch_fixture(
+    total: usize,
+    k: usize,
+    d: u16,
+    capacity: usize,
+) -> (BatchGpuEvaluator<f64>, Vec<Vec<C64>>) {
+    let params = BenchmarkParams {
+        n: 32,
+        m: total / 32,
+        k,
+        d,
+        seed: 0xBEEF,
+    };
+    let system = random_system::<f64>(&params);
+    let gpu = BatchGpuEvaluator::new(&system, capacity, GpuOptions::default()).unwrap();
+    let points = random_points::<f64>(32, capacity, 7);
+    (gpu, points)
+}
+
 /// Double-double variant of the fixture (for the quality-up benches).
 pub fn bench_fixture_dd(
     total: usize,
@@ -453,7 +559,9 @@ mod tests {
         assert!(
             table_shape_holds_model(&rows),
             "modeled table shape broken: speedups(2012) {:?}",
-            rows.iter().map(|r| r.speedup_vs_2012_cpu).collect::<Vec<_>>(),
+            rows.iter()
+                .map(|r| r.speedup_vs_2012_cpu)
+                .collect::<Vec<_>>(),
         );
         // Double-digit speedup at the top against the era-consistent
         // baseline, as in the paper; GPU time nearly flat in monomials.
@@ -479,6 +587,27 @@ mod tests {
             assert_eq!(formula, spl + 2 * k as u64 + 2, "decomposition for k = {k}");
             assert_eq!(cf, k as u64 - 1);
         }
+    }
+
+    #[test]
+    fn batch_sweep_amortizes_monotonically() {
+        let rows = batch_sweep(704, 9, 2, &[1, 4, 16, 64]);
+        assert_eq!(rows.len(), 4);
+        // Fixed cost per evaluation falls monotonically with P…
+        for w in rows.windows(2) {
+            assert!(
+                w[1].overhead_transfer_per_eval < w[0].overhead_transfer_per_eval,
+                "amortization not monotone: {rows:?}"
+            );
+        }
+        // …and by at least 10x from P=1 to P=64 (the acceptance bar).
+        assert!(
+            rows[0].overhead_transfer_per_eval >= 10.0 * rows[3].overhead_transfer_per_eval,
+            "P=64 amortization below 10x: {rows:?}"
+        );
+        assert!(rows[3].speedup_vs_p1 > 1.0);
+        let s = format_batch_sweep(704, &rows);
+        assert!(s.contains("| 64 |"));
     }
 
     #[test]

@@ -68,10 +68,7 @@ impl<R: Real> Complex<R> {
     /// Real scalar promoted to complex.
     #[inline]
     pub fn from_real(re: R) -> Self {
-        Complex {
-            re,
-            im: R::zero(),
-        }
+        Complex { re, im: R::zero() }
     }
 
     /// `e^{iθ}` for a hardware-double angle. The angle's precision is

@@ -51,7 +51,11 @@ impl<R: Real> CMat<R> {
     }
 
     /// Build from a function of `(row, col)`.
-    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> Complex<R>) -> Self {
+    pub fn from_fn(
+        rows: usize,
+        cols: usize,
+        mut f: impl FnMut(usize, usize) -> Complex<R>,
+    ) -> Self {
         let mut data = Vec::with_capacity(rows * cols);
         for i in 0..rows {
             for j in 0..cols {
@@ -193,7 +197,9 @@ mod tests {
     #[test]
     fn identity_matvec_is_id() {
         let id = CMat::<f64>::identity(4);
-        let x: Vec<C64> = (0..4).map(|i| C64::from_f64(i as f64, -(i as f64))).collect();
+        let x: Vec<C64> = (0..4)
+            .map(|i| C64::from_f64(i as f64, -(i as f64)))
+            .collect();
         assert_eq!(id.matvec(&x), x);
     }
 

@@ -1,6 +1,6 @@
 //! Property-based tests for complex arithmetic across all precisions.
 
-use polygpu_complex::{C64, CDd};
+use polygpu_complex::{CDd, C64};
 use polygpu_qd::Dd;
 use proptest::prelude::*;
 
@@ -112,7 +112,9 @@ fn dd_complex_keeps_106_bits_through_a_product_chain() {
     let mut zd = CDd::new(Dd::ONE, Dd::ZERO);
     let mut state = 0x9E3779B97F4A7C15u64;
     for _ in 0..50 {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let t = (state >> 11) as f64 / (1u64 << 53) as f64 * std::f64::consts::TAU;
         let f = C64::unit_from_angle(t);
         zf *= f;
@@ -121,5 +123,8 @@ fn dd_complex_keeps_106_bits_through_a_product_chain() {
     // DD norm stays much closer to 1.
     let f64_drift = (zf.norm_sqr() - 1.0).abs();
     let dd_drift = (zd.norm_sqr() - Dd::ONE).abs().to_f64();
-    assert!(dd_drift < f64_drift.max(1e-25), "dd {dd_drift:e} vs f64 {f64_drift:e}");
+    assert!(
+        dd_drift < f64_drift.max(1e-25),
+        "dd {dd_drift:e} vs f64 {f64_drift:e}"
+    );
 }

@@ -1,0 +1,514 @@
+//! The batched multi-point evaluation engine: the system and its
+//! Jacobian at `P` points with **one** set of three kernel launches and
+//! **one** transfer in each direction.
+//!
+//! The single-point pipeline pays three launch overheads and two PCIe
+//! latencies *per evaluation* — exactly the fixed costs that dominate
+//! path tracking, where thousands of corrector steps run across many
+//! concurrent paths. Following the batching design of the authors'
+//! follow-up work on GPU Newton's method, this engine lays the grid out
+//! point-major ([`LaunchConfig::cover_batch`]): `P × inner` blocks,
+//! where each block runs the *identical* program of its single-point
+//! counterpart against its point's pitched region of the batched
+//! buffers. Consequences:
+//!
+//! * launch overhead and PCIe latency are amortized `P`-fold (the
+//!   modeled `overhead_seconds`/`transfer_seconds` per evaluation drop
+//!   accordingly — see `PipelineStats::overhead_transfer_per_eval`);
+//! * results are **bit-for-bit identical** to `P` single-point
+//!   evaluations (same operations in the same order per point), so the
+//!   paper's determinism guarantees extend to batches unchanged;
+//! * a `P = 1` batch degenerates to the single-point pipeline's launch
+//!   counters exactly.
+
+use crate::kernels::batch::{
+    BatchCommonFactorFromScratch, BatchCommonFactorKernel, BatchLayout, BatchSpeelpenningKernel,
+    BatchSumKernel,
+};
+use crate::layout::coeffs::build_coeffs;
+use crate::layout::encoding::EncodedSupports;
+use crate::layout::mons::{q_deriv, q_value};
+use crate::pipeline::{GpuOptions, PipelineStats, SetupError};
+use polygpu_complex::{Complex, Real};
+use polygpu_gpusim::prelude::*;
+use polygpu_polysys::{BatchSystemEvaluator, System, SystemEval, SystemEvaluator, UniformShape};
+
+/// The batched three-kernel evaluator on the simulated device.
+///
+/// Device buffers are sized for `capacity` points at construction; any
+/// batch of `1..=capacity` points evaluates with one round trip.
+pub struct BatchGpuEvaluator<R: Real> {
+    device: DeviceSpec,
+    opts: GpuOptions,
+    shape: UniformShape,
+    layout: BatchLayout,
+    global: GlobalMem<Complex<R>>,
+    constant: ConstantMemory,
+    vars: BufferId,
+    out: BufferId,
+    k1: BatchCommonFactorKernel,
+    k1_scratch: BatchCommonFactorFromScratch,
+    k2: BatchSpeelpenningKernel,
+    k3: BatchSumKernel,
+    stats: PipelineStats,
+    last_reports: Vec<LaunchReport>,
+    /// Reusable host staging for the batched point upload.
+    vars_scratch: Vec<Complex<R>>,
+}
+
+impl<R: Real> BatchGpuEvaluator<R> {
+    /// Validate, encode and upload `system`, sizing the device buffers
+    /// for batches of up to `capacity` points; runs one throw-away
+    /// full-capacity evaluation so every configuration error surfaces
+    /// here rather than inside `evaluate_batch`.
+    pub fn new(system: &System<R>, capacity: usize, opts: GpuOptions) -> Result<Self, SetupError> {
+        assert!(capacity >= 1, "batch capacity must be at least 1");
+        let device = opts.device.clone();
+        let mut constant = ConstantMemory::new(&device);
+        let enc = EncodedSupports::upload(system, &mut constant, opts.encoding)?;
+        let shape = enc.shape;
+        let elem = <Complex<R> as DeviceValue>::DEVICE_BYTES;
+        let layout = BatchLayout::new(
+            &shape,
+            capacity,
+            opts.block_dim,
+            elem,
+            device.coalesce_segment,
+        );
+        let mut global = GlobalMem::new();
+        let vars = global.alloc(capacity * layout.vars_stride);
+        let cf = global.alloc(capacity * layout.cf_stride);
+        let coeffs = global.alloc(shape.total_monomials() * (shape.k + 1));
+        let mons = global.alloc(capacity * layout.mons_stride);
+        let out = global.alloc(capacity * layout.out_stride);
+        global.host_write(coeffs, 0, &build_coeffs(system, &shape));
+        let mut me = BatchGpuEvaluator {
+            device,
+            shape,
+            layout,
+            vars,
+            out,
+            k1: BatchCommonFactorKernel {
+                enc,
+                vars,
+                out: cf,
+                layout,
+            },
+            k1_scratch: BatchCommonFactorFromScratch {
+                enc,
+                vars,
+                out: cf,
+                layout,
+            },
+            k2: BatchSpeelpenningKernel {
+                enc,
+                vars,
+                common_factors: cf,
+                coeffs,
+                mons,
+                layout,
+            },
+            k3: BatchSumKernel {
+                shape,
+                mons,
+                out,
+                layout,
+            },
+            global,
+            constant,
+            stats: PipelineStats::default(),
+            last_reports: Vec::new(),
+            vars_scratch: Vec::new(),
+            opts,
+        };
+        // Validation pass: exercises all three batched launches. One
+        // point suffices — every launch-validity constraint (shared
+        // memory, occupancy, block limits) is per block, and a larger
+        // point-major grid only adds more identical blocks.
+        let probe = vec![vec![Complex::<R>::one(); shape.n]];
+        me.try_evaluate_batch(&probe)?;
+        me.stats = PipelineStats::default();
+        Ok(me)
+    }
+
+    pub fn shape(&self) -> UniformShape {
+        self.shape
+    }
+
+    pub fn device(&self) -> &DeviceSpec {
+        &self.device
+    }
+
+    /// Largest batch one call accepts.
+    pub fn capacity(&self) -> usize {
+        self.layout.capacity
+    }
+
+    /// Per-point strides and block counts of the batched buffers.
+    pub fn layout(&self) -> BatchLayout {
+        self.layout
+    }
+
+    /// Modeled-cost statistics accumulated so far.
+    pub fn stats(&self) -> PipelineStats {
+        self.stats
+    }
+
+    pub fn reset_stats(&mut self) {
+        self.stats = PipelineStats::default();
+    }
+
+    /// Launch reports of the most recent batch (kernel 1, 2, 3).
+    pub fn last_reports(&self) -> &[LaunchReport] {
+        &self.last_reports
+    }
+
+    /// Bytes of constant memory in use (shared by all points).
+    pub fn constant_bytes_used(&self) -> usize {
+        self.constant.used()
+    }
+
+    /// Evaluate the system and Jacobian at every point of the batch
+    /// with one set of three launches.
+    pub fn try_evaluate_batch(
+        &mut self,
+        points: &[Vec<Complex<R>>],
+    ) -> Result<Vec<SystemEval<R>>, LaunchError> {
+        let shape = self.shape;
+        let p = points.len();
+        assert!(
+            (1..=self.layout.capacity).contains(&p),
+            "batch of {p} points exceeds capacity {} (or is empty)",
+            self.layout.capacity
+        );
+        // Stage all points into one pitched upload buffer (reused
+        // across calls) and ship them in a single transfer.
+        self.vars_scratch.clear();
+        self.vars_scratch
+            .resize(p * self.layout.vars_stride, Complex::zero());
+        for (i, x) in points.iter().enumerate() {
+            assert_eq!(x.len(), shape.n, "point {i} dimension mismatch");
+            let base = i * self.layout.vars_stride;
+            self.vars_scratch[base..base + shape.n].copy_from_slice(x);
+        }
+        self.global.host_write(self.vars, 0, &self.vars_scratch);
+        let elem = <Complex<R> as DeviceValue>::DEVICE_BYTES;
+        let mut transfer = transfer_seconds(&self.device, p * shape.n * elem);
+
+        let monomial_cfg = self.layout.monomial_cfg(p, &shape, self.opts.block_dim);
+        let output_cfg = self.layout.output_cfg(p, &shape, self.opts.block_dim);
+        // Clear before launching (reusing the vector's storage) so a
+        // failed launch leaves no stale reports behind.
+        self.last_reports.clear();
+        let r1 = if self.opts.from_scratch_cf {
+            launch(
+                &self.device,
+                &self.k1_scratch,
+                monomial_cfg,
+                &mut self.global,
+                &self.constant,
+                self.opts.launch,
+            )?
+        } else {
+            launch(
+                &self.device,
+                &self.k1,
+                monomial_cfg,
+                &mut self.global,
+                &self.constant,
+                self.opts.launch,
+            )?
+        };
+        let r2 = launch(
+            &self.device,
+            &self.k2,
+            monomial_cfg,
+            &mut self.global,
+            &self.constant,
+            self.opts.launch,
+        )?;
+        let r3 = launch(
+            &self.device,
+            &self.k3,
+            output_cfg,
+            &mut self.global,
+            &self.constant,
+            self.opts.launch,
+        )?;
+
+        // One transfer brings all P·(n² + n) results back.
+        transfer += transfer_seconds(&self.device, p * shape.outputs() * elem);
+        let raw = self.global.host_read(self.out);
+        let mut evals = Vec::with_capacity(p);
+        for i in 0..p {
+            let base = i * self.layout.out_stride;
+            let mut eval = SystemEval::zeros(shape.n);
+            for q in 0..shape.n {
+                eval.values[q] = raw[base + q_value(q)];
+                for v in 0..shape.n {
+                    eval.jacobian[(q, v)] = raw[base + q_deriv(shape.n, q, v)];
+                }
+            }
+            evals.push(eval);
+        }
+
+        self.stats.evaluations += p as u64;
+        self.stats.batches += 1;
+        self.stats.transfer_seconds += transfer;
+        self.last_reports.push(r1);
+        self.last_reports.push(r2);
+        self.last_reports.push(r3);
+        for r in &self.last_reports {
+            self.stats.counters += r.counters;
+            self.stats.kernel_seconds += r.timing.kernel_seconds;
+            self.stats.overhead_seconds += r.timing.overhead_seconds;
+        }
+        Ok(evals)
+    }
+
+    /// Device bytes the batched buffers occupy (grows with capacity).
+    pub fn allocated_bytes(&self) -> usize {
+        self.global.allocated_bytes()
+    }
+}
+
+impl<R: Real> SystemEvaluator<R> for BatchGpuEvaluator<R> {
+    fn dim(&self) -> usize {
+        self.shape.n
+    }
+
+    /// Single-point evaluation as a batch of one. Configuration errors
+    /// were ruled out by the validation pass in
+    /// [`BatchGpuEvaluator::new`]; a failure here means an internal
+    /// invariant broke, so it panics with the launch error.
+    fn evaluate(&mut self, x: &[Complex<R>]) -> SystemEval<R> {
+        self.try_evaluate_batch(std::slice::from_ref(&x.to_vec()))
+            .expect("launch validated at construction")
+            .pop()
+            .expect("batch of one returns one result")
+    }
+
+    fn name(&self) -> &str {
+        "gpu-sim-batch"
+    }
+}
+
+impl<R: Real> BatchSystemEvaluator<R> for BatchGpuEvaluator<R> {
+    fn max_batch(&self) -> usize {
+        self.layout.capacity
+    }
+
+    fn evaluate_batch(&mut self, points: &[Vec<Complex<R>>]) -> Vec<SystemEval<R>> {
+        self.try_evaluate_batch(points)
+            .expect("launch validated at construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::encoding::EncodingKind;
+    use crate::pipeline::GpuEvaluator;
+    use polygpu_polysys::{random_point, random_points, random_system, BenchmarkParams};
+
+    fn params(n: usize, m: usize, k: usize, d: u16, seed: u64) -> BenchmarkParams {
+        BenchmarkParams { n, m, k, d, seed }
+    }
+
+    /// Batch-of-P results must be bit-for-bit equal to P single-point
+    /// evaluations — including shapes where neither P, n·m nor n²+n is
+    /// a multiple of the block size.
+    #[test]
+    fn batch_bitwise_equals_singles_in_double() {
+        for (p, prm) in [
+            (5, params(4, 3, 2, 2, 1)),
+            (3, params(8, 5, 3, 4, 2)),
+            (7, params(33, 3, 5, 3, 5)),  // n·m = 99, outputs = 1122
+            (13, params(32, 4, 9, 2, 3)), // odd batch against block 32
+        ] {
+            let sys = random_system::<f64>(&prm);
+            let points = random_points::<f64>(prm.n, p, prm.seed ^ 0xFEED);
+            let mut batch = BatchGpuEvaluator::new(&sys, p, GpuOptions::default()).unwrap();
+            let mut single = GpuEvaluator::new(&sys, GpuOptions::default()).unwrap();
+            let got = batch.evaluate_batch(&points);
+            assert_eq!(got.len(), p);
+            for (i, x) in points.iter().enumerate() {
+                let want = single.evaluate(x);
+                assert_eq!(got[i].values, want.values, "values, point {i} of {prm:?}");
+                assert_eq!(
+                    got[i].jacobian.as_slice(),
+                    want.jacobian.as_slice(),
+                    "jacobian, point {i} of {prm:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_bitwise_equals_singles_in_double_double() {
+        use polygpu_qd::Dd;
+        let prm = params(6, 3, 3, 3, 13);
+        let sys = random_system::<f64>(&prm).convert::<Dd>();
+        let points: Vec<Vec<Complex<Dd>>> = random_points::<f64>(6, 5, 21)
+            .into_iter()
+            .map(|x| x.into_iter().map(|z| z.convert()).collect())
+            .collect();
+        let mut batch = BatchGpuEvaluator::new(&sys, 5, GpuOptions::default()).unwrap();
+        let mut single = GpuEvaluator::new(&sys, GpuOptions::default()).unwrap();
+        let got = batch.evaluate_batch(&points);
+        for (i, x) in points.iter().enumerate() {
+            let want = single.evaluate(x);
+            assert_eq!(
+                got[i].values, want.values,
+                "dd values must match bitwise, point {i}"
+            );
+            assert_eq!(
+                got[i].jacobian.as_slice(),
+                want.jacobian.as_slice(),
+                "dd jacobian must match bitwise, point {i}"
+            );
+        }
+    }
+
+    /// A batch of one degenerates to the original pipeline: identical
+    /// per-launch counters, kernel seconds, overhead and transfers.
+    #[test]
+    fn p1_batch_degenerates_to_single_point_pipeline() {
+        let prm = params(33, 3, 5, 3, 5); // deliberately off the block grid
+        let sys = random_system::<f64>(&prm);
+        let x = random_point::<f64>(33, 77);
+        let mut batch = BatchGpuEvaluator::new(&sys, 1, GpuOptions::default()).unwrap();
+        let mut single = GpuEvaluator::new(&sys, GpuOptions::default()).unwrap();
+        let got = batch.evaluate_batch(std::slice::from_ref(&x));
+        let want = single.evaluate(&x);
+        assert_eq!(got[0].values, want.values);
+        let (bs, ss) = (batch.stats(), single.stats());
+        assert_eq!(bs.evaluations, 1);
+        assert_eq!(bs.batches, 1);
+        assert_eq!(
+            bs.counters, ss.counters,
+            "P=1 counters must be the single-point counters"
+        );
+        assert_eq!(bs.kernel_seconds, ss.kernel_seconds);
+        assert_eq!(bs.overhead_seconds, ss.overhead_seconds);
+        assert_eq!(bs.transfer_seconds, ss.transfer_seconds);
+        assert_eq!(batch.last_reports().len(), 3);
+        for (br, sr) in batch.last_reports().iter().zip(single.last_reports()) {
+            assert_eq!(br.config.grid_dim, sr.config.grid_dim);
+            assert_eq!(br.counters, sr.counters);
+        }
+    }
+
+    /// The acceptance criterion: at P = 64, the modeled fixed cost
+    /// (launch overhead + PCIe transfer) per evaluation is at least
+    /// 10x lower than 64 single-point evaluations, and the outputs are
+    /// bit-for-bit the same.
+    #[test]
+    fn p64_amortizes_overhead_and_transfer_10x() {
+        let prm = params(32, 4, 9, 2, 3);
+        let sys = random_system::<f64>(&prm);
+        let points = random_points::<f64>(32, 64, 99);
+        let mut batch = BatchGpuEvaluator::new(&sys, 64, GpuOptions::default()).unwrap();
+        let mut single = GpuEvaluator::new(&sys, GpuOptions::default()).unwrap();
+
+        let got = batch.evaluate_batch(&points);
+        let mut want = Vec::with_capacity(64);
+        for x in &points {
+            want.push(single.evaluate(x));
+        }
+        for i in 0..64 {
+            assert_eq!(got[i].values, want[i].values, "point {i}");
+            assert_eq!(
+                got[i].jacobian.as_slice(),
+                want[i].jacobian.as_slice(),
+                "point {i}"
+            );
+        }
+
+        let (bs, ss) = (batch.stats(), single.stats());
+        assert_eq!(bs.evaluations, 64);
+        assert_eq!(ss.evaluations, 64);
+        assert_eq!(bs.batches, 1);
+        assert_eq!(ss.batches, 64);
+        let batch_fixed = bs.overhead_transfer_per_eval();
+        let single_fixed = ss.overhead_transfer_per_eval();
+        assert!(
+            single_fixed >= 10.0 * batch_fixed,
+            "amortization too weak: single {single_fixed:.3e} s/eval vs batch {batch_fixed:.3e} s/eval ({}x)",
+            single_fixed / batch_fixed
+        );
+        // Throughput must improve accordingly.
+        assert!(bs.throughput_evals_per_sec() > ss.throughput_evals_per_sec());
+    }
+
+    #[test]
+    fn batch_supports_ablation_and_compact_options() {
+        let prm = params(16, 4, 4, 6, 17);
+        let sys = random_system::<f64>(&prm);
+        let points = random_points::<f64>(16, 4, 5);
+        for opts in [
+            GpuOptions {
+                from_scratch_cf: true,
+                ..Default::default()
+            },
+            GpuOptions {
+                encoding: EncodingKind::Compact,
+                ..Default::default()
+            },
+        ] {
+            let mut batch = BatchGpuEvaluator::new(&sys, 4, opts.clone()).unwrap();
+            let mut single = GpuEvaluator::new(&sys, opts).unwrap();
+            let got = batch.evaluate_batch(&points);
+            for (i, x) in points.iter().enumerate() {
+                let want = single.evaluate(x);
+                assert_eq!(got[i].values, want.values, "point {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn partial_batches_and_stat_accounting() {
+        let prm = params(8, 5, 3, 4, 2);
+        let sys = random_system::<f64>(&prm);
+        let mut batch = BatchGpuEvaluator::new(&sys, 16, GpuOptions::default()).unwrap();
+        let points = random_points::<f64>(8, 16, 4);
+        // Partial batch below capacity.
+        let r = batch.evaluate_batch(&points[..5]);
+        assert_eq!(r.len(), 5);
+        // Single-point path through the SystemEvaluator interface.
+        let one = batch.evaluate(&points[0]);
+        assert_eq!(
+            one.values, r[0].values,
+            "batch reuse must not corrupt results"
+        );
+        let s = batch.stats();
+        assert_eq!(s.evaluations, 6);
+        assert_eq!(s.batches, 2);
+        assert!(s.throughput_evals_per_sec() > 0.0);
+        assert!(s.seconds_per_eval() > 0.0);
+        assert_eq!(
+            s.counters.divergent_segments, 0,
+            "batched kernels stay uniform"
+        );
+        batch.reset_stats();
+        assert_eq!(batch.stats().evaluations, 0);
+        assert_eq!(batch.max_batch(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds capacity")]
+    fn oversized_batch_panics() {
+        let prm = params(4, 3, 2, 2, 1);
+        let sys = random_system::<f64>(&prm);
+        let mut batch = BatchGpuEvaluator::new(&sys, 2, GpuOptions::default()).unwrap();
+        let points = random_points::<f64>(4, 3, 9);
+        let _ = batch.evaluate_batch(&points);
+    }
+
+    #[test]
+    fn oversized_system_fails_at_setup() {
+        let prm = params(32, 64, 16, 10, 3);
+        let sys = random_system::<f64>(&prm);
+        assert!(BatchGpuEvaluator::new(&sys, 8, GpuOptions::default()).is_err());
+    }
+}

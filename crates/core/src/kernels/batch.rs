@@ -1,0 +1,463 @@
+//! Batched variants of the paper's three kernels: one launch evaluates
+//! the system and its Jacobian at **`P` points**.
+//!
+//! The grid is linearized point-major ([`LaunchConfig::cover_batch`]):
+//! block `b` serves point `b / inner` at inner block index `b % inner`,
+//! where `inner` is the single-point block count of the kernel. Each
+//! block's program is **identical** to its single-point counterpart —
+//! same shared-memory staging, same operation order — except that its
+//! global reads and writes are offset into that point's region of the
+//! batched buffers. Batched results are therefore bit-for-bit equal to
+//! `P` single-point evaluations, and a `P = 1` batch produces exactly
+//! the single-point launch counters.
+//!
+//! Per-point regions are **pitched**: strides are rounded up to the
+//! device's coalescing segment ([`BatchLayout::new`]), so every point's
+//! access pattern (and hence its transaction count) matches the
+//! single-point pipeline regardless of its position in the batch.
+//!
+//! The support encoding in constant memory and the `Coeffs` array are
+//! shared by all points — "the information … does not change along the
+//! path tracking" holds across paths too.
+
+use crate::layout::coeffs::coeff_index;
+use crate::layout::encoding::EncodedSupports;
+use crate::layout::mons::{mons_len, q_deriv, q_value, term_slot};
+use polygpu_complex::{Complex, Real};
+use polygpu_gpusim::prelude::*;
+use polygpu_polysys::UniformShape;
+
+/// Per-point strides and inner block counts of a batched launch.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchLayout {
+    /// Points the device buffers are sized for.
+    pub capacity: usize,
+    /// Elements between consecutive points' variable vectors.
+    pub vars_stride: usize,
+    /// Elements between consecutive points' common-factor regions.
+    pub cf_stride: usize,
+    /// Elements between consecutive points' `Mons` regions.
+    pub mons_stride: usize,
+    /// Elements between consecutive points' output regions.
+    pub out_stride: usize,
+    /// Single-point block count over the `n·m` monomials.
+    pub mon_blocks: u32,
+    /// Single-point block count over the `n² + n` outputs.
+    pub out_blocks: u32,
+}
+
+impl BatchLayout {
+    /// Compute the layout for `capacity` points of `shape` with
+    /// `elem_bytes`-sized device elements and the device's coalescing
+    /// `segment` (bytes).
+    pub fn new(
+        shape: &UniformShape,
+        capacity: usize,
+        block_dim: u32,
+        elem_bytes: usize,
+        segment: usize,
+    ) -> Self {
+        let pitch = |len: usize| {
+            let seg_elems = (segment / elem_bytes).max(1);
+            len.next_multiple_of(seg_elems)
+        };
+        BatchLayout {
+            capacity,
+            vars_stride: pitch(shape.n),
+            cf_stride: pitch(shape.total_monomials()),
+            mons_stride: pitch(mons_len(shape)),
+            out_stride: pitch(shape.outputs()),
+            mon_blocks: LaunchConfig::blocks_for(shape.total_monomials(), block_dim),
+            out_blocks: LaunchConfig::blocks_for(shape.outputs(), block_dim),
+        }
+    }
+
+    /// Degenerate layout for a **single-point** launch: the whole grid
+    /// serves point 0 at zero offsets (`mon_blocks`/`out_blocks` equal
+    /// the launch's grid, so `block / blocks = 0` and
+    /// `block % blocks = block`). The single-point kernels delegate
+    /// their block programs to the batch kernels through this, keeping
+    /// exactly one copy of each program — the bit-for-bit
+    /// batch-equals-single invariant then holds by construction.
+    pub fn single(grid_dim: u32) -> Self {
+        BatchLayout {
+            capacity: 1,
+            vars_stride: 0,
+            cf_stride: 0,
+            mons_stride: 0,
+            out_stride: 0,
+            mon_blocks: grid_dim.max(1),
+            out_blocks: grid_dim.max(1),
+        }
+    }
+
+    /// Grid covering `points` batch entries of the monomial-indexed
+    /// kernels (1 and 2).
+    pub fn monomial_cfg(
+        &self,
+        points: usize,
+        shape: &UniformShape,
+        block_dim: u32,
+    ) -> LaunchConfig {
+        LaunchConfig::cover_batch(points, shape.total_monomials(), block_dim)
+    }
+
+    /// Grid covering `points` batch entries of the output-indexed
+    /// kernel (3).
+    pub fn output_cfg(&self, points: usize, shape: &UniformShape, block_dim: u32) -> LaunchConfig {
+        LaunchConfig::cover_batch(points, shape.outputs(), block_dim)
+    }
+}
+
+/// Batched kernel 1: common factors of every monomial at every point.
+pub struct BatchCommonFactorKernel {
+    pub enc: EncodedSupports,
+    /// Input points (`capacity × vars_stride` elements).
+    pub vars: BufferId,
+    /// Output common factors (`capacity × cf_stride` elements).
+    pub out: BufferId,
+    pub layout: BatchLayout,
+}
+
+impl BatchCommonFactorKernel {
+    fn power_rows(&self) -> usize {
+        self.enc.shape.d as usize
+    }
+}
+
+impl<R: Real> Kernel<Complex<R>> for BatchCommonFactorKernel {
+    fn name(&self) -> &str {
+        "batch_common_factor"
+    }
+
+    /// Same per-block shared table as the single-point kernel.
+    fn shared_elems(&self, _block_dim: u32) -> usize {
+        self.power_rows() * self.enc.shape.n
+    }
+
+    fn run_block(&self, blk: &mut BlockCtx<'_, Complex<R>>) {
+        let shape = self.enc.shape;
+        let n = shape.n;
+        let k = shape.k;
+        let total = shape.total_monomials();
+        let rows = self.power_rows();
+        let block_dim = blk.block_dim() as usize;
+        // Point-major grid decode; uniform per block, so not traced
+        // (on hardware this is hoisted into two registers).
+        let point = (blk.block_id() / self.layout.mon_blocks) as usize;
+        let chunk = (blk.block_id() % self.layout.mon_blocks) as usize;
+        let vbase = point * self.layout.vars_stride;
+        let obase = point * self.layout.cf_stride;
+
+        // Stage 1: this point's power table, exactly as the
+        // single-point kernel builds it.
+        blk.threads(|t| {
+            let mut v = t.tid() as usize;
+            while v < n {
+                let xv = t.gload(self.vars, vbase + v);
+                t.sstore(v, Complex::one());
+                if rows > 1 {
+                    t.sstore(n + v, xv);
+                    let mut cur = xv;
+                    for r in 2..rows {
+                        cur = t.mul(cur, xv);
+                        t.sstore(r * n + v, cur);
+                    }
+                }
+                v += block_dim;
+            }
+        });
+
+        // Stage 2: one common factor per thread into this point's
+        // region.
+        blk.threads(|t| {
+            let g = chunk * block_dim + t.tid() as usize;
+            if g >= total {
+                return;
+            }
+            let (v0, e0) = self.enc.read_factor(t, g, 0);
+            let mut cf = t.sload(e0 * n + v0);
+            for j in 1..k {
+                let (v, e) = self.enc.read_factor(t, g, j);
+                let p = t.sload(e * n + v);
+                cf = t.mul(cf, p);
+            }
+            t.gstore(self.out, obase + g, cf);
+        });
+    }
+}
+
+/// Batched form of the rejected from-scratch alternative (ablation A1),
+/// so the batch engine supports the same `GpuOptions` as the
+/// single-point pipeline.
+pub struct BatchCommonFactorFromScratch {
+    pub enc: EncodedSupports,
+    pub vars: BufferId,
+    pub out: BufferId,
+    pub layout: BatchLayout,
+}
+
+impl<R: Real> Kernel<Complex<R>> for BatchCommonFactorFromScratch {
+    fn name(&self) -> &str {
+        "batch_common_factor_from_scratch"
+    }
+
+    fn shared_elems(&self, _block_dim: u32) -> usize {
+        0
+    }
+
+    fn run_block(&self, blk: &mut BlockCtx<'_, Complex<R>>) {
+        let shape = self.enc.shape;
+        let k = shape.k;
+        let total = shape.total_monomials();
+        let block_dim = blk.block_dim() as usize;
+        let point = (blk.block_id() / self.layout.mon_blocks) as usize;
+        let chunk = (blk.block_id() % self.layout.mon_blocks) as usize;
+        let vbase = point * self.layout.vars_stride;
+        let obase = point * self.layout.cf_stride;
+        blk.threads(|t| {
+            let g = chunk * block_dim + t.tid() as usize;
+            if g >= total {
+                return;
+            }
+            let mut cf = Complex::<R>::one();
+            for j in 0..k {
+                let (v, e_m1) = self.enc.read_factor(t, g, j);
+                let xv = t.gload(self.vars, vbase + v);
+                let mut pw = Complex::<R>::one();
+                for _ in 0..e_m1 {
+                    pw = t.mul(pw, xv);
+                }
+                cf = t.mul(cf, pw);
+            }
+            t.gstore(self.out, obase + g, cf);
+        });
+    }
+}
+
+/// Batched kernel 2: Speelpenning products, derivatives, coefficients
+/// and the scattered `Mons` writes for every point.
+pub struct BatchSpeelpenningKernel {
+    pub enc: EncodedSupports,
+    pub vars: BufferId,
+    pub common_factors: BufferId,
+    /// Shared (not per-point) derivative-major coefficient array.
+    pub coeffs: BufferId,
+    pub mons: BufferId,
+    pub layout: BatchLayout,
+}
+
+impl<R: Real> Kernel<Complex<R>> for BatchSpeelpenningKernel {
+    fn name(&self) -> &str {
+        "batch_speelpenning"
+    }
+
+    /// Same per-block budget as the single-point kernel: the `n`
+    /// variable values of this block's point plus `B·(k+1)` scratch.
+    fn shared_elems(&self, block_dim: u32) -> usize {
+        self.enc.shape.n + block_dim as usize * (self.enc.shape.k + 1)
+    }
+
+    // Mirrors the single-point kernel's paper-notation loops.
+    #[allow(clippy::needless_range_loop)]
+    fn run_block(&self, blk: &mut BlockCtx<'_, Complex<R>>) {
+        let shape = self.enc.shape;
+        let (n, m, k) = (shape.n, shape.m, shape.k);
+        let total = shape.total_monomials();
+        let block_dim = blk.block_dim() as usize;
+        let point = (blk.block_id() / self.layout.mon_blocks) as usize;
+        let chunk = (blk.block_id() % self.layout.mon_blocks) as usize;
+        let vbase = point * self.layout.vars_stride;
+        let cfbase = point * self.layout.cf_stride;
+        let mbase = point * self.layout.mons_stride;
+
+        // Phase 1: stage this point's variables into shared memory.
+        blk.threads(|t| {
+            let mut v = t.tid() as usize;
+            while v < n {
+                let xv = t.gload(self.vars, vbase + v);
+                t.sstore(v, xv);
+                v += block_dim;
+            }
+        });
+
+        // Phase 2: one monomial per thread, exactly the single-point
+        // program with offset global accesses.
+        blk.threads(|t| {
+            let tid = t.tid() as usize;
+            let g = chunk * block_dim + tid;
+            if g >= total {
+                return;
+            }
+            let p = g / m;
+            let j = g % m;
+            t.iops(2);
+
+            let mut vs = [0usize; 256];
+            for i in 0..k {
+                vs[i] = self.enc.read_position(t, g, i);
+            }
+            let lbase = n + tid * (k + 1);
+            let l = |i: usize| lbase + i - 1;
+            macro_rules! xi {
+                ($t:expr, $idx:expr) => {
+                    $t.sload(vs[$idx])
+                };
+            }
+
+            match k {
+                1 => {
+                    t.sstore(l(1), Complex::one());
+                }
+                2 => {
+                    let x2 = xi!(t, 1);
+                    t.sstore(l(1), x2);
+                    let x1 = xi!(t, 0);
+                    t.sstore(l(2), x1);
+                }
+                _ => {
+                    let x1 = xi!(t, 0);
+                    t.sstore(l(2), x1);
+                    for r in 1..=k - 2 {
+                        let prev = t.sload(l(r + 1));
+                        let xr = xi!(t, r);
+                        let f = t.mul(prev, xr);
+                        t.sstore(l(r + 2), f);
+                    }
+                    let mut q = xi!(t, k - 1);
+                    let lk1 = t.sload(l(k - 1));
+                    let d = t.mul(lk1, q);
+                    t.sstore(l(k - 1), d);
+                    for r in 1..=k.saturating_sub(3) {
+                        let xv = xi!(t, k - 1 - r);
+                        q = t.mul(q, xv);
+                        let prev = t.sload(l(k - r - 1));
+                        let d = t.mul(prev, q);
+                        t.sstore(l(k - r - 1), d);
+                    }
+                    let x2 = xi!(t, 1);
+                    q = t.mul(q, x2);
+                    t.sstore(l(1), q);
+                }
+            }
+
+            let cf = t.gload(self.common_factors, cfbase + g);
+            for i in 1..=k {
+                let d = t.sload(l(i));
+                let d = t.mul(d, cf);
+                t.sstore(l(i), d);
+            }
+            let dk = t.sload(l(k));
+            let xik = xi!(t, k - 1);
+            let mv = t.mul(dk, xik);
+            t.sstore(l(k + 1), mv);
+
+            let c = t.gload(self.coeffs, coeff_index(&shape, k, g));
+            let lv = t.sload(l(k + 1));
+            let val = t.mul(lv, c);
+            t.gstore(self.mons, mbase + term_slot(&shape, j, q_value(p)), val);
+            for i in 0..k {
+                let c = t.gload(self.coeffs, coeff_index(&shape, i, g));
+                let d = t.sload(l(i + 1));
+                let dv = t.mul(d, c);
+                t.gstore(
+                    self.mons,
+                    mbase + term_slot(&shape, j, q_deriv(n, p, vs[i])),
+                    dv,
+                );
+            }
+        });
+    }
+}
+
+/// Batched kernel 3: the branch-free summations for every point.
+pub struct BatchSumKernel {
+    pub shape: UniformShape,
+    pub mons: BufferId,
+    pub out: BufferId,
+    pub layout: BatchLayout,
+}
+
+impl<R: Real> Kernel<Complex<R>> for BatchSumKernel {
+    fn name(&self) -> &str {
+        "batch_sum"
+    }
+
+    fn shared_elems(&self, _block_dim: u32) -> usize {
+        0
+    }
+
+    fn run_block(&self, blk: &mut BlockCtx<'_, Complex<R>>) {
+        let shape = self.shape;
+        let outputs = shape.outputs();
+        let block_dim = blk.block_dim() as usize;
+        let point = (blk.block_id() / self.layout.out_blocks) as usize;
+        let chunk = (blk.block_id() % self.layout.out_blocks) as usize;
+        let mbase = point * self.layout.mons_stride;
+        let obase = point * self.layout.out_stride;
+        blk.threads(|t| {
+            let q = chunk * block_dim + t.tid() as usize;
+            if q >= outputs {
+                return;
+            }
+            let mut acc = Complex::<R>::zero();
+            for j in 0..shape.m {
+                let term = t.gload(self.mons, mbase + term_slot(&shape, j, q));
+                acc = t.add(acc, term);
+            }
+            t.gstore(self.out, obase + q, acc);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_pitches_to_the_coalescing_segment() {
+        let shape = UniformShape {
+            n: 33, // not a multiple of 8 complex doubles per segment
+            m: 3,
+            k: 5,
+            d: 3,
+        };
+        let l = BatchLayout::new(&shape, 4, 32, 16, 128);
+        assert_eq!(l.capacity, 4);
+        assert_eq!(l.vars_stride, 40); // 33 -> next multiple of 8
+        assert_eq!(l.cf_stride, (33 * 3usize).next_multiple_of(8));
+        assert_eq!(l.mons_stride, ((33 * 33 + 33) * 3usize).next_multiple_of(8));
+        assert_eq!(l.out_stride, (33 * 33 + 33usize).next_multiple_of(8));
+        assert_eq!(l.mon_blocks, LaunchConfig::blocks_for(99, 32));
+        assert_eq!(l.out_blocks, LaunchConfig::blocks_for(33 * 34, 32));
+    }
+
+    #[test]
+    fn layout_grids_scale_with_points() {
+        let shape = UniformShape {
+            n: 8,
+            m: 4,
+            k: 2,
+            d: 2,
+        };
+        let l = BatchLayout::new(&shape, 16, 32, 16, 128);
+        assert_eq!(l.monomial_cfg(1, &shape, 32).grid_dim, l.mon_blocks);
+        assert_eq!(l.monomial_cfg(16, &shape, 32).grid_dim, 16 * l.mon_blocks);
+        assert_eq!(l.output_cfg(7, &shape, 32).grid_dim, 7 * l.out_blocks);
+    }
+
+    #[test]
+    fn double_double_elements_pitch_wider() {
+        let shape = UniformShape {
+            n: 6,
+            m: 2,
+            k: 2,
+            d: 2,
+        };
+        // 32-byte complex double-doubles: 4 elements per 128-byte
+        // segment.
+        let l = BatchLayout::new(&shape, 2, 32, 32, 128);
+        assert_eq!(l.vars_stride, 8);
+        assert_eq!(l.out_stride, (6 * 7usize).next_multiple_of(4));
+    }
+}

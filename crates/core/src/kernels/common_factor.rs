@@ -22,6 +22,7 @@
 //! *other* rejected alternative — no table at all — for the ablation
 //! benchmark, exhibiting the warp divergence the paper predicts.
 
+use crate::kernels::batch::BatchLayout;
 use crate::layout::encoding::EncodedSupports;
 use polygpu_complex::{Complex, Real};
 use polygpu_gpusim::prelude::*;
@@ -53,51 +54,18 @@ impl<R: Real> Kernel<Complex<R>> for CommonFactorKernel {
         self.power_rows() * self.enc.shape.n
     }
 
+    /// The canonical block program lives in
+    /// [`crate::kernels::batch::BatchCommonFactorKernel`]; a
+    /// single-point launch is the degenerate batch where the whole
+    /// grid serves point 0 ([`BatchLayout::single`]).
     fn run_block(&self, blk: &mut BlockCtx<'_, Complex<R>>) {
-        let shape = self.enc.shape;
-        let n = shape.n;
-        let k = shape.k;
-        let total = shape.total_monomials();
-        let rows = self.power_rows();
-        let block_dim = blk.block_dim() as usize;
-        let block_id = blk.block_id();
-
-        // Stage 1: power table. Thread t owns variables t, t+B, …
-        // (strided; a plain `t < n` guard in the paper's n = B = 32
-        // setting). Row r holds x^r at offset r*n + v.
-        blk.threads(|t| {
-            let mut v = t.tid() as usize;
-            while v < n {
-                let xv = t.gload(self.vars, v); // coalesced across the warp
-                t.sstore(v, Complex::one()); // row 0: x^0
-                if rows > 1 {
-                    t.sstore(n + v, xv); // row 1: x^1
-                    let mut cur = xv;
-                    for r in 2..rows {
-                        cur = t.mul(cur, xv);
-                        t.sstore(r * n + v, cur);
-                    }
-                }
-                v += block_dim;
-            }
-        });
-
-        // Stage 2 (after the implicit barrier): one common factor per
-        // thread, k − 1 multiplications of table entries.
-        blk.threads(|t| {
-            let g = (block_id as usize) * block_dim + t.tid() as usize;
-            if g >= total {
-                return;
-            }
-            let (v0, e0) = self.enc.read_factor(t, g, 0);
-            let mut cf = t.sload(e0 * n + v0);
-            for j in 1..k {
-                let (v, e) = self.enc.read_factor(t, g, j);
-                let p = t.sload(e * n + v);
-                cf = t.mul(cf, p);
-            }
-            t.gstore(self.out, g, cf); // coalesced output
-        });
+        crate::kernels::batch::BatchCommonFactorKernel {
+            enc: self.enc,
+            vars: self.vars,
+            out: self.out,
+            layout: BatchLayout::single(blk.grid_dim()),
+        }
+        .run_block(blk);
     }
 }
 
@@ -123,33 +91,17 @@ impl<R: Real> Kernel<Complex<R>> for CommonFactorFromScratch {
         0
     }
 
+    /// Delegates to
+    /// [`crate::kernels::batch::BatchCommonFactorFromScratch`] as the
+    /// degenerate single-point batch.
     fn run_block(&self, blk: &mut BlockCtx<'_, Complex<R>>) {
-        let shape = self.enc.shape;
-        let k = shape.k;
-        let total = shape.total_monomials();
-        let block_dim = blk.block_dim() as usize;
-        let block_id = blk.block_id();
-        blk.threads(|t| {
-            let g = (block_id as usize) * block_dim + t.tid() as usize;
-            if g >= total {
-                return;
-            }
-            let mut cf = Complex::<R>::one();
-            for j in 0..k {
-                let (v, e_m1) = self.enc.read_factor(t, g, j);
-                // Uncoalesced: lanes read whatever variable their
-                // monomial names.
-                let xv = t.gload(self.vars, v);
-                // Data-dependent loop: lanes with different exponents
-                // diverge here.
-                let mut pw = Complex::<R>::one();
-                for _ in 0..e_m1 {
-                    pw = t.mul(pw, xv);
-                }
-                cf = t.mul(cf, pw);
-            }
-            t.gstore(self.out, g, cf);
-        });
+        crate::kernels::batch::BatchCommonFactorFromScratch {
+            enc: self.enc,
+            vars: self.vars,
+            out: self.out,
+            layout: BatchLayout::single(blk.grid_dim()),
+        }
+        .run_block(blk);
     }
 }
 
@@ -212,7 +164,10 @@ mod tests {
         let kernel = CommonFactorKernel { enc, vars, out };
         let cfg = LaunchConfig::cover(enc.shape.total_monomials(), 32);
         let report = launch(&dev, &kernel, cfg, &mut g, &cm, LaunchOptions::default()).unwrap();
-        assert_eq!(report.counters.divergent_segments, 0, "paper's design is uniform");
+        assert_eq!(
+            report.counters.divergent_segments, 0,
+            "paper's design is uniform"
+        );
         let got = g.host_read(out);
         for (i, want) in expected_cf(&sys, &x).iter().enumerate() {
             assert!(

@@ -1,9 +1,14 @@
-//! The paper's three kernels.
+//! The paper's three kernels, plus their batched multi-point variants.
 
+pub mod batch;
 pub mod common_factor;
 pub mod speelpenning;
 pub mod sum;
 
+pub use batch::{
+    BatchCommonFactorFromScratch, BatchCommonFactorKernel, BatchLayout, BatchSpeelpenningKernel,
+    BatchSumKernel,
+};
 pub use common_factor::{CommonFactorFromScratch, CommonFactorKernel};
 pub use speelpenning::SpeelpenningKernel;
 pub use sum::SumKernel;

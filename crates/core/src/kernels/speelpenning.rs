@@ -24,9 +24,8 @@
 //! coalesced, shared by all threads — §3.2's memory consideration) plus
 //! `B·(k + 1)` scratch locations.
 
-use crate::layout::coeffs::coeff_index;
+use crate::kernels::batch::BatchLayout;
 use crate::layout::encoding::EncodedSupports;
-use crate::layout::mons::{q_deriv, q_value, term_slot};
 use polygpu_complex::{Complex, Real};
 use polygpu_gpusim::prelude::*;
 
@@ -53,121 +52,20 @@ impl<R: Real> Kernel<Complex<R>> for SpeelpenningKernel {
         self.enc.shape.n + block_dim as usize * (self.enc.shape.k + 1)
     }
 
-    // Indexed loops below deliberately mirror the paper's 1-based
-    // L/position notation rather than iterator chains.
-    #[allow(clippy::needless_range_loop)]
+    /// The canonical block program lives in
+    /// [`crate::kernels::batch::BatchSpeelpenningKernel`]; a
+    /// single-point launch is the degenerate batch where the whole
+    /// grid serves point 0 ([`BatchLayout::single`]).
     fn run_block(&self, blk: &mut BlockCtx<'_, Complex<R>>) {
-        let shape = self.enc.shape;
-        let (n, m, k) = (shape.n, shape.m, shape.k);
-        let total = shape.total_monomials();
-        let block_dim = blk.block_dim() as usize;
-        let block_id = blk.block_id() as usize;
-
-        // Phase 1: stage the variable values into shared memory with one
-        // coalesced global read per warp-worth of variables.
-        blk.threads(|t| {
-            let mut v = t.tid() as usize;
-            while v < n {
-                let xv = t.gload(self.vars, v);
-                t.sstore(v, xv);
-                v += block_dim;
-            }
-        });
-
-        // Phase 2: one monomial per thread.
-        blk.threads(|t| {
-            let tid = t.tid() as usize;
-            let g = block_id * block_dim + tid;
-            if g >= total {
-                return;
-            }
-            // Sm order is polynomial-major: g = p*m + j.
-            let p = g / m;
-            let j = g % m;
-            t.iops(2); // the div/mod address arithmetic
-
-            // Variable positions of this monomial (constant memory; the
-            // same Positions array kernel 1 used).
-            let mut vs = [0usize; 256];
-            for i in 0..k {
-                vs[i] = self.enc.read_position(t, g, i);
-            }
-            // L locations live in shared memory after the n variables;
-            // 1-based as in the paper: L(i) for i in 1..=k+1.
-            let lbase = n + tid * (k + 1);
-            let l = |i: usize| lbase + i - 1;
-            // x_{i_{idx+1}} from the shared variable table.
-            macro_rules! xi {
-                ($t:expr, $idx:expr) => {
-                    $t.sload(vs[$idx])
-                };
-            }
-
-            // --- Derivatives of the Speelpenning product (3k − 6). ---
-            match k {
-                1 => {
-                    t.sstore(l(1), Complex::one());
-                }
-                2 => {
-                    let x2 = xi!(t, 1);
-                    t.sstore(l(1), x2);
-                    let x1 = xi!(t, 0);
-                    t.sstore(l(2), x1);
-                }
-                _ => {
-                    // Forward products into L2..Lk (k − 2 muls).
-                    let x1 = xi!(t, 0);
-                    t.sstore(l(2), x1);
-                    for r in 1..=k - 2 {
-                        let prev = t.sload(l(r + 1));
-                        let xr = xi!(t, r);
-                        let f = t.mul(prev, xr);
-                        t.sstore(l(r + 2), f);
-                    }
-                    // Backward product in the register q.
-                    let mut q = xi!(t, k - 1);
-                    let lk1 = t.sload(l(k - 1));
-                    let d = t.mul(lk1, q);
-                    t.sstore(l(k - 1), d);
-                    // Middle steps: 2 muls each.
-                    for r in 1..=k.saturating_sub(3) {
-                        let xv = xi!(t, k - 1 - r);
-                        q = t.mul(q, xv);
-                        let prev = t.sload(l(k - r - 1));
-                        let d = t.mul(prev, q);
-                        t.sstore(l(k - r - 1), d);
-                    }
-                    // Derivative w.r.t. x_{i1} into L1.
-                    let x2 = xi!(t, 1);
-                    q = t.mul(q, x2);
-                    t.sstore(l(1), q);
-                }
-            }
-
-            // --- Common factor and monomial value (k + 1 muls). ---
-            let cf = t.gload(self.common_factors, g); // coalesced
-            for i in 1..=k {
-                let d = t.sload(l(i));
-                let d = t.mul(d, cf);
-                t.sstore(l(i), d);
-            }
-            let dk = t.sload(l(k));
-            let xik = xi!(t, k - 1);
-            let mv = t.mul(dk, xik);
-            t.sstore(l(k + 1), mv);
-
-            // --- Coefficients (k + 1 muls) and scattered Mons writes. ---
-            let c = t.gload(self.coeffs, coeff_index(&shape, k, g)); // coalesced
-            let lv = t.sload(l(k + 1));
-            let val = t.mul(lv, c);
-            t.gstore(self.mons, term_slot(&shape, j, q_value(p)), val);
-            for i in 0..k {
-                let c = t.gload(self.coeffs, coeff_index(&shape, i, g)); // coalesced
-                let d = t.sload(l(i + 1));
-                let dv = t.mul(d, c);
-                t.gstore(self.mons, term_slot(&shape, j, q_deriv(n, p, vs[i])), dv);
-            }
-        });
+        crate::kernels::batch::BatchSpeelpenningKernel {
+            enc: self.enc,
+            vars: self.vars,
+            common_factors: self.common_factors,
+            coeffs: self.coeffs,
+            mons: self.mons,
+            layout: BatchLayout::single(blk.grid_dim()),
+        }
+        .run_block(blk);
     }
 }
 
@@ -177,7 +75,7 @@ mod tests {
     use crate::kernels::common_factor::CommonFactorKernel;
     use crate::layout::coeffs::build_coeffs;
     use crate::layout::encoding::EncodingKind;
-    use crate::layout::mons::mons_len;
+    use crate::layout::mons::{mons_len, q_deriv, q_value, term_slot};
     use polygpu_complex::C64;
     use polygpu_polysys::cost;
     use polygpu_polysys::{random_point, random_system, BenchmarkParams};
@@ -216,11 +114,7 @@ mod tests {
                 coeffs,
                 mons,
             },
-            cf_kernel: CommonFactorKernel {
-                enc,
-                vars,
-                out: cf,
-            },
+            cf_kernel: CommonFactorKernel { enc, vars, out: cf },
         }
     }
 

@@ -8,7 +8,7 @@
 //! `Mons` elements: perfectly coalesced input, bought by kernel 2's
 //! scattered output.
 
-use crate::layout::mons::term_slot;
+use crate::kernels::batch::BatchLayout;
 use polygpu_complex::{Complex, Real};
 use polygpu_gpusim::prelude::*;
 use polygpu_polysys::UniformShape;
@@ -31,27 +31,25 @@ impl<R: Real> Kernel<Complex<R>> for SumKernel {
         0
     }
 
+    /// The canonical block program lives in
+    /// [`crate::kernels::batch::BatchSumKernel`]; a single-point
+    /// launch is the degenerate batch where the whole grid serves
+    /// point 0 ([`BatchLayout::single`]).
     fn run_block(&self, blk: &mut BlockCtx<'_, Complex<R>>) {
-        let shape = self.shape;
-        let outputs = shape.outputs();
-        blk.threads(|t| {
-            let q = t.global_tid() as usize;
-            if q >= outputs {
-                return;
-            }
-            let mut acc = Complex::<R>::zero();
-            for j in 0..shape.m {
-                let term = t.gload(self.mons, term_slot(&shape, j, q));
-                acc = t.add(acc, term);
-            }
-            t.gstore(self.out, q, acc);
-        });
+        crate::kernels::batch::BatchSumKernel {
+            shape: self.shape,
+            mons: self.mons,
+            out: self.out,
+            layout: BatchLayout::single(blk.grid_dim()),
+        }
+        .run_block(blk);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::layout::mons::term_slot;
     use polygpu_complex::C64;
 
     fn shape(n: usize, m: usize) -> UniformShape {
@@ -69,7 +67,8 @@ mod tests {
         let mut data = vec![C64::zero(); s.outputs() * s.m];
         for q in 0..s.outputs() {
             for j in 0..s.m {
-                data[term_slot(&s, j, q)] = C64::from_f64((q + 1) as f64 * 10f64.powi(j as i32), 0.0);
+                data[term_slot(&s, j, q)] =
+                    C64::from_f64((q + 1) as f64 * 10f64.powi(j as i32), 0.0);
             }
         }
         g.host_write(mons, 0, &data);

@@ -124,10 +124,7 @@ impl EncodedSupports {
             }
         }
         let (positions, exponents) = match kind {
-            EncodingKind::Direct => (
-                constant.alloc(&positions)?,
-                constant.alloc(&exponents)?,
-            ),
+            EncodingKind::Direct => (constant.alloc(&positions)?, constant.alloc(&exponents)?),
             EncodingKind::Compact => {
                 let mut packed = vec![0u8; entries.div_ceil(2)];
                 for (i, &e) in exponents.iter().enumerate() {

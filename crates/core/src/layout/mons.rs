@@ -68,10 +68,7 @@ pub fn decompose_q(n: usize, q: usize) -> CombinedIndex {
         CombinedIndex::Value { p: q }
     } else {
         let r = q - n;
-        CombinedIndex::Deriv {
-            p: r % n,
-            v: r / n,
-        }
+        CombinedIndex::Deriv { p: r % n, v: r / n }
     }
 }
 

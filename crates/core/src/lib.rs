@@ -35,9 +35,17 @@
 //! assert!(gpu.stats().seconds_per_eval() > 0.0);
 //! ```
 
+//! The batched engine ([`batch::BatchGpuEvaluator`]) evaluates at `P`
+//! points with **one** set of three launches and one transfer each way,
+//! amortizing launch overhead and PCIe latency `P`-fold while staying
+//! bit-for-bit equal to `P` single-point evaluations.
+
+pub mod batch;
 pub mod kernels;
 pub mod layout;
 pub mod pipeline;
 
+pub use batch::BatchGpuEvaluator;
+pub use kernels::batch::BatchLayout;
 pub use layout::encoding::{EncodeError, EncodedSupports, EncodingKind};
 pub use pipeline::{GpuEvaluator, GpuOptions, PipelineStats, SetupError};

@@ -77,15 +77,20 @@ impl From<LaunchError> for SetupError {
 /// Accumulated modeled cost of the pipeline.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PipelineStats {
-    /// Evaluations performed.
+    /// Evaluations performed (points; a batch of `P` counts `P`).
     pub evaluations: u64,
+    /// Batched round trips (three launches + two transfers each). For
+    /// the single-point pipeline this equals `evaluations`; for the
+    /// batch engine it is the number of `evaluate_batch` calls — the
+    /// denominator of the launch/transfer amortization.
+    pub batches: u64,
     /// Counters summed over all launches.
     pub counters: Counters,
     /// Modeled kernel execution seconds.
     pub kernel_seconds: f64,
     /// Modeled launch overhead seconds.
     pub overhead_seconds: f64,
-    /// Modeled PCIe transfer seconds (point up, results down).
+    /// Modeled PCIe transfer seconds (points up, results down).
     pub transfer_seconds: f64,
 }
 
@@ -101,6 +106,26 @@ impl PipelineStats {
             0.0
         } else {
             self.total_seconds() / self.evaluations as f64
+        }
+    }
+
+    /// Modeled fixed-cost (launch overhead + PCIe) seconds per
+    /// evaluation — the share a batched engine amortizes `P`-fold.
+    pub fn overhead_transfer_per_eval(&self) -> f64 {
+        if self.evaluations == 0 {
+            0.0
+        } else {
+            (self.overhead_seconds + self.transfer_seconds) / self.evaluations as f64
+        }
+    }
+
+    /// Modeled evaluation throughput in evaluations per second.
+    pub fn throughput_evals_per_sec(&self) -> f64 {
+        let t = self.total_seconds();
+        if t > 0.0 {
+            self.evaluations as f64 / t
+        } else {
+            0.0
         }
     }
 }
@@ -143,16 +168,8 @@ impl<R: Real> GpuEvaluator<R> {
             shape,
             vars,
             out,
-            k1: CommonFactorKernel {
-                enc,
-                vars,
-                out: cf,
-            },
-            k1_scratch: CommonFactorFromScratch {
-                enc,
-                vars,
-                out: cf,
-            },
+            k1: CommonFactorKernel { enc, vars, out: cf },
+            k1_scratch: CommonFactorFromScratch { enc, vars, out: cf },
             k2: SpeelpenningKernel {
                 enc,
                 vars,
@@ -160,11 +177,7 @@ impl<R: Real> GpuEvaluator<R> {
                 coeffs,
                 mons,
             },
-            k3: SumKernel {
-                shape,
-                mons,
-                out,
-            },
+            k3: SumKernel { shape, mons, out },
             global,
             constant,
             stats: PipelineStats::default(),
@@ -215,6 +228,8 @@ impl<R: Real> GpuEvaluator<R> {
 
         let monomial_cfg = LaunchConfig::cover(shape.total_monomials(), self.opts.block_dim);
         let output_cfg = LaunchConfig::cover(shape.outputs(), self.opts.block_dim);
+        // Clear before launching (reusing the vector's storage) so a
+        // failed launch leaves no stale reports behind.
         self.last_reports.clear();
         let r1 = if self.opts.from_scratch_cf {
             launch(
@@ -253,6 +268,8 @@ impl<R: Real> GpuEvaluator<R> {
         )?;
 
         transfer += transfer_seconds(&self.device, shape.outputs() * elem);
+        // `host_read` is a zero-copy borrow of the simulated buffer;
+        // unpack straight into the result without a staging copy.
         let raw = self.global.host_read(self.out);
         let mut eval = SystemEval::zeros(shape.n);
         for p in 0..shape.n {
@@ -263,13 +280,20 @@ impl<R: Real> GpuEvaluator<R> {
         }
 
         self.stats.evaluations += 1;
+        self.stats.batches += 1;
         self.stats.transfer_seconds += transfer;
-        for r in [&r1, &r2, &r3] {
+        // Reuse the report vector's storage instead of allocating a
+        // fresh `vec![r1, r2, r3]` on every evaluation (this method is
+        // the hot loop of Newton correction and path tracking); it was
+        // cleared before the launches.
+        self.last_reports.push(r1);
+        self.last_reports.push(r2);
+        self.last_reports.push(r3);
+        for r in &self.last_reports {
             self.stats.counters += r.counters;
             self.stats.kernel_seconds += r.timing.kernel_seconds;
             self.stats.overhead_seconds += r.timing.overhead_seconds;
         }
-        self.last_reports = vec![r1, r2, r3];
         Ok(eval)
     }
 }
@@ -295,7 +319,9 @@ impl<R: Real> SystemEvaluator<R> for GpuEvaluator<R> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use polygpu_polysys::{random_point, random_system, AdEvaluator, BenchmarkParams, NaiveEvaluator};
+    use polygpu_polysys::{
+        random_point, random_system, AdEvaluator, BenchmarkParams, NaiveEvaluator,
+    };
 
     fn params(n: usize, m: usize, k: usize, d: u16, seed: u64) -> BenchmarkParams {
         BenchmarkParams { n, m, k, d, seed }
@@ -424,6 +450,9 @@ mod tests {
             Ok(_) => panic!("2,048-monomial k=16 system must not fit"),
             Err(e) => e,
         };
-        assert!(matches!(err, SetupError::Encode(EncodeError::Constant(_))), "{err}");
+        assert!(
+            matches!(err, SetupError::Encode(EncodeError::Constant(_))),
+            "{err}"
+        );
     }
 }

@@ -3,9 +3,7 @@
 
 use polygpu_core::pipeline::{GpuEvaluator, GpuOptions};
 use polygpu_core::EncodingKind;
-use polygpu_polysys::{
-    random_point, random_system, AdEvaluator, BenchmarkParams, SystemEvaluator,
-};
+use polygpu_polysys::{random_point, random_system, AdEvaluator, BenchmarkParams, SystemEvaluator};
 use proptest::prelude::*;
 
 fn shapes() -> impl Strategy<Value = BenchmarkParams> {

@@ -48,7 +48,12 @@ fn analyze_warp<T: DeviceValue>(device: &DeviceSpec, lanes: &[ThreadTrace]) -> C
         let seg_lens: Vec<usize> = lanes
             .iter()
             .zip(&pos)
-            .map(|(tr, &p)| tr[p..].iter().position(|e| *e == Ev::Sync).unwrap_or(tr.len() - p))
+            .map(|(tr, &p)| {
+                tr[p..]
+                    .iter()
+                    .position(|e| *e == Ev::Sync)
+                    .unwrap_or(tr.len() - p)
+            })
             .collect();
         let max_len = seg_lens.iter().copied().max().unwrap_or(0);
         // Divergence check: every active lane (nonzero segment) must
@@ -64,7 +69,8 @@ fn analyze_warp<T: DeviceValue>(device: &DeviceSpec, lanes: &[ThreadTrace]) -> C
                 .iter()
                 .zip(&pos)
                 .zip(&seg_lens)
-                .filter(|&((_tr, &_p), &l)| s < l).map(|((tr, &p), &_l)| tr[p + s])
+                .filter(|&((_tr, &_p), &l)| s < l)
+                .map(|((tr, &p), &_l)| tr[p + s])
                 .collect();
             charge_slot::<T>(device, &evs, &mut c, &mut false);
             // Mixed kinds in one slot (true divergence): charge each
@@ -228,7 +234,11 @@ mod tests {
         // 32 lanes loading consecutive 16-byte elements: 512 bytes =
         // 4 x 128-byte segments.
         let traces: Vec<ThreadTrace> = (0..32)
-            .map(|i| trace_of(vec![Ev::GLoad { addr: 0x1000 + i * 16 }]))
+            .map(|i| {
+                trace_of(vec![Ev::GLoad {
+                    addr: 0x1000 + i * 16,
+                }])
+            })
             .collect();
         let c = analyze_block::<C64>(&dev(), &traces);
         assert_eq!(c.global_transactions, 4);
@@ -241,7 +251,11 @@ mod tests {
     fn strided_load_explodes_transactions() {
         // Stride 256 bytes: every lane in its own segment.
         let traces: Vec<ThreadTrace> = (0..32)
-            .map(|i| trace_of(vec![Ev::GLoad { addr: 0x1000 + i * 256 }]))
+            .map(|i| {
+                trace_of(vec![Ev::GLoad {
+                    addr: 0x1000 + i * 256,
+                }])
+            })
             .collect();
         let c = analyze_block::<C64>(&dev(), &traces);
         assert_eq!(c.global_transactions, 32);
@@ -289,7 +303,12 @@ mod tests {
         assert_eq!(c.const_serializations, 0);
 
         let diff: Vec<ThreadTrace> = (0..32)
-            .map(|i| trace_of(vec![Ev::CLoad { addr: i as u32, bytes: 1 }]))
+            .map(|i| {
+                trace_of(vec![Ev::CLoad {
+                    addr: i as u32,
+                    bytes: 1,
+                }])
+            })
             .collect();
         let c = analyze_block::<C64>(&dev(), &diff);
         assert_eq!(c.const_serializations, 31);
@@ -339,7 +358,9 @@ mod tests {
                     t.push(Ev::Flop { weight: 6 });
                 }
                 t.push(Ev::Sync);
-                t.push(Ev::GLoad { addr: 0x1000 + i * 16 });
+                t.push(Ev::GLoad {
+                    addr: 0x1000 + i * 16,
+                });
                 t.push(Ev::Sync);
                 t
             })
@@ -352,7 +373,11 @@ mod tests {
     #[test]
     fn two_warps_counted_separately() {
         let traces: Vec<ThreadTrace> = (0..64)
-            .map(|i| trace_of(vec![Ev::GLoad { addr: 0x1000 + (i % 32) * 16 }]))
+            .map(|i| {
+                trace_of(vec![Ev::GLoad {
+                    addr: 0x1000 + (i % 32) * 16,
+                }])
+            })
             .collect();
         let c = analyze_block::<C64>(&dev(), &traces);
         assert_eq!(c.warps, 2);

@@ -306,6 +306,118 @@ mod tests {
         assert_eq!(report.counters.global_bytes, 48 * 128);
     }
 
+    /// Batched caxpy: `P` independent instances in one launch via a
+    /// point-major [`LaunchConfig::cover_batch`] grid.
+    struct BatchCaxpy {
+        a: C64,
+        x: BufferId,
+        y: BufferId,
+        n: usize,
+        inner: u32,
+    }
+
+    impl Kernel<C64> for BatchCaxpy {
+        fn name(&self) -> &str {
+            "batch_caxpy"
+        }
+        fn shared_elems(&self, _b: u32) -> usize {
+            0
+        }
+        fn run_block(&self, blk: &mut BlockCtx<'_, C64>) {
+            let (a, x, y, n, inner) = (self.a, self.x, self.y, self.n, self.inner);
+            // Per-instance regions are pitched to the coalescing
+            // segment (128 B = 8 complex doubles) so each instance's
+            // access pattern — and hence its transaction count — is
+            // identical to a single-instance launch.
+            let stride = n.next_multiple_of(8);
+            let point = (blk.block_id() / inner) as usize;
+            let chunk = blk.block_id() % inner;
+            let block_dim = blk.block_dim() as usize;
+            blk.threads(|t| {
+                let i = chunk as usize * block_dim + t.tid() as usize;
+                if i < n {
+                    let xv = t.gload(x, point * stride + i);
+                    let yv = t.gload(y, point * stride + i);
+                    let ax = t.mul(a, xv);
+                    let s = t.add(ax, yv);
+                    t.gstore(y, point * stride + i, s);
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn batched_grid_matches_separate_launches_bitwise() {
+        let n = 100usize; // not a multiple of the block
+        let stride = n.next_multiple_of(8); // 128 B pitch in C64 elements
+        let p = 3;
+        let dev = DeviceSpec::tesla_c2050();
+        let a = C64::from_f64(2.0, 1.0);
+        let xs: Vec<C64> = (0..p * n).map(|i| C64::from_f64(i as f64, 1.0)).collect();
+        let ys: Vec<C64> = (0..p * n)
+            .map(|i| C64::from_f64(0.5, -(i as f64)))
+            .collect();
+
+        // One batched launch over all p instances.
+        let mut gb = GlobalMem::new();
+        let (xb, yb) = (gb.alloc(p * stride), gb.alloc(p * stride));
+        for i in 0..p {
+            gb.host_write(xb, i * stride, &xs[i * n..(i + 1) * n]);
+            gb.host_write(yb, i * stride, &ys[i * n..(i + 1) * n]);
+        }
+        let cfg = LaunchConfig::cover_batch(p, n, 32);
+        let kb = BatchCaxpy {
+            a,
+            x: xb,
+            y: yb,
+            n,
+            inner: LaunchConfig::blocks_for(n, 32),
+        };
+        let rb = launch(
+            &dev,
+            &kb,
+            cfg,
+            &mut gb,
+            &ConstantMemory::new(&dev),
+            LaunchOptions::default(),
+        )
+        .unwrap();
+
+        // p separate single-instance launches.
+        let mut singles: Vec<C64> = Vec::new();
+        let mut counters = Counters::default();
+        for i in 0..p {
+            let mut g = GlobalMem::new();
+            let (x, y) = (g.alloc(n), g.alloc(n));
+            g.host_write(x, 0, &xs[i * n..(i + 1) * n]);
+            g.host_write(y, 0, &ys[i * n..(i + 1) * n]);
+            let k = Caxpy { a, x, y, n };
+            let r = launch(
+                &dev,
+                &k,
+                LaunchConfig::cover(n, 32),
+                &mut g,
+                &ConstantMemory::new(&dev),
+                LaunchOptions::default(),
+            )
+            .unwrap();
+            counters += r.counters;
+            singles.extend_from_slice(g.host_read(y));
+        }
+
+        // Bit-for-bit identical results; counters for the larger grid
+        // are exactly the sum over the separate launches.
+        let batched = gb.host_read(yb);
+        for i in 0..p {
+            assert_eq!(
+                &batched[i * stride..i * stride + n],
+                &singles[i * n..(i + 1) * n]
+            );
+        }
+        assert_eq!(rb.counters, counters);
+        assert_eq!(rb.config.grid_dim, 3 * 4);
+    }
+
     #[test]
     fn write_conflicts_detected() {
         struct Collider {
@@ -340,22 +452,49 @@ mod tests {
             LaunchOptions::default(),
         )
         .unwrap_err();
-        assert!(matches!(err, LaunchError::WriteConflict { buffer: 0, index: 0 }));
+        assert!(matches!(
+            err,
+            LaunchError::WriteConflict {
+                buffer: 0,
+                index: 0
+            }
+        ));
     }
 
     #[test]
     fn bad_configs_rejected() {
         let (dev, mut g, cm, k) = setup(4);
         assert!(matches!(
-            launch(&dev, &k, LaunchConfig::new(0, 32), &mut g, &cm, LaunchOptions::default()),
+            launch(
+                &dev,
+                &k,
+                LaunchConfig::new(0, 32),
+                &mut g,
+                &cm,
+                LaunchOptions::default()
+            ),
             Err(LaunchError::BadConfig(_))
         ));
         assert!(matches!(
-            launch(&dev, &k, LaunchConfig::new(1, 0), &mut g, &cm, LaunchOptions::default()),
+            launch(
+                &dev,
+                &k,
+                LaunchConfig::new(1, 0),
+                &mut g,
+                &cm,
+                LaunchOptions::default()
+            ),
             Err(LaunchError::BadConfig(_))
         ));
         assert!(matches!(
-            launch(&dev, &k, LaunchConfig::new(1, 2048), &mut g, &cm, LaunchOptions::default()),
+            launch(
+                &dev,
+                &k,
+                LaunchConfig::new(1, 2048),
+                &mut g,
+                &cm,
+                LaunchOptions::default()
+            ),
             Err(LaunchError::BadConfig(_))
         ));
     }

@@ -32,9 +32,35 @@ impl LaunchConfig {
 
     /// Blocks needed to cover `work` items with `block_dim` threads.
     pub fn cover(work: usize, block_dim: u32) -> Self {
-        let grid = work.div_ceil(block_dim as usize) as u32;
         LaunchConfig {
-            grid_dim: grid.max(1),
+            grid_dim: Self::blocks_for(work, block_dim),
+            block_dim,
+        }
+    }
+
+    /// Blocks needed to cover `work` items with `block_dim` threads (at
+    /// least one, so empty work still launches a guarded block).
+    pub fn blocks_for(work: usize, block_dim: u32) -> u32 {
+        (work.div_ceil(block_dim.max(1) as usize) as u32).max(1)
+    }
+
+    /// A linearized two-dimensional grid: `outer` independent problem
+    /// instances ("points"), each covered by
+    /// `blocks_for(inner_work, block_dim)` blocks, laid out
+    /// **point-major**: block `b` serves instance `b / inner` at inner
+    /// block index `b % inner`, where `inner = blocks_for(...)`.
+    ///
+    /// This is how a batched launch amortizes launch overhead: one grid
+    /// of `outer × inner` blocks replaces `outer` separate launches of
+    /// `inner` blocks, while each block's program stays identical to
+    /// the single-instance kernel — the property that keeps batched
+    /// results bit-for-bit equal to single-instance results. Per-launch
+    /// counters need no special casing: they are reduced over all
+    /// blocks of the (larger) grid in block order.
+    pub fn cover_batch(outer: usize, inner_work: usize, block_dim: u32) -> Self {
+        let inner = Self::blocks_for(inner_work, block_dim);
+        LaunchConfig {
+            grid_dim: (outer.max(1) as u32).saturating_mul(inner),
             block_dim,
         }
     }
@@ -270,6 +296,31 @@ mod tests {
         assert_eq!(LaunchConfig::cover(0, 32).grid_dim, 1);
         assert_eq!(LaunchConfig::cover(32, 32).grid_dim, 1);
         assert_eq!(LaunchConfig::cover(33, 32).grid_dim, 2);
+    }
+
+    #[test]
+    fn cover_batch_is_point_major() {
+        // 100 items per point at 32 threads/block -> 4 inner blocks.
+        let inner = LaunchConfig::blocks_for(100, 32);
+        assert_eq!(inner, 4);
+        let c = LaunchConfig::cover_batch(5, 100, 32);
+        assert_eq!(c.grid_dim, 20);
+        assert_eq!(c.block_dim, 32);
+        // Point-major linearization: the first `inner` blocks belong to
+        // point 0, the next `inner` to point 1, and so on.
+        let decode = |b: u32| (b / inner, b % inner);
+        assert_eq!(decode(0), (0, 0));
+        assert_eq!(decode(3), (0, 3));
+        assert_eq!(decode(4), (1, 0));
+        assert_eq!(decode(11), (2, 3));
+        assert_eq!(decode(19), (4, 3));
+        // Degenerate cases.
+        assert_eq!(
+            LaunchConfig::cover_batch(1, 100, 32),
+            LaunchConfig::cover(100, 32)
+        );
+        assert_eq!(LaunchConfig::cover_batch(0, 100, 32).grid_dim, 4);
+        assert_eq!(LaunchConfig::cover_batch(3, 0, 32).grid_dim, 3);
     }
 
     #[test]

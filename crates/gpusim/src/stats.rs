@@ -81,12 +81,24 @@ impl fmt::Display for Counters {
         writeln!(f, "  issue cycles          {:>12}", self.issue_cycles)?;
         writeln!(f, "  flops (f64-equiv)     {:>12}", self.flops)?;
         writeln!(f, "  global mem ops        {:>12}", self.global_mem_ops)?;
-        writeln!(f, "  global transactions   {:>12}", self.global_transactions)?;
+        writeln!(
+            f,
+            "  global transactions   {:>12}",
+            self.global_transactions
+        )?;
         writeln!(f, "  global bytes          {:>12}", self.global_bytes)?;
         writeln!(f, "  shared accesses       {:>12}", self.shared_accesses)?;
-        writeln!(f, "  shared conflict cyc   {:>12}", self.shared_conflict_cycles)?;
+        writeln!(
+            f,
+            "  shared conflict cyc   {:>12}",
+            self.shared_conflict_cycles
+        )?;
         writeln!(f, "  const accesses        {:>12}", self.const_accesses)?;
-        writeln!(f, "  const serializations  {:>12}", self.const_serializations)?;
+        writeln!(
+            f,
+            "  const serializations  {:>12}",
+            self.const_serializations
+        )?;
         write!(f, "  divergent segments    {:>12}", self.divergent_segments)
     }
 }

@@ -147,7 +147,11 @@ mod tests {
         let t = model_launch(&dev, cfg, occ, &c);
         assert_eq!(t.bound, Bound::Latency);
         // latency path = 500 + 30*500 = 15500 cycles
-        assert!((t.kernel_cycles - 15_500.0).abs() < 1.0, "{}", t.kernel_cycles);
+        assert!(
+            (t.kernel_cycles - 15_500.0).abs() < 1.0,
+            "{}",
+            t.kernel_cycles
+        );
         // More blocks, same per-warp profile: time barely moves (one wave).
         let cfg2 = LaunchConfig::new(48, 32);
         let c2 = counters(48, 500, 30, 48 * 40 * 128);
@@ -160,7 +164,7 @@ mod tests {
     fn compute_bound_when_saturated() {
         let dev = c2050();
         let occ = occupancy(&dev, 32, 256, 24).unwrap(); // 8 blocks/SM
-        // 14*8 = 112 concurrent blocks; give each SM heavy issue load.
+                                                         // 14*8 = 112 concurrent blocks; give each SM heavy issue load.
         let cfg = LaunchConfig::new(112, 32);
         let c = counters(112, 10_000, 2, 112 * 128);
         let t = model_launch(&dev, cfg, occ, &c);

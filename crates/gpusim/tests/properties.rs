@@ -16,7 +16,14 @@ fn device() -> DeviceSpec {
 fn gload_warp() -> impl Strategy<Value = Vec<ThreadTrace>> {
     prop::collection::vec(0u64..10_000, 32).prop_map(|idxs| {
         idxs.into_iter()
-            .map(|i| vec![Ev::GLoad { addr: 0x1000 + i * 16 }, Ev::Sync])
+            .map(|i| {
+                vec![
+                    Ev::GLoad {
+                        addr: 0x1000 + i * 16,
+                    },
+                    Ev::Sync,
+                ]
+            })
             .collect()
     })
 }

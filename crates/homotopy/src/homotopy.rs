@@ -7,6 +7,18 @@
 use polygpu_complex::{Complex, Real};
 use polygpu_polysys::{SystemEval, SystemEvaluator};
 
+/// The deterministic random gamma used by `with_random_gamma` (shared
+/// with the lockstep batch homotopy so the same seed describes the same
+/// paths): any angle bounded away from 0 mod tau works; derive one from
+/// the seed with a splitmix step.
+pub fn random_gamma<R: Real>(seed: u64) -> Complex<R> {
+    let z = seed
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add(0x2545F4914F6CDD1D);
+    let angle = 0.3 + (z >> 11) as f64 / (1u64 << 53) as f64 * 5.5;
+    Complex::unit_from_angle(angle)
+}
+
 /// A homotopy between two evaluators of the same dimension.
 pub struct Homotopy<R: Real, EG, EF> {
     /// Start system `G` (solutions known at `t = 0`).
@@ -29,19 +41,17 @@ impl<R: Real, EG: SystemEvaluator<R>, EF: SystemEvaluator<R>> Homotopy<R, EG, EF
     /// Build with an explicit gamma (pass a random unit complex; see
     /// [`Homotopy::with_random_gamma`]).
     pub fn new(g: EG, f: EF, gamma: Complex<R>) -> Self {
-        assert_eq!(g.dim(), f.dim(), "homotopy endpoints must agree in dimension");
+        assert_eq!(
+            g.dim(),
+            f.dim(),
+            "homotopy endpoints must agree in dimension"
+        );
         Homotopy { g, f, gamma }
     }
 
     /// Gamma from an angle seed (deterministic).
     pub fn with_random_gamma(g: EG, f: EF, seed: u64) -> Self {
-        // Any angle bounded away from 0 mod tau works; derive one from
-        // the seed with a splitmix step.
-        let z = seed
-            .wrapping_mul(0x9E3779B97F4A7C15)
-            .wrapping_add(0x2545F4914F6CDD1D);
-        let angle = 0.3 + (z >> 11) as f64 / (1u64 << 53) as f64 * 5.5;
-        Self::new(g, f, Complex::unit_from_angle(angle))
+        Self::new(g, f, random_gamma(seed))
     }
 
     pub fn dim(&self) -> usize {

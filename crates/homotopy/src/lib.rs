@@ -26,6 +26,7 @@
 
 pub mod escalate;
 pub mod homotopy;
+pub mod lockstep;
 pub mod lu;
 pub mod newton;
 pub mod quality;
@@ -37,6 +38,10 @@ pub mod tracker;
 pub mod prelude {
     pub use crate::escalate::{track_escalating, EscalatedTrack, UsedPrecision};
     pub use crate::homotopy::{Homotopy, HomotopyAt, HomotopyEval};
+    pub use crate::lockstep::{
+        newton_batch, newton_batch_counted, track_lockstep, BatchHomotopy, BatchHomotopyAt,
+        LockstepPath, LockstepResult,
+    };
     pub use crate::lu::{lu_decompose, solve, LuFactors, SingularMatrix};
     pub use crate::newton::{newton, NewtonParams, NewtonResult, ShiftedEvaluator, StopReason};
     pub use crate::quality::{quality_up_ladder, Precision, QualityUp};

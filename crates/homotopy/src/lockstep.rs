@@ -1,0 +1,688 @@
+//! Lockstep multi-path tracking over a batched evaluator.
+//!
+//! The classical tracker ([`crate::tracker::track`]) evaluates the
+//! homotopy **once per corrector iteration per path** — the
+//! per-evaluation launch overhead and PCIe latency of the single-point
+//! pipeline are paid thousands of times per path. This module drives
+//! `P` paths **in lockstep**: every predictor and every Newton
+//! corrector iteration gathers the points of all live paths into one
+//! [`BatchSystemEvaluator::evaluate_batch`] call, so a batched engine
+//! (e.g. `polygpu_core::BatchGpuEvaluator`) amortizes its fixed costs
+//! across the whole front of paths.
+//!
+//! Batching is a performance transformation only: each path's
+//! arithmetic is identical to what the per-path corrector would do, so
+//! with a bit-exact batch evaluator the lockstep trajectories are
+//! **bit-for-bit** the trajectories of the same algorithm run against
+//! `SingleBatch`-wrapped CPU references.
+
+use crate::homotopy::random_gamma;
+use crate::lu::lu_decompose;
+use crate::newton::{NewtonParams, NewtonResult, StopReason};
+use crate::tracker::{TrackOutcome, TrackParams};
+use polygpu_complex::{Complex, Real};
+use polygpu_polysys::{BatchSystemEvaluator, SystemEval, SystemEvaluator};
+
+fn max_norm<R: Real>(v: &[Complex<R>]) -> f64 {
+    v.iter().map(|z| z.abs().to_f64()).fold(0.0, f64::max)
+}
+
+/// Lockstep Newton's method: iterate all starting points together,
+/// feeding every iteration's live iterates into one batched
+/// evaluation (chunked by [`BatchSystemEvaluator::max_batch`]).
+///
+/// Per point, the control flow and arithmetic replicate
+/// [`crate::newton::newton`] exactly, so `newton_batch(eval, xs, p)[i]`
+/// equals `newton(eval_i, &xs[i], p)` bit for bit whenever the batch
+/// evaluator is point-wise bit-exact.
+pub fn newton_batch<R: Real, E: BatchSystemEvaluator<R> + ?Sized>(
+    eval: &mut E,
+    starts: &[Vec<Complex<R>>],
+    params: NewtonParams,
+) -> Vec<NewtonResult<R>> {
+    newton_batch_counted(eval, starts, params, &mut 0)
+}
+
+/// [`newton_batch`] that also counts the batched device round trips it
+/// issues into `batch_rounds` (one per `evaluate_batch` call,
+/// including `max_batch` chunking) — the quantity the lockstep tracker
+/// reports.
+pub fn newton_batch_counted<R: Real, E: BatchSystemEvaluator<R> + ?Sized>(
+    eval: &mut E,
+    starts: &[Vec<Complex<R>>],
+    params: NewtonParams,
+    batch_rounds: &mut usize,
+) -> Vec<NewtonResult<R>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Phase {
+        /// Needs a regular iteration evaluation.
+        Iterating,
+        /// Converged by step size; needs the final residual check.
+        FinalCheck,
+        Done,
+    }
+
+    struct PathState<R> {
+        x: Vec<Complex<R>>,
+        phase: Phase,
+        iterations: usize,
+        residuals: Vec<f64>,
+        last_step: f64,
+        stop: Option<(bool, StopReason)>,
+    }
+
+    let mut paths: Vec<PathState<R>> = starts
+        .iter()
+        .map(|x0| PathState {
+            x: x0.clone(),
+            phase: Phase::Iterating,
+            iterations: 0,
+            residuals: Vec::with_capacity(params.max_iters + 1),
+            last_step: f64::INFINITY,
+            stop: None,
+        })
+        .collect();
+
+    for iter in 0..=params.max_iters {
+        // `newton` performs exactly `max_iters` regular iterations; a
+        // path still iterating when they are exhausted stops *without*
+        // another evaluation. Only final step-tolerance checks (which
+        // `newton` does inside its last iteration) may still evaluate
+        // in this extra round.
+        if iter == params.max_iters {
+            for path in paths.iter_mut() {
+                if path.phase == Phase::Iterating {
+                    path.iterations = params.max_iters;
+                    path.stop = Some((false, StopReason::MaxIters));
+                    path.phase = Phase::Done;
+                }
+            }
+        }
+        let live: Vec<usize> = (0..paths.len())
+            .filter(|&i| paths[i].phase != Phase::Done)
+            .collect();
+        if live.is_empty() {
+            break;
+        }
+        let evals = evaluate_chunked(eval, &live, &paths, |p| &p.x, batch_rounds);
+        for (&i, e) in live.iter().zip(evals) {
+            let path = &mut paths[i];
+            let resid = max_norm(&e.values);
+            path.residuals.push(resid);
+            if path.phase == Phase::FinalCheck {
+                path.stop = Some((resid < params.residual_tol * 1e3, StopReason::StepTol));
+                path.phase = Phase::Done;
+                continue;
+            }
+            if resid < params.residual_tol {
+                path.iterations = iter;
+                path.stop = Some((true, StopReason::ResidualTol));
+                path.phase = Phase::Done;
+                continue;
+            }
+            let rhs: Vec<Complex<R>> = e.values.iter().map(|v| -*v).collect();
+            let lu = match lu_decompose(e.jacobian) {
+                Ok(f) => f,
+                Err(_) => {
+                    path.iterations = iter;
+                    path.stop = Some((false, StopReason::SingularJacobian));
+                    path.phase = Phase::Done;
+                    continue;
+                }
+            };
+            let dx = lu.solve(&rhs);
+            for (xi, di) in path.x.iter_mut().zip(&dx) {
+                *xi += *di;
+            }
+            path.last_step = max_norm(&dx);
+            if path.last_step < params.step_tol {
+                path.iterations = iter + 1;
+                path.phase = Phase::FinalCheck;
+            }
+        }
+    }
+
+    paths
+        .into_iter()
+        .map(|p| {
+            let (converged, stop) = p.stop.unwrap_or((false, StopReason::MaxIters));
+            NewtonResult {
+                x: p.x,
+                converged,
+                iterations: p.iterations,
+                residuals: p.residuals,
+                last_step: p.last_step,
+                stop,
+            }
+        })
+        .collect()
+}
+
+/// Evaluate `live` paths' points through `eval`, splitting into chunks
+/// of at most `eval.max_batch()` points.
+fn evaluate_chunked<R: Real, E, P, F>(
+    eval: &mut E,
+    live: &[usize],
+    paths: &[P],
+    point_of: F,
+    batch_rounds: &mut usize,
+) -> Vec<SystemEval<R>>
+where
+    E: BatchSystemEvaluator<R> + ?Sized,
+    F: Fn(&P) -> &Vec<Complex<R>>,
+{
+    let cap = eval.max_batch().max(1);
+    let mut out = Vec::with_capacity(live.len());
+    for chunk in live.chunks(cap) {
+        let points: Vec<Vec<Complex<R>>> =
+            chunk.iter().map(|&i| point_of(&paths[i]).clone()).collect();
+        out.extend(eval.evaluate_batch(&points));
+        *batch_rounds += 1;
+    }
+    out
+}
+
+/// A homotopy whose endpoints are batch evaluators, for lockstep
+/// tracking.
+pub struct BatchHomotopy<R: Real, EG, EF> {
+    /// Start system `G` (solutions known at `t = 0`).
+    pub g: EG,
+    /// Target system `F` (sought at `t = 1`).
+    pub f: EF,
+    /// The gamma constant.
+    pub gamma: Complex<R>,
+}
+
+impl<R: Real, EG: BatchSystemEvaluator<R>, EF: BatchSystemEvaluator<R>> BatchHomotopy<R, EG, EF> {
+    pub fn new(g: EG, f: EF, gamma: Complex<R>) -> Self {
+        assert_eq!(
+            g.dim(),
+            f.dim(),
+            "homotopy endpoints must agree in dimension"
+        );
+        BatchHomotopy { g, f, gamma }
+    }
+
+    /// Gamma from an angle seed; the same seed yields the same paths as
+    /// [`crate::homotopy::Homotopy::with_random_gamma`].
+    pub fn with_random_gamma(g: EG, f: EF, seed: u64) -> Self {
+        Self::new(g, f, random_gamma(seed))
+    }
+
+    pub fn dim(&self) -> usize {
+        self.g.dim()
+    }
+
+    /// Largest batch the underlying evaluators accept together.
+    pub fn max_batch(&self) -> usize {
+        self.g.max_batch().min(self.f.max_batch())
+    }
+
+    /// `H(·, t)` values and Jacobians at every point, plus `∂H/∂t`,
+    /// from **one** batched evaluation of `G` and one of `F`. The
+    /// per-point combination arithmetic is identical to
+    /// [`crate::homotopy::Homotopy::eval_at`].
+    pub fn eval_batch_at(
+        &mut self,
+        points: &[Vec<Complex<R>>],
+        t: R,
+    ) -> Vec<(SystemEval<R>, Vec<Complex<R>>)> {
+        let n = self.dim();
+        let ges = self.g.evaluate_batch(points);
+        let fes = self.f.evaluate_batch(points);
+        let one_minus_t = R::one() - t;
+        let gscale = self.gamma.scale(one_minus_t);
+        ges.into_iter()
+            .zip(fes)
+            .map(|(ge, fe)| {
+                let mut values = Vec::with_capacity(n);
+                let mut dt = Vec::with_capacity(n);
+                for i in 0..n {
+                    values.push(gscale * ge.values[i] + fe.values[i].scale(t));
+                    dt.push(fe.values[i] - self.gamma * ge.values[i]);
+                }
+                let mut jacobian = fe.jacobian;
+                for i in 0..n {
+                    for j in 0..n {
+                        jacobian[(i, j)] = gscale * ge.jacobian[(i, j)] + jacobian[(i, j)].scale(t);
+                    }
+                }
+                (SystemEval { values, jacobian }, dt)
+            })
+            .collect()
+    }
+
+    /// View the homotopy at fixed `t` as a batch evaluator (for the
+    /// lockstep Newton corrector).
+    pub fn at(&mut self, t: R) -> BatchHomotopyAt<'_, R, EG, EF> {
+        BatchHomotopyAt { h: self, t }
+    }
+}
+
+/// [`BatchSystemEvaluator`] adapter for `H(·, t)` at fixed `t`.
+pub struct BatchHomotopyAt<'h, R: Real, EG, EF> {
+    h: &'h mut BatchHomotopy<R, EG, EF>,
+    t: R,
+}
+
+impl<'h, R: Real, EG: BatchSystemEvaluator<R>, EF: BatchSystemEvaluator<R>> SystemEvaluator<R>
+    for BatchHomotopyAt<'h, R, EG, EF>
+{
+    fn dim(&self) -> usize {
+        self.h.dim()
+    }
+
+    fn evaluate(&mut self, x: &[Complex<R>]) -> SystemEval<R> {
+        self.h
+            .eval_batch_at(std::slice::from_ref(&x.to_vec()), self.t)
+            .pop()
+            .expect("batch of one returns one result")
+            .0
+    }
+
+    fn name(&self) -> &str {
+        "batch-homotopy-at-t"
+    }
+}
+
+impl<'h, R: Real, EG: BatchSystemEvaluator<R>, EF: BatchSystemEvaluator<R>> BatchSystemEvaluator<R>
+    for BatchHomotopyAt<'h, R, EG, EF>
+{
+    fn max_batch(&self) -> usize {
+        self.h.max_batch()
+    }
+
+    fn evaluate_batch(&mut self, points: &[Vec<Complex<R>>]) -> Vec<SystemEval<R>> {
+        self.h
+            .eval_batch_at(points, self.t)
+            .into_iter()
+            .map(|(eval, _)| eval)
+            .collect()
+    }
+}
+
+/// Endpoint of one lockstep path.
+#[derive(Debug, Clone)]
+pub struct LockstepPath<R> {
+    pub outcome: TrackOutcome,
+    /// Last accepted point.
+    pub x: Vec<Complex<R>>,
+    /// `t` of the last accepted point (1.0 on success).
+    pub t: f64,
+}
+
+impl<R> LockstepPath<R> {
+    pub fn success(&self) -> bool {
+        self.outcome == TrackOutcome::Success
+    }
+}
+
+/// Result of a lockstep multi-path run.
+#[derive(Debug, Clone)]
+pub struct LockstepResult<R> {
+    /// Per-path endpoints, in start order.
+    pub paths: Vec<LockstepPath<R>>,
+    /// Predictor-corrector rounds taken (accepted + rejected).
+    pub rounds: usize,
+    pub steps_accepted: usize,
+    pub steps_rejected: usize,
+    /// Total corrector iterations summed over paths.
+    pub corrector_iterations: usize,
+    /// Batched device round trips issued (predictor + corrector); the
+    /// single-path tracker would have issued one per path per
+    /// evaluation instead.
+    pub batch_rounds: usize,
+}
+
+impl<R: Real> LockstepResult<R> {
+    pub fn successes(&self) -> usize {
+        self.paths.iter().filter(|p| p.success()).count()
+    }
+}
+
+/// Track all `starts` through `h` **in lockstep**: one shared `t`
+/// front, one shared adaptive step size, and every evaluation batched
+/// across the live paths.
+///
+/// Step control mirrors the single-path tracker, applied to the front
+/// as a whole: a round is accepted only when *every* live path's
+/// corrector converges (then `t` advances and the step may grow); on
+/// any failure the whole round is rejected and the step halves. When
+/// the step underflows `min_dt`, the paths whose correctors failed are
+/// retired with [`TrackOutcome::StepUnderflow`] and the survivors
+/// continue from the floor.
+pub fn track_lockstep<R: Real, EG, EF>(
+    h: &mut BatchHomotopy<R, EG, EF>,
+    starts: &[Vec<Complex<R>>],
+    params: TrackParams,
+) -> LockstepResult<R>
+where
+    EG: BatchSystemEvaluator<R>,
+    EF: BatchSystemEvaluator<R>,
+{
+    let n_paths = starts.len();
+    let mut xs: Vec<Vec<Complex<R>>> = starts.to_vec();
+    let mut outcomes: Vec<Option<TrackOutcome>> = vec![None; n_paths];
+    let mut retired_t: Vec<f64> = vec![0.0; n_paths];
+    let mut live: Vec<usize> = (0..n_paths).collect();
+    let mut t = 0.0f64;
+    let mut dt = params.initial_dt;
+    let mut rounds = 0usize;
+    let mut accepted = 0usize;
+    let mut rejected = 0usize;
+    let mut corrector_iters = 0usize;
+    let mut batch_rounds = 0usize;
+
+    while !live.is_empty() && t < 1.0 && rounds < params.max_steps {
+        rounds += 1;
+        let dt_clamped = dt.min(1.0 - t);
+        let t_new = t + dt_clamped;
+
+        // Batched Euler predictor: J_H dx = -dH/dt at (x_i, t).
+        let live_points: Vec<Vec<Complex<R>>> = live.iter().map(|&i| xs[i].clone()).collect();
+        let mut hev = Vec::with_capacity(live_points.len());
+        let cap = h.max_batch().max(1);
+        for chunk in live_points.chunks(cap) {
+            hev.extend(h.eval_batch_at(chunk, R::from_f64(t)));
+            batch_rounds += 1;
+        }
+        let mut preds: Vec<(usize, Vec<Complex<R>>)> = Vec::with_capacity(live.len());
+        let mut singular: Vec<usize> = Vec::new();
+        for (&i, (eval, dt_vec)) in live.iter().zip(hev) {
+            let lu = match lu_decompose(eval.jacobian) {
+                Ok(f) => f,
+                Err(_) => {
+                    singular.push(i);
+                    continue;
+                }
+            };
+            let rhs: Vec<Complex<R>> = dt_vec.iter().map(|v| -*v).collect();
+            let dxdt = lu.solve(&rhs);
+            let x_pred: Vec<Complex<R>> = xs[i]
+                .iter()
+                .zip(&dxdt)
+                .map(|(xi, di)| *xi + di.scale(R::from_f64(dt_clamped)))
+                .collect();
+            preds.push((i, x_pred));
+        }
+        for i in singular {
+            outcomes[i] = Some(TrackOutcome::SingularJacobian {
+                at_t: format!("{t:.6}"),
+            });
+            retired_t[i] = t;
+            live.retain(|&j| j != i);
+        }
+        if preds.is_empty() {
+            break;
+        }
+
+        // Lockstep batched Newton corrector at t + dt. The predicted
+        // points move into the corrector's input instead of being
+        // cloned again.
+        let (pred_idx, pred_points): (Vec<usize>, Vec<Vec<Complex<R>>>) = preds.into_iter().unzip();
+        let results: Vec<NewtonResult<R>> = {
+            let mut at = h.at(R::from_f64(t_new));
+            newton_batch_counted(&mut at, &pred_points, params.corrector, &mut batch_rounds)
+        };
+        corrector_iters += results.iter().map(|r| r.iterations).sum::<usize>();
+
+        if results.iter().all(|r| r.converged) {
+            for (&i, r) in pred_idx.iter().zip(&results) {
+                xs[i] = r.x.clone();
+            }
+            t = t_new;
+            accepted += 1;
+            if results.iter().all(|r| r.iterations <= params.easy_iters) {
+                dt = (dt * params.grow).min(params.max_dt);
+            }
+        } else {
+            rejected += 1;
+            dt *= 0.5;
+            if dt < params.min_dt {
+                // Retire the paths that failed; survivors continue at
+                // the step floor.
+                for (&i, r) in pred_idx.iter().zip(&results) {
+                    if !r.converged {
+                        outcomes[i] = Some(TrackOutcome::StepUnderflow {
+                            at_t: format!("{t:.6}"),
+                        });
+                        retired_t[i] = t;
+                        live.retain(|&j| j != i);
+                    }
+                }
+                dt = params.min_dt;
+            }
+        }
+    }
+
+    let paths = (0..n_paths)
+        .map(|i| {
+            let outcome = outcomes[i].clone().unwrap_or(if t >= 1.0 {
+                TrackOutcome::Success
+            } else {
+                TrackOutcome::StepLimit
+            });
+            let t_i = if outcomes[i].is_none() {
+                t
+            } else {
+                retired_t[i]
+            };
+            LockstepPath {
+                outcome,
+                x: xs[i].clone(),
+                t: t_i,
+            }
+        })
+        .collect();
+
+    LockstepResult {
+        paths,
+        rounds,
+        steps_accepted: accepted,
+        steps_rejected: rejected,
+        corrector_iterations: corrector_iters,
+        batch_rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::homotopy::Homotopy;
+    use crate::newton::{newton, ShiftedEvaluator};
+    use crate::start::StartSystem;
+    use crate::tracker::{track, TrackParams};
+    use polygpu_complex::C64;
+    use polygpu_polysys::{
+        random_point, random_points, random_system, AdEvaluator, BenchmarkParams, NaiveEvaluator,
+        SingleBatch, SystemEvaluator,
+    };
+
+    #[test]
+    fn newton_batch_is_bitwise_identical_to_per_point_newton() {
+        let params = BenchmarkParams {
+            n: 6,
+            m: 4,
+            k: 3,
+            d: 3,
+            seed: 77,
+        };
+        let sys = random_system::<f64>(&params);
+        let root = random_point::<f64>(6, 5);
+        // Mix of easy starts (near the root) and hopeless ones, so the
+        // batch exercises ResidualTol, StepTol and MaxIters together.
+        let mut starts: Vec<Vec<C64>> = (0..4)
+            .map(|s| {
+                root.iter()
+                    .enumerate()
+                    .map(|(i, z)| *z + C64::from_f64(1e-3 * (i + s) as f64, -1e-3))
+                    .collect()
+            })
+            .collect();
+        starts.push(vec![C64::from_f64(50.0, 50.0); 6]);
+        let np = crate::newton::NewtonParams {
+            max_iters: 8,
+            ..Default::default()
+        };
+
+        let mut batch = SingleBatch(ShiftedEvaluator::with_root(
+            AdEvaluator::new(sys.clone()).unwrap(),
+            &root,
+        ));
+        let batched = newton_batch(&mut batch, &starts, np);
+
+        for (i, x0) in starts.iter().enumerate() {
+            let mut single =
+                ShiftedEvaluator::with_root(AdEvaluator::new(sys.clone()).unwrap(), &root);
+            let want = newton(&mut single, x0, np);
+            let got = &batched[i];
+            assert_eq!(got.x, want.x, "iterate, path {i}");
+            assert_eq!(got.converged, want.converged, "converged, path {i}");
+            assert_eq!(got.iterations, want.iterations, "iterations, path {i}");
+            assert_eq!(got.residuals, want.residuals, "residuals, path {i}");
+            assert_eq!(got.stop, want.stop, "stop reason, path {i}");
+        }
+    }
+
+    #[test]
+    fn lockstep_tracks_all_paths_of_a_small_system() {
+        let params = BenchmarkParams {
+            n: 2,
+            m: 2,
+            k: 2,
+            d: 2,
+            seed: 3,
+        };
+        let sys = random_system::<f64>(&params);
+        let start = StartSystem::uniform(2, 2);
+        let starts: Vec<Vec<C64>> = (0..4u128).map(|i| start.solution_by_index(i)).collect();
+        let mut h = BatchHomotopy::with_random_gamma(
+            SingleBatch(start.clone()),
+            SingleBatch(AdEvaluator::new(sys.clone()).unwrap()),
+            7,
+        );
+        let r = track_lockstep(&mut h, &starts, TrackParams::default());
+        assert_eq!(r.paths.len(), 4);
+        assert!(
+            r.successes() >= 2,
+            "only {}/4 lockstep paths finished",
+            r.successes()
+        );
+        assert!(r.steps_accepted > 0);
+        assert!(r.corrector_iterations >= r.steps_accepted);
+        assert!(r.batch_rounds > 0);
+        // Endpoints satisfy the target system.
+        let mut check = NaiveEvaluator::new(sys);
+        for (i, p) in r.paths.iter().enumerate() {
+            if p.success() {
+                assert!((p.t - 1.0).abs() < 1e-12);
+                let resid = check.evaluate(&p.x).residual_norm();
+                assert!(resid < 1e-8, "path {i}: endpoint residual {resid:e}");
+            }
+        }
+    }
+
+    #[test]
+    fn lockstep_batches_fewer_round_trips_than_per_path_tracking() {
+        // The point of the exercise: the number of batched device round
+        // trips must be far below the per-path evaluation count a
+        // single-point pipeline would pay.
+        let params = BenchmarkParams {
+            n: 2,
+            m: 2,
+            k: 2,
+            d: 2,
+            seed: 11,
+        };
+        let sys = random_system::<f64>(&params);
+        let start = StartSystem::uniform(2, 2);
+        let starts: Vec<Vec<C64>> = (0..4u128).map(|i| start.solution_by_index(i)).collect();
+        let mut h = BatchHomotopy::with_random_gamma(
+            SingleBatch(start.clone()),
+            SingleBatch(AdEvaluator::new(sys.clone()).unwrap()),
+            5,
+        );
+        let r = track_lockstep(&mut h, &starts, TrackParams::default());
+        // Per-path evaluations the classical tracker would have done on
+        // the device (predictor + corrector iterations), summed.
+        let mut per_path_evals = 0usize;
+        for x0 in &starts {
+            let f = AdEvaluator::new(sys.clone()).unwrap();
+            let mut h1 = Homotopy::with_random_gamma(start.clone(), f, 5);
+            let tr = track(&mut h1, x0, TrackParams::default());
+            per_path_evals += tr.corrector_iterations + tr.steps_accepted + tr.steps_rejected;
+        }
+        assert!(
+            r.batch_rounds < per_path_evals,
+            "lockstep issued {} round trips vs {} per-path evaluations",
+            r.batch_rounds,
+            per_path_evals
+        );
+    }
+
+    #[test]
+    fn impossible_tolerance_underflows_and_retires_paths() {
+        let params = BenchmarkParams {
+            n: 2,
+            m: 2,
+            k: 2,
+            d: 2,
+            seed: 3,
+        };
+        let sys = random_system::<f64>(&params);
+        let start = StartSystem::uniform(2, 2);
+        let starts: Vec<Vec<C64>> = (0..2u128).map(|i| start.solution_by_index(i)).collect();
+        let mut h = BatchHomotopy::with_random_gamma(
+            SingleBatch(start.clone()),
+            SingleBatch(AdEvaluator::new(sys).unwrap()),
+            11,
+        );
+        let r = track_lockstep(
+            &mut h,
+            &starts,
+            TrackParams {
+                corrector: crate::newton::NewtonParams {
+                    residual_tol: 1e-300,
+                    step_tol: 1e-300,
+                    max_iters: 2,
+                },
+                ..Default::default()
+            },
+        );
+        assert_eq!(r.successes(), 0);
+        assert!(r.steps_rejected > 0);
+        assert!(r.paths.iter().all(|p| matches!(
+            p.outcome,
+            TrackOutcome::StepUnderflow { .. } | TrackOutcome::StepLimit
+        )));
+    }
+
+    #[test]
+    fn batch_homotopy_matches_single_homotopy_pointwise() {
+        let params = BenchmarkParams {
+            n: 3,
+            m: 2,
+            k: 2,
+            d: 2,
+            seed: 19,
+        };
+        let sys = random_system::<f64>(&params);
+        let start = StartSystem::uniform(3, 3);
+        let points = random_points::<f64>(3, 4, 9);
+        let mut hb = BatchHomotopy::with_random_gamma(
+            SingleBatch(start.clone()),
+            SingleBatch(AdEvaluator::new(sys.clone()).unwrap()),
+            42,
+        );
+        let mut h1 = Homotopy::with_random_gamma(start, AdEvaluator::new(sys).unwrap(), 42);
+        assert_eq!(hb.gamma, h1.gamma, "same seed, same gamma, same paths");
+        let t = 0.37;
+        let batch = hb.eval_batch_at(&points, t);
+        for (x, (got, got_dt)) in points.iter().zip(batch) {
+            let want = h1.eval_at(x, t);
+            assert_eq!(got.values, want.eval.values);
+            assert_eq!(got.jacobian.as_slice(), want.eval.jacobian.as_slice());
+            assert_eq!(got_dt, want.dt);
+        }
+    }
+}

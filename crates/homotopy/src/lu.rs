@@ -159,11 +159,7 @@ mod tests {
     #[test]
     fn pivoting_handles_zero_leading_entry() {
         // [[0, 1], [1, 0]] requires a row swap.
-        let a = CMat::from_vec(
-            2,
-            2,
-            vec![C64::zero(), C64::one(), C64::one(), C64::zero()],
-        );
+        let a = CMat::from_vec(2, 2, vec![C64::zero(), C64::one(), C64::one(), C64::zero()]);
         let x = solve(a, &[C64::from_f64(3.0, 0.0), C64::from_f64(7.0, 0.0)]).unwrap();
         assert_eq!(x[0], C64::from_f64(7.0, 0.0));
         assert_eq!(x[1], C64::from_f64(3.0, 0.0));
@@ -171,11 +167,7 @@ mod tests {
 
     #[test]
     fn singular_matrix_reported() {
-        let a = CMat::from_vec(
-            2,
-            2,
-            vec![C64::one(), C64::one(), C64::one(), C64::one()],
-        );
+        let a = CMat::from_vec(2, 2, vec![C64::one(), C64::one(), C64::one(), C64::one()]);
         assert_eq!(lu_decompose(a).unwrap_err(), SingularMatrix { column: 1 });
         let z = CMat::<f64>::zeros(3, 3);
         assert_eq!(lu_decompose(z).unwrap_err(), SingularMatrix { column: 0 });
@@ -185,9 +177,7 @@ mod tests {
     fn dd_solve_is_more_accurate_than_f64() {
         // A mildly ill-conditioned matrix: Hilbert-like.
         let n = 8;
-        let af = CMat::<f64>::from_fn(n, n, |i, j| {
-            C64::from_f64(1.0 / (i + j + 1) as f64, 0.0)
-        });
+        let af = CMat::<f64>::from_fn(n, n, |i, j| C64::from_f64(1.0 / (i + j + 1) as f64, 0.0));
         let b: Vec<C64> = (0..n).map(|_| C64::one()).collect();
         let xf = solve(af.clone(), &b).unwrap();
         let ad: CMat<Dd> = af.convert();
@@ -207,8 +197,7 @@ mod tests {
             .iter()
             .zip(&bd)
             .map(|(l, r)| (*l - *r).abs().to_f64())
-            .fold(0.0, f64::max)
-            ;
+            .fold(0.0, f64::max);
         assert!(rd < rf * 1e-10, "dd residual {rd:e} vs f64 {rf:e}");
     }
 

@@ -56,9 +56,7 @@ pub enum StopReason {
 }
 
 fn max_norm<R: Real>(v: &[Complex<R>]) -> f64 {
-    v.iter()
-        .map(|z| z.abs().to_f64())
-        .fold(0.0, f64::max)
+    v.iter().map(|z| z.abs().to_f64()).fold(0.0, f64::max)
 }
 
 /// Run Newton's method from `x0`.
@@ -187,13 +185,16 @@ mod tests {
         let mut f = ShiftedEvaluator::with_root(AdEvaluator::new(sys).unwrap(), &root);
         let x0 = perturbed(&root, 1e-3);
         let r = newton(&mut f, &x0, NewtonParams::default());
-        assert!(r.converged, "stopped with {:?} after {:?}", r.stop, r.residuals);
-        let err: f64 = r
-            .x
-            .iter()
-            .zip(&root)
-            .map(|(a, b)| (*a - *b).abs())
-            .fold(0.0, f64::max);
+        assert!(
+            r.converged,
+            "stopped with {:?} after {:?}",
+            r.stop, r.residuals
+        );
+        let err: f64 =
+            r.x.iter()
+                .zip(&root)
+                .map(|(a, b)| (*a - *b).abs())
+                .fold(0.0, f64::max);
         assert!(err < 1e-10, "distance to root {err:e}");
         // Quadratic convergence: few iterations from 1e-3 away.
         assert!(r.iterations <= 6, "{} iterations", r.iterations);

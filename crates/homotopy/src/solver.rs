@@ -85,9 +85,9 @@ where
     F: FnMut() -> E,
 {
     let start = StartSystem::new(degrees);
-    let n_paths = params
-        .max_paths
-        .map_or(start.solution_count(), |cap| start.solution_count().min(cap));
+    let n_paths = params.max_paths.map_or(start.solution_count(), |cap| {
+        start.solution_count().min(cap)
+    });
     let mut result = SolveResult {
         roots: Vec::new(),
         paths_tracked: 0,
@@ -110,11 +110,7 @@ where
         let mut target = make_eval();
         let polished = newton(&mut target, &tr.end().x, params.polish);
         result.corrector_iterations += polished.iterations;
-        let residual = polished
-            .residuals
-            .last()
-            .copied()
-            .unwrap_or(f64::INFINITY);
+        let residual = polished.residuals.last().copied().unwrap_or(f64::INFINITY);
         if !polished.converged {
             result.paths_failed += 1;
             result.paths_finished -= 1;
@@ -125,19 +121,13 @@ where
     result
 }
 
-fn register_root<R: Real>(
-    roots: &mut Vec<Root<R>>,
-    x: Vec<Complex<R>>,
-    residual: f64,
-    tol: f64,
-) {
+fn register_root<R: Real>(roots: &mut Vec<Root<R>>, x: Vec<Complex<R>>, residual: f64, tol: f64) {
     for r in roots.iter_mut() {
-        let dist = r
-            .x
-            .iter()
-            .zip(&x)
-            .map(|(a, b)| (*a - *b).abs().to_f64())
-            .fold(0.0, f64::max);
+        let dist =
+            r.x.iter()
+                .zip(&x)
+                .map(|(a, b)| (*a - *b).abs().to_f64())
+                .fold(0.0, f64::max);
         if dist < tol {
             r.multiplicity_hint += 1;
             if residual < r.residual {
@@ -190,7 +180,11 @@ mod tests {
             SolveParams::default(),
         );
         assert_eq!(result.paths_tracked, 4);
-        assert_eq!(result.roots.len(), 4, "expected 4 distinct roots: {result:?}");
+        assert_eq!(
+            result.roots.len(),
+            4,
+            "expected 4 distinct roots: {result:?}"
+        );
         for root in &result.roots {
             let (a, b) = (root.x[0], root.x[1]);
             assert!((a * a + b * b - C64::from_f64(5.0, 0.0)).abs() < 1e-8);

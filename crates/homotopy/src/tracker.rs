@@ -203,11 +203,7 @@ mod tests {
             seed: 101,
         };
         let sys = random_system::<f64>(&params);
-        let degrees: Vec<u32> = sys
-            .polys()
-            .iter()
-            .map(|p| p.total_degree())
-            .collect();
+        let degrees: Vec<u32> = sys.polys().iter().map(|p| p.total_degree()).collect();
         let start = StartSystem::new(degrees);
         let mut successes = 0;
         let total = start.solution_count().min(8) as u128;
@@ -226,7 +222,10 @@ mod tests {
             }
         }
         // Random dense-coefficient targets: expect most paths to finish.
-        assert!(successes >= total / 2, "only {successes}/{total} paths finished");
+        assert!(
+            successes >= total / 2,
+            "only {successes}/{total} paths finished"
+        );
     }
 
     #[test]
@@ -297,8 +296,10 @@ mod tests {
         let mut h = Homotopy::with_random_gamma(start, f, 5);
         let r = track(&mut h, &x0, TrackParams::default());
         if r.success() {
-            assert!(r.corrector_iterations >= r.steps_accepted,
-                "each accepted step needs at least one corrector evaluation");
+            assert!(
+                r.corrector_iterations >= r.steps_accepted,
+                "each accepted step needs at least one corrector evaluation"
+            );
         }
     }
 }

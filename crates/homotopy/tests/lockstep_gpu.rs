@@ -1,0 +1,108 @@
+//! Lockstep tracking against the batched GPU engine: the whole
+//! multi-path trajectory must be bit-for-bit the trajectory obtained
+//! with the CPU reference evaluator, because the batched pipeline is
+//! bit-exact per point and the lockstep driver is deterministic.
+
+use polygpu_complex::C64;
+use polygpu_core::pipeline::GpuOptions;
+use polygpu_core::BatchGpuEvaluator;
+use polygpu_homotopy::lockstep::{
+    newton_batch, newton_batch_counted, track_lockstep, BatchHomotopy,
+};
+use polygpu_homotopy::newton::NewtonParams;
+use polygpu_homotopy::start::StartSystem;
+use polygpu_homotopy::tracker::TrackParams;
+use polygpu_polysys::{random_points, random_system, AdEvaluator, BenchmarkParams, SingleBatch};
+
+fn fixture() -> (polygpu_polysys::System<f64>, StartSystem, Vec<Vec<C64>>) {
+    let params = BenchmarkParams {
+        n: 2,
+        m: 2,
+        k: 2,
+        d: 2,
+        seed: 3,
+    };
+    let sys = random_system::<f64>(&params);
+    let start = StartSystem::uniform(2, 2);
+    let starts: Vec<Vec<C64>> = (0..4u128).map(|i| start.solution_by_index(i)).collect();
+    (sys, start, starts)
+}
+
+#[test]
+fn lockstep_gpu_trajectories_equal_cpu_trajectories_bitwise() {
+    let (sys, start, starts) = fixture();
+    let params = TrackParams::default();
+
+    let gpu = BatchGpuEvaluator::new(&sys, starts.len(), GpuOptions::default()).unwrap();
+    let mut h_gpu = BatchHomotopy::with_random_gamma(SingleBatch(start.clone()), gpu, 7);
+    let r_gpu = track_lockstep(&mut h_gpu, &starts, params);
+
+    let cpu = SingleBatch(AdEvaluator::new(sys).unwrap());
+    let mut h_cpu = BatchHomotopy::with_random_gamma(SingleBatch(start), cpu, 7);
+    let r_cpu = track_lockstep(&mut h_cpu, &starts, params);
+
+    assert_eq!(r_gpu.rounds, r_cpu.rounds);
+    assert_eq!(r_gpu.steps_accepted, r_cpu.steps_accepted);
+    assert_eq!(r_gpu.steps_rejected, r_cpu.steps_rejected);
+    assert_eq!(r_gpu.corrector_iterations, r_cpu.corrector_iterations);
+    for (i, (a, b)) in r_gpu.paths.iter().zip(&r_cpu.paths).enumerate() {
+        assert_eq!(a.outcome, b.outcome, "outcome, path {i}");
+        assert_eq!(a.t, b.t, "final t, path {i}");
+        assert_eq!(a.x, b.x, "endpoint must be bit-identical, path {i}");
+    }
+
+    // The batched engine amortized its round trips: far fewer batches
+    // than evaluations.
+    let stats = h_gpu.f.stats();
+    assert!(stats.batches > 0);
+    assert!(
+        stats.evaluations > stats.batches,
+        "batching never amortized: {} evaluations in {} batches",
+        stats.evaluations,
+        stats.batches
+    );
+    assert!(stats.throughput_evals_per_sec() > 0.0);
+}
+
+#[test]
+fn gpu_newton_batch_corrector_matches_cpu() {
+    let params = BenchmarkParams {
+        n: 8,
+        m: 5,
+        k: 3,
+        d: 2,
+        seed: 21,
+    };
+    let sys = random_system::<f64>(&params);
+    let starts = random_points::<f64>(8, 6, 13);
+    let np = NewtonParams {
+        max_iters: 4,
+        ..Default::default()
+    };
+    let mut gpu = BatchGpuEvaluator::new(&sys, 6, GpuOptions::default()).unwrap();
+    let mut cpu = SingleBatch(AdEvaluator::new(sys.clone()).unwrap());
+    let a = newton_batch(&mut gpu, &starts, np);
+    let b = newton_batch(&mut cpu, &starts, np);
+    for (i, (ra, rb)) in a.iter().zip(&b).enumerate() {
+        assert_eq!(ra.x, rb.x, "path {i}");
+        assert_eq!(ra.residuals, rb.residuals, "path {i}");
+        assert_eq!(ra.stop, rb.stop, "path {i}");
+    }
+
+    // A capacity smaller than the front: results are unchanged (the
+    // batch is chunked) and the round-trip counter reflects the
+    // chunking — two device batches per lockstep iteration here.
+    let mut small = BatchGpuEvaluator::new(&sys, 3, GpuOptions::default()).unwrap();
+    let mut rounds = 0usize;
+    let c = newton_batch_counted(&mut small, &starts, np, &mut rounds);
+    let max_iter_rounds = c.iter().map(|r| r.residuals.len()).max().unwrap();
+    for (i, (rc, rb)) in c.iter().zip(&b).enumerate() {
+        assert_eq!(rc.x, rb.x, "chunked path {i}");
+        assert_eq!(rc.residuals, rb.residuals, "chunked path {i}");
+    }
+    assert!(
+        rounds >= 2 * max_iter_rounds,
+        "chunked corrector must count one round trip per chunk: {rounds} rounds for {max_iter_rounds} iterations"
+    );
+    assert_eq!(rounds, small.stats().batches as usize);
+}

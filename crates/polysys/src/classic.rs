@@ -25,9 +25,7 @@ pub fn cyclic<R: Real>(n: usize) -> System<R> {
         // f_j = sum over i of the product of j+1 consecutive variables.
         let terms = (0..n)
             .map(|i| {
-                let vars: Vec<(u16, u16)> = (0..=j)
-                    .map(|l| (((i + l) % n) as u16, 1u16))
-                    .collect();
+                let vars: Vec<(u16, u16)> = (0..=j).map(|l| (((i + l) % n) as u16, 1u16)).collect();
                 Term {
                     coeff: Complex::one(),
                     monomial: Monomial::new(vars).expect("distinct consecutive vars"),
@@ -157,7 +155,11 @@ mod tests {
         let w = C64::unit_from_angle(std::f64::consts::TAU / 3.0);
         let x = vec![C64::one(), w, w * w];
         let r = sys.evaluate(&x);
-        assert!(r.residual_norm() < 1e-12, "residual {:e}", r.residual_norm());
+        assert!(
+            r.residual_norm() < 1e-12,
+            "residual {:e}",
+            r.residual_norm()
+        );
     }
 
     #[test]

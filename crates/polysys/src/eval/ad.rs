@@ -238,9 +238,9 @@ impl<R: Real> Default for System<R> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cost;
     use crate::eval::naive::NaiveEvaluator;
     use crate::generator::{random_point, random_system, BenchmarkParams};
-    use crate::cost;
 
     fn check_matches_naive(params: BenchmarkParams, tol: f64) {
         let sys = random_system::<f64>(&params);
@@ -264,16 +264,7 @@ mod tests {
             (32, 8, 16, 10, 6),
             (6, 2, 1, 4, 7), // k = 1 edge case
         ] {
-            check_matches_naive(
-                BenchmarkParams {
-                    n,
-                    m,
-                    k,
-                    d,
-                    seed,
-                },
-                1e-10,
-            );
+            check_matches_naive(BenchmarkParams { n, m, k, d, seed }, 1e-10);
         }
     }
 

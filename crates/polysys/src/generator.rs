@@ -38,7 +38,11 @@ impl BenchmarkParams {
     /// Table 1 family: `n = 32`, `k = 9`, `d = 2`; `m` chosen so the
     /// total monomial count is 704, 1024 or 1536.
     pub fn table1(monomials_total: usize, seed: u64) -> Self {
-        assert_eq!(monomials_total % 32, 0, "total must be a multiple of n = 32");
+        assert_eq!(
+            monomials_total % 32,
+            0,
+            "total must be a multiple of n = 32"
+        );
         BenchmarkParams {
             n: 32,
             m: monomials_total / 32,
@@ -50,7 +54,11 @@ impl BenchmarkParams {
 
     /// Table 2 family: `n = 32`, `k = 16`, `d = 10`.
     pub fn table2(monomials_total: usize, seed: u64) -> Self {
-        assert_eq!(monomials_total % 32, 0, "total must be a multiple of n = 32");
+        assert_eq!(
+            monomials_total % 32,
+            0,
+            "total must be a multiple of n = 32"
+        );
         BenchmarkParams {
             n: 32,
             m: monomials_total / 32,
@@ -136,7 +144,12 @@ pub fn random_point<R: Real>(n: usize, seed: u64) -> Vec<Complex<R>> {
 /// A batch of random evaluation points.
 pub fn random_points<R: Real>(n: usize, count: usize, seed: u64) -> Vec<Vec<Complex<R>>> {
     (0..count)
-        .map(|i| random_point(n, seed.wrapping_add(i as u64).wrapping_mul(0x9E3779B97F4A7C15)))
+        .map(|i| {
+            random_point(
+                n,
+                seed.wrapping_add(i as u64).wrapping_mul(0x9E3779B97F4A7C15),
+            )
+        })
         .collect()
 }
 

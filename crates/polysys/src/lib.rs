@@ -36,4 +36,7 @@ pub use generator::{random_point, random_points, random_system, BenchmarkParams}
 pub use monomial::{Exp, Monomial, MonomialError, Var};
 pub use parse::{parse_polynomial, parse_system, ParseError};
 pub use polynomial::{Polynomial, Term};
-pub use system::{System, SystemError, SystemEval, SystemEvaluator, UniformShape};
+pub use system::{
+    BatchSystemEvaluator, SingleBatch, System, SystemError, SystemEval, SystemEvaluator,
+    UniformShape,
+};

@@ -166,7 +166,11 @@ fn parse_complex_paren<R: Real>(c: &mut Cursor<'_>) -> Result<Complex<R>, ParseE
         Some(b'+') | Some(b'-') => {
             let neg = c.bump() == Some(b'-');
             // `b i` or bare `i`
-            let mag = if c.peek() == Some(b'i') { 1.0 } else { c.number()? };
+            let mag = if c.peek() == Some(b'i') {
+                1.0
+            } else {
+                c.number()?
+            };
             if !c.eat(b'i') {
                 return Err(c.err("expected `i` after imaginary part"));
             }
@@ -313,7 +317,8 @@ mod tests {
 
     #[test]
     fn parses_complex_coefficients() {
-        let p: Polynomial<f64> = parse_polynomial("(1+2i)*x0 + (3-i)*x1 + (2.5i)*x2 + i*x3").unwrap();
+        let p: Polynomial<f64> =
+            parse_polynomial("(1+2i)*x0 + (3-i)*x1 + (2.5i)*x2 + i*x3").unwrap();
         let ones = vec![C64::one(); 4];
         let v = p.eval(&ones);
         assert_eq!(v, C64::from_f64(4.0, 2.0 - 1.0 + 2.5 + 1.0));

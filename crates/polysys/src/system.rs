@@ -29,7 +29,10 @@ impl fmt::Display for SystemError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SystemError::NotSquare { n, polys } => {
-                write!(f, "system declared dimension {n} but has {polys} polynomials")
+                write!(
+                    f,
+                    "system declared dimension {n} but has {polys} polynomials"
+                )
             }
             SystemError::VariableOutOfRange { poly, var, n } => {
                 write!(f, "polynomial {poly} uses x{var} outside dimension {n}")
@@ -133,12 +136,7 @@ impl<R: Real> System<R> {
                 d = d.max(t.monomial.max_exponent());
             }
         }
-        Ok(UniformShape {
-            n: self.n,
-            m,
-            k,
-            d,
-        })
+        Ok(UniformShape { n: self.n, m, k, d })
     }
 
     /// Map coefficients into another precision.
@@ -221,6 +219,51 @@ pub trait SystemEvaluator<R: Real> {
     }
 }
 
+/// An evaluator that can amortize fixed costs (kernel launches, host to
+/// device transfers) across **many points at once**. The contract mirrors
+/// [`SystemEvaluator::evaluate`] point-wise: `evaluate_batch(points)[i]`
+/// must equal `evaluate(&points[i])` **bit for bit** — batching is a
+/// performance transformation, never a numerical one.
+pub trait BatchSystemEvaluator<R: Real>: SystemEvaluator<R> {
+    /// Largest number of points one `evaluate_batch` call accepts.
+    fn max_batch(&self) -> usize;
+
+    /// Evaluate values and Jacobian at every point of the batch
+    /// (`1 <= points.len() <= self.max_batch()`, each of length
+    /// `self.dim()`).
+    fn evaluate_batch(&mut self, points: &[Vec<Complex<R>>]) -> Vec<SystemEval<R>>;
+}
+
+/// Adapter giving any single-point evaluator the batch interface by
+/// looping — the degenerate baseline batched engines are measured
+/// against, and the glue that lets CPU references drive batch-shaped
+/// code paths (e.g. the lockstep path tracker) unchanged.
+pub struct SingleBatch<E>(pub E);
+
+impl<R: Real, E: SystemEvaluator<R>> SystemEvaluator<R> for SingleBatch<E> {
+    fn dim(&self) -> usize {
+        self.0.dim()
+    }
+
+    fn evaluate(&mut self, x: &[Complex<R>]) -> SystemEval<R> {
+        self.0.evaluate(x)
+    }
+
+    fn name(&self) -> &str {
+        self.0.name()
+    }
+}
+
+impl<R: Real, E: SystemEvaluator<R>> BatchSystemEvaluator<R> for SingleBatch<E> {
+    fn max_batch(&self) -> usize {
+        usize::MAX
+    }
+
+    fn evaluate_batch(&mut self, points: &[Vec<Complex<R>>]) -> Vec<SystemEval<R>> {
+        points.iter().map(|x| self.0.evaluate(x)).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -243,7 +286,14 @@ mod tests {
         // variable out of range
         let bad = Polynomial::new(vec![term(1.0, vec![(5, 1), (0, 1)])]);
         let err = System::new(2, vec![p, bad]).unwrap_err();
-        assert!(matches!(err, SystemError::VariableOutOfRange { poly: 1, var: 5, n: 2 }));
+        assert!(matches!(
+            err,
+            SystemError::VariableOutOfRange {
+                poly: 1,
+                var: 5,
+                n: 2
+            }
+        ));
     }
 
     #[test]
@@ -303,5 +353,31 @@ mod tests {
         a.jacobian[(1, 0)] = C64::from_f64(4.0, 0.0);
         assert_eq!(a.max_difference(&b), 4.0);
         assert_eq!(a.residual_norm(), 3.0);
+    }
+
+    #[test]
+    fn single_batch_adapter_matches_pointwise_evaluation() {
+        use crate::eval::AdEvaluator;
+        use crate::generator::{random_points, random_system, BenchmarkParams};
+        let params = BenchmarkParams {
+            n: 5,
+            m: 3,
+            k: 2,
+            d: 2,
+            seed: 9,
+        };
+        let sys = random_system::<f64>(&params);
+        let points = random_points::<f64>(5, 4, 3);
+        let mut single = AdEvaluator::new(sys.clone()).unwrap();
+        let mut batch = SingleBatch(AdEvaluator::new(sys).unwrap());
+        assert_eq!(batch.dim(), 5);
+        assert_eq!(batch.max_batch(), usize::MAX);
+        let batched = batch.evaluate_batch(&points);
+        assert_eq!(batched.len(), 4);
+        for (x, got) in points.iter().zip(&batched) {
+            let want = single.evaluate(x);
+            assert_eq!(got.values, want.values);
+            assert_eq!(got.jacobian.as_slice(), want.jacobian.as_slice());
+        }
     }
 }

@@ -165,7 +165,12 @@ pub fn parse_decimal<R: Real>(s: &str) -> Result<R, ParseRealError> {
             }
             b'.' if !seen_dot => seen_dot = true,
             b'e' | b'E' => break,
-            c => return Err(ParseRealError::new(format!("unexpected byte {:?}", c as char))),
+            c => {
+                return Err(ParseRealError::new(format!(
+                    "unexpected byte {:?}",
+                    c as char
+                )))
+            }
         }
         i += 1;
     }

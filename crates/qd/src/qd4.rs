@@ -108,7 +108,7 @@ impl Qd {
             x = x + x * corr * half;
         }
         let r = self * x; // ~ sqrt(a)
-        // One final correction in full precision.
+                          // One final correction in full precision.
         let resid = self - r * r;
         r + resid * x * half
     }

@@ -1,0 +1,185 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Provides the surface the workspace uses — `rngs::StdRng`,
+//! `SeedableRng::seed_from_u64` and `Rng::gen_range` over integer and
+//! float ranges — backed by xoshiro256++ with splitmix64 seeding.
+//!
+//! The stream differs from upstream `rand`'s `StdRng` (which is
+//! ChaCha12); nothing in the workspace depends on the exact stream,
+//! only on determinism under a fixed seed, which this crate guarantees.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from a seed.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// High-level sampling methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample uniformly from `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// A range that knows how to sample a `T` from an RNG.
+pub trait SampleRange<T> {
+    fn sample_from<G: RngCore>(self, rng: &mut G) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<G: RngCore>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<G: RngCore>(self, rng: &mut G) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "empty range");
+                let span = ((hi - lo) as u64).wrapping_add(1);
+                // span == 0 means the full u64 domain (only possible for
+                // 64-bit types spanning everything): take the raw word.
+                if span == 0 {
+                    return lo.wrapping_add(rng.next_u64() as $t);
+                }
+                lo + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i32, i64);
+
+macro_rules! float_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<G: RngCore>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "empty range");
+                // 53 uniform mantissa bits in [0, 1).
+                let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                let v = self.start as f64 + (self.end as f64 - self.start as f64) * unit;
+                // Guard the open upper bound against rounding.
+                if v < self.end as f64 {
+                    v as $t
+                } else {
+                    self.start
+                }
+            }
+        }
+    )*};
+}
+
+float_sample_range!(f64);
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic RNG: xoshiro256++ (Blackman & Vigna), seeded by
+    /// splitmix64 — the standard seeding recipe.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        let mut d = StdRng::seed_from_u64(42);
+        let differs = (0..100).any(|_| c.gen_range(0u64..u64::MAX) != d.gen_range(0u64..u64::MAX));
+        assert!(differs, "different seeds must yield different streams");
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(1u16..=5);
+            assert!((1..=5).contains(&w));
+            let f = rng.gen_range(0.0f64..std::f64::consts::TAU);
+            assert!((0.0..std::f64::consts::TAU).contains(&f));
+        }
+    }
+
+    #[test]
+    fn full_domain_inclusive_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let _: u64 = rng.gen_range(0u64..=u64::MAX);
+    }
+
+    #[test]
+    fn integer_samples_cover_the_range() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "{seen:?}");
+    }
+}

@@ -25,7 +25,13 @@ fn try_setup(total: usize, encoding: EncodingKind) -> Result<usize, String> {
         seed: 3,
     };
     let system = random_system::<f64>(&params);
-    match GpuEvaluator::new(&system, GpuOptions { encoding, ..Default::default() }) {
+    match GpuEvaluator::new(
+        &system,
+        GpuOptions {
+            encoding,
+            ..Default::default()
+        },
+    ) {
         Ok(gpu) => Ok(gpu.constant_bytes_used()),
         Err(e) => Err(e.to_string()),
     }

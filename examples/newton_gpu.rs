@@ -38,7 +38,10 @@ fn main() {
 
     let result = newton(&mut f_gpu, &x0, NewtonParams::default());
     println!("Newton on the simulated GPU evaluator:");
-    println!("  converged: {} in {} iterations", result.converged, result.iterations);
+    println!(
+        "  converged: {} in {} iterations",
+        result.converged, result.iterations
+    );
     println!("  residual history:");
     for (i, r) in result.residuals.iter().enumerate() {
         println!("    iter {i}: {r:.3e}");
@@ -57,14 +60,23 @@ fn main() {
     let cpu = AdEvaluator::new(system).unwrap();
     let mut f_cpu = ShiftedEvaluator::with_root(cpu, &root);
     let result_cpu = newton(&mut f_cpu, &x0, NewtonParams::default());
-    assert_eq!(result.x, result_cpu.x, "GPU and CPU Newton iterates are bit-identical");
+    assert_eq!(
+        result.x, result_cpu.x,
+        "GPU and CPU Newton iterates are bit-identical"
+    );
     println!("\nGPU and CPU Newton runs produced bit-identical iterates.");
 
     // The device-side bill for this correction.
     let stats = f_gpu.inner.stats();
     println!("\nmodeled device cost of the whole Newton run:");
-    println!("  {} evaluations of the system + Jacobian", stats.evaluations);
-    println!("  {:.1} us modeled GPU time total", stats.total_seconds() * 1e6);
+    println!(
+        "  {} evaluations of the system + Jacobian",
+        stats.evaluations
+    );
+    println!(
+        "  {:.1} us modeled GPU time total",
+        stats.total_seconds() * 1e6
+    );
     println!(
         "  {:.2} us per evaluation ({} kernel launches)",
         stats.seconds_per_eval() * 1e6,

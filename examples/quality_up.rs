@@ -80,8 +80,12 @@ fn main() {
     // (4) Why it matters: Newton can only push the residual to the
     // evaluation precision. Same system, same root, two precisions.
     let root = random_point::<f64>(32, 77);
-    let mut f64_eval = ShiftedEvaluator::with_root(AdEvaluator::new(system.clone()).unwrap(), &root);
-    let x0: Vec<C64> = root.iter().map(|z| *z + C64::from_f64(1e-3, 1e-3)).collect();
+    let mut f64_eval =
+        ShiftedEvaluator::with_root(AdEvaluator::new(system.clone()).unwrap(), &root);
+    let x0: Vec<C64> = root
+        .iter()
+        .map(|z| *z + C64::from_f64(1e-3, 1e-3))
+        .collect();
     let r64 = newton(
         &mut f64_eval,
         &x0,
@@ -114,6 +118,9 @@ fn main() {
         best_dd < best64 * 1e-6,
         "double-double must reach a much lower floor"
     );
-    println!("\ndouble-double buys ~{:.0} extra decimal digits of residual;", (best64 / best_dd).log10());
+    println!(
+        "\ndouble-double buys ~{:.0} extra decimal digits of residual;",
+        (best64 / best_dd).log10()
+    );
     println!("with the modeled GPU speedup it costs less than sequential double.");
 }

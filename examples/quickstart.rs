@@ -61,9 +61,18 @@ fn main() {
     // The modeled device cost behind the paper's tables.
     let stats = gpu.stats();
     println!("\nmodeled device cost per evaluation:");
-    println!("  kernels   {:>8.2} us", stats.kernel_seconds / stats.evaluations as f64 * 1e6);
-    println!("  overhead  {:>8.2} us", stats.overhead_seconds / stats.evaluations as f64 * 1e6);
-    println!("  transfers {:>8.2} us", stats.transfer_seconds / stats.evaluations as f64 * 1e6);
+    println!(
+        "  kernels   {:>8.2} us",
+        stats.kernel_seconds / stats.evaluations as f64 * 1e6
+    );
+    println!(
+        "  overhead  {:>8.2} us",
+        stats.overhead_seconds / stats.evaluations as f64 * 1e6
+    );
+    println!(
+        "  transfers {:>8.2} us",
+        stats.transfer_seconds / stats.evaluations as f64 * 1e6
+    );
     println!("  total     {:>8.2} us", stats.seconds_per_eval() * 1e6);
     println!(
         "  -> {:.2} s for the paper's 100,000 evaluations (paper measured 15.265 s)",

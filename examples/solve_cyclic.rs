@@ -13,14 +13,17 @@
 //! cargo run --release --example solve_cyclic
 //! ```
 
-use polygpu::prelude::*;
 use polygpu::polysys::classic::cyclic;
+use polygpu::prelude::*;
 
 fn main() {
     let system = cyclic::<f64>(3);
     println!("cyclic 3-roots:\n{system}");
     let degrees: Vec<u32> = system.polys().iter().map(|p| p.total_degree()).collect();
-    println!("total degrees {degrees:?} -> Bezout number {}", degrees.iter().product::<u32>());
+    println!(
+        "total degrees {degrees:?} -> Bezout number {}",
+        degrees.iter().product::<u32>()
+    );
 
     let result = solve_total_degree(
         degrees,
@@ -29,7 +32,9 @@ fn main() {
     );
     println!(
         "\ntracked {} paths: {} finished, {} failed; {} corrector iterations",
-        result.paths_tracked, result.paths_finished, result.paths_failed,
+        result.paths_tracked,
+        result.paths_finished,
+        result.paths_failed,
         result.corrector_iterations
     );
     println!("distinct roots found: {}", result.roots.len());

@@ -53,10 +53,22 @@ fn main() {
     let result = eval.evaluate(&x);
     println!("\nf0 = x0*x1*x2*x3 at (2, 3, 5, 7):");
     println!("  value      = {} (expect 210)", result.values[0]);
-    println!("  df0/dx0    = {} (expect 105 = 3*5*7)", result.jacobian[(0, 0)]);
-    println!("  df0/dx1    = {} (expect  70 = 2*5*7)", result.jacobian[(0, 1)]);
-    println!("  df0/dx2    = {} (expect  42 = 2*3*7)", result.jacobian[(0, 2)]);
-    println!("  df0/dx3    = {} (expect  30 = 2*3*5)", result.jacobian[(0, 3)]);
+    println!(
+        "  df0/dx0    = {} (expect 105 = 3*5*7)",
+        result.jacobian[(0, 0)]
+    );
+    println!(
+        "  df0/dx1    = {} (expect  70 = 2*5*7)",
+        result.jacobian[(0, 1)]
+    );
+    println!(
+        "  df0/dx2    = {} (expect  42 = 2*3*7)",
+        result.jacobian[(0, 2)]
+    );
+    println!(
+        "  df0/dx3    = {} (expect  30 = 2*3*5)",
+        result.jacobian[(0, 3)]
+    );
     assert_eq!(result.values[0], C64::from_f64(210.0, 0.0));
     assert_eq!(result.jacobian[(0, 0)], C64::from_f64(105.0, 0.0));
     assert_eq!(result.jacobian[(0, 3)], C64::from_f64(30.0, 0.0));
@@ -64,8 +76,16 @@ fn main() {
     // The instrumented counters confirm the closed forms.
     let counts = eval.counts();
     println!("\ninstrumented complex multiplications for 4 monomials (k = 4):");
-    println!("  Speelpenning: {} (formula: 4 x {})", counts.speelpenning, cost::speelpenning_muls(4));
-    println!("  kernel-2 total: {} (formula: 4 x {})", counts.kernel2_muls(), cost::kernel2_muls(4));
+    println!(
+        "  Speelpenning: {} (formula: 4 x {})",
+        counts.speelpenning,
+        cost::speelpenning_muls(4)
+    );
+    println!(
+        "  kernel-2 total: {} (formula: 4 x {})",
+        counts.kernel2_muls(),
+        cost::kernel2_muls(4)
+    );
     assert_eq!(counts.kernel2_muls(), 4 * cost::kernel2_muls(4));
     println!("\ncounts match the paper's formulas.");
 }

@@ -54,17 +54,17 @@ pub use polygpu_qd as qd;
 
 /// Everything a typical user needs in one import.
 pub mod prelude {
-    pub use polygpu_complex::{CMat, Complex, C64, CDd, CQd};
+    pub use polygpu_complex::{CDd, CMat, CQd, Complex, C64};
     pub use polygpu_core::pipeline::{GpuEvaluator, GpuOptions, PipelineStats};
-    pub use polygpu_core::{EncodeError, EncodingKind, SetupError};
+    pub use polygpu_core::{BatchGpuEvaluator, BatchLayout, EncodeError, EncodingKind, SetupError};
     pub use polygpu_gpusim::prelude::{
         Bound, Counters, DeviceSpec, LaunchConfig, LaunchOptions, LaunchReport,
     };
     pub use polygpu_homotopy::prelude::*;
     pub use polygpu_polysys::{
-        cost, random_point, random_points, random_system, AdEvaluator, BenchmarkParams, Monomial,
-        NaiveEvaluator, OpCounts, Polynomial, System, SystemEval, SystemEvaluator, Term,
-        UniformShape,
+        cost, random_point, random_points, random_system, AdEvaluator, BatchSystemEvaluator,
+        BenchmarkParams, Monomial, NaiveEvaluator, OpCounts, Polynomial, SingleBatch, System,
+        SystemEval, SystemEvaluator, Term, UniformShape,
     };
     pub use polygpu_qd::{Dd, Qd, Real};
 }

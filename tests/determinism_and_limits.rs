@@ -7,7 +7,13 @@ use polygpu::prelude::*;
 fn pipeline_is_deterministic_under_host_parallelism() {
     // The simulator runs blocks on rayon; results and every counter
     // must nonetheless be identical run to run.
-    let p = BenchmarkParams { n: 32, m: 16, k: 9, d: 2, seed: 1 };
+    let p = BenchmarkParams {
+        n: 32,
+        m: 16,
+        k: 9,
+        d: 2,
+        seed: 1,
+    };
     let system = random_system::<f64>(&p);
     let x = random_point::<f64>(32, 2);
     let run = || {
@@ -25,7 +31,13 @@ fn pipeline_is_deterministic_under_host_parallelism() {
 
 #[test]
 fn serial_and_parallel_host_execution_agree() {
-    let p = BenchmarkParams { n: 16, m: 8, k: 4, d: 3, seed: 9 };
+    let p = BenchmarkParams {
+        n: 16,
+        m: 8,
+        k: 4,
+        d: 3,
+        seed: 9,
+    };
     let system = random_system::<f64>(&p);
     let x = random_point::<f64>(16, 4);
     let mut par = GpuEvaluator::new(&system, GpuOptions::default()).unwrap();
@@ -68,7 +80,13 @@ fn capacity_wall_matches_paper_arithmetic() {
     // k = 9 at 2,048 monomials needs only 36,864 bytes and fits — the
     // wall is k-dependent (see EXPERIMENTS.md for the discussion of the
     // paper's blanket statement).
-    let p = BenchmarkParams { n: 32, m: 64, k: 9, d: 2, seed: 3 };
+    let p = BenchmarkParams {
+        n: 32,
+        m: 64,
+        k: 9,
+        d: 2,
+        seed: 3,
+    };
     let system = random_system::<f64>(&p);
     assert!(GpuEvaluator::new(&system, GpuOptions::default()).is_ok());
 }
@@ -95,7 +113,13 @@ fn paper_shared_memory_budget_section_3_2() {
 fn evaluator_trait_objects_are_interchangeable() {
     // The three evaluators behind one dyn interface — the property that
     // lets Newton/tracking code stay engine-agnostic.
-    let p = BenchmarkParams { n: 8, m: 4, k: 3, d: 2, seed: 100 };
+    let p = BenchmarkParams {
+        n: 8,
+        m: 4,
+        k: 3,
+        d: 2,
+        seed: 100,
+    };
     let system = random_system::<f64>(&p);
     let x = random_point::<f64>(8, 1);
     let mut engines: Vec<Box<dyn SystemEvaluator<f64>>> = vec![

@@ -5,14 +5,62 @@ use polygpu::prelude::*;
 
 fn shapes() -> Vec<BenchmarkParams> {
     vec![
-        BenchmarkParams { n: 4, m: 2, k: 2, d: 1, seed: 1 },
-        BenchmarkParams { n: 8, m: 3, k: 3, d: 3, seed: 2 },
-        BenchmarkParams { n: 16, m: 5, k: 8, d: 5, seed: 3 },
-        BenchmarkParams { n: 32, m: 22, k: 9, d: 2, seed: 4 },  // Table 1
-        BenchmarkParams { n: 32, m: 22, k: 16, d: 10, seed: 5 }, // Table 2
-        BenchmarkParams { n: 40, m: 40, k: 20, d: 5, seed: 6 },  // paper's dim-40 sizing
-        BenchmarkParams { n: 7, m: 3, k: 7, d: 2, seed: 7 },     // k == n
-        BenchmarkParams { n: 33, m: 5, k: 4, d: 3, seed: 8 },    // n not multiple of warp
+        BenchmarkParams {
+            n: 4,
+            m: 2,
+            k: 2,
+            d: 1,
+            seed: 1,
+        },
+        BenchmarkParams {
+            n: 8,
+            m: 3,
+            k: 3,
+            d: 3,
+            seed: 2,
+        },
+        BenchmarkParams {
+            n: 16,
+            m: 5,
+            k: 8,
+            d: 5,
+            seed: 3,
+        },
+        BenchmarkParams {
+            n: 32,
+            m: 22,
+            k: 9,
+            d: 2,
+            seed: 4,
+        }, // Table 1
+        BenchmarkParams {
+            n: 32,
+            m: 22,
+            k: 16,
+            d: 10,
+            seed: 5,
+        }, // Table 2
+        BenchmarkParams {
+            n: 40,
+            m: 40,
+            k: 20,
+            d: 5,
+            seed: 6,
+        }, // paper's dim-40 sizing
+        BenchmarkParams {
+            n: 7,
+            m: 3,
+            k: 7,
+            d: 2,
+            seed: 7,
+        }, // k == n
+        BenchmarkParams {
+            n: 33,
+            m: 5,
+            k: 4,
+            d: 3,
+            seed: 8,
+        }, // n not multiple of warp
     ]
 }
 
@@ -69,7 +117,13 @@ fn gpu_matches_naive_oracle_within_rounding() {
 
 #[test]
 fn compact_encoding_bitwise_equals_direct() {
-    let p = BenchmarkParams { n: 32, m: 8, k: 9, d: 10, seed: 42 };
+    let p = BenchmarkParams {
+        n: 32,
+        m: 8,
+        k: 9,
+        d: 10,
+        seed: 42,
+    };
     let system = random_system::<f64>(&p);
     let mut direct = GpuEvaluator::new(&system, GpuOptions::default()).unwrap();
     let mut compact = GpuEvaluator::new(
@@ -91,7 +145,13 @@ fn compact_encoding_bitwise_equals_direct() {
 
 #[test]
 fn double_double_gpu_pipeline_equals_cpu_ad() {
-    let p = BenchmarkParams { n: 16, m: 4, k: 5, d: 4, seed: 77 };
+    let p = BenchmarkParams {
+        n: 16,
+        m: 4,
+        k: 5,
+        d: 4,
+        seed: 77,
+    };
     let system = random_system::<f64>(&p).convert::<Dd>();
     let mut gpu = GpuEvaluator::new(&system, GpuOptions::default()).unwrap();
     let mut cpu = AdEvaluator::new(system).unwrap();
@@ -109,7 +169,13 @@ fn double_double_gpu_pipeline_equals_cpu_ad() {
 fn dd_evaluation_beats_f64_accuracy_against_qd_truth() {
     // Evaluate one system in f64, Dd and Qd; use Qd as ground truth and
     // confirm the precision ladder (values only — magnitudes are O(m)).
-    let p = BenchmarkParams { n: 8, m: 6, k: 4, d: 4, seed: 13 };
+    let p = BenchmarkParams {
+        n: 8,
+        m: 6,
+        k: 4,
+        d: 4,
+        seed: 13,
+    };
     let sys64 = random_system::<f64>(&p);
     let x64 = random_point::<f64>(8, 21);
 
@@ -133,12 +199,12 @@ fn dd_evaluation_beats_f64_accuracy_against_qd_truth() {
         let d = rdd.values[i];
         let diff_re = (d.re.to_f64() - truth.re.to_f64()).abs();
         // compare in dd space for the dd error
-        let ddiff = CQd::new(
-            Qd::from_dd(d.re) - truth.re,
-            Qd::from_dd(d.im) - truth.im,
-        );
+        let ddiff = CQd::new(Qd::from_dd(d.re) - truth.re, Qd::from_dd(d.im) - truth.im);
         err_dd = err_dd.max(ddiff.abs().to_f64());
         let _ = diff_re;
     }
-    assert!(err_dd < err64 * 1e-10 + 1e-25, "dd {err_dd:e} vs f64 {err64:e}");
+    assert!(
+        err_dd < err64 * 1e-10 + 1e-25,
+        "dd {err_dd:e} vs f64 {err64:e}"
+    );
 }

@@ -5,7 +5,13 @@ use polygpu::prelude::*;
 
 #[test]
 fn newton_on_gpu_evaluator_converges_and_matches_cpu() {
-    let p = BenchmarkParams { n: 16, m: 8, k: 5, d: 2, seed: 11 };
+    let p = BenchmarkParams {
+        n: 16,
+        m: 8,
+        k: 5,
+        d: 2,
+        seed: 11,
+    };
     let system = random_system::<f64>(&p);
     let root = random_point::<f64>(16, 3);
     let x0: Vec<C64> = root
@@ -21,7 +27,10 @@ fn newton_on_gpu_evaluator_converges_and_matches_cpu() {
     let cpu = AdEvaluator::new(system).unwrap();
     let mut f_cpu = ShiftedEvaluator::with_root(cpu, &root);
     let r_cpu = newton(&mut f_cpu, &x0, NewtonParams::default());
-    assert_eq!(r_gpu.x, r_cpu.x, "identical arithmetic -> identical iterates");
+    assert_eq!(
+        r_gpu.x, r_cpu.x,
+        "identical arithmetic -> identical iterates"
+    );
     assert_eq!(r_gpu.iterations, r_cpu.iterations);
 }
 
@@ -29,7 +38,13 @@ fn newton_on_gpu_evaluator_converges_and_matches_cpu() {
 fn gpu_corrector_tracks_a_path() {
     // Track one path of a tiny system with the *GPU* evaluator as the
     // target side of the homotopy.
-    let p = BenchmarkParams { n: 2, m: 2, k: 2, d: 2, seed: 5 };
+    let p = BenchmarkParams {
+        n: 2,
+        m: 2,
+        k: 2,
+        d: 2,
+        seed: 5,
+    };
     let system = random_system::<f64>(&p);
     let degrees: Vec<u32> = system.polys().iter().map(|q| q.total_degree()).collect();
     let start = StartSystem::new(degrees);
@@ -55,7 +70,13 @@ fn gpu_corrector_tracks_a_path() {
 fn tracking_cost_is_dominated_by_evaluations() {
     // The paper's premise: evaluation dominates linear algebra. Count
     // evaluator calls through the pipeline stats.
-    let p = BenchmarkParams { n: 4, m: 3, k: 2, d: 2, seed: 23 };
+    let p = BenchmarkParams {
+        n: 4,
+        m: 3,
+        k: 2,
+        d: 2,
+        seed: 23,
+    };
     let system = random_system::<f64>(&p);
     let start = StartSystem::uniform(4, 2);
     let x0: Vec<C64> = start.solution_by_index(1);
@@ -76,14 +97,21 @@ fn tracking_cost_is_dominated_by_evaluations() {
 fn dd_newton_polishes_an_f64_root() {
     // Precision escalation: converge in f64, then polish in DD — the
     // quality-up workflow.
-    let p = BenchmarkParams { n: 8, m: 4, k: 3, d: 2, seed: 37 };
+    let p = BenchmarkParams {
+        n: 8,
+        m: 4,
+        k: 3,
+        d: 2,
+        seed: 37,
+    };
     let system = random_system::<f64>(&p);
     let root = random_point::<f64>(8, 2);
     let x0: Vec<C64> = root
         .iter()
         .map(|z| *z + C64::from_f64(1e-4, 1e-4))
         .collect();
-    let mut f64_eval = ShiftedEvaluator::with_root(AdEvaluator::new(system.clone()).unwrap(), &root);
+    let mut f64_eval =
+        ShiftedEvaluator::with_root(AdEvaluator::new(system.clone()).unwrap(), &root);
     let r64 = newton(&mut f64_eval, &x0, NewtonParams::default());
     assert!(r64.converged);
 
