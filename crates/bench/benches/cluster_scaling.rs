@@ -1,0 +1,46 @@
+//! Cluster scaling: host cost of simulating a `P = 256` batch on 1 vs
+//! 4 devices, with the modeled cluster table printed alongside — the
+//! modeled throughput is what scales; the host cost of *simulating* D
+//! devices stays roughly flat because shards run on parallel host
+//! threads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use polygpu_bench::{cluster_sweep, format_cluster_sweep};
+use polygpu_cluster::{ClusterOptions, ShardedBatchEvaluator};
+use polygpu_gpusim::prelude::DeviceSpec;
+use polygpu_polysys::{random_points, random_system, BatchSystemEvaluator, BenchmarkParams};
+
+fn bench_cluster_scaling(c: &mut Criterion) {
+    let params = BenchmarkParams {
+        n: 32,
+        m: 4,
+        k: 9,
+        d: 2,
+        seed: 0xC105,
+    };
+    let system = random_system::<f64>(&params);
+    let points = random_points::<f64>(32, 256, 7);
+
+    let mut group = c.benchmark_group("cluster_scaling_128_monomials_p256");
+    group.sample_size(10);
+    for d in [1usize, 4] {
+        let specs = vec![DeviceSpec::tesla_c2050(); d];
+        let mut cluster = ShardedBatchEvaluator::new(
+            &system,
+            &specs,
+            256usize.div_ceil(d),
+            ClusterOptions::default(),
+        )
+        .unwrap();
+        group.bench_function(format!("d{d}_batch_256"), |b| {
+            b.iter(|| cluster.evaluate_batch(&points)[0].values[0])
+        });
+    }
+    group.finish();
+
+    let rows = cluster_sweep(128, 9, 2, 256, &[1, 2, 4, 8]);
+    println!("{}", format_cluster_sweep(128, 256, &rows));
+}
+
+criterion_group!(benches, bench_cluster_scaling);
+criterion_main!(benches);

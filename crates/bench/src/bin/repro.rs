@@ -9,6 +9,7 @@
 //! repro ablate-cf           A1: two-stage vs from-scratch common factors
 //! repro ablate-layout       A2: Mons layout vs row-major summation
 //! repro batch               B1: batched engine sweep over P in {1,4,16,64,256}
+//! repro cluster             C1: multi-device scaling over D in {1,2,4,8} at P = 256
 //! repro multicore           multicore quality-up (companion experiment)
 //! repro dims                working-dimension feasibility sweep (sections 3.1-3.2)
 //! repro all [--full]        everything above, in order
@@ -17,6 +18,16 @@
 //! `--full` times the paper's 100,000 CPU evaluations for real instead
 //! of extrapolating from 200 (the GPU side is modeled either way, so
 //! the default finishes in seconds with identical reported units).
+//!
+//! `--model-only` skips every wall-clock *check* (table rows still
+//! show a measured column from one quick pass, marked unchecked;
+//! `ddcost` and `multicore` are skipped under `all`), so every
+//! PASS/FAIL printed is deterministic — what CI executes.
+//!
+//! Exit status: nonzero **only** on model-side check failures (the
+//! deterministic table shape and the cluster scaling bar). Measured
+//! checks are reported as `WARN (measured)` on a noisy host but never
+//! fail the run — see `MEASURED_SHAPE_TOLERANCE` in the bench crate.
 
 use polygpu_bench::*;
 use std::env;
@@ -25,29 +36,41 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
-    let cmd = args.first().map(String::as_str).unwrap_or("all");
+    let model_only = args.iter().any(|a| a == "--model-only");
+    let cmd = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
     let measured = if full { 100_000 } else { 200 };
+    let mut model_ok = true;
     match cmd {
-        "table1" => table(&table1_spec(), measured),
-        "table2" => table(&table2_spec(), measured),
+        "table1" => table(&table1_spec(), measured, model_only, &mut model_ok),
+        "table2" => table(&table2_spec(), measured, model_only, &mut model_ok),
         "capacity" => capacity(),
         "counts" => counts(),
         "ddcost" => ddcost(),
         "ablate-cf" => ablate_cf(),
         "ablate-layout" => ablate_layout(),
         "batch" => batch(),
+        "cluster" => cluster(&mut model_ok),
         "multicore" => multicore(),
         "dims" => dims(),
         "all" => {
-            table(&table1_spec(), measured);
-            table(&table2_spec(), measured);
+            table(&table1_spec(), measured, model_only, &mut model_ok);
+            table(&table2_spec(), measured, model_only, &mut model_ok);
             capacity();
             counts();
-            ddcost();
+            if !model_only {
+                ddcost();
+            }
             ablate_cf();
             ablate_layout();
             batch();
-            multicore();
+            cluster(&mut model_ok);
+            if !model_only {
+                multicore();
+            }
             dims();
         }
         other => {
@@ -55,21 +78,49 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    ExitCode::SUCCESS
+    if model_ok {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("model-side checks FAILED (deterministic regression, not host noise)");
+        ExitCode::FAILURE
+    }
 }
 
-fn table(spec: &TableSpec, measured: usize) {
+fn table(spec: &TableSpec, measured: usize, model_only: bool, model_ok: &mut bool) {
     let reported = 100_000;
-    let rows = run_table(spec, measured, reported);
+    // Model-only mode times a single quick CPU pass per row so the
+    // table keeps its shape, but the measured columns are explicitly
+    // marked unchecked and the measured shape check is skipped.
+    let rows = run_table(spec, if model_only { 1 } else { measured }, reported);
     println!("{}", format_table(spec, &rows, reported));
+    if model_only {
+        println!(
+            "(--model-only: the measured CPU column above comes from a single quick\n\
+             pass and is UNCHECKED; only the modeled columns are meaningful here)"
+        );
+    }
+    let model = table_shape_holds_model(&rows);
+    if !model {
+        *model_ok = false;
+    }
     println!(
-        "shape check (speedup grows with monomials, all > 1): {}\n",
-        if table_shape_holds(&rows) {
-            "PASS"
-        } else {
-            "FAIL"
-        }
+        "model shape check (speedup vs 2012 CPU grows with monomials, all > 1): {}",
+        if model { "PASS" } else { "FAIL" }
     );
+    if !model_only {
+        // Measured check: median-of-5 timing with tolerance; a FAIL
+        // here is host noise by construction and never fails the run.
+        println!(
+            "measured shape check (CPU grows, GPU flatter; {:.0}% tolerance): {}",
+            MEASURED_SHAPE_TOLERANCE * 100.0,
+            if table_shape_holds_measured(&rows) {
+                "PASS"
+            } else {
+                "WARN (measured)"
+            }
+        );
+    }
+    println!();
 }
 
 fn batch() {
@@ -80,6 +131,29 @@ fn batch() {
          evaluations, so the fixed cost per evaluation falls ~P-fold while the\n\
          kernel seconds stay proportional to the work; throughput approaches the\n\
          kernel-bound ceiling as P grows.\n"
+    );
+}
+
+fn cluster(model_ok: &mut bool) {
+    let rows = cluster_sweep(128, 9, 2, 256, &[1, 2, 4, 8]);
+    println!("{}", format_cluster_sweep(128, 256, &rows));
+    let d4_bar = rows
+        .iter()
+        .find(|r| r.d == 4)
+        .map(|r| r.speedup_vs_d1 >= 3.0)
+        .unwrap_or(false);
+    if !d4_bar {
+        *model_ok = false;
+    }
+    println!(
+        "scaling check (D = 4 at least 3x the D = 1 throughput): {}",
+        if d4_bar { "PASS" } else { "FAIL" }
+    );
+    println!(
+        "model: shards run concurrently, so the cluster wall clock is the max\n\
+         over devices; stream overlap hides each shard's PCIe transfers under\n\
+         its kernels (double-buffered uploads), shaving the savings column off\n\
+         the serialized sum. Imbalance 1.0 = every device equally busy.\n"
     );
 }
 

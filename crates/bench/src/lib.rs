@@ -98,29 +98,40 @@ pub fn table2_spec() -> TableSpec {
     }
 }
 
-/// Robust per-evaluation CPU time: minimum over `repeats` timed passes
-/// of the whole point batch (one untimed warm-up pass first). The
-/// minimum filters scheduler and frequency noise, which matters in
-/// shared environments.
+/// Robust per-evaluation CPU time: **median** over `repeats` timed
+/// passes of the whole point batch (one untimed warm-up pass first).
+/// The median filters scheduler and frequency noise symmetrically —
+/// unlike the minimum it is also robust against a single
+/// too-fast outlier pass — which matters in shared environments at the
+/// default quick setting (200 evaluations per pass).
 fn measure_cpu_per_eval(cpu: &mut AdEvaluator<f64>, points: &[Vec<C64>], repeats: usize) -> f64 {
     let mut sink = 0.0;
     for p in points {
         sink += cpu.evaluate(p).residual_norm();
     }
-    let mut best = f64::INFINITY;
-    for _ in 0..repeats.max(1) {
-        let t0 = Instant::now();
-        for p in points {
-            sink += cpu.evaluate(p).residual_norm();
-        }
-        best = best.min(t0.elapsed().as_secs_f64() / points.len() as f64);
-    }
+    let mut times: Vec<f64> = (0..repeats.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            for p in points {
+                sink += cpu.evaluate(p).residual_norm();
+            }
+            t0.elapsed().as_secs_f64() / points.len() as f64
+        })
+        .collect();
     std::hint::black_box(sink);
-    best
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
 }
 
+/// Relative tolerance of the **measured** table-shape check: the CPU
+/// time of a bigger row must exceed the smaller row's by more than
+/// measurement noise allows in the other direction. Median-of-5 timing
+/// keeps residual noise in the low percent range; 10% slack makes the
+/// check a property assertion, not a benchmark.
+pub const MEASURED_SHAPE_TOLERANCE: f64 = 0.10;
+
 /// Reproduce one table. `measured_evals` CPU evaluations are timed per
-/// pass (minimum of 3 passes) and scaled to `reported_evals` (the
+/// pass (median of 5 passes) and scaled to `reported_evals` (the
 /// paper times 100,000); the GPU time is the pipeline's modeled
 /// per-evaluation cost times `reported_evals`.
 pub fn run_table(spec: &TableSpec, measured_evals: usize, reported_evals: usize) -> Vec<TableRow> {
@@ -137,7 +148,7 @@ pub fn run_table(spec: &TableSpec, measured_evals: usize, reported_evals: usize)
         // --- CPU: measure the sequential AD algorithm. ---
         let mut cpu = AdEvaluator::new(system.clone()).expect("generator yields uniform systems");
         let points = random_points::<f64>(32, measured_evals.max(1), params.seed ^ 0xAB);
-        let cpu_per_eval = measure_cpu_per_eval(&mut cpu, &points, 3);
+        let cpu_per_eval = measure_cpu_per_eval(&mut cpu, &points, 5);
         // --- GPU: modeled time from the simulated pipeline. ---
         let mut gpu =
             GpuEvaluator::new(&system, GpuOptions::default()).expect("table systems fit the C2050");
@@ -209,15 +220,28 @@ pub fn format_table(spec: &TableSpec, rows: &[TableRow], reported_evals: usize) 
 /// 3. the modeled GPU time grows much slower than the CPU time
 ///    (latency-bound device, the reason speedup rises).
 pub fn table_shape_holds(rows: &[TableRow]) -> bool {
-    let cpu_grows = rows.windows(2).all(|w| w[1].cpu_seconds > w[0].cpu_seconds);
+    table_shape_holds_model(rows) && table_shape_holds_measured(rows)
+}
+
+/// The measured (wall-clock) side of [`table_shape_holds`], with
+/// [`MEASURED_SHAPE_TOLERANCE`] slack per comparison: CPU time grows
+/// with the monomial count, and the modeled GPU time grows slower than
+/// the measured CPU time. A failure here is a *measurement* anomaly
+/// (host noise), never a model regression — the `repro` binary reports
+/// it as a warning and keeps its exit status clean.
+pub fn table_shape_holds_measured(rows: &[TableRow]) -> bool {
+    let tol = 1.0 - MEASURED_SHAPE_TOLERANCE;
+    let cpu_grows = rows
+        .windows(2)
+        .all(|w| w[1].cpu_seconds > w[0].cpu_seconds * tol);
     let gpu_flat = {
         let first = rows.first().map(|r| r.gpu_seconds).unwrap_or(0.0);
         let last = rows.last().map(|r| r.gpu_seconds).unwrap_or(0.0);
         let cpu_ratio = rows.last().map(|r| r.cpu_seconds).unwrap_or(1.0)
             / rows.first().map(|r| r.cpu_seconds).unwrap_or(1.0);
-        last / first < cpu_ratio
+        last / first < cpu_ratio / tol
     };
-    table_shape_holds_model(rows) && cpu_grows && gpu_flat
+    cpu_grows && gpu_flat
 }
 
 /// The wall-clock-free subset of [`table_shape_holds`]: only the
@@ -502,6 +526,102 @@ pub fn format_batch_sweep(total: usize, rows: &[BatchRow]) -> String {
     s
 }
 
+/// One row of the cluster scaling sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterRow {
+    /// Device count.
+    pub d: usize,
+    /// Modeled cluster wall seconds for the batch.
+    pub wall_seconds: f64,
+    /// Modeled cluster throughput (evals/sec on the cluster wall
+    /// clock, which is the max over devices).
+    pub evals_per_sec: f64,
+    /// Throughput relative to the `D = 1` row.
+    pub speedup_vs_d1: f64,
+    /// Seconds stream overlap shaved off the serialized per-device
+    /// model, summed over devices.
+    pub overlap_savings: f64,
+    /// Busiest device wall over mean device wall (1.0 = balanced).
+    pub imbalance: f64,
+}
+
+/// Cluster scaling sweep: evaluate one `P = p`-point batch of a
+/// Table-1-shaped system on `D`-device clusters of identical C2050s
+/// with stream overlap enabled, for each `D` in `ds`. Fully modeled,
+/// hence deterministic.
+pub fn cluster_sweep(
+    total: usize,
+    k: usize,
+    d_exp: u16,
+    p: usize,
+    ds: &[usize],
+) -> Vec<ClusterRow> {
+    use polygpu_cluster::{ClusterOptions, ShardedBatchEvaluator};
+    let params = BenchmarkParams {
+        n: 32,
+        m: total / 32,
+        k,
+        d: d_exp,
+        seed: 0xC105,
+    };
+    let system = random_system::<f64>(&params);
+    let points = random_points::<f64>(32, p, params.seed ^ 0xD);
+    let run = |d: usize| -> (f64, f64, f64, f64) {
+        let specs = vec![DeviceSpec::tesla_c2050(); d];
+        let mut cluster =
+            ShardedBatchEvaluator::new(&system, &specs, p.div_ceil(d), ClusterOptions::default())
+                .expect("sweep systems fit the C2050");
+        let _ = cluster.evaluate_batch(&points);
+        let s = cluster.cluster_stats();
+        (
+            s.wall_seconds,
+            s.throughput_evals_per_sec(),
+            cluster.overlap_savings(),
+            s.imbalance(),
+        )
+    };
+    let raw: Vec<(usize, (f64, f64, f64, f64))> = ds.iter().map(|&d| (d, run(d))).collect();
+    // `speedup_vs_d1` is relative to the D = 1 row when the sweep has
+    // one (the common case), else to a dedicated reference run.
+    let d1_throughput = raw
+        .iter()
+        .find(|(d, _)| *d == 1)
+        .map(|(_, m)| m.1)
+        .unwrap_or_else(|| run(1).1);
+    raw.into_iter()
+        .map(|(d, (wall, tput, savings, imbalance))| ClusterRow {
+            d,
+            wall_seconds: wall,
+            evals_per_sec: tput,
+            speedup_vs_d1: tput / d1_throughput,
+            overlap_savings: savings,
+            imbalance,
+        })
+        .collect()
+}
+
+/// Render the cluster sweep in markdown.
+pub fn format_cluster_sweep(total: usize, p: usize, rows: &[ClusterRow]) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "### Cluster scaling — {total} monomials, P = {p}, identical C2050s, stream overlap on\n\n",
+    ));
+    s.push_str("| D | modeled wall | evals/s | speedup vs D=1 | overlap savings | imbalance |\n");
+    s.push_str("|--:|-------------:|--------:|---------------:|----------------:|----------:|\n");
+    for r in rows {
+        s.push_str(&format!(
+            "| {} | {:.1} us | {:.0} | {:.2} | {:.1} us | {:.2} |\n",
+            r.d,
+            r.wall_seconds * 1e6,
+            r.evals_per_sec,
+            r.speedup_vs_d1,
+            r.overlap_savings * 1e6,
+            r.imbalance
+        ));
+    }
+    s
+}
+
 /// Fixture for the batch benches: a batched evaluator at `capacity`
 /// plus matching random points.
 pub fn batch_fixture(
@@ -608,6 +728,41 @@ mod tests {
         assert!(rows[3].speedup_vs_p1 > 1.0);
         let s = format_batch_sweep(704, &rows);
         assert!(s.contains("| 64 |"));
+    }
+
+    #[test]
+    fn cluster_sweep_scales_and_overlaps() {
+        // The scale-out acceptance at bench level: P = 256 on D = 4
+        // identical devices is at least 3x the D = 1 throughput, with
+        // positive overlap savings and near-perfect balance.
+        let rows = cluster_sweep(128, 9, 2, 256, &[1, 4]);
+        assert_eq!(rows.len(), 2);
+        assert!((rows[0].speedup_vs_d1 - 1.0).abs() < 1e-9);
+        assert!(
+            rows[1].speedup_vs_d1 >= 3.0,
+            "D=4 must scale >= 3x: {rows:?}"
+        );
+        for r in &rows {
+            assert!(r.overlap_savings > 0.0, "overlap modeled: {r:?}");
+            assert!(r.imbalance >= 1.0 && r.imbalance < 1.5, "balanced: {r:?}");
+        }
+        let s = format_cluster_sweep(128, 256, &rows);
+        assert!(s.contains("| 4 |"));
+    }
+
+    #[test]
+    fn measured_shape_check_tolerates_noise() {
+        let mut rows = run_table(&table1_spec(), 5, 1000);
+        // Within-tolerance inversion of the measured CPU column must
+        // not fail the measured check (that is the flake this guards).
+        rows[1].cpu_seconds = rows[0].cpu_seconds * (1.0 - MEASURED_SHAPE_TOLERANCE / 2.0);
+        rows[2].cpu_seconds = rows[0].cpu_seconds * 2.0;
+        assert!(table_shape_holds_measured(&rows));
+        // A gross inversion still fails.
+        rows[1].cpu_seconds = rows[0].cpu_seconds * 0.5;
+        assert!(!table_shape_holds_measured(&rows));
+        // The model-side check ignores the measured column entirely.
+        assert!(table_shape_holds_model(&rows));
     }
 
     #[test]

@@ -1,0 +1,191 @@
+//! Shard planning: which device evaluates which points of a batch.
+//!
+//! A plan is a pure function of the batch size, the per-device
+//! capacities, and the per-device modeled throughput weights — never of
+//! the point values — so the same inputs always shard the same way, and
+//! results can be merged back **in input order** regardless of which
+//! device computed them.
+
+/// How a `P`-point batch is split across `D` devices.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum ShardPolicy {
+    /// Point `i` goes to device `i mod D`. Ignores heterogeneity; the
+    /// baseline policy.
+    RoundRobin,
+    /// Contiguous shards sized proportionally to each device's batch
+    /// capacity (a stand-in for memory-proportional provisioning).
+    #[default]
+    CapacityProportional,
+    /// Deterministic work-stealing simulation: points are dealt in
+    /// fixed-size chunks; each chunk goes to the device whose modeled
+    /// finish time is earliest (using the per-device modeled
+    /// seconds-per-point weight), ties to the lowest device index.
+    /// Adapts to heterogeneous device speeds without randomness.
+    WorkStealing {
+        /// Points handed out per steal; clamped to at least 1.
+        chunk: usize,
+    },
+}
+
+/// Per-device inputs to the planner.
+#[derive(Debug, Clone, Copy)]
+pub struct DeviceWeight {
+    /// Largest batch the device accepts in one call.
+    pub capacity: usize,
+    /// Modeled seconds per point (from the construction-time probe);
+    /// used by [`ShardPolicy::WorkStealing`] to balance heterogeneous
+    /// devices.
+    pub seconds_per_point: f64,
+}
+
+/// The planned shard of one device: original point indices, in
+/// ascending order within each device.
+pub type Shard = Vec<usize>;
+
+/// Split `p` points over the devices. Every index in `0..p` appears in
+/// exactly one shard; shards may be empty (tiny batches on many
+/// devices).
+pub fn plan(policy: ShardPolicy, p: usize, devices: &[DeviceWeight]) -> Vec<Shard> {
+    let d = devices.len();
+    assert!(d >= 1, "cluster needs at least one device");
+    let mut shards: Vec<Shard> = vec![Vec::new(); d];
+    match policy {
+        ShardPolicy::RoundRobin => {
+            for i in 0..p {
+                shards[i % d].push(i);
+            }
+        }
+        ShardPolicy::CapacityProportional => {
+            // Largest-remainder apportionment of p over the capacities,
+            // then contiguous ranges in device order.
+            let total: usize = devices.iter().map(|w| w.capacity).sum();
+            let total = total.max(1);
+            let mut counts: Vec<usize> = devices.iter().map(|w| p * w.capacity / total).collect();
+            let mut assigned: usize = counts.iter().sum();
+            // Distribute the remainder by largest fractional part
+            // (ties to the lowest index, for determinism).
+            let mut order: Vec<usize> = (0..d).collect();
+            order.sort_by_key(|&i| {
+                let rem = p * devices[i].capacity % total;
+                (std::cmp::Reverse(rem), i)
+            });
+            let mut oi = 0;
+            while assigned < p {
+                counts[order[oi % d]] += 1;
+                assigned += 1;
+                oi += 1;
+            }
+            let mut next = 0usize;
+            for (dev, &c) in counts.iter().enumerate() {
+                shards[dev].extend(next..next + c);
+                next += c;
+            }
+        }
+        ShardPolicy::WorkStealing { chunk } => {
+            let chunk = chunk.max(1);
+            let mut finish: Vec<f64> = vec![0.0; d];
+            let mut next = 0usize;
+            while next < p {
+                let take = chunk.min(p - next);
+                // Earliest-finishing device steals the next chunk.
+                let mut best = 0usize;
+                for i in 1..d {
+                    if finish[i] < finish[best] {
+                        best = i;
+                    }
+                }
+                shards[best].extend(next..next + take);
+                finish[best] += take as f64 * devices[best].seconds_per_point.max(1e-30);
+                next += take;
+            }
+        }
+    }
+    shards
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weights(caps: &[usize], spp: &[f64]) -> Vec<DeviceWeight> {
+        caps.iter()
+            .zip(spp)
+            .map(|(&capacity, &seconds_per_point)| DeviceWeight {
+                capacity,
+                seconds_per_point,
+            })
+            .collect()
+    }
+
+    fn assert_partition(shards: &[Shard], p: usize) {
+        let mut seen = vec![false; p];
+        for s in shards {
+            for &i in s {
+                assert!(!seen[i], "index {i} assigned twice");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "some index unassigned");
+    }
+
+    #[test]
+    fn round_robin_deals_cyclically() {
+        let w = weights(&[4, 4, 4], &[1.0, 1.0, 1.0]);
+        let s = plan(ShardPolicy::RoundRobin, 7, &w);
+        assert_eq!(s[0], vec![0, 3, 6]);
+        assert_eq!(s[1], vec![1, 4]);
+        assert_eq!(s[2], vec![2, 5]);
+        assert_partition(&s, 7);
+    }
+
+    #[test]
+    fn capacity_proportional_follows_capacities() {
+        let w = weights(&[64, 32, 32], &[1.0, 1.0, 1.0]);
+        let s = plan(ShardPolicy::CapacityProportional, 128, &w);
+        assert_eq!(s[0].len(), 64);
+        assert_eq!(s[1].len(), 32);
+        assert_eq!(s[2].len(), 32);
+        assert_partition(&s, 128);
+        // Shards are contiguous ranges in device order.
+        assert_eq!(s[0], (0..64).collect::<Vec<_>>());
+        assert_eq!(s[1], (64..96).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn capacity_proportional_handles_indivisible_batches() {
+        let w = weights(&[3, 3], &[1.0, 1.0]);
+        for p in [1usize, 2, 5, 7, 11] {
+            let s = plan(ShardPolicy::CapacityProportional, p, &w);
+            assert_partition(&s, p);
+            let diff = s[0].len().abs_diff(s[1].len());
+            assert!(diff <= 1, "p = {p}: {:?}", s);
+        }
+    }
+
+    #[test]
+    fn work_stealing_favors_fast_devices() {
+        // Device 0 is 3x faster: it should take ~3x the points.
+        let w = weights(&[256, 256], &[1.0, 3.0]);
+        let s = plan(ShardPolicy::WorkStealing { chunk: 4 }, 96, &w);
+        assert_partition(&s, 96);
+        assert!(
+            s[0].len() >= 2 * s[1].len(),
+            "fast device got {} vs {}",
+            s[0].len(),
+            s[1].len()
+        );
+    }
+
+    #[test]
+    fn plans_are_deterministic() {
+        let w = weights(&[8, 16, 4], &[2.0, 1.0, 4.0]);
+        for policy in [
+            ShardPolicy::RoundRobin,
+            ShardPolicy::CapacityProportional,
+            ShardPolicy::WorkStealing { chunk: 2 },
+        ] {
+            assert_eq!(plan(policy, 37, &w), plan(policy, 37, &w));
+            assert_partition(&plan(policy, 37, &w), 37);
+        }
+    }
+}

@@ -31,7 +31,61 @@ use crate::layout::mons::{q_deriv, q_value};
 use crate::pipeline::{GpuOptions, PipelineStats, SetupError};
 use polygpu_complex::{Complex, Real};
 use polygpu_gpusim::prelude::*;
+use polygpu_gpusim::stream::pipeline_timeline;
 use polygpu_polysys::{BatchSystemEvaluator, System, SystemEval, SystemEvaluator, UniformShape};
+use std::fmt;
+
+/// A batch call violated the engine's contract, or a launch failed.
+///
+/// The capacity contract: a [`BatchGpuEvaluator`] sizes its device
+/// buffers for `capacity` points at construction, so one call accepts
+/// `1..=capacity` points, each of dimension `n`. Violations surface
+/// here as typed errors instead of panics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchError {
+    /// `points.len()` exceeds the construction-time capacity.
+    CapacityExceeded { points: usize, capacity: usize },
+    /// The batch was empty.
+    Empty,
+    /// Point `point` has `got` coordinates; the system has dimension
+    /// `expected`.
+    DimensionMismatch {
+        point: usize,
+        got: usize,
+        expected: usize,
+    },
+    /// A kernel launch failed (post-validation this indicates a broken
+    /// internal invariant).
+    Launch(LaunchError),
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BatchError::CapacityExceeded { points, capacity } => {
+                write!(f, "batch of {points} points exceeds capacity {capacity}")
+            }
+            BatchError::Empty => write!(f, "batch is empty"),
+            BatchError::DimensionMismatch {
+                point,
+                got,
+                expected,
+            } => write!(
+                f,
+                "point {point} has dimension {got}, system has dimension {expected}"
+            ),
+            BatchError::Launch(e) => write!(f, "launch failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}
+
+impl From<LaunchError> for BatchError {
+    fn from(e: LaunchError) -> Self {
+        BatchError::Launch(e)
+    }
+}
 
 /// The batched three-kernel evaluator on the simulated device.
 ///
@@ -126,7 +180,10 @@ impl<R: Real> BatchGpuEvaluator<R> {
         // memory, occupancy, block limits) is per block, and a larger
         // point-major grid only adds more identical blocks.
         let probe = vec![vec![Complex::<R>::one(); shape.n]];
-        me.try_evaluate_batch(&probe)?;
+        me.try_evaluate_batch(&probe).map_err(|e| match e {
+            BatchError::Launch(l) => SetupError::Launch(l),
+            other => unreachable!("validation probe is within the batch contract: {other}"),
+        })?;
         me.stats = PipelineStats::default();
         Ok(me)
     }
@@ -170,24 +227,40 @@ impl<R: Real> BatchGpuEvaluator<R> {
 
     /// Evaluate the system and Jacobian at every point of the batch
     /// with one set of three launches.
+    ///
+    /// Contract: `1 <= points.len() <= self.capacity()` and every point
+    /// has dimension `n`; violations return a typed [`BatchError`]
+    /// without touching device state.
     pub fn try_evaluate_batch(
         &mut self,
         points: &[Vec<Complex<R>>],
-    ) -> Result<Vec<SystemEval<R>>, LaunchError> {
+    ) -> Result<Vec<SystemEval<R>>, BatchError> {
         let shape = self.shape;
         let p = points.len();
-        assert!(
-            (1..=self.layout.capacity).contains(&p),
-            "batch of {p} points exceeds capacity {} (or is empty)",
-            self.layout.capacity
-        );
+        if p == 0 {
+            return Err(BatchError::Empty);
+        }
+        if p > self.layout.capacity {
+            return Err(BatchError::CapacityExceeded {
+                points: p,
+                capacity: self.layout.capacity,
+            });
+        }
+        for (i, x) in points.iter().enumerate() {
+            if x.len() != shape.n {
+                return Err(BatchError::DimensionMismatch {
+                    point: i,
+                    got: x.len(),
+                    expected: shape.n,
+                });
+            }
+        }
         // Stage all points into one pitched upload buffer (reused
         // across calls) and ship them in a single transfer.
         self.vars_scratch.clear();
         self.vars_scratch
             .resize(p * self.layout.vars_stride, Complex::zero());
         for (i, x) in points.iter().enumerate() {
-            assert_eq!(x.len(), shape.n, "point {i} dimension mismatch");
             let base = i * self.layout.vars_stride;
             self.vars_scratch[base..base + shape.n].copy_from_slice(x);
         }
@@ -254,14 +327,47 @@ impl<R: Real> BatchGpuEvaluator<R> {
 
         self.stats.evaluations += p as u64;
         self.stats.batches += 1;
-        self.stats.transfer_seconds += transfer;
         self.last_reports.push(r1);
         self.last_reports.push(r2);
         self.last_reports.push(r3);
+        let mut kernel_total = 0.0;
         for r in &self.last_reports {
             self.stats.counters += r.counters;
-            self.stats.kernel_seconds += r.timing.kernel_seconds;
-            self.stats.overhead_seconds += r.timing.overhead_seconds;
+            kernel_total += r.timing.kernel_seconds;
+        }
+        self.stats.kernel_seconds += kernel_total;
+
+        let chunks = self.opts.overlap_chunks.clamp(1, p);
+        if chunks <= 1 {
+            // Original fully-serialized accounting: one upload, three
+            // launches, one download, summed.
+            let overhead = 3.0 * self.device.launch_overhead;
+            self.stats.overhead_seconds += overhead;
+            self.stats.transfer_seconds += transfer;
+            self.stats.wall_seconds += transfer + kernel_total + overhead;
+        } else {
+            // Stream-overlap model: the batch is split into `chunks`
+            // near-equal slices; each slice's upload, three launches and
+            // download are scheduled on a double-buffered timeline, so
+            // transfers hide under the kernels of neighboring slices.
+            // Splitting pays per-chunk PCIe latency and per-chunk launch
+            // overhead — both charged honestly below.
+            let base = p / chunks;
+            let extra = p % chunks;
+            let mut h2d = Vec::with_capacity(chunks);
+            let mut compute = Vec::with_capacity(chunks);
+            let mut d2h = Vec::with_capacity(chunks);
+            for c in 0..chunks {
+                let pc = base + usize::from(c < extra);
+                h2d.push(transfer_seconds(&self.device, pc * shape.n * elem));
+                compute
+                    .push(3.0 * self.device.launch_overhead + kernel_total * pc as f64 / p as f64);
+                d2h.push(transfer_seconds(&self.device, pc * shape.outputs() * elem));
+            }
+            let tl = pipeline_timeline(&h2d, &compute, &d2h, 2);
+            self.stats.overhead_seconds += 3.0 * chunks as f64 * self.device.launch_overhead;
+            self.stats.transfer_seconds += h2d.iter().sum::<f64>() + d2h.iter().sum::<f64>();
+            self.stats.wall_seconds += tl.elapsed_seconds();
         }
         Ok(evals)
     }
@@ -280,10 +386,10 @@ impl<R: Real> SystemEvaluator<R> for BatchGpuEvaluator<R> {
     /// Single-point evaluation as a batch of one. Configuration errors
     /// were ruled out by the validation pass in
     /// [`BatchGpuEvaluator::new`]; a failure here means an internal
-    /// invariant broke, so it panics with the launch error.
+    /// invariant broke, so it panics with the batch error.
     fn evaluate(&mut self, x: &[Complex<R>]) -> SystemEval<R> {
         self.try_evaluate_batch(std::slice::from_ref(&x.to_vec()))
-            .expect("launch validated at construction")
+            .unwrap_or_else(|e| panic!("single-point batch must satisfy the contract: {e}"))
             .pop()
             .expect("batch of one returns one result")
     }
@@ -298,9 +404,12 @@ impl<R: Real> BatchSystemEvaluator<R> for BatchGpuEvaluator<R> {
         self.layout.capacity
     }
 
+    /// Panicking form of [`BatchGpuEvaluator::try_evaluate_batch`]
+    /// (the trait contract makes violations caller bugs); use the
+    /// `try_` method to handle [`BatchError`] values instead.
     fn evaluate_batch(&mut self, points: &[Vec<Complex<R>>]) -> Vec<SystemEval<R>> {
         self.try_evaluate_batch(points)
-            .expect("launch validated at construction")
+            .unwrap_or_else(|e| panic!("evaluate_batch contract violated: {e}"))
     }
 }
 
@@ -503,6 +612,109 @@ mod tests {
         let mut batch = BatchGpuEvaluator::new(&sys, 2, GpuOptions::default()).unwrap();
         let points = random_points::<f64>(4, 3, 9);
         let _ = batch.evaluate_batch(&points);
+    }
+
+    /// Contract violations surface as typed errors from the `try_`
+    /// path, leaving the engine usable.
+    #[test]
+    fn contract_violations_return_typed_errors() {
+        let prm = params(4, 3, 2, 2, 1);
+        let sys = random_system::<f64>(&prm);
+        let mut batch = BatchGpuEvaluator::new(&sys, 2, GpuOptions::default()).unwrap();
+        let points = random_points::<f64>(4, 3, 9);
+        assert_eq!(
+            batch.try_evaluate_batch(&points).unwrap_err(),
+            BatchError::CapacityExceeded {
+                points: 3,
+                capacity: 2
+            }
+        );
+        assert_eq!(
+            batch.try_evaluate_batch(&[]).unwrap_err(),
+            BatchError::Empty
+        );
+        let short = vec![vec![Complex::<f64>::one(); 3]];
+        assert_eq!(
+            batch.try_evaluate_batch(&short).unwrap_err(),
+            BatchError::DimensionMismatch {
+                point: 0,
+                got: 3,
+                expected: 4
+            }
+        );
+        // The engine still works after rejected calls, and rejected
+        // calls cost nothing in the model.
+        assert_eq!(batch.stats().evaluations, 0);
+        let ok = batch.try_evaluate_batch(&points[..2]).unwrap();
+        assert_eq!(ok.len(), 2);
+    }
+
+    /// Stream overlap is a timing-model transformation only: results
+    /// stay bit-identical while the modeled wall clock drops below the
+    /// serialized sum by the overlap saving.
+    #[test]
+    fn overlap_keeps_results_and_shaves_wall_clock() {
+        let prm = params(32, 4, 9, 2, 3);
+        let sys = random_system::<f64>(&prm);
+        let points = random_points::<f64>(32, 64, 99);
+        let mut serial = BatchGpuEvaluator::new(&sys, 64, GpuOptions::default()).unwrap();
+        let mut overlapped = BatchGpuEvaluator::new(
+            &sys,
+            64,
+            GpuOptions {
+                overlap_chunks: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let a = serial.evaluate_batch(&points);
+        let b = overlapped.evaluate_batch(&points);
+        for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+            assert_eq!(x.values, y.values, "point {i}");
+            assert_eq!(x.jacobian.as_slice(), y.jacobian.as_slice(), "point {i}");
+        }
+        let (ss, os) = (serial.stats(), overlapped.stats());
+        assert_eq!(ss.counters, os.counters, "same launches, same counters");
+        assert_eq!(ss.kernel_seconds, os.kernel_seconds);
+        // Serialized accounting: wall == sum (up to summation-order
+        // rounding), no savings.
+        assert!((ss.wall_clock_seconds() - ss.total_seconds()).abs() < 1e-15);
+        assert!(ss.overlap_savings() < 1e-15);
+        // Overlapped: wall < its own serialized sum, savings positive,
+        // and the wall clock beats the non-overlapped wall clock even
+        // though chunking pays extra PCIe latency and launch overhead.
+        assert!(os.wall_clock_seconds() < os.total_seconds());
+        assert!(os.overlap_savings() > 0.0);
+        assert!(
+            os.wall_clock_seconds() < ss.wall_clock_seconds(),
+            "overlap must win at P = 64: {} vs {}",
+            os.wall_clock_seconds(),
+            ss.wall_clock_seconds()
+        );
+        assert!(os.throughput_evals_per_sec() > ss.throughput_evals_per_sec());
+    }
+
+    /// `overlap_chunks` beyond the point count degenerates gracefully
+    /// (clamped to P), and a P = 1 overlapped batch matches the serial
+    /// wall clock.
+    #[test]
+    fn overlap_clamps_to_batch_size() {
+        let prm = params(8, 5, 3, 4, 2);
+        let sys = random_system::<f64>(&prm);
+        let opts = GpuOptions {
+            overlap_chunks: 16,
+            ..Default::default()
+        };
+        let mut batch = BatchGpuEvaluator::new(&sys, 4, opts).unwrap();
+        let mut serial = BatchGpuEvaluator::new(&sys, 4, GpuOptions::default()).unwrap();
+        let points = random_points::<f64>(8, 1, 4);
+        let _ = batch.evaluate_batch(&points);
+        let _ = serial.evaluate_batch(&points);
+        assert_eq!(
+            batch.stats().wall_clock_seconds(),
+            serial.stats().wall_clock_seconds(),
+            "a single point has nothing to overlap with"
+        );
     }
 
     #[test]

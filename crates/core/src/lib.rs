@@ -45,7 +45,7 @@ pub mod kernels;
 pub mod layout;
 pub mod pipeline;
 
-pub use batch::BatchGpuEvaluator;
+pub use batch::{BatchError, BatchGpuEvaluator};
 pub use kernels::batch::BatchLayout;
 pub use layout::encoding::{EncodeError, EncodedSupports, EncodingKind};
 pub use pipeline::{GpuEvaluator, GpuOptions, PipelineStats, SetupError};

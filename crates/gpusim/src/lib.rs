@@ -64,6 +64,7 @@ pub mod kernel;
 pub mod mem;
 pub mod occupancy;
 pub mod stats;
+pub mod stream;
 pub mod timing;
 pub mod trace;
 pub mod value;
@@ -76,6 +77,7 @@ pub mod prelude {
     pub use crate::mem::{BufferId, ConstId, ConstantMemory, ConstantOverflow, GlobalMem};
     pub use crate::occupancy::{occupancy, Limiter, Occupancy};
     pub use crate::stats::Counters;
+    pub use crate::stream::{pipeline_timeline, Engine, Event, Stream, Timeline};
     pub use crate::timing::{transfer_seconds, Bound, LaunchTiming};
     pub use crate::value::DeviceValue;
 }

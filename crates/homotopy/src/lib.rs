@@ -30,6 +30,7 @@ pub mod lockstep;
 pub mod lu;
 pub mod newton;
 pub mod quality;
+pub mod queue;
 pub mod solver;
 pub mod start;
 pub mod tracker;
@@ -45,6 +46,7 @@ pub mod prelude {
     pub use crate::lu::{lu_decompose, solve, LuFactors, SingularMatrix};
     pub use crate::newton::{newton, NewtonParams, NewtonResult, ShiftedEvaluator, StopReason};
     pub use crate::quality::{quality_up_ladder, Precision, QualityUp};
+    pub use crate::queue::{track_queue, PathQueue, QueueResult};
     pub use crate::solver::{solve_total_degree, Root, SolveParams, SolveResult};
     pub use crate::start::StartSystem;
     pub use crate::tracker::{track, PathPoint, TrackOutcome, TrackParams, TrackResult};

@@ -227,14 +227,31 @@ impl<R: Real, EG: BatchSystemEvaluator<R>, EF: BatchSystemEvaluator<R>> BatchHom
         points: &[Vec<Complex<R>>],
         t: R,
     ) -> Vec<(SystemEval<R>, Vec<Complex<R>>)> {
+        self.eval_batch_at_each(points, &vec![t; points.len()])
+    }
+
+    /// Like [`BatchHomotopy::eval_batch_at`], but with a **per-point**
+    /// `t` — the evaluation the path-queue scheduler needs, where every
+    /// slot tracks its own front position. The device part (`G` and `F`
+    /// evaluations) is `t`-independent, so mixed-`t` batches still cost
+    /// one batched round trip per endpoint; only the host-side
+    /// combination differs per point, with arithmetic identical to
+    /// [`crate::homotopy::Homotopy::eval_at`] at that point's `t`.
+    pub fn eval_batch_at_each(
+        &mut self,
+        points: &[Vec<Complex<R>>],
+        ts: &[R],
+    ) -> Vec<(SystemEval<R>, Vec<Complex<R>>)> {
+        assert_eq!(points.len(), ts.len(), "one t per point");
         let n = self.dim();
         let ges = self.g.evaluate_batch(points);
         let fes = self.f.evaluate_batch(points);
-        let one_minus_t = R::one() - t;
-        let gscale = self.gamma.scale(one_minus_t);
         ges.into_iter()
             .zip(fes)
-            .map(|(ge, fe)| {
+            .zip(ts)
+            .map(|((ge, fe), &t)| {
+                let one_minus_t = R::one() - t;
+                let gscale = self.gamma.scale(one_minus_t);
                 let mut values = Vec::with_capacity(n);
                 let mut dt = Vec::with_capacity(n);
                 for i in 0..n {

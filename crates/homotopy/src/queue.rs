@@ -1,0 +1,554 @@
+//! Path-queue scheduling: full-occupancy multi-path tracking.
+//!
+//! [`crate::lockstep::track_lockstep`] drives a *shrinking front*: all
+//! paths share one `t` and one step size, and every retired path leaves
+//! its batch slot empty for the rest of the run — on a 10k-path run the
+//! batch (and with it every device shard) drains toward idle. This
+//! module replaces the front with a **queue**: a fixed number of slots
+//! (sized to the evaluator's batch capacity) each track one path with
+//! its *own* `t` and adaptive step size; whenever a slot finishes —
+//! success or failure — it immediately **refills** from the pending
+//! queue, so every batched round trip stays at full occupancy until the
+//! queue drains.
+//!
+//! Scheduling is a performance transformation only: each slot replays
+//! the *exact* control flow and arithmetic of the single-path tracker
+//! ([`crate::tracker::track`] with [`crate::newton::newton`] as
+//! corrector), one evaluation per scheduler round, so every path's
+//! trajectory — and endpoint — is **bit-for-bit** the trajectory the
+//! single-path tracker produces, independent of the slot count, the
+//! batch composition, or how many devices the evaluator shards over.
+
+use crate::lockstep::{BatchHomotopy, LockstepPath};
+use crate::lu::lu_decompose;
+use crate::tracker::{TrackOutcome, TrackParams};
+use polygpu_complex::{Complex, Real};
+use polygpu_polysys::{BatchSystemEvaluator, SystemEval};
+use std::collections::VecDeque;
+
+fn max_norm<R: Real>(v: &[Complex<R>]) -> f64 {
+    v.iter().map(|z| z.abs().to_f64()).fold(0.0, f64::max)
+}
+
+/// Pending paths waiting for a slot: start points in submission order.
+#[derive(Debug, Clone, Default)]
+pub struct PathQueue<R> {
+    pending: VecDeque<(usize, Vec<Complex<R>>)>,
+}
+
+impl<R: Real> PathQueue<R> {
+    /// Queue `starts` in order; indices identify paths in the result.
+    pub fn from_starts(starts: &[Vec<Complex<R>>]) -> Self {
+        PathQueue {
+            pending: starts.iter().cloned().enumerate().collect(),
+        }
+    }
+
+    /// Next `(path index, start point)`, if any.
+    pub fn pop(&mut self) -> Option<(usize, Vec<Complex<R>>)> {
+        self.pending.pop_front()
+    }
+
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+/// Result of a path-queue run.
+#[derive(Debug, Clone)]
+pub struct QueueResult<R> {
+    /// Per-path endpoints, in start order.
+    pub paths: Vec<LockstepPath<R>>,
+    /// Scheduler rounds (one batched evaluation of all occupied slots
+    /// each).
+    pub rounds: usize,
+    /// Batched device round trips issued (`>= rounds` when the slot
+    /// count exceeds the evaluator capacity and rounds chunk).
+    pub batch_rounds: usize,
+    /// Slots refilled from the queue after a path finished.
+    pub refills: usize,
+    /// Sum over rounds of occupied slots — the numerator of
+    /// [`QueueResult::occupancy`].
+    pub point_rounds: usize,
+    /// Slots the scheduler ran with.
+    pub slots: usize,
+    pub steps_accepted: usize,
+    pub steps_rejected: usize,
+    /// Total corrector iterations summed over paths (identical to the
+    /// sum over single-path [`crate::tracker::track`] runs).
+    pub corrector_iterations: usize,
+}
+
+impl<R: Real> QueueResult<R> {
+    pub fn successes(&self) -> usize {
+        self.paths.iter().filter(|p| p.success()).count()
+    }
+
+    /// Mean slot occupancy over the run: `1.0` means every round ran a
+    /// full batch. The shrinking-front tracker degrades toward `1/slots`
+    /// as paths retire; the queue stays near `1.0` until it drains.
+    pub fn occupancy(&self) -> f64 {
+        if self.rounds == 0 || self.slots == 0 {
+            0.0
+        } else {
+            self.point_rounds as f64 / (self.rounds * self.slots) as f64
+        }
+    }
+}
+
+/// What a slot does with its next evaluation.
+#[derive(Clone, Copy, PartialEq)]
+enum Phase {
+    /// Euler predictor at `(x, t)`.
+    Predict,
+    /// Newton corrector iteration `iter` at `(y, t_new)`.
+    Correct { iter: usize },
+    /// The corrector's final residual check after a step-tolerance
+    /// stop (mirrors `newton`'s extra evaluation), with the iteration
+    /// count it will report.
+    FinalCheck { iterations: usize },
+}
+
+struct Slot<R> {
+    path: usize,
+    /// Last accepted point.
+    x: Vec<Complex<R>>,
+    /// Corrector iterate (valid in `Correct`/`FinalCheck`).
+    y: Vec<Complex<R>>,
+    t: f64,
+    dt: f64,
+    t_new: f64,
+    dt_clamped: f64,
+    /// Completed predictor-corrector attempts.
+    attempts: usize,
+    phase: Phase,
+}
+
+impl<R: Real> Slot<R> {
+    fn start(path: usize, x0: Vec<Complex<R>>, params: &TrackParams) -> Self {
+        Slot {
+            path,
+            x: x0,
+            y: Vec::new(),
+            t: 0.0,
+            dt: params.initial_dt,
+            t_new: 0.0,
+            dt_clamped: 0.0,
+            attempts: 0,
+            phase: Phase::Predict,
+        }
+    }
+
+    /// The point and `t` of this slot's next evaluation.
+    fn request(&self) -> (&Vec<Complex<R>>, f64) {
+        match self.phase {
+            Phase::Predict => (&self.x, self.t),
+            Phase::Correct { .. } | Phase::FinalCheck { .. } => (&self.y, self.t_new),
+        }
+    }
+}
+
+/// A finished path, to be recorded and its slot refilled.
+struct Finished<R> {
+    path: usize,
+    outcome: TrackOutcome,
+    x: Vec<Complex<R>>,
+    t: f64,
+}
+
+/// Track every start through `h` with a queue-fed slot front of
+/// `slots` paths (`0` sizes the front to the evaluator capacity,
+/// clamped to the number of starts).
+///
+/// Per path, control flow and arithmetic replicate
+/// [`crate::tracker::track`] exactly — each scheduler round performs
+/// precisely one evaluation per occupied slot (a predictor, one Newton
+/// corrector iteration, or the corrector's final residual check), all
+/// gathered into one batched evaluation — so with a bit-exact batch
+/// evaluator the endpoints equal the single-path tracker's bit for bit,
+/// for **any** slot count and **any** device sharding underneath.
+pub fn track_queue<R: Real, EG, EF>(
+    h: &mut BatchHomotopy<R, EG, EF>,
+    starts: &[Vec<Complex<R>>],
+    params: TrackParams,
+    slots: usize,
+) -> QueueResult<R>
+where
+    EG: BatchSystemEvaluator<R>,
+    EF: BatchSystemEvaluator<R>,
+{
+    let n_paths = starts.len();
+    let cap = h.max_batch().max(1);
+    let slots = if slots == 0 { cap } else { slots }.min(n_paths.max(1));
+    let mut queue = PathQueue::from_starts(starts);
+    let mut front: Vec<Option<Slot<R>>> = (0..slots)
+        .map(|_| queue.pop().map(|(i, x0)| Slot::start(i, x0, &params)))
+        .collect();
+    let mut results: Vec<Option<LockstepPath<R>>> = (0..n_paths).map(|_| None).collect();
+
+    let mut rounds = 0usize;
+    let mut batch_rounds = 0usize;
+    let mut refills = 0usize;
+    let mut point_rounds = 0usize;
+    let mut accepted = 0usize;
+    let mut rejected = 0usize;
+    let mut corrector_iters = 0usize;
+
+    loop {
+        let occupied: Vec<usize> = (0..slots).filter(|&s| front[s].is_some()).collect();
+        if occupied.is_empty() {
+            break;
+        }
+        rounds += 1;
+        point_rounds += occupied.len();
+
+        // One evaluation per occupied slot, at that slot's own point
+        // and t, batched (and chunked by the evaluator capacity).
+        let mut points: Vec<Vec<Complex<R>>> = Vec::with_capacity(occupied.len());
+        let mut ts: Vec<R> = Vec::with_capacity(occupied.len());
+        for &s in &occupied {
+            let (x, t) = front[s].as_ref().expect("occupied").request();
+            points.push(x.clone());
+            ts.push(R::from_f64(t));
+        }
+        let mut evals: Vec<(SystemEval<R>, Vec<Complex<R>>)> = Vec::with_capacity(points.len());
+        let mut base = 0usize;
+        while base < points.len() {
+            let end = (base + cap).min(points.len());
+            evals.extend(h.eval_batch_at_each(&points[base..end], &ts[base..end]));
+            batch_rounds += 1;
+            base = end;
+        }
+
+        let mut finished: Vec<Finished<R>> = Vec::new();
+        for (&s, (eval, dt_vec)) in occupied.iter().zip(evals) {
+            let slot = front[s].as_mut().expect("occupied");
+            // The corrector's verdict for this attempt, if it ended.
+            let mut corrector_done: Option<(bool, usize)> = None;
+            match slot.phase {
+                Phase::Predict => {
+                    // Euler predictor: J_H dx = -dH/dt at (x, t); a
+                    // singular Jacobian retires the path, as in `track`.
+                    slot.dt_clamped = slot.dt.min(1.0 - slot.t);
+                    slot.t_new = slot.t + slot.dt_clamped;
+                    match lu_decompose(eval.jacobian) {
+                        Ok(lu) => {
+                            let rhs: Vec<Complex<R>> = dt_vec.iter().map(|v| -*v).collect();
+                            let dxdt = lu.solve(&rhs);
+                            slot.y = slot
+                                .x
+                                .iter()
+                                .zip(&dxdt)
+                                .map(|(xi, di)| *xi + di.scale(R::from_f64(slot.dt_clamped)))
+                                .collect();
+                            slot.phase = Phase::Correct { iter: 0 };
+                        }
+                        Err(_) => {
+                            finished.push(Finished {
+                                path: slot.path,
+                                outcome: TrackOutcome::SingularJacobian {
+                                    at_t: format!("{:.6}", slot.t),
+                                },
+                                x: std::mem::take(&mut slot.x),
+                                t: slot.t,
+                            });
+                            front[s] = None;
+                        }
+                    }
+                }
+                Phase::Correct { iter } => {
+                    // One `newton` iteration at (y, t_new).
+                    let resid = max_norm(&eval.values);
+                    if resid < params.corrector.residual_tol {
+                        corrector_done = Some((true, iter));
+                    } else {
+                        let rhs: Vec<Complex<R>> = eval.values.iter().map(|v| -*v).collect();
+                        match lu_decompose(eval.jacobian) {
+                            Ok(lu) => {
+                                let dx = lu.solve(&rhs);
+                                for (yi, di) in slot.y.iter_mut().zip(&dx) {
+                                    *yi += *di;
+                                }
+                                let last_step = max_norm(&dx);
+                                if last_step < params.corrector.step_tol {
+                                    slot.phase = Phase::FinalCheck {
+                                        iterations: iter + 1,
+                                    };
+                                } else if iter + 1 >= params.corrector.max_iters {
+                                    corrector_done = Some((false, params.corrector.max_iters));
+                                } else {
+                                    slot.phase = Phase::Correct { iter: iter + 1 };
+                                }
+                            }
+                            Err(_) => {
+                                corrector_done = Some((false, iter));
+                            }
+                        }
+                    }
+                }
+                Phase::FinalCheck { iterations } => {
+                    // `newton`'s post-step-tolerance residual check.
+                    let final_resid = max_norm(&eval.values);
+                    corrector_done = Some((
+                        final_resid < params.corrector.residual_tol * 1e3,
+                        iterations,
+                    ));
+                }
+            }
+
+            if let Some((converged, iterations)) = corrector_done {
+                corrector_iters += iterations;
+                let slot = front[s].as_mut().expect("occupied");
+                if converged {
+                    std::mem::swap(&mut slot.x, &mut slot.y);
+                    slot.t = slot.t_new;
+                    accepted += 1;
+                    if iterations <= params.easy_iters {
+                        slot.dt = (slot.dt * params.grow).min(params.max_dt);
+                    }
+                } else {
+                    rejected += 1;
+                    slot.dt *= 0.5;
+                }
+                slot.attempts += 1;
+                // `track`'s loop structure: step-underflow retires the
+                // path; otherwise the success check runs at the top of
+                // the next iteration — which exists only while the
+                // attempt budget lasts.
+                let outcome = if !converged && slot.dt < params.min_dt {
+                    Some(TrackOutcome::StepUnderflow {
+                        at_t: format!("{:.6}", slot.t),
+                    })
+                } else if slot.t >= 1.0 {
+                    Some(if slot.attempts < params.max_steps {
+                        TrackOutcome::Success
+                    } else {
+                        TrackOutcome::StepLimit
+                    })
+                } else if slot.attempts >= params.max_steps {
+                    Some(TrackOutcome::StepLimit)
+                } else {
+                    slot.phase = Phase::Predict;
+                    None
+                };
+                if let Some(outcome) = outcome {
+                    finished.push(Finished {
+                        path: slot.path,
+                        outcome,
+                        x: std::mem::take(&mut slot.x),
+                        t: slot.t,
+                    });
+                    front[s] = None;
+                }
+            }
+        }
+
+        // Record finished paths and refill their slots immediately, so
+        // the next round runs at full occupancy again.
+        for f in finished {
+            results[f.path] = Some(LockstepPath {
+                outcome: f.outcome,
+                x: f.x,
+                t: f.t,
+            });
+        }
+        for slot in front.iter_mut() {
+            if slot.is_none() {
+                if let Some((i, x0)) = queue.pop() {
+                    *slot = Some(Slot::start(i, x0, &params));
+                    refills += 1;
+                }
+            }
+        }
+    }
+
+    QueueResult {
+        paths: results
+            .into_iter()
+            .map(|p| p.expect("every queued path finishes"))
+            .collect(),
+        rounds,
+        batch_rounds,
+        refills,
+        point_rounds,
+        slots,
+        steps_accepted: accepted,
+        steps_rejected: rejected,
+        corrector_iterations: corrector_iters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::homotopy::Homotopy;
+    use crate::start::StartSystem;
+    use crate::tracker::{track, TrackParams};
+    use polygpu_complex::C64;
+    use polygpu_polysys::{random_system, AdEvaluator, BenchmarkParams, SingleBatch};
+
+    fn fixture(
+        seed: u64,
+        n_paths: u128,
+    ) -> (polygpu_polysys::System<f64>, StartSystem, Vec<Vec<C64>>) {
+        let params = BenchmarkParams {
+            n: 2,
+            m: 2,
+            k: 2,
+            d: 2,
+            seed,
+        };
+        let sys = random_system::<f64>(&params);
+        let start = StartSystem::uniform(2, 2);
+        let starts: Vec<Vec<C64>> = (0..n_paths).map(|i| start.solution_by_index(i)).collect();
+        (sys, start, starts)
+    }
+
+    /// The defining property: for every slot count, each path's
+    /// endpoint, outcome and final t are **bit-for-bit** what the
+    /// single-path tracker produces, and the aggregate step counts are
+    /// the sums over the single-path runs.
+    #[test]
+    fn queue_is_bitwise_identical_to_per_path_tracking() {
+        let (sys, start, starts) = fixture(3, 4);
+        let params = TrackParams::default();
+
+        // Reference: one `track` run per path.
+        let mut want = Vec::new();
+        let (mut sum_acc, mut sum_rej, mut sum_corr) = (0usize, 0usize, 0usize);
+        for x0 in &starts {
+            let f = AdEvaluator::new(sys.clone()).unwrap();
+            let mut h = Homotopy::with_random_gamma(start.clone(), f, 7);
+            let r = track(&mut h, x0, params);
+            sum_acc += r.steps_accepted;
+            sum_rej += r.steps_rejected;
+            sum_corr += r.corrector_iterations;
+            want.push(r);
+        }
+
+        for slots in [1usize, 2, 3, 4, 7] {
+            let mut h = BatchHomotopy::with_random_gamma(
+                SingleBatch(start.clone()),
+                SingleBatch(AdEvaluator::new(sys.clone()).unwrap()),
+                7,
+            );
+            let r = track_queue(&mut h, &starts, params, slots);
+            assert_eq!(r.paths.len(), starts.len());
+            for (i, (got, w)) in r.paths.iter().zip(&want).enumerate() {
+                assert_eq!(got.outcome, w.outcome, "outcome, path {i}, slots {slots}");
+                assert_eq!(got.x, w.end().x, "endpoint, path {i}, slots {slots}");
+                assert_eq!(got.t, w.end().t, "final t, path {i}, slots {slots}");
+            }
+            assert_eq!(r.steps_accepted, sum_acc, "slots {slots}");
+            assert_eq!(r.steps_rejected, sum_rej, "slots {slots}");
+            assert_eq!(r.corrector_iterations, sum_corr, "slots {slots}");
+        }
+    }
+
+    /// Refilling keeps the front full: with more paths than slots, the
+    /// queue refills every freed slot and mean occupancy stays high.
+    #[test]
+    fn queue_refills_and_stays_occupied() {
+        let (sys, start, starts) = fixture(3, 8);
+        let slots = 2;
+        let mut h = BatchHomotopy::with_random_gamma(
+            SingleBatch(start.clone()),
+            SingleBatch(AdEvaluator::new(sys).unwrap()),
+            7,
+        );
+        let r = track_queue(&mut h, &starts, TrackParams::default(), slots);
+        assert_eq!(r.slots, slots);
+        assert_eq!(
+            r.refills,
+            starts.len() - slots,
+            "every path beyond the initial front is a refill"
+        );
+        // Only the drain tail (queue empty, slots finishing at
+        // different times) runs below full occupancy.
+        assert!(
+            r.occupancy() > 0.8,
+            "queue scheduling must keep slots busy: occupancy {:.3}",
+            r.occupancy()
+        );
+        assert_eq!(r.successes() + (r.paths.len() - r.successes()), 8);
+        assert!(r.batch_rounds >= r.rounds);
+    }
+
+    /// `slots = 0` sizes the front to the evaluator capacity; capacity
+    /// smaller than the front chunks the round into several device
+    /// trips without changing any result.
+    #[test]
+    fn default_slots_and_chunking_match() {
+        let (sys, start, starts) = fixture(11, 4);
+        let params = TrackParams::default();
+        let mut h_all = BatchHomotopy::with_random_gamma(
+            SingleBatch(start.clone()),
+            SingleBatch(AdEvaluator::new(sys.clone()).unwrap()),
+            5,
+        );
+        let all = track_queue(&mut h_all, &starts, params, 0);
+        assert_eq!(
+            all.slots,
+            starts.len(),
+            "capacity-sized front clamps to paths"
+        );
+
+        let mut h_small = BatchHomotopy::with_random_gamma(
+            SingleBatch(start.clone()),
+            SingleBatch(AdEvaluator::new(sys).unwrap()),
+            5,
+        );
+        let small = track_queue(&mut h_small, &starts, params, 3);
+        for (a, b) in all.paths.iter().zip(&small.paths) {
+            assert_eq!(a.x, b.x);
+            assert_eq!(a.outcome, b.outcome);
+        }
+    }
+
+    /// Impossible tolerances underflow the step and retire every path,
+    /// mirroring the single-path tracker's outcome.
+    #[test]
+    fn impossible_tolerance_underflows() {
+        let (sys, start, starts) = fixture(3, 2);
+        let params = TrackParams {
+            corrector: crate::newton::NewtonParams {
+                residual_tol: 1e-300,
+                step_tol: 1e-300,
+                max_iters: 2,
+            },
+            ..Default::default()
+        };
+        let mut h = BatchHomotopy::with_random_gamma(
+            SingleBatch(start.clone()),
+            SingleBatch(AdEvaluator::new(sys.clone()).unwrap()),
+            11,
+        );
+        let r = track_queue(&mut h, &starts, params, 2);
+        assert_eq!(r.successes(), 0);
+        assert!(r.steps_rejected > 0);
+        for (i, (p, x0)) in r.paths.iter().zip(&starts).enumerate() {
+            let f = AdEvaluator::new(sys.clone()).unwrap();
+            let mut h1 = Homotopy::with_random_gamma(start.clone(), f, 11);
+            let w = track(&mut h1, x0, params);
+            assert_eq!(p.outcome, w.outcome, "path {i}");
+        }
+    }
+
+    #[test]
+    fn empty_queue_is_a_no_op() {
+        let (sys, start, _) = fixture(3, 2);
+        let mut h = BatchHomotopy::with_random_gamma(
+            SingleBatch(start),
+            SingleBatch(AdEvaluator::new(sys).unwrap()),
+            7,
+        );
+        let r = track_queue(&mut h, &[], TrackParams::default(), 4);
+        assert!(r.paths.is_empty());
+        assert_eq!(r.rounds, 0);
+        assert_eq!(r.occupancy(), 0.0);
+    }
+}

@@ -224,13 +224,27 @@ pub trait SystemEvaluator<R: Real> {
 /// [`SystemEvaluator::evaluate`] point-wise: `evaluate_batch(points)[i]`
 /// must equal `evaluate(&points[i])` **bit for bit** — batching is a
 /// performance transformation, never a numerical one.
+///
+/// # Capacity contract
+///
+/// Implementations size their resources (e.g. device buffers) for at
+/// most [`BatchSystemEvaluator::max_batch`] points; one call must
+/// satisfy `1 <= points.len() <= max_batch()` with every point of
+/// dimension [`SystemEvaluator::dim`]. A violating call is a **caller
+/// bug**: `evaluate_batch` may panic on it. Implementations that can
+/// report violations gracefully expose a `try_`-prefixed variant
+/// returning a typed error (e.g. `BatchGpuEvaluator::try_evaluate_batch`
+/// and `ShardedBatchEvaluator::try_evaluate_batch`); drivers that loop
+/// batches of caller-controlled size should prefer those. Callers with
+/// more than `max_batch()` points split into chunks (as the lockstep
+/// and path-queue trackers do).
 pub trait BatchSystemEvaluator<R: Real>: SystemEvaluator<R> {
     /// Largest number of points one `evaluate_batch` call accepts.
     fn max_batch(&self) -> usize;
 
     /// Evaluate values and Jacobian at every point of the batch
     /// (`1 <= points.len() <= self.max_batch()`, each of length
-    /// `self.dim()`).
+    /// `self.dim()` — see the capacity contract above).
     fn evaluate_batch(&mut self, points: &[Vec<Complex<R>>]) -> Vec<SystemEval<R>>;
 }
 

@@ -18,6 +18,7 @@
 //! | [`polysys`] | sparse polynomial systems, generators, CPU evaluators |
 //! | [`gpusim`] | the trace-based SIMT GPU simulator |
 //! | [`core`] | **the paper's contribution**: the three kernels + pipeline |
+//! | [`cluster`] | multi-device sharding with stream-overlapped transfers |
 //! | [`homotopy`] | Newton's method and path tracking on top |
 //!
 //! ## Quickstart
@@ -45,6 +46,7 @@
 //!          gpu.stats().seconds_per_eval() * 1e6);
 //! ```
 
+pub use polygpu_cluster as cluster;
 pub use polygpu_complex as complex;
 pub use polygpu_core as core;
 pub use polygpu_gpusim as gpusim;
@@ -54,9 +56,12 @@ pub use polygpu_qd as qd;
 
 /// Everything a typical user needs in one import.
 pub mod prelude {
+    pub use polygpu_cluster::{ClusterOptions, ClusterStats, ShardPolicy, ShardedBatchEvaluator};
     pub use polygpu_complex::{CDd, CMat, CQd, Complex, C64};
     pub use polygpu_core::pipeline::{GpuEvaluator, GpuOptions, PipelineStats};
-    pub use polygpu_core::{BatchGpuEvaluator, BatchLayout, EncodeError, EncodingKind, SetupError};
+    pub use polygpu_core::{
+        BatchError, BatchGpuEvaluator, BatchLayout, EncodeError, EncodingKind, SetupError,
+    };
     pub use polygpu_gpusim::prelude::{
         Bound, Counters, DeviceSpec, LaunchConfig, LaunchOptions, LaunchReport,
     };
