@@ -10,6 +10,7 @@
 //! repro ablate-layout       A2: Mons layout vs row-major summation
 //! repro batch               B1: batched engine sweep over P in {1,4,16,64,256}
 //! repro cluster             C1: multi-device scaling over D in {1,2,4,8} at P = 256
+//! repro session             S1: multi-system residency table and setup amortization
 //! repro multicore           multicore quality-up (companion experiment)
 //! repro dims                working-dimension feasibility sweep (sections 3.1-3.2)
 //! repro all [--full]        everything above, in order
@@ -54,6 +55,7 @@ fn main() -> ExitCode {
         "ablate-layout" => ablate_layout(),
         "batch" => batch(),
         "cluster" => cluster(&mut model_ok),
+        "session" => session(&mut model_ok),
         "multicore" => multicore(),
         "dims" => dims(),
         "all" => {
@@ -68,6 +70,7 @@ fn main() -> ExitCode {
             ablate_layout();
             batch();
             cluster(&mut model_ok);
+            session(&mut model_ok);
             if !model_only {
                 multicore();
             }
@@ -154,6 +157,25 @@ fn cluster(model_ok: &mut bool) {
          over devices; stream overlap hides each shard's PCIe transfers under\n\
          its kernels (double-buffered uploads), shaving the savings column off\n\
          the serialized sum. Imbalance 1.0 = every device equally busy.\n"
+    );
+}
+
+fn session(model_ok: &mut bool) {
+    let report = session_residency(4);
+    println!("{}", format_session(&report));
+    let bar = report.amortization.steady_state_ratio >= 5.0;
+    if !bar {
+        *model_ok = false;
+    }
+    println!(
+        "residency check (resident stage >= 5x cheaper than re-encoding): {}",
+        if bar { "PASS" } else { "FAIL" }
+    );
+    println!(
+        "model: all resident systems' supports live in constant memory at once\n\
+         (joint budget enforced at load), so switching the active system is one\n\
+         modeled command-queue round trip instead of re-uploading supports and\n\
+         coefficients and re-running the validation probe.\n"
     );
 }
 

@@ -622,6 +622,111 @@ pub fn format_cluster_sweep(total: usize, p: usize, rows: &[ClusterRow]) -> Stri
     s
 }
 
+/// The multi-system residency report behind `repro session`.
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    /// One row per resident system (label, monomials, constant bytes,
+    /// modeled setup seconds, activations).
+    pub rows: Vec<polygpu_core::ResidencyRow>,
+    /// Setup-cost accounting against the re-encode-every-stage
+    /// baseline.
+    pub amortization: polygpu_core::SessionAmortization,
+    /// Bytes of the shared constant arena in use.
+    pub constant_used: usize,
+    /// The device's constant-memory budget.
+    pub constant_budget: usize,
+    /// Modeled cost of one system switch, seconds.
+    pub switch_seconds: f64,
+}
+
+/// S1: multi-system residency. Three homotopy-stage systems (Table-1
+/// shaped, growing monomial counts) co-reside in one device's constant
+/// memory through an `engine::Session`; the stage sequence cycles
+/// through them `rounds` times with a batched evaluation per stage.
+/// Fully modeled, hence deterministic. The acceptance bar — a resident
+/// stage costs ≥ 5× less than re-encoding its system — is
+/// `amortization.steady_state_ratio`.
+pub fn session_residency(rounds: usize) -> SessionReport {
+    use polygpu_core::{Backend, Engine};
+    let builder = Engine::builder().backend(Backend::GpuBatch { capacity: 8 });
+    let mut session = builder
+        .session::<f64>()
+        .expect("GPU backend opens a session");
+    let stages: Vec<(String, _)> = [(352usize, 1u64), (704, 2), (1024, 3)]
+        .iter()
+        .map(|&(total, seed)| {
+            let params = BenchmarkParams {
+                n: 32,
+                m: total / 32,
+                k: 9,
+                d: 2,
+                seed: 0x5E55 + seed,
+            };
+            (format!("stage-{total}"), random_system::<f64>(&params))
+        })
+        .collect();
+    let ids: Vec<_> = stages
+        .iter()
+        .map(|(label, sys)| {
+            session
+                .load(label, sys)
+                .expect("three Table-1-shaped systems co-reside")
+        })
+        .collect();
+    let points = random_points::<f64>(32, 4, 0xABC);
+    for _ in 0..rounds {
+        for &id in &ids {
+            let engine = session.activate(id);
+            let evals = engine
+                .try_evaluate_batch(&points)
+                .expect("resident engines evaluate");
+            assert_eq!(evals.len(), points.len());
+        }
+    }
+    SessionReport {
+        rows: session.residency(),
+        amortization: session.amortization(),
+        constant_used: session.constant_bytes_used(),
+        constant_budget: session.constant_budget(),
+        switch_seconds: session.switch_seconds(),
+    }
+}
+
+/// Render the residency report in markdown.
+pub fn format_session(report: &SessionReport) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "### S1 — multi-system residency ({} systems share {} of {} constant-memory bytes)\n\n",
+        report.rows.len(),
+        report.constant_used,
+        report.constant_budget
+    ));
+    s.push_str("| system | monomials | constant bytes | setup (modeled) | activations | switch (modeled) |\n");
+    s.push_str("|--------|----------:|---------------:|----------------:|------------:|-----------------:|\n");
+    for r in &report.rows {
+        s.push_str(&format!(
+            "| {} | {} | {} | {:.1} us | {} | {:.1} us |\n",
+            r.label,
+            r.monomials,
+            r.constant_bytes,
+            r.setup_seconds * 1e6,
+            r.activations,
+            report.switch_seconds * 1e6
+        ));
+    }
+    let am = &report.amortization;
+    s.push_str(&format!(
+        "\nstages: {} | session setup cost: {:.1} us | re-encode baseline: {:.1} us \
+         | per-stage amortization: {:.1}x (cumulative {:.1}x)\n",
+        am.stages,
+        am.session_seconds * 1e6,
+        am.reencode_seconds * 1e6,
+        am.steady_state_ratio,
+        am.cumulative_ratio()
+    ));
+    s
+}
+
 /// Fixture for the batch benches: a batched evaluator at `capacity`
 /// plus matching random points.
 pub fn batch_fixture(
@@ -763,6 +868,30 @@ mod tests {
         assert!(!table_shape_holds_measured(&rows));
         // The model-side check ignores the measured column entirely.
         assert!(table_shape_holds_model(&rows));
+    }
+
+    /// The residency acceptance: once a system is resident, a homotopy
+    /// stage pays ≥ 5x less modeled setup cost than re-encoding, and
+    /// the constant-memory accounting is explicit and within budget.
+    #[test]
+    fn session_residency_amortizes_setup_5x() {
+        let report = session_residency(4);
+        assert_eq!(report.rows.len(), 3);
+        assert!(report.constant_used <= report.constant_budget);
+        assert_eq!(
+            report.constant_used,
+            report.rows.iter().map(|r| r.constant_bytes).sum::<usize>()
+        );
+        assert_eq!(report.amortization.stages, 12);
+        assert!(
+            report.amortization.steady_state_ratio >= 5.0,
+            "per-stage amortization below 5x: {:.2}",
+            report.amortization.steady_state_ratio
+        );
+        assert!(report.amortization.cumulative_ratio() > 1.0);
+        let s = format_session(&report);
+        assert!(s.contains("stage-1024"));
+        assert!(s.contains("per-stage amortization"));
     }
 
     #[test]

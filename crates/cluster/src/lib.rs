@@ -41,6 +41,10 @@ pub mod shard;
 pub use shard::{plan, DeviceWeight, Shard, ShardPolicy};
 
 use polygpu_complex::{Complex, Real};
+use polygpu_core::engine::{
+    AnyEvaluator, BuildError, ClusterPolicy, ClusterProvider, ClusterSpec, Engine, EngineBuilder,
+    EngineCaps,
+};
 use polygpu_core::pipeline::{GpuOptions, PipelineStats, SetupError};
 use polygpu_core::{BatchError, BatchGpuEvaluator};
 use polygpu_gpusim::prelude::DeviceSpec;
@@ -53,8 +57,10 @@ pub struct ClusterOptions {
     /// How batches are split across devices.
     pub policy: ShardPolicy,
     /// Per-device stream-overlap chunking (see
-    /// [`GpuOptions::overlap_chunks`]); `1` disables overlap.
-    pub overlap_chunks: usize,
+    /// [`GpuOptions::overlap_chunks`]); `Some(1)` disables overlap,
+    /// `None` lets every device pick its chunk count adaptively from
+    /// the modeled kernel/transfer ratio.
+    pub overlap_chunks: Option<usize>,
     /// Base options for every device (`device` is replaced per spec,
     /// `overlap_chunks` by the field above).
     pub base: GpuOptions,
@@ -64,7 +70,7 @@ impl Default for ClusterOptions {
     fn default() -> Self {
         ClusterOptions {
             policy: ShardPolicy::default(),
-            overlap_chunks: 4,
+            overlap_chunks: Some(4),
             base: GpuOptions::default(),
         }
     }
@@ -341,6 +347,85 @@ impl<R: Real> BatchSystemEvaluator<R> for ShardedBatchEvaluator<R> {
         self.try_evaluate_batch(points)
             .unwrap_or_else(|e| panic!("evaluate_batch contract violated: {e}"))
     }
+}
+
+impl<R: Real> AnyEvaluator<R> for ShardedBatchEvaluator<R> {
+    fn try_evaluate_batch(
+        &mut self,
+        points: &[Vec<Complex<R>>],
+    ) -> Result<Vec<SystemEval<R>>, BatchError> {
+        ShardedBatchEvaluator::try_evaluate_batch(self, points)
+    }
+
+    /// Cluster-level aggregate: evaluations/batches and the cluster
+    /// wall clock (max over devices per batch) from [`ClusterStats`],
+    /// resource seconds and counters summed over the devices.
+    fn engine_stats(&self) -> PipelineStats {
+        let mut agg = PipelineStats {
+            evaluations: self.stats.evaluations,
+            batches: self.stats.batches,
+            wall_seconds: self.stats.wall_seconds,
+            ..Default::default()
+        };
+        for d in &self.devices {
+            let s = d.stats();
+            agg.counters += s.counters;
+            agg.kernel_seconds += s.kernel_seconds;
+            agg.overhead_seconds += s.overhead_seconds;
+            agg.transfer_seconds += s.transfer_seconds;
+        }
+        agg
+    }
+
+    fn reset_engine_stats(&mut self) {
+        self.reset_stats();
+    }
+
+    fn caps(&self) -> EngineCaps {
+        EngineCaps {
+            backend: "cluster",
+            devices: self.devices.len(),
+            capacity: self.max_batch(),
+            batched: true,
+            constant_bytes: self.devices.iter().map(|d| d.constant_bytes_used()).sum(),
+        }
+    }
+}
+
+/// The [`ClusterProvider`] of this crate: [`Backend::Cluster`] builds a
+/// [`ShardedBatchEvaluator`] over the spec's device list.
+///
+/// [`Backend::Cluster`]: polygpu_core::engine::Backend::Cluster
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sharded;
+
+impl ClusterProvider for Sharded {
+    fn build<R: Real>(
+        &self,
+        system: &System<R>,
+        spec: &ClusterSpec,
+    ) -> Result<Box<dyn AnyEvaluator<R>>, BuildError> {
+        let policy = match spec.policy {
+            ClusterPolicy::RoundRobin => ShardPolicy::RoundRobin,
+            ClusterPolicy::CapacityProportional => ShardPolicy::CapacityProportional,
+            ClusterPolicy::WorkStealing { chunk } => ShardPolicy::WorkStealing { chunk },
+        };
+        let opts = ClusterOptions {
+            policy,
+            overlap_chunks: spec.base.overlap_chunks,
+            base: spec.base.clone(),
+        };
+        let cluster =
+            ShardedBatchEvaluator::new(system, &spec.devices, spec.per_device_capacity, opts)?;
+        Ok(Box::new(cluster))
+    }
+}
+
+/// An [`Engine`] builder with every backend available — the cluster
+/// backend wired to [`Sharded`]. The `polygpu` facade re-exports this
+/// as `Engine::builder()`.
+pub fn engine_builder() -> EngineBuilder<Sharded> {
+    Engine::builder_with(Sharded)
 }
 
 #[cfg(test)]

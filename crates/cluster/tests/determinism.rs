@@ -1,14 +1,14 @@
 //! Property test: sharding over heterogeneous devices is invisible in
 //! the results. For arbitrary uniform systems, shard policies, device
 //! fleets and batch sizes (including sizes that divide nothing), the
-//! cluster's output is **bit-for-bit** the output of the `SingleBatch`
+//! cluster's output is **bit-for-bit** the output of the looping
 //! CPU reference — which the single-device GPU engine is already proven
 //! bitwise-equal to — in double and in double-double.
 
 use polygpu_cluster::{ClusterOptions, ShardPolicy, ShardedBatchEvaluator};
 use polygpu_gpusim::prelude::DeviceSpec;
 use polygpu_polysys::{
-    random_points, random_system, AdEvaluator, BatchSystemEvaluator, BenchmarkParams, SingleBatch,
+    random_points, random_system, AdEvaluator, BatchSystemEvaluator, BenchmarkParams,
 };
 use proptest::prelude::*;
 
@@ -65,7 +65,7 @@ proptest! {
             ClusterOptions { policy, ..Default::default() },
         )
         .unwrap();
-        let mut reference = SingleBatch(AdEvaluator::new(sys).unwrap());
+        let mut reference = AdEvaluator::new(sys).unwrap();
         let got = cluster.evaluate_batch(&points);
         let want = reference.evaluate_batch(&points);
         for i in 0..p {
@@ -101,7 +101,7 @@ proptest! {
             ClusterOptions { policy, ..Default::default() },
         )
         .unwrap();
-        let mut reference = SingleBatch(AdEvaluator::new(sys).unwrap());
+        let mut reference = AdEvaluator::new(sys).unwrap();
         let got = cluster.evaluate_batch(&points);
         let want = reference.evaluate_batch(&points);
         for i in 0..p {

@@ -11,7 +11,7 @@ use polygpu_homotopy::lockstep::BatchHomotopy;
 use polygpu_homotopy::queue::track_queue;
 use polygpu_homotopy::start::StartSystem;
 use polygpu_homotopy::tracker::TrackParams;
-use polygpu_polysys::{random_system, AdEvaluator, BenchmarkParams, SingleBatch};
+use polygpu_polysys::{random_system, AdEvaluator, BenchmarkParams};
 
 #[test]
 fn queue_endpoints_bit_identical_across_device_counts() {
@@ -28,11 +28,8 @@ fn queue_endpoints_bit_identical_across_device_counts() {
     let tp = TrackParams::default();
 
     // CPU reference run.
-    let mut h_cpu = BatchHomotopy::with_random_gamma(
-        SingleBatch(start.clone()),
-        SingleBatch(AdEvaluator::new(sys.clone()).unwrap()),
-        7,
-    );
+    let mut h_cpu =
+        BatchHomotopy::with_random_gamma(start.clone(), AdEvaluator::new(sys.clone()).unwrap(), 7);
     let want = track_queue(&mut h_cpu, &starts, tp, 4);
 
     for d in [1usize, 2, 4] {
@@ -47,7 +44,7 @@ fn queue_endpoints_bit_identical_across_device_counts() {
             },
         )
         .unwrap();
-        let mut h = BatchHomotopy::with_random_gamma(SingleBatch(start.clone()), cluster, 7);
+        let mut h = BatchHomotopy::with_random_gamma(start.clone(), cluster, 7);
         let got = track_queue(&mut h, &starts, tp, 4);
         assert_eq!(got.paths.len(), want.paths.len());
         for (i, (g, w)) in got.paths.iter().zip(&want.paths).enumerate() {

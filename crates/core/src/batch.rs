@@ -42,6 +42,7 @@ use std::fmt;
 /// `1..=capacity` points, each of dimension `n`. Violations surface
 /// here as typed errors instead of panics.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum BatchError {
     /// `points.len()` exceeds the construction-time capacity.
     CapacityExceeded { points: usize, capacity: usize },
@@ -116,10 +117,26 @@ impl<R: Real> BatchGpuEvaluator<R> {
     /// full-capacity evaluation so every configuration error surfaces
     /// here rather than inside `evaluate_batch`.
     pub fn new(system: &System<R>, capacity: usize, opts: GpuOptions) -> Result<Self, SetupError> {
+        let mut constant = ConstantMemory::new(&opts.device);
+        let enc = EncodedSupports::upload(system, &mut constant, opts.encoding)?;
+        Self::from_encoded(system, enc, constant, capacity, opts)
+    }
+
+    /// Assemble an engine from supports that are **already resident** in
+    /// `constant` (which may hold other systems' encodings too — the
+    /// basis of multi-system residency, see `engine::Session`). The
+    /// arena is taken by value: it snapshots the shared constant memory
+    /// at load time, so this engine's offsets stay valid no matter what
+    /// is loaded later.
+    pub fn from_encoded(
+        system: &System<R>,
+        enc: EncodedSupports,
+        constant: ConstantMemory,
+        capacity: usize,
+        opts: GpuOptions,
+    ) -> Result<Self, SetupError> {
         assert!(capacity >= 1, "batch capacity must be at least 1");
         let device = opts.device.clone();
-        let mut constant = ConstantMemory::new(&device);
-        let enc = EncodedSupports::upload(system, &mut constant, opts.encoding)?;
         let shape = enc.shape;
         let elem = <Complex<R> as DeviceValue>::DEVICE_BYTES;
         let layout = BatchLayout::new(
@@ -220,9 +237,13 @@ impl<R: Real> BatchGpuEvaluator<R> {
         &self.last_reports
     }
 
-    /// Bytes of constant memory in use (shared by all points).
+    /// Bytes of constant memory **this system's** supports occupy
+    /// (shared by all points). Deliberately not the whole arena: a
+    /// session-resident engine's arena snapshot also holds the systems
+    /// loaded before it (see `engine::Session`), which are accounted
+    /// to their own engines.
     pub fn constant_bytes_used(&self) -> usize {
-        self.constant.used()
+        self.k1.enc.constant_bytes()
     }
 
     /// Evaluate the system and Jacobian at every point of the batch
@@ -337,7 +358,10 @@ impl<R: Real> BatchGpuEvaluator<R> {
         }
         self.stats.kernel_seconds += kernel_total;
 
-        let chunks = self.opts.overlap_chunks.clamp(1, p);
+        let chunks = match self.opts.overlap_chunks {
+            Some(c) => c.clamp(1, p),
+            None => self.planned_overlap_chunks(p, kernel_total),
+        };
         if chunks <= 1 {
             // Original fully-serialized accounting: one upload, three
             // launches, one download, summed.
@@ -352,24 +376,71 @@ impl<R: Real> BatchGpuEvaluator<R> {
             // transfers hide under the kernels of neighboring slices.
             // Splitting pays per-chunk PCIe latency and per-chunk launch
             // overhead — both charged honestly below.
-            let base = p / chunks;
-            let extra = p % chunks;
-            let mut h2d = Vec::with_capacity(chunks);
-            let mut compute = Vec::with_capacity(chunks);
-            let mut d2h = Vec::with_capacity(chunks);
-            for c in 0..chunks {
-                let pc = base + usize::from(c < extra);
-                h2d.push(transfer_seconds(&self.device, pc * shape.n * elem));
-                compute
-                    .push(3.0 * self.device.launch_overhead + kernel_total * pc as f64 / p as f64);
-                d2h.push(transfer_seconds(&self.device, pc * shape.outputs() * elem));
-            }
+            let (h2d, compute, d2h) = self.chunk_durations(p, chunks, kernel_total);
             let tl = pipeline_timeline(&h2d, &compute, &d2h, 2);
             self.stats.overhead_seconds += 3.0 * chunks as f64 * self.device.launch_overhead;
             self.stats.transfer_seconds += h2d.iter().sum::<f64>() + d2h.iter().sum::<f64>();
             self.stats.wall_seconds += tl.elapsed_seconds();
         }
         Ok(evals)
+    }
+
+    /// Per-chunk upload/compute/download durations for a `p`-point batch
+    /// split into `chunks` near-equal slices — the inputs of both the
+    /// overlap timeline and the adaptive chunk-count search.
+    fn chunk_durations(
+        &self,
+        p: usize,
+        chunks: usize,
+        kernel_total: f64,
+    ) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        let shape = self.shape;
+        let elem = <Complex<R> as DeviceValue>::DEVICE_BYTES;
+        let base = p / chunks;
+        let extra = p % chunks;
+        let mut h2d = Vec::with_capacity(chunks);
+        let mut compute = Vec::with_capacity(chunks);
+        let mut d2h = Vec::with_capacity(chunks);
+        for c in 0..chunks {
+            let pc = base + usize::from(c < extra);
+            h2d.push(transfer_seconds(&self.device, pc * shape.n * elem));
+            compute.push(3.0 * self.device.launch_overhead + kernel_total * pc as f64 / p as f64);
+            d2h.push(transfer_seconds(&self.device, pc * shape.outputs() * elem));
+        }
+        (h2d, compute, d2h)
+    }
+
+    /// The chunk count the adaptive mode (`overlap_chunks: None`) picks
+    /// for a `p`-point batch whose three kernels take `kernel_total`
+    /// modeled seconds: the candidate whose double-buffered timeline has
+    /// the smallest modeled makespan. A single chunk (the serialized
+    /// schedule) is always a candidate, so the adaptive schedule is
+    /// **never worse than `overlap_chunks = 1`**; the search balances
+    /// overlap gains against the per-chunk PCIe latency and launch
+    /// overhead that splitting pays.
+    pub fn planned_overlap_chunks(&self, p: usize, kernel_total: f64) -> usize {
+        let mut best = (1usize, f64::INFINITY);
+        for &c in &[1usize, 2, 3, 4, 6, 8, 12, 16, 24, 32] {
+            if c > p {
+                break;
+            }
+            let (h2d, compute, d2h) = self.chunk_durations(p, c, kernel_total);
+            let makespan = pipeline_timeline(&h2d, &compute, &d2h, 2).elapsed_seconds();
+            // Strict improvement required: ties go to fewer chunks.
+            if makespan < best.1 {
+                best = (c, makespan);
+            }
+        }
+        best.0
+    }
+
+    /// Modeled kernel seconds of the most recent batch (the adaptive
+    /// chunk search input; exposed for tests and benches).
+    pub fn last_kernel_seconds(&self) -> f64 {
+        self.last_reports
+            .iter()
+            .map(|r| r.timing.kernel_seconds)
+            .sum()
     }
 
     /// Device bytes the batched buffers occupy (grows with capacity).
@@ -662,7 +733,7 @@ mod tests {
             &sys,
             64,
             GpuOptions {
-                overlap_chunks: 4,
+                overlap_chunks: Some(4),
                 ..Default::default()
             },
         )
@@ -702,7 +773,7 @@ mod tests {
         let prm = params(8, 5, 3, 4, 2);
         let sys = random_system::<f64>(&prm);
         let opts = GpuOptions {
-            overlap_chunks: 16,
+            overlap_chunks: Some(16),
             ..Default::default()
         };
         let mut batch = BatchGpuEvaluator::new(&sys, 4, opts).unwrap();
@@ -715,6 +786,79 @@ mod tests {
             serial.stats().wall_clock_seconds(),
             "a single point has nothing to overlap with"
         );
+    }
+
+    /// Adaptive chunking (`overlap_chunks: None`) keeps results
+    /// bit-identical and never schedules worse than a single chunk —
+    /// the serialized schedule is always among the candidates.
+    #[test]
+    fn adaptive_overlap_never_worse_than_one_chunk() {
+        for (p, prm) in [
+            (1, params(8, 5, 3, 4, 2)),    // nothing to overlap
+            (5, params(8, 5, 3, 4, 2)),    // latency-bound small batch
+            (64, params(32, 4, 9, 2, 3)),  // kernel-bound Table-1 shape
+            (256, params(32, 4, 9, 2, 3)), // large batch
+        ] {
+            let sys = random_system::<f64>(&prm);
+            let points = random_points::<f64>(prm.n, p, 99);
+            let mut serial = BatchGpuEvaluator::new(&sys, p, GpuOptions::default()).unwrap();
+            let mut adaptive = BatchGpuEvaluator::new(
+                &sys,
+                p,
+                GpuOptions {
+                    overlap_chunks: None,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let a = serial.evaluate_batch(&points);
+            let b = adaptive.evaluate_batch(&points);
+            for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+                assert_eq!(x.values, y.values, "P = {p}, point {i}");
+                assert_eq!(
+                    x.jacobian.as_slice(),
+                    y.jacobian.as_slice(),
+                    "P = {p}, point {i}"
+                );
+            }
+            let (ss, aa) = (serial.stats(), adaptive.stats());
+            assert!(
+                aa.wall_clock_seconds() <= ss.wall_clock_seconds() * (1.0 + 1e-12),
+                "adaptive schedule worse than 1 chunk at P = {p}: {} vs {}",
+                aa.wall_clock_seconds(),
+                ss.wall_clock_seconds()
+            );
+            let planned = adaptive.planned_overlap_chunks(p, adaptive.last_kernel_seconds());
+            assert!(planned >= 1 && planned <= p.max(1), "P = {p}: {planned}");
+        }
+    }
+
+    /// On a kernel-bound batch the adaptive mode actually overlaps: it
+    /// picks more than one chunk and beats the serialized wall clock.
+    #[test]
+    fn adaptive_overlap_beats_serial_when_kernels_dominate() {
+        let prm = params(32, 4, 9, 2, 3);
+        let sys = random_system::<f64>(&prm);
+        let points = random_points::<f64>(32, 64, 99);
+        let mut serial = BatchGpuEvaluator::new(&sys, 64, GpuOptions::default()).unwrap();
+        let mut adaptive = BatchGpuEvaluator::new(
+            &sys,
+            64,
+            GpuOptions {
+                overlap_chunks: None,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let _ = serial.evaluate_batch(&points);
+        let _ = adaptive.evaluate_batch(&points);
+        let planned = adaptive.planned_overlap_chunks(64, adaptive.last_kernel_seconds());
+        assert!(planned > 1, "kernel-bound batch must split: {planned}");
+        assert!(
+            adaptive.stats().wall_clock_seconds() < serial.stats().wall_clock_seconds(),
+            "adaptive must beat serial here"
+        );
+        assert!(adaptive.stats().overlap_savings() > 0.0);
     }
 
     #[test]

@@ -145,6 +145,13 @@ impl EncodedSupports {
         })
     }
 
+    /// Bytes of constant memory **this encoding** occupies (its own
+    /// positions + exponents regions only — not the whole arena, which
+    /// may hold other resident systems too).
+    pub fn constant_bytes(&self) -> usize {
+        self.positions.len() + self.exponents.len()
+    }
+
     /// Device-side read of factor `j` (0-based) of monomial `g`:
     /// returns `(variable, exponent - 1)`. Performs the constant loads
     /// and decode integer ops through the thread context so the

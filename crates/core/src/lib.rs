@@ -40,12 +40,22 @@
 //! amortizing launch overhead and PCIe latency `P`-fold while staying
 //! bit-for-bit equal to `P` single-point evaluations.
 
+//! The unified public surface is the [`engine`] module: one
+//! [`engine::Engine::builder`] for every backend and precision, one
+//! object-safe [`engine::AnyEvaluator`] trait, and multi-system device
+//! residency via [`engine::Session`].
+
 pub mod batch;
+pub mod engine;
 pub mod kernels;
 pub mod layout;
 pub mod pipeline;
 
 pub use batch::{BatchError, BatchGpuEvaluator};
+pub use engine::{
+    AnyEvaluator, Backend, BuildError, ClusterPolicy, ClusterProvider, ClusterSpec, Engine,
+    EngineBuilder, EngineCaps, NoCluster, ResidencyRow, Session, SessionAmortization, SystemId,
+};
 pub use kernels::batch::BatchLayout;
 pub use layout::encoding::{EncodeError, EncodedSupports, EncodingKind};
 pub use pipeline::{GpuEvaluator, GpuOptions, PipelineStats, SetupError};

@@ -14,7 +14,7 @@ use crate::layout::encoding::{EncodeError, EncodedSupports, EncodingKind};
 use crate::layout::mons::{mons_len, q_deriv, q_value};
 use polygpu_complex::{Complex, Real};
 use polygpu_gpusim::prelude::*;
-use polygpu_polysys::{System, SystemEval, SystemEvaluator, UniformShape};
+use polygpu_polysys::{BatchSystemEvaluator, System, SystemEval, SystemEvaluator, UniformShape};
 use std::fmt;
 
 /// Configuration of the GPU evaluator.
@@ -31,11 +31,13 @@ pub struct GpuOptions {
     /// Stream-overlap model for the batched engine: split each batch
     /// into this many chunks and schedule upload/kernels/download on a
     /// double-buffered [`polygpu_gpusim::stream::Timeline`], so modeled
-    /// transfers overlap modeled compute. `0` or `1` keeps the original
-    /// fully-serialized accounting (the default); functional results
-    /// are identical either way — only [`PipelineStats::wall_seconds`]
-    /// changes.
-    pub overlap_chunks: usize,
+    /// transfers overlap modeled compute. `Some(1)` keeps the original
+    /// fully-serialized accounting (the default); `None` picks the
+    /// chunk count **adaptively** per batch from the modeled
+    /// kernel-time/transfer-time ratio, never scheduling worse than a
+    /// single chunk. Functional results are identical in every mode —
+    /// only [`PipelineStats::wall_seconds`] changes.
+    pub overlap_chunks: Option<usize>,
     /// Host-side launch options.
     pub launch: LaunchOptions,
 }
@@ -47,7 +49,7 @@ impl Default for GpuOptions {
             block_dim: 32,
             encoding: EncodingKind::Direct,
             from_scratch_cf: false,
-            overlap_chunks: 1,
+            overlap_chunks: Some(1),
             launch: LaunchOptions::default(),
         }
     }
@@ -55,6 +57,7 @@ impl Default for GpuOptions {
 
 /// Setup failure: the system does not fit the device or the encoding.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum SetupError {
     Encode(EncodeError),
     Launch(LaunchError),
@@ -350,6 +353,20 @@ impl<R: Real> SystemEvaluator<R> for GpuEvaluator<R> {
 
     fn name(&self) -> &str {
         "gpu-sim"
+    }
+}
+
+impl<R: Real> BatchSystemEvaluator<R> for GpuEvaluator<R> {
+    /// The loop accepts any batch size — but each point still costs a
+    /// full round trip (three launches, two transfers); batching here
+    /// amortizes nothing (`EngineCaps::batched` is `false`).
+    fn max_batch(&self) -> usize {
+        usize::MAX
+    }
+
+    /// Loops the single-point pipeline.
+    fn evaluate_batch(&mut self, points: &[Vec<Complex<R>>]) -> Vec<SystemEval<R>> {
+        points.iter().map(|x| self.evaluate(x)).collect()
     }
 }
 

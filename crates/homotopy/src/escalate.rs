@@ -9,9 +9,11 @@
 //! parallel evaluator is meant to absorb.
 
 use crate::homotopy::Homotopy;
+use crate::start::StartSystem;
 use crate::tracker::{track, TrackParams, TrackResult};
 use polygpu_complex::Complex;
-use polygpu_polysys::SystemEvaluator;
+use polygpu_core::engine::{BuildError, ClusterProvider, EngineBuilder};
+use polygpu_polysys::{System, SystemEvaluator};
 use polygpu_qd::Dd;
 
 /// Which precision completed the path.
@@ -91,6 +93,61 @@ where
     }
 }
 
+/// Track a path with engines built from **one** [`EngineBuilder`] spec:
+/// the double-precision attempt and — on failure — the double-double
+/// retry each request their engine from the same builder, so precision
+/// escalation re-provisions the *same* backend (CPU, GPU, batch or
+/// cluster) at higher precision instead of rebuilding options by hand.
+///
+/// Both precisions share the gamma derived from `gamma_seed` (the
+/// double-double homotopy uses the exactly-widened `f64` gamma), so
+/// they describe the same path.
+///
+/// ```
+/// use polygpu_core::engine::{Backend, Engine};
+/// use polygpu_homotopy::escalate::track_escalating_engine;
+/// use polygpu_homotopy::start::StartSystem;
+/// use polygpu_homotopy::tracker::TrackParams;
+/// use polygpu_polysys::{random_system, BenchmarkParams};
+///
+/// let sys = random_system::<f64>(&BenchmarkParams { n: 2, m: 2, k: 2, d: 2, seed: 7 });
+/// let start = StartSystem::uniform(2, 2);
+/// let x0 = start.solution_by_index(0);
+/// let builder = Engine::builder().backend(Backend::CpuReference);
+/// let r = track_escalating_engine(
+///     &builder, &sys, &start, 33, &x0,
+///     TrackParams::default(), TrackParams::default(),
+/// )
+/// .unwrap();
+/// assert!(r.success() || !r.success()); // tracked to a typed outcome
+/// ```
+pub fn track_escalating_engine<P: ClusterProvider>(
+    builder: &EngineBuilder<P>,
+    target: &System<f64>,
+    start: &StartSystem,
+    gamma_seed: u64,
+    x0: &[Complex<f64>],
+    params_f64: TrackParams,
+    params_dd: TrackParams,
+) -> Result<EscalatedTrack, BuildError> {
+    let engine64 = builder.build(target)?;
+    let mut h64 = Homotopy::with_random_gamma(start.clone(), engine64, gamma_seed);
+    let attempt = track(&mut h64, x0, params_f64);
+    if attempt.success() {
+        return Ok(EscalatedTrack::Double(attempt));
+    }
+    // Same spec, higher precision: the builder re-provisions the
+    // backend for the converted system.
+    let engine_dd = builder.build(&target.convert::<Dd>())?;
+    let mut hdd = Homotopy::new(start.clone(), engine_dd, h64.gamma.convert());
+    let x0_dd: Vec<Complex<Dd>> = x0.iter().map(|z| z.convert()).collect();
+    let result = track(&mut hdd, &x0_dd, params_dd);
+    Ok(EscalatedTrack::DoubleDouble {
+        double_attempt: attempt,
+        result,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,6 +204,63 @@ mod tests {
         assert!(r.success());
         assert_eq!(r.precision(), UsedPrecision::Double);
         assert_eq!(r.end_dd().len(), 2);
+    }
+
+    /// The engine-spec escalation with the CPU backend replays the
+    /// hand-built escalation bit for bit (same gamma seed, same
+    /// arithmetic), so the new entry point is a pure API refactor.
+    #[test]
+    fn engine_escalation_matches_manual_escalation() {
+        use polygpu_core::engine::{Backend, Engine};
+        let (sys, start, x0) = setup(7);
+        let (mut h64, mut hdd) = homotopies(&sys, &start);
+        let manual = track_escalating(
+            &mut h64,
+            &mut hdd,
+            &x0,
+            TrackParams::default(),
+            TrackParams::default(),
+        );
+        let builder = Engine::builder().backend(Backend::CpuReference);
+        let via_engine = track_escalating_engine(
+            &builder,
+            &sys,
+            &start,
+            33, // the same gamma seed `homotopies` uses
+            &x0,
+            TrackParams::default(),
+            TrackParams::default(),
+        )
+        .unwrap();
+        assert_eq!(manual.precision(), via_engine.precision());
+        assert_eq!(manual.success(), via_engine.success());
+        assert_eq!(
+            manual.end_dd(),
+            via_engine.end_dd(),
+            "bit-identical endpoint"
+        );
+    }
+
+    /// An impossible double tolerance forces the builder to re-request
+    /// the engine in double-double — through a *GPU* backend spec, so
+    /// the escalation provisions simulated-device engines in both
+    /// precisions from one spec.
+    #[test]
+    fn engine_escalation_reprovisions_gpu_backend_in_dd() {
+        use polygpu_core::engine::{Backend, Engine};
+        let (sys, start, x0) = setup(7);
+        let brutal = NewtonParams {
+            residual_tol: 1e-19, // below f64 round-off
+            step_tol: 1e-21,
+            max_iters: 8,
+        };
+        let params = TrackParams {
+            corrector: brutal,
+            ..Default::default()
+        };
+        let builder = Engine::builder().backend(Backend::GpuBatch { capacity: 4 });
+        let r = track_escalating_engine(&builder, &sys, &start, 33, &x0, params, params).unwrap();
+        assert_eq!(r.precision(), UsedPrecision::DoubleDouble);
     }
 
     #[test]

@@ -7,7 +7,14 @@
 //! system and its Jacobian. Everything here is generic over
 //! [`polygpu_polysys::SystemEvaluator`], so the corrector runs
 //! identically against the CPU reference evaluators or the simulated
-//! GPU pipeline of `polygpu-core`.
+//! GPU pipeline of `polygpu-core` — and every driver (`newton`,
+//! `track`, `track_lockstep`, `track_queue`) accepts the unified
+//! engine surface as a trait object: build any backend with
+//! `polygpu_core::engine::Engine::builder()` and pass it as
+//! `&mut dyn AnyEvaluator<R>` or `Box<dyn AnyEvaluator<R>>`
+//! (precision escalation re-requests a higher-precision engine from
+//! the same builder spec via
+//! [`escalate::track_escalating_engine`]).
 //!
 //! ```
 //! use polygpu_homotopy::prelude::*;
@@ -37,7 +44,9 @@ pub mod tracker;
 
 /// The commonly-needed surface in one import.
 pub mod prelude {
-    pub use crate::escalate::{track_escalating, EscalatedTrack, UsedPrecision};
+    pub use crate::escalate::{
+        track_escalating, track_escalating_engine, EscalatedTrack, UsedPrecision,
+    };
     pub use crate::homotopy::{Homotopy, HomotopyAt, HomotopyEval};
     pub use crate::lockstep::{
         newton_batch, newton_batch_counted, track_lockstep, BatchHomotopy, BatchHomotopyAt,

@@ -14,7 +14,7 @@
 //! arithmetic is identical to what the per-path corrector would do, so
 //! with a bit-exact batch evaluator the lockstep trajectories are
 //! **bit-for-bit** the trajectories of the same algorithm run against
-//! `SingleBatch`-wrapped CPU references.
+//! CPU references (which batch by looping).
 
 use crate::homotopy::random_gamma;
 use crate::lu::lu_decompose;
@@ -512,7 +512,7 @@ mod tests {
     use polygpu_complex::C64;
     use polygpu_polysys::{
         random_point, random_points, random_system, AdEvaluator, BenchmarkParams, NaiveEvaluator,
-        SingleBatch, SystemEvaluator,
+        SystemEvaluator,
     };
 
     #[test]
@@ -542,10 +542,7 @@ mod tests {
             ..Default::default()
         };
 
-        let mut batch = SingleBatch(ShiftedEvaluator::with_root(
-            AdEvaluator::new(sys.clone()).unwrap(),
-            &root,
-        ));
+        let mut batch = ShiftedEvaluator::with_root(AdEvaluator::new(sys.clone()).unwrap(), &root);
         let batched = newton_batch(&mut batch, &starts, np);
 
         for (i, x0) in starts.iter().enumerate() {
@@ -574,8 +571,8 @@ mod tests {
         let start = StartSystem::uniform(2, 2);
         let starts: Vec<Vec<C64>> = (0..4u128).map(|i| start.solution_by_index(i)).collect();
         let mut h = BatchHomotopy::with_random_gamma(
-            SingleBatch(start.clone()),
-            SingleBatch(AdEvaluator::new(sys.clone()).unwrap()),
+            start.clone(),
+            AdEvaluator::new(sys.clone()).unwrap(),
             7,
         );
         let r = track_lockstep(&mut h, &starts, TrackParams::default());
@@ -615,8 +612,8 @@ mod tests {
         let start = StartSystem::uniform(2, 2);
         let starts: Vec<Vec<C64>> = (0..4u128).map(|i| start.solution_by_index(i)).collect();
         let mut h = BatchHomotopy::with_random_gamma(
-            SingleBatch(start.clone()),
-            SingleBatch(AdEvaluator::new(sys.clone()).unwrap()),
+            start.clone(),
+            AdEvaluator::new(sys.clone()).unwrap(),
             5,
         );
         let r = track_lockstep(&mut h, &starts, TrackParams::default());
@@ -649,11 +646,8 @@ mod tests {
         let sys = random_system::<f64>(&params);
         let start = StartSystem::uniform(2, 2);
         let starts: Vec<Vec<C64>> = (0..2u128).map(|i| start.solution_by_index(i)).collect();
-        let mut h = BatchHomotopy::with_random_gamma(
-            SingleBatch(start.clone()),
-            SingleBatch(AdEvaluator::new(sys).unwrap()),
-            11,
-        );
+        let mut h =
+            BatchHomotopy::with_random_gamma(start.clone(), AdEvaluator::new(sys).unwrap(), 11);
         let r = track_lockstep(
             &mut h,
             &starts,
@@ -687,8 +681,8 @@ mod tests {
         let start = StartSystem::uniform(3, 3);
         let points = random_points::<f64>(3, 4, 9);
         let mut hb = BatchHomotopy::with_random_gamma(
-            SingleBatch(start.clone()),
-            SingleBatch(AdEvaluator::new(sys.clone()).unwrap()),
+            start.clone(),
+            AdEvaluator::new(sys.clone()).unwrap(),
             42,
         );
         let mut h1 = Homotopy::with_random_gamma(start, AdEvaluator::new(sys).unwrap(), 42);

@@ -158,6 +158,26 @@ impl<R: Real, E: SystemEvaluator<R>> SystemEvaluator<R> for ShiftedEvaluator<R, 
     }
 }
 
+impl<R: Real, E: polygpu_polysys::BatchSystemEvaluator<R>> polygpu_polysys::BatchSystemEvaluator<R>
+    for ShiftedEvaluator<R, E>
+{
+    fn max_batch(&self) -> usize {
+        self.inner.max_batch()
+    }
+
+    /// One inner batch, each result shifted — so a batched engine's
+    /// amortization carries through the shift.
+    fn evaluate_batch(&mut self, points: &[Vec<Complex<R>>]) -> Vec<SystemEval<R>> {
+        let mut evals = self.inner.evaluate_batch(points);
+        for e in evals.iter_mut() {
+            for (v, s) in e.values.iter_mut().zip(&self.shift) {
+                *v -= *s;
+            }
+        }
+        evals
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -389,7 +389,7 @@ mod tests {
     use crate::start::StartSystem;
     use crate::tracker::{track, TrackParams};
     use polygpu_complex::C64;
-    use polygpu_polysys::{random_system, AdEvaluator, BenchmarkParams, SingleBatch};
+    use polygpu_polysys::{random_system, AdEvaluator, BenchmarkParams};
 
     fn fixture(
         seed: u64,
@@ -432,8 +432,8 @@ mod tests {
 
         for slots in [1usize, 2, 3, 4, 7] {
             let mut h = BatchHomotopy::with_random_gamma(
-                SingleBatch(start.clone()),
-                SingleBatch(AdEvaluator::new(sys.clone()).unwrap()),
+                start.clone(),
+                AdEvaluator::new(sys.clone()).unwrap(),
                 7,
             );
             let r = track_queue(&mut h, &starts, params, slots);
@@ -455,11 +455,8 @@ mod tests {
     fn queue_refills_and_stays_occupied() {
         let (sys, start, starts) = fixture(3, 8);
         let slots = 2;
-        let mut h = BatchHomotopy::with_random_gamma(
-            SingleBatch(start.clone()),
-            SingleBatch(AdEvaluator::new(sys).unwrap()),
-            7,
-        );
+        let mut h =
+            BatchHomotopy::with_random_gamma(start.clone(), AdEvaluator::new(sys).unwrap(), 7);
         let r = track_queue(&mut h, &starts, TrackParams::default(), slots);
         assert_eq!(r.slots, slots);
         assert_eq!(
@@ -486,8 +483,8 @@ mod tests {
         let (sys, start, starts) = fixture(11, 4);
         let params = TrackParams::default();
         let mut h_all = BatchHomotopy::with_random_gamma(
-            SingleBatch(start.clone()),
-            SingleBatch(AdEvaluator::new(sys.clone()).unwrap()),
+            start.clone(),
+            AdEvaluator::new(sys.clone()).unwrap(),
             5,
         );
         let all = track_queue(&mut h_all, &starts, params, 0);
@@ -497,11 +494,8 @@ mod tests {
             "capacity-sized front clamps to paths"
         );
 
-        let mut h_small = BatchHomotopy::with_random_gamma(
-            SingleBatch(start.clone()),
-            SingleBatch(AdEvaluator::new(sys).unwrap()),
-            5,
-        );
+        let mut h_small =
+            BatchHomotopy::with_random_gamma(start.clone(), AdEvaluator::new(sys).unwrap(), 5);
         let small = track_queue(&mut h_small, &starts, params, 3);
         for (a, b) in all.paths.iter().zip(&small.paths) {
             assert_eq!(a.x, b.x);
@@ -523,8 +517,8 @@ mod tests {
             ..Default::default()
         };
         let mut h = BatchHomotopy::with_random_gamma(
-            SingleBatch(start.clone()),
-            SingleBatch(AdEvaluator::new(sys.clone()).unwrap()),
+            start.clone(),
+            AdEvaluator::new(sys.clone()).unwrap(),
             11,
         );
         let r = track_queue(&mut h, &starts, params, 2);
@@ -541,11 +535,7 @@ mod tests {
     #[test]
     fn empty_queue_is_a_no_op() {
         let (sys, start, _) = fixture(3, 2);
-        let mut h = BatchHomotopy::with_random_gamma(
-            SingleBatch(start),
-            SingleBatch(AdEvaluator::new(sys).unwrap()),
-            7,
-        );
+        let mut h = BatchHomotopy::with_random_gamma(start, AdEvaluator::new(sys).unwrap(), 7);
         let r = track_queue(&mut h, &[], TrackParams::default(), 4);
         assert!(r.paths.is_empty());
         assert_eq!(r.rounds, 0);

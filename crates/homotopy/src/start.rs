@@ -5,7 +5,7 @@
 //! homotopy continuation (Allgower & Georg; Morgan).
 
 use polygpu_complex::{CMat, Complex, Real};
-use polygpu_polysys::{SystemEval, SystemEvaluator};
+use polygpu_polysys::{loop_evaluate_batch, BatchSystemEvaluator, SystemEval, SystemEvaluator};
 use std::f64::consts::TAU;
 
 /// `G_i(x) = x_i^{d_i} − 1`, evaluated analytically.
@@ -89,6 +89,17 @@ impl<R: Real> SystemEvaluator<R> for StartSystem {
 
     fn name(&self) -> &str {
         "total-degree-start"
+    }
+}
+
+impl<R: Real> BatchSystemEvaluator<R> for StartSystem {
+    /// Analytic evaluation has no per-batch fixed cost to amortize.
+    fn max_batch(&self) -> usize {
+        usize::MAX
+    }
+
+    fn evaluate_batch(&mut self, points: &[Vec<Complex<R>>]) -> Vec<SystemEval<R>> {
+        loop_evaluate_batch(self, points)
     }
 }
 

@@ -12,7 +12,7 @@ use polygpu_homotopy::lockstep::{
 use polygpu_homotopy::newton::NewtonParams;
 use polygpu_homotopy::start::StartSystem;
 use polygpu_homotopy::tracker::TrackParams;
-use polygpu_polysys::{random_points, random_system, AdEvaluator, BenchmarkParams, SingleBatch};
+use polygpu_polysys::{random_points, random_system, AdEvaluator, BenchmarkParams};
 
 fn fixture() -> (polygpu_polysys::System<f64>, StartSystem, Vec<Vec<C64>>) {
     let params = BenchmarkParams {
@@ -34,11 +34,11 @@ fn lockstep_gpu_trajectories_equal_cpu_trajectories_bitwise() {
     let params = TrackParams::default();
 
     let gpu = BatchGpuEvaluator::new(&sys, starts.len(), GpuOptions::default()).unwrap();
-    let mut h_gpu = BatchHomotopy::with_random_gamma(SingleBatch(start.clone()), gpu, 7);
+    let mut h_gpu = BatchHomotopy::with_random_gamma(start.clone(), gpu, 7);
     let r_gpu = track_lockstep(&mut h_gpu, &starts, params);
 
-    let cpu = SingleBatch(AdEvaluator::new(sys).unwrap());
-    let mut h_cpu = BatchHomotopy::with_random_gamma(SingleBatch(start), cpu, 7);
+    let cpu = AdEvaluator::new(sys).unwrap();
+    let mut h_cpu = BatchHomotopy::with_random_gamma(start, cpu, 7);
     let r_cpu = track_lockstep(&mut h_cpu, &starts, params);
 
     assert_eq!(r_gpu.rounds, r_cpu.rounds);
@@ -80,7 +80,7 @@ fn gpu_newton_batch_corrector_matches_cpu() {
         ..Default::default()
     };
     let mut gpu = BatchGpuEvaluator::new(&sys, 6, GpuOptions::default()).unwrap();
-    let mut cpu = SingleBatch(AdEvaluator::new(sys.clone()).unwrap());
+    let mut cpu = AdEvaluator::new(sys.clone()).unwrap();
     let a = newton_batch(&mut gpu, &starts, np);
     let b = newton_batch(&mut cpu, &starts, np);
     for (i, (ra, rb)) in a.iter().zip(&b).enumerate() {

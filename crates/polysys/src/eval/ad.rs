@@ -227,6 +227,18 @@ impl<R: Real> SystemEvaluator<R> for AdEvaluator<R> {
     }
 }
 
+impl<R: Real> crate::system::BatchSystemEvaluator<R> for AdEvaluator<R> {
+    /// A CPU evaluator has no per-batch fixed cost to amortize, so any
+    /// batch size is acceptable.
+    fn max_batch(&self) -> usize {
+        usize::MAX
+    }
+
+    fn evaluate_batch(&mut self, points: &[Vec<Complex<R>>]) -> Vec<SystemEval<R>> {
+        crate::system::loop_evaluate_batch(self, points)
+    }
+}
+
 impl<R: Real> Default for System<R> {
     /// Empty placeholder used internally to split borrows; not a valid
     /// system for evaluation.

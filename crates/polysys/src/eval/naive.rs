@@ -74,6 +74,18 @@ impl<R: Real> SystemEvaluator<R> for NaiveEvaluator<R> {
     }
 }
 
+impl<R: Real> crate::system::BatchSystemEvaluator<R> for NaiveEvaluator<R> {
+    /// A CPU evaluator has no per-batch fixed cost to amortize, so any
+    /// batch size is acceptable.
+    fn max_batch(&self) -> usize {
+        usize::MAX
+    }
+
+    fn evaluate_batch(&mut self, points: &[Vec<Complex<R>>]) -> Vec<SystemEval<R>> {
+        crate::system::loop_evaluate_batch(self, points)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

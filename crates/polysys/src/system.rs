@@ -15,6 +15,7 @@ pub struct System<R> {
 
 /// Errors constructing or validating a [`System`].
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum SystemError {
     /// Number of polynomials differs from the declared dimension.
     NotSquare { n: usize, polys: usize },
@@ -248,12 +249,84 @@ pub trait BatchSystemEvaluator<R: Real>: SystemEvaluator<R> {
     fn evaluate_batch(&mut self, points: &[Vec<Complex<R>>]) -> Vec<SystemEval<R>>;
 }
 
+// --- Forwarding impls -------------------------------------------------
+//
+// `&mut E` and `Box<E>` forward both evaluator traits (including for
+// unsized `E`), so trait objects flow through every generic driver:
+// `Box<dyn AnyEvaluator<R>>` or `&mut dyn AnyEvaluator<R>` (the unified
+// engine interface of `polygpu-core`) can sit directly in a `Homotopy`
+// or `BatchHomotopy` endpoint.
+
+impl<R: Real, E: SystemEvaluator<R> + ?Sized> SystemEvaluator<R> for &mut E {
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+
+    fn evaluate(&mut self, x: &[Complex<R>]) -> SystemEval<R> {
+        (**self).evaluate(x)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+impl<R: Real, E: BatchSystemEvaluator<R> + ?Sized> BatchSystemEvaluator<R> for &mut E {
+    fn max_batch(&self) -> usize {
+        (**self).max_batch()
+    }
+
+    fn evaluate_batch(&mut self, points: &[Vec<Complex<R>>]) -> Vec<SystemEval<R>> {
+        (**self).evaluate_batch(points)
+    }
+}
+
+impl<R: Real, E: SystemEvaluator<R> + ?Sized> SystemEvaluator<R> for Box<E> {
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+
+    fn evaluate(&mut self, x: &[Complex<R>]) -> SystemEval<R> {
+        (**self).evaluate(x)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+impl<R: Real, E: BatchSystemEvaluator<R> + ?Sized> BatchSystemEvaluator<R> for Box<E> {
+    fn max_batch(&self) -> usize {
+        (**self).max_batch()
+    }
+
+    fn evaluate_batch(&mut self, points: &[Vec<Complex<R>>]) -> Vec<SystemEval<R>> {
+        (**self).evaluate_batch(points)
+    }
+}
+
+/// Batch a single-point evaluator by looping — the canonical
+/// [`BatchSystemEvaluator::evaluate_batch`] body for CPU evaluators,
+/// whose batch is a performance no-op.
+pub fn loop_evaluate_batch<R: Real, E: SystemEvaluator<R> + ?Sized>(
+    eval: &mut E,
+    points: &[Vec<Complex<R>>],
+) -> Vec<SystemEval<R>> {
+    points.iter().map(|x| eval.evaluate(x)).collect()
+}
+
 /// Adapter giving any single-point evaluator the batch interface by
-/// looping — the degenerate baseline batched engines are measured
-/// against, and the glue that lets CPU references drive batch-shaped
-/// code paths (e.g. the lockstep path tracker) unchanged.
+/// looping.
+#[deprecated(
+    since = "0.1.0",
+    note = "redundant: the CPU evaluators (`AdEvaluator`, `NaiveEvaluator`, `StartSystem`, \
+            `ShiftedEvaluator`) now implement `BatchSystemEvaluator` directly, and any other \
+            single-point evaluator can use `loop_evaluate_batch` for its own impl; for a \
+            uniform engine surface use `Engine::builder()` with `Backend::CpuReference`"
+)]
 pub struct SingleBatch<E>(pub E);
 
+#[allow(deprecated)]
 impl<R: Real, E: SystemEvaluator<R>> SystemEvaluator<R> for SingleBatch<E> {
     fn dim(&self) -> usize {
         self.0.dim()
@@ -268,13 +341,14 @@ impl<R: Real, E: SystemEvaluator<R>> SystemEvaluator<R> for SingleBatch<E> {
     }
 }
 
+#[allow(deprecated)]
 impl<R: Real, E: SystemEvaluator<R>> BatchSystemEvaluator<R> for SingleBatch<E> {
     fn max_batch(&self) -> usize {
         usize::MAX
     }
 
     fn evaluate_batch(&mut self, points: &[Vec<Complex<R>>]) -> Vec<SystemEval<R>> {
-        points.iter().map(|x| self.0.evaluate(x)).collect()
+        loop_evaluate_batch(&mut self.0, points)
     }
 }
 
@@ -370,6 +444,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the adapter stays functional until removal
     fn single_batch_adapter_matches_pointwise_evaluation() {
         use crate::eval::AdEvaluator;
         use crate::generator::{random_points, random_system, BenchmarkParams};

@@ -225,7 +225,7 @@ pub mod collection {
     use rand::{Rng as _, RngCore};
     use std::ops::Range;
 
-    /// Length specification for [`vec`]: a fixed count or a range.
+    /// Length specification for [`vec()`]: a fixed count or a range.
     pub trait SizeRange {
         fn pick(&self, rng: &mut TestRng) -> usize;
     }

@@ -76,7 +76,7 @@ fn main() {
     let start = StartSystem::uniform(2, 2);
     let starts: Vec<Vec<C64>> = (0..4u128).map(|i| start.solution_by_index(i)).collect();
     let gpu = BatchGpuEvaluator::new(&small, starts.len(), GpuOptions::default()).unwrap();
-    let mut h = BatchHomotopy::with_random_gamma(SingleBatch(start), gpu, 7);
+    let mut h = BatchHomotopy::with_random_gamma(start, gpu, 7);
     let r = track_lockstep(&mut h, &starts, TrackParams::default());
     println!();
     println!(

@@ -1,9 +1,10 @@
-//! Multi-device sharding: evaluate one batch on 1 vs 4 simulated
-//! C2050s with stream-overlapped transfers, then track a path set at
-//! full occupancy through the path-queue scheduler — demonstrating the
-//! scale-out invariant: results are bit-identical at every `D`.
+//! Multi-device sharding through the unified builder: evaluate one
+//! batch on 1 vs 4 simulated C2050s with stream-overlapped transfers,
+//! then track a path set at full occupancy through the path-queue
+//! scheduler over a cluster engine — demonstrating the scale-out
+//! invariant: results are bit-identical at every `D`.
 //!
-//! ```bash
+//! ```text
 //! cargo run --release --example cluster_sharding
 //! ```
 
@@ -25,22 +26,23 @@ fn main() {
     println!("cluster scaling (P = 256, stream overlap on):\n");
     let mut d1_endpoint = None;
     for d in [1usize, 2, 4] {
-        let specs = vec![DeviceSpec::tesla_c2050(); d];
-        let mut cluster = ShardedBatchEvaluator::new(
-            &system,
-            &specs,
-            256usize.div_ceil(d),
-            ClusterOptions::default(),
-        )
-        .unwrap();
-        let evals = cluster.evaluate_batch(&points);
-        let stats = cluster.cluster_stats();
+        // The same builder spec at every device count.
+        let mut cluster = Engine::builder()
+            .backend(Backend::Cluster {
+                devices: vec![DeviceSpec::tesla_c2050(); d],
+                policy: ClusterPolicy::default(),
+            })
+            .per_device_capacity(256usize.div_ceil(d))
+            .overlap_chunks(4)
+            .build(&system)
+            .unwrap();
+        let evals = cluster.try_evaluate_batch(&points).unwrap();
+        let stats = cluster.engine_stats();
         println!(
-            "  D = {d}: wall {:7.1} us, {:>7.0} evals/s, overlap saved {:6.1} us, imbalance {:.2}",
-            stats.wall_seconds * 1e6,
+            "  D = {d}: wall {:7.1} us, {:>7.0} evals/s over {} device(s)",
+            stats.wall_clock_seconds() * 1e6,
             stats.throughput_evals_per_sec(),
-            cluster.overlap_savings() * 1e6,
-            stats.imbalance(),
+            cluster.caps().devices,
         );
         match &d1_endpoint {
             None => d1_endpoint = Some(evals),
@@ -52,8 +54,9 @@ fn main() {
         }
     }
 
-    // Path-queue tracking over a 4-device cluster: slots refill from
-    // the queue, so every batched round trip stays near full occupancy.
+    // Path-queue tracking over a 4-device cluster engine: slots refill
+    // from the queue, so every batched round trip stays near full
+    // occupancy — through the same trait object any backend implements.
     let small = BenchmarkParams {
         n: 2,
         m: 2,
@@ -64,14 +67,15 @@ fn main() {
     let sys = random_system::<f64>(&small);
     let start = StartSystem::uniform(2, 2);
     let starts: Vec<Vec<C64>> = (0..16u128).map(|i| start.solution_by_index(i)).collect();
-    let cluster = ShardedBatchEvaluator::new(
-        &sys,
-        &vec![DeviceSpec::tesla_c2050(); 4],
-        2,
-        ClusterOptions::default(),
-    )
-    .unwrap();
-    let mut h = BatchHomotopy::with_random_gamma(SingleBatch(start), cluster, 7);
+    let cluster = Engine::builder()
+        .backend(Backend::Cluster {
+            devices: vec![DeviceSpec::tesla_c2050(); 4],
+            policy: ClusterPolicy::default(),
+        })
+        .per_device_capacity(2)
+        .build(&sys)
+        .unwrap();
+    let mut h = BatchHomotopy::with_random_gamma(start, cluster, 7);
     let r = track_queue(&mut h, &starts, TrackParams::default(), 4);
     println!(
         "\npath queue over 4 devices: {}/{} paths to t = 1, {} refills, \

@@ -1,0 +1,97 @@
+//! The unified engine API end to end: a multi-system residency
+//! `Session` that keeps three homotopy-stage systems resident in one
+//! device's constant memory (switching between them for a modeled
+//! command-queue round trip instead of full setup), and precision
+//! escalation that re-requests a double-double engine from the *same*
+//! builder spec when a path refuses to track in hardware doubles.
+//!
+//! ```text
+//! cargo run --release --example engine_session
+//! ```
+
+use polygpu::prelude::*;
+
+fn main() {
+    // --- Multi-system residency -------------------------------------
+    let builder = Engine::builder().backend(Backend::GpuBatch { capacity: 8 });
+    let mut session = builder.session::<f64>().unwrap();
+
+    // Three stages of a (mock) homotopy run: growing monomial counts.
+    let stages: Vec<System<f64>> = [(11usize, 1u64), (22, 2), (32, 3)]
+        .iter()
+        .map(|&(m, seed)| {
+            random_system::<f64>(&BenchmarkParams {
+                n: 32,
+                m,
+                k: 9,
+                d: 2,
+                seed,
+            })
+        })
+        .collect();
+    let ids: Vec<_> = stages
+        .iter()
+        .enumerate()
+        .map(|(i, sys)| session.load(&format!("stage-{i}"), sys).unwrap())
+        .collect();
+    println!(
+        "session: {} systems resident, {} of {} constant-memory bytes in use",
+        session.resident_count(),
+        session.constant_bytes_used(),
+        session.constant_budget()
+    );
+
+    // Cycle the stages: each switch costs one modeled round trip.
+    let points = random_points::<f64>(32, 8, 9);
+    for round in 0..3 {
+        for (i, &id) in ids.iter().enumerate() {
+            let engine = session.activate(id);
+            let evals = engine.try_evaluate_batch(&points).unwrap();
+            if round == 0 {
+                println!(
+                    "  stage {i}: evaluated {} points through `{}`",
+                    evals.len(),
+                    engine.caps().backend
+                );
+            }
+        }
+    }
+    let am = session.amortization();
+    println!(
+        "after {} stages: session paid {:.1} us of setup+switching; \
+         re-encoding every stage would cost {:.1} us ({:.1}x per resident stage)\n",
+        am.stages,
+        am.session_seconds * 1e6,
+        am.reencode_seconds * 1e6,
+        am.steady_state_ratio
+    );
+
+    // --- Precision escalation from one spec -------------------------
+    // A corrector tolerance below f64 round-off: the double attempt
+    // must fail, and the escalator re-requests the same backend from
+    // the same builder in double-double.
+    let sys = random_system::<f64>(&BenchmarkParams {
+        n: 2,
+        m: 2,
+        k: 2,
+        d: 2,
+        seed: 7,
+    });
+    let start = StartSystem::uniform(2, 2);
+    let x0 = start.solution_by_index(1);
+    let brutal = TrackParams {
+        corrector: NewtonParams {
+            residual_tol: 1e-19,
+            step_tol: 1e-21,
+            max_iters: 8,
+        },
+        ..Default::default()
+    };
+    let r = track_escalating_engine(&builder, &sys, &start, 33, &x0, brutal, brutal).unwrap();
+    println!(
+        "escalating track: finished in {:?} (success: {})",
+        r.precision(),
+        r.success()
+    );
+    assert_eq!(r.precision(), UsedPrecision::DoubleDouble);
+}

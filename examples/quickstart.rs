@@ -1,6 +1,7 @@
-//! Quickstart: build a benchmark system, evaluate it and its Jacobian
-//! on the simulated GPU, compare against the CPU reference, and read
-//! the modeled device cost.
+//! Quickstart: build an engine with the unified builder, evaluate a
+//! benchmark system and its Jacobian on the simulated GPU, compare
+//! against the CPU reference built from the *same spec*, and read the
+//! modeled device cost.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -29,19 +30,26 @@ fn main() {
         shape.d
     );
 
-    // Set up the three-kernel pipeline on the simulated Tesla C2050.
-    let mut gpu = GpuEvaluator::new(&system, GpuOptions::default()).expect("fits the C2050");
+    // One builder, every backend. The paper's single-point pipeline:
+    let mut gpu = Engine::builder()
+        .backend(Backend::Gpu)
+        .build(&system)
+        .expect("fits the C2050");
     println!(
-        "constant memory used: {} bytes of 65,536 (positions + exponents)",
-        gpu.constant_bytes_used()
+        "backend `{}`: {} bytes of 65,536 constant memory (positions + exponents)",
+        gpu.caps().backend,
+        gpu.caps().constant_bytes
     );
 
     // Evaluate at a random point on the unit torus.
     let x = random_point::<f64>(32, 7);
     let on_gpu = gpu.evaluate(&x);
 
-    // The same algorithm, sequentially on the CPU: bit-identical.
-    let mut cpu = AdEvaluator::new(system.clone()).unwrap();
+    // The CPU reference from the same builder spec: bit-identical.
+    let mut cpu = Engine::builder()
+        .backend(Backend::CpuReference)
+        .build(&system)
+        .unwrap();
     let on_cpu = cpu.evaluate(&x);
     assert_eq!(on_gpu.values, on_cpu.values, "values must match bitwise");
     assert_eq!(
@@ -54,12 +62,12 @@ fn main() {
     println!("df_0/dx_0 (x) = {}", on_gpu.jacobian[(0, 0)]);
 
     // An independent oracle (naive powering + analytic derivatives).
-    let mut oracle = NaiveEvaluator::new(system);
+    let mut oracle = NaiveEvaluator::new(system.clone());
     let diff = on_gpu.max_difference(&oracle.evaluate(&x));
     println!("max difference vs naive oracle: {diff:.2e} (rounding only)");
 
     // The modeled device cost behind the paper's tables.
-    let stats = gpu.stats();
+    let stats = gpu.engine_stats();
     println!("\nmodeled device cost per evaluation:");
     println!(
         "  kernels   {:>8.2} us",
@@ -78,13 +86,19 @@ fn main() {
         "  -> {:.2} s for the paper's 100,000 evaluations (paper measured 15.265 s)",
         stats.seconds_per_eval() * 1e5
     );
-    for report in gpu.last_reports() {
-        println!(
-            "  kernel `{}`: {} warps, {} transactions, {:?}-bound",
-            report.kernel_name,
-            report.counters.warps,
-            report.counters.global_transactions,
-            report.timing.bound
-        );
-    }
+
+    // The batched engine from the same spec amortizes the fixed costs
+    // (launch overhead + PCIe latency) across the whole batch.
+    let mut batch = Engine::builder()
+        .backend(Backend::GpuBatch { capacity: 64 })
+        .build(&system)
+        .unwrap();
+    let points = random_points::<f64>(32, 64, 7);
+    let evals = batch.try_evaluate_batch(&points).expect("within capacity");
+    assert_eq!(evals.len(), 64);
+    println!(
+        "\nbatched backend at P = 64: fixed cost/eval {:.2} us (single-point: {:.2} us)",
+        batch.engine_stats().overhead_transfer_per_eval() * 1e6,
+        stats.overhead_transfer_per_eval() * 1e6
+    );
 }

@@ -21,29 +21,46 @@
 //! | [`cluster`] | multi-device sharding with stream-overlapped transfers |
 //! | [`homotopy`] | Newton's method and path tracking on top |
 //!
+//! The public surface is the unified [`engine`] API: one
+//! [`engine::Engine::builder`] selects the backend (CPU reference,
+//! single-point GPU, batched GPU, or a device cluster), the precision,
+//! and the tuning; every backend implements the object-safe
+//! [`engine::AnyEvaluator`] trait and produces **bit-identical**
+//! results; an [`engine::Session`] keeps several encoded systems
+//! resident in one device's constant memory so successive homotopy
+//! stages switch systems without re-paying setup.
+//!
 //! ## Quickstart
 //!
 //! ```
 //! use polygpu::prelude::*;
 //!
-//! // A random benchmark system in the paper's regular shape:
-//! // dimension 16, 4 monomials per polynomial, 3 variables per
-//! // monomial, exponents up to 2.
+//! // A random benchmark system in the paper's regular shape.
 //! let params = BenchmarkParams { n: 16, m: 4, k: 3, d: 2, seed: 1 };
 //! let system = random_system::<f64>(&params);
 //!
-//! // Evaluate the system and its Jacobian on the simulated Tesla C2050…
-//! let mut gpu = GpuEvaluator::new(&system, GpuOptions::default()).unwrap();
-//! let x = random_point(16, 2);
-//! let on_gpu = gpu.evaluate(&x);
+//! // One builder, every backend. Pick the batched engine…
+//! let mut engine = Engine::builder()
+//!     .backend(Backend::GpuBatch { capacity: 32 })
+//!     .build(&system)
+//!     .unwrap();
 //!
-//! // …and with the same algorithm sequentially: bit-identical.
-//! let mut cpu = AdEvaluator::new(system).unwrap();
-//! assert_eq!(on_gpu.values, cpu.evaluate(&x).values);
+//! // …evaluate the system and its Jacobian at many points in one
+//! // modeled round trip…
+//! let points = random_points::<f64>(16, 8, 2);
+//! let evals = engine.try_evaluate_batch(&points).unwrap();
+//!
+//! // …and check it against the CPU reference from the same spec:
+//! // bit-identical, like every backend reachable from the builder.
+//! let mut cpu = Engine::builder()
+//!     .backend(Backend::CpuReference)
+//!     .build(&system)
+//!     .unwrap();
+//! assert_eq!(evals[0].values, cpu.evaluate(&points[0]).values);
 //!
 //! // The device cost model behind the paper's tables:
-//! println!("modeled GPU time/eval: {:.1} us",
-//!          gpu.stats().seconds_per_eval() * 1e6);
+//! println!("modeled time/eval: {:.1} us",
+//!          engine.engine_stats().seconds_per_eval() * 1e6);
 //! ```
 
 pub use polygpu_cluster as cluster;
@@ -54,8 +71,54 @@ pub use polygpu_homotopy as homotopy;
 pub use polygpu_polysys as polysys;
 pub use polygpu_qd as qd;
 
+/// The unified engine API with **every** backend available:
+/// [`Engine::builder`](engine::Engine::builder) here (unlike the
+/// core-layer builder) has the cluster backend wired to
+/// [`polygpu_cluster::Sharded`].
+pub mod engine {
+    pub use polygpu_cluster::Sharded;
+    pub use polygpu_core::engine::{
+        AnyEvaluator, Backend, BuildError, ClusterPolicy, ClusterProvider, ClusterSpec,
+        CpuReferenceEngine, EngineBuilder, EngineCaps, NoCluster, ResidencyRow, Session,
+        SessionAmortization, SystemId,
+    };
+
+    /// The facade's unified entry point: every backend, one builder.
+    ///
+    /// ```
+    /// use polygpu::engine::{Backend, ClusterPolicy, Engine};
+    /// use polygpu::gpusim::prelude::DeviceSpec;
+    /// use polygpu::polysys::{random_system, BenchmarkParams};
+    ///
+    /// let sys = random_system::<f64>(&BenchmarkParams { n: 8, m: 3, k: 2, d: 2, seed: 7 });
+    /// let cluster = Engine::builder()
+    ///     .backend(Backend::Cluster {
+    ///         devices: vec![DeviceSpec::tesla_c2050(); 2],
+    ///         policy: ClusterPolicy::default(),
+    ///     })
+    ///     .per_device_capacity(16)
+    ///     .build(&sys)
+    ///     .unwrap();
+    /// assert_eq!(cluster.caps().devices, 2);
+    /// ```
+    pub struct Engine;
+
+    impl Engine {
+        /// A validated, fluent builder over every backend
+        /// ([`Backend::CpuReference`] | [`Backend::Gpu`] |
+        /// [`Backend::GpuBatch`] | [`Backend::Cluster`]), precision
+        /// chosen per [`EngineBuilder::build`] call.
+        pub fn builder() -> EngineBuilder<Sharded> {
+            polygpu_cluster::engine_builder()
+        }
+    }
+}
+
 /// Everything a typical user needs in one import.
 pub mod prelude {
+    pub use crate::engine::{
+        AnyEvaluator, Backend, BuildError, ClusterPolicy, Engine, EngineCaps, Session,
+    };
     pub use polygpu_cluster::{ClusterOptions, ClusterStats, ShardPolicy, ShardedBatchEvaluator};
     pub use polygpu_complex::{CDd, CMat, CQd, Complex, C64};
     pub use polygpu_core::pipeline::{GpuEvaluator, GpuOptions, PipelineStats};
@@ -68,8 +131,8 @@ pub mod prelude {
     pub use polygpu_homotopy::prelude::*;
     pub use polygpu_polysys::{
         cost, random_point, random_points, random_system, AdEvaluator, BatchSystemEvaluator,
-        BenchmarkParams, Monomial, NaiveEvaluator, OpCounts, Polynomial, SingleBatch, System,
-        SystemEval, SystemEvaluator, Term, UniformShape,
+        BenchmarkParams, Monomial, NaiveEvaluator, OpCounts, Polynomial, System, SystemEval,
+        SystemEvaluator, Term, UniformShape,
     };
     pub use polygpu_qd::{Dd, Qd, Real};
 }

@@ -1,0 +1,112 @@
+//! Facade-level integration of the unified engine API: the `polygpu`
+//! crate's `Engine::builder()` reaches every backend (including the
+//! cluster, wired to `polygpu_cluster::Sharded`), with bit-identical
+//! results and a working residency session.
+
+use polygpu::prelude::*;
+
+#[test]
+fn facade_builder_reaches_all_four_backends_bit_identically() {
+    let params = BenchmarkParams {
+        n: 8,
+        m: 4,
+        k: 3,
+        d: 2,
+        seed: 5,
+    };
+    let system = random_system::<f64>(&params);
+    let points = random_points::<f64>(8, 6, 11);
+    let backends = [
+        Backend::CpuReference,
+        Backend::Gpu,
+        Backend::GpuBatch { capacity: 6 },
+        Backend::Cluster {
+            devices: vec![DeviceSpec::tesla_c2050(); 3],
+            policy: ClusterPolicy::default(),
+        },
+    ];
+    let mut want: Option<Vec<SystemEval<f64>>> = None;
+    for backend in backends {
+        let mut engine = Engine::builder()
+            .backend(backend)
+            .per_device_capacity(2)
+            .build(&system)
+            .unwrap();
+        let got = engine.try_evaluate_batch(&points).unwrap();
+        let name = engine.caps().backend;
+        match &want {
+            None => want = Some(got),
+            Some(w) => {
+                for (i, (g, x)) in got.iter().zip(w).enumerate() {
+                    assert_eq!(g.values, x.values, "{name}, point {i}");
+                    assert_eq!(
+                        g.jacobian.as_slice(),
+                        x.jacobian.as_slice(),
+                        "{name}, point {i}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn facade_builder_validates_and_reports_errors() {
+    let system = random_system::<f64>(&BenchmarkParams {
+        n: 4,
+        m: 3,
+        k: 2,
+        d: 2,
+        seed: 1,
+    });
+    let err = match Engine::builder()
+        .backend(Backend::Cluster {
+            devices: vec![],
+            policy: ClusterPolicy::RoundRobin,
+        })
+        .build(&system)
+    {
+        Ok(_) => panic!("empty device list must not build"),
+        Err(e) => e,
+    };
+    assert!(matches!(err, BuildError::NoDevices));
+    // Errors are std::error::Error with Display.
+    let boxed: Box<dyn std::error::Error> = Box::new(err);
+    assert!(boxed.to_string().contains("at least one device"));
+}
+
+#[test]
+fn facade_session_amortizes_against_reencoding() {
+    let builder = Engine::builder().backend(Backend::GpuBatch { capacity: 4 });
+    let mut session = builder.session::<f64>().unwrap();
+    let sys_a = random_system::<f64>(&BenchmarkParams {
+        n: 16,
+        m: 8,
+        k: 5,
+        d: 2,
+        seed: 2,
+    });
+    let sys_b = random_system::<f64>(&BenchmarkParams {
+        n: 16,
+        m: 12,
+        k: 5,
+        d: 2,
+        seed: 3,
+    });
+    let a = session.load("g", &sys_a).unwrap();
+    let b = session.load("f", &sys_b).unwrap();
+    let points = random_points::<f64>(16, 4, 9);
+    for _ in 0..5 {
+        for id in [a, b] {
+            let _ = session.activate(id).try_evaluate_batch(&points).unwrap();
+        }
+    }
+    let am = session.amortization();
+    assert_eq!(am.stages, 10);
+    assert!(
+        am.steady_state_ratio >= 5.0,
+        "resident stages must be >= 5x cheaper than re-encoding, got {:.2}x",
+        am.steady_state_ratio
+    );
+    assert!(session.constant_bytes_used() <= session.constant_budget());
+}
