@@ -11,6 +11,7 @@
 //! repro batch               B1: batched engine sweep over P in {1,4,16,64,256}
 //! repro cluster             C1: multi-device scaling over D in {1,2,4,8} at P = 256
 //! repro session             S1: multi-system residency table and setup amortization
+//! repro solve               Solver: scheduler x backend table (paths/s, occupancy, escalation)
 //! repro multicore           multicore quality-up (companion experiment)
 //! repro dims                working-dimension feasibility sweep (sections 3.1-3.2)
 //! repro all [--full]        everything above, in order
@@ -56,6 +57,7 @@ fn main() -> ExitCode {
         "batch" => batch(),
         "cluster" => cluster(&mut model_ok),
         "session" => session(&mut model_ok),
+        "solve" => solve(&mut model_ok),
         "multicore" => multicore(),
         "dims" => dims(),
         "all" => {
@@ -71,6 +73,7 @@ fn main() -> ExitCode {
             batch();
             cluster(&mut model_ok);
             session(&mut model_ok);
+            solve(&mut model_ok);
             if !model_only {
                 multicore();
             }
@@ -176,6 +179,38 @@ fn session(model_ok: &mut bool) {
          (joint budget enforced at load), so switching the active system is one\n\
          modeled command-queue round trip instead of re-uploading supports and\n\
          coefficients and re-running the validation probe.\n"
+    );
+}
+
+fn solve(model_ok: &mut bool) {
+    let sweep = solve_sweep();
+    println!("{}", format_solve_sweep(&sweep));
+    let checks = [
+        (
+            "identity check (per-path and queue endpoints bit-identical across backends)",
+            sweep.endpoints_identical,
+        ),
+        (
+            "occupancy check (auto-sized queue front > 0.8 occupied on the D = 4 cluster)",
+            sweep.queue_occupancy_d4 > 0.8,
+        ),
+        (
+            "escalation check (f64-unreachable tolerance retried and rescued in dd)",
+            sweep.escalation_retried > 0 && sweep.escalation_rescued > 0,
+        ),
+    ];
+    for (what, ok) in checks {
+        if !ok {
+            *model_ok = false;
+        }
+        println!("{}: {}", what, if ok { "PASS" } else { "FAIL" });
+    }
+    println!(
+        "model: one SolveRequest runs unchanged on every scheduler and backend;\n\
+         schedulers are performance choices (the lockstep front shares its step\n\
+         size, so only its cross-backend identity is asserted), SlotPolicy::Auto\n\
+         sizes the queue front to D x per-device capacity from EngineCaps, and\n\
+         escalation re-enters the same scheduler in double-double.\n"
     );
 }
 

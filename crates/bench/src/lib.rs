@@ -727,6 +727,216 @@ pub fn format_session(report: &SessionReport) -> String {
     s
 }
 
+/// One row of the solver sweep (scheduler × backend).
+#[derive(Debug, Clone)]
+pub struct SolveRow {
+    pub scheduler: &'static str,
+    pub backend: &'static str,
+    pub devices: usize,
+    pub paths: usize,
+    pub successes: usize,
+    /// Modeled engine wall seconds, both precision passes.
+    pub wall_seconds: f64,
+    /// Paths per modeled second (0 for the unmodeled CPU reference).
+    pub paths_per_sec: f64,
+    /// Mean slot occupancy of the scheduler's front.
+    pub occupancy: f64,
+    /// Fraction of paths retried in double-double.
+    pub escalation_rate: f64,
+}
+
+/// The solver sweep plus its deterministic acceptance checks.
+#[derive(Debug, Clone)]
+pub struct SolveSweep {
+    pub rows: Vec<SolveRow>,
+    /// Per-path and queue endpoints bit-identical across every backend.
+    pub endpoints_identical: bool,
+    /// Queue occupancy of the `SlotPolicy::Auto` front on the D = 4
+    /// cluster (the bar is > 0.8).
+    pub queue_occupancy_d4: f64,
+    /// The escalation demo (f64-unreachable tolerance): paths retried
+    /// and rescued in double-double.
+    pub escalation_retried: usize,
+    pub escalation_rescued: usize,
+}
+
+impl SolveSweep {
+    /// All model-side acceptance bars of `repro solve` in one place.
+    pub fn passes(&self) -> bool {
+        self.endpoints_identical
+            && self.queue_occupancy_d4 > 0.8
+            && self.escalation_retried > 0
+            && self.escalation_rescued > 0
+    }
+}
+
+/// The scheduler × backend table behind `repro solve`: one
+/// `SolveRequest` (36 total-degree paths of a dim-2 system) through
+/// every built-in scheduler on the CPU-reference, batched-GPU and
+/// 4-device-cluster backends, with modeled throughput, occupancy and
+/// escalation telemetry read straight off the `SolveReport`. Fully
+/// modeled, hence deterministic.
+pub fn solve_sweep() -> SolveSweep {
+    use polygpu_cluster::Sharded;
+    use polygpu_core::engine::EngineBuilder;
+    use polygpu_homotopy::prelude::*;
+
+    let params = BenchmarkParams {
+        n: 2,
+        m: 2,
+        k: 2,
+        d: 2,
+        seed: 5,
+    };
+    let sys = random_system::<f64>(&params);
+    let start = polygpu_homotopy::start::StartSystem::uniform(2, 6); // 36 paths
+    let req = SolveRequest::new(sys.clone())
+        .with_start(start)
+        .with_gamma_seed(11);
+
+    let per_device = 2usize;
+    let backends: Vec<(&'static str, EngineBuilder<Sharded>)> = vec![
+        (
+            "cpu-reference",
+            polygpu_cluster::engine_builder().backend(polygpu_core::Backend::CpuReference),
+        ),
+        (
+            "gpu-batch",
+            polygpu_cluster::engine_builder().backend(polygpu_core::Backend::GpuBatch {
+                capacity: 4 * per_device,
+            }),
+        ),
+        (
+            "cluster",
+            polygpu_cluster::engine_builder()
+                .backend(polygpu_core::Backend::Cluster {
+                    devices: vec![DeviceSpec::tesla_c2050(); 4],
+                    policy: polygpu_core::engine::ClusterPolicy::default(),
+                })
+                .per_device_capacity(per_device),
+        ),
+    ];
+    let schedulers = [
+        SchedulerKind::PerPath,
+        SchedulerKind::Lockstep,
+        SchedulerKind::Queue {
+            slots: SlotPolicy::Auto,
+        },
+    ];
+
+    let mut rows = Vec::new();
+    let mut endpoints_identical = true;
+    let mut queue_occupancy_d4 = 0.0;
+    let mut reference: Option<Vec<PathEndpoint>> = None;
+    for (name, builder) in &backends {
+        for scheduler in schedulers {
+            let report = Solver::from_builder(builder.clone())
+                .solve(&req.clone().with_scheduler(scheduler))
+                .expect("sweep systems fit every backend");
+            let wall = report.engine.wall_clock_seconds();
+            rows.push(SolveRow {
+                scheduler: scheduler.name(),
+                backend: name,
+                devices: report.caps.devices,
+                paths: report.paths.len(),
+                successes: report.successes(),
+                wall_seconds: wall,
+                paths_per_sec: report.paths_per_second(),
+                occupancy: report.occupancy(),
+                escalation_rate: report.escalation_rate(),
+            });
+            // The cross-scheduler × cross-backend identity bar: the
+            // per-path and queue schedulers agree bit for bit
+            // everywhere (lockstep shares its front step size, so it
+            // is only checked against itself across backends).
+            if scheduler != SchedulerKind::Lockstep {
+                let endpoints: Vec<PathEndpoint> =
+                    report.paths.iter().map(|p| p.endpoint.clone()).collect();
+                match &reference {
+                    None => reference = Some(endpoints),
+                    Some(want) => endpoints_identical &= &endpoints == want,
+                }
+            }
+            if *name == "cluster" && scheduler == schedulers[2] {
+                queue_occupancy_d4 = report.occupancy();
+            }
+        }
+    }
+
+    // Escalation demo: an f64-unreachable tolerance forces every path
+    // into the double-double retry, which rescues them on the same
+    // backend spec.
+    let brutal = TrackParams {
+        corrector: NewtonParams {
+            residual_tol: 1e-19,
+            step_tol: 1e-21,
+            max_iters: 8,
+        },
+        ..Default::default()
+    };
+    let esc_req = SolveRequest::new(sys)
+        .with_start(polygpu_homotopy::start::StartSystem::uniform(2, 2))
+        .with_gamma_seed(33)
+        .with_params(brutal)
+        .with_precision(PrecisionPolicy::Escalating { dd_params: brutal });
+    let esc = Solver::from_builder(backends[1].1.clone())
+        .solve(&esc_req)
+        .expect("escalation demo fits the batched backend");
+    let (retried, rescued) = esc
+        .escalation
+        .as_ref()
+        .map_or((0, 0), |e| (e.retried, e.rescued));
+
+    SolveSweep {
+        rows,
+        endpoints_identical,
+        queue_occupancy_d4,
+        escalation_retried: retried,
+        escalation_rescued: rescued,
+    }
+}
+
+/// Render the solver sweep in markdown.
+pub fn format_solve_sweep(sweep: &SolveSweep) -> String {
+    let mut s = String::new();
+    s.push_str("### Solver — one request, every scheduler x backend (36 paths, dim-2 system)\n\n");
+    s.push_str(
+        "| scheduler | backend | D | paths ok | modeled wall | paths/s | occupancy | escalated |\n",
+    );
+    s.push_str(
+        "|-----------|---------|--:|---------:|-------------:|--------:|----------:|----------:|\n",
+    );
+    for r in &sweep.rows {
+        let wall = if r.wall_seconds > 0.0 {
+            format!("{:.1} us", r.wall_seconds * 1e6)
+        } else {
+            "(unmodeled)".to_string()
+        };
+        let pps = if r.paths_per_sec > 0.0 {
+            format!("{:.0}", r.paths_per_sec)
+        } else {
+            "-".to_string()
+        };
+        s.push_str(&format!(
+            "| {} | {} | {} | {}/{} | {} | {} | {:.2} | {:.0}% |\n",
+            r.scheduler,
+            r.backend,
+            r.devices,
+            r.successes,
+            r.paths,
+            wall,
+            pps,
+            r.occupancy,
+            r.escalation_rate * 100.0
+        ));
+    }
+    s.push_str(&format!(
+        "\nescalation demo (1e-19 tolerance, unreachable in f64): {} retried, {} rescued in double-double\n",
+        sweep.escalation_retried, sweep.escalation_rescued
+    ));
+    s
+}
+
 /// Fixture for the batch benches: a batched evaluator at `capacity`
 /// plus matching random points.
 pub fn batch_fixture(
@@ -892,6 +1102,36 @@ mod tests {
         let s = format_session(&report);
         assert!(s.contains("stage-1024"));
         assert!(s.contains("per-stage amortization"));
+    }
+
+    /// The `repro solve` acceptance: endpoints identical across
+    /// schedulers and backends, the auto-sized queue front > 0.8
+    /// occupied on the D = 4 cluster, and the escalation demo rescues
+    /// its paths in double-double.
+    #[test]
+    fn solve_sweep_passes_its_gates() {
+        let sweep = solve_sweep();
+        assert_eq!(sweep.rows.len(), 9, "3 schedulers x 3 backends");
+        assert!(sweep.endpoints_identical, "{sweep:?}");
+        assert!(
+            sweep.queue_occupancy_d4 > 0.8,
+            "auto-front occupancy at D = 4: {:.3}",
+            sweep.queue_occupancy_d4
+        );
+        assert_eq!(sweep.escalation_retried, 4);
+        assert!(sweep.escalation_rescued > 0);
+        assert!(sweep.passes());
+        // Modeled throughput exists exactly where a device model does.
+        for r in &sweep.rows {
+            if r.backend == "cpu-reference" {
+                assert_eq!(r.paths_per_sec, 0.0);
+            } else {
+                assert!(r.paths_per_sec > 0.0, "{r:?}");
+            }
+        }
+        let s = format_solve_sweep(&sweep);
+        assert!(s.contains("| queue | cluster | 4 |"));
+        assert!(s.contains("rescued in double-double"));
     }
 
     #[test]

@@ -386,6 +386,14 @@ impl<R: Real> AnyEvaluator<R> for ShardedBatchEvaluator<R> {
             backend: "cluster",
             devices: self.devices.len(),
             capacity: self.max_batch(),
+            // The tightest device's single-round-trip absorption: with
+            // `devices ×` this front every device's batch stays full.
+            per_device_capacity: self
+                .devices
+                .iter()
+                .map(|d| d.capacity())
+                .min()
+                .unwrap_or(usize::MAX),
             batched: true,
             constant_bytes: self.devices.iter().map(|d| d.constant_bytes_used()).sum(),
         }

@@ -55,11 +55,17 @@ fn queue_endpoints_bit_identical_across_device_counts() {
                 "endpoint must be bit-identical, D = {d}, path {i}"
             );
         }
-        assert_eq!(got.rounds, want.rounds, "D = {d}");
-        assert_eq!(got.steps_accepted, want.steps_accepted, "D = {d}");
-        assert_eq!(got.steps_rejected, want.steps_rejected, "D = {d}");
+        assert_eq!(got.stats.rounds, want.stats.rounds, "D = {d}");
         assert_eq!(
-            got.corrector_iterations, want.corrector_iterations,
+            got.stats.steps_accepted, want.stats.steps_accepted,
+            "D = {d}"
+        );
+        assert_eq!(
+            got.stats.steps_rejected, want.stats.steps_rejected,
+            "D = {d}"
+        );
+        assert_eq!(
+            got.stats.corrector_iterations, want.stats.corrector_iterations,
             "D = {d}"
         );
         // The cluster really did the evaluations (all devices on D > 1

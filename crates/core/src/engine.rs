@@ -54,8 +54,8 @@ use crate::pipeline::{GpuEvaluator, GpuOptions, PipelineStats, SetupError};
 use polygpu_complex::{Complex, Real};
 use polygpu_gpusim::prelude::*;
 use polygpu_polysys::{
-    loop_evaluate_batch, AdEvaluator, BatchSystemEvaluator, System, SystemError, SystemEval,
-    SystemEvaluator, UniformShape,
+    loop_evaluate_batch, AdEvaluator, BatchSystemEvaluator, NaiveEvaluator, System, SystemError,
+    SystemEval, SystemEvaluator, UniformShape,
 };
 use std::fmt;
 
@@ -71,14 +71,31 @@ pub struct EngineCaps {
     pub backend: &'static str,
     /// Devices the engine spans (0 for a pure-CPU engine).
     pub devices: usize,
-    /// Largest batch one `evaluate_batch` call accepts.
+    /// Largest batch one `evaluate_batch` call accepts (summed over
+    /// devices for a cluster).
     pub capacity: usize,
+    /// Largest batch one *device* absorbs in a single round trip
+    /// (`capacity` again for single-device engines; the tightest
+    /// device's capacity for a heterogeneous cluster; unbounded —
+    /// `usize::MAX` — for engines whose batch merely loops).
+    pub per_device_capacity: usize,
     /// Whether a batch amortizes fixed costs (one round trip for many
     /// points) or merely loops the single-point path.
     pub batched: bool,
     /// Bytes of device constant memory the encoded system occupies
     /// (summed over devices; 0 for CPU).
     pub constant_bytes: usize,
+}
+
+impl EngineCaps {
+    /// The slot-front size a capacity-aware scheduler should run:
+    /// `devices × per-device capacity` keeps every device's batch full
+    /// each round (saturating; effectively unbounded for loop-batching
+    /// engines, so callers clamp to their path count). This is what
+    /// `SlotPolicy::Auto` in `polygpu-homotopy` resolves to.
+    pub fn auto_slots(&self) -> usize {
+        self.devices.max(1).saturating_mul(self.per_device_capacity)
+    }
 }
 
 /// The object-safe union of every evaluator in the workspace: single
@@ -150,34 +167,61 @@ fn validate_batch<R: Real>(n: usize, points: &[Vec<Complex<R>>]) -> Result<(), B
 // Backend implementations of AnyEvaluator
 // ---------------------------------------------------------------------
 
+/// The CPU algorithm behind [`CpuReferenceEngine`]: uniform systems
+/// run the paper's AD evaluator (bit-identical to the device
+/// backends); non-uniform systems — which no device backend encodes —
+/// fall back to direct naive evaluation.
+enum CpuAlgo<R: Real> {
+    Ad(AdEvaluator<R>),
+    Naive(NaiveEvaluator<R>),
+}
+
 /// The sequential CPU reference (the paper's one-core algorithm) behind
 /// the unified interface: no device model, unlimited batch capacity,
-/// bit-identical to the GPU backends.
+/// bit-identical to the GPU backends on every system they accept. For
+/// systems outside the paper's uniform shape (which every device
+/// backend refuses) it evaluates naively instead, so the unified
+/// surface still covers arbitrary square systems.
 pub struct CpuReferenceEngine<R: Real> {
-    inner: AdEvaluator<R>,
+    inner: CpuAlgo<R>,
     evaluations: u64,
     batches: u64,
 }
 
 impl<R: Real> CpuReferenceEngine<R> {
     pub fn new(system: &System<R>) -> Result<Self, SystemError> {
+        let inner = match AdEvaluator::new(system.clone()) {
+            Ok(ad) => CpuAlgo::Ad(ad),
+            Err(SystemError::NotUniform(_)) => CpuAlgo::Naive(NaiveEvaluator::new(system.clone())),
+            Err(e) => return Err(e),
+        };
         Ok(CpuReferenceEngine {
-            inner: AdEvaluator::new(system.clone())?,
+            inner,
             evaluations: 0,
             batches: 0,
         })
+    }
+
+    fn eval_inner(&mut self, x: &[Complex<R>]) -> SystemEval<R> {
+        match &mut self.inner {
+            CpuAlgo::Ad(e) => e.evaluate(x),
+            CpuAlgo::Naive(e) => e.evaluate(x),
+        }
     }
 }
 
 impl<R: Real> SystemEvaluator<R> for CpuReferenceEngine<R> {
     fn dim(&self) -> usize {
-        self.inner.dim()
+        match &self.inner {
+            CpuAlgo::Ad(e) => e.dim(),
+            CpuAlgo::Naive(e) => e.dim(),
+        }
     }
 
     fn evaluate(&mut self, x: &[Complex<R>]) -> SystemEval<R> {
         self.evaluations += 1;
         self.batches += 1;
-        self.inner.evaluate(x)
+        self.eval_inner(x)
     }
 
     fn name(&self) -> &str {
@@ -193,7 +237,10 @@ impl<R: Real> BatchSystemEvaluator<R> for CpuReferenceEngine<R> {
     fn evaluate_batch(&mut self, points: &[Vec<Complex<R>>]) -> Vec<SystemEval<R>> {
         self.evaluations += points.len() as u64;
         self.batches += 1;
-        loop_evaluate_batch(&mut self.inner, points)
+        match &mut self.inner {
+            CpuAlgo::Ad(e) => loop_evaluate_batch(e, points),
+            CpuAlgo::Naive(e) => loop_evaluate_batch(e, points),
+        }
     }
 }
 
@@ -224,6 +271,7 @@ impl<R: Real> AnyEvaluator<R> for CpuReferenceEngine<R> {
             backend: "cpu-reference",
             devices: 0,
             capacity: usize::MAX,
+            per_device_capacity: usize::MAX,
             batched: false,
             constant_bytes: 0,
         }
@@ -252,6 +300,7 @@ impl<R: Real> AnyEvaluator<R> for GpuEvaluator<R> {
             backend: "gpu",
             devices: 1,
             capacity: usize::MAX,
+            per_device_capacity: usize::MAX,
             batched: false,
             constant_bytes: self.constant_bytes_used(),
         }
@@ -279,6 +328,7 @@ impl<R: Real> AnyEvaluator<R> for BatchGpuEvaluator<R> {
             backend: "gpu-batch",
             devices: 1,
             capacity: self.capacity(),
+            per_device_capacity: self.capacity(),
             batched: true,
             constant_bytes: self.constant_bytes_used(),
         }

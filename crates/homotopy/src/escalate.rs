@@ -7,6 +7,12 @@
 //! Most paths finish in fast double precision; the rare hard path is
 //! retried in double-double, whose ~8x cost is exactly what the
 //! parallel evaluator is meant to absorb.
+//!
+//! For multi-path runs, prefer
+//! [`PrecisionPolicy::Escalating`](crate::solve::PrecisionPolicy):
+//! `solve()` applies the same retry as a *policy* over any scheduler
+//! (per-path, lockstep or queue) and replays [`track_escalating_engine`]
+//! bit for bit under the per-path scheduler.
 
 use crate::homotopy::Homotopy;
 use crate::start::StartSystem;
@@ -21,6 +27,15 @@ use polygpu_qd::Dd;
 pub enum UsedPrecision {
     Double,
     DoubleDouble,
+}
+
+impl UsedPrecision {
+    pub fn name(self) -> &'static str {
+        match self {
+            UsedPrecision::Double => "double",
+            UsedPrecision::DoubleDouble => "double-double",
+        }
+    }
 }
 
 /// Outcome of an escalating track.

@@ -7,14 +7,19 @@
 //! system and its Jacobian. Everything here is generic over
 //! [`polygpu_polysys::SystemEvaluator`], so the corrector runs
 //! identically against the CPU reference evaluators or the simulated
-//! GPU pipeline of `polygpu-core` — and every driver (`newton`,
-//! `track`, `track_lockstep`, `track_queue`) accepts the unified
-//! engine surface as a trait object: build any backend with
-//! `polygpu_core::engine::Engine::builder()` and pass it as
-//! `&mut dyn AnyEvaluator<R>` or `Box<dyn AnyEvaluator<R>>`
-//! (precision escalation re-requests a higher-precision engine from
-//! the same builder spec via
-//! [`escalate::track_escalating_engine`]).
+//! GPU pipeline of `polygpu-core`.
+//!
+//! The one entry point is [`solve::Solver::solve`]: a
+//! [`solve::SolveRequest`] picks the scheduler
+//! (per-path / lockstep / queue) and the precision policy (fixed or
+//! escalate-on-failure), the [`solve::Solver`] owns an engine spec and
+//! provisions backends per precision, and every combination returns
+//! the same [`solve::SolveReport`] shape. The underlying drivers
+//! (`newton`, `track`, `track_lockstep`, `track_queue`) remain public
+//! — `solve()` replays them bit for bit — and all accept the unified
+//! engine surface as a trait object (`&mut dyn AnyEvaluator<R>` or
+//! `Box<dyn AnyEvaluator<R>>` from
+//! `polygpu_core::engine::Engine::builder()`).
 //!
 //! ```
 //! use polygpu_homotopy::prelude::*;
@@ -38,6 +43,7 @@ pub mod lu;
 pub mod newton;
 pub mod quality;
 pub mod queue;
+pub mod solve;
 pub mod solver;
 pub mod start;
 pub mod tracker;
@@ -55,7 +61,11 @@ pub mod prelude {
     pub use crate::lu::{lu_decompose, solve, LuFactors, SingularMatrix};
     pub use crate::newton::{newton, NewtonParams, NewtonResult, ShiftedEvaluator, StopReason};
     pub use crate::quality::{quality_up_ladder, Precision, QualityUp};
-    pub use crate::queue::{track_queue, PathQueue, QueueResult};
+    pub use crate::queue::{track_queue, PathQueue, QueueResult, QueueStats, SlotPolicy};
+    pub use crate::solve::{
+        PathEndpoint, PathReport, PrecisionPolicy, Scheduler, SchedulerKind, SchedulerRun,
+        SolveError, SolveReport, SolveRequest, Solver, StartSelection,
+    };
     pub use crate::solver::{solve_total_degree, Root, SolveParams, SolveResult};
     pub use crate::start::StartSystem;
     pub use crate::tracker::{track, PathPoint, TrackOutcome, TrackParams, TrackResult};

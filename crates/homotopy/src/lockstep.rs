@@ -349,11 +349,31 @@ pub struct LockstepResult<R> {
     /// single-path tracker would have issued one per path per
     /// evaluation instead.
     pub batch_rounds: usize,
+    /// Sum over rounds of live paths — against `rounds × paths` this
+    /// exposes the shrinking-front occupancy decay the path queue
+    /// ([`crate::queue::track_queue`]) exists to fix.
+    pub point_rounds: usize,
 }
 
 impl<R: Real> LockstepResult<R> {
     pub fn successes(&self) -> usize {
         self.paths.iter().filter(|p| p.success()).count()
+    }
+
+    /// The run's scheduling statistics in the shared
+    /// [`QueueStats`](crate::queue::QueueStats) shape (the lockstep
+    /// front never refills; its slot count is the path count).
+    pub fn stats(&self) -> crate::queue::QueueStats {
+        crate::queue::QueueStats {
+            rounds: self.rounds,
+            batch_rounds: self.batch_rounds,
+            refills: 0,
+            point_rounds: self.point_rounds,
+            slots: self.paths.len(),
+            steps_accepted: self.steps_accepted,
+            steps_rejected: self.steps_rejected,
+            corrector_iterations: self.corrector_iterations,
+        }
     }
 }
 
@@ -389,9 +409,11 @@ where
     let mut rejected = 0usize;
     let mut corrector_iters = 0usize;
     let mut batch_rounds = 0usize;
+    let mut point_rounds = 0usize;
 
     while !live.is_empty() && t < 1.0 && rounds < params.max_steps {
         rounds += 1;
+        point_rounds += live.len();
         let dt_clamped = dt.min(1.0 - t);
         let t_new = t + dt_clamped;
 
@@ -499,6 +521,7 @@ where
         steps_rejected: rejected,
         corrector_iterations: corrector_iters,
         batch_rounds,
+        point_rounds,
     }
 }
 

@@ -58,11 +58,52 @@ impl<R: Real> PathQueue<R> {
     }
 }
 
-/// Result of a path-queue run.
-#[derive(Debug, Clone)]
-pub struct QueueResult<R> {
-    /// Per-path endpoints, in start order.
-    pub paths: Vec<LockstepPath<R>>,
+/// How a multi-path scheduler sizes its slot front.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SlotPolicy {
+    /// Size the front to the whole fleet. Schedulers with engine
+    /// capabilities at hand (the `solve` layer) resolve this to
+    /// `devices × per-device capacity` via
+    /// [`polygpu_core::engine::EngineCaps::auto_slots`]; the raw
+    /// [`track_queue`] driver, which only sees a batch evaluator, falls
+    /// back to the evaluator's batch capacity.
+    #[default]
+    Auto,
+    /// Exactly this many slots (clamped to the path count).
+    Fixed(usize),
+}
+
+impl From<usize> for SlotPolicy {
+    /// The legacy `slots: usize` encoding: `0` means [`SlotPolicy::Auto`],
+    /// anything else a fixed front.
+    fn from(slots: usize) -> Self {
+        if slots == 0 {
+            SlotPolicy::Auto
+        } else {
+            SlotPolicy::Fixed(slots)
+        }
+    }
+}
+
+impl SlotPolicy {
+    /// The slot count this policy yields against a fallback capacity
+    /// (`Auto`) and a path count (both arms clamp to it — more slots
+    /// than paths can never be occupied).
+    pub fn resolve(self, auto_capacity: usize, n_paths: usize) -> usize {
+        match self {
+            SlotPolicy::Auto => auto_capacity,
+            SlotPolicy::Fixed(slots) => slots,
+        }
+        .max(1)
+        .min(n_paths.max(1))
+    }
+}
+
+/// Aggregate scheduling statistics of a multi-path run — shared by
+/// every scheduler behind `solve()` (the queue fills all of it; the
+/// per-path and lockstep schedulers report the fields that apply).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
     /// Scheduler rounds (one batched evaluation of all occupied slots
     /// each).
     pub rounds: usize,
@@ -72,7 +113,7 @@ pub struct QueueResult<R> {
     /// Slots refilled from the queue after a path finished.
     pub refills: usize,
     /// Sum over rounds of occupied slots — the numerator of
-    /// [`QueueResult::occupancy`].
+    /// [`QueueStats::occupancy`].
     pub point_rounds: usize,
     /// Slots the scheduler ran with.
     pub slots: usize,
@@ -83,11 +124,7 @@ pub struct QueueResult<R> {
     pub corrector_iterations: usize,
 }
 
-impl<R: Real> QueueResult<R> {
-    pub fn successes(&self) -> usize {
-        self.paths.iter().filter(|p| p.success()).count()
-    }
-
+impl QueueStats {
     /// Mean slot occupancy over the run: `1.0` means every round ran a
     /// full batch. The shrinking-front tracker degrades toward `1/slots`
     /// as paths retire; the queue stays near `1.0` until it drains.
@@ -97,6 +134,26 @@ impl<R: Real> QueueResult<R> {
         } else {
             self.point_rounds as f64 / (self.rounds * self.slots) as f64
         }
+    }
+}
+
+/// Result of a path-queue run.
+#[derive(Debug, Clone)]
+pub struct QueueResult<R> {
+    /// Per-path endpoints, in start order.
+    pub paths: Vec<LockstepPath<R>>,
+    /// Aggregate scheduling statistics.
+    pub stats: QueueStats,
+}
+
+impl<R: Real> QueueResult<R> {
+    pub fn successes(&self) -> usize {
+        self.paths.iter().filter(|p| p.success()).count()
+    }
+
+    /// Mean slot occupancy over the run (see [`QueueStats::occupancy`]).
+    pub fn occupancy(&self) -> f64 {
+        self.stats.occupancy()
     }
 }
 
@@ -160,9 +217,13 @@ struct Finished<R> {
     t: f64,
 }
 
-/// Track every start through `h` with a queue-fed slot front of
-/// `slots` paths (`0` sizes the front to the evaluator capacity,
-/// clamped to the number of starts).
+/// Track every start through `h` with a queue-fed slot front sized by
+/// `slots` — a [`SlotPolicy`] or, for compatibility with the original
+/// signature, a `usize` (`0` converts to [`SlotPolicy::Auto`], which
+/// at this layer sizes the front to the evaluator capacity; the
+/// engine-aware `solve()` layer resolves `Auto` to
+/// `devices × per-device capacity` instead). The front is always
+/// clamped to the number of starts.
 ///
 /// Per path, control flow and arithmetic replicate
 /// [`crate::tracker::track`] exactly — each scheduler round performs
@@ -175,7 +236,7 @@ pub fn track_queue<R: Real, EG, EF>(
     h: &mut BatchHomotopy<R, EG, EF>,
     starts: &[Vec<Complex<R>>],
     params: TrackParams,
-    slots: usize,
+    slots: impl Into<SlotPolicy>,
 ) -> QueueResult<R>
 where
     EG: BatchSystemEvaluator<R>,
@@ -183,7 +244,7 @@ where
 {
     let n_paths = starts.len();
     let cap = h.max_batch().max(1);
-    let slots = if slots == 0 { cap } else { slots }.min(n_paths.max(1));
+    let slots = slots.into().resolve(cap, n_paths);
     let mut queue = PathQueue::from_starts(starts);
     let mut front: Vec<Option<Slot<R>>> = (0..slots)
         .map(|_| queue.pop().map(|(i, x0)| Slot::start(i, x0, &params)))
@@ -371,14 +432,16 @@ where
             .into_iter()
             .map(|p| p.expect("every queued path finishes"))
             .collect(),
-        rounds,
-        batch_rounds,
-        refills,
-        point_rounds,
-        slots,
-        steps_accepted: accepted,
-        steps_rejected: rejected,
-        corrector_iterations: corrector_iters,
+        stats: QueueStats {
+            rounds,
+            batch_rounds,
+            refills,
+            point_rounds,
+            slots,
+            steps_accepted: accepted,
+            steps_rejected: rejected,
+            corrector_iterations: corrector_iters,
+        },
     }
 }
 
@@ -443,9 +506,9 @@ mod tests {
                 assert_eq!(got.x, w.end().x, "endpoint, path {i}, slots {slots}");
                 assert_eq!(got.t, w.end().t, "final t, path {i}, slots {slots}");
             }
-            assert_eq!(r.steps_accepted, sum_acc, "slots {slots}");
-            assert_eq!(r.steps_rejected, sum_rej, "slots {slots}");
-            assert_eq!(r.corrector_iterations, sum_corr, "slots {slots}");
+            assert_eq!(r.stats.steps_accepted, sum_acc, "slots {slots}");
+            assert_eq!(r.stats.steps_rejected, sum_rej, "slots {slots}");
+            assert_eq!(r.stats.corrector_iterations, sum_corr, "slots {slots}");
         }
     }
 
@@ -458,9 +521,9 @@ mod tests {
         let mut h =
             BatchHomotopy::with_random_gamma(start.clone(), AdEvaluator::new(sys).unwrap(), 7);
         let r = track_queue(&mut h, &starts, TrackParams::default(), slots);
-        assert_eq!(r.slots, slots);
+        assert_eq!(r.stats.slots, slots);
         assert_eq!(
-            r.refills,
+            r.stats.refills,
             starts.len() - slots,
             "every path beyond the initial front is a refill"
         );
@@ -472,7 +535,7 @@ mod tests {
             r.occupancy()
         );
         assert_eq!(r.successes() + (r.paths.len() - r.successes()), 8);
-        assert!(r.batch_rounds >= r.rounds);
+        assert!(r.stats.batch_rounds >= r.stats.rounds);
     }
 
     /// `slots = 0` sizes the front to the evaluator capacity; capacity
@@ -487,9 +550,9 @@ mod tests {
             AdEvaluator::new(sys.clone()).unwrap(),
             5,
         );
-        let all = track_queue(&mut h_all, &starts, params, 0);
+        let all = track_queue(&mut h_all, &starts, params, SlotPolicy::Auto);
         assert_eq!(
-            all.slots,
+            all.stats.slots,
             starts.len(),
             "capacity-sized front clamps to paths"
         );
@@ -523,7 +586,7 @@ mod tests {
         );
         let r = track_queue(&mut h, &starts, params, 2);
         assert_eq!(r.successes(), 0);
-        assert!(r.steps_rejected > 0);
+        assert!(r.stats.steps_rejected > 0);
         for (i, (p, x0)) in r.paths.iter().zip(&starts).enumerate() {
             let f = AdEvaluator::new(sys.clone()).unwrap();
             let mut h1 = Homotopy::with_random_gamma(start.clone(), f, 11);
@@ -538,7 +601,7 @@ mod tests {
         let mut h = BatchHomotopy::with_random_gamma(start, AdEvaluator::new(sys).unwrap(), 7);
         let r = track_queue(&mut h, &[], TrackParams::default(), 4);
         assert!(r.paths.is_empty());
-        assert_eq!(r.rounds, 0);
+        assert_eq!(r.stats.rounds, 0);
         assert_eq!(r.occupancy(), 0.0);
     }
 }

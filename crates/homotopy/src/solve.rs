@@ -1,0 +1,1201 @@
+//! One `solve()` entry point over every homotopy driver.
+//!
+//! The drivers grew one at a time — [`crate::tracker::track`] (one
+//! path), [`crate::lockstep::track_lockstep`] (shared front),
+//! [`crate::queue::track_queue`] (refilling slot front),
+//! [`crate::escalate::track_escalating_engine`] (precision retry) —
+//! each with its own signature, slot sizing and result type. This
+//! module puts one surface over all of them:
+//!
+//! * [`SolveRequest`] — *what* to solve: the target system, the start
+//!   system and start points, the tolerances, a
+//!   [`PrecisionPolicy`] (fixed precision or escalate-on-failure) and
+//!   a [`SchedulerKind`];
+//! * [`Scheduler`] — the object-safe trait the existing drivers now
+//!   implement ([`PerPathScheduler`], [`LockstepScheduler`],
+//!   [`QueueScheduler`]); schedulers are *performance* choices — the
+//!   per-path and queue schedulers produce bit-identical endpoints;
+//! * [`Solver`] — *where* to solve: it owns an engine spec
+//!   ([`EngineBuilder`]) and provisions engines per precision on
+//!   demand, so precision escalation re-enters the same scheduler at
+//!   higher precision on the same backend instead of being a separate
+//!   driver;
+//! * [`SolveReport`] — one result shape for every combination: a
+//!   [`PathReport`] per path (verdict, endpoint, target residual,
+//!   precision used), the scheduler's [`QueueStats`] (occupancy,
+//!   refills, round trips), the engine's modeled [`PipelineStats`] and
+//!   [`EngineCaps`], and the escalation accounting.
+//!
+//! Scheduling and backend placement are never numerical decisions: for
+//! the same request, the per-path and queue schedulers return
+//! bit-identical endpoints on every backend reachable from the spec.
+//!
+//! ```
+//! use polygpu_homotopy::solve::{SolveRequest, Solver};
+//! use polygpu_polysys::parse_system;
+//!
+//! // All four total-degree paths of a conic intersection, tracked by
+//! // the default queue scheduler on the default engine spec.
+//! let target = parse_system::<f64>("x0^2 + x1^2 - 5; x0*x1 - 2").unwrap();
+//! let report = Solver::new().solve(&SolveRequest::new(target)).unwrap();
+//! assert_eq!(report.paths.len(), 4);
+//! assert_eq!(report.successes(), 4);
+//! assert!(report.paths.iter().all(|p| p.residual < 1e-8));
+//! ```
+
+use crate::escalate::UsedPrecision;
+use crate::homotopy::{random_gamma, Homotopy};
+use crate::lockstep::{track_lockstep, BatchHomotopy, LockstepPath};
+use crate::queue::{track_queue, QueueStats, SlotPolicy};
+use crate::start::StartSystem;
+use crate::tracker::{track, TrackOutcome, TrackParams};
+use polygpu_complex::{Complex, Real};
+use polygpu_core::engine::{
+    AnyEvaluator, Backend, BuildError, ClusterProvider, Engine, EngineBuilder, EngineCaps,
+    NoCluster,
+};
+use polygpu_core::pipeline::PipelineStats;
+use polygpu_polysys::{NaiveEvaluator, System, SystemEvaluator};
+use polygpu_qd::Dd;
+use std::fmt;
+
+// ---------------------------------------------------------------------
+// The scheduler trait and the three built-in schedulers
+// ---------------------------------------------------------------------
+
+/// The homotopy every scheduler runs over: the analytic total-degree
+/// start system against a boxed engine from the [`Solver`]'s spec.
+pub type EngineHomotopy<R> = BatchHomotopy<R, StartSystem, Box<dyn AnyEvaluator<R>>>;
+
+/// What a scheduler hands back: per-path endpoints in start order plus
+/// its aggregate scheduling statistics.
+#[derive(Debug, Clone)]
+pub struct SchedulerRun<R> {
+    /// Per-path endpoints, in start order.
+    pub paths: Vec<LockstepPath<R>>,
+    /// Rounds, round trips, occupancy numerators, step counts.
+    pub stats: QueueStats,
+}
+
+/// An object-safe multi-path scheduling strategy: how the front of
+/// live paths is formed and fed to the engine each round. The three
+/// built-ins wrap the original drivers; implement this trait to plug a
+/// custom strategy into the same [`EngineHomotopy`] (build one with
+/// [`Solver::homotopy`]).
+///
+/// Scheduling is a performance decision only — [`PerPathScheduler`]
+/// and [`QueueScheduler`] produce **bit-identical** endpoints for the
+/// same request (the lockstep front shares its step size across paths,
+/// so its trajectories legitimately differ once paths diverge in
+/// difficulty).
+pub trait Scheduler<R: Real> {
+    /// Short stable name for reports and tables.
+    fn name(&self) -> &'static str;
+
+    /// Track every start through `h`, one endpoint per start, in
+    /// order. `caps` describes the engine in `h` (for slot sizing).
+    fn run(
+        &mut self,
+        h: &mut EngineHomotopy<R>,
+        starts: &[Vec<Complex<R>>],
+        params: &TrackParams,
+        caps: &EngineCaps,
+    ) -> SchedulerRun<R>;
+}
+
+/// [`crate::tracker::track`] behind the [`Scheduler`] trait: one path
+/// at a time, one single-point evaluation per predictor or corrector
+/// step — the reference the batched schedulers are checked against.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PerPathScheduler;
+
+impl<R: Real> Scheduler<R> for PerPathScheduler {
+    fn name(&self) -> &'static str {
+        "per-path"
+    }
+
+    fn run(
+        &mut self,
+        h: &mut EngineHomotopy<R>,
+        starts: &[Vec<Complex<R>>],
+        params: &TrackParams,
+        _caps: &EngineCaps,
+    ) -> SchedulerRun<R> {
+        let batches_before = h.f.engine_stats().batches;
+        let mut paths = Vec::with_capacity(starts.len());
+        let mut stats = QueueStats {
+            slots: 1,
+            ..Default::default()
+        };
+        for x0 in starts {
+            // Borrow the shared endpoints per path: same gamma, same
+            // engine, exactly the legacy `track` call.
+            let mut h1 = Homotopy::new(&mut h.g, &mut h.f, h.gamma);
+            let mut r = track(&mut h1, x0, *params);
+            stats.steps_accepted += r.steps_accepted;
+            stats.steps_rejected += r.steps_rejected;
+            stats.corrector_iterations += r.corrector_iterations;
+            let end = r.points.pop().expect("tracker records the start point");
+            paths.push(LockstepPath {
+                outcome: r.outcome,
+                x: end.x,
+                t: end.t,
+            });
+        }
+        // Every evaluation is its own device round trip here — read
+        // the exact count off the engine instead of re-deriving it.
+        stats.batch_rounds = (h.f.engine_stats().batches - batches_before) as usize;
+        stats.rounds = stats.batch_rounds;
+        stats.point_rounds = stats.batch_rounds;
+        SchedulerRun { paths, stats }
+    }
+}
+
+/// [`crate::lockstep::track_lockstep`] behind the [`Scheduler`] trait:
+/// all paths share one `t` front and one step size, every round one
+/// batched evaluation of the live paths.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LockstepScheduler;
+
+impl<R: Real> Scheduler<R> for LockstepScheduler {
+    fn name(&self) -> &'static str {
+        "lockstep"
+    }
+
+    fn run(
+        &mut self,
+        h: &mut EngineHomotopy<R>,
+        starts: &[Vec<Complex<R>>],
+        params: &TrackParams,
+        _caps: &EngineCaps,
+    ) -> SchedulerRun<R> {
+        let r = track_lockstep(h, starts, *params);
+        let stats = r.stats();
+        SchedulerRun {
+            paths: r.paths,
+            stats,
+        }
+    }
+}
+
+/// [`crate::queue::track_queue`] behind the [`Scheduler`] trait: a
+/// refilling slot front sized by a [`SlotPolicy`].
+/// [`SlotPolicy::Auto`] resolves to `devices × per-device capacity`
+/// through [`EngineCaps::auto_slots`], so a cluster run keeps every
+/// device's batch full each round.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueueScheduler {
+    pub slots: SlotPolicy,
+}
+
+impl<R: Real> Scheduler<R> for QueueScheduler {
+    fn name(&self) -> &'static str {
+        "queue"
+    }
+
+    fn run(
+        &mut self,
+        h: &mut EngineHomotopy<R>,
+        starts: &[Vec<Complex<R>>],
+        params: &TrackParams,
+        caps: &EngineCaps,
+    ) -> SchedulerRun<R> {
+        let slots = self.slots.resolve(caps.auto_slots(), starts.len());
+        let r = track_queue(h, starts, *params, SlotPolicy::Fixed(slots));
+        SchedulerRun {
+            paths: r.paths,
+            stats: r.stats,
+        }
+    }
+}
+
+/// Which built-in [`Scheduler`] a [`SolveRequest`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// One path at a time — the bit-exact reference.
+    ///
+    /// ```
+    /// use polygpu_homotopy::solve::{SchedulerKind, SolveRequest, Solver};
+    /// use polygpu_polysys::parse_system;
+    ///
+    /// let target = parse_system::<f64>("x0^2 - 1; x1^2 - 1").unwrap();
+    /// let req = SolveRequest::new(target).with_scheduler(SchedulerKind::PerPath);
+    /// let report = Solver::new().solve(&req).unwrap();
+    /// assert_eq!(report.successes(), 4);
+    /// ```
+    PerPath,
+    /// One shared `t` front, every evaluation batched.
+    ///
+    /// ```
+    /// use polygpu_homotopy::solve::{SchedulerKind, SolveRequest, Solver};
+    /// use polygpu_polysys::parse_system;
+    ///
+    /// let target = parse_system::<f64>("x0^2 - 1; x1^2 - 1").unwrap();
+    /// let req = SolveRequest::new(target).with_scheduler(SchedulerKind::Lockstep);
+    /// let report = Solver::new().solve(&req).unwrap();
+    /// assert!(report.stats.batch_rounds < report.paths.len() * report.stats.rounds);
+    /// ```
+    Lockstep,
+    /// A refilling slot front — full batches until the queue drains.
+    ///
+    /// ```
+    /// use polygpu_homotopy::solve::{SchedulerKind, SolveRequest, Solver};
+    /// use polygpu_homotopy::queue::SlotPolicy;
+    /// use polygpu_polysys::parse_system;
+    ///
+    /// let target = parse_system::<f64>("x0^3 - 1; x1^3 - 1").unwrap();
+    /// let req = SolveRequest::new(target).with_scheduler(SchedulerKind::Queue {
+    ///     slots: SlotPolicy::Fixed(3),
+    /// });
+    /// let report = Solver::new().solve(&req).unwrap();
+    /// assert!(report.occupancy() > 0.8);
+    /// ```
+    Queue { slots: SlotPolicy },
+}
+
+impl Default for SchedulerKind {
+    /// The queue scheduler with [`SlotPolicy::Auto`] — full device
+    /// occupancy on any backend.
+    fn default() -> Self {
+        SchedulerKind::Queue {
+            slots: SlotPolicy::Auto,
+        }
+    }
+}
+
+impl SchedulerKind {
+    /// Short stable name for reports and tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulerKind::PerPath => "per-path",
+            SchedulerKind::Lockstep => "lockstep",
+            SchedulerKind::Queue { .. } => "queue",
+        }
+    }
+
+    /// The built-in scheduler this kind selects, in precision `R` (one
+    /// kind instantiates for every precision, which is how escalation
+    /// re-enters the same scheduler at higher precision).
+    pub fn instantiate<R: Real>(&self) -> Box<dyn Scheduler<R>> {
+        match self {
+            SchedulerKind::PerPath => Box::new(PerPathScheduler),
+            SchedulerKind::Lockstep => Box::new(LockstepScheduler),
+            SchedulerKind::Queue { slots } => Box::new(QueueScheduler { slots: *slots }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The request
+// ---------------------------------------------------------------------
+
+/// Which precision(s) a solve runs in.
+#[derive(Debug, Clone, Copy)]
+pub enum PrecisionPolicy {
+    /// Every path tracked in one precision with the request's params.
+    Fixed(UsedPrecision),
+    /// Track in hardware doubles first; the paths that fail re-enter
+    /// the **same scheduler** on the **same backend spec** in
+    /// double-double with `dd_params` (typically tighter tolerances) —
+    /// the paper's "a couple or perhaps just one solution path may
+    /// require extended multiprecision arithmetic".
+    Escalating { dd_params: TrackParams },
+}
+
+impl Default for PrecisionPolicy {
+    fn default() -> Self {
+        PrecisionPolicy::Fixed(UsedPrecision::Double)
+    }
+}
+
+impl PrecisionPolicy {
+    /// Escalation retrying failed paths with the same params as the
+    /// double pass.
+    pub fn escalating_with(params: TrackParams) -> Self {
+        PrecisionPolicy::Escalating { dd_params: params }
+    }
+}
+
+/// Which start points a [`SolveRequest`] tracks.
+#[derive(Debug, Clone, Default)]
+pub enum StartSelection {
+    /// Every total-degree start solution (`∏ dᵢ` paths — mind the
+    /// Bézout number).
+    #[default]
+    All,
+    /// The first `n` start solutions in mixed-radix order.
+    FirstN(u128),
+    /// Specific start-solution indices.
+    Indices(Vec<u128>),
+    /// Explicit start points (yours to match the start system).
+    Points(Vec<Vec<Complex<f64>>>),
+}
+
+/// Everything `solve()` needs: the problem, the tolerances, the
+/// precision policy and the scheduler. Engine placement lives in the
+/// [`Solver`], so one request runs unchanged on every backend.
+///
+/// ```
+/// use polygpu_homotopy::prelude::*;
+/// use polygpu_polysys::parse_system;
+///
+/// let target = parse_system::<f64>("x0^2 + x1^2 - 5; x0*x1 - 2").unwrap();
+/// let req = SolveRequest::new(target)
+///     .with_starts(StartSelection::FirstN(2))
+///     .with_gamma_seed(7)
+///     .with_precision(PrecisionPolicy::escalating_with(TrackParams::default()))
+///     .with_scheduler(SchedulerKind::default());
+/// let report = Solver::new().solve(&req).unwrap();
+/// assert_eq!(report.paths.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SolveRequest {
+    /// The target system `F` (the engine spec provisions its
+    /// evaluators, in every precision the policy needs).
+    pub target: System<f64>,
+    /// The start system `G` (evaluated analytically on the host).
+    pub start: StartSystem,
+    /// Which paths to track.
+    pub starts: StartSelection,
+    /// Seed of the gamma trick; equal seeds describe equal paths
+    /// across schedulers, backends and precisions.
+    pub gamma_seed: u64,
+    /// Step-size and corrector controls (of the double pass, under
+    /// escalation).
+    pub params: TrackParams,
+    pub precision: PrecisionPolicy,
+    pub scheduler: SchedulerKind,
+}
+
+impl SolveRequest {
+    /// A request tracking **all** total-degree paths of `target` with
+    /// default tolerances, the queue scheduler and fixed double
+    /// precision. Panics if a polynomial has total degree zero (no
+    /// total-degree start system exists); build the [`StartSystem`]
+    /// yourself and use [`SolveRequest::with_start`] for anything
+    /// nonstandard.
+    pub fn new(target: System<f64>) -> Self {
+        let degrees: Vec<u32> = target.polys().iter().map(|p| p.total_degree()).collect();
+        SolveRequest {
+            start: StartSystem::new(degrees),
+            target,
+            starts: StartSelection::All,
+            gamma_seed: 0x9E37,
+            params: TrackParams::default(),
+            precision: PrecisionPolicy::default(),
+            scheduler: SchedulerKind::default(),
+        }
+    }
+
+    pub fn with_start(mut self, start: StartSystem) -> Self {
+        self.start = start;
+        self
+    }
+
+    pub fn with_starts(mut self, starts: StartSelection) -> Self {
+        self.starts = starts;
+        self
+    }
+
+    pub fn with_gamma_seed(mut self, seed: u64) -> Self {
+        self.gamma_seed = seed;
+        self
+    }
+
+    pub fn with_params(mut self, params: TrackParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    pub fn with_precision(mut self, precision: PrecisionPolicy) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// The concrete start points this request tracks, in path order.
+    pub fn resolve_starts(&self) -> Result<Vec<Vec<Complex<f64>>>, SolveError> {
+        let count = self.start.solution_count();
+        let by_index = |idx: u128| -> Result<Vec<Complex<f64>>, SolveError> {
+            if idx >= count {
+                return Err(SolveError::StartIndexOutOfRange { index: idx, count });
+            }
+            Ok(self.start.solution_by_index(idx))
+        };
+        match &self.starts {
+            StartSelection::All => (0..count).map(by_index).collect(),
+            StartSelection::FirstN(n) => (0..count.min(*n)).map(by_index).collect(),
+            StartSelection::Indices(idx) => idx.iter().map(|&i| by_index(i)).collect(),
+            StartSelection::Points(points) => {
+                let expected = self.start.degrees().len();
+                for (i, x) in points.iter().enumerate() {
+                    if x.len() != expected {
+                        return Err(SolveError::PointDimension {
+                            point: i,
+                            got: x.len(),
+                            expected,
+                        });
+                    }
+                }
+                Ok(points.clone())
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The report
+// ---------------------------------------------------------------------
+
+/// A path endpoint in the precision that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PathEndpoint {
+    Double(Vec<Complex<f64>>),
+    DoubleDouble(Vec<Complex<Dd>>),
+}
+
+impl PathEndpoint {
+    pub fn precision(&self) -> UsedPrecision {
+        match self {
+            PathEndpoint::Double(_) => UsedPrecision::Double,
+            PathEndpoint::DoubleDouble(_) => UsedPrecision::DoubleDouble,
+        }
+    }
+
+    /// The endpoint in double-double (exact promotion when the path
+    /// finished in doubles).
+    pub fn to_dd(&self) -> Vec<Complex<Dd>> {
+        match self {
+            PathEndpoint::Double(x) => x.iter().map(|z| z.convert()).collect(),
+            PathEndpoint::DoubleDouble(x) => x.clone(),
+        }
+    }
+
+    /// The endpoint rounded to hardware doubles.
+    pub fn to_f64(&self) -> Vec<Complex<f64>> {
+        match self {
+            PathEndpoint::Double(x) => x.clone(),
+            PathEndpoint::DoubleDouble(x) => x.iter().map(|z| z.convert()).collect(),
+        }
+    }
+}
+
+/// One path's verdict.
+#[derive(Debug, Clone)]
+pub struct PathReport {
+    /// Why tracking stopped (success means `t = 1` was reached).
+    pub outcome: TrackOutcome,
+    /// `t` of the last accepted point (`1.0` on success).
+    pub t: f64,
+    /// The last accepted point, in the precision that produced it.
+    pub endpoint: PathEndpoint,
+    /// Max-norm residual of the **target** system at the endpoint
+    /// (evaluated in the endpoint's precision; diagnostic only for
+    /// failed paths, which stopped short of `t = 1`).
+    pub residual: f64,
+}
+
+impl PathReport {
+    pub fn success(&self) -> bool {
+        self.outcome == TrackOutcome::Success
+    }
+
+    /// Which precision finished this path.
+    pub fn precision(&self) -> UsedPrecision {
+        self.endpoint.precision()
+    }
+}
+
+/// The double-double pass of an escalating solve.
+#[derive(Debug, Clone)]
+pub struct EscalationReport {
+    /// Paths the double pass failed and the dd pass retried.
+    pub retried: usize,
+    /// Retried paths that succeeded in double-double.
+    pub rescued: usize,
+    /// The dd pass's scheduler statistics.
+    pub stats: QueueStats,
+    /// The dd engine's modeled cost (provisioned from the same spec).
+    pub engine: PipelineStats,
+}
+
+/// The uniform result of [`Solver::solve`]: per-path verdicts plus the
+/// scheduler, engine and escalation telemetry the old drivers scattered
+/// across four result types.
+#[derive(Debug, Clone)]
+pub struct SolveReport {
+    /// One verdict per tracked path, in start order.
+    pub paths: Vec<PathReport>,
+    /// The scheduler that ran.
+    pub scheduler: SchedulerKind,
+    /// Backend name (from [`EngineCaps::backend`]).
+    pub backend: &'static str,
+    /// Engine shape and placement (devices, capacities, residency).
+    pub caps: EngineCaps,
+    /// Scheduler statistics of the primary (double, unless the policy
+    /// fixed double-double) pass — occupancy, rounds, refills.
+    pub stats: QueueStats,
+    /// The primary engine's modeled cost statistics.
+    pub engine: PipelineStats,
+    /// Present when an escalation pass ran.
+    pub escalation: Option<EscalationReport>,
+}
+
+impl SolveReport {
+    /// Paths that reached `t = 1`.
+    pub fn successes(&self) -> usize {
+        self.paths.iter().filter(|p| p.success()).count()
+    }
+
+    /// Mean slot occupancy of the primary pass (see
+    /// [`QueueStats::occupancy`]).
+    pub fn occupancy(&self) -> f64 {
+        self.stats.occupancy()
+    }
+
+    /// Paths the escalation pass retried in double-double.
+    pub fn escalated(&self) -> usize {
+        self.escalation.as_ref().map_or(0, |e| e.retried)
+    }
+
+    /// Fraction of paths that needed double-double.
+    pub fn escalation_rate(&self) -> f64 {
+        if self.paths.is_empty() {
+            0.0
+        } else {
+            self.escalated() as f64 / self.paths.len() as f64
+        }
+    }
+
+    /// Modeled end-to-end throughput: paths per modeled engine second,
+    /// both passes included (`0.0` for engines without a device model,
+    /// e.g. the CPU reference).
+    pub fn paths_per_second(&self) -> f64 {
+        let wall = self.engine.wall_clock_seconds()
+            + self
+                .escalation
+                .as_ref()
+                .map_or(0.0, |e| e.engine.wall_clock_seconds());
+        if wall > 0.0 {
+            self.paths.len() as f64 / wall
+        } else {
+            0.0
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------
+
+/// Why a solve could not run (tracking failures are *verdicts* in the
+/// report, not errors).
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SolveError {
+    /// The engine spec failed to provision a backend.
+    Build(BuildError),
+    /// Start and target systems disagree in dimension.
+    DimensionMismatch { start: usize, target: usize },
+    /// A start index beyond the start system's solution count.
+    StartIndexOutOfRange { index: u128, count: u128 },
+    /// An explicit start point whose length is not the start-system
+    /// dimension.
+    PointDimension {
+        point: usize,
+        got: usize,
+        expected: usize,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Build(e) => write!(f, "engine provisioning: {e}"),
+            SolveError::DimensionMismatch { start, target } => write!(
+                f,
+                "start system dimension {start} does not match target dimension {target}"
+            ),
+            SolveError::StartIndexOutOfRange { index, count } => write!(
+                f,
+                "start index {index} out of range (start system has {count} solutions)"
+            ),
+            SolveError::PointDimension {
+                point,
+                got,
+                expected,
+            } => write!(
+                f,
+                "start point {point} has {got} coordinates, expected {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SolveError::Build(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BuildError> for SolveError {
+    fn from(e: BuildError) -> Self {
+        SolveError::Build(e)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The solver
+// ---------------------------------------------------------------------
+
+/// The unified solving entry point: owns an engine spec and provisions
+/// engines per precision on demand, so one `solve()` call covers every
+/// scheduler × backend × precision combination the request selects.
+///
+/// [`Solver::new`] carries the core backends (CPU reference,
+/// single-point GPU, batched GPU); [`Solver::from_builder`] accepts
+/// any [`EngineBuilder`] — pass the facade's (or
+/// `polygpu_cluster::engine_builder()`) for the cluster backend.
+pub struct Solver<P: ClusterProvider = NoCluster> {
+    builder: EngineBuilder<P>,
+}
+
+impl Solver<NoCluster> {
+    /// A solver over the CPU reference backend — the spec every
+    /// system shape fits (the device backends require the paper's
+    /// uniform shape). Select a device or cluster backend with
+    /// [`Solver::from_builder`]; endpoints are bit-identical either
+    /// way.
+    pub fn new() -> Self {
+        Solver::from_builder(Engine::builder().backend(Backend::CpuReference))
+    }
+}
+
+impl Default for Solver<NoCluster> {
+    fn default() -> Self {
+        Solver::new()
+    }
+}
+
+impl<P: ClusterProvider> From<EngineBuilder<P>> for Solver<P> {
+    fn from(builder: EngineBuilder<P>) -> Self {
+        Solver::from_builder(builder)
+    }
+}
+
+impl<P: ClusterProvider> Solver<P> {
+    /// A solver provisioning engines from `builder` (the spec is
+    /// reused for every precision the policy demands).
+    pub fn from_builder(builder: EngineBuilder<P>) -> Self {
+        Solver { builder }
+    }
+
+    /// The engine spec this solver provisions from.
+    pub fn builder(&self) -> &EngineBuilder<P> {
+        &self.builder
+    }
+
+    /// Build the request's homotopy in precision `R` over a fresh
+    /// engine from this solver's spec — the entry point for custom
+    /// [`Scheduler`] implementations. The gamma is the exactly-widened
+    /// `f64` gamma of `gamma_seed`, so every precision describes the
+    /// same paths.
+    pub fn homotopy<R: Real>(
+        &self,
+        target: &System<R>,
+        start: &StartSystem,
+        gamma_seed: u64,
+    ) -> Result<EngineHomotopy<R>, SolveError> {
+        if start.degrees().len() != target.dim() {
+            return Err(SolveError::DimensionMismatch {
+                start: start.degrees().len(),
+                target: target.dim(),
+            });
+        }
+        let engine = self.builder.build(target)?;
+        let gamma: Complex<R> = random_gamma::<f64>(gamma_seed).convert();
+        Ok(BatchHomotopy::new(start.clone(), engine, gamma))
+    }
+
+    /// Provision engines for the request's precision policy, run its
+    /// scheduler over its start points, and collect the uniform
+    /// [`SolveReport`].
+    pub fn solve(&self, req: &SolveRequest) -> Result<SolveReport, SolveError> {
+        let starts = req.resolve_starts()?;
+        match req.precision {
+            PrecisionPolicy::Fixed(UsedPrecision::Double) => {
+                let pass = self.run_pass(req, &req.target, &starts, req.params)?;
+                Ok(SolveReport {
+                    paths: report_f64(&req.target, pass.paths),
+                    scheduler: req.scheduler,
+                    backend: pass.caps.backend,
+                    caps: pass.caps,
+                    stats: pass.stats,
+                    engine: pass.engine,
+                    escalation: None,
+                })
+            }
+            PrecisionPolicy::Fixed(UsedPrecision::DoubleDouble) => {
+                let target_dd = req.target.convert::<Dd>();
+                let starts_dd = widen(&starts);
+                let pass = self.run_pass(req, &target_dd, &starts_dd, req.params)?;
+                let paths = report_dd(&target_dd, pass.paths);
+                Ok(SolveReport {
+                    paths,
+                    scheduler: req.scheduler,
+                    backend: pass.caps.backend,
+                    caps: pass.caps,
+                    stats: pass.stats,
+                    engine: pass.engine,
+                    escalation: None,
+                })
+            }
+            PrecisionPolicy::Escalating { dd_params } => {
+                let pass = self.run_pass(req, &req.target, &starts, req.params)?;
+                let failed: Vec<usize> = pass
+                    .paths
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| !p.success())
+                    .map(|(i, _)| i)
+                    .collect();
+                // Every failed path's report is replaced by its dd
+                // retry below, so only successful endpoints are worth
+                // a residual evaluation here.
+                let mut paths = report_f64_successes_only(&req.target, pass.paths);
+                let escalation = if failed.is_empty() {
+                    None
+                } else {
+                    // Re-enter the same scheduler at higher precision:
+                    // same spec, same gamma (exactly widened), the
+                    // failed paths' start points only.
+                    let target_dd = req.target.convert::<Dd>();
+                    let retry_starts: Vec<Vec<Complex<Dd>>> = widen(
+                        &failed
+                            .iter()
+                            .map(|&i| starts[i].clone())
+                            .collect::<Vec<_>>(),
+                    );
+                    let dd = self.run_pass(req, &target_dd, &retry_starts, dd_params)?;
+                    let rescued = dd.paths.iter().filter(|p| p.success()).count();
+                    let dd_reports = report_dd(&target_dd, dd.paths);
+                    for (&i, r) in failed.iter().zip(dd_reports) {
+                        paths[i] = r;
+                    }
+                    Some(EscalationReport {
+                        retried: failed.len(),
+                        rescued,
+                        stats: dd.stats,
+                        engine: dd.engine,
+                    })
+                };
+                Ok(SolveReport {
+                    paths,
+                    scheduler: req.scheduler,
+                    backend: pass.caps.backend,
+                    caps: pass.caps,
+                    stats: pass.stats,
+                    engine: pass.engine,
+                    escalation,
+                })
+            }
+        }
+    }
+
+    /// One scheduler pass in precision `R`: fresh engine, fresh
+    /// homotopy, the request's scheduler.
+    fn run_pass<R: Real>(
+        &self,
+        req: &SolveRequest,
+        target: &System<R>,
+        starts: &[Vec<Complex<R>>],
+        params: TrackParams,
+    ) -> Result<Pass<R>, SolveError> {
+        let mut h = self.homotopy(target, &req.start, req.gamma_seed)?;
+        let caps = h.f.caps();
+        let mut scheduler = req.scheduler.instantiate::<R>();
+        let run = scheduler.run(&mut h, starts, &params, &caps);
+        Ok(Pass {
+            paths: run.paths,
+            stats: run.stats,
+            engine: h.f.engine_stats(),
+            caps,
+        })
+    }
+}
+
+/// One precision pass's raw results.
+struct Pass<R: Real> {
+    paths: Vec<LockstepPath<R>>,
+    stats: QueueStats,
+    engine: PipelineStats,
+    caps: EngineCaps,
+}
+
+fn widen(starts: &[Vec<Complex<f64>>]) -> Vec<Vec<Complex<Dd>>> {
+    starts
+        .iter()
+        .map(|x| x.iter().map(|z| z.convert()).collect())
+        .collect()
+}
+
+// Residuals are diagnostics, so the naive evaluator (which accepts
+// any square system, uniform or not) is the right checker here.
+
+fn report_f64(target: &System<f64>, paths: Vec<LockstepPath<f64>>) -> Vec<PathReport> {
+    let mut check = NaiveEvaluator::new(target.clone());
+    paths
+        .into_iter()
+        .map(|p| PathReport {
+            residual: check.evaluate(&p.x).residual_norm(),
+            outcome: p.outcome,
+            t: p.t,
+            endpoint: PathEndpoint::Double(p.x),
+        })
+        .collect()
+}
+
+/// [`report_f64`] for the escalating policy: failed paths' reports are
+/// about to be replaced by their double-double retries, so their
+/// residual evaluation would be discarded — leave a placeholder.
+fn report_f64_successes_only(
+    target: &System<f64>,
+    paths: Vec<LockstepPath<f64>>,
+) -> Vec<PathReport> {
+    let mut check = NaiveEvaluator::new(target.clone());
+    paths
+        .into_iter()
+        .map(|p| PathReport {
+            residual: if p.outcome == TrackOutcome::Success {
+                check.evaluate(&p.x).residual_norm()
+            } else {
+                f64::NAN
+            },
+            outcome: p.outcome,
+            t: p.t,
+            endpoint: PathEndpoint::Double(p.x),
+        })
+        .collect()
+}
+
+fn report_dd(target: &System<Dd>, paths: Vec<LockstepPath<Dd>>) -> Vec<PathReport> {
+    let mut check = NaiveEvaluator::new(target.clone());
+    paths
+        .into_iter()
+        .map(|p| PathReport {
+            residual: check.evaluate(&p.x).residual_norm().to_f64(),
+            outcome: p.outcome,
+            t: p.t,
+            endpoint: PathEndpoint::DoubleDouble(p.x),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::escalate::track_escalating_engine;
+    use crate::newton::NewtonParams;
+    use polygpu_complex::C64;
+    use polygpu_polysys::{random_system, AdEvaluator, BenchmarkParams};
+
+    fn fixture(seed: u64) -> (System<f64>, StartSystem, Vec<Vec<C64>>) {
+        let params = BenchmarkParams {
+            n: 2,
+            m: 2,
+            k: 2,
+            d: 2,
+            seed,
+        };
+        let sys = random_system::<f64>(&params);
+        let start = StartSystem::uniform(2, 2);
+        let starts: Vec<Vec<C64>> = (0..4u128).map(|i| start.solution_by_index(i)).collect();
+        (sys, start, starts)
+    }
+
+    fn request(sys: &System<f64>, start: &StartSystem, scheduler: SchedulerKind) -> SolveRequest {
+        SolveRequest::new(sys.clone())
+            .with_start(start.clone())
+            .with_gamma_seed(7)
+            .with_scheduler(scheduler)
+    }
+
+    fn gpu_solver() -> Solver {
+        Solver::from_builder(Engine::builder().backend(Backend::GpuBatch { capacity: 4 }))
+    }
+
+    /// `solve()` with the per-path scheduler replays the legacy `track`
+    /// loop bit for bit — endpoints, outcomes, final t, step counts.
+    #[test]
+    fn per_path_solve_matches_legacy_track() {
+        let (sys, start, starts) = fixture(3);
+        let params = TrackParams::default();
+        let report = gpu_solver()
+            .solve(&request(&sys, &start, SchedulerKind::PerPath))
+            .unwrap();
+        assert_eq!(report.paths.len(), 4);
+        let (mut acc, mut rej, mut corr) = (0usize, 0usize, 0usize);
+        for (i, (x0, got)) in starts.iter().zip(&report.paths).enumerate() {
+            let f = AdEvaluator::new(sys.clone()).unwrap();
+            let mut h = Homotopy::with_random_gamma(start.clone(), f, 7);
+            let want = track(&mut h, x0, params);
+            assert_eq!(got.outcome, want.outcome, "path {i}");
+            assert_eq!(got.t, want.end().t, "path {i}");
+            assert_eq!(
+                got.endpoint,
+                PathEndpoint::Double(want.end().x.clone()),
+                "bit-identical endpoint, path {i}"
+            );
+            acc += want.steps_accepted;
+            rej += want.steps_rejected;
+            corr += want.corrector_iterations;
+        }
+        assert_eq!(report.stats.steps_accepted, acc);
+        assert_eq!(report.stats.steps_rejected, rej);
+        assert_eq!(report.stats.corrector_iterations, corr);
+        // Per-path scheduling is one device round trip per evaluation.
+        assert_eq!(report.stats.batch_rounds as u64, report.engine.batches);
+        assert_eq!(report.backend, "gpu-batch");
+    }
+
+    /// The queue scheduler (any slot policy) equals the per-path
+    /// scheduler bit for bit, and both equal the legacy `track_queue`.
+    #[test]
+    fn queue_solve_matches_legacy_and_per_path() {
+        let (sys, start, starts) = fixture(3);
+        let per_path = gpu_solver()
+            .solve(&request(&sys, &start, SchedulerKind::PerPath))
+            .unwrap();
+        let mut legacy_h = BatchHomotopy::with_random_gamma(
+            start.clone(),
+            AdEvaluator::new(sys.clone()).unwrap(),
+            7,
+        );
+        let legacy = track_queue(&mut legacy_h, &starts, TrackParams::default(), 3);
+        for slots in [SlotPolicy::Auto, SlotPolicy::Fixed(2), SlotPolicy::Fixed(3)] {
+            let report = gpu_solver()
+                .solve(&request(&sys, &start, SchedulerKind::Queue { slots }))
+                .unwrap();
+            for (i, (got, want)) in report.paths.iter().zip(&per_path.paths).enumerate() {
+                assert_eq!(got.outcome, want.outcome, "{slots:?}, path {i}");
+                assert_eq!(got.endpoint, want.endpoint, "{slots:?}, path {i}");
+                assert_eq!(got.t, want.t, "{slots:?}, path {i}");
+            }
+            for (i, (got, want)) in report.paths.iter().zip(&legacy.paths).enumerate() {
+                assert_eq!(
+                    got.endpoint,
+                    PathEndpoint::Double(want.x.clone()),
+                    "{slots:?} vs legacy track_queue, path {i}"
+                );
+            }
+            assert_eq!(
+                report.stats.corrector_iterations,
+                legacy.stats.corrector_iterations
+            );
+        }
+    }
+
+    /// The lockstep scheduler equals the legacy `track_lockstep` run
+    /// bit for bit and surfaces its statistics.
+    #[test]
+    fn lockstep_solve_matches_legacy_track_lockstep() {
+        let (sys, start, starts) = fixture(3);
+        let report = gpu_solver()
+            .solve(&request(&sys, &start, SchedulerKind::Lockstep))
+            .unwrap();
+        let mut h = BatchHomotopy::with_random_gamma(
+            start.clone(),
+            AdEvaluator::new(sys.clone()).unwrap(),
+            7,
+        );
+        let want = track_lockstep(&mut h, &starts, TrackParams::default());
+        for (i, (got, w)) in report.paths.iter().zip(&want.paths).enumerate() {
+            assert_eq!(got.outcome, w.outcome, "path {i}");
+            assert_eq!(got.endpoint, PathEndpoint::Double(w.x.clone()), "path {i}");
+        }
+        assert_eq!(report.stats, want.stats());
+        assert!(report.stats.rounds > 0);
+    }
+
+    /// `SlotPolicy::Auto` resolves the queue front through the
+    /// engine's capabilities and keeps it > 0.8 occupied.
+    #[test]
+    fn queue_auto_slots_follow_engine_caps() {
+        let (sys, start, _) = fixture(3);
+        let solver =
+            Solver::from_builder(Engine::builder().backend(Backend::GpuBatch { capacity: 2 }));
+        let req = request(&sys, &start, SchedulerKind::default());
+        let report = solver.solve(&req).unwrap();
+        // caps: 1 device × capacity 2, clamped by nothing (4 paths).
+        assert_eq!(report.caps.auto_slots(), 2);
+        assert_eq!(report.stats.slots, 2);
+        assert!(report.occupancy() > 0.8, "occupancy {}", report.occupancy());
+        assert!(report.stats.refills >= 2);
+    }
+
+    /// Escalation re-enters the scheduler at double-double and matches
+    /// the legacy `track_escalating_engine` driver bit for bit.
+    #[test]
+    fn escalating_solve_matches_legacy_escalating_engine() {
+        let (sys, start, starts) = fixture(7);
+        let brutal = NewtonParams {
+            residual_tol: 1e-19, // below f64 round-off: every path escalates
+            step_tol: 1e-21,
+            max_iters: 8,
+        };
+        let params = TrackParams {
+            corrector: brutal,
+            ..Default::default()
+        };
+        let builder = Engine::builder().backend(Backend::GpuBatch { capacity: 4 });
+        let req = request(&sys, &start, SchedulerKind::PerPath)
+            .with_params(params)
+            .with_precision(PrecisionPolicy::Escalating { dd_params: params });
+        let report = Solver::from_builder(builder.clone()).solve(&req).unwrap();
+        let escalation = report.escalation.as_ref().expect("escalation pass ran");
+        assert_eq!(escalation.retried, 4, "1e-19 is unreachable in f64");
+        assert_eq!(report.escalated(), 4);
+        assert!((report.escalation_rate() - 1.0).abs() < 1e-12);
+        for (i, (x0, got)) in starts.iter().zip(&report.paths).enumerate() {
+            let want =
+                track_escalating_engine(&builder, &sys, &start, 7, x0, params, params).unwrap();
+            assert_eq!(got.precision(), want.precision(), "path {i}");
+            assert_eq!(got.success(), want.success(), "path {i}");
+            assert_eq!(
+                got.endpoint.to_dd(),
+                want.end_dd(),
+                "bit-identical dd endpoint, path {i}"
+            );
+        }
+        // The dd engine came from the same spec and did modeled work.
+        assert!(escalation.engine.evaluations > 0);
+        assert!(escalation.engine.kernel_seconds > 0.0);
+    }
+
+    /// An easy request under the escalating policy never provisions
+    /// the dd engine. (Path 1 of the seed-7 fixture is the known
+    /// double-trackable path the escalate tests use.)
+    #[test]
+    fn easy_paths_do_not_escalate() {
+        let (sys, start, _) = fixture(7);
+        let req = request(&sys, &start, SchedulerKind::default())
+            .with_starts(StartSelection::Indices(vec![1]))
+            .with_gamma_seed(33)
+            .with_precision(PrecisionPolicy::escalating_with(TrackParams::default()));
+        let report = gpu_solver().solve(&req).unwrap();
+        assert!(report.escalation.is_none());
+        assert_eq!(report.escalated(), 0);
+        assert_eq!(report.escalation_rate(), 0.0);
+        assert!(report
+            .paths
+            .iter()
+            .all(|p| p.precision() == UsedPrecision::Double));
+    }
+
+    /// Fixed double-double tracks everything in dd from the same spec
+    /// (same gamma, exactly widened) and reports dd endpoints.
+    #[test]
+    fn fixed_dd_tracks_in_double_double() {
+        let (sys, start, _) = fixture(7);
+        let req = request(&sys, &start, SchedulerKind::default())
+            .with_precision(PrecisionPolicy::Fixed(UsedPrecision::DoubleDouble));
+        let report = gpu_solver().solve(&req).unwrap();
+        assert!(report.successes() > 0);
+        for p in &report.paths {
+            assert_eq!(p.precision(), UsedPrecision::DoubleDouble);
+            if p.success() {
+                assert!(p.residual < 1e-9, "dd residual {:e}", p.residual);
+                // The f64 view rounds the dd endpoint.
+                assert_eq!(p.endpoint.to_f64().len(), 2);
+            }
+        }
+    }
+
+    /// Request validation: typed errors, not panics.
+    #[test]
+    fn request_errors_are_typed() {
+        let (sys, _, _) = fixture(3);
+        let req = SolveRequest::new(sys.clone()).with_starts(StartSelection::Indices(vec![99]));
+        let err = Solver::new().solve(&req).unwrap_err();
+        assert!(
+            matches!(err, SolveError::StartIndexOutOfRange { index: 99, .. }),
+            "{err}"
+        );
+
+        let req = SolveRequest::new(sys.clone()).with_start(StartSystem::uniform(3, 2));
+        let err = Solver::new().solve(&req).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SolveError::DimensionMismatch {
+                    start: 3,
+                    target: 2
+                }
+            ),
+            "{err}"
+        );
+
+        // An explicit start point of the wrong length is rejected up
+        // front, not deep in evaluation.
+        let req = SolveRequest::new(sys.clone()).with_starts(StartSelection::Points(vec![vec![
+            Complex::from_f64(1.0, 0.0),
+        ]]));
+        let err = Solver::new().solve(&req).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SolveError::PointDimension {
+                    point: 0,
+                    got: 1,
+                    expected: 2
+                }
+            ),
+            "{err}"
+        );
+
+        let req = SolveRequest::new(sys);
+        let err = Solver::from_builder(Engine::builder().block_dim(0))
+            .solve(&req)
+            .unwrap_err();
+        assert!(matches!(err, SolveError::Build(_)), "{err}");
+        // Every variant prints through Display + Error.
+        let e: Box<dyn std::error::Error> = Box::new(err);
+        assert!(e.to_string().contains("engine provisioning"));
+        assert!(e.source().is_some());
+    }
+
+    /// Start selections resolve deterministically.
+    #[test]
+    fn start_selection_resolves() {
+        let (sys, start, starts) = fixture(3);
+        let req = SolveRequest::new(sys).with_start(start.clone());
+        assert_eq!(req.resolve_starts().unwrap().len(), 4);
+        assert_eq!(
+            req.clone()
+                .with_starts(StartSelection::FirstN(2))
+                .resolve_starts()
+                .unwrap(),
+            starts[..2].to_vec()
+        );
+        assert_eq!(
+            req.clone()
+                .with_starts(StartSelection::Indices(vec![3, 1]))
+                .resolve_starts()
+                .unwrap(),
+            vec![starts[3].clone(), starts[1].clone()]
+        );
+        assert_eq!(
+            req.with_starts(StartSelection::Points(starts.clone()))
+                .resolve_starts()
+                .unwrap(),
+            starts
+        );
+    }
+}

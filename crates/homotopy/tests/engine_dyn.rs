@@ -125,8 +125,11 @@ fn multi_path_drivers_accept_dyn_endpoints() {
                 assert_eq!(g.x, w.x, "queue endpoint {i}");
                 assert_eq!(g.t, w.t, "queue final t {i}");
             }
-            assert_eq!(got.steps_accepted, want_queue.steps_accepted);
-            assert_eq!(got.corrector_iterations, want_queue.corrector_iterations);
+            assert_eq!(got.stats.steps_accepted, want_queue.stats.steps_accepted);
+            assert_eq!(
+                got.stats.corrector_iterations,
+                want_queue.stats.corrector_iterations
+            );
         }
         // The engine really did the work through the trait object.
         assert!(engine.engine_stats().evaluations > 0);

@@ -36,8 +36,6 @@ pub use generator::{random_point, random_points, random_system, BenchmarkParams}
 pub use monomial::{Exp, Monomial, MonomialError, Var};
 pub use parse::{parse_polynomial, parse_system, ParseError};
 pub use polynomial::{Polynomial, Term};
-#[allow(deprecated)]
-pub use system::SingleBatch;
 pub use system::{
     loop_evaluate_batch, BatchSystemEvaluator, System, SystemError, SystemEval, SystemEvaluator,
     UniformShape,

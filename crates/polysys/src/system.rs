@@ -315,43 +315,6 @@ pub fn loop_evaluate_batch<R: Real, E: SystemEvaluator<R> + ?Sized>(
     points.iter().map(|x| eval.evaluate(x)).collect()
 }
 
-/// Adapter giving any single-point evaluator the batch interface by
-/// looping.
-#[deprecated(
-    since = "0.1.0",
-    note = "redundant: the CPU evaluators (`AdEvaluator`, `NaiveEvaluator`, `StartSystem`, \
-            `ShiftedEvaluator`) now implement `BatchSystemEvaluator` directly, and any other \
-            single-point evaluator can use `loop_evaluate_batch` for its own impl; for a \
-            uniform engine surface use `Engine::builder()` with `Backend::CpuReference`"
-)]
-pub struct SingleBatch<E>(pub E);
-
-#[allow(deprecated)]
-impl<R: Real, E: SystemEvaluator<R>> SystemEvaluator<R> for SingleBatch<E> {
-    fn dim(&self) -> usize {
-        self.0.dim()
-    }
-
-    fn evaluate(&mut self, x: &[Complex<R>]) -> SystemEval<R> {
-        self.0.evaluate(x)
-    }
-
-    fn name(&self) -> &str {
-        self.0.name()
-    }
-}
-
-#[allow(deprecated)]
-impl<R: Real, E: SystemEvaluator<R>> BatchSystemEvaluator<R> for SingleBatch<E> {
-    fn max_batch(&self) -> usize {
-        usize::MAX
-    }
-
-    fn evaluate_batch(&mut self, points: &[Vec<Complex<R>>]) -> Vec<SystemEval<R>> {
-        loop_evaluate_batch(&mut self.0, points)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -443,9 +406,12 @@ mod tests {
         assert_eq!(a.residual_norm(), 3.0);
     }
 
+    /// The CPU evaluators batch by looping (`loop_evaluate_batch`), so
+    /// their batch interface is point-wise identical to single-point
+    /// evaluation — the contract the removed `SingleBatch` adapter
+    /// used to provide.
     #[test]
-    #[allow(deprecated)] // the adapter stays functional until removal
-    fn single_batch_adapter_matches_pointwise_evaluation() {
+    fn loop_batching_matches_pointwise_evaluation() {
         use crate::eval::AdEvaluator;
         use crate::generator::{random_points, random_system, BenchmarkParams};
         let params = BenchmarkParams {
@@ -458,7 +424,7 @@ mod tests {
         let sys = random_system::<f64>(&params);
         let points = random_points::<f64>(5, 4, 3);
         let mut single = AdEvaluator::new(sys.clone()).unwrap();
-        let mut batch = SingleBatch(AdEvaluator::new(sys).unwrap());
+        let mut batch = AdEvaluator::new(sys).unwrap();
         assert_eq!(batch.dim(), 5);
         assert_eq!(batch.max_batch(), usize::MAX);
         let batched = batch.evaluate_batch(&points);

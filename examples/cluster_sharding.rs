@@ -82,8 +82,8 @@ fn main() {
          occupancy {:.2}, {} batched round trips",
         r.successes(),
         r.paths.len(),
-        r.refills,
+        r.stats.refills,
         r.occupancy(),
-        r.batch_rounds,
+        r.stats.batch_rounds,
     );
 }

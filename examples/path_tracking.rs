@@ -1,6 +1,7 @@
 //! Homotopy continuation end to end: solve a small polynomial system
-//! by tracking all paths from a total-degree start system, with the
-//! evaluation engine (the paper's contribution) in the corrector.
+//! by tracking all total-degree paths through the unified `Solver` —
+//! the evaluation engine (the paper's contribution) sits in every
+//! predictor and corrector evaluation.
 //!
 //! ```text
 //! cargo run --release --example path_tracking
@@ -21,49 +22,50 @@ fn main() {
     let target_system = random_system::<f64>(&params);
     println!("target system:\n{target_system}");
 
-    // Total-degree start system x_i^{d_i} - 1 = 0.
-    let degrees: Vec<u32> = target_system
-        .polys()
-        .iter()
-        .map(|p| p.total_degree())
-        .collect();
-    let start = StartSystem::new(degrees.clone());
+    // One request: all total-degree paths (the start system is derived
+    // from the target's degrees), tracked by the queue scheduler on
+    // the batched GPU backend.
+    let req = SolveRequest::new(target_system).with_gamma_seed(2012);
     println!(
-        "start system degrees {degrees:?}: {} paths to track",
-        start.solution_count()
+        "start system degrees {:?}: {} paths to track",
+        req.start.degrees(),
+        req.start.solution_count()
     );
+    let solver =
+        Solver::from_builder(Engine::builder().backend(Backend::GpuBatch { capacity: 16 }));
+    let report = solver.solve(&req).expect("uniform system fits the device");
 
-    let mut finished = 0usize;
-    let mut diverged = 0usize;
-    let mut evals_total = 0usize;
-    let mut roots: Vec<Vec<C64>> = Vec::new();
-    for idx in 0..start.solution_count() {
-        let x0: Vec<C64> = start.solution_by_index(idx);
-        let target = AdEvaluator::new(target_system.clone()).unwrap();
-        let mut h = Homotopy::with_random_gamma(start.clone(), target, 2012);
-        let r = track(&mut h, &x0, TrackParams::default());
-        evals_total += r.corrector_iterations + r.steps_accepted + r.steps_rejected;
-        if r.success() {
-            finished += 1;
-            // Verify the endpoint against the target.
-            let mut check = AdEvaluator::new(target_system.clone()).unwrap();
-            let resid = check.evaluate(&r.end().x).residual_norm();
-            println!(
-                "path {idx}: t = 1 reached in {} steps ({} rejected), residual {resid:.2e}",
-                r.steps_accepted, r.steps_rejected
-            );
-            roots.push(r.end().x.clone());
+    for (idx, p) in report.paths.iter().enumerate() {
+        if p.success() {
+            println!("path {idx}: t = 1 reached, residual {:.2e}", p.residual);
         } else {
-            diverged += 1;
-            println!("path {idx}: {:?}", r.outcome);
+            println!("path {idx}: {:?}", p.outcome);
         }
     }
-    println!("\n{finished} paths finished, {diverged} failed/diverged");
-    println!("total evaluator calls across all paths: ~{evals_total}");
+    println!(
+        "\n{} paths finished, {} failed/diverged",
+        report.successes(),
+        report.paths.len() - report.successes()
+    );
+    println!(
+        "scheduler: {} over {} slots, occupancy {:.2}, {} batched round trips",
+        report.scheduler.name(),
+        report.stats.slots,
+        report.occupancy(),
+        report.stats.batch_rounds
+    );
+    println!(
+        "engine: {} on {} device(s), {} evaluations, modeled wall {:.1} ms",
+        report.backend,
+        report.caps.devices,
+        report.engine.evaluations,
+        report.engine.wall_clock_seconds() * 1e3
+    );
 
     // Deduplicate endpoints to count distinct roots found.
     let mut distinct: Vec<Vec<C64>> = Vec::new();
-    'outer: for r in &roots {
+    'outer: for p in report.paths.iter().filter(|p| p.success()) {
+        let r = p.endpoint.to_f64();
         for d in &distinct {
             let dist: f64 = r
                 .iter()
@@ -74,11 +76,11 @@ fn main() {
                 continue 'outer;
             }
         }
-        distinct.push(r.clone());
+        distinct.push(r);
     }
     println!("distinct roots found: {}", distinct.len());
     for (i, root) in distinct.iter().take(4).enumerate() {
         println!("  root {i}: ({}, {}, ...)", root[0], root[1]);
     }
-    assert!(finished > 0, "at least one path must finish");
+    assert!(report.successes() > 0, "at least one path must finish");
 }

@@ -21,14 +21,20 @@
 //! | [`cluster`] | multi-device sharding with stream-overlapped transfers |
 //! | [`homotopy`] | Newton's method and path tracking on top |
 //!
-//! The public surface is the unified [`engine`] API: one
-//! [`engine::Engine::builder`] selects the backend (CPU reference,
-//! single-point GPU, batched GPU, or a device cluster), the precision,
-//! and the tuning; every backend implements the object-safe
-//! [`engine::AnyEvaluator`] trait and produces **bit-identical**
-//! results; an [`engine::Session`] keeps several encoded systems
-//! resident in one device's constant memory so successive homotopy
-//! stages switch systems without re-paying setup.
+//! The public surface is the unified solving API: a
+//! [`SolveRequest`](polygpu_homotopy::solve::SolveRequest) (target,
+//! start points, tolerances, precision policy, scheduler) submitted to
+//! a [`Solver`] that owns an engine spec and provisions backends per
+//! precision, returning one
+//! [`SolveReport`](polygpu_homotopy::solve::SolveReport) whatever the
+//! scheduler × backend × precision combination. Underneath sits the
+//! [`engine`] API: one [`engine::Engine::builder`] selects the backend
+//! (CPU reference, single-point GPU, batched GPU, or a device
+//! cluster), the precision, and the tuning; every backend implements
+//! the object-safe [`engine::AnyEvaluator`] trait and produces
+//! **bit-identical** results; an [`engine::Session`] keeps several
+//! encoded systems resident in one device's constant memory so
+//! successive homotopy stages switch systems without re-paying setup.
 //!
 //! ## Quickstart
 //!
@@ -114,11 +120,36 @@ pub mod engine {
     }
 }
 
+/// The unified solving API: one [`Solver::solve`] call covers every
+/// scheduler (per-path / lockstep / queue), backend and precision
+/// policy. This alias fixes the solver's cluster provider to
+/// [`polygpu_cluster::Sharded`], so a solver built from this facade's
+/// [`engine::Engine::builder`] reaches the cluster backend too:
+///
+/// ```
+/// use polygpu::prelude::*;
+///
+/// let sys = random_system::<f64>(&BenchmarkParams { n: 2, m: 2, k: 2, d: 2, seed: 7 });
+/// let solver = Solver::from_builder(
+///     Engine::builder().backend(Backend::Cluster {
+///         devices: vec![DeviceSpec::tesla_c2050(); 2],
+///         policy: ClusterPolicy::default(),
+///     }),
+/// );
+/// let report = solver
+///     .solve(&SolveRequest::new(sys).with_start(StartSystem::uniform(2, 2)))
+///     .unwrap();
+/// assert_eq!(report.backend, "cluster");
+/// assert_eq!(report.caps.devices, 2);
+/// ```
+pub type Solver = polygpu_homotopy::solve::Solver<polygpu_cluster::Sharded>;
+
 /// Everything a typical user needs in one import.
 pub mod prelude {
     pub use crate::engine::{
         AnyEvaluator, Backend, BuildError, ClusterPolicy, Engine, EngineCaps, Session,
     };
+    pub use crate::Solver;
     pub use polygpu_cluster::{ClusterOptions, ClusterStats, ShardPolicy, ShardedBatchEvaluator};
     pub use polygpu_complex::{CDd, CMat, CQd, Complex, C64};
     pub use polygpu_core::pipeline::{GpuEvaluator, GpuOptions, PipelineStats};

@@ -1,0 +1,213 @@
+//! The solver-API acceptance: one `SolveRequest`, every scheduler ×
+//! backend combination, identical answers.
+//!
+//! * [`PerPath`](SchedulerKind::PerPath) and
+//!   [`Queue`](SchedulerKind::Queue) (any slot policy) are bit-identical
+//!   to each other — and across the CPU-reference, batched-GPU and
+//!   cluster backends — for arbitrary requests.
+//! * [`Lockstep`](SchedulerKind::Lockstep) shares one step size across
+//!   its front, so its multi-path trajectories legitimately differ; its
+//!   guarantee is bit-identity across *backends* for any request, and
+//!   bit-identity to the other schedulers whenever the front is one
+//!   path.
+//! * `SlotPolicy::Auto` sizes the queue front to `D ×` per-device
+//!   capacity through `EngineCaps` and keeps it > 0.8 occupied at
+//!   D ∈ {2, 4}.
+
+use polygpu::prelude::*;
+use proptest::prelude::*;
+
+fn backends(devices: usize, capacity: usize) -> Vec<Backend> {
+    vec![
+        Backend::CpuReference,
+        Backend::GpuBatch { capacity },
+        Backend::Cluster {
+            devices: vec![DeviceSpec::tesla_c2050(); devices],
+            policy: ClusterPolicy::default(),
+        },
+    ]
+}
+
+fn solver_for(backend: Backend, per_device_capacity: usize) -> Solver {
+    Solver::from_builder(
+        Engine::builder()
+            .backend(backend)
+            .per_device_capacity(per_device_capacity),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// One request, every scheduler, every backend: the per-path and
+    /// queue schedulers agree bit for bit everywhere; lockstep agrees
+    /// with itself across backends, and with everything else on
+    /// single-path fronts.
+    #[test]
+    fn solve_endpoints_identical_across_schedulers_and_backends(
+        seed in 0u64..1_000,
+        gamma_seed in 1u64..1_000,
+        devices in 2usize..4,
+        d in 2u32..4,
+    ) {
+        let params = BenchmarkParams { n: 2, m: 2, k: 2, d: d as u16, seed };
+        let sys = random_system::<f64>(&params);
+        let start = StartSystem::uniform(2, d);
+        let req = SolveRequest::new(sys)
+            .with_start(start)
+            .with_gamma_seed(gamma_seed);
+
+        // Reference: per-path on the CPU reference.
+        let want = solver_for(Backend::CpuReference, 4).solve(&req).unwrap();
+        prop_assert_eq!(want.paths.len(), (d * d) as usize);
+
+        let schedulers = [
+            SchedulerKind::PerPath,
+            SchedulerKind::Queue { slots: SlotPolicy::Auto },
+            SchedulerKind::Queue { slots: SlotPolicy::Fixed(3) },
+        ];
+        for backend in backends(devices, 4) {
+            for scheduler in schedulers {
+                let report = solver_for(backend.clone(), 2)
+                    .solve(&req.clone().with_scheduler(scheduler))
+                    .unwrap();
+                for (i, (got, w)) in report.paths.iter().zip(&want.paths).enumerate() {
+                    prop_assert_eq!(&got.outcome, &w.outcome,
+                        "outcome: {:?} on {:?}, path {}", scheduler, backend, i);
+                    prop_assert_eq!(&got.endpoint, &w.endpoint,
+                        "endpoint: {:?} on {:?}, path {}", scheduler, backend, i);
+                    prop_assert_eq!(got.t, w.t,
+                        "final t: {:?} on {:?}, path {}", scheduler, backend, i);
+                }
+            }
+        }
+
+        // Lockstep: bit-identical across backends…
+        let ls_want = solver_for(Backend::CpuReference, 4)
+            .solve(&req.clone().with_scheduler(SchedulerKind::Lockstep))
+            .unwrap();
+        for backend in backends(devices, 4) {
+            let report = solver_for(backend.clone(), 2)
+                .solve(&req.clone().with_scheduler(SchedulerKind::Lockstep))
+                .unwrap();
+            for (i, (got, w)) in report.paths.iter().zip(&ls_want.paths).enumerate() {
+                prop_assert_eq!(&got.endpoint, &w.endpoint,
+                    "lockstep endpoint on {:?}, path {}", backend, i);
+            }
+        }
+        // …and identical to the other schedulers when the front is one
+        // path (the shared step size then is the per-path step size).
+        for (i, w) in want.paths.iter().enumerate().take(2) {
+            let single = req
+                .clone()
+                .with_starts(StartSelection::Indices(vec![i as u128]))
+                .with_scheduler(SchedulerKind::Lockstep);
+            let report = solver_for(Backend::GpuBatch { capacity: 4 }, 4)
+                .solve(&single)
+                .unwrap();
+            prop_assert_eq!(&report.paths[0].endpoint, &w.endpoint,
+                "single-path lockstep vs per-path, path {}", i);
+            prop_assert_eq!(&report.paths[0].outcome, &w.outcome,
+                "single-path lockstep vs per-path, path {}", i);
+        }
+    }
+}
+
+/// The ROADMAP's "cluster-aware `track_queue`" lever: `SlotPolicy::Auto`
+/// sizes the front to `D × per-device capacity` read off `EngineCaps`,
+/// and the front stays > 0.8 occupied at D ∈ {2, 4}.
+#[test]
+fn auto_slots_scale_with_device_count_and_stay_occupied() {
+    let params = BenchmarkParams {
+        n: 2,
+        m: 2,
+        k: 2,
+        d: 2,
+        seed: 5,
+    };
+    let sys = random_system::<f64>(&params);
+    let start = StartSystem::uniform(2, 6); // 36 paths: a real queue depth
+    let req = SolveRequest::new(sys)
+        .with_start(start)
+        .with_gamma_seed(11)
+        .with_scheduler(SchedulerKind::Queue {
+            slots: SlotPolicy::Auto,
+        });
+    let per_device = 2usize;
+    let mut endpoints: Vec<Vec<PathEndpoint>> = Vec::new();
+    for d in [2usize, 4] {
+        let solver = solver_for(
+            Backend::Cluster {
+                devices: vec![DeviceSpec::tesla_c2050(); d],
+                policy: ClusterPolicy::default(),
+            },
+            per_device,
+        );
+        let report = solver.solve(&req).unwrap();
+        assert_eq!(report.caps.devices, d);
+        assert_eq!(report.caps.per_device_capacity, per_device);
+        assert_eq!(
+            report.caps.auto_slots(),
+            d * per_device,
+            "auto front = D x per-device capacity"
+        );
+        assert_eq!(report.stats.slots, d * per_device, "D = {d}");
+        assert!(
+            report.occupancy() > 0.8,
+            "D = {d}: occupancy {:.3} with {} slots over {} paths",
+            report.occupancy(),
+            report.stats.slots,
+            report.paths.len()
+        );
+        assert_eq!(report.paths.len(), 36);
+        endpoints.push(report.paths.iter().map(|p| p.endpoint.clone()).collect());
+    }
+    // Front size is a performance knob only: D = 2 and D = 4 agree.
+    assert_eq!(endpoints[0], endpoints[1]);
+}
+
+/// The report carries the telemetry the old drivers scattered:
+/// occupancy, escalation counts, engine stats and caps — no consumer
+/// needs to recompute them from internals.
+#[test]
+fn report_surfaces_scheduler_engine_and_escalation_telemetry() {
+    let params = BenchmarkParams {
+        n: 2,
+        m: 2,
+        k: 2,
+        d: 2,
+        seed: 7,
+    };
+    let sys = random_system::<f64>(&params);
+    let brutal = TrackParams {
+        corrector: NewtonParams {
+            residual_tol: 1e-19, // unreachable in f64: every path escalates
+            step_tol: 1e-21,
+            max_iters: 8,
+        },
+        ..Default::default()
+    };
+    let req = SolveRequest::new(sys)
+        .with_start(StartSystem::uniform(2, 2))
+        .with_gamma_seed(33)
+        .with_params(brutal)
+        .with_precision(PrecisionPolicy::Escalating { dd_params: brutal });
+    let report = solver_for(Backend::GpuBatch { capacity: 4 }, 4)
+        .solve(&req)
+        .unwrap();
+    assert_eq!(report.backend, "gpu-batch");
+    assert_eq!(report.scheduler, SchedulerKind::default());
+    assert!(report.occupancy() > 0.0);
+    assert_eq!(report.escalated(), 4);
+    assert_eq!(report.escalation_rate(), 1.0);
+    let esc = report.escalation.as_ref().unwrap();
+    assert_eq!(esc.retried, 4);
+    assert!(esc.stats.occupancy() > 0.0);
+    // Both passes ran on modeled engines from the same spec.
+    assert!(report.engine.evaluations > 0);
+    assert!(esc.engine.evaluations > 0);
+    assert!(report.paths_per_second() > 0.0);
+    for p in &report.paths {
+        assert_eq!(p.precision(), UsedPrecision::DoubleDouble);
+    }
+}
