@@ -10,12 +10,7 @@ fn bench_layouts(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_sum_layout");
     group.sample_size(10);
     for m in [22usize, 48] {
-        let shape = UniformShape {
-            n: 32,
-            m,
-            k: 9,
-            d: 2,
-        };
+        let shape = UniformShape::square(32, m, 9, 2);
         group.bench_function(format!("compare_m{m}"), |b| {
             b.iter(|| compare_sum_layouts(shape, m as u64))
         });

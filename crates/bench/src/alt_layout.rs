@@ -136,12 +136,7 @@ mod tests {
 
     #[test]
     fn paper_layout_needs_fewer_transactions() {
-        let shape = UniformShape {
-            n: 32,
-            m: 22,
-            k: 9,
-            d: 2,
-        };
+        let shape = UniformShape::square(32, 22, 9, 2);
         let (paper, row_major) = compare_sum_layouts(shape, 42);
         assert!(
             paper.counters.global_transactions < row_major.counters.global_transactions / 4,
@@ -155,12 +150,7 @@ mod tests {
 
     #[test]
     fn modeled_time_favors_paper_layout() {
-        let shape = UniformShape {
-            n: 32,
-            m: 48,
-            k: 9,
-            d: 2,
-        };
+        let shape = UniformShape::square(32, 48, 9, 2);
         let (paper, row_major) = compare_sum_layouts(shape, 7);
         assert!(
             paper.timing.kernel_seconds <= row_major.timing.kernel_seconds,

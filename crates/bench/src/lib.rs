@@ -811,7 +811,7 @@ pub fn solve_sweep() -> SolveSweep {
             polygpu_cluster::engine_builder()
                 .backend(polygpu_core::Backend::Cluster {
                     devices: vec![DeviceSpec::tesla_c2050(); 4],
-                    policy: polygpu_core::engine::ClusterPolicy::default(),
+                    shard: polygpu_core::engine::ClusterPolicy::default().into(),
                 })
                 .per_device_capacity(per_device),
         ),
@@ -933,6 +933,215 @@ pub fn format_solve_sweep(sweep: &SolveSweep) -> String {
     s.push_str(&format!(
         "\nescalation demo (1e-19 tolerance, unreachable in f64): {} retried, {} rescued in double-double\n",
         sweep.escalation_retried, sweep.escalation_rescued
+    ));
+    s
+}
+
+/// One row of the system-sharding sweep.
+#[derive(Debug, Clone)]
+pub struct SyshardRow {
+    /// Device count.
+    pub d: usize,
+    /// Whether the over-budget system built at this `D`.
+    pub built: bool,
+    /// Constant bytes resident across the fleet (0 when the build was
+    /// rejected).
+    pub constant_bytes: usize,
+    /// Modeled wall seconds of the evaluation batch.
+    pub wall_seconds: f64,
+    /// Share of the wall clock spent on the inter-device gather.
+    pub gather_fraction: f64,
+    /// Modeled evaluations per second.
+    pub evals_per_sec: f64,
+}
+
+/// The system-sharding sweep plus its deterministic acceptance checks.
+#[derive(Debug, Clone)]
+pub struct SyshardSweep {
+    /// The over-budget (2,048-monomial, k = 16) system across
+    /// D ∈ {1, 2, 4}.
+    pub rows: Vec<SyshardRow>,
+    /// `D = 1` (single device) must reject the over-budget encoding.
+    pub over_budget_rejected_at_d1: bool,
+    /// Row-sharded results at D ∈ {2, 4} bit-identical to the CPU
+    /// reference.
+    pub identical_to_cpu: bool,
+    /// Compute-bound 1,536-monomial shape: row-sharded D = 4 wall
+    /// clock vs D = 1 (same points, same system — fits one device).
+    pub d1_wall_seconds: f64,
+    pub d4_wall_seconds: f64,
+    /// Gather share of the D = 4 compute-bound run.
+    pub d4_gather_fraction: f64,
+}
+
+impl SyshardSweep {
+    /// The named model-side acceptance bars of `repro syshard` — the
+    /// single source of truth behind both [`SyshardSweep::passes`] and
+    /// the PASS/FAIL lines the `repro` binary prints.
+    pub fn checks(&self) -> [(&'static str, bool); 4] {
+        [
+            (
+                "budget check (2,048-monomial k = 16 encoding rejected by one device)",
+                self.over_budget_rejected_at_d1,
+            ),
+            (
+                "build check (the same system builds row-sharded at D = 2 and D = 4)",
+                self.rows.iter().filter(|r| r.built).count() == 2,
+            ),
+            (
+                "identity check (row-sharded results bit-identical to the CPU reference)",
+                self.identical_to_cpu,
+            ),
+            (
+                "scaling check (row-sharded D = 4 beats D = 1 on the compute-bound shape)",
+                self.d4_wall_seconds < self.d1_wall_seconds,
+            ),
+        ]
+    }
+
+    /// All acceptance bars at once: the wall stands at D = 1, falls at
+    /// D ∈ {2, 4} bit-identically, and D = 4 beats D = 1 on the
+    /// compute-bound shape despite the gather.
+    pub fn passes(&self) -> bool {
+        self.checks().iter().all(|(_, ok)| *ok)
+    }
+
+    /// Speedup of row-sharded D = 4 over D = 1 on the compute-bound
+    /// shape.
+    pub fn d4_speedup(&self) -> f64 {
+        if self.d4_wall_seconds > 0.0 {
+            self.d1_wall_seconds / self.d4_wall_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The system-sharding table behind `repro syshard`: the paper's
+/// over-budget 2,048-monomial k = 16 system (65,536 support bytes
+/// against a 65,280-byte constant budget) is rejected by one device,
+/// then built row-sharded over D ∈ {2, 4} and checked bit-identical to
+/// the CPU reference; a compute-bound 1,536-monomial shape that *does*
+/// fit one device shows the wall-clock win of spreading the equations.
+/// Fully modeled, hence deterministic.
+pub fn syshard_sweep() -> SyshardSweep {
+    use polygpu_cluster::{RowClusterOptions, RowShardedEvaluator};
+
+    // Part 1: the constant-memory wall, lifted D-fold.
+    let over = random_system::<f64>(&BenchmarkParams {
+        n: 32,
+        m: 64,
+        k: 16,
+        d: 10,
+        seed: 3,
+    });
+    let p_small = 4usize;
+    let points = random_points::<f64>(32, p_small, 21);
+    let mut reference = AdEvaluator::new(over.clone()).expect("CPU takes any uniform system");
+    let want = reference.evaluate_batch(&points);
+    let mut rows = Vec::new();
+    let mut over_budget_rejected_at_d1 = false;
+    let mut identical_to_cpu = true;
+    for d in [1usize, 2, 4] {
+        let specs = vec![DeviceSpec::tesla_c2050(); d];
+        match RowShardedEvaluator::new(&over, &specs, p_small, RowClusterOptions::default()) {
+            Err(_) => {
+                if d == 1 {
+                    over_budget_rejected_at_d1 = true;
+                }
+                rows.push(SyshardRow {
+                    d,
+                    built: false,
+                    constant_bytes: 0,
+                    wall_seconds: 0.0,
+                    gather_fraction: 0.0,
+                    evals_per_sec: 0.0,
+                });
+            }
+            Ok(mut cluster) => {
+                let got = cluster.evaluate_batch(&points);
+                for (g, w) in got.iter().zip(&want) {
+                    identical_to_cpu &=
+                        g.values == w.values && g.jacobian.as_slice() == w.jacobian.as_slice();
+                }
+                let s = cluster.cluster_stats();
+                let caps = polygpu_core::AnyEvaluator::caps(&cluster);
+                rows.push(SyshardRow {
+                    d,
+                    built: true,
+                    constant_bytes: caps.constant_bytes,
+                    wall_seconds: s.wall_seconds,
+                    gather_fraction: s.gather_fraction(),
+                    evals_per_sec: s.throughput_evals_per_sec(),
+                });
+            }
+        }
+    }
+
+    // Part 2: the compute-bound wall-clock win (1,536 monomials fits
+    // one device, so D = 1 is a fair baseline).
+    let fits = random_system::<f64>(&BenchmarkParams {
+        n: 32,
+        m: 48,
+        k: 16,
+        d: 10,
+        seed: 9,
+    });
+    let p = 32usize;
+    let big_points = random_points::<f64>(32, p, 13);
+    let wall = |d: usize| -> (f64, f64) {
+        let specs = vec![DeviceSpec::tesla_c2050(); d];
+        let mut cluster = RowShardedEvaluator::new(&fits, &specs, p, RowClusterOptions::default())
+            .expect("1,536 monomials fit one device");
+        let _ = cluster.evaluate_batch(&big_points);
+        let s = cluster.cluster_stats();
+        (s.wall_seconds, s.gather_fraction())
+    };
+    let (d1_wall_seconds, _) = wall(1);
+    let (d4_wall_seconds, d4_gather_fraction) = wall(4);
+
+    SyshardSweep {
+        rows,
+        over_budget_rejected_at_d1,
+        identical_to_cpu,
+        d1_wall_seconds,
+        d4_wall_seconds,
+        d4_gather_fraction,
+    }
+}
+
+/// Render the system-sharding sweep in markdown.
+pub fn format_syshard_sweep(sweep: &SyshardSweep) -> String {
+    let mut s = String::new();
+    s.push_str(
+        "### System sharding — 2,048 monomials x k = 16 (65,536 support bytes, budget 65,280/device)\n\n",
+    );
+    s.push_str("| D | build | constant bytes (fleet) | modeled wall | gather share | evals/s |\n");
+    s.push_str("|--:|-------|-----------------------:|-------------:|-------------:|--------:|\n");
+    for r in &sweep.rows {
+        if r.built {
+            s.push_str(&format!(
+                "| {} | ok | {} | {:.1} us | {:.0}% | {:.0} |\n",
+                r.d,
+                r.constant_bytes,
+                r.wall_seconds * 1e6,
+                r.gather_fraction * 100.0,
+                r.evals_per_sec
+            ));
+        } else {
+            s.push_str(&format!(
+                "| {} | REJECTED (constant overflow — the paper's wall) | - | - | - | - |\n",
+                r.d
+            ));
+        }
+    }
+    s.push_str(&format!(
+        "\ncompute-bound 1,536-monomial shape, P = 32: D = 1 wall {:.1} us, \
+         row-sharded D = 4 wall {:.1} us ({:.2}x, gather share {:.0}%)\n",
+        sweep.d1_wall_seconds * 1e6,
+        sweep.d4_wall_seconds * 1e6,
+        sweep.d4_speedup(),
+        sweep.d4_gather_fraction * 100.0
     ));
     s
 }
@@ -1132,6 +1341,32 @@ mod tests {
         let s = format_solve_sweep(&sweep);
         assert!(s.contains("| queue | cluster | 4 |"));
         assert!(s.contains("rescued in double-double"));
+    }
+
+    /// The `repro syshard` gates: the over-budget system is rejected at
+    /// D = 1, builds bit-identically to the CPU at D ∈ {2, 4}, and
+    /// row-sharded D = 4 beats D = 1 on the compute-bound shape.
+    #[test]
+    fn syshard_sweep_passes_its_gates() {
+        let sweep = syshard_sweep();
+        assert!(sweep.over_budget_rejected_at_d1, "{sweep:?}");
+        assert!(sweep.identical_to_cpu, "{sweep:?}");
+        assert!(!sweep.rows[0].built && sweep.rows[1].built && sweep.rows[2].built);
+        // The whole 65,536-byte encoding resides, spread over the fleet.
+        assert_eq!(sweep.rows[1].constant_bytes, 65_536);
+        assert_eq!(sweep.rows[2].constant_bytes, 65_536);
+        assert!(sweep.rows[1].gather_fraction > 0.0);
+        assert!(
+            sweep.d4_wall_seconds < sweep.d1_wall_seconds,
+            "D = 4 must beat D = 1: {:.3e} vs {:.3e}",
+            sweep.d4_wall_seconds,
+            sweep.d1_wall_seconds
+        );
+        assert!(sweep.d4_gather_fraction > 0.0 && sweep.d4_gather_fraction < 0.5);
+        assert!(sweep.passes());
+        let s = format_syshard_sweep(&sweep);
+        assert!(s.contains("REJECTED"));
+        assert!(s.contains("row-sharded D = 4 wall"));
     }
 
     #[test]

@@ -36,14 +36,22 @@
 //! assert!(cluster.cluster_stats().wall_seconds > 0.0);
 //! ```
 
+pub mod rows;
 pub mod shard;
 
+pub use rows::{
+    plan_rows, ClusterSession, RowClusterOptions, RowClusterStats, RowShardedEvaluator,
+};
 pub use shard::{plan, DeviceWeight, Shard, ShardPolicy};
+// Re-exported so the row-sharding surface is importable from one
+// place; the enum itself lives next to `Backend` in the core builder.
+pub use polygpu_core::engine::SystemShardPolicy;
+pub use polygpu_gpusim::stream::TransferPath;
 
 use polygpu_complex::{Complex, Real};
 use polygpu_core::engine::{
     AnyEvaluator, BuildError, ClusterPolicy, ClusterProvider, ClusterSpec, Engine, EngineBuilder,
-    EngineCaps,
+    EngineCaps, ShardMode,
 };
 use polygpu_core::pipeline::{GpuOptions, PipelineStats, SetupError};
 use polygpu_core::{BatchError, BatchGpuEvaluator};
@@ -326,10 +334,7 @@ impl<R: Real> SystemEvaluator<R> for ShardedBatchEvaluator<R> {
     }
 
     fn evaluate(&mut self, x: &[Complex<R>]) -> SystemEval<R> {
-        self.try_evaluate_batch(std::slice::from_ref(&x.to_vec()))
-            .unwrap_or_else(|e| panic!("single-point batch must satisfy the contract: {e}"))
-            .pop()
-            .expect("batch of one returns one result")
+        polygpu_core::expect_batch(AnyEvaluator::try_evaluate(self, x))
     }
 
     fn name(&self) -> &str {
@@ -344,8 +349,7 @@ impl<R: Real> BatchSystemEvaluator<R> for ShardedBatchEvaluator<R> {
     }
 
     fn evaluate_batch(&mut self, points: &[Vec<Complex<R>>]) -> Vec<SystemEval<R>> {
-        self.try_evaluate_batch(points)
-            .unwrap_or_else(|e| panic!("evaluate_batch contract violated: {e}"))
+        polygpu_core::expect_batch(self.try_evaluate_batch(points))
     }
 }
 
@@ -401,7 +405,9 @@ impl<R: Real> AnyEvaluator<R> for ShardedBatchEvaluator<R> {
 }
 
 /// The [`ClusterProvider`] of this crate: [`Backend::Cluster`] builds a
-/// [`ShardedBatchEvaluator`] over the spec's device list.
+/// [`ShardedBatchEvaluator`] (point sharding) or a
+/// [`RowShardedEvaluator`] (system/row sharding) over the spec's
+/// device list, per its `ShardMode`.
 ///
 /// [`Backend::Cluster`]: polygpu_core::engine::Backend::Cluster
 #[derive(Debug, Clone, Copy, Default)]
@@ -413,19 +419,42 @@ impl ClusterProvider for Sharded {
         system: &System<R>,
         spec: &ClusterSpec,
     ) -> Result<Box<dyn AnyEvaluator<R>>, BuildError> {
-        let policy = match spec.policy {
-            ClusterPolicy::RoundRobin => ShardPolicy::RoundRobin,
-            ClusterPolicy::CapacityProportional => ShardPolicy::CapacityProportional,
-            ClusterPolicy::WorkStealing { chunk } => ShardPolicy::WorkStealing { chunk },
-        };
-        let opts = ClusterOptions {
-            policy,
-            overlap_chunks: spec.base.overlap_chunks,
-            base: spec.base.clone(),
-        };
-        let cluster =
-            ShardedBatchEvaluator::new(system, &spec.devices, spec.per_device_capacity, opts)?;
-        Ok(Box::new(cluster))
+        match spec.shard {
+            ShardMode::Points { policy } => {
+                let policy = match policy {
+                    ClusterPolicy::RoundRobin => ShardPolicy::RoundRobin,
+                    ClusterPolicy::CapacityProportional => ShardPolicy::CapacityProportional,
+                    ClusterPolicy::WorkStealing { chunk } => ShardPolicy::WorkStealing { chunk },
+                };
+                let opts = ClusterOptions {
+                    policy,
+                    overlap_chunks: spec.base.overlap_chunks,
+                    base: spec.base.clone(),
+                };
+                let cluster = ShardedBatchEvaluator::new(
+                    system,
+                    &spec.devices,
+                    spec.per_device_capacity,
+                    opts,
+                )?;
+                Ok(Box::new(cluster))
+            }
+            ShardMode::Rows { policy } => {
+                let opts = RowClusterOptions {
+                    policy,
+                    gather: spec.gather,
+                    overlap_chunks: spec.base.overlap_chunks,
+                    base: spec.base.clone(),
+                };
+                let cluster = RowShardedEvaluator::new(
+                    system,
+                    &spec.devices,
+                    spec.per_device_capacity,
+                    opts,
+                )?;
+                Ok(Box::new(cluster))
+            }
+        }
     }
 }
 

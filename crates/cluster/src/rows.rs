@@ -1,0 +1,1145 @@
+//! **System sharding**: partition the target system's equations (rows
+//! of the Jacobian) across devices, so systems whose support encoding
+//! exceeds one device's constant memory become solvable at all.
+//!
+//! Point sharding ([`crate::ShardedBatchEvaluator`]) scales *throughput*
+//! but every device must hold the **whole** encoding — the paper's
+//! 2,048-monomial constant-memory wall caps the system size no matter
+//! how many devices join. Row sharding attacks the wall itself:
+//!
+//! * a [`SystemShardPolicy`] splits the `rows` equations over `D`
+//!   devices (pure function of `(rows, D)` — deterministic);
+//! * each device encodes **only its rows'** supports and coefficients
+//!   into its own constant arena (`~1/D` of the bytes) and runs the
+//!   unchanged three-kernel pipeline on its rectangular row block;
+//! * every device sees **every point** of a batch (the point upload is
+//!   replicated — the price of the mode), and per-point values and
+//!   Jacobian rows are gathered to the root device through a modeled
+//!   inter-device transfer ([`gather_timeline`]: concurrent per-source
+//!   egress, serialized root ingress; D2D peer hops or D2H + H2D host
+//!   staging per [`TransferPath`]);
+//! * merged results are **bit-for-bit** the single-device (and CPU
+//!   reference) results: each row's arithmetic touches only its own
+//!   supports, so partitioning rows changes nothing numerically.
+//!
+//! [`ClusterSession`] adds multi-system **residency** on top: several
+//! row-sharded systems co-reside in the fleet's constant arenas (joint
+//! per-device budgets), and switching the active system costs one
+//! parallel command-queue round trip instead of `D` re-encodes.
+
+use polygpu_complex::{Complex, Real};
+use polygpu_core::engine::{
+    AnyEvaluator, BuildError, ClusterSpec, EngineCaps, ResidencyRow, SessionAmortization,
+    ShardMode, SystemId, SystemShardPolicy,
+};
+use polygpu_core::layout::encoding::EncodedSupports;
+use polygpu_core::pipeline::{GpuOptions, PipelineStats, SetupError};
+use polygpu_core::{BatchError, BatchGpuEvaluator};
+use polygpu_gpusim::prelude::*;
+use polygpu_gpusim::stream::{gather_timeline, transfer_legs, TransferPath};
+use polygpu_polysys::{BatchSystemEvaluator, System, SystemEval, SystemEvaluator, UniformShape};
+use rayon::prelude::*;
+
+/// Split `rows` equation indices over `d` devices. Every row appears in
+/// exactly one shard; shards may be empty when `d > rows`.
+pub fn plan_rows(policy: SystemShardPolicy, rows: usize, d: usize) -> Vec<Vec<usize>> {
+    assert!(d >= 1, "row sharding needs at least one device");
+    let mut shards: Vec<Vec<usize>> = vec![Vec::new(); d];
+    match policy {
+        SystemShardPolicy::Contiguous => {
+            // Largest-remainder apportionment: the first `rows % d`
+            // devices carry one extra row, blocks stay contiguous.
+            let base = rows / d;
+            let extra = rows % d;
+            let mut next = 0usize;
+            for (dev, shard) in shards.iter_mut().enumerate() {
+                let count = base + usize::from(dev < extra);
+                shard.extend(next..next + count);
+                next += count;
+            }
+        }
+        SystemShardPolicy::RoundRobin => {
+            for r in 0..rows {
+                shards[r % d].push(r);
+            }
+        }
+    }
+    shards
+}
+
+/// Configuration of a [`RowShardedEvaluator`].
+#[derive(Debug, Clone, Default)]
+pub struct RowClusterOptions {
+    /// How equations are split across devices.
+    pub policy: SystemShardPolicy,
+    /// How gathered rows travel between devices (host-staged by
+    /// default — the honest model for the paper's PCIe 2.0 fleet).
+    pub gather: TransferPath,
+    /// Per-device stream-overlap chunking (see
+    /// [`GpuOptions::overlap_chunks`]); `None` picks adaptively.
+    pub overlap_chunks: Option<usize>,
+    /// Base options for every device (`device` replaced per spec).
+    pub base: GpuOptions,
+}
+
+/// Aggregate modeled cost of a row-sharded cluster.
+///
+/// Per batch the devices compute concurrently (max over device walls),
+/// then the non-root shards' results cross to the root — so the batch
+/// wall clock is `max(device walls) + gather makespan`, and the gather
+/// is charged **honestly** as its own term, visible in
+/// [`RowClusterStats::gather_seconds`].
+#[derive(Debug, Clone, Default)]
+pub struct RowClusterStats {
+    /// Points evaluated (a batch of `P` counts `P`).
+    pub evaluations: u64,
+    /// Cluster-level batches (one per `evaluate_batch` call).
+    pub batches: u64,
+    /// Modeled wall clock: per batch `max(device walls) + gather`,
+    /// summed over batches.
+    pub wall_seconds: f64,
+    /// The compute share of the wall clock (max over devices per
+    /// batch, summed).
+    pub compute_seconds: f64,
+    /// The inter-device gather share of the wall clock (timeline
+    /// makespan per batch, summed).
+    pub gather_seconds: f64,
+    /// Cumulative modeled wall seconds per participating device.
+    pub device_wall: Vec<f64>,
+    /// Rows each participating device owns.
+    pub device_rows: Vec<usize>,
+}
+
+impl RowClusterStats {
+    fn new(device_rows: Vec<usize>) -> Self {
+        RowClusterStats {
+            device_wall: vec![0.0; device_rows.len()],
+            device_rows,
+            ..Default::default()
+        }
+    }
+
+    /// Modeled cluster throughput in evaluations per second.
+    pub fn throughput_evals_per_sec(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.evaluations as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of the wall clock spent gathering rows across devices
+    /// — the overhead row sharding pays for lifting the memory wall.
+    pub fn gather_fraction(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.gather_seconds / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One participating device of a [`RowShardedEvaluator`]: its engine
+/// over its rectangular row block, plus the global row indices the
+/// block covers.
+struct RowShard<R: Real> {
+    engine: BatchGpuEvaluator<R>,
+    /// Global row index of each local row, in local order.
+    rows: Vec<usize>,
+}
+
+/// [`BatchSystemEvaluator`] over `D` devices, each evaluating its own
+/// **row block** of the system at every point of the batch.
+///
+/// The cluster's batch capacity is the *per-device* capacity (points
+/// are replicated, not sharded); what scales with `D` is the
+/// constant-memory budget — and, on compute-bound shapes, the wall
+/// clock, because each device's kernels cover only `rows/D` equations.
+pub struct RowShardedEvaluator<R: Real> {
+    shards: Vec<RowShard<R>>,
+    policy: SystemShardPolicy,
+    gather: TransferPath,
+    stats: RowClusterStats,
+    /// Variables (the dimension points live in).
+    n: usize,
+    /// Total rows across all shards.
+    rows: usize,
+}
+
+impl<R: Real> RowShardedEvaluator<R> {
+    /// Shard `system`'s equations over `specs` by `opts.policy` and
+    /// build one rectangular-block [`BatchGpuEvaluator`] of `capacity`
+    /// points per participating device (devices left without rows when
+    /// `D > rows` sit the computation out). Each device encodes only
+    /// its rows' supports — the whole point: a system whose full
+    /// encoding overflows one device's constant memory builds here as
+    /// long as every *shard* fits.
+    pub fn new(
+        system: &System<R>,
+        specs: &[DeviceSpec],
+        capacity: usize,
+        opts: RowClusterOptions,
+    ) -> Result<Self, SetupError> {
+        assert!(!specs.is_empty(), "cluster needs at least one device");
+        let plan = plan_rows(opts.policy, system.rows(), specs.len());
+        let mut shards = Vec::new();
+        for (spec, rows) in specs.iter().zip(plan) {
+            if rows.is_empty() {
+                continue;
+            }
+            let block = system.row_block(&rows);
+            let gopts = GpuOptions {
+                device: spec.clone(),
+                overlap_chunks: opts.overlap_chunks,
+                ..opts.base.clone()
+            };
+            let engine = BatchGpuEvaluator::new(&block, capacity, gopts)?;
+            shards.push(RowShard { engine, rows });
+        }
+        Ok(RowShardedEvaluator {
+            stats: RowClusterStats::new(shards.iter().map(|s| s.rows.len()).collect()),
+            policy: opts.policy,
+            gather: opts.gather,
+            n: system.dim(),
+            rows: system.rows(),
+            shards,
+        })
+    }
+
+    /// Assemble from pre-built per-device engines (the residency path:
+    /// [`ClusterSession::load`] encodes each shard into a shared
+    /// per-device arena first). `row_map[i]` holds the global row
+    /// indices of `engines[i]`'s block, matching its construction.
+    fn from_parts(
+        engines: Vec<BatchGpuEvaluator<R>>,
+        row_map: Vec<Vec<usize>>,
+        n: usize,
+        rows: usize,
+        policy: SystemShardPolicy,
+        gather: TransferPath,
+    ) -> Self {
+        let shards: Vec<RowShard<R>> = engines
+            .into_iter()
+            .zip(row_map)
+            .map(|(engine, rows)| RowShard { engine, rows })
+            .collect();
+        RowShardedEvaluator {
+            stats: RowClusterStats::new(shards.iter().map(|s| s.rows.len()).collect()),
+            policy,
+            gather,
+            n,
+            rows,
+            shards,
+        }
+    }
+
+    /// Participating devices (those that own at least one row).
+    pub fn device_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The row plan in effect: global row indices per participating
+    /// device.
+    pub fn row_plan(&self) -> Vec<Vec<usize>> {
+        self.shards.iter().map(|s| s.rows.clone()).collect()
+    }
+
+    /// The shard policy the plan was produced by.
+    pub fn policy(&self) -> SystemShardPolicy {
+        self.policy
+    }
+
+    /// Per-device modeled statistics.
+    pub fn device_stats(&self) -> Vec<PipelineStats> {
+        self.shards.iter().map(|s| s.engine.stats()).collect()
+    }
+
+    /// Aggregate cluster statistics (compute + gather decomposition).
+    pub fn cluster_stats(&self) -> RowClusterStats {
+        self.stats.clone()
+    }
+
+    pub fn reset_stats(&mut self) {
+        for s in self.shards.iter_mut() {
+            s.engine.reset_stats();
+        }
+        self.stats = RowClusterStats::new(self.shards.iter().map(|s| s.rows.len()).collect());
+    }
+
+    /// Modeled seconds of gathering one batch's non-root rows into the
+    /// root device: the [`gather_timeline`] makespan over one transfer
+    /// leg pair per non-root shard (`p · rows_d · (n + 1)` result
+    /// elements each).
+    fn gather_seconds(&self, p: usize) -> f64 {
+        if self.shards.len() <= 1 {
+            return 0.0;
+        }
+        let elem = <Complex<R> as DeviceValue>::DEVICE_BYTES;
+        let root = self.shards[0].engine.device().clone();
+        let legs: Vec<(f64, f64)> = self.shards[1..]
+            .iter()
+            .map(|s| {
+                let bytes = p * s.rows.len() * (self.n + 1) * elem;
+                transfer_legs(s.engine.device(), &root, bytes, self.gather)
+            })
+            .collect();
+        gather_timeline(&legs).elapsed_seconds()
+    }
+
+    /// Evaluate a batch: every participating device evaluates **all**
+    /// points of its row block in parallel; rows merge back into full
+    /// evaluations in global row order, bit-identical to a
+    /// single-device run of the unsharded system.
+    pub fn try_evaluate_batch(
+        &mut self,
+        points: &[Vec<Complex<R>>],
+    ) -> Result<Vec<SystemEval<R>>, BatchError> {
+        let p = points.len();
+        let capacity = self.max_batch();
+        if p == 0 {
+            return Err(BatchError::Empty);
+        }
+        if p > capacity {
+            return Err(BatchError::CapacityExceeded {
+                points: p,
+                capacity,
+            });
+        }
+        for (i, x) in points.iter().enumerate() {
+            if x.len() != self.n {
+                return Err(BatchError::DimensionMismatch {
+                    point: i,
+                    got: x.len(),
+                    expected: self.n,
+                });
+            }
+        }
+
+        // Every shard runs the full point batch concurrently on the
+        // host pool (the rayon shim preserves input order, so merging
+        // below is deterministic); stats are staged and committed only
+        // on success, so a failed call costs nothing.
+        type ShardOutcome<R> = (Result<Vec<SystemEval<R>>, BatchError>, f64);
+        let work: Vec<&mut RowShard<R>> = self.shards.iter_mut().collect();
+        let outcomes: Vec<ShardOutcome<R>> = work
+            .into_par_iter()
+            .map(|s| {
+                let wall_before = s.engine.stats().wall_seconds;
+                let result = s.engine.try_evaluate_batch(points);
+                let wall = s.engine.stats().wall_seconds - wall_before;
+                (result, wall)
+            })
+            .collect();
+
+        let mut merged: Vec<SystemEval<R>> = (0..p)
+            .map(|_| SystemEval::zeros_rect(self.rows, self.n))
+            .collect();
+        let mut compute_wall = 0.0f64;
+        let mut device_deltas = Vec::with_capacity(outcomes.len());
+        for (d, (result, wall)) in outcomes.into_iter().enumerate() {
+            let evals = result?;
+            for (i, eval) in evals.into_iter().enumerate() {
+                for (local, &global) in self.shards[d].rows.iter().enumerate() {
+                    merged[i].values[global] = eval.values[local];
+                    for v in 0..self.n {
+                        merged[i].jacobian[(global, v)] = eval.jacobian[(local, v)];
+                    }
+                }
+            }
+            compute_wall = compute_wall.max(wall);
+            device_deltas.push((d, wall));
+        }
+        let gather = self.gather_seconds(p);
+        for (d, wall) in device_deltas {
+            self.stats.device_wall[d] += wall;
+        }
+        self.stats.evaluations += p as u64;
+        self.stats.batches += 1;
+        self.stats.compute_seconds += compute_wall;
+        self.stats.gather_seconds += gather;
+        self.stats.wall_seconds += compute_wall + gather;
+        Ok(merged)
+    }
+}
+
+impl<R: Real> SystemEvaluator<R> for RowShardedEvaluator<R> {
+    fn dim(&self) -> usize {
+        self.n
+    }
+
+    fn evaluate(&mut self, x: &[Complex<R>]) -> SystemEval<R> {
+        polygpu_core::expect_batch(AnyEvaluator::try_evaluate(self, x))
+    }
+
+    fn name(&self) -> &str {
+        "gpu-sim-cluster-rows"
+    }
+}
+
+impl<R: Real> BatchSystemEvaluator<R> for RowShardedEvaluator<R> {
+    /// The **per-device** point capacity: every device sees every
+    /// point, so capacity does not scale with `D` (row sharding trades
+    /// throughput scaling for memory scaling).
+    fn max_batch(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.engine.capacity())
+            .min()
+            .unwrap_or(0)
+    }
+
+    fn evaluate_batch(&mut self, points: &[Vec<Complex<R>>]) -> Vec<SystemEval<R>> {
+        polygpu_core::expect_batch(self.try_evaluate_batch(points))
+    }
+}
+
+impl<R: Real> AnyEvaluator<R> for RowShardedEvaluator<R> {
+    fn try_evaluate_batch(
+        &mut self,
+        points: &[Vec<Complex<R>>],
+    ) -> Result<Vec<SystemEval<R>>, BatchError> {
+        RowShardedEvaluator::try_evaluate_batch(self, points)
+    }
+
+    /// Cluster-level aggregate: wall clock from [`RowClusterStats`]
+    /// (compute max + gather per batch); resource seconds and counters
+    /// summed over devices, the gather charged into
+    /// `transfer_seconds`.
+    fn engine_stats(&self) -> PipelineStats {
+        let mut agg = PipelineStats {
+            evaluations: self.stats.evaluations,
+            batches: self.stats.batches,
+            wall_seconds: self.stats.wall_seconds,
+            transfer_seconds: self.stats.gather_seconds,
+            ..Default::default()
+        };
+        for s in &self.shards {
+            let d = s.engine.stats();
+            agg.counters += d.counters;
+            agg.kernel_seconds += d.kernel_seconds;
+            agg.overhead_seconds += d.overhead_seconds;
+            agg.transfer_seconds += d.transfer_seconds;
+        }
+        agg
+    }
+
+    fn reset_engine_stats(&mut self) {
+        self.reset_stats();
+    }
+
+    fn caps(&self) -> EngineCaps {
+        let capacity = self.max_batch();
+        EngineCaps {
+            backend: "cluster-rows",
+            devices: self.shards.len(),
+            capacity,
+            // Identical to `capacity`: every device absorbs the whole
+            // batch, so `auto_slots` resolves to `capacity`, not
+            // `D × capacity` (the caps-aware clamp in `auto_slots`).
+            per_device_capacity: capacity,
+            batched: true,
+            constant_bytes: self
+                .shards
+                .iter()
+                .map(|s| s.engine.constant_bytes_used())
+                .sum(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cluster-level residency
+// ---------------------------------------------------------------------
+
+struct ClusterResident<R: Real> {
+    evaluator: RowShardedEvaluator<R>,
+    label: String,
+    monomials: usize,
+    constant_bytes: usize,
+    setup_seconds: f64,
+    activations: u64,
+}
+
+/// Multi-system residency across a device fleet: several row-sharded
+/// systems co-reside in the devices' constant arenas under **joint
+/// per-device budgets**, and switching the active system costs one
+/// parallel command-queue round trip (the slowest device's
+/// `pcie_latency` — every device rebinds its own offsets concurrently)
+/// instead of `D` full re-encodes.
+///
+/// Built from the same validated [`ClusterSpec`] the [`ClusterProvider`]
+/// receives — [`EngineBuilder::cluster_spec`] is the seam:
+///
+/// ```
+/// use polygpu_cluster::ClusterSession;
+/// use polygpu_core::engine::{Backend, SystemShardPolicy};
+/// use polygpu_gpusim::prelude::DeviceSpec;
+/// use polygpu_polysys::{random_points, random_system, BenchmarkParams};
+///
+/// let spec = polygpu_cluster::engine_builder()
+///     .backend(Backend::Cluster {
+///         devices: vec![DeviceSpec::tesla_c2050(); 2],
+///         shard: SystemShardPolicy::Contiguous.into(),
+///     })
+///     .per_device_capacity(4)
+///     .cluster_spec()
+///     .unwrap();
+/// let mut session = ClusterSession::<f64>::from_spec(&spec).unwrap();
+/// let sys = random_system::<f64>(&BenchmarkParams { n: 8, m: 3, k: 2, d: 2, seed: 1 });
+/// let id = session.load("stage-a", &sys).unwrap();
+/// let points = random_points::<f64>(8, 3, 5);
+/// let evals = session.activate(id).try_evaluate_batch(&points).unwrap();
+/// assert_eq!(evals.len(), 3);
+/// ```
+///
+/// [`ClusterProvider`]: polygpu_core::engine::ClusterProvider
+/// [`EngineBuilder::cluster_spec`]: polygpu_core::engine::EngineBuilder::cluster_spec
+pub struct ClusterSession<R: Real> {
+    specs: Vec<DeviceSpec>,
+    arenas: Vec<ConstantMemory>,
+    capacity: usize,
+    policy: SystemShardPolicy,
+    gather: TransferPath,
+    base: GpuOptions,
+    residents: Vec<ClusterResident<R>>,
+    active: Option<usize>,
+    stages: u64,
+    switches: u64,
+    session_seconds: f64,
+    reencode_seconds: f64,
+}
+
+impl<R: Real> ClusterSession<R> {
+    /// Open a session on the fleet a [`ClusterSpec`] describes.
+    /// Requires [`ShardMode::Rows`] (point-sharded clusters replicate
+    /// the encoding per device; their residency story is the
+    /// single-device [`Session`] per device).
+    ///
+    /// [`Session`]: polygpu_core::engine::Session
+    pub fn from_spec(spec: &ClusterSpec) -> Result<Self, BuildError> {
+        let policy = match spec.shard {
+            ShardMode::Rows { policy } => policy,
+            ShardMode::Points { .. } => {
+                return Err(BuildError::SessionBackend {
+                    backend: "cluster-points",
+                })
+            }
+        };
+        if spec.devices.is_empty() {
+            return Err(BuildError::NoDevices);
+        }
+        if spec.per_device_capacity == 0 {
+            return Err(BuildError::ZeroCapacity);
+        }
+        Ok(ClusterSession {
+            arenas: spec.devices.iter().map(ConstantMemory::new).collect(),
+            specs: spec.devices.clone(),
+            capacity: spec.per_device_capacity,
+            policy,
+            gather: spec.gather,
+            base: spec.base.clone(),
+            residents: Vec::new(),
+            active: None,
+            stages: 0,
+            switches: 0,
+            session_seconds: 0.0,
+            reencode_seconds: 0.0,
+        })
+    }
+
+    /// Modeled one-time setup cost of making `shape` resident on one
+    /// device: supports upload, coefficient upload, and the
+    /// three-launch validation probe with its transfers — the same
+    /// accounting as the single-device session, per shard.
+    fn modeled_shard_setup(&self, device: &DeviceSpec, shape: &UniformShape) -> f64 {
+        let elem = <Complex<R> as DeviceValue>::DEVICE_BYTES;
+        let supports = EncodedSupports::bytes_needed(shape, self.base.encoding);
+        let coeffs = shape.total_monomials() * (shape.k + 1) * elem;
+        transfer_seconds(device, supports)
+            + transfer_seconds(device, coeffs)
+            + 3.0 * device.launch_overhead
+            + transfer_seconds(device, shape.n * elem)
+            + transfer_seconds(device, shape.outputs() * elem)
+    }
+
+    /// Modeled cost of switching the active system: every device
+    /// rebinds its kernels' constant offsets concurrently, so the
+    /// fleet pays the **slowest** device's command-queue round trip.
+    pub fn switch_seconds(&self) -> f64 {
+        self.specs
+            .iter()
+            .map(|s| s.pcie_latency)
+            .fold(0.0, f64::max)
+    }
+
+    /// Row-shard `system` across the fleet and make it resident:
+    /// each device's shard encodes into that device's shared arena
+    /// (joint budget — fails typed when a shard does not fit next to
+    /// the residents, leaving no partial allocation on any device),
+    /// charging the modeled parallel setup once.
+    pub fn load(&mut self, label: &str, system: &System<R>) -> Result<SystemId, BuildError> {
+        let shape = system.uniform_shape()?;
+        let plan: Vec<Vec<usize>> = plan_rows(self.policy, system.rows(), self.specs.len())
+            .into_iter()
+            .filter(|rows| !rows.is_empty())
+            .collect();
+        // Budget check across the whole fleet *before* touching any
+        // arena, so a rejected load is free on every device.
+        for (d, rows) in plan.iter().enumerate() {
+            let shard_shape = UniformShape {
+                rows: rows.len(),
+                ..shape
+            };
+            let needed = EncodedSupports::bytes_needed(&shard_shape, self.base.encoding);
+            if self.arenas[d].used() + needed > self.arenas[d].budget() {
+                return Err(BuildError::Setup(SetupError::Encode(
+                    polygpu_core::layout::encoding::EncodeError::Constant(ConstantOverflow {
+                        requested_total: self.arenas[d].used() + needed,
+                        budget: self.arenas[d].budget(),
+                    }),
+                )));
+            }
+        }
+        // Stage every device's upload into a *clone* of its arena and
+        // commit the clones only after the whole fleet succeeded: the
+        // byte pre-check above cannot rule out every failure (e.g. an
+        // exponent outside the compact encoding's nibble, present only
+        // in one device's rows), and a half-loaded system must not
+        // strand bytes in the other devices' shared arenas.
+        let mut staged: Vec<ConstantMemory> = plan
+            .iter()
+            .enumerate()
+            .map(|(d, _)| self.arenas[d].clone())
+            .collect();
+        let mut engines = Vec::with_capacity(plan.len());
+        let mut setup = 0.0f64;
+        let mut constant_bytes = 0usize;
+        for (d, rows) in plan.iter().enumerate() {
+            let block = system.row_block(rows);
+            let gopts = GpuOptions {
+                device: self.specs[d].clone(),
+                ..self.base.clone()
+            };
+            let enc = EncodedSupports::upload(&block, &mut staged[d], self.base.encoding)
+                .map_err(|e| BuildError::Setup(SetupError::Encode(e)))?;
+            constant_bytes += enc.constant_bytes();
+            let shard_shape = enc.shape;
+            // Devices set up concurrently: the fleet's modeled setup is
+            // the slowest shard's.
+            setup = setup.max(self.modeled_shard_setup(&self.specs[d], &shard_shape));
+            engines.push(BatchGpuEvaluator::from_encoded(
+                &block,
+                enc,
+                staged[d].clone(),
+                self.capacity,
+                gopts,
+            )?);
+        }
+        for (d, arena) in staged.into_iter().enumerate() {
+            self.arenas[d] = arena;
+        }
+        let evaluator = RowShardedEvaluator::from_parts(
+            engines,
+            plan,
+            system.dim(),
+            system.rows(),
+            self.policy,
+            self.gather,
+        );
+        self.session_seconds += setup;
+        self.residents.push(ClusterResident {
+            evaluator,
+            label: label.to_string(),
+            monomials: shape.total_monomials(),
+            constant_bytes,
+            setup_seconds: setup,
+            activations: 0,
+        });
+        Ok(SystemId::new(self.residents.len() - 1))
+    }
+
+    /// Make `id` the active system (one modeled parallel command-queue
+    /// round trip when it changes) and borrow its evaluator for the
+    /// stage. Every call is one "stage" in the amortization
+    /// accounting; ids come from **this** session's [`ClusterSession::load`].
+    pub fn activate(&mut self, id: SystemId) -> &mut dyn AnyEvaluator<R> {
+        let idx = id.index();
+        assert!(idx < self.residents.len(), "unknown SystemId");
+        self.stages += 1;
+        self.reencode_seconds += self.residents[idx].setup_seconds;
+        if self.active != Some(idx) {
+            if self.active.is_some() {
+                self.switches += 1;
+                self.session_seconds += self.switch_seconds();
+            }
+            self.active = Some(idx);
+        }
+        self.residents[idx].activations += 1;
+        &mut self.residents[idx].evaluator
+    }
+
+    /// Systems currently resident.
+    pub fn resident_count(&self) -> usize {
+        self.residents.len()
+    }
+
+    /// Devices in the fleet.
+    pub fn device_count(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Bytes in use per device arena (all residents' shards).
+    pub fn constant_bytes_per_device(&self) -> Vec<usize> {
+        self.arenas.iter().map(|a| a.used()).collect()
+    }
+
+    /// Per-device constant budgets.
+    pub fn constant_budget_per_device(&self) -> Vec<usize> {
+        self.arenas.iter().map(|a| a.budget()).collect()
+    }
+
+    /// The residency table (one row per resident system; constant
+    /// bytes summed over the fleet).
+    pub fn residency(&self) -> Vec<ResidencyRow> {
+        self.residents
+            .iter()
+            .map(|r| ResidencyRow {
+                label: r.label.clone(),
+                monomials: r.monomials,
+                constant_bytes: r.constant_bytes,
+                setup_seconds: r.setup_seconds,
+                activations: r.activations,
+            })
+            .collect()
+    }
+
+    /// Modeled setup-cost accounting against the re-encoding baseline
+    /// (same semantics as the single-device session's).
+    pub fn amortization(&self) -> SessionAmortization {
+        let min_setup = self
+            .residents
+            .iter()
+            .map(|r| r.setup_seconds)
+            .fold(f64::INFINITY, f64::min);
+        let switch = self.switch_seconds();
+        SessionAmortization {
+            stages: self.stages,
+            session_seconds: self.session_seconds,
+            reencode_seconds: self.reencode_seconds,
+            steady_state_ratio: if self.residents.is_empty() || switch <= 0.0 {
+                1.0
+            } else {
+                min_setup / switch
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polygpu_polysys::{random_points, random_system, AdEvaluator, BenchmarkParams};
+
+    fn params(n: usize, m: usize, k: usize, d: u16, seed: u64) -> BenchmarkParams {
+        BenchmarkParams { n, m, k, d, seed }
+    }
+
+    /// Deterministic heterogeneity: every other device derated in the
+    /// timing model only.
+    fn hetero_specs(d: usize) -> Vec<DeviceSpec> {
+        (0..d)
+            .map(|i| {
+                let mut s = DeviceSpec::tesla_c2050();
+                if i % 2 == 1 {
+                    s.name = format!("slow-c2050 #{i}");
+                    s.clock_hz *= 0.6;
+                    s.pcie_bandwidth *= 0.8;
+                }
+                s
+            })
+            .collect()
+    }
+
+    #[test]
+    fn row_plans_cover_every_row_exactly_once() {
+        for policy in [SystemShardPolicy::Contiguous, SystemShardPolicy::RoundRobin] {
+            for (rows, d) in [(8usize, 3usize), (5, 5), (2, 4), (32, 4), (7, 1)] {
+                let plan = plan_rows(policy, rows, d);
+                assert_eq!(plan.len(), d);
+                let mut seen = vec![false; rows];
+                for shard in &plan {
+                    for &r in shard {
+                        assert!(!seen[r], "{policy:?}: row {r} planned twice");
+                        seen[r] = true;
+                    }
+                }
+                assert!(seen.iter().all(|&b| b), "{policy:?}: rows dropped");
+                // Balance: shard sizes differ by at most one.
+                let sizes: Vec<usize> = plan.iter().map(|s| s.len()).collect();
+                let (lo, hi) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(hi - lo <= 1, "{policy:?}: unbalanced {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn row_sharded_results_bitwise_equal_cpu_reference() {
+        let prm = params(8, 3, 2, 2, 5);
+        let sys = random_system::<f64>(&prm);
+        let points = random_points::<f64>(8, 7, 11);
+        let mut cpu = AdEvaluator::new(sys.clone()).unwrap();
+        let want = cpu.evaluate_batch(&points);
+        for policy in [SystemShardPolicy::Contiguous, SystemShardPolicy::RoundRobin] {
+            for d in [1usize, 2, 3, 4] {
+                let mut cluster = RowShardedEvaluator::new(
+                    &sys,
+                    &hetero_specs(d),
+                    8,
+                    RowClusterOptions {
+                        policy,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+                let got = cluster.evaluate_batch(&points);
+                for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                    assert_eq!(g.values, w.values, "{policy:?} D={d}, point {i}");
+                    assert_eq!(
+                        g.jacobian.as_slice(),
+                        w.jacobian.as_slice(),
+                        "{policy:?} D={d}, point {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The headline: the paper's 2,048-monomial k = 16 system —
+    /// rejected by every single-device engine for overflowing constant
+    /// memory — **builds and evaluates** once its rows are sharded over
+    /// D ∈ {2, 4} devices, bit-identical to the CPU reference.
+    #[test]
+    fn over_budget_system_builds_at_d2_and_d4() {
+        let prm = params(32, 64, 16, 10, 3);
+        let sys = random_system::<f64>(&prm);
+        // Single device (and D = 1 row sharding): the wall stands.
+        assert!(BatchGpuEvaluator::new(&sys, 4, GpuOptions::default()).is_err());
+        assert!(
+            RowShardedEvaluator::new(&sys, &hetero_specs(1), 4, RowClusterOptions::default())
+                .is_err()
+        );
+        let points = random_points::<f64>(32, 4, 21);
+        let mut cpu = AdEvaluator::new(sys.clone()).unwrap();
+        let want = cpu.evaluate_batch(&points);
+        for d in [2usize, 4] {
+            let mut cluster = RowShardedEvaluator::new(
+                &sys,
+                &vec![DeviceSpec::tesla_c2050(); d],
+                4,
+                RowClusterOptions::default(),
+            )
+            .unwrap_or_else(|e| panic!("over-budget system must build at D = {d}: {e}"));
+            // Each device holds ~1/D of the encoding, all under budget.
+            let caps = AnyEvaluator::caps(&cluster);
+            assert_eq!(caps.devices, d);
+            assert_eq!(caps.backend, "cluster-rows");
+            assert_eq!(caps.constant_bytes, 65_536, "full encoding, fleet-wide");
+            let got = cluster.evaluate_batch(&points);
+            for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert_eq!(g.values, w.values, "D={d}, point {i}");
+                assert_eq!(
+                    g.jacobian.as_slice(),
+                    w.jacobian.as_slice(),
+                    "D={d}, point {i}"
+                );
+            }
+            let s = cluster.cluster_stats();
+            assert!(s.gather_seconds > 0.0, "gather must be charged at D={d}");
+            assert!(s.wall_seconds > s.gather_seconds);
+        }
+    }
+
+    /// The perf half of the headline: on a compute-bound shape that
+    /// *does* fit one device, sharding the rows over D = 4 beats D = 1
+    /// despite the gather cost (each device's kernels cover a quarter
+    /// of the equations).
+    #[test]
+    fn four_way_row_sharding_beats_one_device_on_compute_bound_shapes() {
+        let prm = params(32, 48, 16, 10, 9); // 1,536 monomials: fits one device
+        let sys = random_system::<f64>(&prm);
+        let p = 32;
+        let points = random_points::<f64>(32, p, 13);
+        let mut walls = Vec::new();
+        let mut endpoints = Vec::new();
+        for d in [1usize, 4] {
+            let mut cluster = RowShardedEvaluator::new(
+                &sys,
+                &vec![DeviceSpec::tesla_c2050(); d],
+                p,
+                RowClusterOptions::default(),
+            )
+            .unwrap();
+            endpoints.push(cluster.evaluate_batch(&points));
+            let s = cluster.cluster_stats();
+            if d == 1 {
+                assert_eq!(s.gather_seconds, 0.0, "nothing to gather at D = 1");
+            } else {
+                assert!(s.gather_fraction() > 0.0 && s.gather_fraction() < 0.5);
+            }
+            walls.push(s.wall_seconds);
+        }
+        for (a, b) in endpoints[0].iter().zip(&endpoints[1]) {
+            assert_eq!(a.values, b.values);
+        }
+        assert!(
+            walls[1] < walls[0],
+            "D = 4 must beat D = 1 despite the gather: {:.3e} vs {:.3e} s",
+            walls[1],
+            walls[0]
+        );
+    }
+
+    #[test]
+    fn gather_path_and_stats_accounting() {
+        let prm = params(8, 4, 3, 2, 7);
+        let sys = random_system::<f64>(&prm);
+        let points = random_points::<f64>(8, 5, 3);
+        let mut staged = RowShardedEvaluator::new(
+            &sys,
+            &hetero_specs(3),
+            8,
+            RowClusterOptions {
+                gather: TransferPath::HostStaged,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut peer = RowShardedEvaluator::new(
+            &sys,
+            &hetero_specs(3),
+            8,
+            RowClusterOptions {
+                gather: TransferPath::PeerToPeer,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let a = staged.evaluate_batch(&points);
+        let b = peer.evaluate_batch(&points);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.values, y.values, "gather path is timing-model only");
+        }
+        let (ss, ps) = (staged.cluster_stats(), peer.cluster_stats());
+        assert!(ss.gather_seconds > 0.0 && ps.gather_seconds > 0.0);
+        assert!(
+            ps.gather_seconds < ss.gather_seconds,
+            "peer hops must be cheaper than host staging: {:.3e} vs {:.3e}",
+            ps.gather_seconds,
+            ss.gather_seconds
+        );
+        assert_eq!(ss.batches, 1);
+        assert_eq!(ss.evaluations, 5);
+        // Wall decomposes into compute + gather exactly.
+        assert!((ss.wall_seconds - ss.compute_seconds - ss.gather_seconds).abs() < 1e-15);
+        // Typed contract errors, costing nothing.
+        assert!(matches!(
+            staged.try_evaluate_batch(&[]),
+            Err(BatchError::Empty)
+        ));
+        let too_many = random_points::<f64>(8, 9, 3);
+        assert!(matches!(
+            staged.try_evaluate_batch(&too_many),
+            Err(BatchError::CapacityExceeded {
+                points: 9,
+                capacity: 8
+            })
+        ));
+        assert_eq!(staged.cluster_stats().batches, 1, "rejected calls are free");
+        staged.reset_stats();
+        assert_eq!(staged.cluster_stats().evaluations, 0);
+    }
+
+    /// The gather path is selectable through the public builder
+    /// (`EngineBuilder::gather_path`), not only by constructing the
+    /// evaluator directly — and peer hops model cheaper than staging.
+    #[test]
+    fn gather_path_reaches_through_the_builder() {
+        let prm = params(8, 4, 3, 2, 7);
+        let sys = random_system::<f64>(&prm);
+        let points = random_points::<f64>(8, 5, 3);
+        let build = |gather: TransferPath| {
+            crate::engine_builder()
+                .backend(polygpu_core::Backend::Cluster {
+                    devices: vec![DeviceSpec::tesla_c2050(); 3],
+                    shard: SystemShardPolicy::Contiguous.into(),
+                })
+                .per_device_capacity(8)
+                .gather_path(gather)
+                .build(&sys)
+                .unwrap()
+        };
+        let mut staged = build(TransferPath::HostStaged);
+        let mut peer = build(TransferPath::PeerToPeer);
+        let a = staged.try_evaluate_batch(&points).unwrap();
+        let b = peer.try_evaluate_batch(&points).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.values, y.values, "gather path is timing-model only");
+        }
+        assert!(
+            peer.engine_stats().wall_seconds < staged.engine_stats().wall_seconds,
+            "peer gather must model cheaper through the builder too"
+        );
+    }
+
+    #[test]
+    fn more_devices_than_rows_leaves_spares_idle() {
+        let prm = params(3, 2, 2, 2, 1);
+        let sys = random_system::<f64>(&prm);
+        let mut cluster =
+            RowShardedEvaluator::new(&sys, &hetero_specs(5), 4, RowClusterOptions::default())
+                .unwrap();
+        assert_eq!(cluster.device_count(), 3, "only 3 rows to hand out");
+        let points = random_points::<f64>(3, 2, 2);
+        let mut cpu = AdEvaluator::new(sys).unwrap();
+        let want = cpu.evaluate_batch(&points);
+        let got = cluster.evaluate_batch(&points);
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.values, w.values);
+        }
+    }
+
+    #[test]
+    fn cluster_session_shares_per_device_budgets_and_amortizes() {
+        let spec = crate::engine_builder()
+            .backend(polygpu_core::Backend::Cluster {
+                devices: vec![DeviceSpec::tesla_c2050(); 2],
+                shard: SystemShardPolicy::Contiguous.into(),
+            })
+            .per_device_capacity(4)
+            .cluster_spec()
+            .unwrap();
+        let mut session = ClusterSession::<f64>::from_spec(&spec).unwrap();
+        assert_eq!(session.device_count(), 2);
+        // The 2,048-monomial over-budget system loads row-sharded…
+        let big = random_system::<f64>(&params(32, 64, 16, 10, 3));
+        let a = session.load("big", &big).unwrap();
+        // …and a second Table-2-sized system co-resides next to it.
+        let medium = random_system::<f64>(&params(32, 32, 16, 10, 4));
+        let b = session.load("medium", &medium).unwrap();
+        assert_eq!(session.resident_count(), 2);
+        for (used, budget) in session
+            .constant_bytes_per_device()
+            .iter()
+            .zip(session.constant_budget_per_device())
+        {
+            assert!(*used <= budget);
+            assert!(*used > 0);
+        }
+        // A third large system breaks the joint per-device budget with
+        // the paper's typed constant-overflow error — and costs nothing.
+        let err = match session.load("too-much", &big) {
+            Ok(_) => panic!("three large systems cannot co-reside on two devices"),
+            Err(e) => e,
+        };
+        assert!(
+            matches!(err, BuildError::Setup(SetupError::Encode(_))),
+            "{err}"
+        );
+        assert_eq!(session.resident_count(), 2);
+
+        // Stages switch for one parallel round trip; the amortization
+        // accounting matches the single-device session's semantics.
+        let points = random_points::<f64>(32, 3, 17);
+        for _ in 0..4 {
+            for id in [a, b] {
+                let evals = session.activate(id).try_evaluate_batch(&points).unwrap();
+                assert_eq!(evals.len(), 3);
+            }
+        }
+        let am = session.amortization();
+        assert_eq!(am.stages, 8);
+        assert!(
+            am.steady_state_ratio >= 5.0,
+            "cluster residency amortization too weak: {:.2}x",
+            am.steady_state_ratio
+        );
+        assert!(am.reencode_seconds > am.session_seconds);
+
+        // Residency is bit-identical to a fresh row-sharded build.
+        let mut standalone = RowShardedEvaluator::new(
+            &medium,
+            &[DeviceSpec::tesla_c2050(), DeviceSpec::tesla_c2050()],
+            4,
+            RowClusterOptions::default(),
+        )
+        .unwrap();
+        let want = standalone.try_evaluate_batch(&points).unwrap();
+        let got = session.activate(b).try_evaluate_batch(&points).unwrap();
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.values, w.values);
+            assert_eq!(g.jacobian.as_slice(), w.jacobian.as_slice());
+        }
+    }
+
+    /// A load that fails *after* the byte pre-check — here a compact
+    /// encoding whose exponent limit only the second device's rows
+    /// violate — must leave every arena untouched (no stranded bytes
+    /// from the devices that had already uploaded their shards).
+    #[test]
+    fn failed_load_strands_no_bytes_on_any_device() {
+        use polygpu_core::layout::encoding::EncodingKind;
+        use polygpu_polysys::{Monomial, Polynomial, System, Term};
+        let poly = |e: u16| {
+            Polynomial::new(vec![Term {
+                coeff: polygpu_complex::C64::one(),
+                monomial: Monomial::new(vec![(0, e), (1, 1)]).unwrap(),
+            }])
+        };
+        // Rows 0–1 fit the compact nibble (exp − 1 ≤ 15); rows 2–3
+        // carry exponent 17, which only device 1's shard encodes.
+        let sys = System::new(4, vec![poly(2), poly(2), poly(17), poly(17)]).unwrap();
+        let spec = crate::engine_builder()
+            .backend(polygpu_core::Backend::Cluster {
+                devices: vec![DeviceSpec::tesla_c2050(); 2],
+                shard: SystemShardPolicy::Contiguous.into(),
+            })
+            .encoding(EncodingKind::Compact)
+            .per_device_capacity(2)
+            .cluster_spec()
+            .unwrap();
+        let mut session = ClusterSession::<f64>::from_spec(&spec).unwrap();
+        let before = session.constant_bytes_per_device();
+        let err = match session.load("bad", &sys) {
+            Ok(_) => panic!("exponent 17 cannot encode compactly"),
+            Err(e) => e,
+        };
+        assert!(matches!(err, BuildError::Setup(_)), "{err}");
+        assert_eq!(
+            session.constant_bytes_per_device(),
+            before,
+            "device 0's staged shard must not commit"
+        );
+        assert_eq!(session.resident_count(), 0);
+        // The session stays fully usable.
+        let ok = System::new(4, vec![poly(2), poly(3), poly(2), poly(3)]).unwrap();
+        let id = session.load("good", &ok).unwrap();
+        let x = vec![polygpu_complex::C64::one(); 4];
+        let eval = session.activate(id).try_evaluate(&x).unwrap();
+        assert_eq!(eval.values.len(), 4);
+    }
+
+    #[test]
+    fn session_requires_row_sharding() {
+        let spec = crate::engine_builder()
+            .backend(polygpu_core::Backend::Cluster {
+                devices: vec![DeviceSpec::tesla_c2050(); 2],
+                shard: ShardMode::default(), // point sharding
+            })
+            .cluster_spec()
+            .unwrap();
+        assert!(matches!(
+            ClusterSession::<f64>::from_spec(&spec),
+            Err(BuildError::SessionBackend { .. })
+        ));
+    }
+}

@@ -3,9 +3,14 @@
 //! fleets and batch sizes (including sizes that divide nothing), the
 //! cluster's output is **bit-for-bit** the output of the looping
 //! CPU reference — which the single-device GPU engine is already proven
-//! bitwise-equal to — in double and in double-double.
+//! bitwise-equal to — in double and in double-double. The same holds
+//! for **row sharding**: partitioning the system's equations across
+//! the fleet (any `SystemShardPolicy`, any `D`) never changes a bit.
 
-use polygpu_cluster::{ClusterOptions, ShardPolicy, ShardedBatchEvaluator};
+use polygpu_cluster::{
+    ClusterOptions, RowClusterOptions, RowShardedEvaluator, ShardPolicy, ShardedBatchEvaluator,
+    SystemShardPolicy, TransferPath,
+};
 use polygpu_gpusim::prelude::DeviceSpec;
 use polygpu_polysys::{
     random_points, random_system, AdEvaluator, BatchSystemEvaluator, BenchmarkParams,
@@ -109,6 +114,98 @@ proptest! {
                 "dd values, point {} of {:?}", i, params);
             prop_assert_eq!(got[i].jacobian.as_slice(), want[i].jacobian.as_slice(),
                 "dd jacobian, point {} of {:?}", i, params);
+        }
+    }
+
+    /// Row-shard determinism: endpoints and Jacobians are bit-identical
+    /// to the CPU reference across shard policies, heterogeneous
+    /// fleets, gather paths and D ∈ {1, 2, 4} — splitting the *system*
+    /// is as invisible numerically as splitting the points.
+    #[test]
+    fn row_sharding_bitwise_equals_cpu_reference_in_double(
+        params in shapes(),
+        row_policy in prop_oneof![
+            Just(SystemShardPolicy::Contiguous),
+            Just(SystemShardPolicy::RoundRobin),
+        ],
+        gather in prop_oneof![
+            Just(TransferPath::HostStaged),
+            Just(TransferPath::PeerToPeer),
+        ],
+        hetero in prop_oneof![Just(true), Just(false)],
+        p in 1usize..8,
+    ) {
+        let sys = random_system::<f64>(&params);
+        let points = random_points::<f64>(params.n, p, params.seed ^ 0x50u64);
+        let mut reference = AdEvaluator::new(sys.clone()).unwrap();
+        let want = reference.evaluate_batch(&points);
+        for d in [1usize, 2, 4] {
+            let specs: Vec<DeviceSpec> = if hetero {
+                (0..d).map(|i| {
+                    let mut s = DeviceSpec::tesla_c2050();
+                    if i % 2 == 1 {
+                        s.clock_hz *= 0.5 + 0.1 * i as f64;
+                        s.pcie_bandwidth *= 0.7;
+                    }
+                    s
+                }).collect()
+            } else {
+                vec![DeviceSpec::tesla_c2050(); d]
+            };
+            let mut cluster = RowShardedEvaluator::new(
+                &sys,
+                &specs,
+                8,
+                RowClusterOptions { policy: row_policy, gather, ..Default::default() },
+            )
+            .unwrap();
+            let got = cluster.evaluate_batch(&points);
+            for i in 0..p {
+                prop_assert_eq!(&got[i].values, &want[i].values,
+                    "values, point {} of {:?}, D = {} ({:?}, {:?})",
+                    i, params, d, row_policy, gather);
+                prop_assert_eq!(got[i].jacobian.as_slice(), want[i].jacobian.as_slice(),
+                    "jacobian, point {} of {:?}, D = {} ({:?}, {:?})",
+                    i, params, d, row_policy, gather);
+            }
+        }
+    }
+
+    /// Row-shard determinism in double-double: the widened arithmetic
+    /// partitions just as invisibly.
+    #[test]
+    fn row_sharding_bitwise_equals_cpu_reference_in_double_double(
+        params in shapes(),
+        row_policy in prop_oneof![
+            Just(SystemShardPolicy::Contiguous),
+            Just(SystemShardPolicy::RoundRobin),
+        ],
+        d in 1usize..5,
+        p in 1usize..6,
+    ) {
+        use polygpu_qd::Dd;
+        use polygpu_complex::Complex;
+        let sys = random_system::<f64>(&params).convert::<Dd>();
+        let points: Vec<Vec<Complex<Dd>>> =
+            random_points::<f64>(params.n, p, params.seed ^ 0x51u64)
+                .into_iter()
+                .map(|x| x.into_iter().map(|z| z.convert()).collect())
+                .collect();
+        let mut cluster = RowShardedEvaluator::new(
+            &sys,
+            &vec![DeviceSpec::tesla_c2050(); d],
+            8,
+            RowClusterOptions { policy: row_policy, ..Default::default() },
+        )
+        .unwrap();
+        let mut reference = AdEvaluator::new(sys).unwrap();
+        let got = cluster.evaluate_batch(&points);
+        let want = reference.evaluate_batch(&points);
+        for i in 0..p {
+            prop_assert_eq!(&got[i].values, &want[i].values,
+                "dd values, point {} of {:?}, D = {}", i, params, d);
+            prop_assert_eq!(got[i].jacobian.as_slice(), want[i].jacobian.as_slice(),
+                "dd jacobian, point {} of {:?}, D = {}", i, params, d);
         }
     }
 }

@@ -5,7 +5,7 @@
 //! placement decisions, never numerical ones.
 
 use polygpu_cluster::engine_builder;
-use polygpu_core::engine::{Backend, ClusterPolicy};
+use polygpu_core::engine::{Backend, ClusterPolicy, SystemShardPolicy};
 use polygpu_gpusim::prelude::DeviceSpec;
 use polygpu_polysys::{random_points, random_system, BenchmarkParams};
 use proptest::prelude::*;
@@ -37,18 +37,42 @@ proptest! {
         let sys = random_system::<f64>(&params);
         let points = random_points::<f64>(params.n, p, params.seed ^ 0xE1u64);
         let builder = engine_builder().per_device_capacity(4);
+        // Per-backend capacity: the point-sharded cluster absorbs
+        // `4 x devices` points (and must keep being tested with
+        // batches that span several devices); the row-sharded cluster
+        // replicates every point, so its capacity stays per-device.
         let backends = [
-            Backend::CpuReference,
-            Backend::Gpu,
-            Backend::GpuBatch { capacity: p.max(1) },
-            Backend::Cluster {
-                devices: vec![DeviceSpec::tesla_c2050(); devices],
-                policy,
-            },
+            (Backend::CpuReference, usize::MAX),
+            (Backend::Gpu, usize::MAX),
+            (Backend::GpuBatch { capacity: p.max(1) }, usize::MAX),
+            (
+                Backend::Cluster {
+                    devices: vec![DeviceSpec::tesla_c2050(); devices],
+                    shard: policy.into(),
+                },
+                4 * devices,
+            ),
+            (
+                Backend::Cluster {
+                    devices: vec![DeviceSpec::tesla_c2050(); devices],
+                    shard: SystemShardPolicy::Contiguous.into(),
+                },
+                4,
+            ),
+            (
+                Backend::Cluster {
+                    devices: vec![DeviceSpec::tesla_c2050(); devices],
+                    shard: SystemShardPolicy::RoundRobin.into(),
+                },
+                4,
+            ),
         ];
-        prop_assume!(p <= 4 * devices); // within the cluster capacity
+        prop_assume!(p <= 4 * devices); // within the point-sharded capacity
         let mut want: Option<Vec<polygpu_polysys::SystemEval<f64>>> = None;
-        for backend in backends {
+        for (backend, capacity) in backends {
+            if p > capacity {
+                continue; // over this backend's batch contract
+            }
             let mut engine = builder.clone().backend(backend.clone()).build(&sys).unwrap();
             let got = engine.try_evaluate_batch(&points).unwrap();
             let name = engine.caps().backend;

@@ -336,11 +336,11 @@ impl<R: Real> BatchGpuEvaluator<R> {
         let mut evals = Vec::with_capacity(p);
         for i in 0..p {
             let base = i * self.layout.out_stride;
-            let mut eval = SystemEval::zeros(shape.n);
-            for q in 0..shape.n {
+            let mut eval = SystemEval::zeros_rect(shape.rows, shape.n);
+            for q in 0..shape.rows {
                 eval.values[q] = raw[base + q_value(q)];
                 for v in 0..shape.n {
-                    eval.jacobian[(q, v)] = raw[base + q_deriv(shape.n, q, v)];
+                    eval.jacobian[(q, v)] = raw[base + q_deriv(shape.rows, q, v)];
                 }
             }
             evals.push(eval);
@@ -434,6 +434,15 @@ impl<R: Real> BatchGpuEvaluator<R> {
         best.0
     }
 
+    /// Single-point evaluation as a batch of one, with contract
+    /// violations (wrong dimension; a capacity of zero cannot occur)
+    /// surfacing as typed [`BatchError`]s instead of aborting — the
+    /// non-panicking sibling of [`SystemEvaluator::evaluate`].
+    pub fn try_evaluate(&mut self, x: &[Complex<R>]) -> Result<SystemEval<R>, BatchError> {
+        let mut out = self.try_evaluate_batch(std::slice::from_ref(&x.to_vec()))?;
+        Ok(out.pop().expect("batch of one returns one result"))
+    }
+
     /// Modeled kernel seconds of the most recent batch (the adaptive
     /// chunk search input; exposed for tests and benches).
     pub fn last_kernel_seconds(&self) -> f64 {
@@ -449,20 +458,31 @@ impl<R: Real> BatchGpuEvaluator<R> {
     }
 }
 
+/// Unwrap a batch result at the panicking trait boundary. The
+/// `SystemEvaluator`/`BatchSystemEvaluator` traits return values, not
+/// `Result`s, so a contract violation reaching them is a **caller
+/// bug** — but the typed error is always reachable first through
+/// `try_evaluate`/`try_evaluate_batch`, which propagate [`BatchError`]s
+/// without aborting (what the conformance suite exercises). Every
+/// evaluator in the workspace funnels its trait boundary through this
+/// one helper.
+pub fn expect_batch<T>(result: Result<T, BatchError>) -> T {
+    match result {
+        Ok(v) => v,
+        Err(e) => panic!("batch contract violated (use try_evaluate_batch to handle this): {e}"),
+    }
+}
+
 impl<R: Real> SystemEvaluator<R> for BatchGpuEvaluator<R> {
     fn dim(&self) -> usize {
         self.shape.n
     }
 
-    /// Single-point evaluation as a batch of one. Configuration errors
-    /// were ruled out by the validation pass in
-    /// [`BatchGpuEvaluator::new`]; a failure here means an internal
-    /// invariant broke, so it panics with the batch error.
+    /// Single-point evaluation as a batch of one — the panicking trait
+    /// boundary over [`BatchGpuEvaluator::try_evaluate`], which returns
+    /// the typed error instead.
     fn evaluate(&mut self, x: &[Complex<R>]) -> SystemEval<R> {
-        self.try_evaluate_batch(std::slice::from_ref(&x.to_vec()))
-            .unwrap_or_else(|e| panic!("single-point batch must satisfy the contract: {e}"))
-            .pop()
-            .expect("batch of one returns one result")
+        expect_batch(self.try_evaluate(x))
     }
 
     fn name(&self) -> &str {
@@ -475,12 +495,12 @@ impl<R: Real> BatchSystemEvaluator<R> for BatchGpuEvaluator<R> {
         self.layout.capacity
     }
 
-    /// Panicking form of [`BatchGpuEvaluator::try_evaluate_batch`]
-    /// (the trait contract makes violations caller bugs); use the
-    /// `try_` method to handle [`BatchError`] values instead.
+    /// Panicking trait boundary over
+    /// [`BatchGpuEvaluator::try_evaluate_batch`] (the trait contract
+    /// makes violations caller bugs); use the `try_` method to handle
+    /// [`BatchError`] values instead.
     fn evaluate_batch(&mut self, points: &[Vec<Complex<R>>]) -> Vec<SystemEval<R>> {
-        self.try_evaluate_batch(points)
-            .unwrap_or_else(|e| panic!("evaluate_batch contract violated: {e}"))
+        expect_batch(self.try_evaluate_batch(points))
     }
 }
 
@@ -859,6 +879,66 @@ mod tests {
             "adaptive must beat serial here"
         );
         assert!(adaptive.stats().overlap_savings() > 0.0);
+    }
+
+    /// A rectangular row block evaluates exactly its rows of the full
+    /// system — bit for bit, values and Jacobian rows alike. This is
+    /// the kernel-level invariant row sharding rests on: each row's
+    /// arithmetic touches only its own supports and coefficients.
+    #[test]
+    fn rectangular_row_block_matches_full_system_rows_bitwise() {
+        let prm = params(8, 5, 3, 4, 2);
+        let sys = random_system::<f64>(&prm);
+        let points = random_points::<f64>(8, 6, 11);
+        let mut full = BatchGpuEvaluator::new(&sys, 6, GpuOptions::default()).unwrap();
+        let want = full.evaluate_batch(&points);
+        for rows in [vec![0usize, 1, 2], vec![3, 4, 5, 6, 7], vec![5], vec![7, 2]] {
+            let block = sys.row_block(&rows);
+            let mut shard = BatchGpuEvaluator::new(&block, 6, GpuOptions::default()).unwrap();
+            assert_eq!(shard.shape().rows, rows.len());
+            assert_eq!(shard.shape().n, 8);
+            let got = shard.evaluate_batch(&points);
+            for (i, eval) in got.iter().enumerate() {
+                assert_eq!(eval.values.len(), rows.len());
+                for (local, &global) in rows.iter().enumerate() {
+                    assert_eq!(
+                        eval.values[local], want[i].values[global],
+                        "value row {global}, point {i}"
+                    );
+                    for v in 0..8 {
+                        assert_eq!(
+                            eval.jacobian[(local, v)],
+                            want[i].jacobian[(global, v)],
+                            "jacobian ({global}, {v}), point {i}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The non-panicking single-point path propagates typed errors —
+    /// what lets the conformance suite exercise contract violations
+    /// without aborting the process.
+    #[test]
+    fn try_evaluate_propagates_typed_errors() {
+        let prm = params(4, 3, 2, 2, 1);
+        let sys = random_system::<f64>(&prm);
+        let mut batch = BatchGpuEvaluator::new(&sys, 2, GpuOptions::default()).unwrap();
+        let short = vec![Complex::<f64>::one(); 3];
+        assert_eq!(
+            batch.try_evaluate(&short).unwrap_err(),
+            BatchError::DimensionMismatch {
+                point: 0,
+                got: 3,
+                expected: 4
+            }
+        );
+        // The engine stays usable and the rejected call cost nothing.
+        assert_eq!(batch.stats().evaluations, 0);
+        let x = random_points::<f64>(4, 1, 9).pop().unwrap();
+        let ok = batch.try_evaluate(&x).unwrap();
+        assert_eq!(ok.values.len(), 4);
     }
 
     #[test]

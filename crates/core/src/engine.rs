@@ -53,6 +53,7 @@ use crate::layout::encoding::{EncodedSupports, EncodingKind};
 use crate::pipeline::{GpuEvaluator, GpuOptions, PipelineStats, SetupError};
 use polygpu_complex::{Complex, Real};
 use polygpu_gpusim::prelude::*;
+use polygpu_gpusim::stream::TransferPath;
 use polygpu_polysys::{
     loop_evaluate_batch, AdEvaluator, BatchSystemEvaluator, NaiveEvaluator, System, SystemError,
     SystemEval, SystemEvaluator, UniformShape,
@@ -89,12 +90,18 @@ pub struct EngineCaps {
 
 impl EngineCaps {
     /// The slot-front size a capacity-aware scheduler should run:
-    /// `devices × per-device capacity` keeps every device's batch full
-    /// each round (saturating; effectively unbounded for loop-batching
-    /// engines, so callers clamp to their path count). This is what
+    /// `devices × per-device capacity`, clamped to the engine's actual
+    /// batch `capacity` (saturating; effectively unbounded for
+    /// loop-batching engines, so callers clamp to their path count).
+    /// The clamp matters for **row-sharded** clusters, whose devices
+    /// all see every point: their point capacity does not scale with
+    /// `D`, so the front must not either. This is what
     /// `SlotPolicy::Auto` in `polygpu-homotopy` resolves to.
     pub fn auto_slots(&self) -> usize {
-        self.devices.max(1).saturating_mul(self.per_device_capacity)
+        self.devices
+            .max(1)
+            .saturating_mul(self.per_device_capacity)
+            .min(self.capacity)
     }
 }
 
@@ -134,6 +141,13 @@ pub trait AnyEvaluator<R: Real>: BatchSystemEvaluator<R> {
         &mut self,
         points: &[Vec<Complex<R>>],
     ) -> Result<Vec<SystemEval<R>>, BatchError>;
+
+    /// Typed-error single-point evaluation: the non-panicking sibling
+    /// of [`SystemEvaluator::evaluate`], as a batch of one.
+    fn try_evaluate(&mut self, x: &[Complex<R>]) -> Result<SystemEval<R>, BatchError> {
+        let mut out = self.try_evaluate_batch(std::slice::from_ref(&x.to_vec()))?;
+        Ok(out.pop().expect("batch of one returns one result"))
+    }
 
     /// Modeled-cost statistics accumulated so far (all zero for
     /// engines with no device model, e.g. the CPU reference).
@@ -351,13 +365,54 @@ pub enum Backend {
     /// The batched multi-point engine: up to `capacity` points per
     /// round trip on one simulated device.
     GpuBatch { capacity: usize },
-    /// One batched engine per device, batches sharded by `policy`
-    /// (requires a [`ClusterProvider`]; available out of the box
-    /// through the `polygpu` facade or `polygpu-cluster`).
+    /// One batched engine per device, work split by `shard` — the
+    /// *points* of each batch ([`ShardMode::Points`]) or the *rows* of
+    /// the system ([`ShardMode::Rows`], for systems whose encoding
+    /// exceeds one device's constant memory). Requires a
+    /// [`ClusterProvider`]; available out of the box through the
+    /// `polygpu` facade or `polygpu-cluster`.
     Cluster {
         devices: Vec<DeviceSpec>,
-        policy: ClusterPolicy,
+        shard: ShardMode,
     },
+}
+
+/// What a cluster backend shards across its devices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardMode {
+    /// Shard the **points**: every device encodes the whole system and
+    /// evaluates its share of each batch. Capacity scales with `D`;
+    /// the system must fit every single device.
+    Points { policy: ClusterPolicy },
+    /// Shard the **system's equations** (rows of the Jacobian): each
+    /// device encodes only its rows' supports into its own constant
+    /// memory, every device sees every point, and per-point results
+    /// are gathered with a modeled inter-device transfer. Lifts the
+    /// constant-memory wall ~`D`-fold; capacity does **not** scale
+    /// with `D`.
+    Rows { policy: SystemShardPolicy },
+}
+
+impl Default for ShardMode {
+    /// Point sharding with the default policy — the scale-out mode for
+    /// systems that fit one device.
+    fn default() -> Self {
+        ShardMode::Points {
+            policy: ClusterPolicy::default(),
+        }
+    }
+}
+
+impl From<ClusterPolicy> for ShardMode {
+    fn from(policy: ClusterPolicy) -> Self {
+        ShardMode::Points { policy }
+    }
+}
+
+impl From<SystemShardPolicy> for ShardMode {
+    fn from(policy: SystemShardPolicy) -> Self {
+        ShardMode::Rows { policy }
+    }
 }
 
 /// How a cluster backend splits batches across devices (mirrored onto
@@ -371,6 +426,20 @@ pub enum ClusterPolicy {
     CapacityProportional,
     /// Deterministic work-stealing in `chunk`-point units.
     WorkStealing { chunk: usize },
+}
+
+/// How [`ShardMode::Rows`] partitions the system's equations across
+/// devices. Plans are pure functions of `(rows, D)` — never of
+/// coefficients or points — so the same system always shards the same
+/// way and results merge deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SystemShardPolicy {
+    /// Near-equal contiguous row blocks (largest remainder first):
+    /// device `d` gets rows `[d·⌈rows/D⌉ …)` — the balanced default.
+    #[default]
+    Contiguous,
+    /// Row `i` to device `i mod D`.
+    RoundRobin,
 }
 
 /// Validated builder failure.
@@ -399,6 +468,8 @@ pub enum BuildError {
     ClusterUnavailable,
     /// [`EngineBuilder::session`] requires a single-device GPU backend.
     SessionBackend { backend: &'static str },
+    /// [`EngineBuilder::cluster_spec`] requires [`Backend::Cluster`].
+    NotCluster { backend: &'static str },
 }
 
 impl fmt::Display for BuildError {
@@ -427,6 +498,9 @@ impl fmt::Display for BuildError {
                 f,
                 "sessions need a single-device GPU backend, got {backend}"
             ),
+            BuildError::NotCluster { backend } => {
+                write!(f, "cluster_spec needs the Cluster backend, got {backend}")
+            }
         }
     }
 }
@@ -454,13 +528,18 @@ impl From<SystemError> for BuildError {
 }
 
 /// Everything a [`ClusterProvider`] needs to assemble a cluster
-/// evaluator: the validated device list, policy, per-device capacity
-/// and the base per-device options.
+/// evaluator: the validated device list, shard mode, per-device
+/// capacity and the base per-device options. Also the seam a
+/// cluster-level session builds from (see
+/// [`EngineBuilder::cluster_spec`]).
 #[derive(Debug, Clone)]
 pub struct ClusterSpec {
     pub devices: Vec<DeviceSpec>,
-    pub policy: ClusterPolicy,
+    pub shard: ShardMode,
     pub per_device_capacity: usize,
+    /// How row-sharded gathers cross between devices (ignored by
+    /// point sharding, which never moves results between devices).
+    pub gather: TransferPath,
     /// Per-device options (`device` is replaced per spec entry by the
     /// provider).
     pub base: GpuOptions,
@@ -515,6 +594,7 @@ impl Engine {
             from_scratch_cf: false,
             overlap_chunks: None,
             per_device_capacity: 64,
+            gather: TransferPath::default(),
             launch: LaunchOptions::default(),
             provider,
         }
@@ -536,6 +616,7 @@ pub struct EngineBuilder<P: ClusterProvider = NoCluster> {
     from_scratch_cf: bool,
     overlap_chunks: Option<usize>,
     per_device_capacity: usize,
+    gather: TransferPath,
     launch: LaunchOptions,
     provider: P,
 }
@@ -597,6 +678,15 @@ impl<P: ClusterProvider> EngineBuilder<P> {
         self
     }
 
+    /// How row-sharded gathers move results between devices (default
+    /// host-staged D2H + H2D; peer-to-peer single hops when the
+    /// modeled fleet supports them). Ignored by every backend except
+    /// [`ShardMode::Rows`] clusters.
+    pub fn gather_path(mut self, gather: TransferPath) -> Self {
+        self.gather = gather;
+        self
+    }
+
     /// Host-side launch options (write-conflict checking, host
     /// parallelism) — the last `GpuOptions` knob, so the builder fully
     /// subsumes direct options construction.
@@ -641,14 +731,19 @@ impl<P: ClusterProvider> EngineBuilder<P> {
                 }
                 check_block(&self.device)
             }
-            Backend::Cluster { devices, policy } => {
+            Backend::Cluster { devices, shard } => {
                 if devices.is_empty() {
                     return Err(BuildError::NoDevices);
                 }
                 if self.per_device_capacity == 0 {
                     return Err(BuildError::ZeroCapacity);
                 }
-                if matches!(policy, ClusterPolicy::WorkStealing { chunk: 0 }) {
+                if matches!(
+                    shard,
+                    ShardMode::Points {
+                        policy: ClusterPolicy::WorkStealing { chunk: 0 }
+                    }
+                ) {
                     return Err(BuildError::ZeroStealChunk);
                 }
                 for d in devices {
@@ -656,6 +751,31 @@ impl<P: ClusterProvider> EngineBuilder<P> {
                 }
                 Ok(())
             }
+        }
+    }
+
+    /// The validated [`ClusterSpec`] this builder describes — the seam
+    /// through which cluster-level constructs outside the core crate
+    /// (the row-sharded cluster session in `polygpu-cluster`, say) are
+    /// assembled from the same spec the [`ClusterProvider`] receives.
+    /// Errors unless the backend is [`Backend::Cluster`].
+    pub fn cluster_spec(&self) -> Result<ClusterSpec, BuildError> {
+        self.validate()?;
+        match &self.backend {
+            Backend::Cluster { devices, shard } => Ok(ClusterSpec {
+                devices: devices.clone(),
+                shard: *shard,
+                per_device_capacity: self.per_device_capacity,
+                gather: self.gather,
+                base: self.gpu_options(self.device.clone()),
+            }),
+            Backend::CpuReference => Err(BuildError::NotCluster {
+                backend: "cpu-reference",
+            }),
+            Backend::Gpu => Err(BuildError::NotCluster { backend: "gpu" }),
+            Backend::GpuBatch { .. } => Err(BuildError::NotCluster {
+                backend: "gpu-batch",
+            }),
         }
     }
 
@@ -678,11 +798,12 @@ impl<P: ClusterProvider> EngineBuilder<P> {
                 *capacity,
                 self.gpu_options(self.device.clone()),
             )?)),
-            Backend::Cluster { devices, policy } => {
+            Backend::Cluster { devices, shard } => {
                 let spec = ClusterSpec {
                     devices: devices.clone(),
-                    policy: *policy,
+                    shard: *shard,
                     per_device_capacity: self.per_device_capacity,
+                    gather: self.gather,
                     base: self.gpu_options(self.device.clone()),
                 };
                 self.provider.build(system, &spec)
@@ -718,9 +839,25 @@ impl<P: ClusterProvider> EngineBuilder<P> {
 // Multi-system residency
 // ---------------------------------------------------------------------
 
-/// Handle to a system resident in a [`Session`].
+/// Handle to a system resident in a [`Session`] (or in a cluster-level
+/// session built on the same accounting, e.g.
+/// `polygpu_cluster::ClusterSession`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SystemId(usize);
+
+impl SystemId {
+    /// Mint a handle from a raw resident index — for session
+    /// implementations outside this crate. Handles are only meaningful
+    /// against the session that issued them.
+    pub fn new(index: usize) -> Self {
+        SystemId(index)
+    }
+
+    /// The raw resident index this handle names.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
 
 /// One row of a session's residency table.
 #[derive(Debug, Clone)]
@@ -994,7 +1131,7 @@ mod tests {
             Engine::builder()
                 .backend(Backend::Cluster {
                     devices: vec![],
-                    policy: ClusterPolicy::RoundRobin,
+                    shard: ClusterPolicy::RoundRobin.into(),
                 })
                 .build(&sys),
         );
@@ -1026,7 +1163,7 @@ mod tests {
             Engine::builder()
                 .backend(Backend::Cluster {
                     devices: vec![DeviceSpec::tesla_c2050()],
-                    policy: ClusterPolicy::WorkStealing { chunk: 0 },
+                    shard: ClusterPolicy::WorkStealing { chunk: 0 }.into(),
                 })
                 .build(&sys),
         );
@@ -1037,7 +1174,7 @@ mod tests {
             Engine::builder()
                 .backend(Backend::Cluster {
                     devices: vec![DeviceSpec::tesla_c2050()],
-                    policy: ClusterPolicy::default(),
+                    shard: ShardMode::default(),
                 })
                 .build(&sys),
         );

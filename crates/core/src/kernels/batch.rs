@@ -360,9 +360,11 @@ impl<R: Real> Kernel<Complex<R>> for BatchSpeelpenningKernel {
                 let c = t.gload(self.coeffs, coeff_index(&shape, i, g));
                 let d = t.sload(l(i + 1));
                 let dv = t.mul(d, c);
+                // Derivative groups stride by the block's row count
+                // (== n for square systems, the paper's layout).
                 t.gstore(
                     self.mons,
-                    mbase + term_slot(&shape, j, q_deriv(n, p, vs[i])),
+                    mbase + term_slot(&shape, j, q_deriv(shape.rows, p, vs[i])),
                     dv,
                 );
             }
@@ -417,7 +419,8 @@ mod tests {
     #[test]
     fn layout_pitches_to_the_coalescing_segment() {
         let shape = UniformShape {
-            n: 33, // not a multiple of 8 complex doubles per segment
+            n: 33,
+            rows: 33,
             m: 3,
             k: 5,
             d: 3,
@@ -436,6 +439,7 @@ mod tests {
     fn layout_grids_scale_with_points() {
         let shape = UniformShape {
             n: 8,
+            rows: 8,
             m: 4,
             k: 2,
             d: 2,
@@ -450,6 +454,7 @@ mod tests {
     fn double_double_elements_pitch_wider() {
         let shape = UniformShape {
             n: 6,
+            rows: 6,
             m: 2,
             k: 2,
             d: 2,

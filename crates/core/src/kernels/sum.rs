@@ -53,7 +53,7 @@ mod tests {
     use polygpu_complex::C64;
 
     fn shape(n: usize, m: usize) -> UniformShape {
-        UniformShape { n, m, k: 2, d: 2 }
+        UniformShape::square(n, m, 2, 2)
     }
 
     #[test]
@@ -111,7 +111,8 @@ mod tests {
         // 32-wide warps reading consecutive 16-byte elements: every load
         // slot is exactly 4 transactions; totals must match that bound.
         let s = UniformShape {
-            n: 32, // outputs = 1056, divisible by 32
+            n: 32,
+            rows: 32,
             m: 4,
             k: 2,
             d: 2,

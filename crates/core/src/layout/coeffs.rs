@@ -111,6 +111,7 @@ mod tests {
         // maps to consecutive elements.
         let shape = UniformShape {
             n: 32,
+            rows: 32,
             m: 22,
             k: 9,
             d: 2,

@@ -217,6 +217,7 @@ mod tests {
         // with a need of 900 × 2 × 15 <= 30,000 bytes".
         let shape = UniformShape {
             n: 30,
+            rows: 30,
             m: 30,
             k: 15,
             d: 5,
@@ -229,6 +230,7 @@ mod tests {
         // of 1,600 × 2 × 20 = 64,000 bytes".
         let shape40 = UniformShape {
             n: 40,
+            rows: 40,
             m: 40,
             k: 20,
             d: 5,

@@ -17,17 +17,24 @@
 //! those `(n² + n)·m − n·m·(k + 1)` zero slots "represent the zero
 //! monomial derivatives", letting kernel 3 add exactly `m` terms with
 //! no branching.
+//!
+//! The layout generalizes to **rectangular row blocks** (a device's
+//! share of a row-sharded system): with `rows` polynomials in `n`
+//! variables there are `rows·n + rows` combined polynomials, and the
+//! stride between consecutive derivative groups is `rows` instead of
+//! `n`. Square systems (`rows == n`) reproduce the paper's indices
+//! exactly.
 
 use polygpu_polysys::UniformShape;
 
-/// Total length of the `Mons` array: `(n² + n) · m`.
+/// Total length of the `Mons` array: `(rows·n + rows) · m`.
 #[inline]
 pub fn mons_len(shape: &UniformShape) -> usize {
     shape.outputs() * shape.m
 }
 
-/// Number of *meaningful* (written) entries: `n·m·(k+1)`. The rest stay
-/// zero.
+/// Number of *meaningful* (written) entries: `rows·m·(k+1)`. The rest
+/// stay zero.
 #[inline]
 pub fn mons_written(shape: &UniformShape) -> usize {
     shape.total_monomials() * (shape.k + 1)
@@ -39,10 +46,12 @@ pub fn q_value(p: usize) -> usize {
     p
 }
 
-/// Combined-polynomial index of the Jacobian entry `∂f_p/∂x_v`.
+/// Combined-polynomial index of the Jacobian entry `∂f_p/∂x_v`, where
+/// `rows` is the number of polynomials in the (possibly rectangular)
+/// block — `n` for the paper's square systems.
 #[inline]
-pub fn q_deriv(n: usize, p: usize, v: usize) -> usize {
-    n * (1 + v) + p
+pub fn q_deriv(rows: usize, p: usize, v: usize) -> usize {
+    rows * (1 + v) + p
 }
 
 /// `Mons` element index for the `j`-th term of combined polynomial `q`.
@@ -63,12 +72,15 @@ pub enum CombinedIndex {
 }
 
 #[inline]
-pub fn decompose_q(n: usize, q: usize) -> CombinedIndex {
-    if q < n {
+pub fn decompose_q(rows: usize, q: usize) -> CombinedIndex {
+    if q < rows {
         CombinedIndex::Value { p: q }
     } else {
-        let r = q - n;
-        CombinedIndex::Deriv { p: r % n, v: r / n }
+        let r = q - rows;
+        CombinedIndex::Deriv {
+            p: r % rows,
+            v: r / rows,
+        }
     }
 }
 
@@ -77,12 +89,7 @@ mod tests {
     use super::*;
 
     fn shape() -> UniformShape {
-        UniformShape {
-            n: 32,
-            m: 22,
-            k: 9,
-            d: 2,
-        }
+        UniformShape::square(32, 22, 9, 2)
     }
 
     #[test]
@@ -117,6 +124,25 @@ mod tests {
             seen[q_value(p)] = true;
             for v in 0..n {
                 seen[q_deriv(n, p, v)] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b), "some q never produced");
+    }
+
+    #[test]
+    fn rectangular_q_indices_are_a_bijection_onto_outputs() {
+        // A 3-row block of a 7-variable system: 3 + 3·7 combined
+        // polynomials, every slot produced exactly once.
+        let (rows, n) = (3usize, 7usize);
+        let mut seen = vec![false; rows * n + rows];
+        for p in 0..rows {
+            assert!(!seen[q_value(p)]);
+            seen[q_value(p)] = true;
+            for v in 0..n {
+                let q = q_deriv(rows, p, v);
+                assert!(!seen[q], "q {q} produced twice");
+                seen[q] = true;
+                assert_eq!(decompose_q(rows, q), CombinedIndex::Deriv { p, v });
             }
         }
         assert!(seen.iter().all(|&b| b), "some q never produced");

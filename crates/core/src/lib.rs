@@ -51,10 +51,11 @@ pub mod kernels;
 pub mod layout;
 pub mod pipeline;
 
-pub use batch::{BatchError, BatchGpuEvaluator};
+pub use batch::{expect_batch, BatchError, BatchGpuEvaluator};
 pub use engine::{
     AnyEvaluator, Backend, BuildError, ClusterPolicy, ClusterProvider, ClusterSpec, Engine,
-    EngineBuilder, EngineCaps, NoCluster, ResidencyRow, Session, SessionAmortization, SystemId,
+    EngineBuilder, EngineCaps, NoCluster, ResidencyRow, Session, SessionAmortization, ShardMode,
+    SystemId, SystemShardPolicy,
 };
 pub use kernels::batch::BatchLayout;
 pub use layout::encoding::{EncodeError, EncodedSupports, EncodingKind};

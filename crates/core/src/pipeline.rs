@@ -307,11 +307,11 @@ impl<R: Real> GpuEvaluator<R> {
         // `host_read` is a zero-copy borrow of the simulated buffer;
         // unpack straight into the result without a staging copy.
         let raw = self.global.host_read(self.out);
-        let mut eval = SystemEval::zeros(shape.n);
-        for p in 0..shape.n {
+        let mut eval = SystemEval::zeros_rect(shape.rows, shape.n);
+        for p in 0..shape.rows {
             eval.values[p] = raw[q_value(p)];
             for v in 0..shape.n {
-                eval.jacobian[(p, v)] = raw[q_deriv(shape.n, p, v)];
+                eval.jacobian[(p, v)] = raw[q_deriv(shape.rows, p, v)];
             }
         }
 

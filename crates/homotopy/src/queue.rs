@@ -63,7 +63,9 @@ impl<R: Real> PathQueue<R> {
 pub enum SlotPolicy {
     /// Size the front to the whole fleet. Schedulers with engine
     /// capabilities at hand (the `solve` layer) resolve this to
-    /// `devices × per-device capacity` via
+    /// `devices × per-device capacity`, clamped to the engine's batch
+    /// capacity (which a row-sharded cluster caps at one device's
+    /// worth — every device there sees every point), via
     /// [`polygpu_core::engine::EngineCaps::auto_slots`]; the raw
     /// [`track_queue`] driver, which only sees a batch evaluator, falls
     /// back to the evaluator's batch capacity.

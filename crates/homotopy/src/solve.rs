@@ -180,9 +180,11 @@ impl<R: Real> Scheduler<R> for LockstepScheduler {
 
 /// [`crate::queue::track_queue`] behind the [`Scheduler`] trait: a
 /// refilling slot front sized by a [`SlotPolicy`].
-/// [`SlotPolicy::Auto`] resolves to `devices × per-device capacity`
-/// through [`EngineCaps::auto_slots`], so a cluster run keeps every
-/// device's batch full each round.
+/// [`SlotPolicy::Auto`] resolves through [`EngineCaps::auto_slots`] to
+/// `devices × per-device capacity`, clamped to the engine's batch
+/// capacity — a point-sharded cluster run keeps every device's batch
+/// full each round, while a row-sharded cluster (whose devices all see
+/// every point) stays at one device's worth.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct QueueScheduler {
     pub slots: SlotPolicy,
@@ -599,6 +601,10 @@ impl SolveReport {
 pub enum SolveError {
     /// The engine spec failed to provision a backend.
     Build(BuildError),
+    /// The target is rectangular (`rows != dim`): path tracking solves
+    /// square systems only. Rectangular row blocks are an *evaluator*
+    /// concept (row-sharded clusters cut them internally).
+    RectangularTarget { rows: usize, dim: usize },
     /// Start and target systems disagree in dimension.
     DimensionMismatch { start: usize, target: usize },
     /// A start index beyond the start system's solution count.
@@ -616,6 +622,10 @@ impl fmt::Display for SolveError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SolveError::Build(e) => write!(f, "engine provisioning: {e}"),
+            SolveError::RectangularTarget { rows, dim } => write!(
+                f,
+                "target has {rows} polynomials in {dim} variables; solving needs a square system"
+            ),
             SolveError::DimensionMismatch { start, target } => write!(
                 f,
                 "start system dimension {start} does not match target dimension {target}"
@@ -713,6 +723,12 @@ impl<P: ClusterProvider> Solver<P> {
         start: &StartSystem,
         gamma_seed: u64,
     ) -> Result<EngineHomotopy<R>, SolveError> {
+        if !target.is_square() {
+            return Err(SolveError::RectangularTarget {
+                rows: target.rows(),
+                dim: target.dim(),
+            });
+        }
         if start.degrees().len() != target.dim() {
             return Err(SolveError::DimensionMismatch {
                 start: start.degrees().len(),
@@ -1157,6 +1173,18 @@ mod tests {
                     expected: 2
                 }
             ),
+            "{err}"
+        );
+
+        // A rectangular target (constructible since row sharding made
+        // System::rectangular public) is rejected with a typed error
+        // instead of panicking inside the square-only LU.
+        let rect = sys.row_block(&[0]);
+        assert!(!rect.is_square());
+        let req = SolveRequest::new(rect).with_start(StartSystem::uniform(2, 2));
+        let err = Solver::new().solve(&req).unwrap_err();
+        assert!(
+            matches!(err, SolveError::RectangularTarget { rows: 1, dim: 2 }),
             "{err}"
         );
 

@@ -34,9 +34,15 @@ impl StartSystem {
     }
 
     /// Total number of start solutions: `∏ d_i` (the Bézout number of
-    /// the start system).
+    /// the start system), saturating at `u128::MAX` — Table-1-style
+    /// dimensions overflow any fixed-width product, and callers
+    /// selecting a few paths (`FirstN`/`Indices`) only need the count
+    /// as an upper bound ([`StartSystem::solution_by_index`] decodes
+    /// mixed-radix indices without ever forming the product).
     pub fn solution_count(&self) -> u128 {
-        self.degrees.iter().map(|&d| d as u128).product()
+        self.degrees
+            .iter()
+            .fold(1u128, |acc, &d| acc.saturating_mul(d as u128))
     }
 
     /// The start solution indexed by `choice`, where `choice[i]`

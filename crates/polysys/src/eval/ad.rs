@@ -189,7 +189,9 @@ impl<R: Real> SystemEvaluator<R> for AdEvaluator<R> {
         let k = self.shape.k;
         assert_eq!(x.len(), n, "point dimension mismatch");
         self.build_power_table(x);
-        let mut out = SystemEval::zeros(n);
+        // Rectangular row blocks produce `rows` values and a `rows × n`
+        // Jacobian; square systems keep their `n × n` shape.
+        let mut out = SystemEval::zeros_rect(self.shape.rows, n);
         let mut dc_idx = 0usize; // index into deriv_coeffs, k per monomial
         let polys = std::mem::take(&mut self.system); // split borrows
         for (p, poly) in polys.polys().iter().enumerate() {

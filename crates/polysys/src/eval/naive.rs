@@ -46,7 +46,7 @@ impl<R: Real> SystemEvaluator<R> for NaiveEvaluator<R> {
                 pow[v * stride + e] = pow[v * stride + e - 1] * x[v];
             }
         }
-        let mut out = SystemEval::zeros(n);
+        let mut out = SystemEval::zeros_rect(self.system.rows(), n);
         for (p, poly) in self.system.polys().iter().enumerate() {
             for t in poly.terms() {
                 // Value.

@@ -69,12 +69,7 @@ impl BenchmarkParams {
     }
 
     pub fn shape(&self) -> UniformShape {
-        UniformShape {
-            n: self.n,
-            m: self.m,
-            k: self.k,
-            d: self.d,
-        }
+        UniformShape::square(self.n, self.m, self.k, self.d)
     }
 }
 

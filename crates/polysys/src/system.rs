@@ -6,7 +6,14 @@ use crate::polynomial::Polynomial;
 use polygpu_complex::{CMat, Complex, Real};
 use std::fmt;
 
-/// A square system `f(x) = 0` of `n` polynomials in `n` variables.
+/// A system `f(x) = 0` of polynomials in `n` variables.
+///
+/// [`System::new`] builds the paper's **square** system (`n`
+/// polynomials in `n` variables — what the solvers require);
+/// [`System::rectangular`] admits any number of rows in `n` variables,
+/// which is how a *row shard* of a square system travels to one device
+/// of a row-sharded cluster (each device encodes only its rows'
+/// supports). [`System::row_block`] cuts those shards.
 #[derive(Debug, Clone, PartialEq)]
 pub struct System<R> {
     n: usize,
@@ -48,10 +55,18 @@ impl std::error::Error for SystemError {}
 /// The regular benchmark shape of the paper's §2: every polynomial has
 /// exactly `m` monomials, every monomial exactly `k` variables, and no
 /// variable exceeds degree `d`.
+///
+/// Generalized to **rectangular** row blocks: `rows` is the number of
+/// polynomials, `n` the number of variables. The paper's square systems
+/// have `rows == n`; a row shard of a square system keeps `n` and
+/// carries only its own `rows`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct UniformShape {
-    /// Dimension: number of variables and of polynomials.
+    /// Number of variables (the dimension points live in).
     pub n: usize,
+    /// Number of polynomials — `n` for a square system, the shard's
+    /// row count for a row block.
+    pub rows: usize,
     /// Monomials per polynomial.
     pub m: usize,
     /// Variables per monomial.
@@ -61,15 +76,31 @@ pub struct UniformShape {
 }
 
 impl UniformShape {
-    /// Total number of monomials in the system: `n·m`.
-    pub fn total_monomials(&self) -> usize {
-        self.n * self.m
+    /// A square shape (`rows == n`) — the paper's benchmark family.
+    pub fn square(n: usize, m: usize, k: usize, d: Exp) -> Self {
+        UniformShape {
+            n,
+            rows: n,
+            m,
+            k,
+            d,
+        }
     }
 
-    /// Total number of values produced per evaluation: the `n`
-    /// polynomial values plus the `n × n` Jacobian.
+    /// Whether this shape is square (`rows == n`).
+    pub fn is_square(&self) -> bool {
+        self.rows == self.n
+    }
+
+    /// Total number of monomials in the system: `rows·m`.
+    pub fn total_monomials(&self) -> usize {
+        self.rows * self.m
+    }
+
+    /// Total number of values produced per evaluation: the `rows`
+    /// polynomial values plus the `rows × n` Jacobian.
     pub fn outputs(&self) -> usize {
-        self.n * self.n + self.n
+        self.rows * self.n + self.rows
     }
 }
 
@@ -81,6 +112,15 @@ impl<R: Real> System<R> {
                 polys: polys.len(),
             });
         }
+        System::rectangular(n, polys)
+    }
+
+    /// A (possibly) rectangular system: any number of polynomials in
+    /// `n` variables. Row shards of a square system are built this way;
+    /// the solvers still require square systems, but evaluators accept
+    /// rectangular ones (values of length [`System::rows`], Jacobian
+    /// `rows × n`).
+    pub fn rectangular(n: usize, polys: Vec<Polynomial<R>>) -> Result<Self, SystemError> {
         for (p, poly) in polys.iter().enumerate() {
             let dim = poly.min_dimension();
             if dim > n {
@@ -97,9 +137,31 @@ impl<R: Real> System<R> {
         Ok(System { n, polys })
     }
 
+    /// The rectangular subsystem holding the polynomials whose indices
+    /// appear in `rows`, in the given order — one device's share under
+    /// row sharding. Panics if an index is out of range.
+    pub fn row_block(&self, rows: &[usize]) -> System<R> {
+        let polys = rows.iter().map(|&r| self.polys[r].clone()).collect();
+        System { n: self.n, polys }
+    }
+
     #[inline]
     pub fn dim(&self) -> usize {
         self.n
+    }
+
+    /// Number of polynomials (equals [`System::dim`] for square
+    /// systems).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.polys.len()
+    }
+
+    /// Whether the system is square (`rows == dim`), as the solvers
+    /// require.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.polys.len() == self.n
     }
 
     #[inline]
@@ -137,7 +199,13 @@ impl<R: Real> System<R> {
                 d = d.max(t.monomial.max_exponent());
             }
         }
-        Ok(UniformShape { n: self.n, m, k, d })
+        Ok(UniformShape {
+            n: self.n,
+            rows: self.polys.len(),
+            m,
+            k,
+            d,
+        })
     }
 
     /// Map coefficients into another precision.
@@ -159,9 +227,12 @@ impl<R: Real> fmt::Display for System<R> {
 }
 
 /// The result of evaluating a system and its Jacobian at one point.
+///
+/// For a square system `values` has length `n` and the Jacobian is
+/// `n × n`; for a rectangular row block they are `rows` and `rows × n`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SystemEval<R> {
-    /// `f_i(x)` for `i in 0..n`.
+    /// `f_i(x)` for `i in 0..rows`.
     pub values: Vec<Complex<R>>,
     /// `J[(i, j)] = ∂f_i/∂x_j (x)`.
     pub jacobian: CMat<R>,
@@ -169,9 +240,15 @@ pub struct SystemEval<R> {
 
 impl<R: Real> SystemEval<R> {
     pub fn zeros(n: usize) -> Self {
+        SystemEval::zeros_rect(n, n)
+    }
+
+    /// A zeroed evaluation of a rectangular row block: `rows` values
+    /// and a `rows × n` Jacobian.
+    pub fn zeros_rect(rows: usize, n: usize) -> Self {
         SystemEval {
-            values: vec![Complex::zero(); n],
-            jacobian: CMat::zeros(n, n),
+            values: vec![Complex::zero(); rows],
+            jacobian: CMat::zeros(rows, n),
         }
     }
 
@@ -363,11 +440,13 @@ mod tests {
             shape,
             UniformShape {
                 n: 2,
+                rows: 2,
                 m: 2,
                 k: 2,
                 d: 3
             }
         );
+        assert!(shape.is_square());
         assert_eq!(shape.total_monomials(), 4);
         assert_eq!(shape.outputs(), 6);
     }
@@ -393,6 +472,40 @@ mod tests {
         assert!(matches!(
             sys.uniform_shape(),
             Err(SystemError::NotUniform(_))
+        ));
+    }
+
+    #[test]
+    fn row_blocks_are_rectangular_views() {
+        let p1 = Polynomial::new(vec![
+            term(1.0, vec![(0, 2), (1, 1)]),
+            term(2.0, vec![(0, 1), (1, 3)]),
+        ]);
+        let p2 = Polynomial::new(vec![
+            term(3.0, vec![(0, 1), (1, 1)]),
+            term(4.0, vec![(0, 3), (1, 2)]),
+        ]);
+        let sys = System::new(2, vec![p1.clone(), p2.clone()]).unwrap();
+        let block = sys.row_block(&[1]);
+        assert_eq!(block.dim(), 2);
+        assert_eq!(block.rows(), 1);
+        assert!(!block.is_square());
+        assert_eq!(block.polys()[0], p2);
+        let shape = block.uniform_shape().unwrap();
+        assert_eq!(shape.rows, 1);
+        assert_eq!(shape.n, 2);
+        assert_eq!(shape.total_monomials(), 2);
+        assert_eq!(shape.outputs(), 3); // 1 value + 1×2 Jacobian
+                                        // Out-of-order row selections preserve the given order.
+        let swapped = sys.row_block(&[1, 0]);
+        assert_eq!(swapped.polys()[0], p2);
+        assert_eq!(swapped.polys()[1], p1);
+        assert!(swapped.is_square());
+        // Rectangular construction still validates variable ranges.
+        let bad = Polynomial::new(vec![term(1.0, vec![(5, 1), (0, 1)])]);
+        assert!(matches!(
+            System::rectangular(2, vec![bad]),
+            Err(SystemError::VariableOutOfRange { .. })
         ));
     }
 

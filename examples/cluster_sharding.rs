@@ -30,7 +30,7 @@ fn main() {
         let mut cluster = Engine::builder()
             .backend(Backend::Cluster {
                 devices: vec![DeviceSpec::tesla_c2050(); d],
-                policy: ClusterPolicy::default(),
+                shard: ClusterPolicy::default().into(),
             })
             .per_device_capacity(256usize.div_ceil(d))
             .overlap_chunks(4)
@@ -70,7 +70,7 @@ fn main() {
     let cluster = Engine::builder()
         .backend(Backend::Cluster {
             devices: vec![DeviceSpec::tesla_c2050(); 4],
-            policy: ClusterPolicy::default(),
+            shard: ClusterPolicy::default().into(),
         })
         .per_device_capacity(2)
         .build(&sys)

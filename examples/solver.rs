@@ -57,7 +57,7 @@ fn main() {
         Engine::builder()
             .backend(Backend::Cluster {
                 devices: vec![DeviceSpec::tesla_c2050(); 4],
-                policy: ClusterPolicy::default(),
+                shard: ClusterPolicy::default().into(),
             })
             .per_device_capacity(2),
     );

@@ -82,11 +82,11 @@ pub use polygpu_qd as qd;
 /// core-layer builder) has the cluster backend wired to
 /// [`polygpu_cluster::Sharded`].
 pub mod engine {
-    pub use polygpu_cluster::Sharded;
+    pub use polygpu_cluster::{ClusterSession, Sharded};
     pub use polygpu_core::engine::{
         AnyEvaluator, Backend, BuildError, ClusterPolicy, ClusterProvider, ClusterSpec,
         CpuReferenceEngine, EngineBuilder, EngineCaps, NoCluster, ResidencyRow, Session,
-        SessionAmortization, SystemId,
+        SessionAmortization, ShardMode, SystemId, SystemShardPolicy,
     };
 
     /// The facade's unified entry point: every backend, one builder.
@@ -100,12 +100,40 @@ pub mod engine {
     /// let cluster = Engine::builder()
     ///     .backend(Backend::Cluster {
     ///         devices: vec![DeviceSpec::tesla_c2050(); 2],
-    ///         policy: ClusterPolicy::default(),
+    ///         shard: ClusterPolicy::default().into(),
     ///     })
     ///     .per_device_capacity(16)
     ///     .build(&sys)
     ///     .unwrap();
     /// assert_eq!(cluster.caps().devices, 2);
+    /// ```
+    ///
+    /// **Row sharding** (`ShardMode::Rows`) splits the *system* instead
+    /// of the points, so encodings too large for any single device's
+    /// constant memory still build — the paper's 2,048-monomial wall,
+    /// lifted `D`-fold:
+    ///
+    /// ```
+    /// use polygpu::engine::{Backend, Engine, SystemShardPolicy};
+    /// use polygpu::gpusim::prelude::DeviceSpec;
+    /// use polygpu::polysys::{random_system, BenchmarkParams};
+    ///
+    /// // 2,048 monomials at k = 16: over one device's 65,536-byte
+    /// // constant memory — no single-device backend accepts it.
+    /// let big = random_system::<f64>(&BenchmarkParams { n: 32, m: 64, k: 16, d: 10, seed: 3 });
+    /// assert!(Engine::builder().build(&big).is_err());
+    ///
+    /// // Row-sharded over two devices, each encodes half the rows.
+    /// let cluster = Engine::builder()
+    ///     .backend(Backend::Cluster {
+    ///         devices: vec![DeviceSpec::tesla_c2050(); 2],
+    ///         shard: SystemShardPolicy::Contiguous.into(),
+    ///     })
+    ///     .per_device_capacity(4)
+    ///     .build(&big)
+    ///     .unwrap();
+    /// assert_eq!(cluster.caps().backend, "cluster-rows");
+    /// assert_eq!(cluster.caps().constant_bytes, 65_536);
     /// ```
     pub struct Engine;
 
@@ -133,7 +161,7 @@ pub mod engine {
 /// let solver = Solver::from_builder(
 ///     Engine::builder().backend(Backend::Cluster {
 ///         devices: vec![DeviceSpec::tesla_c2050(); 2],
-///         policy: ClusterPolicy::default(),
+///         shard: ClusterPolicy::default().into(),
 ///     }),
 /// );
 /// let report = solver
@@ -147,10 +175,14 @@ pub type Solver = polygpu_homotopy::solve::Solver<polygpu_cluster::Sharded>;
 /// Everything a typical user needs in one import.
 pub mod prelude {
     pub use crate::engine::{
-        AnyEvaluator, Backend, BuildError, ClusterPolicy, Engine, EngineCaps, Session,
+        AnyEvaluator, Backend, BuildError, ClusterPolicy, Engine, EngineCaps, Session, ShardMode,
+        SystemShardPolicy,
     };
     pub use crate::Solver;
-    pub use polygpu_cluster::{ClusterOptions, ClusterStats, ShardPolicy, ShardedBatchEvaluator};
+    pub use polygpu_cluster::{
+        ClusterOptions, ClusterSession, ClusterStats, RowClusterOptions, RowClusterStats,
+        RowShardedEvaluator, ShardPolicy, ShardedBatchEvaluator, TransferPath,
+    };
     pub use polygpu_complex::{CDd, CMat, CQd, Complex, C64};
     pub use polygpu_core::pipeline::{GpuEvaluator, GpuOptions, PipelineStats};
     pub use polygpu_core::{

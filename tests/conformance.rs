@@ -1,0 +1,300 @@
+//! Backend conformance harness: every [`AnyEvaluator`] backend
+//! reachable from the facade's `Engine::builder()` — `CpuReference`,
+//! `Gpu`, `GpuBatch`, `Cluster { Points }` and `Cluster { Rows }` —
+//! runs through **one** shared contract suite, in `f64` and in
+//! double-double:
+//!
+//! * single ↔ batch bit-identity (`evaluate_batch(pts)[i]` equals
+//!   `evaluate(&pts[i])` bit for bit, and `try_evaluate` agrees);
+//! * cross-backend bit-identity against the CPU reference;
+//! * `try_evaluate_batch` typed-error contracts (empty batch, capacity
+//!   overflow, dimension mismatch) — rejected calls cost nothing and
+//!   leave the engine usable;
+//! * statistics monotonicity and `reset_engine_stats`;
+//! * `caps()` consistency (`capacity == max_batch()`,
+//!   `per_device_capacity`, `auto_slots`, device counts, constant
+//!   bytes).
+//!
+//! A new backend added to the builder gets the whole contract for the
+//! price of one entry in [`backend_cases`].
+
+use polygpu::prelude::*;
+use polygpu::qd::Dd;
+
+/// The per-device point capacity every cluster case uses.
+const PER_DEVICE: usize = 4;
+/// The single-device batch engine's capacity.
+const BATCH_CAP: usize = 8;
+/// Devices in the cluster cases.
+const DEVICES: usize = 3;
+/// Points per conformance batch — within every backend's capacity
+/// (the row-sharded cluster's is `PER_DEVICE`).
+const POINTS: usize = 4;
+
+/// Every backend the builder reaches, by name.
+fn backend_cases() -> Vec<(&'static str, Backend)> {
+    let fleet = vec![DeviceSpec::tesla_c2050(); DEVICES];
+    vec![
+        ("cpu-reference", Backend::CpuReference),
+        ("gpu", Backend::Gpu),
+        (
+            "gpu-batch",
+            Backend::GpuBatch {
+                capacity: BATCH_CAP,
+            },
+        ),
+        (
+            "cluster",
+            Backend::Cluster {
+                devices: fleet.clone(),
+                shard: ClusterPolicy::default().into(),
+            },
+        ),
+        (
+            "cluster-rows",
+            Backend::Cluster {
+                devices: fleet,
+                shard: SystemShardPolicy::Contiguous.into(),
+            },
+        ),
+    ]
+}
+
+fn build<R: Real>(
+    backend: &Backend,
+    sys: &polygpu::polysys::System<R>,
+) -> Box<dyn AnyEvaluator<R>> {
+    Engine::builder()
+        .backend(backend.clone())
+        .per_device_capacity(PER_DEVICE)
+        .build(sys)
+        .expect("conformance system fits every backend")
+}
+
+fn test_system<R: Real>() -> polygpu::polysys::System<R> {
+    random_system::<R>(&BenchmarkParams {
+        n: 8,
+        m: 3,
+        k: 2,
+        d: 2,
+        seed: 23,
+    })
+}
+
+fn test_points<R: Real>(p: usize) -> Vec<Vec<Complex<R>>> {
+    random_points::<f64>(8, p, 31)
+        .into_iter()
+        .map(|x| x.into_iter().map(|z| z.convert()).collect())
+        .collect()
+}
+
+/// Contract 1: batched evaluation is bit-identical to the single-point
+/// path of the same engine, through both the panicking and the typed
+/// interfaces.
+fn contract_single_batch_identity<R: Real>(name: &str, engine: &mut dyn AnyEvaluator<R>) {
+    let points = test_points::<R>(POINTS);
+    let batch = engine
+        .try_evaluate_batch(&points)
+        .unwrap_or_else(|e| panic!("{name}: conformance batch must pass: {e}"));
+    assert_eq!(batch.len(), POINTS, "{name}");
+    for (i, x) in points.iter().enumerate() {
+        let single = engine.evaluate(x);
+        assert_eq!(single.values, batch[i].values, "{name}, point {i}");
+        assert_eq!(
+            single.jacobian.as_slice(),
+            batch[i].jacobian.as_slice(),
+            "{name}, point {i}"
+        );
+        let typed = engine.try_evaluate(x).unwrap();
+        assert_eq!(typed.values, batch[i].values, "{name}, try point {i}");
+    }
+}
+
+/// Contract 2: contract violations return typed errors, cost nothing,
+/// and leave the engine usable.
+fn contract_typed_errors<R: Real>(name: &str, engine: &mut dyn AnyEvaluator<R>) {
+    engine.reset_engine_stats();
+    assert!(
+        matches!(engine.try_evaluate_batch(&[]), Err(BatchError::Empty)),
+        "{name}: empty batch"
+    );
+    let short = vec![vec![Complex::<R>::one(); 3]];
+    assert!(
+        matches!(
+            engine.try_evaluate_batch(&short),
+            Err(BatchError::DimensionMismatch {
+                point: 0,
+                got: 3,
+                expected: 8
+            })
+        ),
+        "{name}: dimension mismatch"
+    );
+    let caps = engine.caps();
+    if caps.capacity < usize::MAX {
+        let too_many = test_points::<R>(caps.capacity + 1);
+        match engine.try_evaluate_batch(&too_many) {
+            Err(BatchError::CapacityExceeded { points, capacity }) => {
+                assert_eq!(points, caps.capacity + 1, "{name}");
+                assert_eq!(capacity, caps.capacity, "{name}");
+            }
+            other => panic!("{name}: expected CapacityExceeded, got {other:?}"),
+        }
+    }
+    assert_eq!(
+        engine.engine_stats().evaluations,
+        0,
+        "{name}: rejected calls must cost nothing"
+    );
+    let ok = engine.try_evaluate_batch(&test_points::<R>(1)).unwrap();
+    assert_eq!(ok.len(), 1, "{name}: engine usable after rejections");
+}
+
+/// Contract 3: statistics count evaluations and batches monotonically
+/// and reset to zero.
+fn contract_stats<R: Real>(name: &str, engine: &mut dyn AnyEvaluator<R>) {
+    engine.reset_engine_stats();
+    let points = test_points::<R>(POINTS);
+    let _ = engine.try_evaluate_batch(&points).unwrap();
+    let after_batch = engine.engine_stats();
+    assert_eq!(after_batch.evaluations, POINTS as u64, "{name}");
+    assert!(after_batch.batches >= 1, "{name}");
+    let _ = engine.evaluate(&points[0]);
+    let after_single = engine.engine_stats();
+    assert_eq!(
+        after_single.evaluations,
+        POINTS as u64 + 1,
+        "{name}: single-point evaluations accumulate"
+    );
+    assert!(
+        after_single.batches >= after_batch.batches,
+        "{name}: batches monotone"
+    );
+    assert!(
+        after_single.wall_seconds >= after_batch.wall_seconds,
+        "{name}: wall clock monotone"
+    );
+    engine.reset_engine_stats();
+    let zeroed = engine.engine_stats();
+    assert_eq!(zeroed.evaluations, 0, "{name}");
+    assert_eq!(zeroed.batches, 0, "{name}");
+    assert_eq!(zeroed.wall_seconds, 0.0, "{name}");
+}
+
+/// Contract 4: the capability report is consistent with the engine's
+/// actual behavior and with the scheduler sizing rules.
+fn contract_caps<R: Real>(name: &str, engine: &mut dyn AnyEvaluator<R>) {
+    let caps = engine.caps();
+    assert_eq!(caps.backend, name, "caps name the backend");
+    assert_eq!(
+        caps.capacity,
+        engine.max_batch(),
+        "{name}: caps.capacity is the batch contract"
+    );
+    assert!(
+        caps.per_device_capacity <= caps.capacity,
+        "{name}: one device cannot absorb more than the whole engine"
+    );
+    assert!(
+        caps.auto_slots() <= caps.capacity,
+        "{name}: the auto front must fit one batch"
+    );
+    assert!(
+        caps.auto_slots() >= caps.per_device_capacity.min(caps.capacity),
+        "{name}: the auto front fills at least one device"
+    );
+    match name {
+        "cpu-reference" => {
+            assert_eq!(caps.devices, 0, "{name}");
+            assert!(!caps.batched, "{name}");
+            assert_eq!(caps.constant_bytes, 0, "{name}");
+        }
+        "gpu" => {
+            assert_eq!(caps.devices, 1, "{name}");
+            assert!(!caps.batched, "{name}");
+            assert!(caps.constant_bytes > 0, "{name}");
+        }
+        "gpu-batch" => {
+            assert_eq!(caps.devices, 1, "{name}");
+            assert_eq!(caps.capacity, BATCH_CAP, "{name}");
+            assert!(caps.batched, "{name}");
+        }
+        "cluster" => {
+            assert_eq!(caps.devices, DEVICES, "{name}");
+            // Point sharding: capacity scales with the fleet.
+            assert_eq!(caps.capacity, DEVICES * PER_DEVICE, "{name}");
+            assert_eq!(caps.per_device_capacity, PER_DEVICE, "{name}");
+            assert_eq!(caps.auto_slots(), DEVICES * PER_DEVICE, "{name}");
+        }
+        "cluster-rows" => {
+            assert_eq!(caps.devices, DEVICES, "{name}");
+            // Row sharding: every device sees every point, so the
+            // capacity — and the auto slot front — stay per-device.
+            assert_eq!(caps.capacity, PER_DEVICE, "{name}");
+            assert_eq!(caps.per_device_capacity, PER_DEVICE, "{name}");
+            assert_eq!(caps.auto_slots(), PER_DEVICE, "{name}");
+        }
+        other => panic!("unknown backend case {other}"),
+    }
+}
+
+/// Run the whole contract suite over every backend in precision `R`,
+/// checking cross-backend bit-identity along the way.
+fn run_suite<R: Real>() {
+    let sys = test_system::<R>();
+    let points = test_points::<R>(POINTS);
+    let mut reference: Option<Vec<SystemEval<R>>> = None;
+    for (name, backend) in backend_cases() {
+        let mut engine = build::<R>(&backend, &sys);
+        let got = engine.try_evaluate_batch(&points).unwrap();
+        match &reference {
+            None => reference = Some(got),
+            Some(want) => {
+                for (i, (g, w)) in got.iter().zip(want).enumerate() {
+                    assert_eq!(g.values, w.values, "{name} vs cpu, point {i}");
+                    assert_eq!(
+                        g.jacobian.as_slice(),
+                        w.jacobian.as_slice(),
+                        "{name} vs cpu, point {i}"
+                    );
+                }
+            }
+        }
+        contract_single_batch_identity(name, engine.as_mut());
+        contract_typed_errors(name, engine.as_mut());
+        contract_stats(name, engine.as_mut());
+        contract_caps(name, engine.as_mut());
+    }
+}
+
+#[test]
+fn all_backends_honor_the_contract_in_double() {
+    run_suite::<f64>();
+}
+
+#[test]
+fn all_backends_honor_the_contract_in_double_double() {
+    run_suite::<Dd>();
+}
+
+/// The device-modeled backends report modeled cost; the CPU reference
+/// reports zeroes for the device terms — both through the same trait.
+#[test]
+fn modeled_cost_reporting_is_uniform() {
+    let sys = test_system::<f64>();
+    let points = test_points::<f64>(POINTS);
+    for (name, backend) in backend_cases() {
+        let mut engine = build::<f64>(&backend, &sys);
+        engine.reset_engine_stats();
+        let _ = engine.try_evaluate_batch(&points).unwrap();
+        let stats = engine.engine_stats();
+        if name == "cpu-reference" {
+            assert_eq!(stats.kernel_seconds, 0.0, "{name}");
+            assert_eq!(stats.wall_clock_seconds(), 0.0, "{name}");
+        } else {
+            assert!(stats.kernel_seconds > 0.0, "{name}");
+            assert!(stats.wall_clock_seconds() > 0.0, "{name}");
+            assert!(stats.throughput_evals_per_sec() > 0.0, "{name}");
+        }
+    }
+}

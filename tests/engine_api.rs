@@ -22,7 +22,7 @@ fn facade_builder_reaches_all_four_backends_bit_identically() {
         Backend::GpuBatch { capacity: 6 },
         Backend::Cluster {
             devices: vec![DeviceSpec::tesla_c2050(); 3],
-            policy: ClusterPolicy::default(),
+            shard: ClusterPolicy::default().into(),
         },
     ];
     let mut want: Option<Vec<SystemEval<f64>>> = None;
@@ -62,7 +62,7 @@ fn facade_builder_validates_and_reports_errors() {
     let err = match Engine::builder()
         .backend(Backend::Cluster {
             devices: vec![],
-            policy: ClusterPolicy::RoundRobin,
+            shard: ClusterPolicy::RoundRobin.into(),
         })
         .build(&system)
     {

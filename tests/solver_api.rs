@@ -23,7 +23,7 @@ fn backends(devices: usize, capacity: usize) -> Vec<Backend> {
         Backend::GpuBatch { capacity },
         Backend::Cluster {
             devices: vec![DeviceSpec::tesla_c2050(); devices],
-            policy: ClusterPolicy::default(),
+            shard: ClusterPolicy::default().into(),
         },
     ]
 }
@@ -139,7 +139,7 @@ fn auto_slots_scale_with_device_count_and_stay_occupied() {
         let solver = solver_for(
             Backend::Cluster {
                 devices: vec![DeviceSpec::tesla_c2050(); d],
-                policy: ClusterPolicy::default(),
+                shard: ClusterPolicy::default().into(),
             },
             per_device,
         );
@@ -163,6 +163,139 @@ fn auto_slots_scale_with_device_count_and_stay_occupied() {
         endpoints.push(report.paths.iter().map(|p| p.endpoint.clone()).collect());
     }
     // Front size is a performance knob only: D = 2 and D = 4 agree.
+    assert_eq!(endpoints[0], endpoints[1]);
+}
+
+/// The acceptance headline: a system whose encoding exceeds one
+/// device's constant memory — every single-device backend rejects it at
+/// build — **solves** through `Backend::Cluster { shard: Rows }` at
+/// D ∈ {2, 4}, with endpoints bit-identical to the single-device
+/// CPU-reference run.
+#[test]
+fn over_budget_system_solves_row_sharded_at_d2_and_d4() {
+    // 2,048 monomials at k = 16: the paper's constant-memory wall
+    // (65,536 bytes of supports against a 65,280-byte budget). The
+    // multilinear d = 1 family keeps coefficient magnitudes tractable
+    // for tracking while hitting the identical encoding size.
+    let params = BenchmarkParams {
+        n: 32,
+        m: 64,
+        k: 16,
+        d: 1,
+        seed: 3,
+    };
+    let sys = random_system::<f64>(&params);
+    // One path with an eager step schedule and a corrector tolerance
+    // matched to the system's conditioning: simulating the
+    // 2,048-monomial kernels is the expensive part of the test, and one
+    // tracked path is enough to pin the whole solve pipeline bitwise.
+    let eager = TrackParams {
+        initial_dt: 0.1,
+        max_dt: 0.4,
+        grow: 2.0,
+        corrector: NewtonParams {
+            residual_tol: 1e-4,
+            step_tol: 1e-8,
+            max_iters: 6,
+        },
+        ..Default::default()
+    };
+    let req = SolveRequest::new(sys.clone())
+        .with_starts(StartSelection::FirstN(1))
+        .with_params(eager)
+        .with_gamma_seed(7);
+
+    // The wall: the single-device backends refuse the system…
+    for backend in [Backend::Gpu, Backend::GpuBatch { capacity: 2 }] {
+        assert!(
+            matches!(
+                solver_for(backend, 2).solve(&req),
+                Err(SolveError::Build(_))
+            ),
+            "a 65,536-byte encoding must not fit one device"
+        );
+    }
+    // …and so does a D = 1 "cluster" in row mode (one device, one arena).
+    let one = Backend::Cluster {
+        devices: vec![DeviceSpec::tesla_c2050()],
+        shard: SystemShardPolicy::Contiguous.into(),
+    };
+    assert!(matches!(
+        solver_for(one, 2).solve(&req),
+        Err(SolveError::Build(_))
+    ));
+
+    // The reference: the CPU solves it (no constant memory involved).
+    let want = solver_for(Backend::CpuReference, 2).solve(&req).unwrap();
+    assert_eq!(want.paths.len(), 1);
+    assert_eq!(want.successes(), 1, "the reference path must converge");
+
+    for d in [2usize, 4] {
+        let backend = Backend::Cluster {
+            devices: vec![DeviceSpec::tesla_c2050(); d],
+            shard: SystemShardPolicy::Contiguous.into(),
+        };
+        let report = solver_for(backend, 2)
+            .solve(&req)
+            .unwrap_or_else(|e| panic!("row-sharded solve must build at D = {d}: {e}"));
+        assert_eq!(report.backend, "cluster-rows");
+        assert_eq!(report.caps.devices, d);
+        // The whole 65,536-byte encoding is resident — spread over D
+        // arenas of 65,280 usable bytes each.
+        assert_eq!(report.caps.constant_bytes, 65_536);
+        for (i, (got, w)) in report.paths.iter().zip(&want.paths).enumerate() {
+            assert_eq!(got.outcome, w.outcome, "outcome, D = {d}, path {i}");
+            assert_eq!(got.endpoint, w.endpoint, "endpoint, D = {d}, path {i}");
+            assert_eq!(got.t, w.t, "t, D = {d}, path {i}");
+        }
+        // The gather is charged: the engine's transfer time is visible.
+        assert!(report.engine.transfer_seconds > 0.0);
+        assert!(report.engine.wall_clock_seconds() > 0.0);
+    }
+}
+
+/// Row-sharded caps-aware slot sizing: `SlotPolicy::Auto` must resolve
+/// to the *per-device* capacity (not `D ×` it), because every device of
+/// a row-sharded cluster absorbs the whole batch.
+#[test]
+fn auto_slots_stay_per_device_under_row_sharding() {
+    let params = BenchmarkParams {
+        n: 2,
+        m: 2,
+        k: 2,
+        d: 2,
+        seed: 5,
+    };
+    let sys = random_system::<f64>(&params);
+    let req = SolveRequest::new(sys)
+        .with_start(StartSystem::uniform(2, 6)) // 36 paths
+        .with_gamma_seed(11)
+        .with_scheduler(SchedulerKind::Queue {
+            slots: SlotPolicy::Auto,
+        });
+    let per_device = 4usize;
+    let mut endpoints: Vec<Vec<PathEndpoint>> = Vec::new();
+    for d in [2usize, 4] {
+        let backend = Backend::Cluster {
+            devices: vec![DeviceSpec::tesla_c2050(); d],
+            shard: SystemShardPolicy::Contiguous.into(),
+        };
+        let report = solver_for(backend, per_device).solve(&req).unwrap();
+        assert_eq!(report.caps.devices, 2.min(d), "2 rows cap the fleet");
+        assert_eq!(report.caps.capacity, per_device);
+        assert_eq!(
+            report.caps.auto_slots(),
+            per_device,
+            "auto front clamps to the row-sharded batch capacity"
+        );
+        assert_eq!(report.stats.slots, per_device);
+        assert!(
+            report.occupancy() > 0.8,
+            "D = {d}: occupancy {:.3}",
+            report.occupancy()
+        );
+        endpoints.push(report.paths.iter().map(|p| p.endpoint.clone()).collect());
+    }
     assert_eq!(endpoints[0], endpoints[1]);
 }
 
