@@ -1146,6 +1146,241 @@ pub fn format_syshard_sweep(sweep: &SyshardSweep) -> String {
     s
 }
 
+/// One chaos run: a full solve under a seeded fault plan.
+#[derive(Debug, Clone)]
+pub struct ChaosRow {
+    /// Shard mode of the cluster backend ("points" or "rows").
+    pub shard: &'static str,
+    /// Device count.
+    pub d: usize,
+    /// Fault-plan seed.
+    pub seed: u64,
+    /// "clean" (no fault struck), "recovered" (faults struck, solve
+    /// finished), or "degraded"/"fault" (typed error surfaced).
+    pub outcome: &'static str,
+    /// Faults observed (engine injections + scheduler-level).
+    pub faults: u64,
+    /// Retries issued by engine-level recovery.
+    pub retries: u64,
+    /// Shards/loads re-planned onto surviving devices.
+    pub failovers: u64,
+    /// Share of the modeled wall clock spent detecting and recovering.
+    pub recovery_share: f64,
+    /// Endpoints bit-identical to the fault-free run (only meaningful
+    /// when the solve finished).
+    pub identical: bool,
+}
+
+/// The chaos sweep plus its deterministic acceptance checks.
+#[derive(Debug, Clone)]
+pub struct ChaosSweep {
+    pub rows: Vec<ChaosRow>,
+    /// Total faults observed across the sweep.
+    pub faults_observed: u64,
+    /// Runs that finished despite faults striking.
+    pub recovered_runs: usize,
+    /// Runs ending in a typed error (degraded fleet or surfaced
+    /// fault) — allowed, never a panic.
+    pub typed_failures: usize,
+    /// Every finished run's endpoints bit-identical to its fault-free
+    /// reference.
+    pub all_identical: bool,
+    /// Worst recovery share of any finished run.
+    pub max_recovery_share: f64,
+}
+
+impl ChaosSweep {
+    /// The named acceptance bars of `repro chaos` — the single source
+    /// of truth behind both [`ChaosSweep::passes`] and the PASS/FAIL
+    /// lines the `repro` binary prints.
+    pub fn checks(&self) -> [(&'static str, bool); 4] {
+        [
+            (
+                "injection check (the sweep actually struck faults)",
+                self.faults_observed > 0,
+            ),
+            (
+                "recovery check (some runs finished despite faults)",
+                self.recovered_runs > 0,
+            ),
+            (
+                "identity check (every recovered run bit-identical to the fault-free run)",
+                self.all_identical,
+            ),
+            (
+                "overhead check (recovery never dominates the wall clock)",
+                self.max_recovery_share < 0.9,
+            ),
+        ]
+    }
+
+    /// All acceptance bars at once: faults strike, solves survive them,
+    /// survivors are bit-identical, and recovery cost stays bounded.
+    pub fn passes(&self) -> bool {
+        self.checks().iter().all(|(_, ok)| *ok)
+    }
+}
+
+/// The chaos table behind `repro chaos`: one solve (16 total-degree
+/// paths of a dim-4 system, queue scheduler) per
+/// {points, rows} × D ∈ {2, 4} × fault seed, every run under a seeded
+/// [`FaultPlan`]. Cluster-internal recovery (retry → failover) absorbs
+/// most strikes; whatever reaches the scheduler is retried with
+/// modeled backoff; a run that outlives recovery must end in a *typed*
+/// error. The headline invariant: every run that finishes produces
+/// endpoints **bit-identical** to its fault-free reference. Fully
+/// modeled, hence deterministic — same seeds, same table, forever.
+pub fn chaos_sweep() -> ChaosSweep {
+    use polygpu_cluster::Sharded;
+    use polygpu_core::engine::{ClusterPolicy, EngineBuilder, SystemShardPolicy};
+    use polygpu_core::BatchError;
+    use polygpu_homotopy::prelude::*;
+
+    let sys = random_system::<f64>(&BenchmarkParams {
+        n: 4,
+        m: 4,
+        k: 2,
+        d: 2,
+        seed: 17,
+    });
+    let start = polygpu_homotopy::start::StartSystem::uniform(4, 2); // 16 paths
+    let req = SolveRequest::new(sys).with_start(start).with_gamma_seed(29);
+    let per_device = 2usize;
+    let builder = |shard: &'static str, d: usize| -> EngineBuilder<Sharded> {
+        let shard = match shard {
+            "points" => ClusterPolicy::default().into(),
+            _ => SystemShardPolicy::Contiguous.into(),
+        };
+        polygpu_cluster::engine_builder()
+            .backend(polygpu_core::Backend::Cluster {
+                devices: vec![DeviceSpec::tesla_c2050(); d],
+                shard,
+            })
+            .per_device_capacity(per_device)
+    };
+
+    let mut rows = Vec::new();
+    let mut faults_observed = 0u64;
+    let mut recovered_runs = 0usize;
+    let mut typed_failures = 0usize;
+    let mut all_identical = true;
+    let mut max_recovery_share: f64 = 0.0;
+    for shard in ["points", "rows"] {
+        for d in [2usize, 4] {
+            let clean = Solver::from_builder(builder(shard, d))
+                .solve(&req)
+                .expect("the fault-free reference must solve");
+            let want: Vec<PathEndpoint> = clean.paths.iter().map(|p| p.endpoint.clone()).collect();
+            for seed in 0..3u64 {
+                let solver =
+                    Solver::from_builder(builder(shard, d).fault_plan(FaultPlan::new(seed, 300)));
+                let row = match solver.solve(&req) {
+                    Ok(report) => {
+                        let got: Vec<PathEndpoint> =
+                            report.paths.iter().map(|p| p.endpoint.clone()).collect();
+                        let identical = got == want;
+                        all_identical &= identical;
+                        let faults = report.fault.faults + report.fault.engine.faults;
+                        faults_observed += faults;
+                        if faults > 0 {
+                            recovered_runs += 1;
+                        }
+                        let share = report
+                            .fault
+                            .engine
+                            .recovery_share(report.engine.wall_clock_seconds());
+                        max_recovery_share = max_recovery_share.max(share);
+                        ChaosRow {
+                            shard,
+                            d,
+                            seed,
+                            outcome: if faults > 0 { "recovered" } else { "clean" },
+                            faults,
+                            retries: report.fault.engine.retries,
+                            failovers: report.fault.engine.failovers,
+                            recovery_share: share,
+                            identical,
+                        }
+                    }
+                    Err(SolveError::Fault(e)) => {
+                        typed_failures += 1;
+                        faults_observed += 1;
+                        ChaosRow {
+                            shard,
+                            d,
+                            seed,
+                            outcome: if matches!(e, BatchError::DegradedFleet { .. }) {
+                                "degraded"
+                            } else {
+                                "fault"
+                            },
+                            faults: 1,
+                            retries: 0,
+                            failovers: 0,
+                            recovery_share: 0.0,
+                            identical: false,
+                        }
+                    }
+                    Err(e) => panic!("chaos must fail typed, got: {e}"),
+                };
+                rows.push(row);
+            }
+        }
+    }
+
+    ChaosSweep {
+        rows,
+        faults_observed,
+        recovered_runs,
+        typed_failures,
+        all_identical,
+        max_recovery_share,
+    }
+}
+
+/// Render the chaos sweep in markdown.
+pub fn format_chaos_sweep(sweep: &ChaosSweep) -> String {
+    let mut s = String::new();
+    s.push_str(
+        "### Chaos — solves under seeded fault injection (16 paths, dim-4 system, 300 ppm op fault rate)\n\n",
+    );
+    s.push_str("| shard | D | seed | outcome | faults | retries | failovers | recovery share | bit-identical |\n");
+    s.push_str("|-------|--:|-----:|---------|-------:|--------:|----------:|---------------:|---------------|\n");
+    for r in &sweep.rows {
+        let identical = match r.outcome {
+            "clean" | "recovered" => {
+                if r.identical {
+                    "yes"
+                } else {
+                    "NO"
+                }
+            }
+            _ => "-",
+        };
+        s.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} | {} | {:.0}% | {} |\n",
+            r.shard,
+            r.d,
+            r.seed,
+            r.outcome,
+            r.faults,
+            r.retries,
+            r.failovers,
+            r.recovery_share * 100.0,
+            identical
+        ));
+    }
+    s.push_str(&format!(
+        "\n{} faults across {} runs: {} recovered, {} typed failures, worst recovery share {:.0}%\n",
+        sweep.faults_observed,
+        sweep.rows.len(),
+        sweep.recovered_runs,
+        sweep.typed_failures,
+        sweep.max_recovery_share * 100.0
+    ));
+    s
+}
+
 /// Fixture for the batch benches: a batched evaluator at `capacity`
 /// plus matching random points.
 pub fn batch_fixture(
@@ -1367,6 +1602,24 @@ mod tests {
         let s = format_syshard_sweep(&sweep);
         assert!(s.contains("REJECTED"));
         assert!(s.contains("row-sharded D = 4 wall"));
+    }
+
+    /// The `repro chaos` gates: faults strike, solves survive them,
+    /// every survivor is bit-identical to the fault-free run, and
+    /// recovery cost stays bounded. Fully modeled, hence these are
+    /// assertions, not benchmarks.
+    #[test]
+    fn chaos_sweep_passes_its_gates() {
+        let sweep = chaos_sweep();
+        assert_eq!(sweep.rows.len(), 12, "2 shard modes x 2 fleets x 3 seeds");
+        assert!(sweep.faults_observed > 0, "{sweep:?}");
+        assert!(sweep.recovered_runs > 0, "{sweep:?}");
+        assert!(sweep.all_identical, "{sweep:?}");
+        assert!(sweep.max_recovery_share < 0.9, "{sweep:?}");
+        assert!(sweep.passes());
+        let s = format_chaos_sweep(&sweep);
+        assert!(s.contains("recovered"));
+        assert!(s.contains("worst recovery share"));
     }
 
     #[test]

@@ -53,10 +53,10 @@ use polygpu_core::engine::{
     AnyEvaluator, BuildError, ClusterPolicy, ClusterProvider, ClusterSpec, Engine, EngineBuilder,
     EngineCaps, ShardMode,
 };
-use polygpu_core::pipeline::{GpuOptions, PipelineStats, SetupError};
+use polygpu_core::pipeline::{FaultConfig, GpuOptions, PipelineStats, SetupError};
 use polygpu_core::{BatchError, BatchGpuEvaluator};
-use polygpu_gpusim::prelude::DeviceSpec;
-use polygpu_polysys::{BatchSystemEvaluator, System, SystemEval, SystemEvaluator};
+use polygpu_gpusim::prelude::{DeviceSpec, FaultKind, FaultStats, RecoveryPolicy};
+use polygpu_polysys::{AdEvaluator, BatchSystemEvaluator, System, SystemEval, SystemEvaluator};
 use rayon::prelude::*;
 
 /// Configuration of a [`ShardedBatchEvaluator`].
@@ -70,8 +70,14 @@ pub struct ClusterOptions {
     /// the modeled kernel/transfer ratio.
     pub overlap_chunks: Option<usize>,
     /// Base options for every device (`device` is replaced per spec,
-    /// `overlap_chunks` by the field above).
+    /// `overlap_chunks` by the field above, and any
+    /// [`FaultConfig::device_index`] by the device's own index so every
+    /// device draws an independent fault schedule from the shared plan).
     pub base: GpuOptions,
+    /// How the fleet reacts to injected faults: per-shard retries with
+    /// exponential backoff, then failover re-planning onto survivors,
+    /// and optionally a CPU-reference fallback when no device survives.
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for ClusterOptions {
@@ -80,6 +86,7 @@ impl Default for ClusterOptions {
             policy: ShardPolicy::default(),
             overlap_chunks: Some(4),
             base: GpuOptions::default(),
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -104,6 +111,13 @@ pub struct ClusterStats {
     pub device_wall: Vec<f64>,
     /// Points evaluated per device.
     pub device_evals: Vec<u64>,
+    /// Injected-fault accounting: strikes and detection latency from
+    /// the devices, plus the cluster's own retries, failovers, and
+    /// backoff seconds.
+    pub fault: FaultStats,
+    /// Devices currently marked lost (sticky for the life of the
+    /// evaluator — a lost simulated device never comes back).
+    pub devices_lost: usize,
 }
 
 impl ClusterStats {
@@ -145,6 +159,29 @@ pub struct ShardedBatchEvaluator<R: Real> {
     policy: ShardPolicy,
     stats: ClusterStats,
     n: usize,
+    /// Sticky per-device loss flags: a device that reports
+    /// [`FaultKind::DeviceLost`] is excluded from every later plan.
+    lost: Vec<bool>,
+    recovery: RecoveryPolicy,
+    /// Retained for the CPU-reference fallback, which is bit-identical
+    /// to the GPU path in double precision.
+    system: System<R>,
+}
+
+/// What one device reported for its shard in one recovery round.
+struct ShardOutcome<R: Real> {
+    device: usize,
+    /// Original point indices the device was asked to evaluate.
+    indices: Shard,
+    /// Evaluations for the leading `done.len()` indices; the rest (if
+    /// any) were lost to the fault in `err`.
+    done: Vec<SystemEval<R>>,
+    err: Option<BatchError>,
+    retries: u64,
+    backoff: f64,
+    /// Modeled device wall-clock delta for this round, detection
+    /// latency included.
+    wall: f64,
 }
 
 impl<R: Real> ShardedBatchEvaluator<R> {
@@ -162,17 +199,27 @@ impl<R: Real> ShardedBatchEvaluator<R> {
         let mut devices = Vec::with_capacity(specs.len());
         let mut weights = Vec::with_capacity(specs.len());
         let n = system.dim();
-        for spec in specs {
+        for (d, spec) in specs.iter().enumerate() {
             let gopts = GpuOptions {
                 device: spec.clone(),
                 overlap_chunks: opts.overlap_chunks,
+                // Each device draws its own schedule from the shared
+                // fault plan; the base's device index is a placeholder.
+                fault: opts.base.fault.map(|f| FaultConfig {
+                    plan: f.plan,
+                    device_index: d,
+                }),
                 ..opts.base.clone()
             };
             let mut dev = BatchGpuEvaluator::new(system, per_device_capacity, gopts)?;
             // Calibration probe: modeled seconds for one point, used
-            // only as a relative work-stealing weight.
+            // only as a relative work-stealing weight. Runs with the
+            // injector disarmed so calibration can neither fault nor
+            // perturb the fault schedule of real work.
+            dev.set_fault_armed(false);
             let probe = vec![vec![Complex::<R>::one(); n]];
             let _ = dev.evaluate_batch(&probe);
+            dev.set_fault_armed(true);
             let spp = dev.stats().wall_clock_seconds();
             dev.reset_stats();
             devices.push(dev);
@@ -183,10 +230,13 @@ impl<R: Real> ShardedBatchEvaluator<R> {
         }
         Ok(ShardedBatchEvaluator {
             stats: ClusterStats::new(devices.len()),
+            lost: vec![false; devices.len()],
             devices,
             weights,
             policy: opts.policy,
             n,
+            recovery: opts.recovery,
+            system: system.clone(),
         })
     }
 
@@ -201,9 +251,16 @@ impl<R: Real> ShardedBatchEvaluator<R> {
         self.devices.iter().map(|d| d.stats()).collect()
     }
 
-    /// Aggregate cluster statistics.
+    /// Aggregate cluster statistics. Fault accounting merges the
+    /// devices' own strike/detection counters with the cluster-level
+    /// retry/failover/backoff bookkeeping.
     pub fn cluster_stats(&self) -> ClusterStats {
-        self.stats.clone()
+        let mut s = self.stats.clone();
+        for d in &self.devices {
+            s.fault.merge(&d.stats().fault);
+        }
+        s.devices_lost = self.lost.iter().filter(|&&l| l).count();
+        s
     }
 
     /// Total seconds stream overlap shaved off the serialized model,
@@ -231,6 +288,18 @@ impl<R: Real> ShardedBatchEvaluator<R> {
     /// Evaluate a batch across the cluster, returning typed errors for
     /// contract violations (see [`BatchSystemEvaluator`]'s capacity
     /// contract; the cluster's capacity is the sum over devices).
+    ///
+    /// Injected faults are recovered per the [`RecoveryPolicy`]: a
+    /// faulted shard retries on its own device with exponential
+    /// backoff, and a device that exhausts its retries (or is lost
+    /// outright) has its unfinished points re-planned over the
+    /// surviving devices. Because every engine in the fleet — and the
+    /// CPU-reference fallback — computes bit-identical values, a
+    /// recovered batch equals the fault-free batch exactly; recovery
+    /// only costs modeled wall-clock time, tallied in
+    /// [`ClusterStats::fault`]. When no device survives and CPU
+    /// fallback is disabled, the call fails with
+    /// [`BatchError::DegradedFleet`].
     pub fn try_evaluate_batch(
         &mut self,
         points: &[Vec<Complex<R>>],
@@ -256,74 +325,170 @@ impl<R: Real> ShardedBatchEvaluator<R> {
             }
         }
 
-        let shards = plan(self.policy, p, &self.weights);
-        // One work item per participating device; shards execute in
-        // parallel on the host pool (the rayon shim preserves input
-        // order, so merging below is deterministic).
-        let work: Vec<(usize, &mut BatchGpuEvaluator<R>, Shard)> = self
-            .devices
-            .iter_mut()
-            .zip(shards)
-            .enumerate()
-            .filter(|(_, (_, s))| !s.is_empty())
-            .map(|(d, (dev, s))| (d, dev, s))
-            .collect();
-        type DeviceOutcome<R> = (usize, Result<Vec<SystemEval<R>>, BatchError>, f64, Shard);
-        let outcomes: Vec<DeviceOutcome<R>> = work
-            .into_par_iter()
-            .map(|(d, dev, shard)| {
-                let wall_before = dev.stats().wall_seconds;
-                let cap = dev.capacity().max(1);
-                let mut out = Vec::with_capacity(shard.len());
-                let mut err = None;
-                // A shard larger than the device capacity evaluates in
-                // capacity-sized chunks (several round trips).
-                for chunk in shard.chunks(cap) {
-                    let pts: Vec<Vec<Complex<R>>> =
-                        chunk.iter().map(|&i| points[i].clone()).collect();
-                    match dev.try_evaluate_batch(&pts) {
-                        Ok(evals) => out.extend(evals),
-                        Err(e) => {
-                            err = Some(e);
-                            break;
+        // Recovery proceeds in rounds. Round 0 runs the normal plan
+        // over every live device; if a device faults past its retry
+        // budget, its unfinished points are re-planned over the
+        // survivors in the next round. Devices that fail within a call
+        // are excluded for the rest of that call; `DeviceLost` failures
+        // are excluded permanently.
+        let ndev = self.devices.len();
+        let mut merged: Vec<Option<SystemEval<R>>> = (0..p).map(|_| None).collect();
+        let mut excluded = self.lost.clone();
+        let mut fault = FaultStats::default();
+        let mut batch_wall = 0.0f64;
+        let mut todo: Vec<usize> = (0..p).collect();
+        let recovery = self.recovery;
+
+        while !todo.is_empty() {
+            let live: Vec<usize> = (0..ndev).filter(|&d| !excluded[d]).collect();
+            if live.is_empty() {
+                // Whole fleet gone mid-call: finish on the CPU
+                // reference (bit-identical to the device kernels in
+                // double precision) when the policy allows, else
+                // surface the degradation as a typed error.
+                if recovery.cpu_fallback {
+                    fault.failovers += 1;
+                    let mut cpu = AdEvaluator::new(self.system.clone())
+                        .expect("system already validated by the device engines");
+                    for &i in &todo {
+                        merged[i] = Some(cpu.evaluate(&points[i]));
+                    }
+                    todo.clear();
+                    break;
+                }
+                let lost = excluded.iter().filter(|&&l| l).count();
+                self.stats.fault.merge(&fault);
+                self.stats.wall_seconds += batch_wall;
+                return Err(BatchError::DegradedFleet {
+                    devices: ndev,
+                    lost,
+                });
+            }
+
+            let live_weights: Vec<DeviceWeight> = live.iter().map(|&d| self.weights[d]).collect();
+            let shards = plan(self.policy, todo.len(), &live_weights);
+            // Translate planner output (indices into `todo`) back to
+            // original point indices and hand each live device its
+            // shard; shards execute in parallel on the host pool (the
+            // rayon shim preserves input order, so merging below is
+            // deterministic).
+            let mut want: Vec<Option<Shard>> = (0..ndev).map(|_| None).collect();
+            for (&d, s) in live.iter().zip(shards) {
+                if !s.is_empty() {
+                    want[d] = Some(s.iter().map(|&j| todo[j]).collect());
+                }
+            }
+            let work: Vec<(usize, &mut BatchGpuEvaluator<R>, Shard)> = self
+                .devices
+                .iter_mut()
+                .enumerate()
+                .filter_map(|(d, dev)| want[d].take().map(|s| (d, dev, s)))
+                .collect();
+            let outcomes: Vec<ShardOutcome<R>> = work
+                .into_par_iter()
+                .map(|(d, dev, shard)| {
+                    let wall_before = dev.stats().wall_seconds;
+                    let cap = dev.capacity().max(1);
+                    let mut out = Vec::with_capacity(shard.len());
+                    let mut err = None;
+                    let mut retries = 0u64;
+                    let mut backoff = 0.0f64;
+                    // A shard larger than the device capacity evaluates
+                    // in capacity-sized chunks (several round trips);
+                    // a faulted chunk retries in place with exponential
+                    // backoff, so completed chunks never re-run.
+                    'chunks: for chunk in shard.chunks(cap) {
+                        let pts: Vec<Vec<Complex<R>>> =
+                            chunk.iter().map(|&i| points[i].clone()).collect();
+                        let mut attempt = 0u32;
+                        loop {
+                            match dev.try_evaluate_batch(&pts) {
+                                Ok(evals) => {
+                                    out.extend(evals);
+                                    break;
+                                }
+                                Err(BatchError::Fault(fe)) => {
+                                    // A lost device stays lost: retries
+                                    // would only burn modeled time.
+                                    if fe.kind == FaultKind::DeviceLost
+                                        || attempt >= recovery.max_retries
+                                    {
+                                        err = Some(BatchError::Fault(fe));
+                                        break 'chunks;
+                                    }
+                                    backoff += recovery.backoff_seconds(attempt);
+                                    attempt += 1;
+                                    retries += 1;
+                                }
+                                Err(e) => {
+                                    err = Some(e);
+                                    break 'chunks;
+                                }
+                            }
+                        }
+                    }
+                    let wall = dev.stats().wall_seconds - wall_before;
+                    ShardOutcome {
+                        device: d,
+                        indices: shard,
+                        done: out,
+                        err,
+                        retries,
+                        backoff,
+                        wall,
+                    }
+                })
+                .collect();
+
+            // Merge device results back into input order (each outcome
+            // carries its own shard, so merging cannot drift from the
+            // plan the work ran under) and collect the points stranded
+            // by terminal faults for the next round.
+            todo.clear();
+            let mut round_wall = 0.0f64;
+            for o in outcomes {
+                let completed = o.done.len();
+                for (&i, e) in o.indices.iter().zip(o.done) {
+                    merged[i] = Some(e);
+                }
+                fault.retries += o.retries;
+                fault.recovery_seconds += o.backoff;
+                let dev_wall = o.wall + o.backoff;
+                round_wall = round_wall.max(dev_wall);
+                self.stats.device_wall[o.device] += dev_wall;
+                self.stats.device_evals[o.device] += completed as u64;
+                if let Some(e) = o.err {
+                    match e {
+                        BatchError::Fault(fe) => {
+                            excluded[o.device] = true;
+                            if fe.kind == FaultKind::DeviceLost {
+                                self.lost[o.device] = true;
+                            }
+                            fault.failovers += 1;
+                            todo.extend(&o.indices[completed..]);
+                        }
+                        // Non-fault errors are contract violations, not
+                        // recoverable hardware events.
+                        other => {
+                            self.stats.fault.merge(&fault);
+                            self.stats.wall_seconds += batch_wall + round_wall;
+                            return Err(other);
                         }
                     }
                 }
-                let wall = dev.stats().wall_seconds - wall_before;
-                let result = match err {
-                    Some(e) => Err(e),
-                    None => Ok(out),
-                };
-                (d, result, wall, shard)
-            })
-            .collect();
-
-        // Merge device results back into input order (each outcome
-        // carries its own shard, so merging cannot drift from the plan
-        // the work ran under). Stats are staged locally and committed
-        // only on full success, so a failed call costs nothing — the
-        // same guarantee `BatchGpuEvaluator` documents.
-        let mut merged: Vec<Option<SystemEval<R>>> = (0..p).map(|_| None).collect();
-        let mut batch_wall = 0.0f64;
-        let mut device_deltas: Vec<(usize, f64, u64)> = Vec::with_capacity(outcomes.len());
-        for (d, result, wall, shard) in outcomes {
-            let evals = result?;
-            for (&i, e) in shard.iter().zip(evals) {
-                merged[i] = Some(e);
             }
-            batch_wall = batch_wall.max(wall);
-            device_deltas.push((d, wall, shard.len() as u64));
+            // Rounds are sequential on the modeled clock: survivors
+            // only learn of stranded points after the round completes.
+            batch_wall += round_wall;
         }
-        for (d, wall, count) in device_deltas {
-            self.stats.device_wall[d] += wall;
-            self.stats.device_evals[d] += count;
-        }
+
+        self.stats.fault.merge(&fault);
         self.stats.evaluations += p as u64;
         self.stats.batches += 1;
         self.stats.wall_seconds += batch_wall;
         Ok(merged
             .into_iter()
-            .map(|e| e.expect("plan() covers every index"))
+            .map(|e| e.expect("every index is evaluated or re-planned"))
             .collect())
     }
 }
@@ -371,12 +536,14 @@ impl<R: Real> AnyEvaluator<R> for ShardedBatchEvaluator<R> {
             wall_seconds: self.stats.wall_seconds,
             ..Default::default()
         };
+        agg.fault = self.stats.fault;
         for d in &self.devices {
             let s = d.stats();
             agg.counters += s.counters;
             agg.kernel_seconds += s.kernel_seconds;
             agg.overhead_seconds += s.overhead_seconds;
             agg.transfer_seconds += s.transfer_seconds;
+            agg.fault.merge(&s.fault);
         }
         agg
     }
@@ -430,6 +597,7 @@ impl ClusterProvider for Sharded {
                     policy,
                     overlap_chunks: spec.base.overlap_chunks,
                     base: spec.base.clone(),
+                    recovery: spec.recovery,
                 };
                 let cluster = ShardedBatchEvaluator::new(
                     system,
@@ -445,6 +613,7 @@ impl ClusterProvider for Sharded {
                     gather: spec.gather,
                     overlap_chunks: spec.base.overlap_chunks,
                     base: spec.base.clone(),
+                    recovery: spec.recovery,
                 };
                 let cluster = RowShardedEvaluator::new(
                     system,
@@ -669,6 +838,105 @@ mod tests {
             cluster.try_evaluate_batch(&[]),
             Err(BatchError::Empty)
         ));
+    }
+
+    /// Chaos, Points mode: under a seeded fault plan the fleet retries,
+    /// fails over, and (with CPU fallback on) always completes — and
+    /// every recovered batch is **bit-identical** to the fault-free
+    /// run. Sweeping seeds guarantees the schedule actually strikes.
+    #[test]
+    fn fleet_recovery_is_bit_identical_under_faults() {
+        use polygpu_gpusim::prelude::FaultPlan;
+        let prm = small_params(5);
+        let sys = random_system::<f64>(&prm);
+        let points = random_points::<f64>(8, 24, 11);
+        let mut clean =
+            ShardedBatchEvaluator::new(&sys, &hetero_specs(3), 8, ClusterOptions::default())
+                .unwrap();
+        let want = clean.evaluate_batch(&points);
+        let mut strikes = 0u64;
+        let mut failovers = 0u64;
+        for seed in 0..24u64 {
+            let mut opts = ClusterOptions {
+                recovery: RecoveryPolicy {
+                    cpu_fallback: true,
+                    ..RecoveryPolicy::default()
+                },
+                ..Default::default()
+            };
+            opts.base.fault = Some(FaultConfig {
+                plan: FaultPlan::new(seed, 40_000),
+                device_index: 0,
+            });
+            let mut chaos = ShardedBatchEvaluator::new(&sys, &hetero_specs(3), 8, opts).unwrap();
+            let got = chaos
+                .try_evaluate_batch(&points)
+                .expect("cpu_fallback makes every schedule recoverable");
+            for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert_eq!(g.values, w.values, "seed {seed}, point {i}");
+                assert_eq!(
+                    g.jacobian.as_slice(),
+                    w.jacobian.as_slice(),
+                    "seed {seed}, point {i}"
+                );
+            }
+            let s = chaos.cluster_stats();
+            if s.fault.faults > 0 {
+                strikes += 1;
+                assert!(
+                    s.fault.recovery_seconds > 0.0,
+                    "seed {seed}: faults without charged recovery time"
+                );
+            }
+            failovers += s.fault.failovers;
+        }
+        assert!(strikes > 0, "40000 ppm over 24 seeds must strike");
+        assert!(failovers > 0, "some schedule must exhaust retries");
+    }
+
+    /// Chaos, Points mode: at a 100% fault rate every device dies; the
+    /// outcome is the typed `DegradedFleet` error — or, with the CPU
+    /// fallback enabled, a bit-identical result. Never a panic.
+    #[test]
+    fn total_fleet_loss_is_typed_or_falls_back_to_cpu() {
+        use polygpu_gpusim::prelude::FaultPlan;
+        let prm = small_params(3);
+        let sys = random_system::<f64>(&prm);
+        let points = random_points::<f64>(8, 6, 7);
+        let mut clean =
+            ShardedBatchEvaluator::new(&sys, &hetero_specs(2), 8, ClusterOptions::default())
+                .unwrap();
+        let want = clean.evaluate_batch(&points);
+        let make = |cpu_fallback: bool| {
+            let mut opts = ClusterOptions {
+                recovery: RecoveryPolicy {
+                    cpu_fallback,
+                    ..RecoveryPolicy::default()
+                },
+                ..Default::default()
+            };
+            opts.base.fault = Some(FaultConfig {
+                plan: FaultPlan::new(7, 1_000_000),
+                device_index: 0,
+            });
+            ShardedBatchEvaluator::new(&sys, &hetero_specs(2), 8, opts).unwrap()
+        };
+        let mut doomed = make(false);
+        match doomed.try_evaluate_batch(&points) {
+            Err(BatchError::DegradedFleet { devices: 2, lost }) => {
+                assert!(lost >= 1, "lost {lost}")
+            }
+            Err(other) => panic!("expected DegradedFleet, got {other}"),
+            Ok(_) => panic!("expected DegradedFleet, got a result"),
+        }
+        assert!(doomed.cluster_stats().fault.faults > 0);
+        let mut saved = make(true);
+        let got = saved.try_evaluate_batch(&points).unwrap();
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.values, w.values);
+            assert_eq!(g.jacobian.as_slice(), w.jacobian.as_slice());
+        }
+        assert!(saved.cluster_stats().fault.failovers > 0);
     }
 
     #[test]

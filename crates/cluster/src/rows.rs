@@ -33,11 +33,13 @@ use polygpu_core::engine::{
     ShardMode, SystemId, SystemShardPolicy,
 };
 use polygpu_core::layout::encoding::EncodedSupports;
-use polygpu_core::pipeline::{GpuOptions, PipelineStats, SetupError};
+use polygpu_core::pipeline::{FaultConfig, GpuOptions, PipelineStats, SetupError};
 use polygpu_core::{BatchError, BatchGpuEvaluator};
 use polygpu_gpusim::prelude::*;
 use polygpu_gpusim::stream::{gather_timeline, transfer_legs, TransferPath};
-use polygpu_polysys::{BatchSystemEvaluator, System, SystemEval, SystemEvaluator, UniformShape};
+use polygpu_polysys::{
+    AdEvaluator, BatchSystemEvaluator, System, SystemEval, SystemEvaluator, UniformShape,
+};
 use rayon::prelude::*;
 
 /// Split `rows` equation indices over `d` devices. Every row appears in
@@ -78,8 +80,13 @@ pub struct RowClusterOptions {
     /// Per-device stream-overlap chunking (see
     /// [`GpuOptions::overlap_chunks`]); `None` picks adaptively.
     pub overlap_chunks: Option<usize>,
-    /// Base options for every device (`device` replaced per spec).
+    /// Base options for every device (`device` replaced per spec, any
+    /// [`FaultConfig::device_index`] by the device's own fleet index).
     pub base: GpuOptions,
+    /// How the fleet reacts to injected faults: per-shard retries with
+    /// backoff, then re-encoding the lost rows onto survivors when
+    /// their constant budgets allow.
+    pub recovery: RecoveryPolicy,
 }
 
 /// Aggregate modeled cost of a row-sharded cluster.
@@ -105,9 +112,17 @@ pub struct RowClusterStats {
     /// makespan per batch, summed).
     pub gather_seconds: f64,
     /// Cumulative modeled wall seconds per participating device.
+    /// Re-aligned (and zeroed) when a failover re-plan changes the
+    /// fleet topology.
     pub device_wall: Vec<f64>,
     /// Rows each participating device owns.
     pub device_rows: Vec<usize>,
+    /// Injected-fault accounting: device strikes and detection latency
+    /// plus cluster-level retries, failovers, backoff, and re-encode
+    /// seconds.
+    pub fault: FaultStats,
+    /// Devices dropped from the fleet by faults so far.
+    pub devices_lost: usize,
 }
 
 impl RowClusterStats {
@@ -146,6 +161,10 @@ struct RowShard<R: Real> {
     engine: BatchGpuEvaluator<R>,
     /// Global row index of each local row, in local order.
     rows: Vec<usize>,
+    /// The device's index in the original fleet — kept stable across
+    /// failover re-plans so each physical device retains its own fault
+    /// schedule.
+    device_index: usize,
 }
 
 /// [`BatchSystemEvaluator`] over `D` devices, each evaluating its own
@@ -164,6 +183,17 @@ pub struct RowShardedEvaluator<R: Real> {
     n: usize,
     /// Total rows across all shards.
     rows: usize,
+    recovery: RecoveryPolicy,
+    /// Retained for failover re-encoding and the CPU-reference
+    /// fallback (both bit-identical to the fault-free run).
+    system: System<R>,
+    /// Base options for rebuilding engines after a failover.
+    base: GpuOptions,
+    capacity: usize,
+    /// Devices the fleet was configured with.
+    fleet: usize,
+    /// Devices dropped by faults (sticky for the evaluator's life).
+    lost_devices: usize,
 }
 
 impl<R: Real> RowShardedEvaluator<R> {
@@ -183,7 +213,7 @@ impl<R: Real> RowShardedEvaluator<R> {
         assert!(!specs.is_empty(), "cluster needs at least one device");
         let plan = plan_rows(opts.policy, system.rows(), specs.len());
         let mut shards = Vec::new();
-        for (spec, rows) in specs.iter().zip(plan) {
+        for (device_index, (spec, rows)) in specs.iter().zip(plan).enumerate() {
             if rows.is_empty() {
                 continue;
             }
@@ -191,10 +221,18 @@ impl<R: Real> RowShardedEvaluator<R> {
             let gopts = GpuOptions {
                 device: spec.clone(),
                 overlap_chunks: opts.overlap_chunks,
+                fault: opts.base.fault.map(|f| FaultConfig {
+                    plan: f.plan,
+                    device_index,
+                }),
                 ..opts.base.clone()
             };
             let engine = BatchGpuEvaluator::new(&block, capacity, gopts)?;
-            shards.push(RowShard { engine, rows });
+            shards.push(RowShard {
+                engine,
+                rows,
+                device_index,
+            });
         }
         Ok(RowShardedEvaluator {
             stats: RowClusterStats::new(shards.iter().map(|s| s.rows.len()).collect()),
@@ -202,6 +240,15 @@ impl<R: Real> RowShardedEvaluator<R> {
             gather: opts.gather,
             n: system.dim(),
             rows: system.rows(),
+            recovery: opts.recovery,
+            system: system.clone(),
+            base: GpuOptions {
+                overlap_chunks: opts.overlap_chunks,
+                ..opts.base.clone()
+            },
+            capacity,
+            fleet: specs.len(),
+            lost_devices: 0,
             shards,
         })
     }
@@ -210,25 +257,41 @@ impl<R: Real> RowShardedEvaluator<R> {
     /// [`ClusterSession::load`] encodes each shard into a shared
     /// per-device arena first). `row_map[i]` holds the global row
     /// indices of `engines[i]`'s block, matching its construction.
+    #[allow(clippy::too_many_arguments)]
     fn from_parts(
         engines: Vec<BatchGpuEvaluator<R>>,
         row_map: Vec<Vec<usize>>,
-        n: usize,
-        rows: usize,
+        device_indices: Vec<usize>,
+        system: &System<R>,
+        base: GpuOptions,
+        capacity: usize,
+        recovery: RecoveryPolicy,
+        fleet: usize,
         policy: SystemShardPolicy,
         gather: TransferPath,
     ) -> Self {
         let shards: Vec<RowShard<R>> = engines
             .into_iter()
             .zip(row_map)
-            .map(|(engine, rows)| RowShard { engine, rows })
+            .zip(device_indices)
+            .map(|((engine, rows), device_index)| RowShard {
+                engine,
+                rows,
+                device_index,
+            })
             .collect();
         RowShardedEvaluator {
             stats: RowClusterStats::new(shards.iter().map(|s| s.rows.len()).collect()),
             policy,
             gather,
-            n,
-            rows,
+            n: system.dim(),
+            rows: system.rows(),
+            recovery,
+            system: system.clone(),
+            base,
+            capacity,
+            fleet,
+            lost_devices: 0,
             shards,
         }
     }
@@ -255,8 +318,15 @@ impl<R: Real> RowShardedEvaluator<R> {
     }
 
     /// Aggregate cluster statistics (compute + gather decomposition).
+    /// Fault accounting merges the devices' strike/detection counters
+    /// with the cluster-level retry/failover/re-encode bookkeeping.
     pub fn cluster_stats(&self) -> RowClusterStats {
-        self.stats.clone()
+        let mut s = self.stats.clone();
+        for shard in &self.shards {
+            s.fault.merge(&shard.engine.stats().fault);
+        }
+        s.devices_lost = self.lost_devices;
+        s
     }
 
     pub fn reset_stats(&mut self) {
@@ -286,10 +356,84 @@ impl<R: Real> RowShardedEvaluator<R> {
         gather_timeline(&legs).elapsed_seconds()
     }
 
+    /// Re-plan every row over the surviving devices (`keep[d]` per
+    /// current shard) and rebuild their engines with the grown row
+    /// blocks. Returns the modeled re-encode seconds (supports +
+    /// coefficient re-upload and the validation launches, concurrent
+    /// across survivors), or `None` when any survivor's constant-memory
+    /// budget cannot hold its grown shard.
+    fn rebuild_over_survivors(&mut self, keep: &[bool]) -> Option<f64> {
+        let survivors: Vec<(usize, DeviceSpec)> = self
+            .shards
+            .iter()
+            .zip(keep)
+            .filter(|(_, &k)| k)
+            .map(|(s, _)| (s.device_index, s.engine.device().clone()))
+            .collect();
+        if survivors.is_empty() {
+            return None;
+        }
+        let plan = plan_rows(self.policy, self.rows, survivors.len());
+        let elem = <Complex<R> as DeviceValue>::DEVICE_BYTES;
+        let mut shards = Vec::new();
+        let mut setup = 0.0f64;
+        for ((device_index, spec), rows) in survivors.into_iter().zip(plan) {
+            if rows.is_empty() {
+                continue;
+            }
+            let block = self.system.row_block(&rows);
+            let gopts = GpuOptions {
+                device: spec.clone(),
+                fault: self.base.fault.map(|f| FaultConfig {
+                    plan: f.plan,
+                    device_index,
+                }),
+                ..self.base.clone()
+            };
+            let engine = BatchGpuEvaluator::new(&block, self.capacity, gopts).ok()?;
+            let shape = block
+                .uniform_shape()
+                .expect("row block of a validated system");
+            let supports = EncodedSupports::bytes_needed(&shape, self.base.encoding);
+            let coeffs = shape.total_monomials() * (shape.k + 1) * elem;
+            setup = setup.max(
+                transfer_seconds(&spec, supports)
+                    + transfer_seconds(&spec, coeffs)
+                    + 3.0 * spec.launch_overhead,
+            );
+            shards.push(RowShard {
+                engine,
+                rows,
+                device_index,
+            });
+        }
+        // The rebuild replaces every engine (and drops the failed
+        // devices'), so fold their strike counters into the
+        // cluster-level stats before they disappear.
+        for s in &self.shards {
+            self.stats.fault.merge(&s.engine.stats().fault);
+        }
+        self.shards = shards;
+        self.stats.device_wall = vec![0.0; self.shards.len()];
+        self.stats.device_rows = self.shards.iter().map(|s| s.rows.len()).collect();
+        Some(setup)
+    }
+
     /// Evaluate a batch: every participating device evaluates **all**
     /// points of its row block in parallel; rows merge back into full
     /// evaluations in global row order, bit-identical to a
     /// single-device run of the unsharded system.
+    ///
+    /// Injected faults are recovered per the [`RecoveryPolicy`]: a
+    /// faulted shard retries on its own device with exponential
+    /// backoff; a device that exhausts its retries (or is lost
+    /// outright) drops out and the **whole system is re-planned and
+    /// re-encoded over the survivors** — charged as modeled re-encode
+    /// time — provided every survivor's constant budget holds its grown
+    /// shard. Otherwise the batch falls back to the CPU reference when
+    /// the policy allows, or fails typed with
+    /// [`BatchError::DegradedFleet`]. Recovered batches are
+    /// bit-identical to fault-free ones.
     pub fn try_evaluate_batch(
         &mut self,
         points: &[Vec<Complex<R>>],
@@ -315,44 +459,128 @@ impl<R: Real> RowShardedEvaluator<R> {
             }
         }
 
-        // Every shard runs the full point batch concurrently on the
-        // host pool (the rayon shim preserves input order, so merging
-        // below is deterministic); stats are staged and committed only
-        // on success, so a failed call costs nothing.
-        type ShardOutcome<R> = (Result<Vec<SystemEval<R>>, BatchError>, f64);
-        let work: Vec<&mut RowShard<R>> = self.shards.iter_mut().collect();
-        let outcomes: Vec<ShardOutcome<R>> = work
-            .into_par_iter()
-            .map(|s| {
-                let wall_before = s.engine.stats().wall_seconds;
-                let result = s.engine.try_evaluate_batch(points);
-                let wall = s.engine.stats().wall_seconds - wall_before;
-                (result, wall)
-            })
-            .collect();
-
+        let recovery = self.recovery;
         let mut merged: Vec<SystemEval<R>> = (0..p)
             .map(|_| SystemEval::zeros_rect(self.rows, self.n))
             .collect();
+        let mut fault = FaultStats::default();
         let mut compute_wall = 0.0f64;
-        let mut device_deltas = Vec::with_capacity(outcomes.len());
-        for (d, (result, wall)) in outcomes.into_iter().enumerate() {
-            let evals = result?;
-            for (i, eval) in evals.into_iter().enumerate() {
-                for (local, &global) in self.shards[d].rows.iter().enumerate() {
-                    merged[i].values[global] = eval.values[local];
-                    for v in 0..self.n {
-                        merged[i].jacobian[(global, v)] = eval.jacobian[(local, v)];
+        loop {
+            // Every shard runs the full point batch concurrently on the
+            // host pool (the rayon shim preserves input order, so
+            // merging below is deterministic); a faulted shard retries
+            // in place with exponential backoff before it is declared
+            // failed.
+            struct Outcome<R: Real> {
+                result: Result<Vec<SystemEval<R>>, BatchError>,
+                retries: u64,
+                backoff: f64,
+                wall: f64,
+            }
+            let work: Vec<&mut RowShard<R>> = self.shards.iter_mut().collect();
+            let outcomes: Vec<Outcome<R>> = work
+                .into_par_iter()
+                .map(|s| {
+                    let wall_before = s.engine.stats().wall_seconds;
+                    let mut retries = 0u64;
+                    let mut backoff = 0.0f64;
+                    let mut attempt = 0u32;
+                    let result = loop {
+                        match s.engine.try_evaluate_batch(points) {
+                            Ok(evals) => break Ok(evals),
+                            Err(BatchError::Fault(fe)) => {
+                                if fe.kind == FaultKind::DeviceLost
+                                    || attempt >= recovery.max_retries
+                                {
+                                    break Err(BatchError::Fault(fe));
+                                }
+                                backoff += recovery.backoff_seconds(attempt);
+                                attempt += 1;
+                                retries += 1;
+                            }
+                            Err(e) => break Err(e),
+                        }
+                    };
+                    let wall = s.engine.stats().wall_seconds - wall_before;
+                    Outcome {
+                        result,
+                        retries,
+                        backoff,
+                        wall,
+                    }
+                })
+                .collect();
+
+            let mut round_wall = 0.0f64;
+            let mut keep = vec![true; self.shards.len()];
+            for (d, o) in outcomes.into_iter().enumerate() {
+                fault.retries += o.retries;
+                fault.recovery_seconds += o.backoff;
+                let dev_wall = o.wall + o.backoff;
+                round_wall = round_wall.max(dev_wall);
+                self.stats.device_wall[d] += dev_wall;
+                match o.result {
+                    Ok(evals) => {
+                        for (i, eval) in evals.into_iter().enumerate() {
+                            for (local, &global) in self.shards[d].rows.iter().enumerate() {
+                                merged[i].values[global] = eval.values[local];
+                                for v in 0..self.n {
+                                    merged[i].jacobian[(global, v)] = eval.jacobian[(local, v)];
+                                }
+                            }
+                        }
+                    }
+                    Err(BatchError::Fault(_)) => {
+                        keep[d] = false;
+                        fault.failovers += 1;
+                    }
+                    // Non-fault errors are contract violations, not
+                    // recoverable hardware events.
+                    Err(other) => {
+                        self.stats.fault.merge(&fault);
+                        self.stats.compute_seconds += compute_wall + round_wall;
+                        self.stats.wall_seconds += compute_wall + round_wall;
+                        return Err(other);
                     }
                 }
             }
-            compute_wall = compute_wall.max(wall);
-            device_deltas.push((d, wall));
+            compute_wall += round_wall;
+            if keep.iter().all(|&k| k) {
+                break;
+            }
+
+            // Failover: drop the failed devices and re-encode every row
+            // over the survivors; re-run the rebuilt fleet from scratch
+            // (bit-identical — only the modeled clock pays).
+            self.lost_devices += keep.iter().filter(|&&k| !k).count();
+            match self.rebuild_over_survivors(&keep) {
+                Some(reencode) => {
+                    fault.recovery_seconds += reencode;
+                    compute_wall += reencode;
+                }
+                None => {
+                    if recovery.cpu_fallback {
+                        fault.failovers += 1;
+                        let mut cpu = AdEvaluator::new(self.system.clone())
+                            .expect("system already validated by the device engines");
+                        for (i, x) in points.iter().enumerate() {
+                            merged[i] = cpu.evaluate(x);
+                        }
+                        break;
+                    }
+                    self.stats.fault.merge(&fault);
+                    self.stats.compute_seconds += compute_wall;
+                    self.stats.wall_seconds += compute_wall;
+                    return Err(BatchError::DegradedFleet {
+                        devices: self.fleet,
+                        lost: self.lost_devices,
+                    });
+                }
+            }
         }
+
         let gather = self.gather_seconds(p);
-        for (d, wall) in device_deltas {
-            self.stats.device_wall[d] += wall;
-        }
+        self.stats.fault.merge(&fault);
         self.stats.evaluations += p as u64;
         self.stats.batches += 1;
         self.stats.compute_seconds += compute_wall;
@@ -404,13 +632,15 @@ impl<R: Real> AnyEvaluator<R> for RowShardedEvaluator<R> {
     /// Cluster-level aggregate: wall clock from [`RowClusterStats`]
     /// (compute max + gather per batch); resource seconds and counters
     /// summed over devices, the gather charged into
-    /// `transfer_seconds`.
+    /// `transfer_seconds`; fault accounting merged exactly as
+    /// [`RowShardedEvaluator::cluster_stats`] reports it.
     fn engine_stats(&self) -> PipelineStats {
         let mut agg = PipelineStats {
             evaluations: self.stats.evaluations,
             batches: self.stats.batches,
             wall_seconds: self.stats.wall_seconds,
             transfer_seconds: self.stats.gather_seconds,
+            fault: self.stats.fault,
             ..Default::default()
         };
         for s in &self.shards {
@@ -419,6 +649,7 @@ impl<R: Real> AnyEvaluator<R> for RowShardedEvaluator<R> {
             agg.kernel_seconds += d.kernel_seconds;
             agg.overhead_seconds += d.overhead_seconds;
             agg.transfer_seconds += d.transfer_seconds;
+            agg.fault.merge(&d.fault);
         }
         agg
     }
@@ -501,6 +732,13 @@ pub struct ClusterSession<R: Real> {
     policy: SystemShardPolicy,
     gather: TransferPath,
     base: GpuOptions,
+    recovery: RecoveryPolicy,
+    /// Per-device injectors for the session's own staged uploads
+    /// (loads); the residents' engines carry their own.
+    injectors: Vec<Option<FaultInjector>>,
+    /// Devices lost to upload faults — excluded from every later load.
+    lost: Vec<bool>,
+    fault: FaultStats,
     residents: Vec<ClusterResident<R>>,
     active: Option<usize>,
     stages: u64,
@@ -533,11 +771,23 @@ impl<R: Real> ClusterSession<R> {
         }
         Ok(ClusterSession {
             arenas: spec.devices.iter().map(ConstantMemory::new).collect(),
+            injectors: (0..spec.devices.len())
+                .map(|d| {
+                    spec.base.fault.map(|f| {
+                        let mut inj = FaultInjector::new(f.plan, d);
+                        inj.arm();
+                        inj
+                    })
+                })
+                .collect(),
+            lost: vec![false; spec.devices.len()],
+            fault: FaultStats::default(),
             specs: spec.devices.clone(),
             capacity: spec.per_device_capacity,
             policy,
             gather: spec.gather,
             base: spec.base.clone(),
+            recovery: spec.recovery,
             residents: Vec::new(),
             active: None,
             stages: 0,
@@ -577,85 +827,153 @@ impl<R: Real> ClusterSession<R> {
     /// (joint budget — fails typed when a shard does not fit next to
     /// the residents, leaving no partial allocation on any device),
     /// charging the modeled parallel setup once.
+    ///
+    /// A device that faults during its staged upload is excluded —
+    /// permanently when the fault is [`FaultKind::DeviceLost`] — and
+    /// the load is **re-planned over the survivors**; only the fault's
+    /// modeled detection latency is charged, because the staged-arena
+    /// commit protocol already guarantees a failed upload strands no
+    /// bytes on any device. When no device survives the load fails
+    /// typed with [`BuildError::DegradedFleet`].
     pub fn load(&mut self, label: &str, system: &System<R>) -> Result<SystemId, BuildError> {
         let shape = system.uniform_shape()?;
-        let plan: Vec<Vec<usize>> = plan_rows(self.policy, system.rows(), self.specs.len())
-            .into_iter()
-            .filter(|rows| !rows.is_empty())
-            .collect();
-        // Budget check across the whole fleet *before* touching any
-        // arena, so a rejected load is free on every device.
-        for (d, rows) in plan.iter().enumerate() {
-            let shard_shape = UniformShape {
-                rows: rows.len(),
-                ..shape
-            };
-            let needed = EncodedSupports::bytes_needed(&shard_shape, self.base.encoding);
-            if self.arenas[d].used() + needed > self.arenas[d].budget() {
-                return Err(BuildError::Setup(SetupError::Encode(
-                    polygpu_core::layout::encoding::EncodeError::Constant(ConstantOverflow {
-                        requested_total: self.arenas[d].used() + needed,
-                        budget: self.arenas[d].budget(),
-                    }),
-                )));
+        let elem = <Complex<R> as DeviceValue>::DEVICE_BYTES;
+        let mut excluded = self.lost.clone();
+        'replan: loop {
+            let survivors: Vec<usize> = (0..self.specs.len()).filter(|&d| !excluded[d]).collect();
+            if survivors.is_empty() {
+                return Err(BuildError::DegradedFleet {
+                    devices: self.specs.len(),
+                    lost: excluded.iter().filter(|&&l| l).count(),
+                });
             }
-        }
-        // Stage every device's upload into a *clone* of its arena and
-        // commit the clones only after the whole fleet succeeded: the
-        // byte pre-check above cannot rule out every failure (e.g. an
-        // exponent outside the compact encoding's nibble, present only
-        // in one device's rows), and a half-loaded system must not
-        // strand bytes in the other devices' shared arenas.
-        let mut staged: Vec<ConstantMemory> = plan
-            .iter()
-            .enumerate()
-            .map(|(d, _)| self.arenas[d].clone())
-            .collect();
-        let mut engines = Vec::with_capacity(plan.len());
-        let mut setup = 0.0f64;
-        let mut constant_bytes = 0usize;
-        for (d, rows) in plan.iter().enumerate() {
-            let block = system.row_block(rows);
-            let gopts = GpuOptions {
-                device: self.specs[d].clone(),
-                ..self.base.clone()
-            };
-            let enc = EncodedSupports::upload(&block, &mut staged[d], self.base.encoding)
-                .map_err(|e| BuildError::Setup(SetupError::Encode(e)))?;
-            constant_bytes += enc.constant_bytes();
-            let shard_shape = enc.shape;
-            // Devices set up concurrently: the fleet's modeled setup is
-            // the slowest shard's.
-            setup = setup.max(self.modeled_shard_setup(&self.specs[d], &shard_shape));
-            engines.push(BatchGpuEvaluator::from_encoded(
-                &block,
-                enc,
-                staged[d].clone(),
+            // Pair each surviving device with its row shard (empty
+            // shards sit the load out, as at construction).
+            let plan: Vec<(usize, Vec<usize>)> =
+                plan_rows(self.policy, system.rows(), survivors.len())
+                    .into_iter()
+                    .zip(&survivors)
+                    .filter(|(rows, _)| !rows.is_empty())
+                    .map(|(rows, &d)| (d, rows))
+                    .collect();
+            // Budget check across the whole fleet *before* touching any
+            // arena, so a rejected load is free on every device.
+            for (d, rows) in &plan {
+                let shard_shape = UniformShape {
+                    rows: rows.len(),
+                    ..shape
+                };
+                let needed = EncodedSupports::bytes_needed(&shard_shape, self.base.encoding);
+                if self.arenas[*d].used() + needed > self.arenas[*d].budget() {
+                    return Err(BuildError::Setup(SetupError::Encode(
+                        polygpu_core::layout::encoding::EncodeError::Constant(ConstantOverflow {
+                            requested_total: self.arenas[*d].used() + needed,
+                            budget: self.arenas[*d].budget(),
+                        }),
+                    )));
+                }
+            }
+            // Stage every device's upload into a *clone* of its arena
+            // and commit the clones only after the whole fleet
+            // succeeded: the byte pre-check above cannot rule out every
+            // failure (e.g. an exponent outside the compact encoding's
+            // nibble, present only in one device's rows — or an
+            // injected upload fault), and a half-loaded system must not
+            // strand bytes in the other devices' shared arenas.
+            let mut staged: Vec<ConstantMemory> =
+                plan.iter().map(|(d, _)| self.arenas[*d].clone()).collect();
+            let mut engines = Vec::with_capacity(plan.len());
+            let mut row_map = Vec::with_capacity(plan.len());
+            let mut device_indices = Vec::with_capacity(plan.len());
+            let mut setup = 0.0f64;
+            let mut constant_bytes = 0usize;
+            for (j, (d, rows)) in plan.iter().enumerate() {
+                let shard_shape = UniformShape {
+                    rows: rows.len(),
+                    ..shape
+                };
+                // The staged upload is where a fleet device can fault
+                // mid-load: charge the detection latency, exclude the
+                // device, and re-plan — the staged arenas simply drop.
+                if let Some(inj) = self.injectors[*d].as_mut() {
+                    let bytes = EncodedSupports::bytes_needed(&shard_shape, self.base.encoding)
+                        + shard_shape.total_monomials() * (shard_shape.k + 1) * elem;
+                    let upload = transfer_seconds(&self.specs[*d], bytes);
+                    if let Some(fe) = inj.check(OpClass::HostToDevice, &self.specs[*d], upload) {
+                        excluded[*d] = true;
+                        if fe.kind == FaultKind::DeviceLost {
+                            self.lost[*d] = true;
+                        }
+                        self.fault.faults += 1;
+                        self.fault.failovers += 1;
+                        self.fault.recovery_seconds += fe.detection_seconds;
+                        self.session_seconds += fe.detection_seconds;
+                        continue 'replan;
+                    }
+                }
+                let block = system.row_block(rows);
+                let gopts = GpuOptions {
+                    device: self.specs[*d].clone(),
+                    fault: self.base.fault.map(|f| FaultConfig {
+                        plan: f.plan,
+                        device_index: *d,
+                    }),
+                    ..self.base.clone()
+                };
+                let enc = EncodedSupports::upload(&block, &mut staged[j], self.base.encoding)
+                    .map_err(|e| BuildError::Setup(SetupError::Encode(e)))?;
+                constant_bytes += enc.constant_bytes();
+                let shard_shape = enc.shape;
+                // Devices set up concurrently: the fleet's modeled
+                // setup is the slowest shard's.
+                setup = setup.max(self.modeled_shard_setup(&self.specs[*d], &shard_shape));
+                engines.push(BatchGpuEvaluator::from_encoded(
+                    &block,
+                    enc,
+                    staged[j].clone(),
+                    self.capacity,
+                    gopts,
+                )?);
+                row_map.push(rows.clone());
+                device_indices.push(*d);
+            }
+            for ((d, _), arena) in plan.iter().zip(staged) {
+                self.arenas[*d] = arena;
+            }
+            let evaluator = RowShardedEvaluator::from_parts(
+                engines,
+                row_map,
+                device_indices,
+                system,
+                self.base.clone(),
                 self.capacity,
-                gopts,
-            )?);
+                self.recovery,
+                self.specs.len(),
+                self.policy,
+                self.gather,
+            );
+            self.session_seconds += setup;
+            self.residents.push(ClusterResident {
+                evaluator,
+                label: label.to_string(),
+                monomials: shape.total_monomials(),
+                constant_bytes,
+                setup_seconds: setup,
+                activations: 0,
+            });
+            return Ok(SystemId::new(self.residents.len() - 1));
         }
-        for (d, arena) in staged.into_iter().enumerate() {
-            self.arenas[d] = arena;
-        }
-        let evaluator = RowShardedEvaluator::from_parts(
-            engines,
-            plan,
-            system.dim(),
-            system.rows(),
-            self.policy,
-            self.gather,
-        );
-        self.session_seconds += setup;
-        self.residents.push(ClusterResident {
-            evaluator,
-            label: label.to_string(),
-            monomials: shape.total_monomials(),
-            constant_bytes,
-            setup_seconds: setup,
-            activations: 0,
-        });
-        Ok(SystemId::new(self.residents.len() - 1))
+    }
+
+    /// Upload-fault accounting for this session's loads (the residents'
+    /// evaluators tally their own evaluation-time faults).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault
+    }
+
+    /// Devices permanently lost to upload faults.
+    pub fn devices_lost(&self) -> usize {
+        self.lost.iter().filter(|&&l| l).count()
     }
 
     /// Make `id` the active system (one modeled parallel command-queue
@@ -1126,6 +1444,157 @@ mod tests {
         let x = vec![polygpu_complex::C64::one(); 4];
         let eval = session.activate(id).try_evaluate(&x).unwrap();
         assert_eq!(eval.values.len(), 4);
+    }
+
+    /// Chaos, Rows mode: when one device dies, its rows re-encode onto
+    /// the survivor (the budget allows it here) and the merged result
+    /// is bit-identical to the CPU reference. Seeds are scanned for a
+    /// schedule that kills device 1 early while leaving device 0 clean
+    /// long enough to absorb the rows.
+    #[test]
+    fn lost_rows_reencode_on_survivors_bit_identical() {
+        let prm = params(8, 3, 2, 2, 5);
+        let sys = random_system::<f64>(&prm);
+        let points = random_points::<f64>(8, 4, 11);
+        let mut cpu = AdEvaluator::new(sys.clone()).unwrap();
+        let want = cpu.evaluate_batch(&points);
+        let strict = RecoveryPolicy {
+            max_retries: 0,
+            backoff_base: 0.0,
+            backoff_factor: 1.0,
+            cpu_fallback: false,
+        };
+        let seed = (0..2_000u64)
+            .find(|&seed| {
+                let plan = FaultPlan::new(seed, 40_000);
+                let d1_strikes = (0..5).any(|op| plan.fault_at(1, op, OpClass::Kernel).is_some());
+                let d0_clean = (0..40).all(|op| plan.fault_at(0, op, OpClass::Kernel).is_none());
+                d1_strikes && d0_clean
+            })
+            .expect("some seed kills device 1 first");
+        let mut cluster = RowShardedEvaluator::new(
+            &sys,
+            &hetero_specs(2),
+            8,
+            RowClusterOptions {
+                base: GpuOptions {
+                    fault: Some(FaultConfig {
+                        plan: FaultPlan::new(seed, 40_000),
+                        device_index: 0,
+                    }),
+                    ..GpuOptions::default()
+                },
+                recovery: strict,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(cluster.device_count(), 2);
+        let got = cluster
+            .try_evaluate_batch(&points)
+            .expect("rows must re-encode on the survivor");
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            assert_eq!(g.values, w.values, "point {i}");
+            assert_eq!(g.jacobian.as_slice(), w.jacobian.as_slice(), "point {i}");
+        }
+        assert_eq!(cluster.device_count(), 1, "device 1 must be dropped");
+        let s = cluster.cluster_stats();
+        assert!(s.fault.faults > 0);
+        assert!(s.fault.failovers >= 1);
+        assert_eq!(s.devices_lost, 1);
+        assert!(
+            s.fault.recovery_seconds > 0.0,
+            "detection + re-encode must be charged"
+        );
+    }
+
+    /// Chaos, Rows mode, total loss: at a 100% fault rate both devices
+    /// die and the re-encode can never run — the typed `DegradedFleet`
+    /// error or (policy permitting) the bit-identical CPU fallback.
+    #[test]
+    fn rows_total_loss_is_typed_or_falls_back() {
+        let prm = params(8, 3, 2, 2, 7);
+        let sys = random_system::<f64>(&prm);
+        let points = random_points::<f64>(8, 3, 3);
+        let mut cpu = AdEvaluator::new(sys.clone()).unwrap();
+        let want = cpu.evaluate_batch(&points);
+        let make = |cpu_fallback: bool| {
+            RowShardedEvaluator::new(
+                &sys,
+                &hetero_specs(2),
+                8,
+                RowClusterOptions {
+                    base: GpuOptions {
+                        fault: Some(FaultConfig {
+                            plan: FaultPlan::new(11, 1_000_000),
+                            device_index: 0,
+                        }),
+                        ..GpuOptions::default()
+                    },
+                    recovery: RecoveryPolicy {
+                        cpu_fallback,
+                        ..RecoveryPolicy::default()
+                    },
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        };
+        let mut doomed = make(false);
+        match doomed.try_evaluate_batch(&points) {
+            Err(BatchError::DegradedFleet { devices: 2, lost }) => assert!(lost >= 1),
+            Err(other) => panic!("expected DegradedFleet, got {other}"),
+            Ok(_) => panic!("expected DegradedFleet, got a result"),
+        }
+        let mut saved = make(true);
+        let got = saved.try_evaluate_batch(&points).unwrap();
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.values, w.values);
+        }
+        assert!(saved.cluster_stats().fault.failovers > 0);
+    }
+
+    /// Chaos, residency: a device that faults during `load`'s staged
+    /// upload is excluded and the load re-plans onto the survivor —
+    /// committing no bytes to the faulted device's arena — and the
+    /// resident evaluates bit-identically to the CPU reference.
+    #[test]
+    fn upload_fault_during_load_replans_on_survivors() {
+        let rate = 60_000;
+        let seed = (0..4_000u64)
+            .find(|&seed| {
+                let plan = FaultPlan::new(seed, rate);
+                plan.fault_at(0, 0, OpClass::HostToDevice).is_some()
+                    && (0..40).all(|op| plan.fault_at(1, op, OpClass::Kernel).is_none())
+            })
+            .expect("some seed faults device 0's first upload only");
+        let spec = crate::engine_builder()
+            .backend(polygpu_core::Backend::Cluster {
+                devices: vec![DeviceSpec::tesla_c2050(); 2],
+                shard: SystemShardPolicy::Contiguous.into(),
+            })
+            .per_device_capacity(4)
+            .fault_plan(FaultPlan::new(seed, rate))
+            .cluster_spec()
+            .unwrap();
+        let mut session = ClusterSession::<f64>::from_spec(&spec).unwrap();
+        let sys = random_system::<f64>(&params(8, 3, 2, 2, 1));
+        let id = session.load("replanned", &sys).unwrap();
+        assert!(session.fault_stats().failovers >= 1, "load must fail over");
+        assert_eq!(
+            session.constant_bytes_per_device()[0],
+            0,
+            "the faulted device's arena must stay untouched"
+        );
+        assert!(session.constant_bytes_per_device()[1] > 0);
+        let points = random_points::<f64>(8, 3, 9);
+        let mut cpu = AdEvaluator::new(sys).unwrap();
+        let want = cpu.evaluate_batch(&points);
+        let got = session.activate(id).try_evaluate_batch(&points).unwrap();
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.values, w.values);
+            assert_eq!(g.jacobian.as_slice(), w.jacobian.as_slice());
+        }
     }
 
     #[test]

@@ -28,7 +28,7 @@ use crate::kernels::batch::{
 use crate::layout::coeffs::build_coeffs;
 use crate::layout::encoding::EncodedSupports;
 use crate::layout::mons::{q_deriv, q_value};
-use crate::pipeline::{GpuOptions, PipelineStats, SetupError};
+use crate::pipeline::{inject, GpuOptions, PipelineStats, SetupError};
 use polygpu_complex::{Complex, Real};
 use polygpu_gpusim::prelude::*;
 use polygpu_gpusim::stream::pipeline_timeline;
@@ -58,6 +58,14 @@ pub enum BatchError {
     /// A kernel launch failed (post-validation this indicates a broken
     /// internal invariant).
     Launch(LaunchError),
+    /// An injected fault struck a modeled operation; the detection
+    /// latency was charged to the wall clock and no results were
+    /// delivered. See `polygpu_gpusim::fault`.
+    Fault(FaultError),
+    /// Fleet recovery was exhausted: after retries and failover
+    /// re-planning, `lost` of the fleet's `devices` devices are gone
+    /// and the policy forbids the CPU-reference fallback.
+    DegradedFleet { devices: usize, lost: usize },
 }
 
 impl fmt::Display for BatchError {
@@ -76,15 +84,33 @@ impl fmt::Display for BatchError {
                 "point {point} has dimension {got}, system has dimension {expected}"
             ),
             BatchError::Launch(e) => write!(f, "launch failed: {e}"),
+            BatchError::Fault(e) => write!(f, "{e}"),
+            BatchError::DegradedFleet { devices, lost } => write!(
+                f,
+                "fleet degraded: {lost} of {devices} devices lost and recovery exhausted"
+            ),
         }
     }
 }
 
-impl std::error::Error for BatchError {}
+impl std::error::Error for BatchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BatchError::Fault(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<LaunchError> for BatchError {
     fn from(e: LaunchError) -> Self {
         BatchError::Launch(e)
+    }
+}
+
+impl From<FaultError> for BatchError {
+    fn from(e: FaultError) -> Self {
+        BatchError::Fault(e)
     }
 }
 
@@ -109,6 +135,7 @@ pub struct BatchGpuEvaluator<R: Real> {
     last_reports: Vec<LaunchReport>,
     /// Reusable host staging for the batched point upload.
     vars_scratch: Vec<Complex<R>>,
+    injector: Option<FaultInjector>,
 }
 
 impl<R: Real> BatchGpuEvaluator<R> {
@@ -153,12 +180,16 @@ impl<R: Real> BatchGpuEvaluator<R> {
         let mons = global.alloc(capacity * layout.mons_stride);
         let out = global.alloc(capacity * layout.out_stride);
         global.host_write(coeffs, 0, &build_coeffs(system, &shape));
+        let injector = opts
+            .fault
+            .map(|f| FaultInjector::new(f.plan, f.device_index));
         let mut me = BatchGpuEvaluator {
             device,
             shape,
             layout,
             vars,
             out,
+            injector,
             k1: BatchCommonFactorKernel {
                 enc,
                 vars,
@@ -197,12 +228,29 @@ impl<R: Real> BatchGpuEvaluator<R> {
         // memory, occupancy, block limits) is per block, and a larger
         // point-major grid only adds more identical blocks.
         let probe = vec![vec![Complex::<R>::one(); shape.n]];
+        // The injector is disarmed during construction, so the probe
+        // cannot fault.
         me.try_evaluate_batch(&probe).map_err(|e| match e {
             BatchError::Launch(l) => SetupError::Launch(l),
             other => unreachable!("validation probe is within the batch contract: {other}"),
         })?;
         me.stats = PipelineStats::default();
+        me.set_fault_armed(true);
         Ok(me)
+    }
+
+    /// Arm or disarm fault injection (no-op without a configured
+    /// [`GpuOptions::fault`]). Disarmed operations neither fault nor
+    /// advance the schedule, so calibration probes leave the fault
+    /// schedule seen by user work untouched.
+    pub fn set_fault_armed(&mut self, armed: bool) {
+        if let Some(inj) = self.injector.as_mut() {
+            if armed {
+                inj.arm();
+            } else {
+                inj.disarm();
+            }
+        }
     }
 
     pub fn shape(&self) -> UniformShape {
@@ -285,15 +333,20 @@ impl<R: Real> BatchGpuEvaluator<R> {
             let base = i * self.layout.vars_stride;
             self.vars_scratch[base..base + shape.n].copy_from_slice(x);
         }
-        self.global.host_write(self.vars, 0, &self.vars_scratch);
         let elem = <Complex<R> as DeviceValue>::DEVICE_BYTES;
-        let mut transfer = transfer_seconds(&self.device, p * shape.n * elem);
+        let h2d = transfer_seconds(&self.device, p * shape.n * elem);
+        let mut elapsed = 0.0;
+        self.fault_check(OpClass::HostToDevice, h2d, elapsed)?;
+        self.global.host_write(self.vars, 0, &self.vars_scratch);
+        elapsed += h2d;
+        let mut transfer = h2d;
 
         let monomial_cfg = self.layout.monomial_cfg(p, &shape, self.opts.block_dim);
         let output_cfg = self.layout.output_cfg(p, &shape, self.opts.block_dim);
         // Clear before launching (reusing the vector's storage) so a
         // failed launch leaves no stale reports behind.
         self.last_reports.clear();
+        self.fault_check(OpClass::Kernel, self.device.launch_overhead, elapsed)?;
         let r1 = if self.opts.from_scratch_cf {
             launch(
                 &self.device,
@@ -313,6 +366,8 @@ impl<R: Real> BatchGpuEvaluator<R> {
                 self.opts.launch,
             )?
         };
+        elapsed += r1.timing.total_seconds();
+        self.fault_check(OpClass::Kernel, self.device.launch_overhead, elapsed)?;
         let r2 = launch(
             &self.device,
             &self.k2,
@@ -321,6 +376,8 @@ impl<R: Real> BatchGpuEvaluator<R> {
             &self.constant,
             self.opts.launch,
         )?;
+        elapsed += r2.timing.total_seconds();
+        self.fault_check(OpClass::Kernel, self.device.launch_overhead, elapsed)?;
         let r3 = launch(
             &self.device,
             &self.k3,
@@ -329,9 +386,12 @@ impl<R: Real> BatchGpuEvaluator<R> {
             &self.constant,
             self.opts.launch,
         )?;
+        elapsed += r3.timing.total_seconds();
 
         // One transfer brings all P·(n² + n) results back.
-        transfer += transfer_seconds(&self.device, p * shape.outputs() * elem);
+        let d2h = transfer_seconds(&self.device, p * shape.outputs() * elem);
+        self.fault_check(OpClass::DeviceToHost, d2h, elapsed)?;
+        transfer += d2h;
         let raw = self.global.host_read(self.out);
         let mut evals = Vec::with_capacity(p);
         for i in 0..p {
@@ -455,6 +515,22 @@ impl<R: Real> BatchGpuEvaluator<R> {
     /// Device bytes the batched buffers occupy (grows with capacity).
     pub fn allocated_bytes(&self) -> usize {
         self.global.allocated_bytes()
+    }
+
+    fn fault_check(
+        &mut self,
+        class: OpClass,
+        op_seconds: f64,
+        elapsed: f64,
+    ) -> Result<(), BatchError> {
+        inject(
+            &mut self.injector,
+            &mut self.stats,
+            &self.device,
+            class,
+            op_seconds,
+            elapsed,
+        )
     }
 }
 

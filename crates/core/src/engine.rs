@@ -50,7 +50,7 @@
 
 use crate::batch::{BatchError, BatchGpuEvaluator};
 use crate::layout::encoding::{EncodedSupports, EncodingKind};
-use crate::pipeline::{GpuEvaluator, GpuOptions, PipelineStats, SetupError};
+use crate::pipeline::{FaultConfig, GpuEvaluator, GpuOptions, PipelineStats, SetupError};
 use polygpu_complex::{Complex, Real};
 use polygpu_gpusim::prelude::*;
 use polygpu_gpusim::stream::TransferPath;
@@ -298,7 +298,12 @@ impl<R: Real> AnyEvaluator<R> for GpuEvaluator<R> {
         points: &[Vec<Complex<R>>],
     ) -> Result<Vec<SystemEval<R>>, BatchError> {
         validate_batch(self.dim(), points)?;
-        Ok(self.evaluate_batch(points))
+        // Loop the typed single-point path so injected faults surface
+        // as `BatchError::Fault` values, never as panics.
+        points
+            .iter()
+            .map(|x| GpuEvaluator::try_evaluate(self, x))
+            .collect()
     }
 
     fn engine_stats(&self) -> PipelineStats {
@@ -470,6 +475,14 @@ pub enum BuildError {
     SessionBackend { backend: &'static str },
     /// [`EngineBuilder::cluster_spec`] requires [`Backend::Cluster`].
     NotCluster { backend: &'static str },
+    /// Injected faults took out too many devices for the fleet to
+    /// carry out the build or load.
+    DegradedFleet {
+        /// Devices the fleet was configured with.
+        devices: usize,
+        /// Devices lost or excluded by faults.
+        lost: usize,
+    },
 }
 
 impl fmt::Display for BuildError {
@@ -501,6 +514,10 @@ impl fmt::Display for BuildError {
             BuildError::NotCluster { backend } => {
                 write!(f, "cluster_spec needs the Cluster backend, got {backend}")
             }
+            BuildError::DegradedFleet { devices, lost } => write!(
+                f,
+                "fleet degraded: {lost} of {devices} devices lost during setup"
+            ),
         }
     }
 }
@@ -540,9 +557,13 @@ pub struct ClusterSpec {
     /// How row-sharded gathers cross between devices (ignored by
     /// point sharding, which never moves results between devices).
     pub gather: TransferPath,
-    /// Per-device options (`device` is replaced per spec entry by the
-    /// provider).
+    /// Per-device options (`device` — and the fault config's fleet
+    /// index — are replaced per spec entry by the provider).
     pub base: GpuOptions,
+    /// How the fleet recovers from injected faults: retry with modeled
+    /// backoff, fail over onto survivors, then degrade (typed error or
+    /// CPU-reference fallback).
+    pub recovery: RecoveryPolicy,
 }
 
 /// Constructs the [`Backend::Cluster`] evaluator. The core crate sits
@@ -596,6 +617,8 @@ impl Engine {
             per_device_capacity: 64,
             gather: TransferPath::default(),
             launch: LaunchOptions::default(),
+            fault: None,
+            recovery: RecoveryPolicy::default(),
             provider,
         }
     }
@@ -618,6 +641,8 @@ pub struct EngineBuilder<P: ClusterProvider = NoCluster> {
     per_device_capacity: usize,
     gather: TransferPath,
     launch: LaunchOptions,
+    fault: Option<FaultPlan>,
+    recovery: RecoveryPolicy,
     provider: P,
 }
 
@@ -695,6 +720,25 @@ impl<P: ClusterProvider> EngineBuilder<P> {
         self
     }
 
+    /// Inject deterministic faults from this seeded plan into every
+    /// modeled device the backend spans (each device draws a
+    /// decorrelated schedule keyed on its fleet index). Default: no
+    /// injection. Faults surface as typed `BatchError::Fault` values
+    /// through `try_evaluate_batch`; cluster backends recover per
+    /// [`EngineBuilder::recovery`].
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// Fleet recovery policy for cluster backends: retries with
+    /// modeled exponential backoff, then failover re-planning, then —
+    /// if permitted — the bit-identical CPU-reference fallback.
+    pub fn recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
     /// The per-device options this spec resolves to (shared by every
     /// backend that models a device).
     fn gpu_options(&self, device: DeviceSpec) -> GpuOptions {
@@ -705,6 +749,10 @@ impl<P: ClusterProvider> EngineBuilder<P> {
             from_scratch_cf: self.from_scratch_cf,
             overlap_chunks: self.overlap_chunks,
             launch: self.launch,
+            fault: self.fault.map(|plan| FaultConfig {
+                plan,
+                device_index: 0,
+            }),
         }
     }
 
@@ -768,6 +816,7 @@ impl<P: ClusterProvider> EngineBuilder<P> {
                 per_device_capacity: self.per_device_capacity,
                 gather: self.gather,
                 base: self.gpu_options(self.device.clone()),
+                recovery: self.recovery,
             }),
             Backend::CpuReference => Err(BuildError::NotCluster {
                 backend: "cpu-reference",
@@ -805,6 +854,7 @@ impl<P: ClusterProvider> EngineBuilder<P> {
                     per_device_capacity: self.per_device_capacity,
                     gather: self.gather,
                     base: self.gpu_options(self.device.clone()),
+                    recovery: self.recovery,
                 };
                 self.provider.build(system, &spec)
             }

@@ -59,4 +59,10 @@ pub use engine::{
 };
 pub use kernels::batch::BatchLayout;
 pub use layout::encoding::{EncodeError, EncodedSupports, EncodingKind};
-pub use pipeline::{GpuEvaluator, GpuOptions, PipelineStats, SetupError};
+pub use pipeline::{FaultConfig, GpuEvaluator, GpuOptions, PipelineStats, SetupError};
+// The fault-model vocabulary, so fault-aware callers (schedulers,
+// cluster recovery, chaos harnesses) need not depend on the simulator
+// crate directly.
+pub use polygpu_gpusim::fault::{
+    FaultError, FaultKind, FaultPlan, FaultStats, OpClass, RecoveryPolicy,
+};

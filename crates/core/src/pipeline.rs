@@ -6,6 +6,7 @@
 //! tracking"); per evaluation only the point travels to the device and
 //! the `n² + n` results travel back.
 
+use crate::batch::{expect_batch, BatchError};
 use crate::kernels::common_factor::{CommonFactorFromScratch, CommonFactorKernel};
 use crate::kernels::speelpenning::SpeelpenningKernel;
 use crate::kernels::sum::SumKernel;
@@ -16,6 +17,17 @@ use polygpu_complex::{Complex, Real};
 use polygpu_gpusim::prelude::*;
 use polygpu_polysys::{BatchSystemEvaluator, System, SystemEval, SystemEvaluator, UniformShape};
 use std::fmt;
+
+/// Deterministic fault injection for one modeled device: the seeded
+/// [`FaultPlan`] plus the fleet index its schedule is keyed on (so a
+/// cluster's devices draw decorrelated schedules from one plan).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultConfig {
+    pub plan: FaultPlan,
+    /// Fleet index of this device in the plan's keying (0 for
+    /// single-device engines; the cluster provider sets it per shard).
+    pub device_index: usize,
+}
 
 /// Configuration of the GPU evaluator.
 #[derive(Debug, Clone)]
@@ -40,6 +52,13 @@ pub struct GpuOptions {
     pub overlap_chunks: Option<usize>,
     /// Host-side launch options.
     pub launch: LaunchOptions,
+    /// Deterministic fault injection (`None` — the default — models a
+    /// fault-free device). Injection arms only after the construction
+    /// validation probe, so setup never faults; armed, each modeled
+    /// operation consults the seeded schedule and a struck operation
+    /// surfaces as [`BatchError::Fault`] with its detection latency
+    /// charged to the wall clock.
+    pub fault: Option<FaultConfig>,
 }
 
 impl Default for GpuOptions {
@@ -51,6 +70,7 @@ impl Default for GpuOptions {
             from_scratch_cf: false,
             overlap_chunks: Some(1),
             launch: LaunchOptions::default(),
+            fault: None,
         }
     }
 }
@@ -110,6 +130,11 @@ pub struct PipelineStats {
     /// double-buffered copy/compute timeline, which is smaller because
     /// transfers hide under kernels.
     pub wall_seconds: f64,
+    /// Injected-fault and recovery accounting. Faults charge their
+    /// detection latency (and any recovery work above this engine) to
+    /// `wall_seconds` but never touch `evaluations`: a struck call
+    /// delivers no results.
+    pub fault: FaultStats,
 }
 
 impl PipelineStats {
@@ -166,6 +191,31 @@ impl PipelineStats {
     }
 }
 
+/// Consult `injector` (if any) for the next modeled operation; on a
+/// strike, charge the serialized time of the operations already
+/// completed this round trip (`elapsed`) plus the fault's detection
+/// latency to the wall clock — the honest cost of a failed round trip —
+/// and surface the typed error. Shared by the single-point and batched
+/// engines.
+pub(crate) fn inject(
+    injector: &mut Option<FaultInjector>,
+    stats: &mut PipelineStats,
+    device: &DeviceSpec,
+    class: OpClass,
+    op_seconds: f64,
+    elapsed: f64,
+) -> Result<(), BatchError> {
+    if let Some(inj) = injector.as_mut() {
+        if let Some(fe) = inj.check(class, device, op_seconds) {
+            stats.fault.faults += 1;
+            stats.fault.recovery_seconds += fe.detection_seconds;
+            stats.wall_seconds += elapsed + fe.detection_seconds;
+            return Err(BatchError::Fault(fe));
+        }
+    }
+    Ok(())
+}
+
 /// The three-kernel GPU evaluator of the paper, on the simulated device.
 pub struct GpuEvaluator<R: Real> {
     device: DeviceSpec,
@@ -181,6 +231,7 @@ pub struct GpuEvaluator<R: Real> {
     k3: SumKernel,
     stats: PipelineStats,
     last_reports: Vec<LaunchReport>,
+    injector: Option<FaultInjector>,
 }
 
 impl<R: Real> GpuEvaluator<R> {
@@ -199,11 +250,15 @@ impl<R: Real> GpuEvaluator<R> {
         let mons = global.alloc(mons_len(&shape));
         let out = global.alloc(shape.outputs());
         global.host_write(coeffs, 0, &build_coeffs(system, &shape));
+        let injector = opts
+            .fault
+            .map(|f| FaultInjector::new(f.plan, f.device_index));
         let mut me = GpuEvaluator {
             device,
             shape,
             vars,
             out,
+            injector,
             k1: CommonFactorKernel { enc, vars, out: cf },
             k1_scratch: CommonFactorFromScratch { enc, vars, out: cf },
             k2: SpeelpenningKernel {
@@ -221,10 +276,28 @@ impl<R: Real> GpuEvaluator<R> {
             opts,
         };
         // Validation pass at the origin: exercises all three launches.
+        // The injector is disarmed here, so the probe cannot fault.
         let probe = vec![Complex::<R>::one(); shape.n];
-        me.try_evaluate(&probe)?;
+        me.try_evaluate(&probe).map_err(|e| match e {
+            BatchError::Launch(l) => SetupError::Launch(l),
+            other => unreachable!("disarmed validation probe cannot fail otherwise: {other}"),
+        })?;
         me.stats = PipelineStats::default();
+        me.set_fault_armed(true);
         Ok(me)
+    }
+
+    /// Arm or disarm fault injection (no-op without a configured
+    /// [`GpuOptions::fault`]). Construction probes run disarmed;
+    /// fleet-level calibration probes disarm around their own work.
+    pub fn set_fault_armed(&mut self, armed: bool) {
+        if let Some(inj) = self.injector.as_mut() {
+            if armed {
+                inj.arm();
+            } else {
+                inj.disarm();
+            }
+        }
     }
 
     pub fn shape(&self) -> UniformShape {
@@ -255,18 +328,35 @@ impl<R: Real> GpuEvaluator<R> {
         self.constant.used()
     }
 
-    fn try_evaluate(&mut self, x: &[Complex<R>]) -> Result<SystemEval<R>, LaunchError> {
+    /// Evaluate at `x` with typed errors: dimension violations,
+    /// launch failures and injected faults all surface as
+    /// [`BatchError`] values — the non-panicking sibling of
+    /// [`SystemEvaluator::evaluate`]. A faulted round trip delivers no
+    /// results but charges the completed operations plus the fault's
+    /// detection latency to the modeled wall clock.
+    pub fn try_evaluate(&mut self, x: &[Complex<R>]) -> Result<SystemEval<R>, BatchError> {
         let shape = self.shape;
-        assert_eq!(x.len(), shape.n, "point dimension mismatch");
-        self.global.host_write(self.vars, 0, x);
+        if x.len() != shape.n {
+            return Err(BatchError::DimensionMismatch {
+                point: 0,
+                got: x.len(),
+                expected: shape.n,
+            });
+        }
         let elem = <Complex<R> as DeviceValue>::DEVICE_BYTES;
-        let mut transfer = transfer_seconds(&self.device, shape.n * elem);
+        let h2d = transfer_seconds(&self.device, shape.n * elem);
+        let mut elapsed = 0.0;
+        self.fault_check(OpClass::HostToDevice, h2d, elapsed)?;
+        self.global.host_write(self.vars, 0, x);
+        elapsed += h2d;
+        let mut transfer = h2d;
 
         let monomial_cfg = LaunchConfig::cover(shape.total_monomials(), self.opts.block_dim);
         let output_cfg = LaunchConfig::cover(shape.outputs(), self.opts.block_dim);
         // Clear before launching (reusing the vector's storage) so a
         // failed launch leaves no stale reports behind.
         self.last_reports.clear();
+        self.fault_check(OpClass::Kernel, self.device.launch_overhead, elapsed)?;
         let r1 = if self.opts.from_scratch_cf {
             launch(
                 &self.device,
@@ -286,6 +376,8 @@ impl<R: Real> GpuEvaluator<R> {
                 self.opts.launch,
             )?
         };
+        elapsed += r1.timing.total_seconds();
+        self.fault_check(OpClass::Kernel, self.device.launch_overhead, elapsed)?;
         let r2 = launch(
             &self.device,
             &self.k2,
@@ -294,6 +386,8 @@ impl<R: Real> GpuEvaluator<R> {
             &self.constant,
             self.opts.launch,
         )?;
+        elapsed += r2.timing.total_seconds();
+        self.fault_check(OpClass::Kernel, self.device.launch_overhead, elapsed)?;
         let r3 = launch(
             &self.device,
             &self.k3,
@@ -302,8 +396,11 @@ impl<R: Real> GpuEvaluator<R> {
             &self.constant,
             self.opts.launch,
         )?;
+        elapsed += r3.timing.total_seconds();
 
-        transfer += transfer_seconds(&self.device, shape.outputs() * elem);
+        let d2h = transfer_seconds(&self.device, shape.outputs() * elem);
+        self.fault_check(OpClass::DeviceToHost, d2h, elapsed)?;
+        transfer += d2h;
         // `host_read` is a zero-copy borrow of the simulated buffer;
         // unpack straight into the result without a staging copy.
         let raw = self.global.host_read(self.out);
@@ -336,6 +433,22 @@ impl<R: Real> GpuEvaluator<R> {
         self.stats.wall_seconds += transfer;
         Ok(eval)
     }
+
+    fn fault_check(
+        &mut self,
+        class: OpClass,
+        op_seconds: f64,
+        elapsed: f64,
+    ) -> Result<(), BatchError> {
+        inject(
+            &mut self.injector,
+            &mut self.stats,
+            &self.device,
+            class,
+            op_seconds,
+            elapsed,
+        )
+    }
 }
 
 impl<R: Real> SystemEvaluator<R> for GpuEvaluator<R> {
@@ -344,11 +457,11 @@ impl<R: Real> SystemEvaluator<R> for GpuEvaluator<R> {
     }
 
     /// Evaluate at `x`. Configuration errors were ruled out by the
-    /// validation pass in [`GpuEvaluator::new`]; a failure here means an
-    /// internal invariant broke, so it panics with the launch error.
+    /// validation pass in [`GpuEvaluator::new`]; use
+    /// [`GpuEvaluator::try_evaluate`] to handle injected faults as
+    /// typed errors instead of panics.
     fn evaluate(&mut self, x: &[Complex<R>]) -> SystemEval<R> {
-        self.try_evaluate(x)
-            .expect("launch validated at construction")
+        expect_batch(self.try_evaluate(x))
     }
 
     fn name(&self) -> &str {

@@ -60,6 +60,7 @@
 pub mod analysis;
 pub mod device;
 pub mod exec;
+pub mod fault;
 pub mod kernel;
 pub mod mem;
 pub mod occupancy;
@@ -73,6 +74,9 @@ pub mod value;
 pub mod prelude {
     pub use crate::device::DeviceSpec;
     pub use crate::exec::{launch, LaunchError, LaunchOptions, LaunchReport};
+    pub use crate::fault::{
+        FaultError, FaultInjector, FaultKind, FaultPlan, FaultStats, OpClass, RecoveryPolicy,
+    };
     pub use crate::kernel::{BlockCtx, Kernel, LaunchConfig, ThreadCtx};
     pub use crate::mem::{BufferId, ConstId, ConstantMemory, ConstantOverflow, GlobalMem};
     pub use crate::occupancy::{occupancy, Limiter, Occupancy};

@@ -3,6 +3,7 @@
 
 use polygpu_complex::C64;
 use polygpu_gpusim::analysis::analyze_block;
+use polygpu_gpusim::fault::{FaultInjector, FaultKind, FaultPlan, OpClass};
 use polygpu_gpusim::prelude::*;
 use polygpu_gpusim::trace::{Ev, ThreadTrace};
 use proptest::prelude::*;
@@ -108,6 +109,94 @@ proptest! {
             prop_assert!(a.blocks_per_sm >= b.blocks_per_sm,
                 "more shared memory cannot increase occupancy");
         }
+    }
+
+    /// A fault schedule is a pure function of `(seed, device, op,
+    /// class)`: re-querying a plan — or a freshly constructed equal
+    /// plan — reproduces the exact same fault, which is what makes
+    /// chaos runs replayable.
+    #[test]
+    fn fault_schedule_is_a_pure_function(
+        seed in 0u64..u64::MAX,
+        rate in 0u32..=1_000_000,
+        device in 0usize..64,
+        op in 0u64..u64::MAX,
+    ) {
+        let plan = FaultPlan::new(seed, rate);
+        for class in [OpClass::HostToDevice, OpClass::DeviceToHost, OpClass::Kernel] {
+            let first = plan.fault_at(device, op, class);
+            prop_assert_eq!(first.clone(), plan.fault_at(device, op, class));
+            prop_assert_eq!(first, FaultPlan::new(seed, rate).fault_at(device, op, class));
+        }
+        // Rate endpoints: zero never faults, full always faults.
+        prop_assert_eq!(FaultPlan::new(seed, 0).fault_at(device, op, OpClass::Kernel), None);
+        prop_assert!(
+            FaultPlan::new(seed, 1_000_000).fault_at(device, op, OpClass::Kernel).is_some()
+        );
+    }
+
+    /// Every drawn fault is legal for its operation class: transfers
+    /// corrupt or lose the device, kernels fail, hang (with a positive
+    /// timeout) or lose the device — a transfer never "hangs at
+    /// launch".
+    #[test]
+    fn fault_kinds_respect_op_class(
+        seed in 0u64..u64::MAX,
+        device in 0usize..64,
+        op in 0u64..u64::MAX,
+    ) {
+        let plan = FaultPlan::new(seed, 1_000_000);
+        for class in [OpClass::HostToDevice, OpClass::DeviceToHost] {
+            let kind = plan.fault_at(device, op, class).unwrap();
+            prop_assert!(
+                matches!(kind, FaultKind::DeviceLost | FaultKind::TransferCorrupt),
+                "transfer drew {kind:?}"
+            );
+        }
+        match plan.fault_at(device, op, OpClass::Kernel).unwrap() {
+            FaultKind::LaunchHang { timeout } => prop_assert!(timeout > 0.0),
+            FaultKind::DeviceLost | FaultKind::LaunchFailed => {}
+            other => prop_assert!(false, "kernel drew {other:?}"),
+        }
+    }
+
+    /// Two armed injectors over the same plan and device replay the
+    /// identical fault sequence — and device loss is sticky: after the
+    /// first `DeviceLost`, every subsequent operation fails with
+    /// `DeviceLost` without advancing the schedule.
+    #[test]
+    fn injector_replay_is_deterministic_and_loss_is_sticky(
+        seed in 0u64..u64::MAX,
+        rate in 1u32..200_000,
+        device in 0usize..8,
+        ops in prop::collection::vec(prop_oneof![
+            Just(OpClass::HostToDevice),
+            Just(OpClass::Kernel),
+            Just(OpClass::DeviceToHost),
+        ], 1..200),
+    ) {
+        let spec = DeviceSpec::tesla_c2050();
+        let plan = FaultPlan::new(seed, rate);
+        let mut a = FaultInjector::new(plan, device);
+        let mut b = FaultInjector::new(plan, device);
+        a.arm();
+        b.arm();
+        let mut lost = false;
+        for &class in &ops {
+            let fa = a.check(class, &spec, 1e-5);
+            let fb = b.check(class, &spec, 1e-5);
+            prop_assert_eq!(fa.clone(), fb, "replay diverged");
+            if lost {
+                prop_assert!(
+                    matches!(fa, Some(FaultError { kind: FaultKind::DeviceLost, .. })),
+                    "a lost device must stay lost"
+                );
+            }
+            if matches!(fa, Some(FaultError { kind: FaultKind::DeviceLost, .. })) {
+                lost = true;
+            }
+        }
+        prop_assert_eq!(a.is_lost(), lost);
     }
 
     #[test]

@@ -37,6 +37,7 @@
 //! ```
 
 pub mod escalate;
+pub mod fallible;
 pub mod homotopy;
 pub mod lockstep;
 pub mod lu;
@@ -53,15 +54,18 @@ pub mod prelude {
     pub use crate::escalate::{
         track_escalating, track_escalating_engine, EscalatedTrack, UsedPrecision,
     };
+    pub use crate::fallible::{FaultReport, TryBatchEvaluator};
     pub use crate::homotopy::{Homotopy, HomotopyAt, HomotopyEval};
     pub use crate::lockstep::{
-        newton_batch, newton_batch_counted, track_lockstep, BatchHomotopy, BatchHomotopyAt,
-        LockstepPath, LockstepResult,
+        newton_batch, newton_batch_counted, newton_batch_recovering, track_lockstep,
+        track_lockstep_recovering, BatchHomotopy, BatchHomotopyAt, LockstepPath, LockstepResult,
     };
-    pub use crate::lu::{lu_decompose, solve, LuFactors, SingularMatrix};
+    pub use crate::lu::{lu_decompose, solve, LuError, LuFactors, SingularMatrix};
     pub use crate::newton::{newton, NewtonParams, NewtonResult, ShiftedEvaluator, StopReason};
     pub use crate::quality::{quality_up_ladder, Precision, QualityUp};
-    pub use crate::queue::{track_queue, PathQueue, QueueResult, QueueStats, SlotPolicy};
+    pub use crate::queue::{
+        track_queue, track_queue_recovering, PathQueue, QueueResult, QueueStats, SlotPolicy,
+    };
     pub use crate::solve::{
         PathEndpoint, PathReport, PrecisionPolicy, Scheduler, SchedulerKind, SchedulerRun,
         SolveError, SolveReport, SolveRequest, Solver, StartSelection,

@@ -16,11 +16,13 @@
 //! **bit-for-bit** the trajectories of the same algorithm run against
 //! CPU references (which batch by looping).
 
+use crate::fallible::{retry_round, FaultReport, Infallible, TryBatchEvaluator};
 use crate::homotopy::random_gamma;
 use crate::lu::lu_decompose;
 use crate::newton::{NewtonParams, NewtonResult, StopReason};
 use crate::tracker::{TrackOutcome, TrackParams};
 use polygpu_complex::{Complex, Real};
+use polygpu_core::{BatchError, RecoveryPolicy};
 use polygpu_polysys::{BatchSystemEvaluator, SystemEval, SystemEvaluator};
 
 fn max_norm<R: Real>(v: &[Complex<R>]) -> f64 {
@@ -53,6 +55,30 @@ pub fn newton_batch_counted<R: Real, E: BatchSystemEvaluator<R> + ?Sized>(
     params: NewtonParams,
     batch_rounds: &mut usize,
 ) -> Vec<NewtonResult<R>> {
+    newton_batch_recovering(
+        &mut Infallible(&mut *eval),
+        starts,
+        params,
+        batch_rounds,
+        &RecoveryPolicy::none(),
+        &mut FaultReport::default(),
+    )
+    .expect("infallible evaluators cannot fault; fault-injecting engines go through newton_batch_recovering")
+}
+
+/// [`newton_batch_counted`] over a fallible evaluator: each iteration
+/// round's batched evaluation retries under `recovery` (path state is
+/// committed only after a round's evaluations arrive, so a retry
+/// replays the affected round bit for bit), and an unrecoverable
+/// fault surfaces as a typed [`BatchError`] — never a panic.
+pub fn newton_batch_recovering<R: Real, E: TryBatchEvaluator<R> + ?Sized>(
+    eval: &mut E,
+    starts: &[Vec<Complex<R>>],
+    params: NewtonParams,
+    batch_rounds: &mut usize,
+    recovery: &RecoveryPolicy,
+    fault: &mut FaultReport,
+) -> Result<Vec<NewtonResult<R>>, BatchError> {
     #[derive(Clone, Copy, PartialEq)]
     enum Phase {
         /// Needs a regular iteration evaluation.
@@ -104,7 +130,9 @@ pub fn newton_batch_counted<R: Real, E: BatchSystemEvaluator<R> + ?Sized>(
         if live.is_empty() {
             break;
         }
-        let evals = evaluate_chunked(eval, &live, &paths, |p| &p.x, batch_rounds);
+        let evals = retry_round(recovery, fault, || {
+            try_evaluate_chunked(eval, &live, &paths, |p| &p.x, batch_rounds)
+        })?;
         for (&i, e) in live.iter().zip(evals) {
             let path = &mut paths[i];
             let resid = max_norm(&e.values);
@@ -121,8 +149,8 @@ pub fn newton_batch_counted<R: Real, E: BatchSystemEvaluator<R> + ?Sized>(
                 continue;
             }
             let rhs: Vec<Complex<R>> = e.values.iter().map(|v| -*v).collect();
-            let lu = match lu_decompose(e.jacobian) {
-                Ok(f) => f,
+            let dx = match lu_decompose(e.jacobian).and_then(|lu| lu.solve(&rhs)) {
+                Ok(dx) => dx,
                 Err(_) => {
                     path.iterations = iter;
                     path.stop = Some((false, StopReason::SingularJacobian));
@@ -130,7 +158,6 @@ pub fn newton_batch_counted<R: Real, E: BatchSystemEvaluator<R> + ?Sized>(
                     continue;
                 }
             };
-            let dx = lu.solve(&rhs);
             for (xi, di) in path.x.iter_mut().zip(&dx) {
                 *xi += *di;
             }
@@ -142,7 +169,7 @@ pub fn newton_batch_counted<R: Real, E: BatchSystemEvaluator<R> + ?Sized>(
         }
     }
 
-    paths
+    Ok(paths
         .into_iter()
         .map(|p| {
             let (converged, stop) = p.stop.unwrap_or((false, StopReason::MaxIters));
@@ -155,20 +182,20 @@ pub fn newton_batch_counted<R: Real, E: BatchSystemEvaluator<R> + ?Sized>(
                 stop,
             }
         })
-        .collect()
+        .collect())
 }
 
 /// Evaluate `live` paths' points through `eval`, splitting into chunks
-/// of at most `eval.max_batch()` points.
-fn evaluate_chunked<R: Real, E, P, F>(
+/// of at most `eval.max_batch()` points; faults surface as values.
+fn try_evaluate_chunked<R: Real, E, P, F>(
     eval: &mut E,
     live: &[usize],
     paths: &[P],
     point_of: F,
     batch_rounds: &mut usize,
-) -> Vec<SystemEval<R>>
+) -> Result<Vec<SystemEval<R>>, BatchError>
 where
-    E: BatchSystemEvaluator<R> + ?Sized,
+    E: TryBatchEvaluator<R> + ?Sized,
     F: Fn(&P) -> &Vec<Complex<R>>,
 {
     let cap = eval.max_batch().max(1);
@@ -176,10 +203,10 @@ where
     for chunk in live.chunks(cap) {
         let points: Vec<Vec<Complex<R>>> =
             chunk.iter().map(|&i| point_of(&paths[i]).clone()).collect();
-        out.extend(eval.evaluate_batch(&points));
         *batch_rounds += 1;
+        out.extend(eval.try_batch(&points)?);
     }
-    out
+    Ok(out)
 }
 
 /// A homotopy whose endpoints are batch evaluators, for lockstep
@@ -243,9 +270,22 @@ impl<R: Real, EG: BatchSystemEvaluator<R>, EF: BatchSystemEvaluator<R>> BatchHom
         ts: &[R],
     ) -> Vec<(SystemEval<R>, Vec<Complex<R>>)> {
         assert_eq!(points.len(), ts.len(), "one t per point");
-        let n = self.dim();
         let ges = self.g.evaluate_batch(points);
         let fes = self.f.evaluate_batch(points);
+        self.combine(ges, fes, ts)
+    }
+
+    /// The per-point combination of endpoint evaluations into
+    /// `H(·, t)` values, Jacobians and `∂H/∂t` — shared by the
+    /// infallible and fallible evaluation paths so they are identical
+    /// arithmetic by construction.
+    pub(crate) fn combine(
+        &self,
+        ges: Vec<SystemEval<R>>,
+        fes: Vec<SystemEval<R>>,
+        ts: &[R],
+    ) -> Vec<(SystemEval<R>, Vec<Complex<R>>)> {
+        let n = self.dim();
         ges.into_iter()
             .zip(fes)
             .zip(ts)
@@ -278,8 +318,8 @@ impl<R: Real, EG: BatchSystemEvaluator<R>, EF: BatchSystemEvaluator<R>> BatchHom
 
 /// [`BatchSystemEvaluator`] adapter for `H(·, t)` at fixed `t`.
 pub struct BatchHomotopyAt<'h, R: Real, EG, EF> {
-    h: &'h mut BatchHomotopy<R, EG, EF>,
-    t: R,
+    pub(crate) h: &'h mut BatchHomotopy<R, EG, EF>,
+    pub(crate) t: R,
 }
 
 impl<'h, R: Real, EG: BatchSystemEvaluator<R>, EF: BatchSystemEvaluator<R>> SystemEvaluator<R>
@@ -397,6 +437,36 @@ where
     EG: BatchSystemEvaluator<R>,
     EF: BatchSystemEvaluator<R>,
 {
+    let mut fh = BatchHomotopy {
+        g: Infallible(&mut h.g),
+        f: Infallible(&mut h.f),
+        gamma: h.gamma,
+    };
+    let (r, _) = track_lockstep_recovering(&mut fh, starts, params, &RecoveryPolicy::none())
+        .expect("infallible evaluators cannot fault; fault-injecting engines go through track_lockstep_recovering");
+    r
+}
+
+/// [`track_lockstep`] over fallible evaluators: every batched round
+/// (predictor or corrector iteration) retries under `recovery` with
+/// modeled backoff. Path state is committed only after a round's
+/// evaluations return, so the live front *is* the checkpoint: a retry
+/// replays only the faulted round, and a recovered run's trajectories
+/// are **bit-identical** to the fault-free run (the engine's modeled
+/// wall clock alone pays for the recovery). An unrecoverable fault
+/// surfaces as a typed [`BatchError`] alongside what was spent
+/// ([`FaultReport`]) — never a panic.
+pub fn track_lockstep_recovering<R: Real, EG, EF>(
+    h: &mut BatchHomotopy<R, EG, EF>,
+    starts: &[Vec<Complex<R>>],
+    params: TrackParams,
+    recovery: &RecoveryPolicy,
+) -> Result<(LockstepResult<R>, FaultReport), BatchError>
+where
+    EG: TryBatchEvaluator<R>,
+    EF: TryBatchEvaluator<R>,
+{
+    let mut fault = FaultReport::default();
     let n_paths = starts.len();
     let mut xs: Vec<Vec<Complex<R>>> = starts.to_vec();
     let mut outcomes: Vec<Option<TrackOutcome>> = vec![None; n_paths];
@@ -419,24 +489,26 @@ where
 
         // Batched Euler predictor: J_H dx = -dH/dt at (x_i, t).
         let live_points: Vec<Vec<Complex<R>>> = live.iter().map(|&i| xs[i].clone()).collect();
-        let mut hev = Vec::with_capacity(live_points.len());
         let cap = h.max_batch().max(1);
-        for chunk in live_points.chunks(cap) {
-            hev.extend(h.eval_batch_at(chunk, R::from_f64(t)));
-            batch_rounds += 1;
-        }
+        let hev = retry_round(recovery, &mut fault, || {
+            let mut hev = Vec::with_capacity(live_points.len());
+            for chunk in live_points.chunks(cap) {
+                batch_rounds += 1;
+                hev.extend(h.try_eval_batch_at(chunk, R::from_f64(t))?);
+            }
+            Ok(hev)
+        })?;
         let mut preds: Vec<(usize, Vec<Complex<R>>)> = Vec::with_capacity(live.len());
         let mut singular: Vec<usize> = Vec::new();
         for (&i, (eval, dt_vec)) in live.iter().zip(hev) {
-            let lu = match lu_decompose(eval.jacobian) {
-                Ok(f) => f,
+            let rhs: Vec<Complex<R>> = dt_vec.iter().map(|v| -*v).collect();
+            let dxdt = match lu_decompose(eval.jacobian).and_then(|lu| lu.solve(&rhs)) {
+                Ok(d) => d,
                 Err(_) => {
                     singular.push(i);
                     continue;
                 }
             };
-            let rhs: Vec<Complex<R>> = dt_vec.iter().map(|v| -*v).collect();
-            let dxdt = lu.solve(&rhs);
             let x_pred: Vec<Complex<R>> = xs[i]
                 .iter()
                 .zip(&dxdt)
@@ -461,7 +533,14 @@ where
         let (pred_idx, pred_points): (Vec<usize>, Vec<Vec<Complex<R>>>) = preds.into_iter().unzip();
         let results: Vec<NewtonResult<R>> = {
             let mut at = h.at(R::from_f64(t_new));
-            newton_batch_counted(&mut at, &pred_points, params.corrector, &mut batch_rounds)
+            newton_batch_recovering(
+                &mut at,
+                &pred_points,
+                params.corrector,
+                &mut batch_rounds,
+                recovery,
+                &mut fault,
+            )?
         };
         corrector_iters += results.iter().map(|r| r.iterations).sum::<usize>();
 
@@ -514,15 +593,18 @@ where
         })
         .collect();
 
-    LockstepResult {
-        paths,
-        rounds,
-        steps_accepted: accepted,
-        steps_rejected: rejected,
-        corrector_iterations: corrector_iters,
-        batch_rounds,
-        point_rounds,
-    }
+    Ok((
+        LockstepResult {
+            paths,
+            rounds,
+            steps_accepted: accepted,
+            steps_rejected: rejected,
+            corrector_iterations: corrector_iters,
+            batch_rounds,
+            point_rounds,
+        },
+        fault,
+    ))
 }
 
 #[cfg(test)]

@@ -24,6 +24,51 @@ impl fmt::Display for SingularMatrix {
 
 impl std::error::Error for SingularMatrix {}
 
+/// Typed failure of the LU routines — no input panics the linear
+/// algebra layer; shape violations and singular pivots both surface as
+/// values the caller can route (the solver maps them into
+/// [`SolveError::SingularJacobian`]-style outcomes).
+///
+/// [`SolveError::SingularJacobian`]: crate::solve::SolveError
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LuError {
+    /// `lu_decompose` needs a square matrix.
+    NotSquare { rows: usize, cols: usize },
+    /// The right-hand side's length does not match the factored matrix.
+    RhsDimension { got: usize, expected: usize },
+    /// A pivot column was exactly zero (or NaN-poisoned).
+    Singular(SingularMatrix),
+}
+
+impl fmt::Display for LuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LuError::NotSquare { rows, cols } => {
+                write!(f, "LU requires a square matrix, got {rows}x{cols}")
+            }
+            LuError::RhsDimension { got, expected } => {
+                write!(f, "rhs has length {got}, expected {expected}")
+            }
+            LuError::Singular(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for LuError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LuError::Singular(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SingularMatrix> for LuError {
+    fn from(e: SingularMatrix) -> Self {
+        LuError::Singular(e)
+    }
+}
+
 /// `P·A = L·U` with unit-diagonal `L` and the permutation stored as a
 /// row map.
 #[derive(Debug, Clone)]
@@ -33,9 +78,14 @@ pub struct LuFactors<R> {
 }
 
 /// Factor `a` (consumed) with partial pivoting by magnitude.
-pub fn lu_decompose<R: Real>(mut a: CMat<R>) -> Result<LuFactors<R>, SingularMatrix> {
+pub fn lu_decompose<R: Real>(mut a: CMat<R>) -> Result<LuFactors<R>, LuError> {
     let n = a.rows();
-    assert_eq!(n, a.cols(), "LU requires a square matrix");
+    if n != a.cols() {
+        return Err(LuError::NotSquare {
+            rows: n,
+            cols: a.cols(),
+        });
+    }
     let mut perm: Vec<usize> = (0..n).collect();
     for col in 0..n {
         // Pivot: largest |a[r][col]| for r >= col.
@@ -50,7 +100,7 @@ pub fn lu_decompose<R: Real>(mut a: CMat<R>) -> Result<LuFactors<R>, SingularMat
         }
         // Guard covers both an exactly-zero column and NaN poisoning.
         if best_mag <= R::zero() || best_mag.is_nan() {
-            return Err(SingularMatrix { column: col });
+            return Err(LuError::Singular(SingularMatrix { column: col }));
         }
         if best != col {
             a.swap_rows(col, best);
@@ -73,9 +123,14 @@ impl<R: Real> LuFactors<R> {
     /// Solve `A·x = b`.
     // Triangular substitution reads most clearly with explicit indices.
     #[allow(clippy::needless_range_loop)]
-    pub fn solve(&self, b: &[Complex<R>]) -> Vec<Complex<R>> {
+    pub fn solve(&self, b: &[Complex<R>]) -> Result<Vec<Complex<R>>, LuError> {
         let n = self.lu.rows();
-        assert_eq!(b.len(), n, "rhs dimension mismatch");
+        if b.len() != n {
+            return Err(LuError::RhsDimension {
+                got: b.len(),
+                expected: n,
+            });
+        }
         // Apply permutation, forward substitution (L has unit diagonal).
         let mut y: Vec<Complex<R>> = self.perm.iter().map(|&r| b[r]).collect();
         for i in 1..n {
@@ -93,7 +148,7 @@ impl<R: Real> LuFactors<R> {
             }
             y[i] = acc / self.lu[(i, i)];
         }
-        y
+        Ok(y)
     }
 
     /// Magnitude of the determinant estimate `∏ |u_ii|` (useful as a
@@ -108,8 +163,8 @@ impl<R: Real> LuFactors<R> {
 }
 
 /// One-shot solve.
-pub fn solve<R: Real>(a: CMat<R>, b: &[Complex<R>]) -> Result<Vec<Complex<R>>, SingularMatrix> {
-    Ok(lu_decompose(a)?.solve(b))
+pub fn solve<R: Real>(a: CMat<R>, b: &[Complex<R>]) -> Result<Vec<Complex<R>>, LuError> {
+    lu_decompose(a)?.solve(b)
 }
 
 #[cfg(test)]
@@ -168,9 +223,33 @@ mod tests {
     #[test]
     fn singular_matrix_reported() {
         let a = CMat::from_vec(2, 2, vec![C64::one(), C64::one(), C64::one(), C64::one()]);
-        assert_eq!(lu_decompose(a).unwrap_err(), SingularMatrix { column: 1 });
+        assert_eq!(
+            lu_decompose(a).unwrap_err(),
+            LuError::Singular(SingularMatrix { column: 1 })
+        );
         let z = CMat::<f64>::zeros(3, 3);
-        assert_eq!(lu_decompose(z).unwrap_err(), SingularMatrix { column: 0 });
+        assert_eq!(
+            lu_decompose(z).unwrap_err(),
+            LuError::Singular(SingularMatrix { column: 0 })
+        );
+    }
+
+    /// Shape violations are typed errors, not panics.
+    #[test]
+    fn shape_violations_are_typed() {
+        let rect = CMat::<f64>::zeros(2, 3);
+        assert_eq!(
+            lu_decompose(rect).unwrap_err(),
+            LuError::NotSquare { rows: 2, cols: 3 }
+        );
+        let f = lu_decompose(CMat::<f64>::identity(3)).unwrap();
+        assert_eq!(
+            f.solve(&[C64::one(); 2]).unwrap_err(),
+            LuError::RhsDimension {
+                got: 2,
+                expected: 3
+            }
+        );
     }
 
     #[test]

@@ -83,8 +83,8 @@ pub fn newton<R: Real, E: SystemEvaluator<R> + ?Sized>(
             };
         }
         let rhs: Vec<Complex<R>> = values.iter().map(|v| -*v).collect();
-        let lu = match lu_decompose(jacobian) {
-            Ok(f) => f,
+        let dx = match lu_decompose(jacobian).and_then(|lu| lu.solve(&rhs)) {
+            Ok(dx) => dx,
             Err(_) => {
                 return NewtonResult {
                     x,
@@ -96,7 +96,6 @@ pub fn newton<R: Real, E: SystemEvaluator<R> + ?Sized>(
                 }
             }
         };
-        let dx = lu.solve(&rhs);
         for (xi, di) in x.iter_mut().zip(&dx) {
             *xi += *di;
         }

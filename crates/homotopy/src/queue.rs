@@ -19,10 +19,12 @@
 //! single-path tracker produces, independent of the slot count, the
 //! batch composition, or how many devices the evaluator shards over.
 
+use crate::fallible::{retry_round, FaultReport, Infallible, TryBatchEvaluator};
 use crate::lockstep::{BatchHomotopy, LockstepPath};
 use crate::lu::lu_decompose;
 use crate::tracker::{TrackOutcome, TrackParams};
 use polygpu_complex::{Complex, Real};
+use polygpu_core::{BatchError, RecoveryPolicy};
 use polygpu_polysys::{BatchSystemEvaluator, SystemEval};
 use std::collections::VecDeque;
 
@@ -244,6 +246,37 @@ where
     EG: BatchSystemEvaluator<R>,
     EF: BatchSystemEvaluator<R>,
 {
+    let mut fh = BatchHomotopy {
+        g: Infallible(&mut h.g),
+        f: Infallible(&mut h.f),
+        gamma: h.gamma,
+    };
+    let (r, _) = track_queue_recovering(&mut fh, starts, params, slots, &RecoveryPolicy::none())
+        .expect("infallible evaluators cannot fault; fault-injecting engines go through track_queue_recovering");
+    r
+}
+
+/// [`track_queue`] over fallible evaluators: each scheduler round's
+/// batched evaluation retries under `recovery` with modeled backoff.
+/// Slot state — each slot's `(t, dt, x)` and phase — is committed only
+/// after the round's evaluations return, so the front *is* the
+/// checkpoint: a retry replays only the faulted round (same chunk
+/// boundaries, same arithmetic), and a recovered run's endpoints are
+/// **bit-identical** to the fault-free run; only the engine's modeled
+/// wall clock pays for the recovery. An unrecoverable fault surfaces
+/// as a typed [`BatchError`] — never a panic, never a wrong endpoint.
+pub fn track_queue_recovering<R: Real, EG, EF>(
+    h: &mut BatchHomotopy<R, EG, EF>,
+    starts: &[Vec<Complex<R>>],
+    params: TrackParams,
+    slots: impl Into<SlotPolicy>,
+    recovery: &RecoveryPolicy,
+) -> Result<(QueueResult<R>, FaultReport), BatchError>
+where
+    EG: TryBatchEvaluator<R>,
+    EF: TryBatchEvaluator<R>,
+{
+    let mut fault = FaultReport::default();
     let n_paths = starts.len();
     let cap = h.max_batch().max(1);
     let slots = slots.into().resolve(cap, n_paths);
@@ -278,14 +311,18 @@ where
             points.push(x.clone());
             ts.push(R::from_f64(t));
         }
-        let mut evals: Vec<(SystemEval<R>, Vec<Complex<R>>)> = Vec::with_capacity(points.len());
-        let mut base = 0usize;
-        while base < points.len() {
-            let end = (base + cap).min(points.len());
-            evals.extend(h.eval_batch_at_each(&points[base..end], &ts[base..end]));
-            batch_rounds += 1;
-            base = end;
-        }
+        let evals: Vec<(SystemEval<R>, Vec<Complex<R>>)> =
+            retry_round(recovery, &mut fault, || {
+                let mut evals = Vec::with_capacity(points.len());
+                let mut base = 0usize;
+                while base < points.len() {
+                    let end = (base + cap).min(points.len());
+                    batch_rounds += 1;
+                    evals.extend(h.try_eval_batch_at_each(&points[base..end], &ts[base..end])?);
+                    base = end;
+                }
+                Ok(evals)
+            })?;
 
         let mut finished: Vec<Finished<R>> = Vec::new();
         for (&s, (eval, dt_vec)) in occupied.iter().zip(evals) {
@@ -298,10 +335,9 @@ where
                     // singular Jacobian retires the path, as in `track`.
                     slot.dt_clamped = slot.dt.min(1.0 - slot.t);
                     slot.t_new = slot.t + slot.dt_clamped;
-                    match lu_decompose(eval.jacobian) {
-                        Ok(lu) => {
-                            let rhs: Vec<Complex<R>> = dt_vec.iter().map(|v| -*v).collect();
-                            let dxdt = lu.solve(&rhs);
+                    let rhs: Vec<Complex<R>> = dt_vec.iter().map(|v| -*v).collect();
+                    match lu_decompose(eval.jacobian).and_then(|lu| lu.solve(&rhs)) {
+                        Ok(dxdt) => {
                             slot.y = slot
                                 .x
                                 .iter()
@@ -330,9 +366,8 @@ where
                         corrector_done = Some((true, iter));
                     } else {
                         let rhs: Vec<Complex<R>> = eval.values.iter().map(|v| -*v).collect();
-                        match lu_decompose(eval.jacobian) {
-                            Ok(lu) => {
-                                let dx = lu.solve(&rhs);
+                        match lu_decompose(eval.jacobian).and_then(|lu| lu.solve(&rhs)) {
+                            Ok(dx) => {
                                 for (yi, di) in slot.y.iter_mut().zip(&dx) {
                                     *yi += *di;
                                 }
@@ -429,22 +464,25 @@ where
         }
     }
 
-    QueueResult {
-        paths: results
-            .into_iter()
-            .map(|p| p.expect("every queued path finishes"))
-            .collect(),
-        stats: QueueStats {
-            rounds,
-            batch_rounds,
-            refills,
-            point_rounds,
-            slots,
-            steps_accepted: accepted,
-            steps_rejected: rejected,
-            corrector_iterations: corrector_iters,
+    Ok((
+        QueueResult {
+            paths: results
+                .into_iter()
+                .map(|p| p.expect("every queued path finishes"))
+                .collect(),
+            stats: QueueStats {
+                rounds,
+                batch_rounds,
+                refills,
+                point_rounds,
+                slots,
+                steps_accepted: accepted,
+                steps_rejected: rejected,
+                corrector_iterations: corrector_iters,
+            },
         },
-    }
+        fault,
+    ))
 }
 
 #[cfg(test)]

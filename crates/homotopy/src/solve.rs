@@ -44,9 +44,10 @@
 //! ```
 
 use crate::escalate::UsedPrecision;
+use crate::fallible::FaultReport;
 use crate::homotopy::{random_gamma, Homotopy};
-use crate::lockstep::{track_lockstep, BatchHomotopy, LockstepPath};
-use crate::queue::{track_queue, QueueStats, SlotPolicy};
+use crate::lockstep::{track_lockstep_recovering, BatchHomotopy, LockstepPath};
+use crate::queue::{track_queue_recovering, QueueStats, SlotPolicy};
 use crate::start::StartSystem;
 use crate::tracker::{track, TrackOutcome, TrackParams};
 use polygpu_complex::{Complex, Real};
@@ -55,6 +56,7 @@ use polygpu_core::engine::{
     NoCluster,
 };
 use polygpu_core::pipeline::PipelineStats;
+use polygpu_core::{BatchError, RecoveryPolicy};
 use polygpu_polysys::{NaiveEvaluator, System, SystemEvaluator};
 use polygpu_qd::Dd;
 use std::fmt;
@@ -75,6 +77,9 @@ pub struct SchedulerRun<R> {
     pub paths: Vec<LockstepPath<R>>,
     /// Rounds, round trips, occupancy numerators, step counts.
     pub stats: QueueStats,
+    /// Faults seen and recovery work done at the scheduler level
+    /// (`engine` is filled in by the solve layer after the run).
+    pub fault: FaultReport,
 }
 
 /// An object-safe multi-path scheduling strategy: how the front of
@@ -93,19 +98,28 @@ pub trait Scheduler<R: Real> {
     fn name(&self) -> &'static str;
 
     /// Track every start through `h`, one endpoint per start, in
-    /// order. `caps` describes the engine in `h` (for slot sizing).
+    /// order. `caps` describes the engine in `h` (for slot sizing);
+    /// `recovery` governs round-level retry when the engine injects
+    /// faults. A fault that outlives recovery comes back as
+    /// [`SolveError::Fault`] — schedulers never panic on one.
     fn run(
         &mut self,
         h: &mut EngineHomotopy<R>,
         starts: &[Vec<Complex<R>>],
         params: &TrackParams,
         caps: &EngineCaps,
-    ) -> SchedulerRun<R>;
+        recovery: &RecoveryPolicy,
+    ) -> Result<SchedulerRun<R>, SolveError>;
 }
 
 /// [`crate::tracker::track`] behind the [`Scheduler`] trait: one path
 /// at a time, one single-point evaluation per predictor or corrector
 /// step — the reference the batched schedulers are checked against.
+///
+/// This scheduler drives the *infallible* single-point path and does
+/// no fault recovery of its own: run it against fault-free engines
+/// (its purpose is the bit-exact reference); chaos testing belongs to
+/// the lockstep and queue schedulers.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PerPathScheduler;
 
@@ -120,7 +134,8 @@ impl<R: Real> Scheduler<R> for PerPathScheduler {
         starts: &[Vec<Complex<R>>],
         params: &TrackParams,
         _caps: &EngineCaps,
-    ) -> SchedulerRun<R> {
+        _recovery: &RecoveryPolicy,
+    ) -> Result<SchedulerRun<R>, SolveError> {
         let batches_before = h.f.engine_stats().batches;
         let mut paths = Vec::with_capacity(starts.len());
         let mut stats = QueueStats {
@@ -147,7 +162,11 @@ impl<R: Real> Scheduler<R> for PerPathScheduler {
         stats.batch_rounds = (h.f.engine_stats().batches - batches_before) as usize;
         stats.rounds = stats.batch_rounds;
         stats.point_rounds = stats.batch_rounds;
-        SchedulerRun { paths, stats }
+        Ok(SchedulerRun {
+            paths,
+            stats,
+            fault: FaultReport::default(),
+        })
     }
 }
 
@@ -168,13 +187,16 @@ impl<R: Real> Scheduler<R> for LockstepScheduler {
         starts: &[Vec<Complex<R>>],
         params: &TrackParams,
         _caps: &EngineCaps,
-    ) -> SchedulerRun<R> {
-        let r = track_lockstep(h, starts, *params);
+        recovery: &RecoveryPolicy,
+    ) -> Result<SchedulerRun<R>, SolveError> {
+        let (r, fault) =
+            track_lockstep_recovering(h, starts, *params, recovery).map_err(SolveError::Fault)?;
         let stats = r.stats();
-        SchedulerRun {
+        Ok(SchedulerRun {
             paths: r.paths,
             stats,
-        }
+            fault,
+        })
     }
 }
 
@@ -201,13 +223,17 @@ impl<R: Real> Scheduler<R> for QueueScheduler {
         starts: &[Vec<Complex<R>>],
         params: &TrackParams,
         caps: &EngineCaps,
-    ) -> SchedulerRun<R> {
+        recovery: &RecoveryPolicy,
+    ) -> Result<SchedulerRun<R>, SolveError> {
         let slots = self.slots.resolve(caps.auto_slots(), starts.len());
-        let r = track_queue(h, starts, *params, SlotPolicy::Fixed(slots));
-        SchedulerRun {
+        let (r, fault) =
+            track_queue_recovering(h, starts, *params, SlotPolicy::Fixed(slots), recovery)
+                .map_err(SolveError::Fault)?;
+        Ok(SchedulerRun {
             paths: r.paths,
             stats: r.stats,
-        }
+            fault,
+        })
     }
 }
 
@@ -367,6 +393,11 @@ pub struct SolveRequest {
     pub params: TrackParams,
     pub precision: PrecisionPolicy,
     pub scheduler: SchedulerKind,
+    /// Round-level retry policy for injected faults (see
+    /// [`crate::fallible`]). Irrelevant — and free — on fault-free
+    /// engines; with fault injection armed it bounds the retries before
+    /// a fault surfaces as [`SolveError::Fault`].
+    pub recovery: RecoveryPolicy,
 }
 
 impl SolveRequest {
@@ -386,6 +417,7 @@ impl SolveRequest {
             params: TrackParams::default(),
             precision: PrecisionPolicy::default(),
             scheduler: SchedulerKind::default(),
+            recovery: RecoveryPolicy::default(),
         }
     }
 
@@ -416,6 +448,11 @@ impl SolveRequest {
 
     pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
         self.scheduler = scheduler;
+        self
+    }
+
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
         self
     }
 
@@ -523,6 +560,8 @@ pub struct EscalationReport {
     pub stats: QueueStats,
     /// The dd engine's modeled cost (provisioned from the same spec).
     pub engine: PipelineStats,
+    /// Faults seen and recovery work done during the dd pass.
+    pub fault: FaultReport,
 }
 
 /// The uniform result of [`Solver::solve`]: per-path verdicts plus the
@@ -543,6 +582,10 @@ pub struct SolveReport {
     pub stats: QueueStats,
     /// The primary engine's modeled cost statistics.
     pub engine: PipelineStats,
+    /// Faults seen and recovery work done during the primary pass
+    /// (scheduler-level retries plus the engine's own fault
+    /// accounting). All zeros on fault-free runs.
+    pub fault: FaultReport,
     /// Present when an escalation pass ran.
     pub escalation: Option<EscalationReport>,
 }
@@ -616,6 +659,11 @@ pub enum SolveError {
         got: usize,
         expected: usize,
     },
+    /// An injected fault outlived the request's [`RecoveryPolicy`]
+    /// (device loss, or retries exhausted) — typed, never a panic.
+    /// The partial pass is discarded; rerun with a stronger policy or
+    /// a fleet engine with internal failover.
+    Fault(BatchError),
 }
 
 impl fmt::Display for SolveError {
@@ -642,6 +690,7 @@ impl fmt::Display for SolveError {
                 f,
                 "start point {point} has {got} coordinates, expected {expected}"
             ),
+            SolveError::Fault(e) => write!(f, "evaluation fault outlived recovery: {e}"),
         }
     }
 }
@@ -650,6 +699,7 @@ impl std::error::Error for SolveError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SolveError::Build(e) => Some(e),
+            SolveError::Fault(e) => Some(e),
             _ => None,
         }
     }
@@ -755,6 +805,7 @@ impl<P: ClusterProvider> Solver<P> {
                     caps: pass.caps,
                     stats: pass.stats,
                     engine: pass.engine,
+                    fault: pass.fault,
                     escalation: None,
                 })
             }
@@ -770,6 +821,7 @@ impl<P: ClusterProvider> Solver<P> {
                     caps: pass.caps,
                     stats: pass.stats,
                     engine: pass.engine,
+                    fault: pass.fault,
                     escalation: None,
                 })
             }
@@ -810,6 +862,7 @@ impl<P: ClusterProvider> Solver<P> {
                         rescued,
                         stats: dd.stats,
                         engine: dd.engine,
+                        fault: dd.fault,
                     })
                 };
                 Ok(SolveReport {
@@ -819,6 +872,7 @@ impl<P: ClusterProvider> Solver<P> {
                     caps: pass.caps,
                     stats: pass.stats,
                     engine: pass.engine,
+                    fault: pass.fault,
                     escalation,
                 })
             }
@@ -837,11 +891,15 @@ impl<P: ClusterProvider> Solver<P> {
         let mut h = self.homotopy(target, &req.start, req.gamma_seed)?;
         let caps = h.f.caps();
         let mut scheduler = req.scheduler.instantiate::<R>();
-        let run = scheduler.run(&mut h, starts, &params, &caps);
+        let run = scheduler.run(&mut h, starts, &params, &caps, &req.recovery)?;
+        let engine = h.f.engine_stats();
+        let mut fault = run.fault;
+        fault.engine = engine.fault;
         Ok(Pass {
             paths: run.paths,
             stats: run.stats,
-            engine: h.f.engine_stats(),
+            engine,
+            fault,
             caps,
         })
     }
@@ -852,6 +910,7 @@ struct Pass<R: Real> {
     paths: Vec<LockstepPath<R>>,
     stats: QueueStats,
     engine: PipelineStats,
+    fault: FaultReport,
     caps: EngineCaps,
 }
 
@@ -918,7 +977,9 @@ fn report_dd(target: &System<Dd>, paths: Vec<LockstepPath<Dd>>) -> Vec<PathRepor
 mod tests {
     use super::*;
     use crate::escalate::track_escalating_engine;
+    use crate::lockstep::track_lockstep;
     use crate::newton::NewtonParams;
+    use crate::queue::track_queue;
     use polygpu_complex::C64;
     use polygpu_polysys::{random_system, AdEvaluator, BenchmarkParams};
 
@@ -1225,5 +1286,98 @@ mod tests {
                 .unwrap(),
             starts
         );
+    }
+
+    /// The chaos headline: under seeded fault injection, a solve either
+    /// recovers — with endpoints **bit-identical** to the fault-free
+    /// run — or surfaces a typed [`SolveError::Fault`]. It never panics
+    /// and never silently degrades. The seed sweep must actually hit
+    /// both recovered-with-faults runs and at least one fault, or the
+    /// invariant went untested.
+    #[test]
+    fn chaos_solve_recovers_bit_identical_or_types_the_fault() {
+        use polygpu_core::FaultPlan;
+
+        let (sys, start, _) = fixture(11);
+        for scheduler in [
+            SchedulerKind::Lockstep,
+            SchedulerKind::Queue {
+                slots: SlotPolicy::Auto,
+            },
+        ] {
+            let clean = gpu_solver()
+                .solve(&request(&sys, &start, scheduler))
+                .unwrap();
+            assert!(!clean.fault.any(), "fault-free engines report no faults");
+
+            let (mut faulted, mut recovered, mut surfaced) = (0u32, 0u32, 0u32);
+            for seed in 0..24u64 {
+                let solver = Solver::from_builder(
+                    Engine::builder()
+                        .backend(Backend::GpuBatch { capacity: 4 })
+                        .fault_plan(FaultPlan::new(seed, 5_000)),
+                );
+                match solver.solve(&request(&sys, &start, scheduler)) {
+                    Ok(report) => {
+                        for (i, (got, want)) in report.paths.iter().zip(&clean.paths).enumerate() {
+                            assert_eq!(got.outcome, want.outcome, "seed {seed} path {i}");
+                            assert_eq!(
+                                got.endpoint, want.endpoint,
+                                "seed {seed} path {i}: recovery must be bit-identical"
+                            );
+                        }
+                        if report.fault.any() {
+                            faulted += 1;
+                            if report.fault.recovered_rounds > 0 {
+                                recovered += 1;
+                                assert!(
+                                    report.fault.backoff_seconds > 0.0,
+                                    "seed {seed}: retries charge modeled backoff"
+                                );
+                            }
+                        }
+                    }
+                    Err(SolveError::Fault(e)) => {
+                        surfaced += 1;
+                        assert!(
+                            matches!(e, BatchError::Fault(_)),
+                            "seed {seed}: a single-device engine surfaces the fault itself"
+                        );
+                    }
+                    Err(e) => panic!("seed {seed}: unexpected non-fault error: {e}"),
+                }
+            }
+            assert!(faulted > 0, "{scheduler:?}: the sweep never faulted");
+            assert!(recovered > 0, "{scheduler:?}: the sweep never recovered");
+            assert!(surfaced > 0, "{scheduler:?}: no seed exhausted recovery");
+        }
+    }
+
+    /// With recovery disabled every injected fault surfaces typed on
+    /// the first strike: zero retried rounds, zero modeled backoff.
+    #[test]
+    fn chaos_solve_without_recovery_fails_fast() {
+        use polygpu_core::FaultPlan;
+
+        let (sys, start, _) = fixture(11);
+        let solver = Solver::from_builder(
+            Engine::builder()
+                .backend(Backend::GpuBatch { capacity: 4 })
+                // High enough that the first batch round faults.
+                .fault_plan(FaultPlan::new(5, 400_000)),
+        );
+        let req =
+            request(&sys, &start, SchedulerKind::default()).with_recovery(RecoveryPolicy::none());
+        match solver.solve(&req) {
+            Err(SolveError::Fault(e)) => {
+                let msg = e.to_string();
+                assert!(msg.contains("injected fault"), "{msg}");
+            }
+            Ok(r) => panic!(
+                "a 40% fault rate with no recovery cannot finish cleanly (faults={})",
+                r.fault.faults
+            ),
+            Err(e) => panic!("unexpected non-fault error: {e}"),
+        }
     }
 }

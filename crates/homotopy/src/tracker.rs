@@ -123,8 +123,9 @@ where
         let dt_clamped = dt.min(1.0 - t);
         // Euler predictor: J_H dx = -dH/dt, x_pred = x + dx * dt.
         let he = h.eval_at(&x, R::from_f64(t));
-        let lu = match lu_decompose(he.eval.jacobian) {
-            Ok(f) => f,
+        let rhs: Vec<Complex<R>> = he.dt.iter().map(|v| -*v).collect();
+        let dxdt = match lu_decompose(he.eval.jacobian).and_then(|lu| lu.solve(&rhs)) {
+            Ok(d) => d,
             Err(_) => {
                 return TrackResult {
                     outcome: TrackOutcome::SingularJacobian {
@@ -137,8 +138,6 @@ where
                 }
             }
         };
-        let rhs: Vec<Complex<R>> = he.dt.iter().map(|v| -*v).collect();
-        let dxdt = lu.solve(&rhs);
         let x_pred: Vec<Complex<R>> = x
             .iter()
             .zip(&dxdt)

@@ -189,7 +189,8 @@ pub mod prelude {
         BatchError, BatchGpuEvaluator, BatchLayout, EncodeError, EncodingKind, SetupError,
     };
     pub use polygpu_gpusim::prelude::{
-        Bound, Counters, DeviceSpec, LaunchConfig, LaunchOptions, LaunchReport,
+        Bound, Counters, DeviceSpec, FaultError, FaultKind, FaultPlan, FaultStats, LaunchConfig,
+        LaunchOptions, LaunchReport, RecoveryPolicy,
     };
     pub use polygpu_homotopy::prelude::*;
     pub use polygpu_polysys::{

@@ -277,6 +277,72 @@ fn all_backends_honor_the_contract_in_double_double() {
     run_suite::<Dd>();
 }
 
+/// Chaos contract: with a seeded fault plan armed, every backend
+/// either recovers (internally for cluster fleets, via caller-level
+/// round retries for single devices) — in which case its results are
+/// **bit-identical** to the fault-free run — or surfaces a typed
+/// `Fault`/`DegradedFleet` error. No backend panics, and none returns
+/// silently wrong values. The sweep must observe real injections, or
+/// the contract went untested.
+#[test]
+fn all_backends_survive_fault_injection() {
+    let sys = test_system::<f64>();
+    let points = test_points::<f64>(POINTS);
+    let clean = build::<f64>(&Backend::CpuReference, &sys)
+        .try_evaluate_batch(&points)
+        .unwrap();
+
+    let mut injected_total = 0u64;
+    for (name, backend) in backend_cases() {
+        for seed in 0..6u64 {
+            let mut engine = Engine::builder()
+                .backend(backend.clone())
+                .per_device_capacity(PER_DEVICE)
+                .fault_plan(FaultPlan::new(seed, 30_000))
+                .recovery(RecoveryPolicy::default())
+                .build(&sys)
+                .expect("arming fault injection must not break provisioning");
+            // Caller-level round retry, exactly what the schedulers do:
+            // a faulted batch is re-issued; sticky device loss and
+            // degraded fleets end the attempt with their typed error.
+            let mut recovered = None;
+            for _ in 0..4 {
+                match engine.try_evaluate_batch(&points) {
+                    Ok(evals) => {
+                        recovered = Some(evals);
+                        break;
+                    }
+                    Err(BatchError::Fault(e)) => {
+                        if e.kind == FaultKind::DeviceLost {
+                            break;
+                        }
+                    }
+                    Err(BatchError::DegradedFleet { .. }) => break,
+                    Err(e) => panic!("{name} seed {seed}: non-fault error {e}"),
+                }
+            }
+            if let Some(evals) = recovered {
+                for (i, (g, w)) in evals.iter().zip(&clean).enumerate() {
+                    assert_eq!(
+                        g.values, w.values,
+                        "{name} seed {seed} point {i}: recovery must be bit-identical"
+                    );
+                    assert_eq!(
+                        g.jacobian.as_slice(),
+                        w.jacobian.as_slice(),
+                        "{name} seed {seed} point {i}: recovery must be bit-identical"
+                    );
+                }
+            }
+            injected_total += engine.engine_stats().fault.faults;
+        }
+    }
+    assert!(
+        injected_total > 0,
+        "the chaos sweep never injected a fault — the contract went untested"
+    );
+}
+
 /// The device-modeled backends report modeled cost; the CPU reference
 /// reports zeroes for the device terms — both through the same trait.
 #[test]
