@@ -1381,6 +1381,290 @@ pub fn format_chaos_sweep(sweep: &ChaosSweep) -> String {
     s
 }
 
+/// One traced solve of the trace sweep.
+#[derive(Debug, Clone)]
+pub struct TraceRow {
+    /// Shard mode of the cluster backend ("points" or "rows").
+    pub shard: &'static str,
+    /// Device count.
+    pub d: usize,
+    /// Fault-plan seed (`None` = fault-free run).
+    pub seed: Option<u64>,
+    /// "clean", "recovered", or "fault" (typed error surfaced).
+    pub outcome: &'static str,
+    /// Spans recorded by the solve.
+    pub spans: usize,
+    /// Size of the exported Chrome-trace JSON in bytes.
+    pub json_bytes: usize,
+    /// Rerunning with the same seed produced byte-identical JSON.
+    pub deterministic: bool,
+    /// Span durations reconcile with the report's modeled stats.
+    pub reconciled: bool,
+    /// Fault-lifecycle spans (retry/backoff/detect/reencode/fallback).
+    pub fault_spans: usize,
+}
+
+/// The trace sweep plus its deterministic acceptance checks.
+#[derive(Debug, Clone)]
+pub struct TraceSweep {
+    pub rows: Vec<TraceRow>,
+    /// Every run's exported trace byte-identical across two runs.
+    pub all_deterministic: bool,
+    /// Every finished run's span tree sums to its modeled wall clock.
+    pub all_reconciled: bool,
+    /// Installing a no-op tracer left endpoints, modeled timings, and
+    /// telemetry bit-identical to the untraced solve.
+    pub noop_identical: bool,
+    /// Runs that finished despite faults striking.
+    pub faulted_runs: usize,
+    /// Every faulted-but-finished run recorded fault-lifecycle spans.
+    pub fault_spans_present: bool,
+    /// Rendered [`TelemetrySnapshot`](polygpu_obs::TelemetrySnapshot)
+    /// of one clean traced run, for display.
+    pub sample_telemetry: String,
+}
+
+impl TraceSweep {
+    /// The named acceptance bars of `repro trace` — the single source
+    /// of truth behind both [`TraceSweep::passes`] and the PASS/FAIL
+    /// lines the `repro` binary prints.
+    pub fn checks(&self) -> [(&'static str, bool); 4] {
+        [
+            (
+                "determinism check (same seed ⇒ byte-identical Chrome trace)",
+                self.all_deterministic,
+            ),
+            (
+                "reconciliation check (span tree sums to the modeled wall clock)",
+                self.all_reconciled,
+            ),
+            (
+                "no-op check (an installed no-op tracer changes nothing)",
+                self.noop_identical,
+            ),
+            (
+                "fault-span check (every recovered run shows fault-lifecycle spans)",
+                self.faulted_runs > 0 && self.fault_spans_present,
+            ),
+        ]
+    }
+
+    /// All acceptance bars at once: traces replay byte-for-byte, spans
+    /// reconcile with the stats structs, tracing never perturbs the
+    /// solve, and chaos leaves a visible fault trail.
+    pub fn passes(&self) -> bool {
+        self.checks().iter().all(|(_, ok)| *ok)
+    }
+}
+
+/// The trace table behind `repro trace`: the chaos-sweep workload (16
+/// total-degree paths of a dim-4 system, queue scheduler, cluster
+/// backends) rerun with a [`CollectingTracer`](polygpu_obs::CollectingTracer)
+/// installed. Each {shard, D, fault seed} cell is solved **twice** and
+/// the exported Chrome-trace JSON compared byte-for-byte — spans are
+/// timestamped by the simulated clock, so the trace is as deterministic
+/// as the solve itself. Finished runs additionally reconcile the span
+/// tree against the report (root `solve` span == modeled wall clock,
+/// cluster `batch` spans sum to the engine wall), and faulted runs must
+/// leave retry/backoff/detect spans behind. Fully modeled, hence
+/// deterministic — same seeds, same table, forever.
+pub fn trace_sweep() -> TraceSweep {
+    use polygpu_cluster::Sharded;
+    use polygpu_core::engine::{ClusterPolicy, EngineBuilder, SystemShardPolicy};
+    use polygpu_homotopy::prelude::*;
+    use polygpu_obs::{chrome_trace_json, CollectingTracer, NoopTracer, SpanKind, Track};
+    use std::sync::Arc;
+
+    let sys = random_system::<f64>(&BenchmarkParams {
+        n: 4,
+        m: 4,
+        k: 2,
+        d: 2,
+        seed: 17,
+    });
+    let start = polygpu_homotopy::start::StartSystem::uniform(4, 2); // 16 paths
+    let req = SolveRequest::new(sys).with_start(start).with_gamma_seed(29);
+    let per_device = 2usize;
+    let builder = |shard: &'static str, d: usize| -> EngineBuilder<Sharded> {
+        let shard = match shard {
+            "points" => ClusterPolicy::default().into(),
+            _ => SystemShardPolicy::Contiguous.into(),
+        };
+        polygpu_cluster::engine_builder()
+            .backend(polygpu_core::Backend::Cluster {
+                devices: vec![DeviceSpec::tesla_c2050(); d],
+                shard,
+            })
+            .per_device_capacity(per_device)
+    };
+    const FAULT_KINDS: [SpanKind; 5] = [
+        SpanKind::Retry,
+        SpanKind::Backoff,
+        SpanKind::Detect,
+        SpanKind::Reencode,
+        SpanKind::Fallback,
+    ];
+    let rel_eq = |a: f64, b: f64| (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1e-30);
+
+    let mut rows = Vec::new();
+    let mut all_deterministic = true;
+    let mut all_reconciled = true;
+    let mut noop_identical = true;
+    let mut faulted_runs = 0usize;
+    let mut fault_spans_present = true;
+    let mut sample_telemetry = String::new();
+    // The headline cell from the acceptance criteria (row-sharded D = 4
+    // under chaos) plus the point-sharded D = 2 counterpart.
+    for (shard, d) in [("points", 2usize), ("rows", 4)] {
+        // No-op bit-identity: the untraced reference vs. a solve with a
+        // no-op tracer installed. Nothing — endpoints, modeled wall
+        // clock, telemetry — may move.
+        let plain = Solver::from_builder(builder(shard, d))
+            .solve(&req)
+            .expect("the fault-free reference must solve");
+        let noop = Solver::from_builder(builder(shard, d))
+            .solve(&req.clone().with_tracer(Arc::new(NoopTracer)))
+            .expect("the no-op-traced solve must behave like the untraced one");
+        noop_identical &= plain
+            .paths
+            .iter()
+            .zip(&noop.paths)
+            .all(|(a, b)| a.endpoint == b.endpoint)
+            && plain.modeled_wall_seconds() == noop.modeled_wall_seconds()
+            && plain.telemetry == noop.telemetry;
+
+        for seed in [None, Some(0u64), Some(1), Some(2)] {
+            let run = || {
+                let b = match seed {
+                    Some(s) => builder(shard, d).fault_plan(FaultPlan::new(s, 300)),
+                    None => builder(shard, d),
+                };
+                let tracer = Arc::new(CollectingTracer::new());
+                let res = Solver::from_builder(b).solve(&req.clone().with_tracer(tracer.clone()));
+                (res, chrome_trace_json(&tracer.spans()), tracer)
+            };
+            let (res, json, tracer) = run();
+            let (_, json2, _) = run();
+            let deterministic = json == json2;
+            all_deterministic &= deterministic;
+            let spans = tracer.spans();
+            let row = match res {
+                Ok(report) => {
+                    // Root `solve` span covers the whole modeled solve;
+                    // cluster `batch` spans tile the engine wall clock.
+                    let root_ok = spans
+                        .iter()
+                        .find(|s| s.kind == SpanKind::Solve)
+                        .is_some_and(|s| {
+                            s.start == 0.0 && rel_eq(s.dur, report.modeled_wall_seconds())
+                        });
+                    let batch_sum: f64 = spans
+                        .iter()
+                        .filter(|s| s.kind == SpanKind::Batch && s.track == Track::Cluster)
+                        .map(|s| s.dur)
+                        .sum();
+                    let reconciled =
+                        root_ok && rel_eq(batch_sum, report.engine.wall_clock_seconds());
+                    all_reconciled &= reconciled;
+                    let faults = report.fault.faults + report.fault.engine.faults;
+                    let fault_spans = spans
+                        .iter()
+                        .filter(|s| FAULT_KINDS.contains(&s.kind))
+                        .count();
+                    if faults > 0 {
+                        faulted_runs += 1;
+                        fault_spans_present &= fault_spans > 0;
+                    }
+                    if seed.is_none() && sample_telemetry.is_empty() {
+                        sample_telemetry = report.telemetry.to_string();
+                    }
+                    TraceRow {
+                        shard,
+                        d,
+                        seed,
+                        outcome: if faults > 0 { "recovered" } else { "clean" },
+                        spans: spans.len(),
+                        json_bytes: json.len(),
+                        deterministic,
+                        reconciled,
+                        fault_spans,
+                    }
+                }
+                Err(SolveError::Fault(_)) => {
+                    // A surfaced fault is a legal chaos outcome; the
+                    // partial trace must still replay byte-for-byte.
+                    let fault_spans = spans
+                        .iter()
+                        .filter(|s| FAULT_KINDS.contains(&s.kind))
+                        .count();
+                    TraceRow {
+                        shard,
+                        d,
+                        seed,
+                        outcome: "fault",
+                        spans: spans.len(),
+                        json_bytes: json.len(),
+                        deterministic,
+                        reconciled: true,
+                        fault_spans,
+                    }
+                }
+                Err(e) => panic!("the trace sweep must fail typed, got: {e}"),
+            };
+            rows.push(row);
+        }
+    }
+
+    TraceSweep {
+        rows,
+        all_deterministic,
+        all_reconciled,
+        noop_identical,
+        faulted_runs,
+        fault_spans_present,
+        sample_telemetry,
+    }
+}
+
+/// Render the trace sweep in markdown.
+pub fn format_trace_sweep(sweep: &TraceSweep) -> String {
+    let mut s = String::new();
+    s.push_str(
+        "### Trace — deterministic spans over the modeled timeline (16 paths, dim-4 system)\n\n",
+    );
+    s.push_str(
+        "| shard | D | fault seed | outcome | spans | trace bytes | byte-identical | reconciled | fault spans |\n",
+    );
+    s.push_str(
+        "|-------|--:|-----------:|---------|------:|------------:|----------------|------------|------------:|\n",
+    );
+    for r in &sweep.rows {
+        s.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} |\n",
+            r.shard,
+            r.d,
+            r.seed.map_or("-".to_string(), |v| v.to_string()),
+            r.outcome,
+            r.spans,
+            r.json_bytes,
+            if r.deterministic { "yes" } else { "NO" },
+            if r.reconciled { "yes" } else { "NO" },
+            r.fault_spans
+        ));
+    }
+    s.push_str(&format!(
+        "\n{} runs, {} finished under faults; no-op tracer bit-identity: {}\n",
+        sweep.rows.len(),
+        sweep.faulted_runs,
+        if sweep.noop_identical {
+            "holds"
+        } else {
+            "BROKEN"
+        }
+    ));
+    s
+}
+
 /// Fixture for the batch benches: a batched evaluator at `capacity`
 /// plus matching random points.
 pub fn batch_fixture(
@@ -1620,6 +1904,22 @@ mod tests {
         let s = format_chaos_sweep(&sweep);
         assert!(s.contains("recovered"));
         assert!(s.contains("worst recovery share"));
+    }
+
+    #[test]
+    fn trace_sweep_passes_its_gates() {
+        let sweep = trace_sweep();
+        assert_eq!(sweep.rows.len(), 8, "2 cluster shapes x (clean + 3 seeds)");
+        assert!(sweep.all_deterministic, "{sweep:?}");
+        assert!(sweep.all_reconciled, "{sweep:?}");
+        assert!(sweep.noop_identical, "{sweep:?}");
+        assert!(sweep.faulted_runs > 0, "{sweep:?}");
+        assert!(sweep.fault_spans_present, "{sweep:?}");
+        assert!(sweep.passes());
+        assert!(!sweep.sample_telemetry.is_empty());
+        let s = format_trace_sweep(&sweep);
+        assert!(s.contains("byte-identical"));
+        assert!(s.contains("no-op tracer bit-identity: holds"));
     }
 
     #[test]

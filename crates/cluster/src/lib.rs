@@ -56,8 +56,10 @@ use polygpu_core::engine::{
 use polygpu_core::pipeline::{FaultConfig, GpuOptions, PipelineStats, SetupError};
 use polygpu_core::{BatchError, BatchGpuEvaluator};
 use polygpu_gpusim::prelude::{DeviceSpec, FaultKind, FaultStats, RecoveryPolicy};
+use polygpu_obs::{MetaValue, MetricsRegistry, SpanKind, TraceSink, Track};
 use polygpu_polysys::{AdEvaluator, BatchSystemEvaluator, System, SystemEval, SystemEvaluator};
 use rayon::prelude::*;
+use std::fmt;
 
 /// Configuration of a [`ShardedBatchEvaluator`].
 #[derive(Debug, Clone)]
@@ -150,6 +152,32 @@ impl ClusterStats {
             1.0
         }
     }
+
+    /// Fold this struct into a [`MetricsRegistry`] under `prefix`.
+    pub fn record_metrics(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        reg.counter(&format!("{prefix}.evaluations"), self.evaluations);
+        reg.counter(&format!("{prefix}.batches"), self.batches);
+        reg.counter(&format!("{prefix}.devices_lost"), self.devices_lost as u64);
+        reg.gauge(&format!("{prefix}.wall_seconds"), self.wall_seconds);
+        reg.gauge(&format!("{prefix}.imbalance"), self.imbalance());
+        self.fault.record_metrics(reg, &format!("{prefix}.fault"));
+    }
+}
+
+impl fmt::Display for ClusterStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "  evaluations           {:>12}", self.evaluations)?;
+        writeln!(f, "  batches               {:>12}", self.batches)?;
+        writeln!(f, "  devices               {:>12}", self.device_wall.len())?;
+        writeln!(f, "  devices lost          {:>12}", self.devices_lost)?;
+        writeln!(f, "  wall seconds          {:>12.3e}", self.wall_seconds)?;
+        writeln!(f, "  imbalance             {:>12.3}", self.imbalance())?;
+        write!(
+            f,
+            "  throughput (evals/s)  {:>12.3e}",
+            self.throughput_evals_per_sec()
+        )
+    }
 }
 
 /// [`BatchSystemEvaluator`] over `D` per-device batched engines.
@@ -166,6 +194,9 @@ pub struct ShardedBatchEvaluator<R: Real> {
     /// Retained for the CPU-reference fallback, which is bit-identical
     /// to the GPU path in double precision.
     system: System<R>,
+    /// Cluster-level span sink ([`Track::Cluster`]); each device engine
+    /// carries its own sink retargeted to its [`Track::Device`].
+    trace: TraceSink,
 }
 
 /// What one device reported for its shard in one recovery round.
@@ -209,6 +240,9 @@ impl<R: Real> ShardedBatchEvaluator<R> {
                     plan: f.plan,
                     device_index: d,
                 }),
+                // Silenced during calibration; retargeted to this
+                // device's track below.
+                trace: TraceSink::noop(),
                 ..opts.base.clone()
             };
             let mut dev = BatchGpuEvaluator::new(system, per_device_capacity, gopts)?;
@@ -222,6 +256,7 @@ impl<R: Real> ShardedBatchEvaluator<R> {
             dev.set_fault_armed(true);
             let spp = dev.stats().wall_clock_seconds();
             dev.reset_stats();
+            dev.set_trace(opts.base.trace.on(Track::Device(d as u32)));
             devices.push(dev);
             weights.push(DeviceWeight {
                 capacity: per_device_capacity,
@@ -237,6 +272,7 @@ impl<R: Real> ShardedBatchEvaluator<R> {
             n,
             recovery: opts.recovery,
             system: system.clone(),
+            trace: opts.base.trace.on(Track::Cluster),
         })
     }
 
@@ -338,6 +374,10 @@ impl<R: Real> ShardedBatchEvaluator<R> {
         let mut batch_wall = 0.0f64;
         let mut todo: Vec<usize> = (0..p).collect();
         let recovery = self.recovery;
+        // Cluster-track spans run on the cluster's own modeled clock
+        // (rounds are sequential, so `wall0 + batch_wall` is the current
+        // round's start).
+        let wall0 = self.stats.wall_seconds;
 
         while !todo.is_empty() {
             let live: Vec<usize> = (0..ndev).filter(|&d| !excluded[d]).collect();
@@ -348,6 +388,13 @@ impl<R: Real> ShardedBatchEvaluator<R> {
                 // surface the degradation as a typed error.
                 if recovery.cpu_fallback {
                     fault.failovers += 1;
+                    self.trace.emit(
+                        SpanKind::Fallback,
+                        wall0 + batch_wall,
+                        0.0,
+                        4,
+                        &[("points", MetaValue::U64(todo.len() as u64))],
+                    );
                     let mut cpu = AdEvaluator::new(self.system.clone())
                         .expect("system already validated by the device engines");
                     for &i in &todo {
@@ -448,12 +495,44 @@ impl<R: Real> ShardedBatchEvaluator<R> {
             let mut round_wall = 0.0f64;
             for o in outcomes {
                 let completed = o.done.len();
+                let shard_points = o.indices.len();
                 for (&i, e) in o.indices.iter().zip(o.done) {
                     merged[i] = Some(e);
                 }
                 fault.retries += o.retries;
                 fault.recovery_seconds += o.backoff;
                 let dev_wall = o.wall + o.backoff;
+                self.trace.emit(
+                    SpanKind::Shard,
+                    wall0 + batch_wall,
+                    dev_wall,
+                    4,
+                    &[
+                        ("device", MetaValue::U64(o.device as u64)),
+                        ("points", MetaValue::U64(shard_points as u64)),
+                    ],
+                );
+                if o.retries > 0 {
+                    self.trace.emit(
+                        SpanKind::Retry,
+                        wall0 + batch_wall + o.wall,
+                        0.0,
+                        5,
+                        &[
+                            ("device", MetaValue::U64(o.device as u64)),
+                            ("attempts", MetaValue::U64(o.retries)),
+                        ],
+                    );
+                }
+                if o.backoff > 0.0 {
+                    self.trace.emit(
+                        SpanKind::Backoff,
+                        wall0 + batch_wall + o.wall,
+                        o.backoff,
+                        5,
+                        &[("device", MetaValue::U64(o.device as u64))],
+                    );
+                }
                 round_wall = round_wall.max(dev_wall);
                 self.stats.device_wall[o.device] += dev_wall;
                 self.stats.device_evals[o.device] += completed as u64;
@@ -482,6 +561,13 @@ impl<R: Real> ShardedBatchEvaluator<R> {
             batch_wall += round_wall;
         }
 
+        self.trace.emit(
+            SpanKind::Batch,
+            wall0,
+            batch_wall,
+            3,
+            &[("points", MetaValue::U64(p as u64))],
+        );
         self.stats.fault.merge(&fault);
         self.stats.evaluations += p as u64;
         self.stats.batches += 1;
@@ -937,6 +1023,63 @@ mod tests {
             assert_eq!(g.jacobian.as_slice(), w.jacobian.as_slice());
         }
         assert!(saved.cluster_stats().fault.failovers > 0);
+    }
+
+    /// Satellite: ratio helpers must be total on empty runs.
+    #[test]
+    fn empty_cluster_stats_ratios_are_total() {
+        let s = ClusterStats::default();
+        assert_eq!(s.throughput_evals_per_sec(), 0.0);
+        assert_eq!(s.imbalance(), 1.0);
+        assert!(!format!("{s}").is_empty());
+    }
+
+    /// Cluster spans: the Batch span on `Track::Cluster` covers the
+    /// batch wall clock, Shard spans cover each device's share, and the
+    /// exported trace is byte-identical across identical runs.
+    #[test]
+    fn cluster_trace_reconciles_and_is_deterministic() {
+        use polygpu_obs::{chrome_trace_json, CollectingTracer, SpanKind, TraceSink, Track};
+        use std::sync::Arc;
+        let prm = small_params(5);
+        let sys = random_system::<f64>(&prm);
+        let points = random_points::<f64>(8, 24, 7);
+        let run = || {
+            let tracer = Arc::new(CollectingTracer::new());
+            let mut opts = ClusterOptions::default();
+            opts.base.trace = TraceSink::new(tracer.clone());
+            let mut cluster = ShardedBatchEvaluator::new(&sys, &hetero_specs(2), 16, opts).unwrap();
+            let _ = cluster.evaluate_batch(&points);
+            (tracer.spans(), cluster.cluster_stats())
+        };
+        let (spans, stats) = run();
+        let batch: Vec<_> = spans
+            .iter()
+            .filter(|s| s.track == Track::Cluster && s.kind == SpanKind::Batch)
+            .collect();
+        assert_eq!(batch.len(), 1);
+        assert!((batch[0].dur - stats.wall_seconds).abs() < 1e-12);
+        let shards = spans
+            .iter()
+            .filter(|s| s.track == Track::Cluster && s.kind == SpanKind::Shard)
+            .count();
+        assert_eq!(shards, 2, "one Shard span per participating device");
+        // Calibration probes are silenced: device tracks carry exactly
+        // the real batch's ops, so each device Batch span reconciles
+        // with that device's wall clock.
+        for (d, dev) in stats.device_wall.iter().enumerate() {
+            let dev_spans: f64 = spans
+                .iter()
+                .filter(|s| s.track == Track::Device(d as u32) && s.kind == SpanKind::Batch)
+                .map(|s| s.dur)
+                .sum();
+            assert!(
+                (dev_spans - dev).abs() < 1e-12,
+                "device {d}: spans {dev_spans} vs wall {dev}"
+            );
+        }
+        let (again, _) = run();
+        assert_eq!(chrome_trace_json(&spans), chrome_trace_json(&again));
     }
 
     #[test]

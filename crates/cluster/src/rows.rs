@@ -35,12 +35,15 @@ use polygpu_core::engine::{
 use polygpu_core::layout::encoding::EncodedSupports;
 use polygpu_core::pipeline::{FaultConfig, GpuOptions, PipelineStats, SetupError};
 use polygpu_core::{BatchError, BatchGpuEvaluator};
+use polygpu_gpusim::obs::emit_gather_timeline;
 use polygpu_gpusim::prelude::*;
-use polygpu_gpusim::stream::{gather_timeline, transfer_legs, TransferPath};
+use polygpu_gpusim::stream::{gather_timeline, transfer_legs, Timeline, TransferPath};
+use polygpu_obs::{MetaValue, MetricsRegistry, SpanKind, TraceSink, Track};
 use polygpu_polysys::{
     AdEvaluator, BatchSystemEvaluator, System, SystemEval, SystemEvaluator, UniformShape,
 };
 use rayon::prelude::*;
+use std::fmt;
 
 /// Split `rows` equation indices over `d` devices. Every row appears in
 /// exactly one shard; shards may be empty when `d > rows`.
@@ -152,6 +155,40 @@ impl RowClusterStats {
             0.0
         }
     }
+
+    /// Fold this struct into a [`MetricsRegistry`] under `prefix`.
+    pub fn record_metrics(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        reg.counter(&format!("{prefix}.evaluations"), self.evaluations);
+        reg.counter(&format!("{prefix}.batches"), self.batches);
+        reg.counter(&format!("{prefix}.devices_lost"), self.devices_lost as u64);
+        reg.gauge(&format!("{prefix}.wall_seconds"), self.wall_seconds);
+        reg.gauge(&format!("{prefix}.compute_seconds"), self.compute_seconds);
+        reg.gauge(&format!("{prefix}.gather_seconds"), self.gather_seconds);
+        reg.gauge(&format!("{prefix}.gather_fraction"), self.gather_fraction());
+        self.fault.record_metrics(reg, &format!("{prefix}.fault"));
+    }
+}
+
+impl fmt::Display for RowClusterStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "  evaluations           {:>12}", self.evaluations)?;
+        writeln!(f, "  batches               {:>12}", self.batches)?;
+        writeln!(f, "  devices               {:>12}", self.device_rows.len())?;
+        writeln!(f, "  devices lost          {:>12}", self.devices_lost)?;
+        writeln!(f, "  wall seconds          {:>12.3e}", self.wall_seconds)?;
+        writeln!(f, "  compute seconds       {:>12.3e}", self.compute_seconds)?;
+        writeln!(f, "  gather seconds        {:>12.3e}", self.gather_seconds)?;
+        writeln!(
+            f,
+            "  gather fraction       {:>12.3}",
+            self.gather_fraction()
+        )?;
+        write!(
+            f,
+            "  throughput (evals/s)  {:>12.3e}",
+            self.throughput_evals_per_sec()
+        )
+    }
 }
 
 /// One participating device of a [`RowShardedEvaluator`]: its engine
@@ -194,6 +231,9 @@ pub struct RowShardedEvaluator<R: Real> {
     fleet: usize,
     /// Devices dropped by faults (sticky for the evaluator's life).
     lost_devices: usize,
+    /// Cluster-level span sink ([`Track::Cluster`]); each shard engine
+    /// carries its own sink on its device's track.
+    trace: TraceSink,
 }
 
 impl<R: Real> RowShardedEvaluator<R> {
@@ -225,6 +265,7 @@ impl<R: Real> RowShardedEvaluator<R> {
                     plan: f.plan,
                     device_index,
                 }),
+                trace: opts.base.trace.on(Track::Device(device_index as u32)),
                 ..opts.base.clone()
             };
             let engine = BatchGpuEvaluator::new(&block, capacity, gopts)?;
@@ -242,6 +283,7 @@ impl<R: Real> RowShardedEvaluator<R> {
             rows: system.rows(),
             recovery: opts.recovery,
             system: system.clone(),
+            trace: opts.base.trace.on(Track::Cluster),
             base: GpuOptions {
                 overlap_chunks: opts.overlap_chunks,
                 ..opts.base.clone()
@@ -288,6 +330,7 @@ impl<R: Real> RowShardedEvaluator<R> {
             rows: system.rows(),
             recovery,
             system: system.clone(),
+            trace: base.trace.on(Track::Cluster),
             base,
             capacity,
             fleet,
@@ -340,9 +383,9 @@ impl<R: Real> RowShardedEvaluator<R> {
     /// root device: the [`gather_timeline`] makespan over one transfer
     /// leg pair per non-root shard (`p · rows_d · (n + 1)` result
     /// elements each).
-    fn gather_seconds(&self, p: usize) -> f64 {
+    fn gather_schedule(&self, p: usize) -> Option<Timeline> {
         if self.shards.len() <= 1 {
-            return 0.0;
+            return None;
         }
         let elem = <Complex<R> as DeviceValue>::DEVICE_BYTES;
         let root = self.shards[0].engine.device().clone();
@@ -353,7 +396,7 @@ impl<R: Real> RowShardedEvaluator<R> {
                 transfer_legs(s.engine.device(), &root, bytes, self.gather)
             })
             .collect();
-        gather_timeline(&legs).elapsed_seconds()
+        Some(gather_timeline(&legs))
     }
 
     /// Re-plan every row over the surviving devices (`keep[d]` per
@@ -388,6 +431,7 @@ impl<R: Real> RowShardedEvaluator<R> {
                     plan: f.plan,
                     device_index,
                 }),
+                trace: self.base.trace.on(Track::Device(device_index as u32)),
                 ..self.base.clone()
             };
             let engine = BatchGpuEvaluator::new(&block, self.capacity, gopts).ok()?;
@@ -465,6 +509,10 @@ impl<R: Real> RowShardedEvaluator<R> {
             .collect();
         let mut fault = FaultStats::default();
         let mut compute_wall = 0.0f64;
+        // Cluster-track spans run on the cluster's own modeled clock
+        // (rounds are sequential, so `wall0 + compute_wall` is the
+        // current round's start).
+        let wall0 = self.stats.wall_seconds;
         loop {
             // Every shard runs the full point batch concurrently on the
             // host pool (the rayon shim preserves input order, so
@@ -517,6 +565,37 @@ impl<R: Real> RowShardedEvaluator<R> {
                 fault.retries += o.retries;
                 fault.recovery_seconds += o.backoff;
                 let dev_wall = o.wall + o.backoff;
+                self.trace.emit(
+                    SpanKind::Shard,
+                    wall0 + compute_wall,
+                    dev_wall,
+                    4,
+                    &[
+                        ("device", MetaValue::U64(self.shards[d].device_index as u64)),
+                        ("rows", MetaValue::U64(self.shards[d].rows.len() as u64)),
+                    ],
+                );
+                if o.retries > 0 {
+                    self.trace.emit(
+                        SpanKind::Retry,
+                        wall0 + compute_wall + o.wall,
+                        0.0,
+                        5,
+                        &[
+                            ("device", MetaValue::U64(self.shards[d].device_index as u64)),
+                            ("attempts", MetaValue::U64(o.retries)),
+                        ],
+                    );
+                }
+                if o.backoff > 0.0 {
+                    self.trace.emit(
+                        SpanKind::Backoff,
+                        wall0 + compute_wall + o.wall,
+                        o.backoff,
+                        5,
+                        &[("device", MetaValue::U64(self.shards[d].device_index as u64))],
+                    );
+                }
                 round_wall = round_wall.max(dev_wall);
                 self.stats.device_wall[d] += dev_wall;
                 match o.result {
@@ -555,12 +634,21 @@ impl<R: Real> RowShardedEvaluator<R> {
             self.lost_devices += keep.iter().filter(|&&k| !k).count();
             match self.rebuild_over_survivors(&keep) {
                 Some(reencode) => {
+                    self.trace
+                        .emit(SpanKind::Reencode, wall0 + compute_wall, reencode, 4, &[]);
                     fault.recovery_seconds += reencode;
                     compute_wall += reencode;
                 }
                 None => {
                     if recovery.cpu_fallback {
                         fault.failovers += 1;
+                        self.trace.emit(
+                            SpanKind::Fallback,
+                            wall0 + compute_wall,
+                            0.0,
+                            4,
+                            &[("points", MetaValue::U64(p as u64))],
+                        );
                         let mut cpu = AdEvaluator::new(self.system.clone())
                             .expect("system already validated by the device engines");
                         for (i, x) in points.iter().enumerate() {
@@ -579,7 +667,20 @@ impl<R: Real> RowShardedEvaluator<R> {
             }
         }
 
-        let gather = self.gather_seconds(p);
+        let gather = match self.gather_schedule(p) {
+            Some(tl) => {
+                emit_gather_timeline(&self.trace, &tl, wall0 + compute_wall, 4);
+                tl.elapsed_seconds()
+            }
+            None => 0.0,
+        };
+        self.trace.emit(
+            SpanKind::Batch,
+            wall0,
+            compute_wall + gather,
+            3,
+            &[("points", MetaValue::U64(p as u64))],
+        );
         self.stats.fault.merge(&fault);
         self.stats.evaluations += p as u64;
         self.stats.batches += 1;
@@ -918,6 +1019,7 @@ impl<R: Real> ClusterSession<R> {
                         plan: f.plan,
                         device_index: *d,
                     }),
+                    trace: self.base.trace.on(Track::Device(*d as u32)),
                     ..self.base.clone()
                 };
                 let enc = EncodedSupports::upload(&block, &mut staged[j], self.base.encoding)
@@ -1215,6 +1317,60 @@ mod tests {
             walls[1],
             walls[0]
         );
+    }
+
+    /// Satellite: ratio helpers must be total on empty runs.
+    #[test]
+    fn empty_row_cluster_stats_ratios_are_total() {
+        let s = RowClusterStats::default();
+        assert_eq!(s.throughput_evals_per_sec(), 0.0);
+        assert_eq!(s.gather_fraction(), 0.0);
+        assert!(!format!("{s}").is_empty());
+    }
+
+    /// Rows-mode spans: the cluster Batch span covers compute + gather,
+    /// Gather spans cover the inter-device crossing, and the exported
+    /// trace is byte-identical across identical runs.
+    #[test]
+    fn row_cluster_trace_reconciles_and_is_deterministic() {
+        use polygpu_obs::{chrome_trace_json, CollectingTracer, SpanKind, TraceSink, Track};
+        use std::sync::Arc;
+        let prm = params(8, 4, 3, 2, 7);
+        let sys = random_system::<f64>(&prm);
+        let points = random_points::<f64>(8, 5, 3);
+        let run = || {
+            let tracer = Arc::new(CollectingTracer::new());
+            let mut opts = RowClusterOptions::default();
+            opts.base.trace = TraceSink::new(tracer.clone());
+            let mut cluster = RowShardedEvaluator::new(&sys, &hetero_specs(3), 8, opts).unwrap();
+            let _ = cluster.evaluate_batch(&points);
+            (tracer.spans(), cluster.cluster_stats())
+        };
+        let (spans, stats) = run();
+        let batch: Vec<_> = spans
+            .iter()
+            .filter(|s| s.track == Track::Cluster && s.kind == SpanKind::Batch)
+            .collect();
+        assert_eq!(batch.len(), 1);
+        assert!((batch[0].dur - stats.wall_seconds).abs() < 1e-12);
+        let gather_spans: f64 = spans
+            .iter()
+            .filter(|s| s.track == Track::Cluster && s.kind == SpanKind::Gather)
+            .map(|s| s.start + s.dur)
+            .fold(0.0, f64::max);
+        // The last gather op ends exactly at the batch's wall clock.
+        assert!(
+            (gather_spans - (batch[0].start + batch[0].dur)).abs() < 1e-12,
+            "gather tail {gather_spans} vs batch end {}",
+            batch[0].start + batch[0].dur
+        );
+        let shards = spans
+            .iter()
+            .filter(|s| s.track == Track::Cluster && s.kind == SpanKind::Shard)
+            .count();
+        assert_eq!(shards, 3, "one Shard span per participating device");
+        let (again, _) = run();
+        assert_eq!(chrome_trace_json(&spans), chrome_trace_json(&again));
     }
 
     #[test]

@@ -30,8 +30,10 @@ use crate::layout::encoding::EncodedSupports;
 use crate::layout::mons::{q_deriv, q_value};
 use crate::pipeline::{inject, GpuOptions, PipelineStats, SetupError};
 use polygpu_complex::{Complex, Real};
+use polygpu_gpusim::obs::emit_timeline;
 use polygpu_gpusim::prelude::*;
 use polygpu_gpusim::stream::pipeline_timeline;
+use polygpu_obs::{Lane, MetaValue, SpanKind, TraceSink};
 use polygpu_polysys::{BatchSystemEvaluator, System, SystemEval, SystemEvaluator, UniformShape};
 use std::fmt;
 
@@ -229,14 +231,29 @@ impl<R: Real> BatchGpuEvaluator<R> {
         // point-major grid only adds more identical blocks.
         let probe = vec![vec![Complex::<R>::one(); shape.n]];
         // The injector is disarmed during construction, so the probe
-        // cannot fault.
+        // cannot fault; the trace sink is detached so the probe leaves
+        // no spans behind.
+        let sink = std::mem::take(&mut me.opts.trace);
         me.try_evaluate_batch(&probe).map_err(|e| match e {
             BatchError::Launch(l) => SetupError::Launch(l),
             other => unreachable!("validation probe is within the batch contract: {other}"),
         })?;
         me.stats = PipelineStats::default();
         me.set_fault_armed(true);
+        me.opts.trace = sink;
         Ok(me)
+    }
+
+    /// Replace this engine's trace sink — how the cluster detaches
+    /// tracing around calibration probes and retargets per-device sinks
+    /// after failover rebuilds.
+    pub fn set_trace(&mut self, sink: TraceSink) {
+        self.opts.trace = sink;
+    }
+
+    /// This engine's current trace sink.
+    pub fn trace(&self) -> &TraceSink {
+        &self.opts.trace
     }
 
     /// Arm or disarm fault injection (no-op without a configured
@@ -335,6 +352,9 @@ impl<R: Real> BatchGpuEvaluator<R> {
         }
         let elem = <Complex<R> as DeviceValue>::DEVICE_BYTES;
         let h2d = transfer_seconds(&self.device, p * shape.n * elem);
+        // This device's clock before the round trip — the origin of the
+        // spans emitted below.
+        let wall0 = self.stats.wall_seconds;
         let mut elapsed = 0.0;
         self.fault_check(OpClass::HostToDevice, h2d, elapsed)?;
         self.global.host_write(self.vars, 0, &self.vars_scratch);
@@ -429,6 +449,18 @@ impl<R: Real> BatchGpuEvaluator<R> {
             self.stats.overhead_seconds += overhead;
             self.stats.transfer_seconds += transfer;
             self.stats.wall_seconds += transfer + kernel_total + overhead;
+            if self.opts.trace.enabled() {
+                let tr = &self.opts.trace;
+                tr.lane(Lane::H2D)
+                    .emit(SpanKind::Upload, wall0, h2d, 4, &[]);
+                let mut t = wall0 + h2d;
+                for r in &self.last_reports {
+                    let d = r.timing.total_seconds();
+                    tr.lane(Lane::Compute).emit(SpanKind::Launch, t, d, 4, &[]);
+                    t += d;
+                }
+                tr.lane(Lane::D2H).emit(SpanKind::Download, t, d2h, 4, &[]);
+            }
         } else {
             // Stream-overlap model: the batch is split into `chunks`
             // near-equal slices; each slice's upload, three launches and
@@ -441,7 +473,15 @@ impl<R: Real> BatchGpuEvaluator<R> {
             self.stats.overhead_seconds += 3.0 * chunks as f64 * self.device.launch_overhead;
             self.stats.transfer_seconds += h2d.iter().sum::<f64>() + d2h.iter().sum::<f64>();
             self.stats.wall_seconds += tl.elapsed_seconds();
+            emit_timeline(&self.opts.trace, &tl, wall0, 4);
         }
+        self.opts.trace.emit(
+            SpanKind::Batch,
+            wall0,
+            self.stats.wall_seconds - wall0,
+            3,
+            &[("points", MetaValue::U64(p as u64))],
+        );
         Ok(evals)
     }
 
@@ -530,6 +570,7 @@ impl<R: Real> BatchGpuEvaluator<R> {
             class,
             op_seconds,
             elapsed,
+            &self.opts.trace,
         )
     }
 }

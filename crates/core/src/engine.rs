@@ -54,11 +54,13 @@ use crate::pipeline::{FaultConfig, GpuEvaluator, GpuOptions, PipelineStats, Setu
 use polygpu_complex::{Complex, Real};
 use polygpu_gpusim::prelude::*;
 use polygpu_gpusim::stream::TransferPath;
+use polygpu_obs::{TraceSink, Tracer, Track};
 use polygpu_polysys::{
     loop_evaluate_batch, AdEvaluator, BatchSystemEvaluator, NaiveEvaluator, System, SystemError,
     SystemEval, SystemEvaluator, UniformShape,
 };
 use std::fmt;
+use std::sync::Arc;
 
 // ---------------------------------------------------------------------
 // The unified evaluator trait
@@ -570,7 +572,11 @@ pub struct ClusterSpec {
 /// below the cluster crate in the layer stack, so the concrete
 /// multi-device engine is injected: `polygpu-cluster` provides the
 /// `Sharded` provider and the `polygpu` facade installs it by default.
-pub trait ClusterProvider {
+///
+/// Providers are `Clone` so a spec (and the [`EngineBuilder`] holding
+/// it) can be re-provisioned per precision pass — both shipped
+/// providers are zero-sized.
+pub trait ClusterProvider: Clone {
     fn build<R: Real>(
         &self,
         system: &System<R>,
@@ -619,6 +625,7 @@ impl Engine {
             launch: LaunchOptions::default(),
             fault: None,
             recovery: RecoveryPolicy::default(),
+            trace: TraceSink::noop(),
             provider,
         }
     }
@@ -643,6 +650,7 @@ pub struct EngineBuilder<P: ClusterProvider = NoCluster> {
     launch: LaunchOptions,
     fault: Option<FaultPlan>,
     recovery: RecoveryPolicy,
+    trace: TraceSink,
     provider: P,
 }
 
@@ -739,6 +747,41 @@ impl<P: ClusterProvider> EngineBuilder<P> {
         self
     }
 
+    /// Install a [`Tracer`]: every engine built from this spec emits
+    /// its device-op spans (uploads, launches, downloads, fault
+    /// windows) into it, timestamped on the **modeled** clock. The
+    /// default is a no-op sink; installing one changes no modeled
+    /// timing or numeric result.
+    ///
+    /// ```
+    /// use polygpu_core::engine::{Backend, Engine};
+    /// use polygpu_obs::CollectingTracer;
+    /// use polygpu_polysys::{random_point, random_system, BenchmarkParams};
+    /// use std::sync::Arc;
+    ///
+    /// let params = BenchmarkParams { n: 2, m: 2, k: 2, d: 2, seed: 1 };
+    /// let system = random_system::<f64>(&params);
+    /// let tracer = Arc::new(CollectingTracer::new());
+    /// let mut engine = Engine::builder()
+    ///     .backend(Backend::GpuBatch { capacity: 2 })
+    ///     .tracer(tracer.clone())
+    ///     .build::<f64>(&system)
+    ///     .unwrap();
+    /// engine.try_evaluate(&random_point::<f64>(2, 7)).unwrap();
+    /// assert!(!tracer.spans().is_empty(), "device ops were recorded");
+    /// ```
+    pub fn tracer(self, tracer: Arc<dyn Tracer>) -> Self {
+        self.trace_sink(TraceSink::new(tracer))
+    }
+
+    /// Install an already-targeted [`TraceSink`] — the seam the solver
+    /// uses to thread one request-level sink (possibly rebased for an
+    /// escalation pass) into the engines it builds.
+    pub fn trace_sink(mut self, sink: TraceSink) -> Self {
+        self.trace = sink;
+        self
+    }
+
     /// The per-device options this spec resolves to (shared by every
     /// backend that models a device).
     fn gpu_options(&self, device: DeviceSpec) -> GpuOptions {
@@ -753,6 +796,9 @@ impl<P: ClusterProvider> EngineBuilder<P> {
                 plan,
                 device_index: 0,
             }),
+            // Single-device engines are device 0 of their track space;
+            // cluster providers retarget per fleet index.
+            trace: self.trace.on(Track::Device(0)),
         }
     }
 

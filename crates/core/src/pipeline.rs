@@ -15,6 +15,7 @@ use crate::layout::encoding::{EncodeError, EncodedSupports, EncodingKind};
 use crate::layout::mons::{mons_len, q_deriv, q_value};
 use polygpu_complex::{Complex, Real};
 use polygpu_gpusim::prelude::*;
+use polygpu_obs::{Lane, MetaValue, MetricsRegistry, SpanKind, TraceSink};
 use polygpu_polysys::{BatchSystemEvaluator, System, SystemEval, SystemEvaluator, UniformShape};
 use std::fmt;
 
@@ -59,6 +60,12 @@ pub struct GpuOptions {
     /// surfaces as [`BatchError::Fault`] with its detection latency
     /// charged to the wall clock.
     pub fault: Option<FaultConfig>,
+    /// Observability sink this engine emits its device-op spans into
+    /// (uploads, launches, downloads, fault-detection windows), on the
+    /// modeled clock. The default no-op sink records nothing and
+    /// changes nothing — modeled timings and results stay bit-identical
+    /// to an untraced run.
+    pub trace: TraceSink,
 }
 
 impl Default for GpuOptions {
@@ -71,6 +78,7 @@ impl Default for GpuOptions {
             overlap_chunks: Some(1),
             launch: LaunchOptions::default(),
             fault: None,
+            trace: TraceSink::noop(),
         }
     }
 }
@@ -189,6 +197,52 @@ impl PipelineStats {
             0.0
         }
     }
+
+    /// Record these stats into a metrics registry under `prefix`
+    /// (`{prefix}.evaluations`, `{prefix}.wall_seconds`, …).
+    pub fn record_metrics(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        reg.counter(&format!("{prefix}.evaluations"), self.evaluations);
+        reg.counter(&format!("{prefix}.batches"), self.batches);
+        reg.counter(&format!("{prefix}.flops"), self.counters.flops);
+        reg.counter(
+            &format!("{prefix}.global_bytes"),
+            self.counters.global_bytes,
+        );
+        reg.gauge(&format!("{prefix}.kernel_seconds"), self.kernel_seconds);
+        reg.gauge(&format!("{prefix}.overhead_seconds"), self.overhead_seconds);
+        reg.gauge(&format!("{prefix}.transfer_seconds"), self.transfer_seconds);
+        reg.gauge(&format!("{prefix}.wall_seconds"), self.wall_clock_seconds());
+        reg.gauge(&format!("{prefix}.overlap_savings"), self.overlap_savings());
+        self.fault.record_metrics(reg, &format!("{prefix}.fault"));
+    }
+}
+
+impl fmt::Display for PipelineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "  evaluations           {:>12}", self.evaluations)?;
+        writeln!(f, "  batches               {:>12}", self.batches)?;
+        writeln!(f, "  kernel seconds        {:>12.3e}", self.kernel_seconds)?;
+        writeln!(
+            f,
+            "  overhead seconds      {:>12.3e}",
+            self.overhead_seconds
+        )?;
+        writeln!(
+            f,
+            "  transfer seconds      {:>12.3e}",
+            self.transfer_seconds
+        )?;
+        writeln!(
+            f,
+            "  wall-clock seconds    {:>12.3e}",
+            self.wall_clock_seconds()
+        )?;
+        write!(
+            f,
+            "  throughput (evals/s)  {:>12.3e}",
+            self.throughput_evals_per_sec()
+        )
+    }
 }
 
 /// Consult `injector` (if any) for the next modeled operation; on a
@@ -204,9 +258,23 @@ pub(crate) fn inject(
     class: OpClass,
     op_seconds: f64,
     elapsed: f64,
+    trace: &TraceSink,
 ) -> Result<(), BatchError> {
     if let Some(inj) = injector.as_mut() {
         if let Some(fe) = inj.check(class, device, op_seconds) {
+            // The detection window starts where the struck operation
+            // would have: after the ops already completed this round
+            // trip, on this device's clock.
+            trace.lane(Lane::Fault).emit(
+                SpanKind::Detect,
+                stats.wall_seconds + elapsed,
+                fe.detection_seconds,
+                5,
+                &[
+                    ("device", MetaValue::U64(fe.device as u64)),
+                    ("op", MetaValue::U64(fe.op_index)),
+                ],
+            );
             stats.fault.faults += 1;
             stats.fault.recovery_seconds += fe.detection_seconds;
             stats.wall_seconds += elapsed + fe.detection_seconds;
@@ -276,7 +344,9 @@ impl<R: Real> GpuEvaluator<R> {
             opts,
         };
         // Validation pass at the origin: exercises all three launches.
-        // The injector is disarmed here, so the probe cannot fault.
+        // The injector is disarmed here, so the probe cannot fault; the
+        // trace sink is detached so the probe leaves no spans behind.
+        let sink = std::mem::take(&mut me.opts.trace);
         let probe = vec![Complex::<R>::one(); shape.n];
         me.try_evaluate(&probe).map_err(|e| match e {
             BatchError::Launch(l) => SetupError::Launch(l),
@@ -284,6 +354,7 @@ impl<R: Real> GpuEvaluator<R> {
         })?;
         me.stats = PipelineStats::default();
         me.set_fault_armed(true);
+        me.opts.trace = sink;
         Ok(me)
     }
 
@@ -345,6 +416,9 @@ impl<R: Real> GpuEvaluator<R> {
         }
         let elem = <Complex<R> as DeviceValue>::DEVICE_BYTES;
         let h2d = transfer_seconds(&self.device, shape.n * elem);
+        // This device's clock before the round trip — the origin of the
+        // spans emitted below.
+        let wall0 = self.stats.wall_seconds;
         let mut elapsed = 0.0;
         self.fault_check(OpClass::HostToDevice, h2d, elapsed)?;
         self.global.host_write(self.vars, 0, x);
@@ -431,6 +505,26 @@ impl<R: Real> GpuEvaluator<R> {
             self.stats.wall_seconds += r.timing.total_seconds();
         }
         self.stats.wall_seconds += transfer;
+
+        if self.opts.trace.enabled() {
+            let tr = &self.opts.trace;
+            tr.lane(Lane::H2D)
+                .emit(SpanKind::Upload, wall0, h2d, 4, &[]);
+            let mut t = wall0 + h2d;
+            for r in &self.last_reports {
+                let d = r.timing.total_seconds();
+                tr.lane(Lane::Compute).emit(SpanKind::Launch, t, d, 4, &[]);
+                t += d;
+            }
+            tr.lane(Lane::D2H).emit(SpanKind::Download, t, d2h, 4, &[]);
+            tr.emit(
+                SpanKind::Batch,
+                wall0,
+                self.stats.wall_seconds - wall0,
+                3,
+                &[("points", MetaValue::U64(1))],
+            );
+        }
         Ok(eval)
     }
 
@@ -447,6 +541,7 @@ impl<R: Real> GpuEvaluator<R> {
             class,
             op_seconds,
             elapsed,
+            &self.opts.trace,
         )
     }
 }

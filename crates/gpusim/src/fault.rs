@@ -296,6 +296,27 @@ impl FaultStats {
             0.0
         }
     }
+
+    /// Record these stats into a metrics registry under `prefix`.
+    pub fn record_metrics(&self, reg: &mut polygpu_obs::MetricsRegistry, prefix: &str) {
+        reg.counter(&format!("{prefix}.faults"), self.faults);
+        reg.counter(&format!("{prefix}.retries"), self.retries);
+        reg.counter(&format!("{prefix}.failovers"), self.failovers);
+        reg.gauge(&format!("{prefix}.recovery_seconds"), self.recovery_seconds);
+    }
+}
+
+impl fmt::Display for FaultStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "  faults                {:>12}", self.faults)?;
+        writeln!(f, "  retries               {:>12}", self.retries)?;
+        writeln!(f, "  failovers             {:>12}", self.failovers)?;
+        write!(
+            f,
+            "  recovery seconds      {:>12.3e}",
+            self.recovery_seconds
+        )
+    }
 }
 
 /// How a fleet (or scheduler) recovers from injected faults: retry the

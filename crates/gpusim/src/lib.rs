@@ -63,6 +63,7 @@ pub mod exec;
 pub mod fault;
 pub mod kernel;
 pub mod mem;
+pub mod obs;
 pub mod occupancy;
 pub mod stats;
 pub mod stream;
@@ -79,6 +80,7 @@ pub mod prelude {
     };
     pub use crate::kernel::{BlockCtx, Kernel, LaunchConfig, ThreadCtx};
     pub use crate::mem::{BufferId, ConstId, ConstantMemory, ConstantOverflow, GlobalMem};
+    pub use crate::obs::{emit_gather_timeline, emit_timeline};
     pub use crate::occupancy::{occupancy, Limiter, Occupancy};
     pub use crate::stats::Counters;
     pub use crate::stream::{

@@ -31,9 +31,11 @@ use polygpu_core::engine::{AnyEvaluator, CpuReferenceEngine};
 use polygpu_core::{
     BatchError, BatchGpuEvaluator, FaultKind, FaultStats, GpuEvaluator, RecoveryPolicy,
 };
+use polygpu_obs::MetricsRegistry;
 use polygpu_polysys::{
     AdEvaluator, BatchSystemEvaluator, NaiveEvaluator, SystemEval, SystemEvaluator,
 };
+use std::fmt;
 
 /// A batch evaluator whose batches may fail with a typed
 /// [`BatchError`] instead of panicking — the evaluation surface the
@@ -47,6 +49,14 @@ pub trait TryBatchEvaluator<R: Real>: BatchSystemEvaluator<R> {
     fn try_batch(&mut self, points: &[Vec<Complex<R>>]) -> Result<Vec<SystemEval<R>>, BatchError> {
         Ok(self.evaluate_batch(points))
     }
+
+    /// The evaluator's cumulative modeled wall clock, in seconds —
+    /// the timestamp source for scheduler-level trace spans. Pure-CPU
+    /// evaluators have no modeled clock and report `0.0` (the default),
+    /// which keeps their spans degenerate but still ordered.
+    fn modeled_wall_seconds(&self) -> f64 {
+        0.0
+    }
 }
 
 impl<R: Real> TryBatchEvaluator<R> for StartSystem {}
@@ -57,11 +67,19 @@ impl<R: Real> TryBatchEvaluator<R> for CpuReferenceEngine<R> {
     fn try_batch(&mut self, points: &[Vec<Complex<R>>]) -> Result<Vec<SystemEval<R>>, BatchError> {
         self.try_evaluate_batch(points)
     }
+
+    fn modeled_wall_seconds(&self) -> f64 {
+        self.engine_stats().wall_seconds
+    }
 }
 
 impl<R: Real> TryBatchEvaluator<R> for GpuEvaluator<R> {
     fn try_batch(&mut self, points: &[Vec<Complex<R>>]) -> Result<Vec<SystemEval<R>>, BatchError> {
         points.iter().map(|x| self.try_evaluate(x)).collect()
+    }
+
+    fn modeled_wall_seconds(&self) -> f64 {
+        self.stats().wall_seconds
     }
 }
 
@@ -69,11 +87,19 @@ impl<R: Real> TryBatchEvaluator<R> for BatchGpuEvaluator<R> {
     fn try_batch(&mut self, points: &[Vec<Complex<R>>]) -> Result<Vec<SystemEval<R>>, BatchError> {
         BatchGpuEvaluator::try_evaluate_batch(self, points)
     }
+
+    fn modeled_wall_seconds(&self) -> f64 {
+        self.stats().wall_seconds
+    }
 }
 
 impl<R: Real> TryBatchEvaluator<R> for Box<dyn AnyEvaluator<R>> {
     fn try_batch(&mut self, points: &[Vec<Complex<R>>]) -> Result<Vec<SystemEval<R>>, BatchError> {
         (**self).try_evaluate_batch(points)
+    }
+
+    fn modeled_wall_seconds(&self) -> f64 {
+        self.engine_stats().wall_seconds
     }
 }
 
@@ -133,6 +159,25 @@ impl FaultReport {
     /// Did any fault reach this scheduler or its engine?
     pub fn any(&self) -> bool {
         self.faults > 0 || self.engine.faults > 0
+    }
+
+    /// Fold this report into a [`MetricsRegistry`] under `prefix`.
+    pub fn record_metrics(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        reg.counter(&format!("{prefix}.faults"), self.faults);
+        reg.counter(&format!("{prefix}.retried_rounds"), self.retried_rounds);
+        reg.counter(&format!("{prefix}.recovered_rounds"), self.recovered_rounds);
+        reg.gauge(&format!("{prefix}.backoff_seconds"), self.backoff_seconds);
+        self.engine.record_metrics(reg, &format!("{prefix}.engine"));
+    }
+}
+
+impl fmt::Display for FaultReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "  faults                {:>12}", self.faults)?;
+        writeln!(f, "  retried rounds        {:>12}", self.retried_rounds)?;
+        writeln!(f, "  recovered rounds      {:>12}", self.recovered_rounds)?;
+        writeln!(f, "  backoff seconds       {:>12.3e}", self.backoff_seconds)?;
+        write!(f, "{}", self.engine)
     }
 }
 

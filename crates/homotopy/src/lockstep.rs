@@ -23,6 +23,7 @@ use crate::newton::{NewtonParams, NewtonResult, StopReason};
 use crate::tracker::{TrackOutcome, TrackParams};
 use polygpu_complex::{Complex, Real};
 use polygpu_core::{BatchError, RecoveryPolicy};
+use polygpu_obs::{MetaValue, SpanKind, TraceSink};
 use polygpu_polysys::{BatchSystemEvaluator, SystemEval, SystemEvaluator};
 
 fn max_norm<R: Real>(v: &[Complex<R>]) -> f64 {
@@ -466,6 +467,26 @@ where
     EG: TryBatchEvaluator<R>,
     EF: TryBatchEvaluator<R>,
 {
+    track_lockstep_recovering_traced(h, starts, params, recovery, &TraceSink::noop())
+}
+
+/// [`track_lockstep_recovering`] with scheduler-round spans: each
+/// predictor-corrector round emits a [`SpanKind::Round`] on the sink's
+/// track, timestamped by the target evaluator's modeled wall clock plus
+/// the accumulated backoff, with retry/backoff spans when the round
+/// recovered from a fault. A no-op sink makes this exactly
+/// [`track_lockstep_recovering`].
+pub fn track_lockstep_recovering_traced<R: Real, EG, EF>(
+    h: &mut BatchHomotopy<R, EG, EF>,
+    starts: &[Vec<Complex<R>>],
+    params: TrackParams,
+    recovery: &RecoveryPolicy,
+    trace: &TraceSink,
+) -> Result<(LockstepResult<R>, FaultReport), BatchError>
+where
+    EG: TryBatchEvaluator<R>,
+    EF: TryBatchEvaluator<R>,
+{
     let mut fault = FaultReport::default();
     let n_paths = starts.len();
     let mut xs: Vec<Vec<Complex<R>>> = starts.to_vec();
@@ -486,6 +507,11 @@ where
         point_rounds += live.len();
         let dt_clamped = dt.min(1.0 - t);
         let t_new = t + dt_clamped;
+        // The scheduler's modeled clock: the target engine's wall plus
+        // every backoff second charged so far.
+        let wall0 = h.f.modeled_wall_seconds() + fault.backoff_seconds;
+        let retried0 = fault.retried_rounds;
+        let backoff0 = fault.backoff_seconds;
 
         // Batched Euler predictor: J_H dx = -dH/dt at (x_i, t).
         let live_points: Vec<Vec<Complex<R>>> = live.iter().map(|&i| xs[i].clone()).collect();
@@ -543,6 +569,33 @@ where
             )?
         };
         corrector_iters += results.iter().map(|r| r.iterations).sum::<usize>();
+        if trace.enabled() {
+            let retried = fault.retried_rounds - retried0;
+            let backoff = fault.backoff_seconds - backoff0;
+            if retried > 0 {
+                trace.emit(
+                    SpanKind::Retry,
+                    wall0,
+                    0.0,
+                    3,
+                    &[("attempts", MetaValue::U64(retried))],
+                );
+            }
+            if backoff > 0.0 {
+                trace.emit(SpanKind::Backoff, wall0, backoff, 3, &[]);
+            }
+            let wall1 = h.f.modeled_wall_seconds() + fault.backoff_seconds;
+            trace.emit(
+                SpanKind::Round,
+                wall0,
+                wall1 - wall0,
+                2,
+                &[
+                    ("round", MetaValue::U64(rounds as u64 - 1)),
+                    ("slots", MetaValue::U64(live.len() as u64)),
+                ],
+            );
+        }
 
         if results.iter().all(|r| r.converged) {
             for (&i, r) in pred_idx.iter().zip(&results) {

@@ -25,8 +25,10 @@ use crate::lu::lu_decompose;
 use crate::tracker::{TrackOutcome, TrackParams};
 use polygpu_complex::{Complex, Real};
 use polygpu_core::{BatchError, RecoveryPolicy};
+use polygpu_obs::{MetaValue, MetricsRegistry, SpanKind, TraceSink};
 use polygpu_polysys::{BatchSystemEvaluator, SystemEval};
 use std::collections::VecDeque;
+use std::fmt;
 
 fn max_norm<R: Real>(v: &[Complex<R>]) -> f64 {
     v.iter().map(|z| z.abs().to_f64()).fold(0.0, f64::max)
@@ -138,6 +140,43 @@ impl QueueStats {
         } else {
             self.point_rounds as f64 / (self.rounds * self.slots) as f64
         }
+    }
+
+    /// Fold this struct into a [`MetricsRegistry`] under `prefix`.
+    pub fn record_metrics(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        reg.counter(&format!("{prefix}.rounds"), self.rounds as u64);
+        reg.counter(&format!("{prefix}.batch_rounds"), self.batch_rounds as u64);
+        reg.counter(&format!("{prefix}.refills"), self.refills as u64);
+        reg.counter(
+            &format!("{prefix}.steps_accepted"),
+            self.steps_accepted as u64,
+        );
+        reg.counter(
+            &format!("{prefix}.steps_rejected"),
+            self.steps_rejected as u64,
+        );
+        reg.counter(
+            &format!("{prefix}.corrector_iterations"),
+            self.corrector_iterations as u64,
+        );
+        reg.gauge(&format!("{prefix}.occupancy"), self.occupancy());
+    }
+}
+
+impl fmt::Display for QueueStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "  rounds                {:>12}", self.rounds)?;
+        writeln!(f, "  batch rounds          {:>12}", self.batch_rounds)?;
+        writeln!(f, "  slots                 {:>12}", self.slots)?;
+        writeln!(f, "  refills               {:>12}", self.refills)?;
+        writeln!(f, "  steps accepted        {:>12}", self.steps_accepted)?;
+        writeln!(f, "  steps rejected        {:>12}", self.steps_rejected)?;
+        writeln!(
+            f,
+            "  corrector iterations  {:>12}",
+            self.corrector_iterations
+        )?;
+        write!(f, "  occupancy             {:>12.3}", self.occupancy())
     }
 }
 
@@ -276,6 +315,27 @@ where
     EG: TryBatchEvaluator<R>,
     EF: TryBatchEvaluator<R>,
 {
+    track_queue_recovering_traced(h, starts, params, slots, recovery, &TraceSink::noop())
+}
+
+/// [`track_queue_recovering`] with scheduler-round spans: each round
+/// emits a [`SpanKind::Round`] on the sink's track, timestamped by the
+/// target evaluator's modeled wall clock plus the accumulated backoff
+/// (the scheduler's own modeled timeline), with retry/backoff spans
+/// when a round recovered from a fault. A no-op sink makes this exactly
+/// [`track_queue_recovering`].
+pub fn track_queue_recovering_traced<R: Real, EG, EF>(
+    h: &mut BatchHomotopy<R, EG, EF>,
+    starts: &[Vec<Complex<R>>],
+    params: TrackParams,
+    slots: impl Into<SlotPolicy>,
+    recovery: &RecoveryPolicy,
+    trace: &TraceSink,
+) -> Result<(QueueResult<R>, FaultReport), BatchError>
+where
+    EG: TryBatchEvaluator<R>,
+    EF: TryBatchEvaluator<R>,
+{
     let mut fault = FaultReport::default();
     let n_paths = starts.len();
     let cap = h.max_batch().max(1);
@@ -311,6 +371,11 @@ where
             points.push(x.clone());
             ts.push(R::from_f64(t));
         }
+        // The scheduler's modeled clock: the target engine's wall plus
+        // every backoff second charged so far.
+        let wall0 = h.f.modeled_wall_seconds() + fault.backoff_seconds;
+        let retried0 = fault.retried_rounds;
+        let backoff0 = fault.backoff_seconds;
         let evals: Vec<(SystemEval<R>, Vec<Complex<R>>)> =
             retry_round(recovery, &mut fault, || {
                 let mut evals = Vec::with_capacity(points.len());
@@ -323,6 +388,33 @@ where
                 }
                 Ok(evals)
             })?;
+        if trace.enabled() {
+            let retried = fault.retried_rounds - retried0;
+            let backoff = fault.backoff_seconds - backoff0;
+            if retried > 0 {
+                trace.emit(
+                    SpanKind::Retry,
+                    wall0,
+                    0.0,
+                    3,
+                    &[("attempts", MetaValue::U64(retried))],
+                );
+            }
+            if backoff > 0.0 {
+                trace.emit(SpanKind::Backoff, wall0, backoff, 3, &[]);
+            }
+            let wall1 = h.f.modeled_wall_seconds() + fault.backoff_seconds;
+            trace.emit(
+                SpanKind::Round,
+                wall0,
+                wall1 - wall0,
+                2,
+                &[
+                    ("round", MetaValue::U64(rounds as u64 - 1)),
+                    ("slots", MetaValue::U64(occupied.len() as u64)),
+                ],
+            );
+        }
 
         let mut finished: Vec<Finished<R>> = Vec::new();
         for (&s, (eval, dt_vec)) in occupied.iter().zip(evals) {
@@ -633,6 +725,14 @@ mod tests {
             let w = track(&mut h1, x0, params);
             assert_eq!(p.outcome, w.outcome, "path {i}");
         }
+    }
+
+    /// Satellite: ratio helpers must be total on empty runs.
+    #[test]
+    fn empty_queue_stats_ratios_are_total() {
+        let s = QueueStats::default();
+        assert_eq!(s.occupancy(), 0.0);
+        assert!(!format!("{s}").is_empty());
     }
 
     #[test]

@@ -46,8 +46,8 @@
 use crate::escalate::UsedPrecision;
 use crate::fallible::FaultReport;
 use crate::homotopy::{random_gamma, Homotopy};
-use crate::lockstep::{track_lockstep_recovering, BatchHomotopy, LockstepPath};
-use crate::queue::{track_queue_recovering, QueueStats, SlotPolicy};
+use crate::lockstep::{track_lockstep_recovering_traced, BatchHomotopy, LockstepPath};
+use crate::queue::{track_queue_recovering_traced, QueueStats, SlotPolicy};
 use crate::start::StartSystem;
 use crate::tracker::{track, TrackOutcome, TrackParams};
 use polygpu_complex::{Complex, Real};
@@ -57,9 +57,13 @@ use polygpu_core::engine::{
 };
 use polygpu_core::pipeline::PipelineStats;
 use polygpu_core::{BatchError, RecoveryPolicy};
+use polygpu_obs::{
+    MetaValue, MetricsRegistry, SpanKind, TelemetrySnapshot, TraceSink, Tracer, Track,
+};
 use polygpu_polysys::{NaiveEvaluator, System, SystemEvaluator};
 use polygpu_qd::Dd;
 use std::fmt;
+use std::sync::Arc;
 
 // ---------------------------------------------------------------------
 // The scheduler trait and the three built-in schedulers
@@ -102,6 +106,11 @@ pub trait Scheduler<R: Real> {
     /// `recovery` governs round-level retry when the engine injects
     /// faults. A fault that outlives recovery comes back as
     /// [`SolveError::Fault`] — schedulers never panic on one.
+    ///
+    /// `trace` is the solve layer's span sink on [`Track::Scheduler`]:
+    /// emit one [`SpanKind::Round`] span per scheduling round on the
+    /// modeled clock (the built-ins do). A disabled sink must leave the
+    /// run bit-identical — spans never feed back into scheduling.
     fn run(
         &mut self,
         h: &mut EngineHomotopy<R>,
@@ -109,6 +118,7 @@ pub trait Scheduler<R: Real> {
         params: &TrackParams,
         caps: &EngineCaps,
         recovery: &RecoveryPolicy,
+        trace: &TraceSink,
     ) -> Result<SchedulerRun<R>, SolveError>;
 }
 
@@ -135,6 +145,7 @@ impl<R: Real> Scheduler<R> for PerPathScheduler {
         params: &TrackParams,
         _caps: &EngineCaps,
         _recovery: &RecoveryPolicy,
+        trace: &TraceSink,
     ) -> Result<SchedulerRun<R>, SolveError> {
         let batches_before = h.f.engine_stats().batches;
         let mut paths = Vec::with_capacity(starts.len());
@@ -142,14 +153,28 @@ impl<R: Real> Scheduler<R> for PerPathScheduler {
             slots: 1,
             ..Default::default()
         };
-        for x0 in starts {
+        for (i, x0) in starts.iter().enumerate() {
+            let wall0 = h.f.engine_stats().wall_seconds;
             // Borrow the shared endpoints per path: same gamma, same
             // engine, exactly the legacy `track` call.
-            let mut h1 = Homotopy::new(&mut h.g, &mut h.f, h.gamma);
-            let mut r = track(&mut h1, x0, *params);
+            let mut r = {
+                let mut h1 = Homotopy::new(&mut h.g, &mut h.f, h.gamma);
+                track(&mut h1, x0, *params)
+            };
             stats.steps_accepted += r.steps_accepted;
             stats.steps_rejected += r.steps_rejected;
             stats.corrector_iterations += r.corrector_iterations;
+            if trace.enabled() {
+                // One "round" per path: this scheduler's unit of work.
+                let wall1 = h.f.engine_stats().wall_seconds;
+                trace.emit(
+                    SpanKind::Round,
+                    wall0,
+                    wall1 - wall0,
+                    2,
+                    &[("path", MetaValue::U64(i as u64))],
+                );
+            }
             let end = r.points.pop().expect("tracker records the start point");
             paths.push(LockstepPath {
                 outcome: r.outcome,
@@ -188,9 +213,10 @@ impl<R: Real> Scheduler<R> for LockstepScheduler {
         params: &TrackParams,
         _caps: &EngineCaps,
         recovery: &RecoveryPolicy,
+        trace: &TraceSink,
     ) -> Result<SchedulerRun<R>, SolveError> {
-        let (r, fault) =
-            track_lockstep_recovering(h, starts, *params, recovery).map_err(SolveError::Fault)?;
+        let (r, fault) = track_lockstep_recovering_traced(h, starts, *params, recovery, trace)
+            .map_err(SolveError::Fault)?;
         let stats = r.stats();
         Ok(SchedulerRun {
             paths: r.paths,
@@ -224,11 +250,18 @@ impl<R: Real> Scheduler<R> for QueueScheduler {
         params: &TrackParams,
         caps: &EngineCaps,
         recovery: &RecoveryPolicy,
+        trace: &TraceSink,
     ) -> Result<SchedulerRun<R>, SolveError> {
         let slots = self.slots.resolve(caps.auto_slots(), starts.len());
-        let (r, fault) =
-            track_queue_recovering(h, starts, *params, SlotPolicy::Fixed(slots), recovery)
-                .map_err(SolveError::Fault)?;
+        let (r, fault) = track_queue_recovering_traced(
+            h,
+            starts,
+            *params,
+            SlotPolicy::Fixed(slots),
+            recovery,
+            trace,
+        )
+        .map_err(SolveError::Fault)?;
         Ok(SchedulerRun {
             paths: r.paths,
             stats: r.stats,
@@ -398,6 +431,11 @@ pub struct SolveRequest {
     /// engines; with fault injection armed it bounds the retries before
     /// a fault surfaces as [`SolveError::Fault`].
     pub recovery: RecoveryPolicy,
+    /// Span sink observing this solve on the modeled clock (disabled by
+    /// default — see [`SolveRequest::with_tracer`]). Tracing never
+    /// feeds back into the solve: outputs and modeled timings are
+    /// bit-identical with and without a tracer installed.
+    pub trace: TraceSink,
 }
 
 impl SolveRequest {
@@ -418,6 +456,7 @@ impl SolveRequest {
             precision: PrecisionPolicy::default(),
             scheduler: SchedulerKind::default(),
             recovery: RecoveryPolicy::default(),
+            trace: TraceSink::noop(),
         }
     }
 
@@ -453,6 +492,40 @@ impl SolveRequest {
 
     pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
         self.recovery = recovery;
+        self
+    }
+
+    /// Install a [`Tracer`] observing this solve: spans for the whole
+    /// solve, each precision pass, every scheduler round and — through
+    /// the engine the [`Solver`]'s spec provisions — every device
+    /// operation, all timestamped on the *modeled* clock. Same request,
+    /// same seed ⇒ the same spans, byte for byte once exported.
+    ///
+    /// ```
+    /// use polygpu_homotopy::solve::{SolveRequest, Solver};
+    /// use polygpu_obs::{CollectingTracer, SpanKind};
+    /// use polygpu_polysys::parse_system;
+    /// use std::sync::Arc;
+    ///
+    /// let tracer = Arc::new(CollectingTracer::new());
+    /// let target = parse_system::<f64>("x0^2 - 1; x1^2 - 1").unwrap();
+    /// let req = SolveRequest::new(target).with_tracer(tracer.clone());
+    /// Solver::new().solve(&req).unwrap();
+    /// let spans = tracer.spans();
+    /// assert_eq!(spans[0].kind, SpanKind::Solve);
+    /// assert!(spans.iter().any(|s| s.kind == SpanKind::Round));
+    /// ```
+    pub fn with_tracer(mut self, tracer: Arc<dyn Tracer>) -> Self {
+        self.trace = TraceSink::new(tracer);
+        self
+    }
+
+    /// Install an already-configured [`TraceSink`] (e.g. one shared
+    /// with other solves, or rebased to splice this solve into a longer
+    /// modeled timeline). [`SolveRequest::with_tracer`] is the common
+    /// entry point.
+    pub fn with_trace_sink(mut self, sink: TraceSink) -> Self {
+        self.trace = sink;
         self
     }
 
@@ -588,6 +661,26 @@ pub struct SolveReport {
     pub fault: FaultReport,
     /// Present when an escalation pass ran.
     pub escalation: Option<EscalationReport>,
+    /// Every stats struct above, flattened into one sorted, diffable,
+    /// serializable snapshot (`pipeline.*`, `scheduler.*`, `fault.*`,
+    /// `escalation.*`, `solve.*` keys).
+    ///
+    /// ```
+    /// use polygpu_homotopy::solve::{SolveRequest, Solver};
+    /// use polygpu_obs::MetricValue;
+    /// use polygpu_polysys::parse_system;
+    ///
+    /// let target = parse_system::<f64>("x0^2 - 1; x1^2 - 1").unwrap();
+    /// let report = Solver::new().solve(&SolveRequest::new(target)).unwrap();
+    /// assert_eq!(
+    ///     report.telemetry.get("solve.paths"),
+    ///     Some(MetricValue::Counter(4))
+    /// );
+    /// // One schema for dashboards and regression diffs.
+    /// assert!(report.telemetry.to_json().starts_with('{'));
+    /// assert!(report.telemetry.diff(&report.telemetry).is_empty());
+    /// ```
+    pub telemetry: TelemetrySnapshot,
 }
 
 impl SolveReport {
@@ -614,6 +707,17 @@ impl SolveReport {
         } else {
             self.escalated() as f64 / self.paths.len() as f64
         }
+    }
+
+    /// Modeled end-to-end duration: engine wall clock plus scheduler-
+    /// level recovery backoff, both passes included — the duration of
+    /// the root [`SpanKind::Solve`] span an installed tracer sees.
+    pub fn modeled_wall_seconds(&self) -> f64 {
+        self.engine.wall_clock_seconds()
+            + self.fault.backoff_seconds
+            + self.escalation.as_ref().map_or(0.0, |e| {
+                e.engine.wall_clock_seconds() + e.fault.backoff_seconds
+            })
     }
 
     /// Modeled end-to-end throughput: paths per modeled engine second,
@@ -795,10 +899,10 @@ impl<P: ClusterProvider> Solver<P> {
     /// [`SolveReport`].
     pub fn solve(&self, req: &SolveRequest) -> Result<SolveReport, SolveError> {
         let starts = req.resolve_starts()?;
-        match req.precision {
+        let mut report = match req.precision {
             PrecisionPolicy::Fixed(UsedPrecision::Double) => {
-                let pass = self.run_pass(req, &req.target, &starts, req.params)?;
-                Ok(SolveReport {
+                let pass = self.run_pass(req, &req.target, &starts, req.params, 0.0)?;
+                SolveReport {
                     paths: report_f64(&req.target, pass.paths),
                     scheduler: req.scheduler,
                     backend: pass.caps.backend,
@@ -807,14 +911,15 @@ impl<P: ClusterProvider> Solver<P> {
                     engine: pass.engine,
                     fault: pass.fault,
                     escalation: None,
-                })
+                    telemetry: TelemetrySnapshot::default(),
+                }
             }
             PrecisionPolicy::Fixed(UsedPrecision::DoubleDouble) => {
                 let target_dd = req.target.convert::<Dd>();
                 let starts_dd = widen(&starts);
-                let pass = self.run_pass(req, &target_dd, &starts_dd, req.params)?;
+                let pass = self.run_pass(req, &target_dd, &starts_dd, req.params, 0.0)?;
                 let paths = report_dd(&target_dd, pass.paths);
-                Ok(SolveReport {
+                SolveReport {
                     paths,
                     scheduler: req.scheduler,
                     backend: pass.caps.backend,
@@ -823,10 +928,11 @@ impl<P: ClusterProvider> Solver<P> {
                     engine: pass.engine,
                     fault: pass.fault,
                     escalation: None,
-                })
+                    telemetry: TelemetrySnapshot::default(),
+                }
             }
             PrecisionPolicy::Escalating { dd_params } => {
-                let pass = self.run_pass(req, &req.target, &starts, req.params)?;
+                let pass = self.run_pass(req, &req.target, &starts, req.params, 0.0)?;
                 let failed: Vec<usize> = pass
                     .paths
                     .iter()
@@ -843,7 +949,8 @@ impl<P: ClusterProvider> Solver<P> {
                 } else {
                     // Re-enter the same scheduler at higher precision:
                     // same spec, same gamma (exactly widened), the
-                    // failed paths' start points only.
+                    // failed paths' start points only. The dd pass's
+                    // spans start where the primary pass's clock ended.
                     let target_dd = req.target.convert::<Dd>();
                     let retry_starts: Vec<Vec<Complex<Dd>>> = widen(
                         &failed
@@ -851,7 +958,7 @@ impl<P: ClusterProvider> Solver<P> {
                             .map(|&i| starts[i].clone())
                             .collect::<Vec<_>>(),
                     );
-                    let dd = self.run_pass(req, &target_dd, &retry_starts, dd_params)?;
+                    let dd = self.run_pass(req, &target_dd, &retry_starts, dd_params, pass.wall)?;
                     let rescued = dd.paths.iter().filter(|p| p.success()).count();
                     let dd_reports = report_dd(&target_dd, dd.paths);
                     for (&i, r) in failed.iter().zip(dd_reports) {
@@ -865,7 +972,7 @@ impl<P: ClusterProvider> Solver<P> {
                         fault: dd.fault,
                     })
                 };
-                Ok(SolveReport {
+                SolveReport {
                     paths,
                     scheduler: req.scheduler,
                     backend: pass.caps.backend,
@@ -874,33 +981,76 @@ impl<P: ClusterProvider> Solver<P> {
                     engine: pass.engine,
                     fault: pass.fault,
                     escalation,
-                })
+                    telemetry: TelemetrySnapshot::default(),
+                }
             }
-        }
+        };
+        report.telemetry = telemetry_of(&report);
+        // The root span: the whole solve, both passes, on the modeled
+        // clock from zero.
+        req.trace.on(Track::Scheduler).emit(
+            SpanKind::Solve,
+            0.0,
+            report.modeled_wall_seconds(),
+            0,
+            &[
+                ("paths", MetaValue::U64(report.paths.len() as u64)),
+                ("scheduler", MetaValue::Str(report.scheduler.name())),
+            ],
+        );
+        Ok(report)
     }
 
     /// One scheduler pass in precision `R`: fresh engine, fresh
-    /// homotopy, the request's scheduler.
+    /// homotopy, the request's scheduler. `base` is the pass's origin
+    /// on the solve's modeled clock — `0.0` for the primary pass, the
+    /// primary pass's wall for the escalation pass — so every span of
+    /// a two-pass solve lands on one monotone timeline.
     fn run_pass<R: Real>(
         &self,
         req: &SolveRequest,
         target: &System<R>,
         starts: &[Vec<Complex<R>>],
         params: TrackParams,
+        base: f64,
     ) -> Result<Pass<R>, SolveError> {
-        let mut h = self.homotopy(target, &req.start, req.gamma_seed)?;
+        let trace = req.trace.rebased(base);
+        let mut h = if trace.enabled() {
+            // A fresh engine wakes at modeled t = 0; handing it the
+            // rebased sink keeps its device spans after the primary
+            // pass's on the solve timeline.
+            Solver::from_builder(self.builder.clone().trace_sink(trace.clone())).homotopy(
+                target,
+                &req.start,
+                req.gamma_seed,
+            )?
+        } else {
+            self.homotopy(target, &req.start, req.gamma_seed)?
+        };
         let caps = h.f.caps();
         let mut scheduler = req.scheduler.instantiate::<R>();
-        let run = scheduler.run(&mut h, starts, &params, &caps, &req.recovery)?;
+        let sched_trace = trace.on(Track::Scheduler);
+        let run = scheduler.run(&mut h, starts, &params, &caps, &req.recovery, &sched_trace)?;
         let engine = h.f.engine_stats();
         let mut fault = run.fault;
         fault.engine = engine.fault;
+        // The pass's extent on the modeled clock: engine wall plus the
+        // scheduler-level backoff charged between retried rounds.
+        let wall = engine.wall_clock_seconds() + fault.backoff_seconds;
+        sched_trace.emit(
+            SpanKind::Pass,
+            0.0,
+            wall,
+            1,
+            &[("paths", MetaValue::U64(starts.len() as u64))],
+        );
         Ok(Pass {
             paths: run.paths,
             stats: run.stats,
             engine,
             fault,
             caps,
+            wall,
         })
     }
 }
@@ -912,6 +1062,31 @@ struct Pass<R: Real> {
     engine: PipelineStats,
     fault: FaultReport,
     caps: EngineCaps,
+    /// The pass's modeled duration (engine wall + scheduler backoff).
+    wall: f64,
+}
+
+/// Flatten every stats struct of `report` into the one sorted snapshot
+/// surfaced as [`SolveReport::telemetry`].
+fn telemetry_of(report: &SolveReport) -> TelemetrySnapshot {
+    let mut reg = MetricsRegistry::new();
+    reg.counter("solve.paths", report.paths.len() as u64);
+    reg.counter("solve.successes", report.successes() as u64);
+    reg.counter("solve.escalated", report.escalated() as u64);
+    reg.gauge("solve.escalation_rate", report.escalation_rate());
+    reg.gauge("solve.paths_per_second", report.paths_per_second());
+    reg.gauge("solve.wall_seconds", report.modeled_wall_seconds());
+    report.stats.record_metrics(&mut reg, "scheduler");
+    report.engine.record_metrics(&mut reg, "pipeline");
+    report.fault.record_metrics(&mut reg, "fault");
+    if let Some(e) = &report.escalation {
+        reg.counter("escalation.retried", e.retried as u64);
+        reg.counter("escalation.rescued", e.rescued as u64);
+        e.stats.record_metrics(&mut reg, "escalation.scheduler");
+        e.engine.record_metrics(&mut reg, "escalation.pipeline");
+        e.fault.record_metrics(&mut reg, "escalation.fault");
+    }
+    reg.snapshot()
 }
 
 fn widen(starts: &[Vec<Complex<f64>>]) -> Vec<Vec<Complex<Dd>>> {
@@ -1351,6 +1526,139 @@ mod tests {
             assert!(recovered > 0, "{scheduler:?}: the sweep never recovered");
             assert!(surfaced > 0, "{scheduler:?}: no seed exhausted recovery");
         }
+    }
+
+    /// Same request, same seed, two runs: the exported Chrome trace is
+    /// byte-identical, and the span tree reconciles with the report's
+    /// stats (root span duration = modeled wall, pass span = root).
+    #[test]
+    fn solve_trace_is_deterministic_and_reconciles() {
+        use polygpu_obs::{chrome_trace_json, CollectingTracer, MetricValue};
+
+        let (sys, start, _) = fixture(3);
+        let run = || {
+            let tracer = Arc::new(CollectingTracer::new());
+            let req = request(&sys, &start, SchedulerKind::default()).with_tracer(tracer.clone());
+            let report = gpu_solver().solve(&req).unwrap();
+            (tracer.spans(), report)
+        };
+        let (spans, report) = run();
+        let (spans2, _) = run();
+        assert_eq!(
+            chrome_trace_json(&spans),
+            chrome_trace_json(&spans2),
+            "same request, same seed: byte-identical trace"
+        );
+
+        let solve = spans.iter().find(|s| s.kind == SpanKind::Solve).unwrap();
+        assert_eq!(solve.start, 0.0);
+        assert!(
+            (solve.dur - report.modeled_wall_seconds()).abs() <= 1e-12 * solve.dur.max(1.0),
+            "root span ({}) reconciles with the report's wall ({})",
+            solve.dur,
+            report.modeled_wall_seconds()
+        );
+        let passes: Vec<_> = spans.iter().filter(|s| s.kind == SpanKind::Pass).collect();
+        assert_eq!(passes.len(), 1);
+        assert_eq!(passes[0].dur, solve.dur);
+        // Scheduler rounds and device ops both made it into the tree.
+        assert!(spans
+            .iter()
+            .any(|s| s.kind == SpanKind::Round && s.track == Track::Scheduler));
+        assert!(spans
+            .iter()
+            .any(|s| matches!(s.track, Track::Device(0) | Track::DeviceLane(0, _))));
+        // The telemetry snapshot subsumes the stats structs.
+        assert_eq!(
+            report.telemetry.get("pipeline.evaluations"),
+            Some(MetricValue::Counter(report.engine.evaluations))
+        );
+        assert_eq!(
+            report.telemetry.get("solve.paths"),
+            Some(MetricValue::Counter(report.paths.len() as u64))
+        );
+        assert!(report.telemetry.diff(&report.telemetry).is_empty());
+    }
+
+    /// Installing the no-op tracer (or any tracer) changes nothing:
+    /// endpoints, scheduler stats and modeled engine timings are
+    /// bit-identical to the untraced run.
+    #[test]
+    fn noop_tracer_leaves_solve_bit_identical() {
+        use polygpu_obs::NoopTracer;
+
+        let (sys, start, _) = fixture(3);
+        let plain = gpu_solver()
+            .solve(&request(&sys, &start, SchedulerKind::default()))
+            .unwrap();
+        let traced = gpu_solver()
+            .solve(
+                &request(&sys, &start, SchedulerKind::default()).with_tracer(Arc::new(NoopTracer)),
+            )
+            .unwrap();
+        for (i, (a, b)) in plain.paths.iter().zip(&traced.paths).enumerate() {
+            assert_eq!(a.outcome, b.outcome, "path {i}");
+            assert_eq!(a.endpoint, b.endpoint, "path {i}");
+        }
+        assert_eq!(plain.stats, traced.stats);
+        assert_eq!(plain.engine.wall_seconds, traced.engine.wall_seconds);
+        assert_eq!(plain.telemetry, traced.telemetry);
+    }
+
+    /// Under escalation the dd pass's spans start exactly where the
+    /// primary pass's modeled clock ended, and the root span covers
+    /// both.
+    #[test]
+    fn escalation_trace_appends_dd_pass_after_primary() {
+        use polygpu_obs::CollectingTracer;
+
+        let (sys, start, _) = fixture(7);
+        let brutal = NewtonParams {
+            residual_tol: 1e-19,
+            step_tol: 1e-21,
+            max_iters: 8,
+        };
+        let params = TrackParams {
+            corrector: brutal,
+            ..Default::default()
+        };
+        let tracer = Arc::new(CollectingTracer::new());
+        let req = request(&sys, &start, SchedulerKind::default())
+            .with_params(params)
+            .with_precision(PrecisionPolicy::Escalating { dd_params: params })
+            .with_tracer(tracer.clone());
+        let report = gpu_solver().solve(&req).unwrap();
+        assert!(report.escalation.is_some());
+
+        let spans = tracer.spans();
+        let passes: Vec<_> = spans.iter().filter(|s| s.kind == SpanKind::Pass).collect();
+        assert_eq!(passes.len(), 2, "primary + escalation");
+        assert_eq!(passes[0].start, 0.0);
+        assert_eq!(
+            passes[1].start, passes[0].dur,
+            "the dd pass starts where the primary ended"
+        );
+        let solve = spans.iter().find(|s| s.kind == SpanKind::Solve).unwrap();
+        assert!(
+            (solve.dur - (passes[0].dur + passes[1].dur)).abs() <= 1e-12 * solve.dur,
+            "root span spans both passes"
+        );
+    }
+
+    /// A request resolving to zero paths keeps every report ratio total
+    /// (no div-by-zero, no NaN).
+    #[test]
+    fn empty_solve_report_ratios_are_total() {
+        let (sys, start, _) = fixture(3);
+        let req =
+            request(&sys, &start, SchedulerKind::PerPath).with_starts(StartSelection::FirstN(0));
+        let report = gpu_solver().solve(&req).unwrap();
+        assert!(report.paths.is_empty());
+        assert_eq!(report.paths_per_second(), 0.0);
+        assert_eq!(report.escalation_rate(), 0.0);
+        assert_eq!(report.occupancy(), 0.0);
+        assert_eq!(report.modeled_wall_seconds(), 0.0);
+        assert!(!report.telemetry.is_empty());
     }
 
     /// With recovery disabled every injected fault surfaces typed on

@@ -1,0 +1,127 @@
+//! Trace exporters: Chrome-trace/Perfetto JSON and a flamegraph-style
+//! phase-attribution rollup. Both sort spans into the canonical order
+//! first, so output is byte-identical across runs of the same seed no
+//! matter how host threads interleaved span emission.
+
+use crate::metrics::{escape_json, json_f64};
+use crate::span::{MetaValue, Span};
+use std::collections::BTreeMap;
+
+/// Serialize spans as a Chrome-trace JSON object (`chrome://tracing`,
+/// Perfetto UI, `speedscope` all load it). One complete event
+/// (`"ph": "X"`) per span; the modeled clock maps to microseconds;
+/// tracks map to `(pid, tid)` pairs via [`crate::Track::pid`]/
+/// [`crate::Track::tid`].
+pub fn chrome_trace_json(spans: &[Span]) -> String {
+    let mut sorted: Vec<&Span> = spans.iter().collect();
+    sorted.sort_by(|a, b| a.cmp_total(b));
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, s) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{}",
+            s.kind.name(),
+            escape_json(&s.track.label()),
+            json_f64(s.start * 1e6),
+            json_f64(s.dur * 1e6),
+            s.track.pid(),
+            s.track.tid(),
+        ));
+        out.push_str(",\"args\":{\"depth\":");
+        out.push_str(&s.depth.to_string());
+        for (k, v) in &s.meta {
+            out.push_str(",\"");
+            out.push_str(&escape_json(k));
+            out.push_str("\":");
+            match v {
+                MetaValue::U64(u) => out.push_str(&u.to_string()),
+                MetaValue::F64(x) => out.push_str(&json_f64(*x)),
+                MetaValue::Str(t) => {
+                    out.push('"');
+                    out.push_str(&escape_json(t));
+                    out.push('"');
+                }
+            }
+        }
+        out.push_str("}}");
+    }
+    out.push_str("],\"displayTimeUnit\":\"ns\"}");
+    out
+}
+
+/// Flamegraph-style phase attribution: folded-stack lines
+/// (`track;kind <microseconds>`), one per `(track, kind)` pair, sorted —
+/// feed them to any flamegraph renderer or diff them across runs.
+pub fn phase_rollup(spans: &[Span]) -> String {
+    let mut folded: BTreeMap<String, f64> = BTreeMap::new();
+    for s in spans {
+        *folded
+            .entry(format!("{};{}", s.track.label(), s.kind.name()))
+            .or_insert(0.0) += s.dur * 1e6;
+    }
+    let mut out = String::new();
+    for (stack, us) in folded {
+        out.push_str(&format!("{stack} {}\n", json_f64(us)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{Lane, SpanKind, Track};
+
+    fn span(kind: SpanKind, track: Track, start: f64, dur: f64, depth: u8) -> Span {
+        Span {
+            kind,
+            track,
+            start,
+            dur,
+            depth,
+            meta: vec![],
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_order_independent() {
+        let a = span(SpanKind::Batch, Track::Device(0), 1.0, 2.0, 3);
+        let b = span(SpanKind::Solve, Track::Scheduler, 0.0, 5.0, 0);
+        let fwd = chrome_trace_json(&[a.clone(), b.clone()]);
+        let rev = chrome_trace_json(&[b, a]);
+        assert_eq!(fwd, rev, "export must not depend on emission order");
+        assert!(fwd.starts_with("{\"traceEvents\":["));
+        assert!(fwd.contains("\"ph\":\"X\""));
+        assert!(fwd.contains("\"pid\":100"));
+    }
+
+    #[test]
+    fn chrome_trace_carries_meta_and_lane_tids() {
+        let mut s = span(
+            SpanKind::Upload,
+            Track::DeviceLane(1, Lane::H2D),
+            0.0,
+            1e-6,
+            4,
+        );
+        s.meta.push(("points", MetaValue::U64(16)));
+        let json = chrome_trace_json(&[s]);
+        assert!(json.contains("\"pid\":101"));
+        assert!(json.contains("\"tid\":1"));
+        assert!(json.contains("\"points\":16"));
+        assert!(json.contains("\"cat\":\"device1.h2d\""));
+    }
+
+    #[test]
+    fn rollup_folds_durations_per_track_and_kind() {
+        let spans = [
+            span(SpanKind::Batch, Track::Device(0), 0.0, 1.0, 3),
+            span(SpanKind::Batch, Track::Device(0), 2.0, 1.0, 3),
+            span(SpanKind::Round, Track::Scheduler, 0.0, 3.0, 2),
+        ];
+        let folded = phase_rollup(&spans);
+        assert!(folded.contains("device0;batch 2000000.0\n"));
+        assert!(folded.contains("scheduler;round 3000000.0\n"));
+    }
+}

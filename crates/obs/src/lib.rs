@@ -1,0 +1,41 @@
+//! # polygpu-obs — deterministic tracing & metrics over the modeled clock
+//!
+//! The observability seam of the workspace: spans, tracers, metric
+//! registries and exporters that every layer (gpusim timelines, the
+//! batched pipelines, the sharded cluster, the schedulers and the
+//! solver) threads its telemetry through.
+//!
+//! The defining property is **determinism**: spans are timestamped by
+//! the *simulated* timeline clock, never the host clock, so the same
+//! seed yields a byte-identical exported trace — traces are a
+//! correctness artifact, not just a debugging aid. Likewise the no-op
+//! default tracer leaves solves bit-identical to untraced runs.
+//!
+//! ```
+//! use polygpu_obs::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let tracer = Arc::new(CollectingTracer::new());
+//! let sink = TraceSink::new(tracer.clone());
+//! // Layers emit spans on their track, on the modeled clock…
+//! sink.on(Track::Device(0))
+//!     .emit(SpanKind::Batch, 0.0, 1.5e-3, 3, &[("points", MetaValue::U64(64))]);
+//! // …and the result exports as Chrome-trace JSON for Perfetto.
+//! let json = chrome_trace_json(&tracer.spans());
+//! assert!(json.contains("\"name\":\"batch\""));
+//! ```
+
+pub mod export;
+pub mod metrics;
+pub mod span;
+
+/// The commonly-needed surface in one import.
+pub mod prelude {
+    pub use crate::export::{chrome_trace_json, phase_rollup};
+    pub use crate::metrics::{MetricDelta, MetricValue, MetricsRegistry, TelemetrySnapshot};
+    pub use crate::span::{
+        CollectingTracer, Lane, MetaValue, NoopTracer, Span, SpanKind, TraceSink, Tracer, Track,
+    };
+}
+
+pub use prelude::*;

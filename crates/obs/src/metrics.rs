@@ -1,0 +1,361 @@
+//! The unified metrics registry: counters, gauges and histogram
+//! summaries from every layer's stats struct, flattened into one
+//! diffable, serializable [`TelemetrySnapshot`].
+//!
+//! Values are modeled quantities, so snapshots are as deterministic as
+//! the solves they describe: the same seed yields the same snapshot,
+//! byte for byte once serialized.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One recorded metric value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MetricValue {
+    /// Monotone event count.
+    Counter(u64),
+    /// Point-in-time measurement (modeled seconds, ratios, …).
+    Gauge(f64),
+    /// Distribution summary of `observe`d samples.
+    Histogram {
+        count: u64,
+        sum: f64,
+        min: f64,
+        max: f64,
+    },
+}
+
+impl fmt::Display for MetricValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricValue::Counter(v) => write!(f, "{v}"),
+            MetricValue::Gauge(v) => write!(f, "{v:.6e}"),
+            MetricValue::Histogram {
+                count,
+                sum,
+                min,
+                max,
+            } => {
+                write!(f, "n={count} sum={sum:.6e} min={min:.6e} max={max:.6e}")
+            }
+        }
+    }
+}
+
+/// Collects metrics under sorted, namespaced keys
+/// (`pipeline.wall_seconds`, `fault.faults`, …).
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    entries: BTreeMap<String, MetricValue>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Add `v` to the counter `name` (creating it at zero).
+    pub fn counter(&mut self, name: &str, v: u64) {
+        match self.entries.get_mut(name) {
+            Some(MetricValue::Counter(c)) => *c += v,
+            _ => {
+                self.entries
+                    .insert(name.to_string(), MetricValue::Counter(v));
+            }
+        }
+    }
+
+    /// Set the gauge `name` to `v` (last write wins).
+    pub fn gauge(&mut self, name: &str, v: f64) {
+        self.entries.insert(name.to_string(), MetricValue::Gauge(v));
+    }
+
+    /// Fold the sample `v` into the histogram summary `name`.
+    pub fn observe(&mut self, name: &str, v: f64) {
+        match self.entries.get_mut(name) {
+            Some(MetricValue::Histogram {
+                count,
+                sum,
+                min,
+                max,
+            }) => {
+                *count += 1;
+                *sum += v;
+                *min = min.min(v);
+                *max = max.max(v);
+            }
+            _ => {
+                self.entries.insert(
+                    name.to_string(),
+                    MetricValue::Histogram {
+                        count: 1,
+                        sum: v,
+                        min: v,
+                        max: v,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Freeze the registry into an immutable snapshot.
+    pub fn snapshot(self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            entries: self.entries.into_iter().collect(),
+        }
+    }
+}
+
+/// An immutable, sorted view of every metric of one solve — the single
+/// artifact that subsumes the per-layer stats structs.
+///
+/// ```
+/// use polygpu_obs::{MetricsRegistry, MetricValue};
+///
+/// let mut reg = MetricsRegistry::new();
+/// reg.counter("pipeline.evaluations", 64);
+/// reg.gauge("pipeline.wall_seconds", 1.25e-3);
+/// let snap = reg.snapshot();
+/// assert_eq!(snap.get("pipeline.evaluations"), Some(MetricValue::Counter(64)));
+/// // Snapshots serialize without external dependencies…
+/// assert!(snap.to_json().contains("\"pipeline.wall_seconds\""));
+/// // …and diff across runs.
+/// assert!(snap.diff(&snap).is_empty());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TelemetrySnapshot {
+    entries: Vec<(String, MetricValue)>,
+}
+
+impl TelemetrySnapshot {
+    /// Look up one metric by its full key.
+    pub fn get(&self, name: &str) -> Option<MetricValue> {
+        self.entries
+            .binary_search_by(|(k, _)| k.as_str().cmp(name))
+            .ok()
+            .map(|i| self.entries[i].1)
+    }
+
+    /// All `(key, value)` entries in sorted key order.
+    pub fn entries(&self) -> &[(String, MetricValue)] {
+        &self.entries
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Hand-rolled JSON (no external deps): a single object keyed by
+    /// metric name. Counters serialize as integers, gauges as numbers,
+    /// histograms as `{count, sum, min, max}` objects. Deterministic:
+    /// keys are sorted and floats use Rust's shortest-roundtrip form.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (k, v)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(&escape_json(k));
+            out.push_str("\":");
+            match v {
+                MetricValue::Counter(c) => out.push_str(&c.to_string()),
+                MetricValue::Gauge(g) => out.push_str(&json_f64(*g)),
+                MetricValue::Histogram {
+                    count,
+                    sum,
+                    min,
+                    max,
+                } => {
+                    out.push_str(&format!(
+                        "{{\"count\":{count},\"sum\":{},\"min\":{},\"max\":{}}}",
+                        json_f64(*sum),
+                        json_f64(*min),
+                        json_f64(*max)
+                    ));
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// Keys whose values differ between `self` and `other` (including
+    /// keys present on only one side), with both values.
+    pub fn diff(&self, other: &TelemetrySnapshot) -> Vec<MetricDelta> {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.entries.len() || j < other.entries.len() {
+            let take_left = j >= other.entries.len()
+                || (i < self.entries.len() && self.entries[i].0 <= other.entries[j].0);
+            let take_right = i >= self.entries.len()
+                || (j < other.entries.len() && other.entries[j].0 <= self.entries[i].0);
+            match (take_left, take_right) {
+                (true, true) => {
+                    if self.entries[i].1 != other.entries[j].1 {
+                        out.push(MetricDelta {
+                            key: self.entries[i].0.clone(),
+                            before: Some(self.entries[i].1),
+                            after: Some(other.entries[j].1),
+                        });
+                    }
+                    i += 1;
+                    j += 1;
+                }
+                (true, false) => {
+                    out.push(MetricDelta {
+                        key: self.entries[i].0.clone(),
+                        before: Some(self.entries[i].1),
+                        after: None,
+                    });
+                    i += 1;
+                }
+                (false, true) => {
+                    out.push(MetricDelta {
+                        key: other.entries[j].0.clone(),
+                        before: None,
+                        after: Some(other.entries[j].1),
+                    });
+                    j += 1;
+                }
+                (false, false) => unreachable!("merge always advances"),
+            }
+        }
+        out
+    }
+}
+
+/// One differing metric between two snapshots (`None` = absent).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDelta {
+    pub key: String,
+    pub before: Option<MetricValue>,
+    pub after: Option<MetricValue>,
+}
+
+impl fmt::Display for TelemetrySnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (k, v)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "  {k:<38}{v:>18}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Shortest-roundtrip float formatting that is still valid JSON
+/// (`1.0` not `1`, no NaN/inf — those become `null`).
+pub(crate) fn json_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_string();
+    }
+    let s = format!("{v:?}");
+    if s.contains(['.', 'e', 'E']) {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+pub(crate) fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("a.count", 2);
+        reg.counter("a.count", 3);
+        reg.gauge("a.gauge", 1.0);
+        reg.gauge("a.gauge", 2.0);
+        let snap = reg.snapshot();
+        assert_eq!(snap.get("a.count"), Some(MetricValue::Counter(5)));
+        assert_eq!(snap.get("a.gauge"), Some(MetricValue::Gauge(2.0)));
+        assert_eq!(snap.get("missing"), None);
+    }
+
+    #[test]
+    fn histograms_summarize_samples() {
+        let mut reg = MetricsRegistry::new();
+        for v in [3.0, 1.0, 2.0] {
+            reg.observe("h", v);
+        }
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.get("h"),
+            Some(MetricValue::Histogram {
+                count: 3,
+                sum: 6.0,
+                min: 1.0,
+                max: 3.0
+            })
+        );
+    }
+
+    #[test]
+    fn json_is_sorted_and_roundtrip_stable() {
+        let mut reg = MetricsRegistry::new();
+        reg.gauge("b.wall", 0.5);
+        reg.counter("a.evals", 7);
+        let snap = reg.snapshot();
+        let json = snap.to_json();
+        assert_eq!(json, "{\"a.evals\":7,\"b.wall\":0.5}");
+        // Same registry contents → byte-identical JSON.
+        let mut reg2 = MetricsRegistry::new();
+        reg2.counter("a.evals", 7);
+        reg2.gauge("b.wall", 0.5);
+        assert_eq!(reg2.snapshot().to_json(), json);
+    }
+
+    #[test]
+    fn diff_reports_changed_and_one_sided_keys() {
+        let mut a = MetricsRegistry::new();
+        a.counter("same", 1);
+        a.counter("changed", 1);
+        a.counter("only_left", 1);
+        let mut b = MetricsRegistry::new();
+        b.counter("same", 1);
+        b.counter("changed", 2);
+        b.counter("only_right", 1);
+        let d = a.snapshot().diff(&b.snapshot());
+        let keys: Vec<&str> = d.iter().map(|x| x.key.as_str()).collect();
+        assert_eq!(keys, ["changed", "only_left", "only_right"]);
+    }
+
+    #[test]
+    fn display_is_aligned_key_value_lines() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("pipeline.evaluations", 3);
+        let text = reg.snapshot().to_string();
+        assert!(text.starts_with("  pipeline.evaluations"));
+    }
+
+    #[test]
+    fn json_floats_stay_valid_json() {
+        assert_eq!(json_f64(1.0), "1.0");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(1.5e-9), "1.5e-9");
+    }
+}

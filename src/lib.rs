@@ -20,6 +20,7 @@
 //! | [`core`] | **the paper's contribution**: the three kernels + pipeline |
 //! | [`cluster`] | multi-device sharding with stream-overlapped transfers |
 //! | [`homotopy`] | Newton's method and path tracking on top |
+//! | [`obs`] | deterministic tracing and metrics over the modeled timeline |
 //!
 //! The public surface is the unified solving API: a
 //! [`SolveRequest`](polygpu_homotopy::solve::SolveRequest) (target,
@@ -35,6 +36,15 @@
 //! **bit-identical** results; an [`engine::Session`] keeps several
 //! encoded systems resident in one device's constant memory so
 //! successive homotopy stages switch systems without re-paying setup.
+//!
+//! Every solve can be observed without perturbing it: install a
+//! [`Tracer`](obs::Tracer) via
+//! [`SolveRequest::with_tracer`](polygpu_homotopy::solve::SolveRequest::with_tracer)
+//! to record spans timestamped by the *simulated* clock (same seed ⇒
+//! byte-identical [`chrome_trace_json`](obs::chrome_trace_json)
+//! export), and read the unified
+//! [`TelemetrySnapshot`](obs::TelemetrySnapshot) on every
+//! [`SolveReport`](polygpu_homotopy::solve::SolveReport).
 //!
 //! ## Quickstart
 //!
@@ -74,6 +84,7 @@ pub use polygpu_complex as complex;
 pub use polygpu_core as core;
 pub use polygpu_gpusim as gpusim;
 pub use polygpu_homotopy as homotopy;
+pub use polygpu_obs as obs;
 pub use polygpu_polysys as polysys;
 pub use polygpu_qd as qd;
 
@@ -193,6 +204,10 @@ pub mod prelude {
         LaunchOptions, LaunchReport, RecoveryPolicy,
     };
     pub use polygpu_homotopy::prelude::*;
+    pub use polygpu_obs::{
+        chrome_trace_json, phase_rollup, CollectingTracer, MetricDelta, MetricValue,
+        MetricsRegistry, NoopTracer, Span, SpanKind, TelemetrySnapshot, TraceSink, Tracer,
+    };
     pub use polygpu_polysys::{
         cost, random_point, random_points, random_system, AdEvaluator, BatchSystemEvaluator,
         BenchmarkParams, Monomial, NaiveEvaluator, OpCounts, Polynomial, System, SystemEval,

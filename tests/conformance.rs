@@ -343,6 +343,65 @@ fn all_backends_survive_fault_injection() {
     );
 }
 
+/// Tracing contract: installing a tracer — no-op or collecting — on
+/// any backend changes *nothing* about the computation: values,
+/// Jacobians, and every modeled stat stay bit-identical to the
+/// untraced engine. Observation is free by construction, because spans
+/// only read the modeled clocks the stats already advance.
+#[test]
+fn tracing_never_perturbs_any_backend() {
+    use std::sync::Arc;
+
+    let sys = test_system::<f64>();
+    let points = test_points::<f64>(POINTS);
+    for (name, backend) in backend_cases() {
+        let mut plain = build::<f64>(&backend, &sys);
+        let want = plain.try_evaluate_batch(&points).unwrap();
+        let want_stats = plain.engine_stats();
+
+        let collector = Arc::new(CollectingTracer::new());
+        let tracers: [(&str, Arc<dyn Tracer>); 2] = [
+            ("noop", Arc::new(NoopTracer)),
+            ("collecting", collector.clone()),
+        ];
+        for (mode, tracer) in tracers {
+            let mut traced = Engine::builder()
+                .backend(backend.clone())
+                .per_device_capacity(PER_DEVICE)
+                .tracer(tracer)
+                .build(&sys)
+                .expect("tracing must not break provisioning");
+            let got = traced.try_evaluate_batch(&points).unwrap();
+            for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert_eq!(g.values, w.values, "{name}/{mode}, point {i}");
+                assert_eq!(
+                    g.jacobian.as_slice(),
+                    w.jacobian.as_slice(),
+                    "{name}/{mode}, point {i}"
+                );
+            }
+            let stats = traced.engine_stats();
+            assert_eq!(stats.evaluations, want_stats.evaluations, "{name}/{mode}");
+            assert_eq!(stats.batches, want_stats.batches, "{name}/{mode}");
+            assert_eq!(
+                stats.wall_seconds, want_stats.wall_seconds,
+                "{name}/{mode}: the modeled wall clock must not move"
+            );
+            assert_eq!(
+                stats.kernel_seconds, want_stats.kernel_seconds,
+                "{name}/{mode}"
+            );
+        }
+        // The device-modeled backends actually narrate their work; the
+        // CPU reference has no modeled timeline and stays silent.
+        if name == "cpu-reference" {
+            assert!(collector.is_empty(), "{name}: nothing to trace");
+        } else {
+            assert!(!collector.is_empty(), "{name}: spans must be recorded");
+        }
+    }
+}
+
 /// The device-modeled backends report modeled cost; the CPU reference
 /// reports zeroes for the device terms — both through the same trait.
 #[test]
