@@ -1665,6 +1665,338 @@ pub fn format_trace_sweep(sweep: &TraceSweep) -> String {
     s
 }
 
+/// One tenant's accounting in the serve sweep's contention run.
+#[derive(Debug, Clone)]
+pub struct ServeTenantRow {
+    /// Tenant display name.
+    pub tenant: String,
+    /// Fair-queue weight.
+    pub weight: u32,
+    /// Jobs served.
+    pub jobs: u64,
+    /// Paths tracked across those jobs.
+    pub paths: u64,
+    /// Jobs served from the encoded-system cache.
+    pub cache_hits: u64,
+    /// Mean modeled queue wait per job.
+    pub mean_wait_seconds: f64,
+}
+
+/// One chaos cell of the serve sweep: a row-sharded fleet under a
+/// seeded fault plan, serving a short job stream twice.
+#[derive(Debug, Clone)]
+pub struct ServeChaosRow {
+    /// Fault-plan seed.
+    pub seed: u64,
+    /// Jobs accounted for in the report (admitted jobs never vanish).
+    pub jobs: usize,
+    /// Jobs that failed typed (degraded fleet or surfaced fault).
+    pub failed: usize,
+    /// Devices the fleet lost to failover during the run.
+    pub devices_lost: usize,
+    /// The degraded-fleet flag of the report.
+    pub degraded: bool,
+    /// Both runs of this seed rendered byte-identical reports.
+    pub deterministic: bool,
+}
+
+/// The multi-tenant serve sweep plus its deterministic acceptance
+/// checks.
+#[derive(Debug, Clone)]
+pub struct ServeSweep {
+    /// Contention-run tenants, sorted by descending weight.
+    pub tenants: Vec<ServeTenantRow>,
+    /// Adjacent tenant changes in the service order — WFQ interleaves
+    /// the backlog instead of draining tenants in blocks.
+    pub interleave_switches: usize,
+    /// Share of the service clock spent solving (vs. admission).
+    pub occupancy: f64,
+    /// Submissions bounced off the per-tenant in-flight budget.
+    pub rejected_overloaded: u64,
+    /// Encoded-system cache counters of the contention run.
+    pub cache: polygpu_serve::CacheStats,
+    /// Mean admission cost of a cache miss (encode + upload + probe)
+    /// on an alternating two-target stream.
+    pub miss_admission_seconds: f64,
+    /// Mean admission cost of a cache hit on the same stream — a real
+    /// command-queue switch, the hit's worst case.
+    pub hit_admission_seconds: f64,
+    /// `mean miss / mean hit` — the residency amortization factor.
+    pub amortization: f64,
+    /// The contention run rendered byte-identical across two runs.
+    pub deterministic: bool,
+    /// Chaos cells, one per fault seed.
+    pub chaos: Vec<ServeChaosRow>,
+    /// Every chaos run accounted for every admitted job.
+    pub chaos_all_accounted: bool,
+    /// At least one seed degraded the fleet or failed jobs typed.
+    pub chaos_degraded_seen: bool,
+    /// Every chaos seed replayed byte-identically.
+    pub chaos_deterministic: bool,
+}
+
+impl ServeSweep {
+    /// The named acceptance bars of `repro serve` — the single source
+    /// of truth behind both [`ServeSweep::passes`] and the PASS/FAIL
+    /// lines the `repro` binary prints.
+    pub fn checks(&self) -> [(&'static str, bool); 5] {
+        let waits_ordered = self
+            .tenants
+            .windows(2)
+            .all(|w| w[0].mean_wait_seconds <= w[1].mean_wait_seconds);
+        [
+            (
+                "fairness check (WFQ interleaves tenants; mean wait ordered by weight)",
+                self.interleave_switches >= 6 && waits_ordered,
+            ),
+            (
+                "occupancy check (contended backlog keeps the fleet solving > 0.8 of the clock)",
+                self.occupancy > 0.8,
+            ),
+            (
+                "amortization check (repeat admission at least 5x cheaper via the cache)",
+                self.amortization >= 5.0 && self.cache.hits > self.cache.misses,
+            ),
+            (
+                "degradation check (chaos loses devices and fails jobs typed, never the service)",
+                self.chaos_all_accounted && self.chaos_degraded_seen,
+            ),
+            (
+                "determinism check (same submissions => byte-identical service reports)",
+                self.deterministic && self.chaos_deterministic,
+            ),
+        ]
+    }
+
+    /// All acceptance bars at once.
+    pub fn passes(&self) -> bool {
+        self.checks().iter().all(|(_, ok)| *ok)
+    }
+}
+
+/// The multi-tenant table behind `repro serve`.
+///
+/// **Contention run** — three tenants (weights 1/2/4, one shared
+/// target) each submit 6 four-path jobs into a single-device batched
+/// fleet, plus one over-budget submission that must bounce typed. The
+/// weighted fair queue drains the backlog interleaved, the
+/// encoded-system cache serves 17 of the 18 admissions from residency,
+/// and the whole report replays byte-for-byte.
+///
+/// **Chaos cells** — a row-sharded two-device fleet under seeded fault
+/// plans serves a short mixed stream; jobs may fail typed and the
+/// fleet may shrink, but every admitted job is accounted for and the
+/// report stays deterministic. Fully modeled, hence deterministic —
+/// same seeds, same table, forever.
+pub fn serve_sweep() -> ServeSweep {
+    use polygpu_core::engine::{Engine, SystemShardPolicy};
+    use polygpu_homotopy::solve::{SolveRequest, StartSelection};
+    use polygpu_serve::{Priority, ServeError, SolveService, TenantSpec};
+
+    let target = random_system::<f64>(&BenchmarkParams {
+        n: 2,
+        m: 2,
+        k: 2,
+        d: 2,
+        seed: 17,
+    });
+    let request = || SolveRequest::new(target.clone()).with_starts(StartSelection::FirstN(4));
+
+    // Contention: 18 jobs, round-robin arrivals, one shared target.
+    let contend = || {
+        let builder = Engine::builder().backend(polygpu_core::Backend::GpuBatch { capacity: 4 });
+        let mut svc = SolveService::new(&builder).expect("batched backend serves");
+        let tenants = [
+            svc.register(
+                TenantSpec::new("bronze")
+                    .with_weight(1)
+                    .with_max_in_flight(6),
+            ),
+            svc.register(
+                TenantSpec::new("silver")
+                    .with_weight(2)
+                    .with_max_in_flight(6),
+            ),
+            svc.register(TenantSpec::new("gold").with_weight(4).with_max_in_flight(6)),
+        ];
+        for _ in 0..6 {
+            for t in tenants {
+                svc.submit(t, Priority::Normal, request())
+                    .expect("the backlog fits every budget");
+            }
+        }
+        // The 7th bronze job must bounce off the in-flight budget —
+        // typed backpressure, not queue growth.
+        match svc.submit(tenants[0], Priority::Normal, request()) {
+            Err(ServeError::Overloaded { .. }) => {}
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        svc.run()
+    };
+    let report = contend();
+    let deterministic = report.render() == contend().render();
+
+    let mut tenants: Vec<ServeTenantRow> = report
+        .tenants
+        .iter()
+        .map(|t| ServeTenantRow {
+            tenant: t.tenant.clone(),
+            weight: t.weight,
+            jobs: t.jobs,
+            paths: t.paths,
+            cache_hits: t.cache_hits,
+            mean_wait_seconds: t.wait_seconds / t.jobs.max(1) as f64,
+        })
+        .collect();
+    tenants.sort_by_key(|t| std::cmp::Reverse(t.weight));
+    let interleave_switches = report
+        .jobs
+        .windows(2)
+        .filter(|w| w[0].tenant != w[1].tenant)
+        .count();
+    let solve_total: f64 = report.jobs.iter().map(|j| j.solve_seconds).sum();
+    let occupancy = solve_total / (report.finished_at - report.started_at);
+    // Amortization is measured on an alternating two-target stream so
+    // every cache hit pays the worst case — a real command-queue
+    // switch, not the free already-active path the shared-target
+    // backlog above enjoys.
+    let alternating = {
+        let builder = Engine::builder().backend(polygpu_core::Backend::GpuBatch { capacity: 4 });
+        let mut svc = SolveService::new(&builder).expect("batched backend serves");
+        let t = svc.register(TenantSpec::new("acme").with_max_in_flight(8));
+        let other = random_system::<f64>(&BenchmarkParams {
+            n: 2,
+            m: 2,
+            k: 2,
+            d: 2,
+            seed: 23,
+        });
+        for _ in 0..2 {
+            svc.submit(t, Priority::Normal, request())
+                .expect("target A admits");
+            svc.submit(
+                t,
+                Priority::Normal,
+                SolveRequest::new(other.clone()).with_starts(StartSelection::FirstN(4)),
+            )
+            .expect("target B admits");
+        }
+        svc.run()
+    };
+    let mean = |hit: bool| {
+        let picked: Vec<f64> = alternating
+            .jobs
+            .iter()
+            .filter(|j| j.cache_hit == hit)
+            .map(|j| j.admission_seconds)
+            .collect();
+        picked.iter().sum::<f64>() / picked.len().max(1) as f64
+    };
+    let miss_admission_seconds = mean(false);
+    let hit_admission_seconds = mean(true);
+    let amortization = miss_admission_seconds / hit_admission_seconds.max(f64::MIN_POSITIVE);
+
+    // Chaos: a row-sharded fleet under heavy seeded fault injection.
+    let chaos_run = |seed: u64| {
+        let builder = polygpu_cluster::engine_builder()
+            .backend(polygpu_core::Backend::Cluster {
+                devices: vec![DeviceSpec::tesla_c2050(); 2],
+                shard: SystemShardPolicy::Contiguous.into(),
+            })
+            .per_device_capacity(4)
+            .fault_plan(FaultPlan::new(seed, 2_000));
+        let mut svc = SolveService::new(&builder).expect("row-sharded fleets serve");
+        let t = svc.register(TenantSpec::new("chaos").with_max_in_flight(8));
+        for _ in 0..2 {
+            for r in [request(), request().with_gamma_seed(5)] {
+                svc.submit(t, Priority::Normal, r)
+                    .expect("chaos jobs admit while the fleet stands");
+            }
+        }
+        svc.run()
+    };
+    let mut chaos = Vec::new();
+    let mut chaos_all_accounted = true;
+    let mut chaos_degraded_seen = false;
+    let mut chaos_deterministic = true;
+    for seed in [3u64, 11, 29] {
+        let r1 = chaos_run(seed);
+        let r2 = chaos_run(seed);
+        let deterministic = r1.render() == r2.render();
+        chaos_deterministic &= deterministic;
+        chaos_all_accounted &= r1.jobs.len() == 4;
+        let failed = r1.jobs.len() - r1.solved();
+        chaos_degraded_seen |= r1.degraded || failed > 0 || r1.devices_lost > 0;
+        chaos.push(ServeChaosRow {
+            seed,
+            jobs: r1.jobs.len(),
+            failed,
+            devices_lost: r1.devices_lost,
+            degraded: r1.degraded,
+            deterministic,
+        });
+    }
+
+    ServeSweep {
+        tenants,
+        interleave_switches,
+        occupancy,
+        rejected_overloaded: report.rejected_overloaded,
+        cache: report.cache,
+        miss_admission_seconds,
+        hit_admission_seconds,
+        amortization,
+        deterministic,
+        chaos,
+        chaos_all_accounted,
+        chaos_degraded_seen,
+        chaos_deterministic,
+    }
+}
+
+/// Render the serve sweep in markdown.
+pub fn format_serve_sweep(sweep: &ServeSweep) -> String {
+    let mut s = String::new();
+    s.push_str("### Serve — multi-tenant solve service (18-job contended backlog, 1 fleet)\n\n");
+    s.push_str("| tenant | weight | jobs | paths | cache hits | mean wait (modeled s) |\n");
+    s.push_str("|--------|-------:|-----:|------:|-----------:|----------------------:|\n");
+    for t in &sweep.tenants {
+        s.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {:.3e} |\n",
+            t.tenant, t.weight, t.jobs, t.paths, t.cache_hits, t.mean_wait_seconds
+        ));
+    }
+    s.push_str(&format!(
+        "\nservice order interleaves tenants ({} switches); occupancy {:.3}; \
+         {} submission(s) bounced typed on the in-flight budget\n",
+        sweep.interleave_switches, sweep.occupancy, sweep.rejected_overloaded
+    ));
+    s.push_str(&format!(
+        "cache: {} miss / {} hits / {} evictions; admission {:.3e} s cold vs {:.3e} s \
+         resident — {:.1}x amortization\n\n",
+        sweep.cache.misses,
+        sweep.cache.hits,
+        sweep.cache.evictions,
+        sweep.miss_admission_seconds,
+        sweep.hit_admission_seconds,
+        sweep.amortization
+    ));
+    s.push_str("| fault seed | jobs | failed | devices lost | degraded | byte-identical |\n");
+    s.push_str("|-----------:|-----:|-------:|-------------:|----------|----------------|\n");
+    for c in &sweep.chaos {
+        s.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} |\n",
+            c.seed,
+            c.jobs,
+            c.failed,
+            c.devices_lost,
+            if c.degraded { "yes" } else { "no" },
+            if c.deterministic { "yes" } else { "NO" }
+        ));
+    }
+    s
+}
+
 /// Fixture for the batch benches: a batched evaluator at `capacity`
 /// plus matching random points.
 pub fn batch_fixture(
@@ -1920,6 +2252,43 @@ mod tests {
         let s = format_trace_sweep(&sweep);
         assert!(s.contains("byte-identical"));
         assert!(s.contains("no-op tracer bit-identity: holds"));
+    }
+
+    /// The `repro serve` gates: the weighted fair queue interleaves a
+    /// contended backlog with waits ordered by weight, the cache keeps
+    /// the fleet solving and amortizes repeat admission at least 5x,
+    /// chaos degrades jobs but never the service, and every report
+    /// replays byte-for-byte.
+    #[test]
+    fn serve_sweep_passes_its_gates() {
+        let sweep = serve_sweep();
+        assert_eq!(sweep.tenants.len(), 3);
+        assert_eq!(sweep.tenants[0].tenant, "gold");
+        assert!(
+            sweep.tenants[0].mean_wait_seconds <= sweep.tenants[2].mean_wait_seconds,
+            "weight 4 must wait no longer than weight 1: {sweep:?}"
+        );
+        assert!(sweep.interleave_switches >= 6, "{sweep:?}");
+        assert!(sweep.occupancy > 0.8, "occupancy {:.3}", sweep.occupancy);
+        assert_eq!(sweep.rejected_overloaded, 1);
+        assert_eq!(sweep.cache.misses, 1);
+        assert_eq!(sweep.cache.hits, 17);
+        assert!(
+            sweep.amortization >= 5.0,
+            "amortization {:.1}x",
+            sweep.amortization
+        );
+        assert_eq!(sweep.chaos.len(), 3);
+        assert!(sweep.chaos_all_accounted, "{sweep:?}");
+        assert!(sweep.chaos_degraded_seen, "{sweep:?}");
+        assert!(
+            sweep.deterministic && sweep.chaos_deterministic,
+            "{sweep:?}"
+        );
+        assert!(sweep.passes());
+        let s = format_serve_sweep(&sweep);
+        assert!(s.contains("| gold | 4 |"));
+        assert!(s.contains("amortization"));
     }
 
     #[test]

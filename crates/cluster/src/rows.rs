@@ -790,6 +790,10 @@ struct ClusterResident<R: Real> {
     constant_bytes: usize,
     setup_seconds: f64,
     activations: u64,
+    /// Constant-arena regions per participating device
+    /// (`(device, (positions, exponents))`) — returned to the arenas on
+    /// [`ClusterSession::unload`].
+    regions: Vec<(usize, (ConstId, ConstId))>,
 }
 
 /// Multi-system residency across a device fleet: several row-sharded
@@ -840,10 +844,14 @@ pub struct ClusterSession<R: Real> {
     /// Devices lost to upload faults — excluded from every later load.
     lost: Vec<bool>,
     fault: FaultStats,
-    residents: Vec<ClusterResident<R>>,
+    /// Residency slots, indexed by [`SystemId`]; `None` = unloaded.
+    /// Slots are never reused, so a stale id can only name an evicted
+    /// system (a panic), never silently alias a different one.
+    residents: Vec<Option<ClusterResident<R>>>,
     active: Option<usize>,
     stages: u64,
     switches: u64,
+    evictions: u64,
     session_seconds: f64,
     reencode_seconds: f64,
 }
@@ -893,6 +901,7 @@ impl<R: Real> ClusterSession<R> {
             active: None,
             stages: 0,
             switches: 0,
+            evictions: 0,
             session_seconds: 0.0,
             reencode_seconds: 0.0,
         })
@@ -986,6 +995,7 @@ impl<R: Real> ClusterSession<R> {
             let mut engines = Vec::with_capacity(plan.len());
             let mut row_map = Vec::with_capacity(plan.len());
             let mut device_indices = Vec::with_capacity(plan.len());
+            let mut regions = Vec::with_capacity(plan.len());
             let mut setup = 0.0f64;
             let mut constant_bytes = 0usize;
             for (j, (d, rows)) in plan.iter().enumerate() {
@@ -1025,6 +1035,7 @@ impl<R: Real> ClusterSession<R> {
                 let enc = EncodedSupports::upload(&block, &mut staged[j], self.base.encoding)
                     .map_err(|e| BuildError::Setup(SetupError::Encode(e)))?;
                 constant_bytes += enc.constant_bytes();
+                regions.push((*d, enc.regions()));
                 let shard_shape = enc.shape;
                 // Devices set up concurrently: the fleet's modeled
                 // setup is the slowest shard's.
@@ -1055,16 +1066,61 @@ impl<R: Real> ClusterSession<R> {
                 self.gather,
             );
             self.session_seconds += setup;
-            self.residents.push(ClusterResident {
+            self.residents.push(Some(ClusterResident {
                 evaluator,
                 label: label.to_string(),
                 monomials: shape.total_monomials(),
                 constant_bytes,
                 setup_seconds: setup,
                 activations: 0,
-            });
+                regions,
+            }));
             return Ok(SystemId::new(self.residents.len() - 1));
         }
+    }
+
+    /// Unload `id`: every participating device's constant-arena
+    /// regions return to that device's arena (reusable by later loads)
+    /// and the slot is cleared. The active system is deactivated if it
+    /// was `id`. Returns `false` when `id` was already unloaded.
+    /// Panics on an id this session never issued.
+    pub fn unload(&mut self, id: SystemId) -> bool {
+        let idx = id.index();
+        assert!(idx < self.residents.len(), "unknown SystemId");
+        let Some(r) = self.residents[idx].take() else {
+            return false;
+        };
+        for (d, (positions, exponents)) in r.regions {
+            self.arenas[d].free(positions);
+            self.arenas[d].free(exponents);
+        }
+        if self.active == Some(idx) {
+            self.active = None;
+        }
+        self.evictions += 1;
+        true
+    }
+
+    /// Whether `id` is still resident (not unloaded).
+    pub fn is_resident(&self, id: SystemId) -> bool {
+        self.residents.get(id.index()).is_some_and(|r| r.is_some())
+    }
+
+    /// Unloads performed over the session's lifetime.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Residency pressure: the **most loaded** device's resident bytes
+    /// over its budget, in `[0, 1]` — the fleet-level analogue of the
+    /// single-device session's accessor (row shards must fit every
+    /// participating device, so the tightest device gates admission).
+    pub fn residency_pressure(&self) -> f64 {
+        self.arenas
+            .iter()
+            .filter(|a| a.budget() > 0)
+            .map(|a| a.used() as f64 / a.budget() as f64)
+            .fold(0.0, f64::max)
     }
 
     /// Upload-fault accounting for this session's loads (the residents'
@@ -1085,8 +1141,15 @@ impl<R: Real> ClusterSession<R> {
     pub fn activate(&mut self, id: SystemId) -> &mut dyn AnyEvaluator<R> {
         let idx = id.index();
         assert!(idx < self.residents.len(), "unknown SystemId");
+        assert!(
+            self.residents[idx].is_some(),
+            "SystemId was unloaded from this session"
+        );
         self.stages += 1;
-        self.reencode_seconds += self.residents[idx].setup_seconds;
+        self.reencode_seconds += self.residents[idx]
+            .as_ref()
+            .expect("resident")
+            .setup_seconds;
         if self.active != Some(idx) {
             if self.active.is_some() {
                 self.switches += 1;
@@ -1094,13 +1157,14 @@ impl<R: Real> ClusterSession<R> {
             }
             self.active = Some(idx);
         }
-        self.residents[idx].activations += 1;
-        &mut self.residents[idx].evaluator
+        let r = self.residents[idx].as_mut().expect("resident");
+        r.activations += 1;
+        &mut r.evaluator
     }
 
     /// Systems currently resident.
     pub fn resident_count(&self) -> usize {
-        self.residents.len()
+        self.residents.iter().flatten().count()
     }
 
     /// Devices in the fleet.
@@ -1123,6 +1187,7 @@ impl<R: Real> ClusterSession<R> {
     pub fn residency(&self) -> Vec<ResidencyRow> {
         self.residents
             .iter()
+            .flatten()
             .map(|r| ResidencyRow {
                 label: r.label.clone(),
                 monomials: r.monomials,
@@ -1139,6 +1204,7 @@ impl<R: Real> ClusterSession<R> {
         let min_setup = self
             .residents
             .iter()
+            .flatten()
             .map(|r| r.setup_seconds)
             .fold(f64::INFINITY, f64::min);
         let switch = self.switch_seconds();
@@ -1146,7 +1212,7 @@ impl<R: Real> ClusterSession<R> {
             stages: self.stages,
             session_seconds: self.session_seconds,
             reencode_seconds: self.reencode_seconds,
-            steady_state_ratio: if self.residents.is_empty() || switch <= 0.0 {
+            steady_state_ratio: if self.resident_count() == 0 || switch <= 0.0 {
                 1.0
             } else {
                 min_setup / switch

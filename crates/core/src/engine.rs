@@ -107,6 +107,72 @@ impl EngineCaps {
     }
 }
 
+/// The static admission surface of a builder spec: everything a serving
+/// layer needs to decide — *before* building an engine or touching a
+/// device — whether a request can ever fit the fleet the spec
+/// describes. Obtained from [`EngineBuilder::admission_budget`].
+///
+/// Admission math is deliberately conservative: it sizes the encoding
+/// against the **worst-case even row split** on row-sharded clusters
+/// and the **tightest surviving device** under degradation, so a
+/// request it admits can always be loaded, while a request it rejects
+/// is rejected free (no arena bytes, no modeled time).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdmissionBudget {
+    /// Backend name (`"gpu"`, `"gpu-batch"`, `"cluster"`, …).
+    pub backend: &'static str,
+    /// Constant-memory budget of each device in the fleet, in fleet
+    /// index order (one entry for single-device backends).
+    pub device_constant_budgets: Vec<usize>,
+    /// Points one device absorbs per round trip.
+    pub per_device_capacity: usize,
+    /// The support encoding requests are sized against.
+    pub encoding: EncodingKind,
+    /// Whether the system's rows are sharded across devices (each
+    /// device holds only its rows' supports) or every device encodes
+    /// the whole system.
+    pub rows_sharded: bool,
+}
+
+impl AdmissionBudget {
+    /// Devices in the (undegraded) fleet.
+    pub fn devices(&self) -> usize {
+        self.device_constant_budgets.len()
+    }
+
+    /// Constant bytes `shape` requires on the most loaded device when
+    /// the fleet has `devices` survivors: the whole encoding on
+    /// unsharded backends, the largest even row slice when rows are
+    /// sharded. Returns `usize::MAX` for `devices == 0` (nothing can
+    /// be admitted to an empty fleet).
+    pub fn bytes_needed_per_device(&self, shape: &UniformShape, devices: usize) -> usize {
+        if devices == 0 {
+            return usize::MAX;
+        }
+        let mut slice = *shape;
+        if self.rows_sharded {
+            slice.rows = shape.rows.div_ceil(devices);
+        }
+        EncodedSupports::bytes_needed(&slice, self.encoding)
+    }
+
+    /// Whether `shape` can *ever* fit a fleet of `surviving` devices
+    /// (each starting empty): its per-device slice must fit the
+    /// tightest surviving budget. Survivor identity is unknown at
+    /// admission time, so the check uses the smallest budget in the
+    /// fleet — conservative, never optimistic.
+    pub fn fits(&self, shape: &UniformShape, surviving: usize) -> bool {
+        let surviving = surviving.min(self.devices());
+        let tightest = self
+            .device_constant_budgets
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(0);
+        self.bytes_needed_per_device(shape, surviving) <= tightest
+    }
+}
+
 /// The object-safe union of every evaluator in the workspace: single
 /// and batched evaluation plus capacity, statistics and capability
 /// queries. Built by [`Engine::builder`]; held as
@@ -874,6 +940,36 @@ impl<P: ClusterProvider> EngineBuilder<P> {
         }
     }
 
+    /// The [`AdmissionBudget`] this spec resolves to — the free,
+    /// device-untouched sizing surface a serving layer admits against.
+    /// Errors only when the spec itself is invalid.
+    pub fn admission_budget(&self) -> Result<AdmissionBudget, BuildError> {
+        self.validate()?;
+        let (backend, budgets, rows_sharded) = match &self.backend {
+            Backend::CpuReference => ("cpu-reference", vec![usize::MAX], false),
+            Backend::Gpu => ("gpu", vec![self.device.constant_budget()], false),
+            Backend::GpuBatch { .. } => ("gpu-batch", vec![self.device.constant_budget()], false),
+            Backend::Cluster { devices, shard } => (
+                "cluster",
+                devices.iter().map(|d| d.constant_budget()).collect(),
+                matches!(shard, ShardMode::Rows { .. }),
+            ),
+        };
+        let per_device_capacity = match &self.backend {
+            Backend::CpuReference => usize::MAX,
+            Backend::Gpu => 1,
+            Backend::GpuBatch { capacity } => *capacity,
+            Backend::Cluster { .. } => self.per_device_capacity,
+        };
+        Ok(AdmissionBudget {
+            backend,
+            device_constant_budgets: budgets,
+            per_device_capacity,
+            encoding: self.encoding,
+            rows_sharded,
+        })
+    }
+
     /// Build the selected backend for `system` in precision `R`. The
     /// spec is reusable: call again with the same system converted to a
     /// higher precision to escalate without re-describing the engine.
@@ -1008,6 +1104,9 @@ struct Resident<R: Real> {
     constant_bytes: usize,
     setup_seconds: f64,
     activations: u64,
+    /// The two constant-arena regions this system's encoding occupies —
+    /// returned to the arena on [`Session::unload`].
+    regions: (ConstId, ConstId),
 }
 
 /// Multi-system device residency: several encoded systems share one
@@ -1028,10 +1127,14 @@ pub struct Session<R: Real> {
     capacity: usize,
     /// The shared constant-memory arena (joint budget accounting).
     arena: ConstantMemory,
-    residents: Vec<Resident<R>>,
+    /// Residency slots, indexed by [`SystemId`]; `None` = unloaded.
+    /// Slots are never reused, so a stale id can only name an evicted
+    /// system (a panic), never silently alias a different one.
+    residents: Vec<Option<Resident<R>>>,
     active: Option<usize>,
     stages: u64,
     switches: u64,
+    evictions: u64,
     session_seconds: f64,
     reencode_seconds: f64,
 }
@@ -1046,6 +1149,7 @@ impl<R: Real> Session<R> {
             active: None,
             stages: 0,
             switches: 0,
+            evictions: 0,
             session_seconds: 0.0,
             reencode_seconds: 0.0,
         }
@@ -1094,6 +1198,7 @@ impl<R: Real> Session<R> {
         let enc = EncodedSupports::upload(system, &mut self.arena, self.opts.encoding)
             .map_err(|e| BuildError::Setup(SetupError::Encode(e)))?;
         let constant_bytes = enc.constant_bytes();
+        let regions = enc.regions();
         // The engine snapshots the shared arena at its own load point;
         // its constant offsets are stable against later loads.
         let engine = BatchGpuEvaluator::from_encoded(
@@ -1105,15 +1210,56 @@ impl<R: Real> Session<R> {
         )?;
         let setup_seconds = self.modeled_setup_seconds(&shape);
         self.session_seconds += setup_seconds;
-        self.residents.push(Resident {
+        self.residents.push(Some(Resident {
             engine,
             label: label.to_string(),
             monomials: shape.total_monomials(),
             constant_bytes,
             setup_seconds,
             activations: 0,
-        });
+            regions,
+        }));
         Ok(SystemId(self.residents.len() - 1))
+    }
+
+    /// Unload `id`: its constant-memory regions return to the shared
+    /// arena (reusable by later loads) and its slot is cleared. The
+    /// active system is deactivated if it was `id`. Returns `false`
+    /// when `id` was already unloaded. Panics on an id this session
+    /// never issued.
+    pub fn unload(&mut self, id: SystemId) -> bool {
+        let idx = id.0;
+        assert!(idx < self.residents.len(), "unknown SystemId");
+        let Some(r) = self.residents[idx].take() else {
+            return false;
+        };
+        self.arena.free(r.regions.0);
+        self.arena.free(r.regions.1);
+        if self.active == Some(idx) {
+            self.active = None;
+        }
+        self.evictions += 1;
+        true
+    }
+
+    /// Whether `id` is still resident (not unloaded).
+    pub fn is_resident(&self, id: SystemId) -> bool {
+        self.residents.get(id.0).is_some_and(|r| r.is_some())
+    }
+
+    /// Unloads performed over the session's lifetime.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Residency pressure: resident constant bytes over the device
+    /// budget, in `[0, 1]`. A cache evicts when a prospective load
+    /// would push this past `1`.
+    pub fn residency_pressure(&self) -> f64 {
+        if self.arena.budget() == 0 {
+            return 0.0;
+        }
+        self.arena.used() as f64 / self.arena.budget() as f64
     }
 
     /// Make `id` the active system (one modeled command-queue round
@@ -1127,8 +1273,15 @@ impl<R: Real> Session<R> {
     pub fn activate(&mut self, id: SystemId) -> &mut dyn AnyEvaluator<R> {
         let idx = id.0;
         assert!(idx < self.residents.len(), "unknown SystemId");
+        assert!(
+            self.residents[idx].is_some(),
+            "SystemId was unloaded from this session"
+        );
         self.stages += 1;
-        self.reencode_seconds += self.residents[idx].setup_seconds;
+        self.reencode_seconds += self.residents[idx]
+            .as_ref()
+            .expect("resident")
+            .setup_seconds;
         if self.active != Some(idx) {
             if self.active.is_some() {
                 self.switches += 1;
@@ -1136,19 +1289,21 @@ impl<R: Real> Session<R> {
             }
             self.active = Some(idx);
         }
-        self.residents[idx].activations += 1;
-        &mut self.residents[idx].engine
+        let r = self.residents[idx].as_mut().expect("resident");
+        r.activations += 1;
+        &mut r.engine
     }
 
     /// The active system's evaluator, if any (no stage is charged).
     pub fn active(&mut self) -> Option<&mut dyn AnyEvaluator<R>> {
         let idx = self.active?;
-        Some(&mut self.residents[idx].engine as &mut dyn AnyEvaluator<R>)
+        let r = self.residents[idx].as_mut()?;
+        Some(&mut r.engine as &mut dyn AnyEvaluator<R>)
     }
 
     /// Systems currently resident.
     pub fn resident_count(&self) -> usize {
-        self.residents.len()
+        self.residents.iter().flatten().count()
     }
 
     /// Bytes of the shared constant arena in use (all residents).
@@ -1165,6 +1320,7 @@ impl<R: Real> Session<R> {
     pub fn residency(&self) -> Vec<ResidencyRow> {
         self.residents
             .iter()
+            .flatten()
             .map(|r| ResidencyRow {
                 label: r.label.clone(),
                 monomials: r.monomials,
@@ -1180,6 +1336,7 @@ impl<R: Real> Session<R> {
         let min_setup = self
             .residents
             .iter()
+            .flatten()
             .map(|r| r.setup_seconds)
             .fold(f64::INFINITY, f64::min);
         let switch = self.switch_seconds();
@@ -1187,7 +1344,7 @@ impl<R: Real> Session<R> {
             stages: self.stages,
             session_seconds: self.session_seconds,
             reencode_seconds: self.reencode_seconds,
-            steady_state_ratio: if self.residents.is_empty() || switch <= 0.0 {
+            steady_state_ratio: if self.resident_count() == 0 || switch <= 0.0 {
                 1.0
             } else {
                 min_setup / switch

@@ -152,6 +152,13 @@ impl EncodedSupports {
         self.positions.len() + self.exponents.len()
     }
 
+    /// The two constant-memory regions this encoding occupies
+    /// (`positions`, `exponents`) — what a residency session hands back
+    /// to [`ConstantMemory::free`] when it unloads the system.
+    pub fn regions(&self) -> (ConstId, ConstId) {
+        (self.positions, self.exponents)
+    }
+
     /// Device-side read of factor `j` (0-based) of monomial `g`:
     /// returns `(variable, exponent - 1)`. Performs the constant loads
     /// and decode integer ops through the thread context so the

@@ -53,9 +53,9 @@ pub mod pipeline;
 
 pub use batch::{expect_batch, BatchError, BatchGpuEvaluator};
 pub use engine::{
-    AnyEvaluator, Backend, BuildError, ClusterPolicy, ClusterProvider, ClusterSpec, Engine,
-    EngineBuilder, EngineCaps, NoCluster, ResidencyRow, Session, SessionAmortization, ShardMode,
-    SystemId, SystemShardPolicy,
+    AdmissionBudget, AnyEvaluator, Backend, BuildError, ClusterPolicy, ClusterProvider,
+    ClusterSpec, Engine, EngineBuilder, EngineCaps, NoCluster, ResidencyRow, Session,
+    SessionAmortization, ShardMode, SystemId, SystemShardPolicy,
 };
 pub use kernels::batch::BatchLayout;
 pub use layout::encoding::{EncodeError, EncodedSupports, EncodingKind};

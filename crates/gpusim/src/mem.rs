@@ -123,10 +123,20 @@ impl std::error::Error for ConstantOverflow {}
 
 /// Constant memory: a read-only byte arena with the device's capacity
 /// enforced at allocation time.
+///
+/// Regions can be returned with [`ConstantMemory::free`] (how a
+/// residency session evicts an encoded system); freed regions coalesce
+/// and are reused first-fit by later allocations, so a long-lived
+/// serving arena does not leak budget. [`ConstantMemory::used`] counts
+/// **live** bytes only.
 #[derive(Debug, Clone)]
 pub struct ConstantMemory {
     bytes: Vec<u8>,
     budget: usize,
+    /// Free regions `(offset, len)`, sorted by offset, coalesced.
+    free: Vec<(usize, usize)>,
+    /// Live (allocated, not freed) bytes — the budget denominator.
+    live: usize,
 }
 
 impl ConstantMemory {
@@ -134,29 +144,87 @@ impl ConstantMemory {
         ConstantMemory {
             bytes: Vec::new(),
             budget: device.constant_budget(),
+            free: Vec::new(),
+            live: 0,
         }
     }
 
-    /// Allocate and fill a region; fails if the running total would
-    /// exceed the budget.
+    /// Allocate and fill a region; fails if the live total would
+    /// exceed the budget. Freed regions are reused first-fit (lowest
+    /// offset wins — deterministic) before the arena grows.
     pub fn alloc(&mut self, data: &[u8]) -> Result<ConstId, ConstantOverflow> {
-        let requested_total = self.bytes.len() + data.len();
+        let requested_total = self.live + data.len();
         if requested_total > self.budget {
             return Err(ConstantOverflow {
                 requested_total,
                 budget: self.budget,
             });
         }
+        // First fit over the sorted free list.
+        if let Some(i) = self.free.iter().position(|&(_, len)| len >= data.len()) {
+            let (offset, len) = self.free[i];
+            if len == data.len() {
+                self.free.remove(i);
+            } else {
+                self.free[i] = (offset + data.len(), len - data.len());
+            }
+            self.bytes[offset..offset + data.len()].copy_from_slice(data);
+            self.live += data.len();
+            return Ok(ConstId {
+                offset,
+                len: data.len(),
+            });
+        }
         let offset = self.bytes.len();
         self.bytes.extend_from_slice(data);
+        self.live += data.len();
         Ok(ConstId {
             offset,
             len: data.len(),
         })
     }
 
+    /// Return a region to the arena: its bytes become reusable by
+    /// later allocations and stop counting against the budget.
+    /// Zero-length regions are a no-op. Freeing the same region twice
+    /// is a caller bug (debug-asserted).
+    pub fn free(&mut self, id: ConstId) {
+        if id.len == 0 {
+            return;
+        }
+        debug_assert!(
+            !self
+                .free
+                .iter()
+                .any(|&(o, l)| id.offset < o + l && o < id.offset + id.len),
+            "double free of constant region at offset {}",
+            id.offset
+        );
+        self.live -= id.len;
+        let at = self
+            .free
+            .iter()
+            .position(|&(o, _)| o > id.offset)
+            .unwrap_or(self.free.len());
+        self.free.insert(at, (id.offset, id.len));
+        // Coalesce neighbours so big systems can land in reused space.
+        let mut i = at.saturating_sub(1);
+        while i + 1 < self.free.len() {
+            let (o0, l0) = self.free[i];
+            let (o1, l1) = self.free[i + 1];
+            if o0 + l0 == o1 {
+                self.free[i] = (o0, l0 + l1);
+                self.free.remove(i + 1);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Live bytes (allocated and not freed) — what counts against the
+    /// budget.
     pub fn used(&self) -> usize {
-        self.bytes.len()
+        self.live
     }
 
     pub fn budget(&self) -> usize {

@@ -103,6 +103,20 @@ impl<R: Real> TryBatchEvaluator<R> for Box<dyn AnyEvaluator<R>> {
     }
 }
 
+/// Borrowed engines are fallible too — how a serving layer drives the
+/// recovering schedulers over an evaluator that stays resident in a
+/// `Session`/`ClusterSession` (a `Box<dyn AnyEvaluator>` would demand
+/// ownership and a `'static` engine).
+impl<R: Real> TryBatchEvaluator<R> for &mut dyn AnyEvaluator<R> {
+    fn try_batch(&mut self, points: &[Vec<Complex<R>>]) -> Result<Vec<SystemEval<R>>, BatchError> {
+        (**self).try_evaluate_batch(points)
+    }
+
+    fn modeled_wall_seconds(&self) -> f64 {
+        self.engine_stats().wall_seconds
+    }
+}
+
 /// Adapter giving any [`BatchSystemEvaluator`] the
 /// [`TryBatchEvaluator`] surface via the default (`Ok`-wrapping)
 /// method — how the infallible legacy drivers delegate to the
@@ -276,6 +290,7 @@ mod tests {
         assert_try_batch::<f64, GpuEvaluator<f64>>();
         assert_try_batch::<f64, BatchGpuEvaluator<f64>>();
         assert_try_batch::<f64, Box<dyn AnyEvaluator<f64>>>();
+        assert_try_batch::<f64, &mut dyn AnyEvaluator<f64>>();
         assert_try_batch::<f64, CpuReferenceEngine<f64>>();
     }
 

@@ -436,6 +436,10 @@ pub struct SolveRequest {
     /// feeds back into the solve: outputs and modeled timings are
     /// bit-identical with and without a tracer installed.
     pub trace: TraceSink,
+    /// Free-form request tag (`None` by default). The solver ignores
+    /// it; serving layers use it to correlate a request through queues,
+    /// reports and span exports without inventing a side table.
+    pub label: Option<String>,
 }
 
 impl SolveRequest {
@@ -457,7 +461,16 @@ impl SolveRequest {
             scheduler: SchedulerKind::default(),
             recovery: RecoveryPolicy::default(),
             trace: TraceSink::noop(),
+            label: None,
         }
+    }
+
+    /// Tag this request with a correlation label (tenant name, job id).
+    /// Purely descriptive: two requests differing only in label solve
+    /// bit-identically.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
     }
 
     pub fn with_start(mut self, start: StartSystem) -> Self {

@@ -184,6 +184,67 @@ impl TelemetrySnapshot {
         out
     }
 
+    /// Combine two snapshots key-wise into tenant- or fleet-level
+    /// totals: counters add, gauges add (callers owning ratio gauges
+    /// should recompute them after merging), histograms combine
+    /// field-wise (`count`/`sum` add, `min`/`max` fold). Keys present
+    /// on only one side carry over unchanged; mismatched kinds under
+    /// the same key keep `self`'s value. The result stays sorted, so
+    /// merging is associative and deterministic.
+    pub fn merge(&self, other: &TelemetrySnapshot) -> TelemetrySnapshot {
+        let mut entries = Vec::with_capacity(self.entries.len() + other.entries.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.entries.len() || j < other.entries.len() {
+            let take_left = j >= other.entries.len()
+                || (i < self.entries.len() && self.entries[i].0 <= other.entries[j].0);
+            let take_right = i >= self.entries.len()
+                || (j < other.entries.len() && other.entries[j].0 <= self.entries[i].0);
+            match (take_left, take_right) {
+                (true, true) => {
+                    let merged = match (self.entries[i].1, other.entries[j].1) {
+                        (MetricValue::Counter(a), MetricValue::Counter(b)) => {
+                            MetricValue::Counter(a + b)
+                        }
+                        (MetricValue::Gauge(a), MetricValue::Gauge(b)) => MetricValue::Gauge(a + b),
+                        (
+                            MetricValue::Histogram {
+                                count: c0,
+                                sum: s0,
+                                min: m0,
+                                max: x0,
+                            },
+                            MetricValue::Histogram {
+                                count: c1,
+                                sum: s1,
+                                min: m1,
+                                max: x1,
+                            },
+                        ) => MetricValue::Histogram {
+                            count: c0 + c1,
+                            sum: s0 + s1,
+                            min: m0.min(m1),
+                            max: x0.max(x1),
+                        },
+                        (left, _) => left,
+                    };
+                    entries.push((self.entries[i].0.clone(), merged));
+                    i += 1;
+                    j += 1;
+                }
+                (true, false) => {
+                    entries.push(self.entries[i].clone());
+                    i += 1;
+                }
+                (false, true) => {
+                    entries.push(other.entries[j].clone());
+                    j += 1;
+                }
+                (false, false) => unreachable!("merge always advances"),
+            }
+        }
+        TelemetrySnapshot { entries }
+    }
+
     /// Keys whose values differ between `self` and `other` (including
     /// keys present on only one side), with both values.
     pub fn diff(&self, other: &TelemetrySnapshot) -> Vec<MetricDelta> {
@@ -342,6 +403,58 @@ mod tests {
         let d = a.snapshot().diff(&b.snapshot());
         let keys: Vec<&str> = d.iter().map(|x| x.key.as_str()).collect();
         assert_eq!(keys, ["changed", "only_left", "only_right"]);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("a.count", 3);
+        reg.gauge("a.wall", 0.25);
+        reg.observe("a.hist", 2.0);
+        let snap = reg.snapshot();
+        let empty = TelemetrySnapshot::default();
+        assert_eq!(snap.merge(&empty), snap);
+        assert_eq!(empty.merge(&snap), snap);
+        assert_eq!(empty.merge(&empty), empty);
+    }
+
+    #[test]
+    fn merge_disjoint_keys_is_union() {
+        let mut a = MetricsRegistry::new();
+        a.counter("left.count", 1);
+        let mut b = MetricsRegistry::new();
+        b.gauge("right.wall", 2.0);
+        let merged = a.snapshot().merge(&b.snapshot());
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged.get("left.count"), Some(MetricValue::Counter(1)));
+        assert_eq!(merged.get("right.wall"), Some(MetricValue::Gauge(2.0)));
+        let keys: Vec<&str> = merged.entries().iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["left.count", "right.wall"]);
+    }
+
+    #[test]
+    fn merge_adds_counters_gauges_and_folds_histograms() {
+        let mut a = MetricsRegistry::new();
+        a.counter("c", 2);
+        a.gauge("g", 1.5);
+        a.observe("h", 1.0);
+        a.observe("h", 3.0);
+        let mut b = MetricsRegistry::new();
+        b.counter("c", 5);
+        b.gauge("g", 0.5);
+        b.observe("h", 2.0);
+        let merged = a.snapshot().merge(&b.snapshot());
+        assert_eq!(merged.get("c"), Some(MetricValue::Counter(7)));
+        assert_eq!(merged.get("g"), Some(MetricValue::Gauge(2.0)));
+        assert_eq!(
+            merged.get("h"),
+            Some(MetricValue::Histogram {
+                count: 3,
+                sum: 6.0,
+                min: 1.0,
+                max: 3.0
+            })
+        );
     }
 
     #[test]

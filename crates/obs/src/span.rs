@@ -45,6 +45,14 @@ pub enum SpanKind {
     Reencode,
     /// CPU-reference fallback absorbing work from lost devices.
     Fallback,
+    /// One whole multi-tenant service run (`SolveService::run`).
+    Serve,
+    /// Admission decision for one submitted job.
+    Admit,
+    /// Modeled queue wait between admission and solve start.
+    Wait,
+    /// Cache eviction of a resident encoded system.
+    Evict,
 }
 
 impl SpanKind {
@@ -65,6 +73,10 @@ impl SpanKind {
             SpanKind::Detect => "detect",
             SpanKind::Reencode => "reencode",
             SpanKind::Fallback => "fallback",
+            SpanKind::Serve => "serve",
+            SpanKind::Admit => "admit",
+            SpanKind::Wait => "wait",
+            SpanKind::Evict => "evict",
         }
     }
 }

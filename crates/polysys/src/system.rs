@@ -215,6 +215,57 @@ impl<R: Real> System<R> {
             polys: self.polys.iter().map(|p| p.convert()).collect(),
         }
     }
+
+    /// A stable 64-bit hash of the system's **encoding-relevant
+    /// structure**: the dimension, the row count, and — per polynomial,
+    /// in row order — each monomial's sorted `(variable, exponent)`
+    /// factors. This is exactly the information a device encoding
+    /// (supports + positions + the `(k + 1)`-wide coefficient layout)
+    /// derives from, and *nothing else*:
+    ///
+    /// * **coefficient values are excluded** — two systems with the
+    ///   same supports but different coefficients hash equal (their
+    ///   encoded support arrays are byte-identical; only the
+    ///   coefficient upload differs), so a cache keyed by this hash
+    ///   must still compare the systems for full equality before
+    ///   reusing a coefficient upload;
+    /// * **row order is included** — permuting the polynomials changes
+    ///   the hash, because the encoded layout strides by row;
+    /// * the hash is a pure function of the structure: it is identical
+    ///   across runs, platforms and coefficient precisions
+    ///   (`System<f64>` and its `convert::<Dd>()` image hash equal).
+    ///
+    /// Algorithm (documented so the value is stable forever): FNV-1a
+    /// over the little-endian `u64` stream
+    /// `n, rows, [m_i, [k_ij, [(var, exp)…]…]…]`. Not cryptographic —
+    /// collisions are possible and callers keying storage on it must
+    /// verify equality on hit.
+    pub fn support_hash(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        eat(self.n as u64);
+        eat(self.polys.len() as u64);
+        for poly in &self.polys {
+            eat(poly.num_terms() as u64);
+            for t in poly.terms() {
+                eat(t.monomial.num_vars() as u64);
+                // Monomial factors are stored sorted by variable, so
+                // the stream is canonical per monomial.
+                for &(v, e) in t.monomial.factors() {
+                    eat(u64::from(v));
+                    eat(u64::from(e));
+                }
+            }
+        }
+        h
+    }
 }
 
 impl<R: Real> fmt::Display for System<R> {
@@ -507,6 +558,59 @@ mod tests {
             System::rectangular(2, vec![bad]),
             Err(SystemError::VariableOutOfRange { .. })
         ));
+    }
+
+    #[test]
+    fn support_hash_ignores_coefficients_but_not_structure() {
+        let p1 = Polynomial::new(vec![
+            term(1.0, vec![(0, 2), (1, 1)]),
+            term(2.0, vec![(0, 1), (1, 3)]),
+        ]);
+        let p2 = Polynomial::new(vec![
+            term(3.0, vec![(0, 1), (1, 1)]),
+            term(4.0, vec![(0, 3), (1, 2)]),
+        ]);
+        let sys = System::new(2, vec![p1.clone(), p2.clone()]).unwrap();
+
+        // Same supports, different coefficients: equal hashes (it is a
+        // *support* hash — cache implementations must still compare
+        // the systems before reusing a coefficient upload).
+        let q1 = Polynomial::new(vec![
+            term(-7.5, vec![(0, 2), (1, 1)]),
+            term(0.25, vec![(0, 1), (1, 3)]),
+        ]);
+        let q2 = Polynomial::new(vec![
+            term(9.0, vec![(0, 1), (1, 1)]),
+            term(-1.0, vec![(0, 3), (1, 2)]),
+        ]);
+        let recoeffed = System::new(2, vec![q1, q2]).unwrap();
+        assert_ne!(sys, recoeffed, "coefficients differ");
+        assert_eq!(sys.support_hash(), recoeffed.support_hash());
+
+        // Row permutation changes the encoded layout, so the hash.
+        let permuted = System::new(2, vec![p2.clone(), p1.clone()]).unwrap();
+        assert_ne!(sys.support_hash(), permuted.support_hash());
+
+        // A different exponent anywhere changes the hash.
+        let p1_bumped = Polynomial::new(vec![
+            term(1.0, vec![(0, 2), (1, 2)]),
+            term(2.0, vec![(0, 1), (1, 3)]),
+        ]);
+        let bumped = System::new(2, vec![p1_bumped, p2.clone()]).unwrap();
+        assert_ne!(sys.support_hash(), bumped.support_hash());
+
+        // A row block hashes differently from its parent (row count is
+        // part of the stream), and identically to itself.
+        let block = sys.row_block(&[1]);
+        assert_ne!(sys.support_hash(), block.support_hash());
+        assert_eq!(block.support_hash(), sys.row_block(&[1]).support_hash());
+
+        // Precision conversion preserves the structure stream.
+        let dd = sys.convert::<polygpu_qd::Dd>();
+        assert_eq!(sys.support_hash(), dd.support_hash());
+
+        // Stable across clones and repeated calls.
+        assert_eq!(sys.support_hash(), sys.clone().support_hash());
     }
 
     #[test]

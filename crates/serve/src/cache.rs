@@ -1,0 +1,184 @@
+//! The encoded-system cache: repeat targets skip encode/upload.
+//!
+//! Keys are [`System::support_hash`] values — a structure hash that
+//! deliberately **ignores coefficient values** — so every hash hit is
+//! verified with a full `System` equality check before the resident
+//! engine is reused. Eviction is LRU by last service use and is driven
+//! by the owning service (only it can unload from the fleet session);
+//! the cache itself is pure bookkeeping.
+
+use polygpu_core::engine::SystemId;
+use polygpu_polysys::System;
+
+/// Hit/miss/eviction counters of the encoded-system cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Admissions served from residency (no encode, no upload).
+    pub hits: u64,
+    /// Admissions that paid the full encode + upload.
+    pub misses: u64,
+    /// Residents unloaded to make room under residency pressure.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hits over lookups, in `[0, 1]` (`0` before any lookup).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Slot {
+    hash: u64,
+    system: System<f64>,
+    id: SystemId,
+    /// Service tick of the last lookup hit or insert — the LRU key.
+    last_used: u64,
+}
+
+/// Support-hash-keyed map from systems to resident [`SystemId`]s.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SystemCache {
+    slots: Vec<Slot>,
+    pub(crate) stats: CacheStats,
+    tick: u64,
+}
+
+impl SystemCache {
+    pub(crate) fn new() -> Self {
+        SystemCache::default()
+    }
+
+    /// Resident id of `system`, if cached. A hash match alone is not a
+    /// hit: the support hash ignores coefficients, so the candidate is
+    /// verified by full equality. Counts a hit and refreshes LRU.
+    pub(crate) fn lookup(&mut self, system: &System<f64>) -> Option<SystemId> {
+        let hash = system.support_hash();
+        self.tick += 1;
+        for slot in &mut self.slots {
+            if slot.hash == hash && slot.system == *system {
+                slot.last_used = self.tick;
+                self.stats.hits += 1;
+                return Some(slot.id);
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Record a freshly loaded system (the miss was already counted by
+    /// the failed lookup).
+    pub(crate) fn insert(&mut self, system: System<f64>, id: SystemId) {
+        self.tick += 1;
+        self.slots.push(Slot {
+            hash: system.support_hash(),
+            system,
+            id,
+            last_used: self.tick,
+        });
+    }
+
+    /// Remove and return the least-recently-used resident — the
+    /// eviction victim. Counts an eviction.
+    pub(crate) fn pop_lru(&mut self) -> Option<SystemId> {
+        let i = self
+            .slots
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, s)| s.last_used)
+            .map(|(i, _)| i)?;
+        self.stats.evictions += 1;
+        Some(self.slots.remove(i).id)
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polygpu_complex::C64;
+    use polygpu_polysys::{random_system, BenchmarkParams, Monomial, Polynomial, Term};
+
+    fn sys(seed: u64) -> System<f64> {
+        random_system::<f64>(&BenchmarkParams {
+            n: 3,
+            m: 2,
+            k: 2,
+            d: 2,
+            seed,
+        })
+    }
+
+    /// `system` with every coefficient scaled: same supports, different
+    /// values — the pair whose hashes collide by design.
+    fn rescaled(system: &System<f64>, factor: f64) -> System<f64> {
+        let polys = system
+            .polys()
+            .iter()
+            .map(|p| {
+                Polynomial::new(
+                    p.terms()
+                        .iter()
+                        .map(|t| Term {
+                            coeff: C64 {
+                                re: t.coeff.re * factor,
+                                im: t.coeff.im,
+                            },
+                            monomial: Monomial::new(t.monomial.factors().to_vec()).unwrap(),
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        System::new(system.dim(), polys).unwrap()
+    }
+
+    #[test]
+    fn hash_hit_requires_full_equality() {
+        let mut c = SystemCache::new();
+        let a = sys(1);
+        // Same supports, different coefficients: hashes collide by
+        // design, but the cache must not serve `b` from `a`'s slot.
+        let b = rescaled(&a, 0.5);
+        assert_eq!(a.support_hash(), b.support_hash());
+        c.insert(a.clone(), SystemId::new(0));
+        assert_eq!(c.lookup(&a), Some(SystemId::new(0)));
+        assert_eq!(c.lookup(&b), None);
+        assert_eq!(c.stats.hits, 1);
+        assert_eq!(c.stats.misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_the_stalest_slot() {
+        let mut c = SystemCache::new();
+        c.insert(sys(1), SystemId::new(0));
+        c.insert(sys(2), SystemId::new(1));
+        c.insert(sys(3), SystemId::new(2));
+        // Touch 1 and 3; 2 becomes the LRU victim.
+        assert!(c.lookup(&sys(1)).is_some());
+        assert!(c.lookup(&sys(3)).is_some());
+        assert_eq!(c.pop_lru(), Some(SystemId::new(1)));
+        assert_eq!(c.stats.evictions, 1);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn hit_rate_tracks_counters() {
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            evictions: 0,
+        };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Typed service errors — every rejection is a value, and every
+//! rejection is **free**: no arena bytes allocated, no modeled time
+//! charged, no queue slot consumed.
+
+use polygpu_core::engine::BuildError;
+use std::fmt;
+
+/// Why the service refused a submission (or failed to construct).
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The tenant id was not issued by this service.
+    UnknownTenant,
+    /// The builder's backend cannot host a residency fleet (CPU
+    /// reference, or a point-sharded cluster — whose residency story
+    /// is one single-device session per device).
+    UnsupportedBackend { backend: &'static str },
+    /// The service drives resident double-precision engines; requests
+    /// asking for another precision policy are rejected up front
+    /// rather than silently downgraded.
+    UnsupportedPrecision,
+    /// The request's system can **never** fit the fleet, even with
+    /// every device empty — rejected typed and free at admission, the
+    /// serving-layer form of the paper's constant-memory wall.
+    NeverFits {
+        /// Bytes the encoding needs on the most loaded device.
+        needed: usize,
+        /// The tightest device's constant budget.
+        budget: usize,
+    },
+    /// The tenant is at its in-flight budget — typed backpressure;
+    /// resubmit after jobs drain. A degraded fleet shrinks the
+    /// effective limit, so overload is how degradation surfaces to
+    /// tenants instead of service failure.
+    Overloaded {
+        tenant: String,
+        in_flight: usize,
+        limit: usize,
+    },
+    /// Every fleet device has been lost; nothing can be admitted.
+    FleetExhausted { devices: usize, lost: usize },
+    /// The request is malformed (rectangular target, dimension
+    /// mismatch, start index out of range, …).
+    BadRequest { reason: String },
+    /// Service construction failed (invalid engine spec).
+    Build(BuildError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownTenant => write!(f, "unknown tenant id"),
+            ServeError::UnsupportedBackend { backend } => {
+                write!(f, "backend '{backend}' cannot host a solve service fleet")
+            }
+            ServeError::UnsupportedPrecision => {
+                write!(
+                    f,
+                    "the solve service runs fixed double precision; \
+                     request another policy through Solver::solve directly"
+                )
+            }
+            ServeError::NeverFits { needed, budget } => write!(
+                f,
+                "system can never fit the fleet: needs {needed} constant bytes \
+                 per device, tightest budget is {budget}"
+            ),
+            ServeError::Overloaded {
+                tenant,
+                in_flight,
+                limit,
+            } => write!(
+                f,
+                "tenant '{tenant}' is at its in-flight budget ({in_flight}/{limit})"
+            ),
+            ServeError::FleetExhausted { devices, lost } => {
+                write!(f, "fleet exhausted: {lost} of {devices} devices lost")
+            }
+            ServeError::BadRequest { reason } => write!(f, "bad request: {reason}"),
+            ServeError::Build(e) => write!(f, "service construction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Build(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BuildError> for ServeError {
+    fn from(e: BuildError) -> Self {
+        ServeError::Build(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_prints() {
+        let msgs = [
+            ServeError::UnknownTenant.to_string(),
+            ServeError::UnsupportedBackend {
+                backend: "cpu-reference",
+            }
+            .to_string(),
+            ServeError::UnsupportedPrecision.to_string(),
+            ServeError::NeverFits {
+                needed: 100,
+                budget: 10,
+            }
+            .to_string(),
+            ServeError::Overloaded {
+                tenant: "t".into(),
+                in_flight: 4,
+                limit: 4,
+            }
+            .to_string(),
+            ServeError::FleetExhausted {
+                devices: 2,
+                lost: 2,
+            }
+            .to_string(),
+            ServeError::BadRequest { reason: "x".into() }.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+        }
+    }
+}

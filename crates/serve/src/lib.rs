@@ -1,0 +1,54 @@
+//! `polygpu-serve` — a deterministic multi-tenant solve service over
+//! the simulated GPU fleet.
+//!
+//! The crate fronts one residency fleet (a single-device session or a
+//! row-sharded cluster session) with the serving-layer mechanics a
+//! shared polynomial-system solver needs:
+//!
+//! * **tenants and priorities** ([`TenantSpec`], [`Priority`]) — who a
+//!   job belongs to and how urgently to serve it;
+//! * **weighted fair queuing** ([`queue::FairQueue`]) — virtual finish
+//!   tags apportion service by tenant weight, FIFO within a tenant,
+//!   ties broken by arrival order: the drain order is a pure function
+//!   of the submissions;
+//! * **admission control** ([`SolveService::submit`]) — requests are
+//!   sized against the engine spec's admission budget before any
+//!   device state is touched; every rejection is a typed
+//!   [`ServeError`] and free;
+//! * **an encoded-system cache** ([`CacheStats`]) — repeat targets are
+//!   served from residency (no encode, no upload), with LRU eviction
+//!   under constant-memory pressure;
+//! * **deterministic service reports** ([`ServeReport`]) — modeled
+//!   queue waits, admission costs, solve times, per-tenant telemetry
+//!   and `serve → admit → wait → solve` spans, byte-identical across
+//!   runs of the same submissions.
+//!
+//! ```
+//! use polygpu_core::engine::{Backend, Engine};
+//! use polygpu_homotopy::solve::SolveRequest;
+//! use polygpu_polysys::{random_system, BenchmarkParams};
+//! use polygpu_serve::{Priority, SolveService, TenantSpec};
+//!
+//! let builder = Engine::builder().backend(Backend::GpuBatch { capacity: 8 });
+//! let mut svc = SolveService::new(&builder).unwrap();
+//! let acme = svc.register(TenantSpec::new("acme"));
+//! let params = BenchmarkParams { n: 2, m: 2, k: 2, d: 2, seed: 1 };
+//! let target = random_system::<f64>(&params);
+//! svc.submit(acme, Priority::Normal, SolveRequest::new(target)).unwrap();
+//! let report = svc.run();
+//! assert_eq!(report.jobs.len(), 1);
+//! assert!(report.jobs[0].paths > 0);
+//! assert_eq!(report.cache.misses, 1);
+//! ```
+
+pub mod cache;
+pub mod error;
+pub mod queue;
+pub mod service;
+pub mod tenant;
+
+pub use cache::CacheStats;
+pub use error::ServeError;
+pub use queue::FairQueue;
+pub use service::{JobId, JobOutcome, JobRecord, ServeReport, SolveService, TenantReport};
+pub use tenant::{Priority, TenantId, TenantSpec};

@@ -1,0 +1,127 @@
+//! Tenants and priorities: who a job belongs to and how urgently the
+//! fair queue should serve it.
+
+use std::fmt;
+
+/// Handle to a tenant registered with a
+/// [`SolveService`](crate::service::SolveService). Ids are issued in
+/// registration order and are only meaningful against the service that
+/// issued them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantId(pub(crate) usize);
+
+impl TenantId {
+    /// The raw registration index this handle names.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// Service priority of one submitted job.
+///
+/// Priority scales the job's **virtual charge** in the weighted fair
+/// queue: a [`Priority::High`] job consumes half the virtual time of a
+/// [`Priority::Normal`] job of the same path count, a
+/// [`Priority::Low`] job twice as much — so high-priority work moves
+/// ahead *within* the fairness model instead of bypassing it, and a
+/// tenant cannot starve the fleet by marking everything urgent (its
+/// weight still bounds its share).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    High,
+    Normal,
+    Low,
+}
+
+impl Priority {
+    /// Multiplier applied to a job's virtual charge (its cost in the
+    /// fair-share accounting). Lower = served sooner.
+    pub fn charge_factor(self) -> f64 {
+        match self {
+            Priority::High => 0.5,
+            Priority::Normal => 1.0,
+            Priority::Low => 2.0,
+        }
+    }
+
+    /// Short stable name for reports and tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Low => "low",
+        }
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-tenant service configuration.
+///
+/// ```
+/// use polygpu_serve::TenantSpec;
+///
+/// let spec = TenantSpec::new("acme").with_weight(3).with_max_in_flight(8);
+/// assert_eq!(spec.weight, 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantSpec {
+    /// Display name (also the sort key of the per-tenant report).
+    pub name: String,
+    /// Fair-share weight (≥ 1; values below 1 are clamped up at
+    /// registration). Over a contended window a tenant receives
+    /// service in proportion to `weight / Σ weights`.
+    pub weight: u32,
+    /// Jobs this tenant may have admitted-but-unfinished at once;
+    /// further submissions get the typed
+    /// [`ServeError::Overloaded`](crate::ServeError::Overloaded)
+    /// backpressure. A degraded fleet shrinks the effective limit
+    /// proportionally to surviving devices.
+    pub max_in_flight: usize,
+}
+
+impl TenantSpec {
+    /// A spec with weight 1 and an in-flight budget of 4.
+    pub fn new(name: impl Into<String>) -> Self {
+        TenantSpec {
+            name: name.into(),
+            weight: 1,
+            max_in_flight: 4,
+        }
+    }
+
+    pub fn with_weight(mut self, weight: u32) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    pub fn with_max_in_flight(mut self, max_in_flight: usize) -> Self {
+        self.max_in_flight = max_in_flight;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_charge_factors_order_service() {
+        assert!(Priority::High.charge_factor() < Priority::Normal.charge_factor());
+        assert!(Priority::Normal.charge_factor() < Priority::Low.charge_factor());
+        assert_eq!(Priority::High.name(), "high");
+        assert_eq!(Priority::Low.to_string(), "low");
+    }
+
+    #[test]
+    fn spec_builder_sets_fields() {
+        let s = TenantSpec::new("t").with_weight(5).with_max_in_flight(2);
+        assert_eq!(s.name, "t");
+        assert_eq!(s.weight, 5);
+        assert_eq!(s.max_in_flight, 2);
+    }
+}

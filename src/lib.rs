@@ -21,6 +21,7 @@
 //! | [`cluster`] | multi-device sharding with stream-overlapped transfers |
 //! | [`homotopy`] | Newton's method and path tracking on top |
 //! | [`obs`] | deterministic tracing and metrics over the modeled timeline |
+//! | [`serve`] | multi-tenant solve service: fair queuing, admission control, encoded-system cache |
 //!
 //! The public surface is the unified solving API: a
 //! [`SolveRequest`](polygpu_homotopy::solve::SolveRequest) (target,
@@ -45,6 +46,14 @@
 //! export), and read the unified
 //! [`TelemetrySnapshot`](obs::TelemetrySnapshot) on every
 //! [`SolveReport`](polygpu_homotopy::solve::SolveReport).
+//!
+//! To share one fleet between workloads, front it with a
+//! [`SolveService`](serve::SolveService): tenants submit
+//! `SolveRequest`s with a priority, a weighted fair queue apportions
+//! service, admission control sizes every request against the
+//! constant-memory budget before touching device state, and repeat
+//! targets are served from an encoded-system cache — all on the
+//! modeled clock, so the service trace is byte-identical across runs.
 //!
 //! ## Quickstart
 //!
@@ -87,6 +96,7 @@ pub use polygpu_homotopy as homotopy;
 pub use polygpu_obs as obs;
 pub use polygpu_polysys as polysys;
 pub use polygpu_qd as qd;
+pub use polygpu_serve as serve;
 
 /// The unified engine API with **every** backend available:
 /// [`Engine::builder`](engine::Engine::builder) here (unlike the
@@ -214,4 +224,7 @@ pub mod prelude {
         SystemEvaluator, Term, UniformShape,
     };
     pub use polygpu_qd::{Dd, Qd, Real};
+    pub use polygpu_serve::{
+        CacheStats, Priority, ServeError, ServeReport, SolveService, TenantId, TenantSpec,
+    };
 }
