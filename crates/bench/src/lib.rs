@@ -1997,6 +1997,446 @@ pub fn format_serve_sweep(sweep: &ServeSweep) -> String {
     s
 }
 
+/// One row of the sparse footprint table behind `repro sparse`.
+#[derive(Debug, Clone)]
+pub struct SparseFootprintRow {
+    /// What the row encodes (family seed or the uniform comparison).
+    pub label: String,
+    /// Total monomials of the system.
+    pub monomials: usize,
+    /// Bytes the `Direct` encoding needs: exact for uniform shapes,
+    /// the dense `2 × rows × max_m × max_k` envelope (every monomial
+    /// padded to the widest) for ragged ones, which `Direct` cannot
+    /// express at all.
+    pub direct_bytes: usize,
+    /// Bytes the packed exponent-key encoding needs (headers + keys
+    /// for ragged shapes, header-free keys for uniform ones).
+    pub packed_bytes: usize,
+    /// `direct_bytes / packed_bytes`.
+    pub shrink: f64,
+}
+
+/// One chaos run of the sparse sweep.
+#[derive(Debug, Clone)]
+pub struct SparseChaosRow {
+    /// Cluster shard mode ("points" or "rows").
+    pub shard: &'static str,
+    /// Fault-plan seed.
+    pub seed: u64,
+    /// "clean", "recovered", "degraded" or "fault".
+    pub outcome: &'static str,
+    /// Faults observed (scheduler + engine accounting).
+    pub faults: u64,
+    /// Endpoints bit-identical to the CPU reference (finished runs).
+    pub identical: bool,
+}
+
+/// The `repro sparse` sweep plus its deterministic acceptance checks:
+/// the packed exponent-key encoding's footprint, the
+/// fits-where-`Direct`-rejects demonstration, and a ragged target
+/// solved from mixed-cell starts with mixed-volume-many paths,
+/// bit-identical to the CPU reference on all five backends — chaos
+/// seeds included.
+#[derive(Debug, Clone)]
+pub struct SparseSweep {
+    /// Footprint rows (ragged Table-1-scale family + uniform control).
+    pub footprint: Vec<SparseFootprintRow>,
+    /// Worst shrink across the ragged family rows.
+    pub min_shrink: f64,
+    /// Display of the typed rejection of the Table-2-scale target
+    /// under `Direct` at D = 1 (empty = it wrongly built).
+    pub budget_direct_error: String,
+    /// Bytes `Direct` would need for that target (over the budget).
+    pub budget_direct_bytes: usize,
+    /// Bytes its packed build actually occupies (under the budget).
+    pub budget_packed_bytes: usize,
+    /// The packed build evaluates bit-identically to the CPU reference.
+    pub budget_packed_identical: bool,
+    /// Display of the typed rejection of the ragged solve target under
+    /// `Direct` (must name the uniform-shape violation).
+    pub ragged_direct_error: String,
+    /// Total-degree path count of the ragged target.
+    pub bezout: u128,
+    /// Bernstein's bound — the paths mixed cells actually track.
+    pub mixed_volume: u128,
+    /// Fine mixed cells found.
+    pub cells: usize,
+    /// Paths of the total-degree solve of the same target.
+    pub total_degree_paths: usize,
+    /// Paths of the mixed-cell solve (== mixed volume).
+    pub mixed_paths: usize,
+    /// Worst endpoint residual of the mixed-cell solve.
+    pub max_residual: f64,
+    /// Per-backend mixed-cell endpoint identity vs the CPU reference.
+    pub endpoints: Vec<(&'static str, bool)>,
+    /// Every backend above matched bit-for-bit.
+    pub all_backends_identical: bool,
+    /// Chaos runs (cluster shard modes × fault seeds).
+    pub chaos: Vec<SparseChaosRow>,
+    /// Faults observed across the chaos runs.
+    pub chaos_faults: u64,
+    /// Chaos runs that finished despite faults striking.
+    pub chaos_recovered: usize,
+    /// Every finished chaos run bit-identical to the CPU reference.
+    pub chaos_identical: bool,
+}
+
+impl SparseSweep {
+    /// The named acceptance bars of `repro sparse` — the single source
+    /// of truth behind both [`SparseSweep::passes`] and the PASS/FAIL
+    /// lines the `repro` binary prints.
+    pub fn checks(&self) -> [(&'static str, bool); 6] {
+        [
+            (
+                "footprint check (packed >= 2x below the dense envelope on the sparse Table-1-scale family)",
+                self.min_shrink >= 2.0,
+            ),
+            (
+                "budget check (Table-2-scale target over the Direct budget builds packed, bit-identical to CPU)",
+                !self.budget_direct_error.is_empty()
+                    && self.budget_packed_bytes < self.budget_direct_bytes
+                    && self.budget_packed_identical,
+            ),
+            (
+                "rejection check (ragged target rejects typed under Direct)",
+                self.ragged_direct_error.contains("expected k"),
+            ),
+            (
+                "path-count check (mixed volume strictly below Bezout, solved with exactly that many paths)",
+                self.mixed_volume < self.bezout
+                    && self.mixed_paths as u128 == self.mixed_volume
+                    && self.mixed_paths < self.total_degree_paths,
+            ),
+            (
+                "identity check (mixed-cell endpoints bit-identical to the CPU reference on all five backends)",
+                self.all_backends_identical,
+            ),
+            (
+                "chaos check (faults struck; every finished run bit-identical)",
+                self.chaos_faults > 0 && self.chaos_recovered > 0 && self.chaos_identical,
+            ),
+        ]
+    }
+
+    /// All acceptance bars at once.
+    pub fn passes(&self) -> bool {
+        self.checks().iter().all(|(_, ok)| *ok)
+    }
+}
+
+/// The sweep behind `repro sparse`. Fully modeled, hence
+/// deterministic — same seeds, same table, forever.
+pub fn sparse_sweep() -> SparseSweep {
+    use polygpu_cluster::Sharded;
+    use polygpu_core::engine::{ClusterPolicy, EngineBuilder, SystemShardPolicy};
+    use polygpu_core::{sparse_packed_bytes, Backend, EncodedSupports};
+    use polygpu_homotopy::prelude::*;
+    use polygpu_polyhedral::mixed_cell_starts;
+    use polygpu_polysys::{
+        parse_system, random_sparse_system, SparseBenchmarkParams, UniformShape,
+    };
+
+    // ---- footprint: the ragged Table-1-scale family ----------------
+    let mut footprint = Vec::new();
+    let mut min_shrink = f64::INFINITY;
+    for seed in [3u64, 5, 7] {
+        let sys = random_sparse_system::<f64>(&SparseBenchmarkParams::table1_sparse(seed));
+        let shape = sys.sparse_shape();
+        let direct = 2 * shape.rows * shape.max_m * shape.max_k;
+        let packed = sparse_packed_bytes(&shape);
+        let shrink = direct as f64 / packed as f64;
+        min_shrink = min_shrink.min(shrink);
+        footprint.push(SparseFootprintRow {
+            label: format!("table1-sparse seed {seed}"),
+            monomials: shape.total_monomials,
+            direct_bytes: direct,
+            packed_bytes: packed,
+            shrink,
+        });
+    }
+    // Uniform control row: both encodings exact, no envelope involved.
+    let uniform = UniformShape::square(32, 22, 9, 2);
+    let u_direct = EncodedSupports::bytes_needed(&uniform, EncodingKind::Direct);
+    let u_packed = EncodedSupports::bytes_needed(&uniform, EncodingKind::Packed);
+    footprint.push(SparseFootprintRow {
+        label: "uniform 704 x k=9 (exact both ways)".into(),
+        monomials: uniform.total_monomials(),
+        direct_bytes: u_direct,
+        packed_bytes: u_packed,
+        shrink: u_direct as f64 / u_packed as f64,
+    });
+
+    // ---- budget: fits where Direct rejects -------------------------
+    // The facade doctest's wall: 2,048 monomials at k = 16 exhaust one
+    // device's 65,536-byte constant memory under Direct.
+    let big = random_system::<f64>(&BenchmarkParams {
+        n: 32,
+        m: 64,
+        k: 16,
+        d: 10,
+        seed: 3,
+    });
+    let big_shape = big.uniform_shape().expect("the Table-2 family is uniform");
+    let budget_direct_bytes = EncodedSupports::bytes_needed(&big_shape, EncodingKind::Direct);
+    let spec = || polygpu_cluster::engine_builder().backend(Backend::GpuBatch { capacity: 4 });
+    let budget_direct_error = match spec().build(&big) {
+        Err(e) => e.to_string(),
+        Ok(_) => String::new(),
+    };
+    let (budget_packed_bytes, budget_packed_identical) =
+        match spec().encoding(EncodingKind::Packed).build(&big) {
+            Ok(mut packed) => {
+                let points = random_points::<f64>(32, 4, 41);
+                let got = packed
+                    .try_evaluate_batch(&points)
+                    .expect("the packed build must evaluate");
+                let mut cpu = polygpu_cluster::engine_builder()
+                    .backend(Backend::CpuReference)
+                    .build(&big)
+                    .expect("the CPU reference always builds");
+                let identical = points
+                    .iter()
+                    .zip(&got)
+                    .all(|(p, g)| g.values == cpu.evaluate(p).values);
+                (packed.caps().constant_bytes, identical)
+            }
+            Err(_) => (usize::MAX, false),
+        };
+
+    // ---- mixed cells: fewer paths, every backend -------------------
+    // Two sparse quadratics without pure square terms: ragged (their
+    // constant terms have no variables), Bezout 4, mixed volume 2.
+    let target =
+        parse_system::<f64>("x0*x1 + x0 + 1; x0*x1 + x1 + 2").expect("the demo target parses");
+    let ragged_direct_error = match spec().build(&target) {
+        Err(e) => e.to_string(),
+        Ok(_) => String::new(),
+    };
+    let mc = mixed_cell_starts(&target, 7).expect("dim 2 is far under the cell guards");
+    let req = SolveRequest::new(target.clone())
+        .with_start_kind(StartKind::MixedCells { lift_seed: 7 })
+        .with_gamma_seed(11);
+    let devices = vec![DeviceSpec::tesla_c2050(); 2];
+    let backends: Vec<(&'static str, Backend)> = vec![
+        ("cpu-reference", Backend::CpuReference),
+        ("gpu", Backend::Gpu),
+        ("gpu-batch", Backend::GpuBatch { capacity: 4 }),
+        (
+            "cluster",
+            Backend::Cluster {
+                devices: devices.clone(),
+                shard: ClusterPolicy::default().into(),
+            },
+        ),
+        (
+            "cluster-rows",
+            Backend::Cluster {
+                devices: devices.clone(),
+                shard: SystemShardPolicy::Contiguous.into(),
+            },
+        ),
+    ];
+    let builder = |backend: Backend| -> EngineBuilder<Sharded> {
+        polygpu_cluster::engine_builder()
+            .backend(backend)
+            .per_device_capacity(2)
+            .encoding(EncodingKind::Packed)
+    };
+    let cpu_report = Solver::from_builder(builder(Backend::CpuReference))
+        .solve(&req)
+        .expect("the CPU mixed-cell solve must succeed");
+    let want: Vec<PathEndpoint> = cpu_report
+        .paths
+        .iter()
+        .map(|p| p.endpoint.clone())
+        .collect();
+    let max_residual = cpu_report
+        .paths
+        .iter()
+        .map(|p| p.residual)
+        .fold(0.0f64, f64::max);
+    let total_degree_paths = Solver::from_builder(builder(Backend::CpuReference))
+        .solve(&SolveRequest::new(target.clone()).with_gamma_seed(11))
+        .expect("the total-degree solve must succeed")
+        .paths
+        .len();
+    let mut endpoints = Vec::new();
+    let mut all_backends_identical = true;
+    for (name, backend) in &backends {
+        let report = Solver::from_builder(builder(backend.clone()))
+            .solve(&req)
+            .unwrap_or_else(|e| panic!("mixed-cell solve on {name} failed: {e}"));
+        let got: Vec<PathEndpoint> = report.paths.iter().map(|p| p.endpoint.clone()).collect();
+        let identical = got == want;
+        all_backends_identical &= identical;
+        endpoints.push((*name, identical));
+    }
+
+    // ---- chaos: mixed-cell solves under fault injection ------------
+    let mut chaos = Vec::new();
+    let mut chaos_faults = 0u64;
+    let mut chaos_recovered = 0usize;
+    let mut chaos_identical = true;
+    for (shard, backend) in [
+        (
+            "points",
+            Backend::Cluster {
+                devices: devices.clone(),
+                shard: ClusterPolicy::default().into(),
+            },
+        ),
+        (
+            "rows",
+            Backend::Cluster {
+                devices: devices.clone(),
+                shard: SystemShardPolicy::Contiguous.into(),
+            },
+        ),
+    ] {
+        for seed in 0..3u64 {
+            let solver = Solver::from_builder(
+                builder(backend.clone()).fault_plan(FaultPlan::new(seed, 10_000)),
+            );
+            let row = match solver.solve(&req) {
+                Ok(report) => {
+                    let got: Vec<PathEndpoint> =
+                        report.paths.iter().map(|p| p.endpoint.clone()).collect();
+                    let identical = got == want;
+                    chaos_identical &= identical;
+                    let faults = report.fault.faults + report.fault.engine.faults;
+                    chaos_faults += faults;
+                    if faults > 0 {
+                        chaos_recovered += 1;
+                    }
+                    SparseChaosRow {
+                        shard,
+                        seed,
+                        outcome: if faults > 0 { "recovered" } else { "clean" },
+                        faults,
+                        identical,
+                    }
+                }
+                Err(SolveError::Fault(e)) => {
+                    chaos_faults += 1;
+                    SparseChaosRow {
+                        shard,
+                        seed,
+                        outcome: if matches!(e, polygpu_core::BatchError::DegradedFleet { .. }) {
+                            "degraded"
+                        } else {
+                            "fault"
+                        },
+                        faults: 1,
+                        identical: false,
+                    }
+                }
+                Err(e) => panic!("sparse chaos must fail typed, got: {e}"),
+            };
+            chaos.push(row);
+        }
+    }
+
+    SparseSweep {
+        footprint,
+        min_shrink,
+        budget_direct_error,
+        budget_direct_bytes,
+        budget_packed_bytes,
+        budget_packed_identical,
+        ragged_direct_error,
+        bezout: mc.bezout,
+        mixed_volume: mc.mixed_volume,
+        cells: mc.cells.len(),
+        total_degree_paths,
+        mixed_paths: want.len(),
+        max_residual,
+        endpoints,
+        all_backends_identical,
+        chaos,
+        chaos_faults,
+        chaos_recovered,
+        chaos_identical,
+    }
+}
+
+/// Render the sparse sweep in markdown.
+pub fn format_sparse_sweep(sweep: &SparseSweep) -> String {
+    let mut s = String::new();
+    s.push_str("### Sparse — packed exponent keys + polyhedral starts\n\n");
+    s.push_str("| system | monomials | direct bytes | packed bytes | shrink |\n");
+    s.push_str("|--------|----------:|-------------:|-------------:|-------:|\n");
+    for r in &sweep.footprint {
+        s.push_str(&format!(
+            "| {} | {} | {} | {} | {:.2}x |\n",
+            r.label, r.monomials, r.direct_bytes, r.packed_bytes, r.shrink
+        ));
+    }
+    s.push_str(&format!(
+        "\nTable-2-scale target (2,048 monomials, k = 16): Direct needs {} B — \
+         REJECTED (\"{}\"); packed occupies {} B and evaluates {} to the CPU reference\n",
+        sweep.budget_direct_bytes,
+        sweep.budget_direct_error,
+        sweep.budget_packed_bytes,
+        if sweep.budget_packed_identical {
+            "bit-identically"
+        } else {
+            "DIFFERENTLY"
+        }
+    ));
+    s.push_str(&format!(
+        "\nragged solve target under Direct: REJECTED (\"{}\")\n",
+        sweep.ragged_direct_error
+    ));
+    s.push_str(&format!(
+        "mixed cells: Bezout {} vs mixed volume {} ({} cells) — total-degree solve \
+         tracked {} paths, mixed-cell solve {} (max residual {:.2e})\n\n",
+        sweep.bezout,
+        sweep.mixed_volume,
+        sweep.cells,
+        sweep.total_degree_paths,
+        sweep.mixed_paths,
+        sweep.max_residual
+    ));
+    s.push_str("| backend | mixed-cell endpoints vs CPU reference |\n");
+    s.push_str("|---------|---------------------------------------|\n");
+    for (name, identical) in &sweep.endpoints {
+        s.push_str(&format!(
+            "| {} | {} |\n",
+            name,
+            if *identical {
+                "bit-identical"
+            } else {
+                "DIFFER"
+            }
+        ));
+    }
+    s.push_str("\n| shard | fault seed | outcome | faults | bit-identical |\n");
+    s.push_str("|-------|-----------:|---------|-------:|---------------|\n");
+    for c in &sweep.chaos {
+        let identical = match c.outcome {
+            "clean" | "recovered" => {
+                if c.identical {
+                    "yes"
+                } else {
+                    "NO"
+                }
+            }
+            _ => "-",
+        };
+        s.push_str(&format!(
+            "| {} | {} | {} | {} | {} |\n",
+            c.shard, c.seed, c.outcome, c.faults, identical
+        ));
+    }
+    s.push_str(&format!(
+        "\n{} faults across {} chaos runs: {} recovered\n",
+        sweep.chaos_faults,
+        sweep.chaos.len(),
+        sweep.chaos_recovered
+    ));
+    s
+}
+
 /// Fixture for the batch benches: a batched evaluator at `capacity`
 /// plus matching random points.
 pub fn batch_fixture(
@@ -2289,6 +2729,51 @@ mod tests {
         let s = format_serve_sweep(&sweep);
         assert!(s.contains("| gold | 4 |"));
         assert!(s.contains("amortization"));
+    }
+
+    /// The `repro sparse` gates: the packed encoding shrinks the
+    /// ragged family's footprint at least 2x, the Table-2-scale target
+    /// over the Direct budget builds packed and matches the CPU
+    /// bit-for-bit, the ragged solve target rejects typed under
+    /// Direct, mixed-cell solves track mixed-volume-many paths
+    /// (strictly fewer than Bezout) bit-identical to the CPU reference
+    /// on all five backends, and chaos runs recover bit-identically.
+    #[test]
+    fn sparse_sweep_passes_its_gates() {
+        let sweep = sparse_sweep();
+        assert_eq!(sweep.footprint.len(), 4, "3 family seeds + uniform control");
+        assert!(
+            sweep.min_shrink >= 2.0,
+            "packed shrink below 2x: {:?}",
+            sweep.footprint
+        );
+        assert!(!sweep.budget_direct_error.is_empty(), "{sweep:?}");
+        assert!(
+            sweep.budget_packed_bytes < sweep.budget_direct_bytes,
+            "{sweep:?}"
+        );
+        assert!(sweep.budget_packed_identical, "{sweep:?}");
+        assert!(
+            sweep.ragged_direct_error.contains("expected k"),
+            "direct rejection not typed as a shape violation: {}",
+            sweep.ragged_direct_error
+        );
+        assert_eq!(sweep.bezout, 4);
+        assert_eq!(sweep.mixed_volume, 2);
+        assert_eq!(sweep.cells, 2);
+        assert_eq!(sweep.total_degree_paths, 4);
+        assert_eq!(sweep.mixed_paths, 2);
+        assert!(sweep.max_residual < 1e-8, "{sweep:?}");
+        assert_eq!(sweep.endpoints.len(), 5, "all five backends solved");
+        assert!(sweep.all_backends_identical, "{sweep:?}");
+        assert_eq!(sweep.chaos.len(), 6, "2 shard modes x 3 seeds");
+        assert!(sweep.chaos_faults > 0, "{sweep:?}");
+        assert!(sweep.chaos_recovered > 0, "{sweep:?}");
+        assert!(sweep.chaos_identical, "{sweep:?}");
+        assert!(sweep.passes());
+        let s = format_sparse_sweep(&sweep);
+        assert!(s.contains("REJECTED"));
+        assert!(s.contains("| cluster-rows | bit-identical |"));
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! Per-device engine polymorphism: a fleet device runs either the
+//! dense batched pipeline or the ragged (sparse) one, chosen exactly
+//! as the single-device engine builder chooses — a non-uniform system
+//! under the packed encoding routes to the sparse kernels, everything
+//! else to the dense ones. Both pipelines are bit-identical to the CPU
+//! reference, so sharding code never needs to know which pipeline a
+//! device runs.
+
+use polygpu_complex::{Complex, Real};
+use polygpu_core::layout::encoding::EncodingKind;
+use polygpu_core::pipeline::{GpuOptions, PipelineStats, SetupError};
+use polygpu_core::{BatchError, BatchGpuEvaluator, SparseBatchGpuEvaluator};
+use polygpu_gpusim::prelude::DeviceSpec;
+use polygpu_obs::TraceSink;
+use polygpu_polysys::{
+    AdEvaluator, BatchSystemEvaluator, SparseAdEvaluator, System, SystemError, SystemEval,
+    SystemEvaluator,
+};
+
+/// Whether `system` routes to the ragged (sparse) pipeline under
+/// `encoding` — the same dispatch the single-device builder applies.
+pub(crate) fn is_ragged_packed<R: Real>(system: &System<R>, encoding: EncodingKind) -> bool {
+    matches!(system.uniform_shape(), Err(SystemError::NotUniform(_)))
+        && encoding == EncodingKind::Packed
+}
+
+/// One fleet device's batched engine, dense or ragged.
+pub(crate) enum DeviceEngine<R: Real> {
+    Dense(BatchGpuEvaluator<R>),
+    Sparse(SparseBatchGpuEvaluator<R>),
+}
+
+impl<R: Real> DeviceEngine<R> {
+    /// Build the engine the single-device dispatch would pick for
+    /// `system` under `opts.encoding`. A ragged system under a dense
+    /// encoding fails typed inside [`BatchGpuEvaluator::new`], exactly
+    /// as it does off-cluster.
+    pub(crate) fn build(
+        system: &System<R>,
+        capacity: usize,
+        opts: GpuOptions,
+    ) -> Result<Self, SetupError> {
+        if is_ragged_packed(system, opts.encoding) {
+            Ok(DeviceEngine::Sparse(SparseBatchGpuEvaluator::new(
+                system, capacity, opts,
+            )?))
+        } else {
+            Ok(DeviceEngine::Dense(BatchGpuEvaluator::new(
+                system, capacity, opts,
+            )?))
+        }
+    }
+
+    pub(crate) fn device(&self) -> &DeviceSpec {
+        match self {
+            DeviceEngine::Dense(e) => e.device(),
+            DeviceEngine::Sparse(e) => e.device(),
+        }
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        match self {
+            DeviceEngine::Dense(e) => e.capacity(),
+            DeviceEngine::Sparse(e) => e.capacity(),
+        }
+    }
+
+    pub(crate) fn stats(&self) -> PipelineStats {
+        match self {
+            DeviceEngine::Dense(e) => e.stats(),
+            DeviceEngine::Sparse(e) => e.stats(),
+        }
+    }
+
+    pub(crate) fn reset_stats(&mut self) {
+        match self {
+            DeviceEngine::Dense(e) => e.reset_stats(),
+            DeviceEngine::Sparse(e) => e.reset_stats(),
+        }
+    }
+
+    pub(crate) fn set_trace(&mut self, sink: TraceSink) {
+        match self {
+            DeviceEngine::Dense(e) => e.set_trace(sink),
+            DeviceEngine::Sparse(e) => e.set_trace(sink),
+        }
+    }
+
+    pub(crate) fn set_fault_armed(&mut self, armed: bool) {
+        match self {
+            DeviceEngine::Dense(e) => e.set_fault_armed(armed),
+            DeviceEngine::Sparse(e) => e.set_fault_armed(armed),
+        }
+    }
+
+    pub(crate) fn constant_bytes_used(&self) -> usize {
+        match self {
+            DeviceEngine::Dense(e) => e.constant_bytes_used(),
+            DeviceEngine::Sparse(e) => e.constant_bytes_used(),
+        }
+    }
+
+    pub(crate) fn try_evaluate_batch(
+        &mut self,
+        points: &[Vec<Complex<R>>],
+    ) -> Result<Vec<SystemEval<R>>, BatchError> {
+        match self {
+            DeviceEngine::Dense(e) => e.try_evaluate_batch(points),
+            DeviceEngine::Sparse(e) => e.try_evaluate_batch(points),
+        }
+    }
+
+    pub(crate) fn evaluate_batch(&mut self, points: &[Vec<Complex<R>>]) -> Vec<SystemEval<R>> {
+        match self {
+            DeviceEngine::Dense(e) => e.evaluate_batch(points),
+            DeviceEngine::Sparse(e) => e.evaluate_batch(points),
+        }
+    }
+}
+
+/// The fleet's CPU-reference fallback, dense or ragged — both
+/// bit-identical to the device kernels in every precision.
+pub(crate) enum CpuFallback<R: Real> {
+    Dense(AdEvaluator<R>),
+    Sparse(SparseAdEvaluator<R>),
+}
+
+impl<R: Real> CpuFallback<R> {
+    pub(crate) fn new(system: &System<R>) -> Self {
+        match AdEvaluator::new(system.clone()) {
+            Ok(e) => CpuFallback::Dense(e),
+            Err(_) => CpuFallback::Sparse(SparseAdEvaluator::new(system.clone())),
+        }
+    }
+
+    pub(crate) fn evaluate(&mut self, x: &[Complex<R>]) -> SystemEval<R> {
+        match self {
+            CpuFallback::Dense(e) => e.evaluate(x),
+            CpuFallback::Sparse(e) => e.evaluate(x),
+        }
+    }
+}

@@ -36,6 +36,7 @@
 //! assert!(cluster.cluster_stats().wall_seconds > 0.0);
 //! ```
 
+mod device;
 pub mod rows;
 pub mod shard;
 
@@ -48,16 +49,17 @@ pub use shard::{plan, DeviceWeight, Shard, ShardPolicy};
 pub use polygpu_core::engine::SystemShardPolicy;
 pub use polygpu_gpusim::stream::TransferPath;
 
+use crate::device::{CpuFallback, DeviceEngine};
 use polygpu_complex::{Complex, Real};
 use polygpu_core::engine::{
     AnyEvaluator, BuildError, ClusterPolicy, ClusterProvider, ClusterSpec, Engine, EngineBuilder,
     EngineCaps, ShardMode,
 };
 use polygpu_core::pipeline::{FaultConfig, GpuOptions, PipelineStats, SetupError};
-use polygpu_core::{BatchError, BatchGpuEvaluator};
+use polygpu_core::BatchError;
 use polygpu_gpusim::prelude::{DeviceSpec, FaultKind, FaultStats, RecoveryPolicy};
 use polygpu_obs::{MetaValue, MetricsRegistry, SpanKind, TraceSink, Track};
-use polygpu_polysys::{AdEvaluator, BatchSystemEvaluator, System, SystemEval, SystemEvaluator};
+use polygpu_polysys::{BatchSystemEvaluator, System, SystemEval, SystemEvaluator};
 use rayon::prelude::*;
 use std::fmt;
 
@@ -182,7 +184,7 @@ impl fmt::Display for ClusterStats {
 
 /// [`BatchSystemEvaluator`] over `D` per-device batched engines.
 pub struct ShardedBatchEvaluator<R: Real> {
-    devices: Vec<BatchGpuEvaluator<R>>,
+    devices: Vec<DeviceEngine<R>>,
     weights: Vec<DeviceWeight>,
     policy: ShardPolicy,
     stats: ClusterStats,
@@ -216,10 +218,12 @@ struct ShardOutcome<R: Real> {
 }
 
 impl<R: Real> ShardedBatchEvaluator<R> {
-    /// Build one [`BatchGpuEvaluator`] of `per_device_capacity` points
-    /// per spec (heterogeneous specs allowed; every device must fit the
-    /// system). A one-point probe per device calibrates the modeled
-    /// seconds-per-point weight used by [`ShardPolicy::WorkStealing`].
+    /// Build one batched engine of `per_device_capacity` points per
+    /// spec (heterogeneous specs allowed; every device must fit the
+    /// system). Ragged systems under the packed encoding route to the
+    /// sparse pipeline per device, exactly as off-cluster. A one-point
+    /// probe per device calibrates the modeled seconds-per-point weight
+    /// used by [`ShardPolicy::WorkStealing`].
     pub fn new(
         system: &System<R>,
         specs: &[DeviceSpec],
@@ -245,7 +249,7 @@ impl<R: Real> ShardedBatchEvaluator<R> {
                 trace: TraceSink::noop(),
                 ..opts.base.clone()
             };
-            let mut dev = BatchGpuEvaluator::new(system, per_device_capacity, gopts)?;
+            let mut dev = DeviceEngine::build(system, per_device_capacity, gopts)?;
             // Calibration probe: modeled seconds for one point, used
             // only as a relative work-stealing weight. Runs with the
             // injector disarmed so calibration can neither fault nor
@@ -395,8 +399,7 @@ impl<R: Real> ShardedBatchEvaluator<R> {
                         4,
                         &[("points", MetaValue::U64(todo.len() as u64))],
                     );
-                    let mut cpu = AdEvaluator::new(self.system.clone())
-                        .expect("system already validated by the device engines");
+                    let mut cpu = CpuFallback::new(&self.system);
                     for &i in &todo {
                         merged[i] = Some(cpu.evaluate(&points[i]));
                     }
@@ -425,7 +428,7 @@ impl<R: Real> ShardedBatchEvaluator<R> {
                     want[d] = Some(s.iter().map(|&j| todo[j]).collect());
                 }
             }
-            let work: Vec<(usize, &mut BatchGpuEvaluator<R>, Shard)> = self
+            let work: Vec<(usize, &mut DeviceEngine<R>, Shard)> = self
                 .devices
                 .iter_mut()
                 .enumerate()
@@ -723,15 +726,17 @@ pub fn engine_builder() -> EngineBuilder<Sharded> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use polygpu_core::BatchGpuEvaluator;
     use polygpu_polysys::{random_points, random_system, BenchmarkParams};
 
-    // The parallel shard execution moves `&mut BatchGpuEvaluator`s
-    // across threads; assert the bound explicitly so a regression fails
-    // here and not in a confusing rayon-shim error.
+    // The parallel shard execution moves `&mut` device engines across
+    // threads; assert the bound explicitly so a regression fails here
+    // and not in a confusing rayon-shim error.
     fn _assert_send<T: Send>() {}
     #[allow(dead_code)]
     fn _cluster_types_are_send() {
-        _assert_send::<BatchGpuEvaluator<f64>>();
+        _assert_send::<polygpu_core::BatchGpuEvaluator<f64>>();
+        _assert_send::<polygpu_core::SparseBatchGpuEvaluator<f64>>();
         _assert_send::<ShardedBatchEvaluator<f64>>();
     }
 
@@ -1080,6 +1085,80 @@ mod tests {
         }
         let (again, _) = run();
         assert_eq!(chrome_trace_json(&spans), chrome_trace_json(&again));
+    }
+
+    /// Sparse (ragged) systems shard across the fleet under the packed
+    /// encoding, bit-identical to the single-device sparse engine — and
+    /// seeded chaos schedules recover bit-identically, the sparse CPU
+    /// fallback included.
+    #[test]
+    fn sparse_points_sharding_is_bit_identical_and_recovers() {
+        use polygpu_core::layout::encoding::EncodingKind;
+        use polygpu_core::SparseBatchGpuEvaluator;
+        use polygpu_gpusim::prelude::FaultPlan;
+        use polygpu_polysys::{random_sparse_system, SparseBenchmarkParams};
+        let prm = SparseBenchmarkParams {
+            n: 8,
+            m_min: 1,
+            m_max: 5,
+            k_min: 0,
+            k_max: 4,
+            d: 3,
+            seed: 11,
+        };
+        let sys = random_sparse_system::<f64>(&prm);
+        assert!(sys.uniform_shape().is_err(), "the family must be ragged");
+        let points = random_points::<f64>(8, 21, 5);
+        let packed = GpuOptions {
+            encoding: EncodingKind::Packed,
+            ..GpuOptions::default()
+        };
+        let mut single = SparseBatchGpuEvaluator::new(&sys, 21, packed.clone()).unwrap();
+        let want = single.try_evaluate_batch(&points).unwrap();
+        let mut cluster = ShardedBatchEvaluator::new(
+            &sys,
+            &hetero_specs(3),
+            8,
+            ClusterOptions {
+                base: packed.clone(),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let got = cluster.evaluate_batch(&points);
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            assert_eq!(g.values, w.values, "point {i}");
+            assert_eq!(g.jacobian.as_slice(), w.jacobian.as_slice(), "point {i}");
+        }
+        let mut strikes = 0u64;
+        for seed in 0..12u64 {
+            let mut opts = ClusterOptions {
+                base: packed.clone(),
+                recovery: RecoveryPolicy {
+                    cpu_fallback: true,
+                    ..RecoveryPolicy::default()
+                },
+                ..Default::default()
+            };
+            opts.base.fault = Some(FaultConfig {
+                plan: FaultPlan::new(seed, 40_000),
+                device_index: 0,
+            });
+            let mut chaos = ShardedBatchEvaluator::new(&sys, &hetero_specs(3), 8, opts).unwrap();
+            let got = chaos
+                .try_evaluate_batch(&points)
+                .expect("cpu_fallback makes every schedule recoverable");
+            for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert_eq!(g.values, w.values, "seed {seed}, point {i}");
+                assert_eq!(
+                    g.jacobian.as_slice(),
+                    w.jacobian.as_slice(),
+                    "seed {seed}, point {i}"
+                );
+            }
+            strikes += chaos.cluster_stats().fault.faults;
+        }
+        assert!(strikes > 0, "40000 ppm over 12 seeds must strike");
     }
 
     #[test]

@@ -27,21 +27,21 @@
 //! per-device budgets), and switching the active system costs one
 //! parallel command-queue round trip instead of `D` re-encodes.
 
+use crate::device::{CpuFallback, DeviceEngine};
 use polygpu_complex::{Complex, Real};
 use polygpu_core::engine::{
     AnyEvaluator, BuildError, ClusterSpec, EngineCaps, ResidencyRow, SessionAmortization,
     ShardMode, SystemId, SystemShardPolicy,
 };
 use polygpu_core::layout::encoding::EncodedSupports;
+use polygpu_core::layout::packed::sparse_packed_bytes;
 use polygpu_core::pipeline::{FaultConfig, GpuOptions, PipelineStats, SetupError};
 use polygpu_core::{BatchError, BatchGpuEvaluator};
 use polygpu_gpusim::obs::emit_gather_timeline;
 use polygpu_gpusim::prelude::*;
 use polygpu_gpusim::stream::{gather_timeline, transfer_legs, Timeline, TransferPath};
 use polygpu_obs::{MetaValue, MetricsRegistry, SpanKind, TraceSink, Track};
-use polygpu_polysys::{
-    AdEvaluator, BatchSystemEvaluator, System, SystemEval, SystemEvaluator, UniformShape,
-};
+use polygpu_polysys::{BatchSystemEvaluator, System, SystemEval, SystemEvaluator, UniformShape};
 use rayon::prelude::*;
 use std::fmt;
 
@@ -195,7 +195,7 @@ impl fmt::Display for RowClusterStats {
 /// over its rectangular row block, plus the global row indices the
 /// block covers.
 struct RowShard<R: Real> {
-    engine: BatchGpuEvaluator<R>,
+    engine: DeviceEngine<R>,
     /// Global row index of each local row, in local order.
     rows: Vec<usize>,
     /// The device's index in the original fleet — kept stable across
@@ -268,7 +268,7 @@ impl<R: Real> RowShardedEvaluator<R> {
                 trace: opts.base.trace.on(Track::Device(device_index as u32)),
                 ..opts.base.clone()
             };
-            let engine = BatchGpuEvaluator::new(&block, capacity, gopts)?;
+            let engine = DeviceEngine::build(&block, capacity, gopts)?;
             shards.push(RowShard {
                 engine,
                 rows,
@@ -317,7 +317,7 @@ impl<R: Real> RowShardedEvaluator<R> {
             .zip(row_map)
             .zip(device_indices)
             .map(|((engine, rows), device_index)| RowShard {
-                engine,
+                engine: DeviceEngine::Dense(engine),
                 rows,
                 device_index,
             })
@@ -434,12 +434,22 @@ impl<R: Real> RowShardedEvaluator<R> {
                 trace: self.base.trace.on(Track::Device(device_index as u32)),
                 ..self.base.clone()
             };
-            let engine = BatchGpuEvaluator::new(&block, self.capacity, gopts).ok()?;
-            let shape = block
-                .uniform_shape()
-                .expect("row block of a validated system");
-            let supports = EncodedSupports::bytes_needed(&shape, self.base.encoding);
-            let coeffs = shape.total_monomials() * (shape.k + 1) * elem;
+            let engine = DeviceEngine::build(&block, self.capacity, gopts).ok()?;
+            // Modeled re-encode bytes: a ragged block sizes by its
+            // packed footprint, a uniform one by its dense encoding.
+            let (supports, coeffs) = match block.uniform_shape() {
+                Ok(shape) => (
+                    EncodedSupports::bytes_needed(&shape, self.base.encoding),
+                    shape.total_monomials() * (shape.k + 1) * elem,
+                ),
+                Err(_) => {
+                    let shape = block.sparse_shape();
+                    (
+                        sparse_packed_bytes(&shape),
+                        shape.total_monomials * (shape.max_k + 1) * elem,
+                    )
+                }
+            };
             setup = setup.max(
                 transfer_seconds(&spec, supports)
                     + transfer_seconds(&spec, coeffs)
@@ -649,8 +659,7 @@ impl<R: Real> RowShardedEvaluator<R> {
                             4,
                             &[("points", MetaValue::U64(p as u64))],
                         );
-                        let mut cpu = AdEvaluator::new(self.system.clone())
-                            .expect("system already validated by the device engines");
+                        let mut cpu = CpuFallback::new(&self.system);
                         for (i, x) in points.iter().enumerate() {
                             merged[i] = cpu.evaluate(x);
                         }
@@ -1817,6 +1826,104 @@ mod tests {
             assert_eq!(g.values, w.values);
             assert_eq!(g.jacobian.as_slice(), w.jacobian.as_slice());
         }
+    }
+
+    /// Ragged systems row-shard under the packed encoding: each device
+    /// encodes only its own rows' packed supports, and the merged
+    /// results are bit-identical to the CPU sparse reference at every
+    /// fleet size.
+    #[test]
+    fn sparse_rows_sharding_is_bit_identical_to_reference() {
+        use polygpu_core::layout::encoding::EncodingKind;
+        use polygpu_polysys::{random_sparse_system, SparseAdEvaluator, SparseBenchmarkParams};
+        let prm = SparseBenchmarkParams {
+            n: 8,
+            m_min: 1,
+            m_max: 5,
+            k_min: 0,
+            k_max: 4,
+            d: 3,
+            seed: 11,
+        };
+        let sys = random_sparse_system::<f64>(&prm);
+        assert!(sys.uniform_shape().is_err(), "the family must be ragged");
+        let points = random_points::<f64>(8, 7, 9);
+        let mut cpu = SparseAdEvaluator::new(sys.clone());
+        let want = cpu.evaluate_batch(&points);
+        for d in [1usize, 2, 3] {
+            let mut cluster = RowShardedEvaluator::new(
+                &sys,
+                &hetero_specs(d),
+                8,
+                RowClusterOptions {
+                    base: GpuOptions {
+                        encoding: EncodingKind::Packed,
+                        ..GpuOptions::default()
+                    },
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let got = cluster.evaluate_batch(&points);
+            for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert_eq!(g.values, w.values, "D={d}, point {i}");
+                assert_eq!(
+                    g.jacobian.as_slice(),
+                    w.jacobian.as_slice(),
+                    "D={d}, point {i}"
+                );
+            }
+        }
+    }
+
+    /// Chaos, Rows mode, sparse: at a 100% fault rate the whole fleet
+    /// dies and the batch lands on the **sparse** CPU reference —
+    /// bit-identical to the device kernels.
+    #[test]
+    fn sparse_rows_total_loss_falls_back_to_sparse_reference() {
+        use polygpu_core::layout::encoding::EncodingKind;
+        use polygpu_polysys::{random_sparse_system, SparseAdEvaluator, SparseBenchmarkParams};
+        let prm = SparseBenchmarkParams {
+            n: 8,
+            m_min: 1,
+            m_max: 4,
+            k_min: 0,
+            k_max: 3,
+            d: 2,
+            seed: 7,
+        };
+        let sys = random_sparse_system::<f64>(&prm);
+        assert!(sys.uniform_shape().is_err(), "the family must be ragged");
+        let points = random_points::<f64>(8, 3, 3);
+        let mut cpu = SparseAdEvaluator::new(sys.clone());
+        let want = cpu.evaluate_batch(&points);
+        let mut saved = RowShardedEvaluator::new(
+            &sys,
+            &hetero_specs(2),
+            8,
+            RowClusterOptions {
+                base: GpuOptions {
+                    encoding: EncodingKind::Packed,
+                    fault: Some(FaultConfig {
+                        plan: FaultPlan::new(11, 1_000_000),
+                        device_index: 0,
+                    }),
+                    ..GpuOptions::default()
+                },
+                recovery: RecoveryPolicy {
+                    cpu_fallback: true,
+                    ..RecoveryPolicy::default()
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let got = saved.try_evaluate_batch(&points).unwrap();
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.values, w.values);
+            assert_eq!(g.jacobian.as_slice(), w.jacobian.as_slice());
+        }
+        assert!(saved.cluster_stats().fault.failovers > 0);
     }
 
     #[test]

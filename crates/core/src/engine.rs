@@ -50,14 +50,16 @@
 
 use crate::batch::{BatchError, BatchGpuEvaluator};
 use crate::layout::encoding::{EncodedSupports, EncodingKind};
+use crate::layout::packed::sparse_packed_bytes;
 use crate::pipeline::{FaultConfig, GpuEvaluator, GpuOptions, PipelineStats, SetupError};
+use crate::sparse::{SparseBatchGpuEvaluator, SparseGpuEvaluator};
 use polygpu_complex::{Complex, Real};
 use polygpu_gpusim::prelude::*;
 use polygpu_gpusim::stream::TransferPath;
 use polygpu_obs::{TraceSink, Tracer, Track};
 use polygpu_polysys::{
-    loop_evaluate_batch, AdEvaluator, BatchSystemEvaluator, NaiveEvaluator, System, SystemError,
-    SystemEval, SystemEvaluator, UniformShape,
+    loop_evaluate_batch, AdEvaluator, BatchSystemEvaluator, SparseAdEvaluator, SparseShape, System,
+    SystemError, SystemEval, SystemEvaluator, UniformShape,
 };
 use std::fmt;
 use std::sync::Arc;
@@ -171,6 +173,54 @@ impl AdmissionBudget {
             .unwrap_or(0);
         self.bytes_needed_per_device(shape, surviving) <= tightest
     }
+
+    /// Constant bytes a (possibly ragged) `shape` requires on the most
+    /// loaded device when the fleet has `devices` survivors — the
+    /// sparse generalization of [`Self::bytes_needed_per_device`].
+    /// Uniform shapes size exactly like their `UniformShape`; ragged
+    /// shapes size by the packed ragged encoding under
+    /// [`EncodingKind::Packed`] and are unencodable (`usize::MAX`)
+    /// under the dense encodings. Row-sharded slices bound the slice's
+    /// monomial count by `slice_rows · max_m` — conservative, never
+    /// optimistic.
+    pub fn sparse_bytes_needed_per_device(&self, shape: &SparseShape, devices: usize) -> usize {
+        if devices == 0 {
+            return usize::MAX;
+        }
+        let mut slice = *shape;
+        if self.rows_sharded {
+            slice.rows = shape.rows.div_ceil(devices);
+            slice.total_monomials = shape.total_monomials.min(slice.rows * shape.max_m);
+        }
+        if slice.uniform {
+            let uniform = UniformShape {
+                n: slice.n,
+                rows: slice.rows,
+                m: slice.max_m,
+                k: slice.max_k,
+                d: slice.d,
+            };
+            EncodedSupports::bytes_needed(&uniform, self.encoding)
+        } else if self.encoding == EncodingKind::Packed {
+            sparse_packed_bytes(&slice)
+        } else {
+            usize::MAX
+        }
+    }
+
+    /// Whether a (possibly ragged) `shape` can ever fit a fleet of
+    /// `surviving` devices — the sparse generalization of
+    /// [`Self::fits`].
+    pub fn sparse_fits(&self, shape: &SparseShape, surviving: usize) -> bool {
+        let surviving = surviving.min(self.devices());
+        let tightest = self
+            .device_constant_budgets
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(0);
+        self.sparse_bytes_needed_per_device(shape, surviving) <= tightest
+    }
 }
 
 /// The object-safe union of every evaluator in the workspace: single
@@ -250,20 +300,20 @@ fn validate_batch<R: Real>(n: usize, points: &[Vec<Complex<R>>]) -> Result<(), B
 // ---------------------------------------------------------------------
 
 /// The CPU algorithm behind [`CpuReferenceEngine`]: uniform systems
-/// run the paper's AD evaluator (bit-identical to the device
-/// backends); non-uniform systems — which no device backend encodes —
-/// fall back to direct naive evaluation.
+/// run the paper's AD evaluator (bit-identical to the dense device
+/// backends); ragged systems run the sparse AD evaluator
+/// (bit-identical to the packed-encoding device backends).
 enum CpuAlgo<R: Real> {
     Ad(AdEvaluator<R>),
-    Naive(NaiveEvaluator<R>),
+    Sparse(SparseAdEvaluator<R>),
 }
 
 /// The sequential CPU reference (the paper's one-core algorithm) behind
 /// the unified interface: no device model, unlimited batch capacity,
-/// bit-identical to the GPU backends on every system they accept. For
-/// systems outside the paper's uniform shape (which every device
-/// backend refuses) it evaluates naively instead, so the unified
-/// surface still covers arbitrary square systems.
+/// bit-identical to the GPU backends on every system they accept —
+/// uniform systems through the paper's AD algorithm, ragged systems
+/// through its sparse generalization (the reference of the packed
+/// pipeline).
 pub struct CpuReferenceEngine<R: Real> {
     inner: CpuAlgo<R>,
     evaluations: u64,
@@ -274,7 +324,9 @@ impl<R: Real> CpuReferenceEngine<R> {
     pub fn new(system: &System<R>) -> Result<Self, SystemError> {
         let inner = match AdEvaluator::new(system.clone()) {
             Ok(ad) => CpuAlgo::Ad(ad),
-            Err(SystemError::NotUniform(_)) => CpuAlgo::Naive(NaiveEvaluator::new(system.clone())),
+            Err(SystemError::NotUniform(_)) => {
+                CpuAlgo::Sparse(SparseAdEvaluator::new(system.clone()))
+            }
             Err(e) => return Err(e),
         };
         Ok(CpuReferenceEngine {
@@ -287,7 +339,7 @@ impl<R: Real> CpuReferenceEngine<R> {
     fn eval_inner(&mut self, x: &[Complex<R>]) -> SystemEval<R> {
         match &mut self.inner {
             CpuAlgo::Ad(e) => e.evaluate(x),
-            CpuAlgo::Naive(e) => e.evaluate(x),
+            CpuAlgo::Sparse(e) => e.evaluate(x),
         }
     }
 }
@@ -296,7 +348,7 @@ impl<R: Real> SystemEvaluator<R> for CpuReferenceEngine<R> {
     fn dim(&self) -> usize {
         match &self.inner {
             CpuAlgo::Ad(e) => e.dim(),
-            CpuAlgo::Naive(e) => e.dim(),
+            CpuAlgo::Sparse(e) => e.dim(),
         }
     }
 
@@ -321,7 +373,7 @@ impl<R: Real> BatchSystemEvaluator<R> for CpuReferenceEngine<R> {
         self.batches += 1;
         match &mut self.inner {
             CpuAlgo::Ad(e) => loop_evaluate_batch(e, points),
-            CpuAlgo::Naive(e) => loop_evaluate_batch(e, points),
+            CpuAlgo::Sparse(e) => loop_evaluate_batch(e, points),
         }
     }
 }
@@ -400,6 +452,63 @@ impl<R: Real> AnyEvaluator<R> for BatchGpuEvaluator<R> {
         points: &[Vec<Complex<R>>],
     ) -> Result<Vec<SystemEval<R>>, BatchError> {
         BatchGpuEvaluator::try_evaluate_batch(self, points)
+    }
+
+    fn engine_stats(&self) -> PipelineStats {
+        self.stats()
+    }
+
+    fn reset_engine_stats(&mut self) {
+        self.reset_stats();
+    }
+
+    fn caps(&self) -> EngineCaps {
+        EngineCaps {
+            backend: "gpu-batch",
+            devices: 1,
+            capacity: self.capacity(),
+            per_device_capacity: self.capacity(),
+            batched: true,
+            constant_bytes: self.constant_bytes_used(),
+        }
+    }
+}
+
+impl<R: Real> AnyEvaluator<R> for SparseGpuEvaluator<R> {
+    fn try_evaluate_batch(
+        &mut self,
+        points: &[Vec<Complex<R>>],
+    ) -> Result<Vec<SystemEval<R>>, BatchError> {
+        validate_batch(self.dim(), points)?;
+        SparseGpuEvaluator::try_evaluate_batch(self, points)
+    }
+
+    fn engine_stats(&self) -> PipelineStats {
+        self.stats()
+    }
+
+    fn reset_engine_stats(&mut self) {
+        self.reset_stats();
+    }
+
+    fn caps(&self) -> EngineCaps {
+        EngineCaps {
+            backend: "gpu",
+            devices: 1,
+            capacity: usize::MAX,
+            per_device_capacity: usize::MAX,
+            batched: false,
+            constant_bytes: self.constant_bytes_used(),
+        }
+    }
+}
+
+impl<R: Real> AnyEvaluator<R> for SparseBatchGpuEvaluator<R> {
+    fn try_evaluate_batch(
+        &mut self,
+        points: &[Vec<Complex<R>>],
+    ) -> Result<Vec<SystemEval<R>>, BatchError> {
+        SparseBatchGpuEvaluator::try_evaluate_batch(self, points)
     }
 
     fn engine_stats(&self) -> PipelineStats {
@@ -742,7 +851,25 @@ impl<P: ClusterProvider> EngineBuilder<P> {
     }
 
     /// Constant-memory support encoding (default direct; compact lifts
-    /// the paper's 2,048-monomial wall).
+    /// the paper's 2,048-monomial wall; packed additionally encodes
+    /// **ragged** supports — per-monomial variable counts, constants
+    /// included — that the uniform layouts reject typed).
+    ///
+    /// ```
+    /// use polygpu_core::engine::{Backend, Engine};
+    /// use polygpu_core::EncodingKind;
+    /// use polygpu_polysys::{random_sparse_system, SparseBenchmarkParams};
+    ///
+    /// let sparse = random_sparse_system::<f64>(&SparseBenchmarkParams {
+    ///     n: 4, m_min: 1, m_max: 3, k_min: 0, k_max: 3, d: 3, seed: 5,
+    /// });
+    /// let spec = Engine::builder().backend(Backend::GpuBatch { capacity: 8 });
+    /// // The paper's Direct layout cannot express ragged supports…
+    /// assert!(spec.clone().build(&sparse).is_err());
+    /// // …the packed exponent-key encoding runs them bit-identically.
+    /// let mut engine = spec.encoding(EncodingKind::Packed).build(&sparse).unwrap();
+    /// assert!(engine.caps().constant_bytes > 0);
+    /// ```
     pub fn encoding(mut self, encoding: EncodingKind) -> Self {
         self.encoding = encoding;
         self
@@ -978,10 +1105,28 @@ impl<P: ClusterProvider> EngineBuilder<P> {
         system: &System<R>,
     ) -> Result<Box<dyn AnyEvaluator<R>>, BuildError> {
         self.validate()?;
+        // Ragged systems have no uniform shape, so the dense pipelines
+        // cannot encode them; under the packed encoding they route to
+        // the sparse pipelines instead (uniform systems stay on the
+        // dense pipelines whatever the encoding — including `Packed`,
+        // which the uniform encoder handles header-free). Under a dense
+        // encoding a ragged system still fails with the existing typed
+        // shape error.
+        let ragged = matches!(system.uniform_shape(), Err(SystemError::NotUniform(_)))
+            && self.encoding == EncodingKind::Packed;
         match &self.backend {
             Backend::CpuReference => Ok(Box::new(CpuReferenceEngine::new(system)?)),
+            Backend::Gpu if ragged => Ok(Box::new(SparseGpuEvaluator::new(
+                system,
+                self.gpu_options(self.device.clone()),
+            )?)),
             Backend::Gpu => Ok(Box::new(GpuEvaluator::new(
                 system,
+                self.gpu_options(self.device.clone()),
+            )?)),
+            Backend::GpuBatch { capacity } if ragged => Ok(Box::new(SparseBatchGpuEvaluator::new(
+                system,
+                *capacity,
                 self.gpu_options(self.device.clone()),
             )?)),
             Backend::GpuBatch { capacity } => Ok(Box::new(BatchGpuEvaluator::new(

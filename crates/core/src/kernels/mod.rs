@@ -1,7 +1,9 @@
-//! The paper's three kernels, plus their batched multi-point variants.
+//! The paper's three kernels, plus their batched multi-point variants
+//! and the ragged (sparse) batched variants.
 
 pub mod batch;
 pub mod common_factor;
+pub mod sparse;
 pub mod speelpenning;
 pub mod sum;
 
@@ -10,5 +12,8 @@ pub use batch::{
     BatchSumKernel,
 };
 pub use common_factor::{CommonFactorFromScratch, CommonFactorKernel};
+pub use sparse::{
+    SparseBatchLayout, SparseCommonFactorKernel, SparseSpeelpenningKernel, SparseSumKernel,
+};
 pub use speelpenning::SpeelpenningKernel;
 pub use sum::SumKernel;

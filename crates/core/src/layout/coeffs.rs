@@ -45,6 +45,39 @@ pub fn coeff_index(shape: &UniformShape, portion: usize, g: usize) -> usize {
     portion * shape.total_monomials() + g
 }
 
+/// Build the `Coeffs` array for a **ragged** system: the same
+/// derivative-portion-major layout with `max_k + 1` portions. A
+/// monomial with `k_g` variables fills portions `0..k_g` (derivative
+/// coefficients `c · a_j`) and the value portion `max_k`; the portions
+/// in between stay zero and are never read.
+///
+/// Returns a vector of length `total · (max_k + 1)`.
+pub fn build_sparse_coeffs<R: Real>(
+    system: &System<R>,
+    shape: &polygpu_polysys::SparseShape,
+) -> Vec<Complex<R>> {
+    let total = shape.total_monomials;
+    let mut coeffs = vec![Complex::<R>::zero(); total * (shape.max_k + 1)];
+    let mut g = 0usize;
+    for poly in system.polys() {
+        for term in poly.terms() {
+            for (j, &(_, e)) in term.monomial.factors().iter().enumerate() {
+                coeffs[j * total + g] = term.coeff.scale(R::from_u32(e as u32));
+            }
+            coeffs[shape.max_k * total + g] = term.coeff;
+            g += 1;
+        }
+    }
+    coeffs
+}
+
+/// Index into the sparse `Coeffs` array: derivative portion `i < k_g`
+/// or the value portion `i == max_k` of monomial `g`.
+#[inline]
+pub fn sparse_coeff_index(total: usize, portion: usize, g: usize) -> usize {
+    portion * total + g
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

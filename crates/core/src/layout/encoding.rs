@@ -15,6 +15,18 @@
 //! per-monomial cost from `2k` to `1.5k` bytes at the price of a couple
 //! of integer decode operations per access — which, as the paper
 //! predicts, are dominated by the multiplications that follow.
+//!
+//! The **packed** encoding takes that idea to its limit: each factor's
+//! `(position, exponent − 1)` pair becomes one radix key of
+//! `⌈log₂ n⌉ + ⌈log₂ d⌉` bits and consecutive keys are bit-packed into
+//! little-endian `u64` words ([`packed_geometry`]). All decode
+//! parameters derive from the shape, so no header is stored; the
+//! device-side decode (one `u64` constant load plus shift/mask integer
+//! ops per factor) is charged honestly through the thread context. For
+//! the paper's Table 1 shape (`n = 32, k = 9, d = 2`) a monomial costs
+//! 8 bytes against the direct encoding's 18 — a 2.25× footprint cut —
+//! and the 2,048-monomial `k = 16, d = 10` system that overflows the
+//! direct encoding fits in 49,152 bytes.
 
 use polygpu_complex::Real;
 use polygpu_gpusim::prelude::*;
@@ -31,6 +43,57 @@ pub enum EncodingKind {
     /// Nibble-packed exponents (`d <= 16`): the paper's proposed
     /// compression.
     Compact,
+    /// Radix exponent keys bit-packed into `u64` words: each factor
+    /// costs `⌈log₂ n⌉ + ⌈log₂ d⌉` bits instead of 16. The only
+    /// encoding that also expresses **ragged** supports (via the
+    /// header-carrying [`PackedSupports`](crate::layout::packed::PackedSupports)
+    /// layout); on uniform shapes it stays header-free and the dense
+    /// kernels decode it in place, bit-identically to `Direct`.
+    Packed,
+}
+
+/// Smallest field width (in bits, at least 1) that represents every
+/// value in `0..=max_value`.
+pub(crate) fn bits_for(max_value: usize) -> usize {
+    ((usize::BITS - max_value.leading_zeros()) as usize).max(1)
+}
+
+/// Decode parameters of the packed exponent-key encoding — a pure
+/// function of `(n, d, k)`, so nothing but the keys themselves is
+/// stored. Each factor's key is `position | (exponent − 1) << bits_pos`;
+/// consecutive keys of one monomial fill little-endian `u64` words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PackedGeometry {
+    /// Bits of the position field: `⌈log₂ n⌉` (min 1).
+    pub bits_pos: usize,
+    /// Bits of the exponent field: `⌈log₂ d⌉` (min 1); stores `e − 1`.
+    pub bits_exp: usize,
+    /// Whole keys per 64-bit word.
+    pub factors_per_word: usize,
+    /// Words per monomial: `⌈k / factors_per_word⌉`.
+    pub words_per_monomial: usize,
+}
+
+impl PackedGeometry {
+    /// Key-payload bytes for `total` monomials.
+    pub fn key_bytes(&self, total: usize) -> usize {
+        total * self.words_per_monomial * 8
+    }
+}
+
+/// Packed-key geometry for supports of dimension `n`, maximal exponent
+/// `d` and (maximal) `k` variables per monomial. `Var` is `u16`, so
+/// `bits_pos <= 16` and `bits_exp <= 16`: a key always fits a word.
+pub fn packed_geometry(n: usize, d: usize, k: usize) -> PackedGeometry {
+    let bits_pos = bits_for(n.saturating_sub(1));
+    let bits_exp = bits_for(d.saturating_sub(1));
+    let factors_per_word = 64 / (bits_pos + bits_exp);
+    PackedGeometry {
+        bits_pos,
+        bits_exp,
+        factors_per_word,
+        words_per_monomial: k.div_ceil(factors_per_word),
+    }
 }
 
 /// Errors encoding a system's supports.
@@ -42,6 +105,13 @@ pub enum EncodeError {
     PositionTooLarge { var: usize },
     /// An exponent does not fit the encoding's field.
     ExponentTooLarge { exp: usize, limit: usize },
+    /// A ragged support exceeds a packed-header field (`rows` and
+    /// per-equation monomial counts carry 12 bits, variable counts 8).
+    SupportTooLarge {
+        what: &'static str,
+        got: usize,
+        limit: usize,
+    },
     /// Constant memory exhausted — the paper's observed failure mode at
     /// 2,048 monomials.
     Constant(ConstantOverflow),
@@ -56,6 +126,9 @@ impl fmt::Display for EncodeError {
             }
             EncodeError::ExponentTooLarge { exp, limit } => {
                 write!(f, "exponent {exp} exceeds the encoding limit {limit}")
+            }
+            EncodeError::SupportTooLarge { what, got, limit } => {
+                write!(f, "{what} {got} exceeds the packed-header limit {limit}")
             }
             EncodeError::Constant(e) => write!(f, "{e}"),
         }
@@ -89,6 +162,8 @@ impl EncodedSupports {
         match kind {
             EncodingKind::Direct => 2 * entries,
             EncodingKind::Compact => entries + entries.div_ceil(2),
+            EncodingKind::Packed => packed_geometry(shape.n, shape.d as usize, shape.k)
+                .key_bytes(shape.total_monomials()),
         }
     }
 
@@ -99,17 +174,20 @@ impl EncodedSupports {
         kind: EncodingKind,
     ) -> Result<Self, EncodeError> {
         let shape = system.uniform_shape().map_err(EncodeError::Shape)?;
-        let exp_limit = match kind {
-            EncodingKind::Direct => 256usize, // stores exp-1 in u8
-            EncodingKind::Compact => 16,      // stores exp-1 in a nibble
+        // The packed fields are sized by the shape itself (`bits_pos`
+        // from n, `bits_exp` from the observed d), so only the
+        // byte-wide encodings carry fixed field limits.
+        let (pos_limit, exp_limit) = match kind {
+            EncodingKind::Direct => (255usize, 256usize), // stores exp-1 in u8
+            EncodingKind::Compact => (255, 16),           // stores exp-1 in a nibble
+            EncodingKind::Packed => (usize::MAX, usize::MAX),
         };
         let entries = shape.total_monomials() * shape.k;
-        let mut positions = Vec::with_capacity(entries);
-        let mut exponents = Vec::with_capacity(entries);
+        let mut flat = Vec::with_capacity(entries);
         for poly in system.polys() {
             for term in poly.terms() {
                 for &(v, e) in term.monomial.factors() {
-                    if v as usize > 255 {
+                    if v as usize > pos_limit {
                         return Err(EncodeError::PositionTooLarge { var: v as usize });
                     }
                     if e as usize > exp_limit {
@@ -118,23 +196,47 @@ impl EncodedSupports {
                             limit: exp_limit,
                         });
                     }
-                    positions.push(v as u8);
-                    exponents.push((e - 1) as u8);
+                    flat.push((v as usize, (e - 1) as usize));
                 }
             }
         }
         let (positions, exponents) = match kind {
-            EncodingKind::Direct => (constant.alloc(&positions)?, constant.alloc(&exponents)?),
+            EncodingKind::Direct => {
+                let pos: Vec<u8> = flat.iter().map(|&(v, _)| v as u8).collect();
+                let exp: Vec<u8> = flat.iter().map(|&(_, e)| e as u8).collect();
+                (constant.alloc(&pos)?, constant.alloc(&exp)?)
+            }
             EncodingKind::Compact => {
+                let pos: Vec<u8> = flat.iter().map(|&(v, _)| v as u8).collect();
                 let mut packed = vec![0u8; entries.div_ceil(2)];
-                for (i, &e) in exponents.iter().enumerate() {
+                for (i, &(_, e)) in flat.iter().enumerate() {
                     if i % 2 == 0 {
-                        packed[i / 2] |= e & 0x0F;
+                        packed[i / 2] |= (e as u8) & 0x0F;
                     } else {
-                        packed[i / 2] |= (e & 0x0F) << 4;
+                        packed[i / 2] |= ((e as u8) & 0x0F) << 4;
                     }
                 }
-                (constant.alloc(&positions)?, constant.alloc(&packed)?)
+                (constant.alloc(&pos)?, constant.alloc(&packed)?)
+            }
+            EncodingKind::Packed => {
+                let geo = packed_geometry(shape.n, shape.d as usize, shape.k);
+                let mut keys =
+                    Vec::with_capacity(shape.total_monomials() * geo.words_per_monomial * 8);
+                for mon in flat.chunks(shape.k) {
+                    let mut words = vec![0u64; geo.words_per_monomial];
+                    for (j, &(v, em1)) in mon.iter().enumerate() {
+                        let key = v as u64 | ((em1 as u64) << geo.bits_pos);
+                        words[j / geo.factors_per_word] |=
+                            key << ((j % geo.factors_per_word) * (geo.bits_pos + geo.bits_exp));
+                    }
+                    for w in words {
+                        keys.extend_from_slice(&w.to_le_bytes());
+                    }
+                }
+                // Keys live in the `exponents` region; `positions` is a
+                // zero-length placeholder (free of an empty region is a
+                // no-op, so `regions()` round-trips unchanged).
+                (constant.alloc(&[])?, constant.alloc(&keys)?)
             }
         };
         Ok(EncodedSupports {
@@ -171,22 +273,40 @@ impl EncodedSupports {
         j: usize,
     ) -> (usize, usize) {
         let idx = g * self.shape.k + j;
-        let var = t.cload_u8(self.positions, idx) as usize;
-        let em1 = match self.kind {
-            EncodingKind::Direct => t.cload_u8(self.exponents, idx) as usize,
+        match self.kind {
+            EncodingKind::Direct => {
+                let var = t.cload_u8(self.positions, idx) as usize;
+                let em1 = t.cload_u8(self.exponents, idx) as usize;
+                (var, em1)
+            }
             EncodingKind::Compact => {
+                let var = t.cload_u8(self.positions, idx) as usize;
                 let byte = t.cload_u8(self.exponents, idx / 2);
                 // Nibble select: shift + mask, charged as 2 integer ops
                 // (the decode cost the paper reasons about).
                 t.iops(2);
-                if idx.is_multiple_of(2) {
+                let em1 = if idx.is_multiple_of(2) {
                     (byte & 0x0F) as usize
                 } else {
                     (byte >> 4) as usize
-                }
+                };
+                (var, em1)
             }
-        };
-        (var, em1)
+            EncodingKind::Packed => {
+                let geo = packed_geometry(self.shape.n, self.shape.d as usize, self.shape.k);
+                let word = t.cload_u64(
+                    self.exponents,
+                    g * geo.words_per_monomial + j / geo.factors_per_word,
+                );
+                // Key select + two field extracts: charged as 3 integer
+                // ops on top of the word load.
+                t.iops(3);
+                let key = word >> ((j % geo.factors_per_word) * (geo.bits_pos + geo.bits_exp));
+                let var = (key & ((1u64 << geo.bits_pos) - 1)) as usize;
+                let em1 = ((key >> geo.bits_pos) & ((1u64 << geo.bits_exp) - 1)) as usize;
+                (var, em1)
+            }
+        }
     }
 
     /// Variable position only (used where the exponent is not needed,
@@ -199,7 +319,22 @@ impl EncodedSupports {
         g: usize,
         j: usize,
     ) -> usize {
-        t.cload_u8(self.positions, g * self.shape.k + j) as usize
+        match self.kind {
+            EncodingKind::Direct | EncodingKind::Compact => {
+                t.cload_u8(self.positions, g * self.shape.k + j) as usize
+            }
+            EncodingKind::Packed => {
+                let geo = packed_geometry(self.shape.n, self.shape.d as usize, self.shape.k);
+                let word = t.cload_u64(
+                    self.exponents,
+                    g * geo.words_per_monomial + j / geo.factors_per_word,
+                );
+                // Key select + position mask.
+                t.iops(2);
+                let key = word >> ((j % geo.factors_per_word) * (geo.bits_pos + geo.bits_exp));
+                (key & ((1u64 << geo.bits_pos) - 1)) as usize
+            }
+        }
     }
 }
 
@@ -278,6 +413,170 @@ mod tests {
         let enc = EncodedSupports::upload(&sys, &mut cm, EncodingKind::Compact).unwrap();
         assert_eq!(cm.used(), 49_152);
         assert_eq!(enc.shape.total_monomials(), 2048);
+    }
+
+    #[test]
+    fn packed_geometry_matches_hand_arithmetic() {
+        // Table 1 shape: n = 32 -> 5 position bits, d = 2 -> 1 exponent
+        // bit, 6-bit keys, 10 per word, k = 9 -> one word = 8 bytes per
+        // monomial (the direct encoding spends 18).
+        let g = packed_geometry(32, 2, 9);
+        assert_eq!((g.bits_pos, g.bits_exp), (5, 1));
+        assert_eq!(g.factors_per_word, 10);
+        assert_eq!(g.words_per_monomial, 1);
+        let t1 = UniformShape {
+            n: 32,
+            rows: 32,
+            m: 22,
+            k: 9,
+            d: 2,
+        };
+        let direct = EncodedSupports::bytes_needed(&t1, EncodingKind::Direct);
+        let packed = EncodedSupports::bytes_needed(&t1, EncodingKind::Packed);
+        assert_eq!(direct, 704 * 18);
+        assert_eq!(packed, 704 * 8);
+        assert!(direct as f64 / packed as f64 >= 2.0);
+
+        // Table 2 shape: 5 + 4 = 9-bit keys, 7 per word, k = 16 -> 3
+        // words = 24 bytes per monomial; 2,048 monomials fit in 49,152
+        // bytes where the direct encoding needs 65,536.
+        let g2 = packed_geometry(32, 10, 16);
+        assert_eq!((g2.bits_pos, g2.bits_exp), (5, 4));
+        assert_eq!(g2.factors_per_word, 7);
+        assert_eq!(g2.words_per_monomial, 3);
+        let t2 = UniformShape {
+            n: 32,
+            rows: 32,
+            m: 64,
+            k: 16,
+            d: 10,
+        };
+        assert_eq!(
+            EncodedSupports::bytes_needed(&t2, EncodingKind::Direct),
+            65_536
+        );
+        assert_eq!(
+            EncodedSupports::bytes_needed(&t2, EncodingKind::Packed),
+            49_152
+        );
+    }
+
+    #[test]
+    fn packed_encoding_fits_where_direct_overflows() {
+        // The 2,048-monomial k = 16 wall again (E3), lifted by packing.
+        let dev = DeviceSpec::tesla_c2050();
+        let sys = random_system::<f64>(&params(32, 64, 16, 10));
+        let mut cm = ConstantMemory::new(&dev);
+        let err = EncodedSupports::upload(&sys, &mut cm, EncodingKind::Direct).unwrap_err();
+        assert!(matches!(err, EncodeError::Constant(_)), "{err}");
+        let mut cm = ConstantMemory::new(&dev);
+        let enc = EncodedSupports::upload(&sys, &mut cm, EncodingKind::Packed).unwrap();
+        assert_eq!(cm.used(), 49_152);
+        assert_eq!(enc.constant_bytes(), 49_152);
+        // The placeholder positions region is empty; freeing both
+        // regions drains the arena.
+        let (pos, keys) = enc.regions();
+        assert_eq!(pos.len(), 0);
+        assert_eq!(keys.len(), 49_152);
+        cm.free(pos);
+        cm.free(keys);
+        assert_eq!(cm.used(), 0);
+    }
+
+    #[test]
+    fn packed_round_trips_factors_bit_exactly() {
+        // Decode through a real thread context must reproduce exactly
+        // what the direct encoding stores, factor by factor.
+        use polygpu_complex::C64;
+        let dev = DeviceSpec::tesla_c2050();
+        for p in [
+            params(32, 4, 9, 2),
+            params(32, 4, 16, 10),
+            params(7, 3, 2, 5),
+        ] {
+            let sys = random_system::<f64>(&p);
+            struct Probe {
+                a: EncodedSupports,
+                b: EncodedSupports,
+            }
+            impl Kernel<C64> for Probe {
+                fn name(&self) -> &str {
+                    "probe"
+                }
+                fn shared_elems(&self, _b: u32) -> usize {
+                    0
+                }
+                fn run_block(&self, blk: &mut BlockCtx<'_, C64>) {
+                    let shape = self.a.shape;
+                    blk.threads(|t| {
+                        if t.tid() != 0 {
+                            return;
+                        }
+                        for g in 0..shape.total_monomials() {
+                            for j in 0..shape.k {
+                                assert_eq!(
+                                    self.a.read_factor(t, g, j),
+                                    self.b.read_factor(t, g, j),
+                                    "factor ({g}, {j})"
+                                );
+                                assert_eq!(
+                                    self.a.read_position(t, g, j),
+                                    self.b.read_position(t, g, j)
+                                );
+                            }
+                        }
+                    });
+                }
+            }
+            // Both encodings share one arena so one launch sees both.
+            let mut cm = ConstantMemory::new(&dev);
+            let a = EncodedSupports::upload(&sys, &mut cm, EncodingKind::Direct).unwrap();
+            let b = EncodedSupports::upload(&sys, &mut cm, EncodingKind::Packed).unwrap();
+            let mut global = GlobalMem::<C64>::new();
+            launch(
+                &dev,
+                &Probe { a, b },
+                LaunchConfig::cover(1, 32),
+                &mut global,
+                &cm,
+                LaunchOptions::default(),
+            )
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn compact_boundary_exponent_16_encodes_17_rejects() {
+        // Satellite: the nibble stores exp − 1, so 16 is the exact cap —
+        // it must encode (as 15), and 17 must reject typed, never
+        // truncate.
+        use polygpu_complex::C64;
+        use polygpu_polysys::{Monomial, Polynomial, System, Term};
+        let dev = DeviceSpec::tesla_c2050();
+        let at = |e: u16| {
+            let p0 = Polynomial::new(vec![Term {
+                coeff: C64::one(),
+                monomial: Monomial::new(vec![(0, e)]).unwrap(),
+            }]);
+            let p1 = Polynomial::new(vec![Term {
+                coeff: C64::one(),
+                monomial: Monomial::new(vec![(1, e)]).unwrap(),
+            }]);
+            System::new(2, vec![p0, p1]).unwrap()
+        };
+        let mut cm = ConstantMemory::new(&dev);
+        let enc = EncodedSupports::upload(&at(16), &mut cm, EncodingKind::Compact).unwrap();
+        assert_eq!(enc.shape.d, 16);
+        let mut cm = ConstantMemory::new(&dev);
+        let err = EncodedSupports::upload(&at(17), &mut cm, EncodingKind::Compact).unwrap_err();
+        assert_eq!(err, EncodeError::ExponentTooLarge { exp: 17, limit: 16 });
+        // Nothing was left allocated by the rejected upload's positions.
+        assert_eq!(cm.used(), 0);
+        // Direct and packed both take the same system.
+        let mut cm = ConstantMemory::new(&dev);
+        assert!(EncodedSupports::upload(&at(17), &mut cm, EncodingKind::Direct).is_ok());
+        let mut cm = ConstantMemory::new(&dev);
+        assert!(EncodedSupports::upload(&at(17), &mut cm, EncodingKind::Packed).is_ok());
     }
 
     #[test]

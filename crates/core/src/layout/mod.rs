@@ -1,7 +1,8 @@
-//! Device memory layouts: constant-memory support encoding, the
-//! derivative-major `Coeffs` array, and the summation-friendly `Mons`
-//! array.
+//! Device memory layouts: constant-memory support encodings (uniform
+//! and ragged packed-key), the derivative-major `Coeffs` array, and the
+//! summation-friendly `Mons` array.
 
 pub mod coeffs;
 pub mod encoding;
 pub mod mons;
+pub mod packed;

@@ -50,6 +50,7 @@ pub mod engine;
 pub mod kernels;
 pub mod layout;
 pub mod pipeline;
+pub mod sparse;
 
 pub use batch::{expect_batch, BatchError, BatchGpuEvaluator};
 pub use engine::{
@@ -58,8 +59,13 @@ pub use engine::{
     SessionAmortization, ShardMode, SystemId, SystemShardPolicy,
 };
 pub use kernels::batch::BatchLayout;
-pub use layout::encoding::{EncodeError, EncodedSupports, EncodingKind};
+pub use kernels::sparse::SparseBatchLayout;
+pub use layout::encoding::{
+    packed_geometry, EncodeError, EncodedSupports, EncodingKind, PackedGeometry,
+};
+pub use layout::packed::{sparse_packed_bytes, PackedSupports};
 pub use pipeline::{FaultConfig, GpuEvaluator, GpuOptions, PipelineStats, SetupError};
+pub use sparse::{SparseBatchGpuEvaluator, SparseGpuEvaluator};
 // The fault-model vocabulary, so fault-aware callers (schedulers,
 // cluster recovery, chaos harnesses) need not depend on the simulator
 // crate directly.

@@ -247,6 +247,29 @@ impl<'a, T: DeviceValue> ThreadCtx<'a, T> {
         self.constant.read_u8(id, idx)
     }
 
+    /// Constant-memory word load (little-endian `u64` at element index
+    /// `idx`) — how the packed exponent-key encoding reads a whole
+    /// key word in one charged access.
+    #[inline]
+    pub fn cload_u64(&mut self, id: ConstId, idx: usize) -> u64 {
+        self.trace.push(Ev::CLoad {
+            addr: (id.offset + idx * 8) as u32,
+            bytes: 8,
+        });
+        self.constant.read_u64(id, idx)
+    }
+
+    /// Constant-memory `u32` load (little-endian, element index `idx`)
+    /// — how the sparse pipeline reads a ragged monomial header.
+    #[inline]
+    pub fn cload_u32(&mut self, id: ConstId, idx: usize) -> u32 {
+        self.trace.push(Ev::CLoad {
+            addr: (id.offset + idx * 4) as u32,
+            bytes: 4,
+        });
+        self.constant.read_u32(id, idx)
+    }
+
     /// Traced multiply.
     #[inline]
     pub fn mul(&mut self, a: T, b: T) -> T {

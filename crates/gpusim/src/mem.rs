@@ -236,6 +236,29 @@ impl ConstantMemory {
         debug_assert!(idx < id.len);
         self.bytes[id.offset + idx]
     }
+
+    /// Read a little-endian `u64` word at element index `idx` (byte
+    /// offset `8 * idx`) — the packed exponent-key encodings store
+    /// whole words.
+    #[inline]
+    pub(crate) fn read_u64(&self, id: ConstId, idx: usize) -> u64 {
+        let at = idx * 8;
+        debug_assert!(at + 8 <= id.len);
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.bytes[id.offset + at..id.offset + at + 8]);
+        u64::from_le_bytes(b)
+    }
+
+    /// Read a little-endian `u32` at element index `idx` (byte offset
+    /// `4 * idx`) — the ragged-support monomial headers.
+    #[inline]
+    pub(crate) fn read_u32(&self, id: ConstId, idx: usize) -> u32 {
+        let at = idx * 4;
+        debug_assert!(at + 4 <= id.len);
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&self.bytes[id.offset + at..id.offset + at + 4]);
+        u32::from_le_bytes(b)
+    }
 }
 
 #[cfg(test)]

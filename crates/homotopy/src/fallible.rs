@@ -60,6 +60,7 @@ pub trait TryBatchEvaluator<R: Real>: BatchSystemEvaluator<R> {
 }
 
 impl<R: Real> TryBatchEvaluator<R> for StartSystem {}
+impl<R: Real> TryBatchEvaluator<R> for crate::start::AnyStart {}
 impl<R: Real> TryBatchEvaluator<R> for AdEvaluator<R> {}
 impl<R: Real> TryBatchEvaluator<R> for NaiveEvaluator<R> {}
 

@@ -68,10 +68,10 @@ pub mod prelude {
     };
     pub use crate::solve::{
         PathEndpoint, PathReport, PrecisionPolicy, Scheduler, SchedulerKind, SchedulerRun,
-        SolveError, SolveReport, SolveRequest, Solver, StartSelection,
+        SolveError, SolveReport, SolveRequest, Solver, StartGroup, StartKind, StartSelection,
     };
     pub use crate::solver::{solve_total_degree, Root, SolveParams, SolveResult};
-    pub use crate::start::StartSystem;
+    pub use crate::start::{AnyStart, StartSystem};
     pub use crate::tracker::{track, PathPoint, TrackOutcome, TrackParams, TrackResult};
 }
 

@@ -48,7 +48,7 @@ use crate::fallible::FaultReport;
 use crate::homotopy::{random_gamma, Homotopy};
 use crate::lockstep::{track_lockstep_recovering_traced, BatchHomotopy, LockstepPath};
 use crate::queue::{track_queue_recovering_traced, QueueStats, SlotPolicy};
-use crate::start::StartSystem;
+use crate::start::{AnyStart, StartSystem};
 use crate::tracker::{track, TrackOutcome, TrackParams};
 use polygpu_complex::{Complex, Real};
 use polygpu_core::engine::{
@@ -60,6 +60,7 @@ use polygpu_core::{BatchError, RecoveryPolicy};
 use polygpu_obs::{
     MetaValue, MetricsRegistry, SpanKind, TelemetrySnapshot, TraceSink, Tracer, Track,
 };
+use polygpu_polyhedral::{mixed_cell_starts, CellError};
 use polygpu_polysys::{NaiveEvaluator, System, SystemEvaluator};
 use polygpu_qd::Dd;
 use std::fmt;
@@ -69,9 +70,10 @@ use std::sync::Arc;
 // The scheduler trait and the three built-in schedulers
 // ---------------------------------------------------------------------
 
-/// The homotopy every scheduler runs over: the analytic total-degree
-/// start system against a boxed engine from the [`Solver`]'s spec.
-pub type EngineHomotopy<R> = BatchHomotopy<R, StartSystem, Box<dyn AnyEvaluator<R>>>;
+/// The homotopy every scheduler runs over: an analytic start system
+/// ([`AnyStart`] — total-degree or one mixed cell's binomial system)
+/// against a boxed engine from the [`Solver`]'s spec.
+pub type EngineHomotopy<R> = BatchHomotopy<R, AnyStart, Box<dyn AnyEvaluator<R>>>;
 
 /// What a scheduler hands back: per-path endpoints in start order plus
 /// its aggregate scheduling statistics.
@@ -392,6 +394,48 @@ pub enum StartSelection {
     Points(Vec<Vec<Complex<f64>>>),
 }
 
+/// Which start-system construction a [`SolveRequest`] tracks paths
+/// from.
+///
+/// The two kinds bound the path count differently: total-degree tracks
+/// one path per Bézout root (`∏ dᵢ`), mixed cells one path per unit of
+/// mixed volume (Bernstein's bound) — strictly fewer for sparse
+/// targets, and the dominant cost of a solve is the number of paths.
+///
+/// ```
+/// use polygpu_homotopy::solve::{SolveRequest, Solver, StartKind};
+/// use polygpu_polysys::parse_system;
+///
+/// // Sparse quadratics: Bézout 4, mixed volume 2 — half the paths.
+/// let target = parse_system::<f64>("x0*x1 + x0 + 1; x0*x1 + x1 + 2").unwrap();
+/// let dense = Solver::new().solve(&SolveRequest::new(target.clone())).unwrap();
+/// let sparse = Solver::new()
+///     .solve(&SolveRequest::new(target).with_start_kind(StartKind::MixedCells { lift_seed: 7 }))
+///     .unwrap();
+/// assert_eq!(dense.paths.len(), 4);
+/// assert_eq!(sparse.paths.len(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StartKind {
+    /// The total-degree system `xᵢ^{dᵢ} − 1` from
+    /// [`SolveRequest::start`] (or a custom [`StartSystem`] installed
+    /// with [`SolveRequest::with_start`]).
+    #[default]
+    TotalDegree,
+    /// One binomial start system per mixed cell of the target's lifted
+    /// Newton polytopes ([`polygpu_polyhedral::mixed_cell_starts`]).
+    /// The cells — and therefore every path — are a pure function of
+    /// the target's support and `lift_seed`. [`SolveRequest::start`]
+    /// is ignored; [`StartSelection::Points`] is rejected typed (a
+    /// point's cell is not recoverable from coordinates).
+    MixedCells { lift_seed: u64 },
+}
+
+/// One start system and the start points tracked from it —
+/// [`SolveRequest::resolve_groups`] returns one group per start
+/// system, in path order.
+pub type StartGroup<R> = (AnyStart, Vec<Vec<Complex<R>>>);
+
 /// Everything `solve()` needs: the problem, the tolerances, the
 /// precision policy and the scheduler. Engine placement lives in the
 /// [`Solver`], so one request runs unchanged on every backend.
@@ -415,7 +459,12 @@ pub struct SolveRequest {
     /// evaluators, in every precision the policy needs).
     pub target: System<f64>,
     /// The start system `G` (evaluated analytically on the host).
+    /// Used by [`StartKind::TotalDegree`]; ignored under
+    /// [`StartKind::MixedCells`], which derives its per-cell binomial
+    /// start systems from the target's support.
     pub start: StartSystem,
+    /// Which start-system construction to track paths from.
+    pub start_kind: StartKind,
     /// Which paths to track.
     pub starts: StartSelection,
     /// Seed of the gamma trick; equal seeds describe equal paths
@@ -453,6 +502,7 @@ impl SolveRequest {
         let degrees: Vec<u32> = target.polys().iter().map(|p| p.total_degree()).collect();
         SolveRequest {
             start: StartSystem::new(degrees),
+            start_kind: StartKind::TotalDegree,
             target,
             starts: StartSelection::All,
             gamma_seed: 0x9E37,
@@ -475,6 +525,11 @@ impl SolveRequest {
 
     pub fn with_start(mut self, start: StartSystem) -> Self {
         self.start = start;
+        self
+    }
+
+    pub fn with_start_kind(mut self, kind: StartKind) -> Self {
+        self.start_kind = kind;
         self
     }
 
@@ -569,6 +624,88 @@ impl SolveRequest {
                 Ok(points.clone())
             }
         }
+    }
+
+    /// The start systems and start points this request tracks, as the
+    /// solver runs them: one group per start system, concatenated in
+    /// path order. [`StartKind::TotalDegree`] yields one group
+    /// (`resolve_starts`); [`StartKind::MixedCells`] yields one group
+    /// per mixed cell, with [`StartSelection`] indexing the
+    /// concatenation of every cell's roots (count = mixed volume).
+    pub fn resolve_groups(&self) -> Result<Vec<StartGroup<f64>>, SolveError> {
+        let lift_seed = match self.start_kind {
+            StartKind::TotalDegree => {
+                let start = AnyStart::TotalDegree(self.start.clone());
+                return Ok(vec![(start, self.resolve_starts()?)]);
+            }
+            StartKind::MixedCells { lift_seed } => lift_seed,
+        };
+        let mc = mixed_cell_starts(&self.target, lift_seed).map_err(SolveError::MixedCells)?;
+        let count = mc.mixed_volume;
+        // Per-cell index ranges over the concatenated root order.
+        let mut ranges = Vec::with_capacity(mc.cells.len());
+        let mut off = 0u128;
+        for cell in &mc.cells {
+            ranges.push((off, cell.start.solution_count()));
+            off += cell.start.solution_count();
+        }
+        let take = |cell: usize, lo: u128, hi: u128| -> (AnyStart, Vec<Vec<Complex<f64>>>) {
+            let start = &mc.cells[cell].start;
+            let points = (lo..hi).map(|i| start.solution_by_index(i)).collect();
+            (AnyStart::Binomial(start.clone()), points)
+        };
+        let mut groups = Vec::new();
+        match &self.starts {
+            StartSelection::All => {
+                for (cell, &(_, len)) in ranges.iter().enumerate() {
+                    groups.push(take(cell, 0, len));
+                }
+            }
+            StartSelection::FirstN(n) => {
+                let mut remaining = *n;
+                for (cell, &(_, len)) in ranges.iter().enumerate() {
+                    if remaining == 0 {
+                        break;
+                    }
+                    let here = len.min(remaining);
+                    groups.push(take(cell, 0, here));
+                    remaining -= here;
+                }
+            }
+            StartSelection::Indices(idx) => {
+                // Consecutive indices in the same cell share a group, a
+                // cell switch opens a new one — path order stays the
+                // requested index order.
+                let mut last_cell = usize::MAX;
+                for &i in idx {
+                    if i >= count {
+                        return Err(SolveError::StartIndexOutOfRange { index: i, count });
+                    }
+                    let cell = ranges
+                        .partition_point(|&(start, _)| start <= i)
+                        .saturating_sub(1);
+                    let point = mc.cells[cell].start.solution_by_index(i - ranges[cell].0);
+                    if cell == last_cell {
+                        groups.last_mut().expect("group opened above").1.push(point);
+                    } else {
+                        groups.push((
+                            AnyStart::Binomial(mc.cells[cell].start.clone()),
+                            vec![point],
+                        ));
+                        last_cell = cell;
+                    }
+                }
+            }
+            StartSelection::Points(_) => {
+                return Err(SolveError::PointsWithMixedCells);
+            }
+        }
+        if groups.is_empty() {
+            // Zero paths selected: keep one (empty) group so the solve
+            // still provisions an engine and reports its caps.
+            groups.push(take(0, 0, 0));
+        }
+        Ok(groups)
     }
 }
 
@@ -781,6 +918,15 @@ pub enum SolveError {
     /// The partial pass is discarded; rerun with a stronger policy or
     /// a fleet engine with internal failover.
     Fault(BatchError),
+    /// [`StartKind::MixedCells`] could not construct start systems for
+    /// this target (not square, dimension above the mixed-cell cap,
+    /// a single-monomial polynomial, degenerate liftings, …).
+    MixedCells(CellError),
+    /// [`StartSelection::Points`] combined with
+    /// [`StartKind::MixedCells`]: explicit points carry no record of
+    /// which cell's binomial system they solve, so there is no start
+    /// system to track them from. Use [`StartSelection::Indices`].
+    PointsWithMixedCells,
 }
 
 impl fmt::Display for SolveError {
@@ -808,6 +954,12 @@ impl fmt::Display for SolveError {
                 "start point {point} has {got} coordinates, expected {expected}"
             ),
             SolveError::Fault(e) => write!(f, "evaluation fault outlived recovery: {e}"),
+            SolveError::MixedCells(e) => write!(f, "mixed-cell start construction: {e}"),
+            SolveError::PointsWithMixedCells => write!(
+                f,
+                "explicit start points cannot be tracked from mixed-cell start systems \
+                 (no cell is recoverable from coordinates); select by index instead"
+            ),
         }
     }
 }
@@ -817,6 +969,7 @@ impl std::error::Error for SolveError {
         match self {
             SolveError::Build(e) => Some(e),
             SolveError::Fault(e) => Some(e),
+            SolveError::MixedCells(e) => Some(e),
             _ => None,
         }
     }
@@ -890,15 +1043,26 @@ impl<P: ClusterProvider> Solver<P> {
         start: &StartSystem,
         gamma_seed: u64,
     ) -> Result<EngineHomotopy<R>, SolveError> {
+        self.homotopy_any(target, &AnyStart::TotalDegree(start.clone()), gamma_seed)
+    }
+
+    /// [`Solver::homotopy`] over any [`AnyStart`] — how the solve loop
+    /// builds the homotopy of each mixed cell's binomial start system.
+    pub fn homotopy_any<R: Real>(
+        &self,
+        target: &System<R>,
+        start: &AnyStart,
+        gamma_seed: u64,
+    ) -> Result<EngineHomotopy<R>, SolveError> {
         if !target.is_square() {
             return Err(SolveError::RectangularTarget {
                 rows: target.rows(),
                 dim: target.dim(),
             });
         }
-        if start.degrees().len() != target.dim() {
+        if start.dim() != target.dim() {
             return Err(SolveError::DimensionMismatch {
-                start: start.degrees().len(),
+                start: start.dim(),
                 target: target.dim(),
             });
         }
@@ -911,10 +1075,10 @@ impl<P: ClusterProvider> Solver<P> {
     /// scheduler over its start points, and collect the uniform
     /// [`SolveReport`].
     pub fn solve(&self, req: &SolveRequest) -> Result<SolveReport, SolveError> {
-        let starts = req.resolve_starts()?;
+        let groups = req.resolve_groups()?;
         let mut report = match req.precision {
             PrecisionPolicy::Fixed(UsedPrecision::Double) => {
-                let pass = self.run_pass(req, &req.target, &starts, req.params, 0.0)?;
+                let pass = self.run_groups(req, &req.target, &groups, req.params, 0.0)?;
                 SolveReport {
                     paths: report_f64(&req.target, pass.paths),
                     scheduler: req.scheduler,
@@ -929,8 +1093,8 @@ impl<P: ClusterProvider> Solver<P> {
             }
             PrecisionPolicy::Fixed(UsedPrecision::DoubleDouble) => {
                 let target_dd = req.target.convert::<Dd>();
-                let starts_dd = widen(&starts);
-                let pass = self.run_pass(req, &target_dd, &starts_dd, req.params, 0.0)?;
+                let groups_dd = widen_groups(&groups);
+                let pass = self.run_groups(req, &target_dd, &groups_dd, req.params, 0.0)?;
                 let paths = report_dd(&target_dd, pass.paths);
                 SolveReport {
                     paths,
@@ -945,7 +1109,7 @@ impl<P: ClusterProvider> Solver<P> {
                 }
             }
             PrecisionPolicy::Escalating { dd_params } => {
-                let pass = self.run_pass(req, &req.target, &starts, req.params, 0.0)?;
+                let pass = self.run_groups(req, &req.target, &groups, req.params, 0.0)?;
                 let failed: Vec<usize> = pass
                     .paths
                     .iter()
@@ -962,16 +1126,15 @@ impl<P: ClusterProvider> Solver<P> {
                 } else {
                     // Re-enter the same scheduler at higher precision:
                     // same spec, same gamma (exactly widened), the
-                    // failed paths' start points only. The dd pass's
-                    // spans start where the primary pass's clock ended.
+                    // failed paths' start points only — regrouped by
+                    // their start system (failed indices are increasing
+                    // and groups concatenate in order, so retry order
+                    // matches `failed`). The dd pass's spans start
+                    // where the primary pass's clock ended.
                     let target_dd = req.target.convert::<Dd>();
-                    let retry_starts: Vec<Vec<Complex<Dd>>> = widen(
-                        &failed
-                            .iter()
-                            .map(|&i| starts[i].clone())
-                            .collect::<Vec<_>>(),
-                    );
-                    let dd = self.run_pass(req, &target_dd, &retry_starts, dd_params, pass.wall)?;
+                    let retry_groups = retry_groups_of(&groups, &failed);
+                    let dd =
+                        self.run_groups(req, &target_dd, &retry_groups, dd_params, pass.wall)?;
                     let rescued = dd.paths.iter().filter(|p| p.success()).count();
                     let dd_reports = report_dd(&target_dd, dd.paths);
                     for (&i, r) in failed.iter().zip(dd_reports) {
@@ -1014,14 +1177,46 @@ impl<P: ClusterProvider> Solver<P> {
         Ok(report)
     }
 
+    /// One precision pass over every start-system group: one
+    /// [`Solver::run_pass`] per group, chained on the modeled clock
+    /// (each group's spans start where the previous group's ended) and
+    /// merged into one [`Pass`] — paths concatenate in group order,
+    /// statistics sum. A total-degree solve is the one-group case and
+    /// runs exactly as before.
+    fn run_groups<R: Real>(
+        &self,
+        req: &SolveRequest,
+        target: &System<R>,
+        groups: &[StartGroup<R>],
+        params: TrackParams,
+        base: f64,
+    ) -> Result<Pass<R>, SolveError> {
+        let mut acc: Option<Pass<R>> = None;
+        let mut offset = base;
+        for (start, starts) in groups {
+            let pass = self.run_pass(req, start, target, starts, params, offset)?;
+            offset += pass.wall;
+            acc = Some(match acc {
+                None => pass,
+                Some(mut merged) => {
+                    merged.merge(pass);
+                    merged
+                }
+            });
+        }
+        Ok(acc.expect("resolve_groups yields at least one group"))
+    }
+
     /// One scheduler pass in precision `R`: fresh engine, fresh
-    /// homotopy, the request's scheduler. `base` is the pass's origin
-    /// on the solve's modeled clock — `0.0` for the primary pass, the
-    /// primary pass's wall for the escalation pass — so every span of
-    /// a two-pass solve lands on one monotone timeline.
+    /// homotopy over `start`, the request's scheduler. `base` is the
+    /// pass's origin on the solve's modeled clock — `0.0` for the
+    /// primary pass, the primary pass's wall for the escalation pass —
+    /// so every span of a two-pass solve lands on one monotone
+    /// timeline.
     fn run_pass<R: Real>(
         &self,
         req: &SolveRequest,
+        start: &AnyStart,
         target: &System<R>,
         starts: &[Vec<Complex<R>>],
         params: TrackParams,
@@ -1032,13 +1227,13 @@ impl<P: ClusterProvider> Solver<P> {
             // A fresh engine wakes at modeled t = 0; handing it the
             // rebased sink keeps its device spans after the primary
             // pass's on the solve timeline.
-            Solver::from_builder(self.builder.clone().trace_sink(trace.clone())).homotopy(
+            Solver::from_builder(self.builder.clone().trace_sink(trace.clone())).homotopy_any(
                 target,
-                &req.start,
+                start,
                 req.gamma_seed,
             )?
         } else {
-            self.homotopy(target, &req.start, req.gamma_seed)?
+            self.homotopy_any(target, start, req.gamma_seed)?
         };
         let caps = h.f.caps();
         let mut scheduler = req.scheduler.instantiate::<R>();
@@ -1068,7 +1263,8 @@ impl<P: ClusterProvider> Solver<P> {
     }
 }
 
-/// One precision pass's raw results.
+/// One precision pass's raw results (possibly merged over several
+/// start-system groups).
 struct Pass<R: Real> {
     paths: Vec<LockstepPath<R>>,
     stats: QueueStats,
@@ -1077,6 +1273,68 @@ struct Pass<R: Real> {
     caps: EngineCaps,
     /// The pass's modeled duration (engine wall + scheduler backoff).
     wall: f64,
+}
+
+impl<R: Real> Pass<R> {
+    /// Fold a later group's pass into this one: paths concatenate in
+    /// path order, counters sum, the modeled clocks chain (`caps` stays
+    /// — every group provisions from the same spec).
+    fn merge(&mut self, other: Pass<R>) {
+        self.paths.extend(other.paths);
+        self.stats.rounds += other.stats.rounds;
+        self.stats.batch_rounds += other.stats.batch_rounds;
+        self.stats.refills += other.stats.refills;
+        self.stats.point_rounds += other.stats.point_rounds;
+        self.stats.slots = self.stats.slots.max(other.stats.slots);
+        self.stats.steps_accepted += other.stats.steps_accepted;
+        self.stats.steps_rejected += other.stats.steps_rejected;
+        self.stats.corrector_iterations += other.stats.corrector_iterations;
+        self.engine.evaluations += other.engine.evaluations;
+        self.engine.batches += other.engine.batches;
+        self.engine.counters += other.engine.counters;
+        self.engine.kernel_seconds += other.engine.kernel_seconds;
+        self.engine.overhead_seconds += other.engine.overhead_seconds;
+        self.engine.transfer_seconds += other.engine.transfer_seconds;
+        self.engine.wall_seconds += other.engine.wall_seconds;
+        self.engine.fault.merge(&other.engine.fault);
+        self.fault.faults += other.fault.faults;
+        self.fault.retried_rounds += other.fault.retried_rounds;
+        self.fault.recovered_rounds += other.fault.recovered_rounds;
+        self.fault.backoff_seconds += other.fault.backoff_seconds;
+        self.fault.engine.merge(&other.fault.engine);
+        self.wall += other.wall;
+    }
+}
+
+/// The groups' starts widened to double-double (exactly — widening is
+/// injective), for the fixed-dd policy.
+fn widen_groups(groups: &[StartGroup<f64>]) -> Vec<StartGroup<Dd>> {
+    groups
+        .iter()
+        .map(|(start, starts)| (start.clone(), widen(starts)))
+        .collect()
+}
+
+/// The escalation pass's groups: each failed path's start point,
+/// widened, grouped under its own start system. `failed` holds
+/// increasing global path indices over the groups' concatenation, so
+/// walking the groups in order preserves retry order.
+fn retry_groups_of(groups: &[StartGroup<f64>], failed: &[usize]) -> Vec<StartGroup<Dd>> {
+    let mut retry = Vec::new();
+    let mut next = failed.iter().copied().peekable();
+    let mut offset = 0usize;
+    for (start, starts) in groups {
+        let end = offset + starts.len();
+        let mut sel: Vec<Vec<Complex<f64>>> = Vec::new();
+        while next.peek().is_some_and(|&i| i < end) {
+            sel.push(starts[next.next().expect("peeked") - offset].clone());
+        }
+        if !sel.is_empty() {
+            retry.push((start.clone(), widen(&sel)));
+        }
+        offset = end;
+    }
+    retry
 }
 
 /// Flatten every stats struct of `report` into the one sorted snapshot
@@ -1169,7 +1427,10 @@ mod tests {
     use crate::newton::NewtonParams;
     use crate::queue::track_queue;
     use polygpu_complex::C64;
-    use polygpu_polysys::{random_system, AdEvaluator, BenchmarkParams};
+    use polygpu_polysys::{
+        parse_system, random_sparse_system, random_system, AdEvaluator, BenchmarkParams,
+        SparseBenchmarkParams,
+    };
 
     fn fixture(seed: u64) -> (System<f64>, StartSystem, Vec<Vec<C64>>) {
         let params = BenchmarkParams {
@@ -1672,6 +1933,155 @@ mod tests {
         assert_eq!(report.occupancy(), 0.0);
         assert_eq!(report.modeled_wall_seconds(), 0.0);
         assert!(!report.telemetry.is_empty());
+    }
+
+    /// Sparse quadratics under mixed-cell starts: mixed-volume many
+    /// paths (strictly fewer than Bézout), same roots, bit-identical
+    /// endpoints across schedulers.
+    fn packed_gpu_solver() -> Solver {
+        use polygpu_core::EncodingKind;
+        Solver::from_builder(
+            Engine::builder()
+                .backend(Backend::GpuBatch { capacity: 4 })
+                .encoding(EncodingKind::Packed),
+        )
+    }
+
+    #[test]
+    fn mixed_cells_track_fewer_paths_bit_identical_across_schedulers() {
+        let target = parse_system::<f64>("x0*x1 + x0 + 1; x0*x1 + x1 + 2").unwrap();
+        let kind = StartKind::MixedCells { lift_seed: 7 };
+        let dense = packed_gpu_solver()
+            .solve(&SolveRequest::new(target.clone()))
+            .unwrap();
+        let per_path = packed_gpu_solver()
+            .solve(
+                &SolveRequest::new(target.clone())
+                    .with_start_kind(kind)
+                    .with_scheduler(SchedulerKind::PerPath),
+            )
+            .unwrap();
+        let queue = packed_gpu_solver()
+            .solve(&SolveRequest::new(target.clone()).with_start_kind(kind))
+            .unwrap();
+        assert_eq!(dense.paths.len(), 4, "Bézout paths");
+        assert_eq!(per_path.paths.len(), 2, "mixed-volume paths");
+        assert_eq!(per_path.successes(), 2);
+        for (i, (a, b)) in per_path.paths.iter().zip(&queue.paths).enumerate() {
+            assert_eq!(a.outcome, b.outcome, "path {i}");
+            assert_eq!(a.endpoint, b.endpoint, "bit-identical endpoint, path {i}");
+            assert!(a.residual < 1e-8, "path {i} residual {:e}", a.residual);
+        }
+        // The two mixed-cell roots are among the dense solve's roots.
+        for p in &per_path.paths {
+            let x = p.endpoint.to_f64();
+            let near = dense.paths.iter().filter(|d| d.success()).any(|d| {
+                d.endpoint
+                    .to_f64()
+                    .iter()
+                    .zip(&x)
+                    .all(|(a, b)| (*a - *b).abs() < 1e-6)
+            });
+            assert!(near, "mixed-cell endpoint missing from dense solve");
+        }
+    }
+
+    /// `StartSelection` indexes the concatenation of every cell's
+    /// roots; `Points` and out-of-range indices reject typed, as do
+    /// targets the cell enumeration cannot handle.
+    #[test]
+    fn mixed_cells_selection_and_typed_errors() {
+        let target = parse_system::<f64>("x0*x1 + x0 + 1; x0*x1 + x1 + 2").unwrap();
+        let kind = StartKind::MixedCells { lift_seed: 7 };
+        let all = packed_gpu_solver()
+            .solve(&SolveRequest::new(target.clone()).with_start_kind(kind))
+            .unwrap();
+        let first = packed_gpu_solver()
+            .solve(
+                &SolveRequest::new(target.clone())
+                    .with_start_kind(kind)
+                    .with_starts(StartSelection::FirstN(1)),
+            )
+            .unwrap();
+        assert_eq!(first.paths.len(), 1);
+        assert_eq!(first.paths[0].endpoint, all.paths[0].endpoint);
+        let picked = packed_gpu_solver()
+            .solve(
+                &SolveRequest::new(target.clone())
+                    .with_start_kind(kind)
+                    .with_starts(StartSelection::Indices(vec![1, 0])),
+            )
+            .unwrap();
+        assert_eq!(picked.paths[0].endpoint, all.paths[1].endpoint);
+        assert_eq!(picked.paths[1].endpoint, all.paths[0].endpoint);
+
+        let err = Solver::new()
+            .solve(
+                &SolveRequest::new(target.clone())
+                    .with_start_kind(kind)
+                    .with_starts(StartSelection::Indices(vec![9])),
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, SolveError::StartIndexOutOfRange { index: 9, count: 2 }),
+            "{err}"
+        );
+        let err = Solver::new()
+            .solve(
+                &SolveRequest::new(target)
+                    .with_start_kind(kind)
+                    .with_starts(StartSelection::Points(vec![vec![C64::one(); 2]])),
+            )
+            .unwrap_err();
+        assert!(matches!(err, SolveError::PointsWithMixedCells), "{err}");
+
+        // An 8-dimensional target is past the mixed-cell dimension cap.
+        let big = random_sparse_system::<f64>(&SparseBenchmarkParams {
+            n: 8,
+            m_min: 2,
+            m_max: 3,
+            k_min: 1,
+            k_max: 3,
+            d: 2,
+            seed: 1,
+        });
+        let err = Solver::new()
+            .solve(&SolveRequest::new(big).with_start_kind(StartKind::MixedCells { lift_seed: 0 }))
+            .unwrap_err();
+        assert!(matches!(err, SolveError::MixedCells(_)), "{err}");
+    }
+
+    /// Precision escalation re-enters the scheduler per cell: failed
+    /// mixed-cell paths retry in double-double from the same binomial
+    /// start systems.
+    #[test]
+    fn mixed_cells_escalate_per_cell() {
+        let target = parse_system::<f64>("x0*x1 + x0 + 1; x0*x1 + x1 + 2").unwrap();
+        let brutal = NewtonParams {
+            residual_tol: 1e-19, // below f64 round-off: every path escalates
+            step_tol: 1e-21,
+            max_iters: 8,
+        };
+        let params = TrackParams {
+            corrector: brutal,
+            ..Default::default()
+        };
+        let report = packed_gpu_solver()
+            .solve(
+                &SolveRequest::new(target)
+                    .with_start_kind(StartKind::MixedCells { lift_seed: 7 })
+                    .with_params(params)
+                    .with_precision(PrecisionPolicy::Escalating { dd_params: params }),
+            )
+            .unwrap();
+        let escalation = report.escalation.as_ref().expect("escalation pass ran");
+        assert_eq!(escalation.retried, 2, "1e-19 is unreachable in f64");
+        assert_eq!(escalation.rescued, 2);
+        assert!(report
+            .paths
+            .iter()
+            .all(|p| p.precision() == UsedPrecision::DoubleDouble));
+        assert!(report.paths.iter().all(|p| p.residual < 1e-18));
     }
 
     /// With recovery disabled every injected fault surfaces typed on

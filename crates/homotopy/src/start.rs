@@ -1,10 +1,15 @@
-//! The total-degree start system `G_i(x) = x_i^{d_i} − 1`.
+//! The total-degree start system `G_i(x) = x_i^{d_i} − 1`, and the
+//! [`AnyStart`] wrapper that lets the unified solver also run the
+//! per-cell binomial start systems of a polyhedral (mixed-cell)
+//! homotopy.
 //!
-//! Its solutions are all combinations of `d_i`-th roots of unity, and
-//! its Jacobian is diagonal — the standard cheap start system for
-//! homotopy continuation (Allgower & Georg; Morgan).
+//! The total-degree system's solutions are all combinations of
+//! `d_i`-th roots of unity, and its Jacobian is diagonal — the
+//! standard cheap start system for homotopy continuation (Allgower &
+//! Georg; Morgan).
 
 use polygpu_complex::{CMat, Complex, Real};
+use polygpu_polyhedral::BinomialStart;
 use polygpu_polysys::{loop_evaluate_batch, BatchSystemEvaluator, SystemEval, SystemEvaluator};
 use std::f64::consts::TAU;
 
@@ -99,6 +104,59 @@ impl<R: Real> SystemEvaluator<R> for StartSystem {
 }
 
 impl<R: Real> BatchSystemEvaluator<R> for StartSystem {
+    /// Analytic evaluation has no per-batch fixed cost to amortize.
+    fn max_batch(&self) -> usize {
+        usize::MAX
+    }
+
+    fn evaluate_batch(&mut self, points: &[Vec<Complex<R>>]) -> Vec<SystemEval<R>> {
+        loop_evaluate_batch(self, points)
+    }
+}
+
+/// Either start system the unified solver runs: the total-degree
+/// system (one global group of roots-of-unity starts) or one mixed
+/// cell's binomial system (`x^V = β`, from
+/// [`polygpu_polyhedral::mixed_cell_starts`]). Both evaluate
+/// analytically on the host — only the target runs on the device — so
+/// the choice of start system never touches device numerics.
+#[derive(Debug, Clone)]
+pub enum AnyStart {
+    TotalDegree(StartSystem),
+    Binomial(BinomialStart),
+}
+
+impl AnyStart {
+    /// The start system's dimension (precision-independent).
+    pub fn dim(&self) -> usize {
+        match self {
+            AnyStart::TotalDegree(g) => g.degrees().len(),
+            AnyStart::Binomial(g) => g.dim(),
+        }
+    }
+}
+
+impl<R: Real> SystemEvaluator<R> for AnyStart {
+    fn dim(&self) -> usize {
+        AnyStart::dim(self)
+    }
+
+    fn evaluate(&mut self, x: &[Complex<R>]) -> SystemEval<R> {
+        match self {
+            AnyStart::TotalDegree(g) => g.evaluate(x),
+            AnyStart::Binomial(g) => g.evaluate(x),
+        }
+    }
+
+    fn name(&self) -> &str {
+        match self {
+            AnyStart::TotalDegree(g) => SystemEvaluator::<R>::name(g),
+            AnyStart::Binomial(g) => SystemEvaluator::<R>::name(g),
+        }
+    }
+}
+
+impl<R: Real> BatchSystemEvaluator<R> for AnyStart {
     /// Analytic evaluation has no per-batch fixed cost to amortize.
     fn max_batch(&self) -> usize {
         usize::MAX

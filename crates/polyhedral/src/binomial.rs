@@ -1,0 +1,339 @@
+//! The binomial start system of one mixed cell.
+//!
+//! A cell picks two monomials `c_a·x^a + c_b·x^b` from each target
+//! polynomial. Setting each binomial to zero gives `x^V = β` with
+//! `V`'s rows the exponent differences `a_i − b_i` and
+//! `β_i = −c_{b,i}/c_{a,i}`: exactly `|det V|` toric roots, computed
+//! in closed form (`log x = V⁻¹(Log β + 2πi·k)` over the coset
+//! representatives `k` of `Z^n/V·Z^n`). Like the total-degree
+//! [`StartSystem`](polygpu_polysys::SystemEvaluator), the binomial
+//! system is evaluated analytically on the host; only the target runs
+//! on the device, so endpoints stay bit-identical across backends.
+
+use crate::snf::{abs_det, diagonalize};
+use polygpu_complex::{CMat, Complex, Real, C64};
+use polygpu_polysys::{
+    loop_evaluate_batch, BatchSystemEvaluator, Exp, SystemEval, SystemEvaluator,
+};
+use std::f64::consts::TAU;
+
+/// One equation `c_a·x^a + c_b·x^b` of a binomial start system.
+#[derive(Debug, Clone)]
+pub struct BinomialEq {
+    /// Exponent vector of the first monomial (length `n`).
+    pub a: Vec<Exp>,
+    pub ca: C64,
+    /// Exponent vector of the second monomial (length `n`).
+    pub b: Vec<Exp>,
+    pub cb: C64,
+}
+
+/// A square binomial system with its roots enumerable by index —
+/// the start system of one mixed cell.
+#[derive(Debug, Clone)]
+pub struct BinomialStart {
+    eqs: Vec<BinomialEq>,
+    /// Exponent-difference matrix `V` (rows `a_i − b_i`).
+    v: Vec<Vec<i64>>,
+    /// Positive diagonal of `D = A·V·B` (root count `∏ diag`).
+    diag: Vec<i64>,
+    /// `A⁻¹`: maps box indices to coset representatives.
+    ainv: Vec<Vec<i64>>,
+    /// Principal `Log β_i` as `(ln |β|, arg β)`.
+    log_beta: Vec<(f64, f64)>,
+}
+
+impl BinomialStart {
+    /// Build the system and its root-enumeration data. Panics when the
+    /// exponent-difference matrix is singular (cell enumeration rejects
+    /// `det = 0` candidates before constructing starts) or a leading
+    /// coefficient is zero.
+    pub fn new(eqs: Vec<BinomialEq>) -> Self {
+        let n = eqs.len();
+        let v: Vec<Vec<i64>> = eqs
+            .iter()
+            .map(|e| {
+                assert_eq!(e.a.len(), n, "exponent vector length");
+                assert_eq!(e.b.len(), n, "exponent vector length");
+                (0..n).map(|j| e.a[j] as i64 - e.b[j] as i64).collect()
+            })
+            .collect();
+        assert!(abs_det(&v) > 0, "binomial system is degenerate (det 0)");
+        let (diag, ainv) = diagonalize(&v);
+        let log_beta = eqs
+            .iter()
+            .map(|e| {
+                assert!(e.ca.abs() > 0.0, "zero leading coefficient");
+                let beta = e.cb.scale(-1.0) * e.ca.recip();
+                (beta.abs().ln(), beta.im.atan2(beta.re))
+            })
+            .collect();
+        BinomialStart {
+            eqs,
+            v,
+            diag,
+            ainv,
+            log_beta,
+        }
+    }
+
+    pub fn eqs(&self) -> &[BinomialEq] {
+        &self.eqs
+    }
+
+    /// Number of variables (= number of equations).
+    pub fn dim(&self) -> usize {
+        self.eqs.len()
+    }
+
+    /// Number of roots: `|det V|`, the cell's normalized volume.
+    pub fn solution_count(&self) -> u128 {
+        self.diag.iter().map(|&d| d as u128).product()
+    }
+
+    /// The root numbered `index` in mixed-radix order over the
+    /// diagonal box (0 ≤ index < `solution_count`). Deterministic:
+    /// pure `f64` arithmetic in a fixed order.
+    pub fn solution_by_index(&self, mut index: u128) -> Vec<C64> {
+        let n = self.eqs.len();
+        assert!(index < self.solution_count(), "root index out of range");
+        let mut r = Vec::with_capacity(n);
+        for &d in &self.diag {
+            r.push((index % d as u128) as i64);
+            index /= d as u128;
+        }
+        // k = A⁻¹·r: the coset representative selecting the branch of
+        // each logarithm.
+        let k: Vec<f64> = (0..n)
+            .map(|i| (0..n).map(|j| self.ainv[i][j] * r[j]).sum::<i64>() as f64)
+            .collect();
+        // Solve V·log x = Log β + 2πi·k (real matrix, complex rhs).
+        let rhs_re: Vec<f64> = self.log_beta.iter().map(|&(ln, _)| ln).collect();
+        let rhs_im: Vec<f64> = self
+            .log_beta
+            .iter()
+            .zip(&k)
+            .map(|(&(_, arg), &ki)| arg + TAU * ki)
+            .collect();
+        let (y_re, y_im) = solve_real(&self.v, &rhs_re, &rhs_im);
+        (0..n)
+            .map(|j| {
+                let scale = y_re[j].exp();
+                C64::from_f64(scale * y_im[j].cos(), scale * y_im[j].sin())
+            })
+            .collect()
+    }
+}
+
+/// Solve `V·y = rhs` for a real integer matrix and a complex rhs given
+/// as `(re, im)` columns — Gaussian elimination with partial pivoting;
+/// the real multipliers act on both columns identically.
+#[allow(clippy::needless_range_loop)] // row k eliminates row i in place
+pub(crate) fn solve_real(v: &[Vec<i64>], rhs_re: &[f64], rhs_im: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    let n = v.len();
+    let mut m: Vec<Vec<f64>> = v
+        .iter()
+        .map(|row| row.iter().map(|&x| x as f64).collect())
+        .collect();
+    let mut re = rhs_re.to_vec();
+    let mut im = rhs_im.to_vec();
+    for k in 0..n {
+        let pivot = (k..n)
+            .max_by(|&i, &j| m[i][k].abs().total_cmp(&m[j][k].abs()))
+            .expect("nonempty pivot column");
+        m.swap(k, pivot);
+        re.swap(k, pivot);
+        im.swap(k, pivot);
+        for i in (k + 1)..n {
+            let f = m[i][k] / m[k][k];
+            if f != 0.0 {
+                for j in k..n {
+                    m[i][j] -= f * m[k][j];
+                }
+                re[i] -= f * re[k];
+                im[i] -= f * im[k];
+            }
+        }
+    }
+    for k in (0..n).rev() {
+        for j in (k + 1)..n {
+            re[k] -= m[k][j] * re[j];
+            im[k] -= m[k][j] * im[j];
+        }
+        re[k] /= m[k][k];
+        im[k] /= m[k][k];
+    }
+    (re, im)
+}
+
+/// `c · ∏ x_j^{e_j}` in precision `R`.
+fn term<R: Real>(c: C64, e: &[Exp], x: &[Complex<R>]) -> Complex<R> {
+    let mut acc: Complex<R> = c.convert();
+    for (j, &ej) in e.iter().enumerate() {
+        if ej > 0 {
+            acc *= x[j].powi(ej as i32);
+        }
+    }
+    acc
+}
+
+/// `∂/∂x_j` of `c · x^e`: `c · e_j · x_j^{e_j−1} · ∏_{l≠j} x_l^{e_l}`.
+fn term_deriv<R: Real>(c: C64, e: &[Exp], x: &[Complex<R>], j: usize) -> Complex<R> {
+    if e[j] == 0 {
+        return Complex::zero();
+    }
+    let mut acc: Complex<R> = c.convert();
+    acc = acc.scale(R::from_u32(e[j] as u32));
+    for (l, &el) in e.iter().enumerate() {
+        let p = if l == j { el - 1 } else { el };
+        if p > 0 {
+            acc *= x[l].powi(p as i32);
+        }
+    }
+    acc
+}
+
+impl<R: Real> SystemEvaluator<R> for BinomialStart {
+    fn dim(&self) -> usize {
+        self.eqs.len()
+    }
+
+    fn evaluate(&mut self, x: &[Complex<R>]) -> SystemEval<R> {
+        let n = self.eqs.len();
+        assert_eq!(x.len(), n);
+        let mut values = Vec::with_capacity(n);
+        let mut jac = CMat::zeros(n, n);
+        for (i, eq) in self.eqs.iter().enumerate() {
+            values.push(term(eq.ca, &eq.a, x) + term(eq.cb, &eq.b, x));
+            for j in 0..n {
+                jac[(i, j)] = term_deriv(eq.ca, &eq.a, x, j) + term_deriv(eq.cb, &eq.b, x, j);
+            }
+        }
+        SystemEval {
+            values,
+            jacobian: jac,
+        }
+    }
+
+    fn name(&self) -> &str {
+        "binomial-start"
+    }
+}
+
+impl<R: Real> BatchSystemEvaluator<R> for BinomialStart {
+    /// Analytic evaluation has no per-batch fixed cost to amortize.
+    fn max_batch(&self) -> usize {
+        usize::MAX
+    }
+
+    fn evaluate_batch(&mut self, points: &[Vec<Complex<R>>]) -> Vec<SystemEval<R>> {
+        loop_evaluate_batch(self, points)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> BinomialStart {
+        // 2·x0·x1 − 3 = 0, x0 − x1 = 0: V = [[1,1],[1,−1]], two roots.
+        BinomialStart::new(vec![
+            BinomialEq {
+                a: vec![1, 1],
+                ca: C64::from_f64(2.0, 0.0),
+                b: vec![0, 0],
+                cb: C64::from_f64(-3.0, 0.0),
+            },
+            BinomialEq {
+                a: vec![1, 0],
+                ca: C64::from_f64(1.0, 0.0),
+                b: vec![0, 1],
+                cb: C64::from_f64(-1.0, 0.0),
+            },
+        ])
+    }
+
+    #[test]
+    fn every_enumerated_root_satisfies_the_system() {
+        let mut g = fixture();
+        assert_eq!(g.solution_count(), 2);
+        let mut seen = Vec::new();
+        for idx in 0..2u128 {
+            let x = g.solution_by_index(idx);
+            let e = SystemEvaluator::<f64>::evaluate(&mut g, &x);
+            assert!(
+                e.residual_norm() < 1e-12,
+                "root {idx} residual {:e}",
+                e.residual_norm()
+            );
+            for prev in &seen {
+                let d: f64 = x
+                    .iter()
+                    .zip(prev)
+                    .map(|(p, q): (&C64, &C64)| (*p - *q).abs())
+                    .sum();
+                assert!(d > 1e-6, "roots {idx} collide");
+            }
+            seen.push(x);
+        }
+    }
+
+    #[test]
+    fn complex_coefficients_and_larger_volume() {
+        // x0^3·x1 + (1+2i) = 0, x0·x1^2 − (2−i) = 0:
+        // V = [[3,1],[1,2]], det 5 → five distinct roots.
+        let mut g = BinomialStart::new(vec![
+            BinomialEq {
+                a: vec![3, 1],
+                ca: C64::from_f64(1.0, 0.0),
+                b: vec![0, 0],
+                cb: C64::from_f64(1.0, 2.0),
+            },
+            BinomialEq {
+                a: vec![1, 2],
+                ca: C64::from_f64(1.0, 0.0),
+                b: vec![0, 0],
+                cb: C64::from_f64(-2.0, 1.0),
+            },
+        ]);
+        assert_eq!(g.solution_count(), 5);
+        let mut roots = Vec::new();
+        for idx in 0..5u128 {
+            let x = g.solution_by_index(idx);
+            let e = SystemEvaluator::<f64>::evaluate(&mut g, &x);
+            assert!(e.residual_norm() < 1e-10, "root {idx}");
+            roots.push(x);
+        }
+        for i in 0..roots.len() {
+            for j in (i + 1)..roots.len() {
+                let d: f64 = roots[i]
+                    .iter()
+                    .zip(&roots[j])
+                    .map(|(p, q)| (*p - *q).abs())
+                    .sum();
+                assert!(d > 1e-6, "roots {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn jacobian_matches_finite_differences() {
+        let mut g = fixture();
+        let x = vec![C64::from_f64(0.7, 0.3), C64::from_f64(-1.2, 0.5)];
+        let e = SystemEvaluator::<f64>::evaluate(&mut g, &x);
+        let h = 1e-7;
+        for j in 0..2 {
+            let mut xp = x.clone();
+            xp[j] += C64::from_f64(h, 0.0);
+            let ep = SystemEvaluator::<f64>::evaluate(&mut g, &xp);
+            for i in 0..2 {
+                let fd = (ep.values[i] - e.values[i]).scale(1.0 / h);
+                assert!(
+                    (fd - e.jacobian[(i, j)]).abs() < 1e-5,
+                    "jac[{i},{j}]: fd {fd:?} vs {:?}",
+                    e.jacobian[(i, j)]
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,432 @@
+//! Mixed-cell enumeration over a deterministic lifted subdivision.
+//!
+//! Each support point is lifted to an integer height
+//! ([`crate::lift::lift_value`]); a candidate cell picks one **edge**
+//! (two points) per polynomial and is accepted when a common linear
+//! functional `α` prices both endpoints of every chosen edge equally
+//! and strictly below every other point of that polynomial's lifted
+//! support — the fine mixed cells of type `(1, …, 1)` of the induced
+//! subdivision. Their normalized volumes `|det V|` sum to the mixed
+//! volume (Bernstein's root count), and each cell carries the binomial
+//! start system built from the target's own coefficients on the cell's
+//! monomials.
+//!
+//! Ties in the pricing (a degenerate lifting) restart the whole
+//! enumeration with `seed + 1`, so the result is still a pure function
+//! of `(support, seed)`.
+
+use crate::binomial::{solve_real, BinomialEq, BinomialStart};
+use crate::lift::lift_value;
+use crate::snf::abs_det;
+use polygpu_complex::C64;
+use polygpu_polysys::{Exp, System};
+use std::fmt;
+
+/// Pricing tolerance: lifted heights are integers and `α` solves an
+/// integer system, so true ties land within rounding noise of zero and
+/// generic gaps sit far above it.
+const TIE_TOL: f64 = 1e-6;
+
+/// Enumeration guard: brute force is exponential in `n`, so cells are
+/// only computed for targets of at most this many variables.
+pub const MAX_DIM: usize = 6;
+/// Enumeration guard: the edge-product search space (`∏ mᵢ·(mᵢ−1)/2`)
+/// is capped here; larger supports reject typed.
+pub const MAX_COMBINATIONS: u128 = 2_000_000;
+const MAX_RELIFTS: u64 = 32;
+
+/// One fine mixed cell: the chosen support-edge per polynomial, its
+/// normalized volume, and its binomial start system.
+#[derive(Debug, Clone)]
+pub struct MixedCell {
+    /// Per-polynomial `(j, l)` indices into the deduplicated support.
+    pub edges: Vec<(usize, usize)>,
+    /// `|det V|`: this cell's share of the mixed volume (= its start
+    /// system's root count).
+    pub volume: u128,
+    /// The cell's binomial start system.
+    pub start: BinomialStart,
+}
+
+/// Every mixed cell of the target under a deterministic lifting.
+#[derive(Debug, Clone)]
+pub struct MixedCellStarts {
+    pub cells: Vec<MixedCell>,
+    /// `Σ |det V|` over the cells — Bernstein's toric root bound.
+    pub mixed_volume: u128,
+    /// `∏ total_degree` — the total-degree path count, for the ratio.
+    pub bezout: u128,
+    /// The seed that produced a tie-free lifting (`requested + r` after
+    /// `r` re-lifts).
+    pub lift_seed: u64,
+}
+
+/// Why mixed cells could not be computed — all typed, all free.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CellError {
+    /// Mixed volume needs as many polynomials as variables.
+    NotSquare { rows: usize, dim: usize },
+    /// Brute-force enumeration is capped at [`MAX_DIM`] variables.
+    DimensionTooLarge { n: usize },
+    /// A polynomial's support has fewer than two distinct monomials —
+    /// no edge to pick.
+    TooFewMonomials { poly: usize, monomials: usize },
+    /// The edge-product search space exceeds [`MAX_COMBINATIONS`].
+    TooManyCombinations { combinations: u128 },
+    /// Every re-lift produced a tie (pathological support).
+    DegenerateLifting { attempts: u64 },
+    /// The subdivision has no fine mixed cells (mixed volume zero):
+    /// the system has no toric roots to track.
+    NoCells,
+}
+
+impl fmt::Display for CellError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellError::NotSquare { rows, dim } => {
+                write!(
+                    f,
+                    "mixed cells need a square system ({rows} polys, {dim} vars)"
+                )
+            }
+            CellError::DimensionTooLarge { n } => {
+                write!(
+                    f,
+                    "mixed-cell enumeration is capped at {MAX_DIM} variables (got {n})"
+                )
+            }
+            CellError::TooFewMonomials { poly, monomials } => write!(
+                f,
+                "polynomial {poly} has {monomials} distinct monomial(s); an edge needs two"
+            ),
+            CellError::TooManyCombinations { combinations } => write!(
+                f,
+                "edge search space {combinations} exceeds the {MAX_COMBINATIONS} cap"
+            ),
+            CellError::DegenerateLifting { attempts } => {
+                write!(f, "no tie-free lifting after {attempts} attempts")
+            }
+            CellError::NoCells => write!(f, "the lifted subdivision has no fine mixed cells"),
+        }
+    }
+}
+
+impl std::error::Error for CellError {}
+
+/// One polynomial's deduplicated support: distinct exponent vectors
+/// with their (merged) coefficients.
+struct Support {
+    points: Vec<Vec<Exp>>,
+    coeffs: Vec<C64>,
+}
+
+fn supports_of(system: &System<f64>) -> Result<Vec<Support>, CellError> {
+    let n = system.dim();
+    let mut out = Vec::with_capacity(system.rows());
+    for (i, poly) in system.polys().iter().enumerate() {
+        let mut points: Vec<Vec<Exp>> = Vec::new();
+        let mut coeffs: Vec<C64> = Vec::new();
+        for t in poly.terms() {
+            let mut e = vec![0 as Exp; n];
+            for &(v, x) in t.monomial.factors() {
+                e[v as usize] += x;
+            }
+            if let Some(p) = points.iter().position(|q| *q == e) {
+                coeffs[p] += t.coeff;
+            } else {
+                points.push(e);
+                coeffs.push(t.coeff);
+            }
+        }
+        // A merged-to-zero coefficient removes the point from the
+        // genuine support.
+        let mut j = 0;
+        while j < points.len() {
+            if coeffs[j].abs() == 0.0 {
+                points.remove(j);
+                coeffs.remove(j);
+            } else {
+                j += 1;
+            }
+        }
+        if points.len() < 2 {
+            return Err(CellError::TooFewMonomials {
+                poly: i,
+                monomials: points.len(),
+            });
+        }
+        out.push(Support { points, coeffs });
+    }
+    Ok(out)
+}
+
+/// Compute every fine mixed cell of `system` under the deterministic
+/// lifting seeded by `lift_seed` (re-lifting on ties), with the
+/// binomial start system of each cell. The result is a pure function
+/// of the support, the coefficients and the seed.
+pub fn mixed_cell_starts(
+    system: &System<f64>,
+    lift_seed: u64,
+) -> Result<MixedCellStarts, CellError> {
+    let n = system.dim();
+    if system.rows() != n {
+        return Err(CellError::NotSquare {
+            rows: system.rows(),
+            dim: n,
+        });
+    }
+    if n > MAX_DIM {
+        return Err(CellError::DimensionTooLarge { n });
+    }
+    let supports = supports_of(system)?;
+    // All index pairs (j < l) per polynomial, in lexicographic order —
+    // the deterministic cell order.
+    let edge_lists: Vec<Vec<(usize, usize)>> = supports
+        .iter()
+        .map(|s| {
+            let m = s.points.len();
+            (0..m)
+                .flat_map(|j| ((j + 1)..m).map(move |l| (j, l)))
+                .collect()
+        })
+        .collect();
+    let combinations = edge_lists.iter().map(|e| e.len() as u128).product::<u128>();
+    if combinations > MAX_COMBINATIONS {
+        return Err(CellError::TooManyCombinations { combinations });
+    }
+    let bezout = system
+        .polys()
+        .iter()
+        .fold(1u128, |acc, p| acc.saturating_mul(p.total_degree() as u128));
+
+    'attempt: for attempt in 0..MAX_RELIFTS {
+        let seed = lift_seed.wrapping_add(attempt);
+        let w: Vec<Vec<i64>> = supports
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                (0..s.points.len())
+                    .map(|j| lift_value(seed, i, j))
+                    .collect()
+            })
+            .collect();
+        let mut cells = Vec::new();
+        // Odometer over one edge per polynomial.
+        let mut pick = vec![0usize; n];
+        loop {
+            if let Some(cell) = try_cell(&supports, &w, &edge_lists, &pick) {
+                match cell {
+                    CellCheck::Cell(c) => cells.push(c),
+                    CellCheck::Tie => continue 'attempt,
+                    CellCheck::NotACell => {}
+                }
+            }
+            // Advance the odometer.
+            let mut i = 0;
+            loop {
+                if i == n {
+                    // Full sweep done, tie-free.
+                    if cells.is_empty() {
+                        return Err(CellError::NoCells);
+                    }
+                    let mixed_volume = cells.iter().map(|c: &MixedCell| c.volume).sum();
+                    return Ok(MixedCellStarts {
+                        cells,
+                        mixed_volume,
+                        bezout,
+                        lift_seed: seed,
+                    });
+                }
+                pick[i] += 1;
+                if pick[i] < edge_lists[i].len() {
+                    break;
+                }
+                pick[i] = 0;
+                i += 1;
+            }
+        }
+    }
+    Err(CellError::DegenerateLifting {
+        attempts: MAX_RELIFTS,
+    })
+}
+
+enum CellCheck {
+    Cell(MixedCell),
+    /// A point priced within [`TIE_TOL`] of the cell's minimum:
+    /// degenerate lifting, restart with the next seed.
+    Tie,
+    NotACell,
+}
+
+fn try_cell(
+    supports: &[Support],
+    w: &[Vec<i64>],
+    edge_lists: &[Vec<(usize, usize)>],
+    pick: &[usize],
+) -> Option<CellCheck> {
+    let n = supports.len();
+    let edges: Vec<(usize, usize)> = (0..n).map(|i| edge_lists[i][pick[i]]).collect();
+    // V rows: a_i − b_i; a nonsingular V is a precondition for both
+    // the α solve and the binomial start system.
+    let v: Vec<Vec<i64>> = (0..n)
+        .map(|i| {
+            let (j, l) = edges[i];
+            let (a, b) = (&supports[i].points[j], &supports[i].points[l]);
+            (0..n).map(|c| a[c] as i64 - b[c] as i64).collect()
+        })
+        .collect();
+    let volume = abs_det(&v);
+    if volume == 0 {
+        return Some(CellCheck::NotACell);
+    }
+    // ⟨a_i − b_i, α⟩ = w(b_i) − w(a_i): both endpoints priced equally.
+    let rhs: Vec<f64> = (0..n)
+        .map(|i| {
+            let (j, l) = edges[i];
+            (w[i][l] - w[i][j]) as f64
+        })
+        .collect();
+    let zeros = vec![0.0; n];
+    let (alpha, _) = solve_real(&v, &rhs, &zeros);
+    // Minimality: every other lifted point must price strictly higher.
+    for i in 0..n {
+        let (j, l) = edges[i];
+        let price = |p: usize| -> f64 {
+            supports[i].points[p]
+                .iter()
+                .zip(&alpha)
+                .map(|(&e, &a)| e as f64 * a)
+                .sum::<f64>()
+                + w[i][p] as f64
+        };
+        let h = price(j);
+        for p in 0..supports[i].points.len() {
+            if p == j || p == l {
+                continue;
+            }
+            let s = price(p) - h;
+            if s.abs() <= TIE_TOL {
+                return Some(CellCheck::Tie);
+            }
+            if s < 0.0 {
+                return Some(CellCheck::NotACell);
+            }
+        }
+    }
+    let eqs = (0..n)
+        .map(|i| {
+            let (j, l) = edges[i];
+            BinomialEq {
+                a: supports[i].points[j].clone(),
+                ca: supports[i].coeffs[j],
+                b: supports[i].points[l].clone(),
+                cb: supports[i].coeffs[l],
+            }
+        })
+        .collect();
+    Some(CellCheck::Cell(MixedCell {
+        edges,
+        volume,
+        start: BinomialStart::new(eqs),
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polygpu_polysys::{
+        parse_system, random_sparse_system, SparseBenchmarkParams, SystemEvaluator,
+    };
+
+    #[test]
+    fn dense_quadratics_recover_the_bezout_bound() {
+        // Full degree-2 supports in 2 vars: mixed volume = Bézout = 4
+        // (Bernstein degenerates to Bézout on dense supports).
+        let sys = parse_system::<f64>(
+            "x0^2 + 2*x0*x1 + 3*x1^2 + 4*x0 + 5*x1 + 6; \
+             7*x0^2 + x0*x1 + 2*x1^2 + 3*x0 + 4*x1 + 5",
+        )
+        .unwrap();
+        let mc = mixed_cell_starts(&sys, 11).unwrap();
+        assert_eq!(mc.bezout, 4);
+        assert_eq!(mc.mixed_volume, 4, "dense mixed volume must hit Bézout");
+        let total: u128 = mc.cells.iter().map(|c| c.start.solution_count()).sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn sparse_system_beats_bezout() {
+        // Both polynomials have total degree 2 (Bézout 4), but the
+        // supports are sparse — no pure x² or y² terms — and the mixed
+        // volume drops to 2.
+        let sys = parse_system::<f64>("x0*x1 + x0 + 1; x0*x1 + x1 + 2").unwrap();
+        let mc = mixed_cell_starts(&sys, 7).unwrap();
+        assert_eq!(mc.bezout, 4);
+        assert_eq!(mc.mixed_volume, 2);
+        // Each cell's starts satisfy its binomial system.
+        for cell in &mc.cells {
+            let mut g = cell.start.clone();
+            for idx in 0..cell.start.solution_count() {
+                let x = cell.start.solution_by_index(idx);
+                let e = SystemEvaluator::<f64>::evaluate(&mut g, &x);
+                assert!(e.residual_norm() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn enumeration_is_a_pure_function_of_support_and_seed() {
+        let sys = random_sparse_system::<f64>(&SparseBenchmarkParams {
+            n: 3,
+            m_min: 2,
+            m_max: 4,
+            k_min: 0,
+            k_max: 3,
+            d: 3,
+            seed: 11,
+        });
+        let a = mixed_cell_starts(&sys, 5).unwrap();
+        let b = mixed_cell_starts(&sys, 5).unwrap();
+        assert_eq!(a.mixed_volume, b.mixed_volume);
+        assert_eq!(a.lift_seed, b.lift_seed);
+        assert_eq!(a.cells.len(), b.cells.len());
+        for (ca, cb) in a.cells.iter().zip(&b.cells) {
+            assert_eq!(ca.edges, cb.edges);
+            assert_eq!(ca.volume, cb.volume);
+            for idx in 0..ca.volume.min(4) {
+                assert_eq!(
+                    ca.start.solution_by_index(idx),
+                    cb.start.solution_by_index(idx),
+                    "start points must be bit-identical"
+                );
+            }
+        }
+        assert!(a.mixed_volume >= 1);
+        assert!(a.mixed_volume <= a.bezout);
+    }
+
+    #[test]
+    fn rectangular_and_oversized_targets_reject_typed() {
+        let square = parse_system::<f64>("x0 + x1 - 1; x0*x1 - 1").unwrap();
+        let rect = System::rectangular(2, vec![square.polys()[0].clone()]).unwrap();
+        assert!(matches!(
+            mixed_cell_starts(&rect, 0),
+            Err(CellError::NotSquare { rows: 1, dim: 2 })
+        ));
+        let big = random_sparse_system::<f64>(&SparseBenchmarkParams {
+            n: 8,
+            m_min: 2,
+            m_max: 3,
+            k_min: 1,
+            k_max: 3,
+            d: 2,
+            seed: 1,
+        });
+        assert!(matches!(
+            mixed_cell_starts(&big, 0),
+            Err(CellError::DimensionTooLarge { n: 8 })
+        ));
+    }
+}

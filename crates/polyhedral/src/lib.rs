@@ -1,0 +1,51 @@
+//! `polygpu-polyhedral` — mixed-cell start systems for sparse targets.
+//!
+//! The total-degree start system tracks one path per Bézout root:
+//! `∏ dᵢ` paths, most of which diverge to infinity when the target is
+//! sparse. Bernstein's theorem bounds the number of isolated toric
+//! roots by the **mixed volume** of the Newton polytopes instead, and
+//! the Huber–Sturmfels construction realizes that bound with one
+//! **binomial start system per mixed cell** of a lifted subdivision.
+//!
+//! This crate computes that data for the small-dimension sparse
+//! targets the repository's solver handles:
+//!
+//! * [`lift`] — a deterministic integer lifting, a pure function of
+//!   `(seed, polynomial, monomial)`; degenerate (tied) liftings re-lift
+//!   with `seed + 1`, so the whole construction is reproducible from
+//!   the support and one seed;
+//! * [`cells`] — brute-force enumeration of the fine mixed cells of
+//!   type `(1, …, 1)`: one support edge per polynomial whose lifted
+//!   lower-hull condition holds (an `n × n` linear solve plus a
+//!   minimality check per candidate);
+//! * [`binomial`] — the binomial start system of one cell, its exact
+//!   root count `|det V|` via an integer Smith normal form, and its
+//!   root enumeration (deterministic, indexable, host-evaluated like
+//!   the total-degree start system).
+//!
+//! The mixed volume is the sum of `|det V|` over the cells; for sparse
+//! systems it is strictly below the Bézout number, so the solver
+//! tracks strictly fewer paths for the same roots.
+//!
+//! ```
+//! use polygpu_polyhedral::mixed_cell_starts;
+//! use polygpu_polysys::parse_system;
+//!
+//! // Two sparse quadratics (no pure x² or y² terms): Bézout 4,
+//! // mixed volume 2 — half the paths for the same roots.
+//! let sys = parse_system::<f64>("x0*x1 + x0 + 1; x0*x1 + x1 + 2").unwrap();
+//! let mc = mixed_cell_starts(&sys, 7).unwrap();
+//! assert_eq!(mc.mixed_volume, 2);
+//! assert_eq!(mc.bezout, 4);
+//! ```
+
+pub mod binomial;
+pub mod cells;
+pub mod lift;
+mod snf;
+
+pub use binomial::BinomialStart;
+pub use cells::{
+    mixed_cell_starts, CellError, MixedCell, MixedCellStarts, MAX_COMBINATIONS, MAX_DIM,
+};
+pub use lift::lift_value;

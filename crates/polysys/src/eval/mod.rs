@@ -1,8 +1,11 @@
-//! CPU evaluators: the naive oracle and the paper's sequential
-//! algorithmic-differentiation algorithm.
+//! CPU evaluators: the naive oracle, the paper's sequential
+//! algorithmic-differentiation algorithm, and its sparse (ragged)
+//! generalization.
 
 pub mod ad;
 pub mod naive;
+pub mod sparse_ad;
 
 pub use ad::{AdEvaluator, OpCounts};
 pub use naive::NaiveEvaluator;
+pub use sparse_ad::SparseAdEvaluator;

@@ -1,0 +1,313 @@
+//! The sparse (ragged) evaluation algorithm on a single CPU core — the
+//! bit-for-bit reference for the packed-key GPU pipeline.
+//!
+//! Same three stages as [`AdEvaluator`](crate::eval::ad::AdEvaluator)
+//! — power table, common factors, Speelpenning products, coefficient
+//! multiplication, summation — but with **per-monomial** variable
+//! counts `k_g` and **per-equation** monomial counts `m_p`, including
+//! constant terms (`k = 0`). To stay bit-identical to the simulated
+//! GPU, term contributions are scattered into a zero-initialized
+//! `max_m × outputs` scratch (the sparse `Mons` layout) and then summed
+//! over **all** `max_m` slots in slot order, exactly as the sparse sum
+//! kernel does — including the additions of the zero padding, which
+//! matter bitwise (`-0.0 + 0.0 == +0.0`).
+
+use crate::sparse::SparseShape;
+use crate::system::{System, SystemEval, SystemEvaluator};
+use polygpu_complex::{Complex, Real};
+
+/// Sequential sparse algorithmic-differentiation evaluator. Accepts any
+/// system, uniform or ragged, square or rectangular row block.
+pub struct SparseAdEvaluator<R> {
+    system: System<R>,
+    shape: SparseShape,
+    /// Derivative coefficients `c · a_j`, flattened in term order with
+    /// `k_g` entries per monomial — the sparse `Coeffs` portions.
+    deriv_coeffs: Vec<Complex<R>>,
+    /// Power table scratch: `pow[v*d + e] = x_v^e`, `e` in `0..d`.
+    pow: Vec<Complex<R>>,
+    /// Speelpenning locations `L[0..=max_k+1]` (index 0 unused).
+    loc: Vec<Complex<R>>,
+    /// The zero-padded sparse `Mons` scratch (`max_m × outputs`).
+    mons: Vec<Complex<R>>,
+}
+
+impl<R: Real> SparseAdEvaluator<R> {
+    pub fn new(system: System<R>) -> Self {
+        let shape = system.sparse_shape();
+        let mut deriv_coeffs = Vec::new();
+        for poly in system.polys() {
+            for t in poly.terms() {
+                for &(_, e) in t.monomial.factors() {
+                    deriv_coeffs.push(t.coeff.scale(R::from_u32(e as u32)));
+                }
+            }
+        }
+        SparseAdEvaluator {
+            pow: vec![Complex::zero(); shape.n * shape.d as usize],
+            loc: vec![Complex::zero(); shape.max_k + 2],
+            mons: vec![Complex::zero(); shape.mons_len()],
+            deriv_coeffs,
+            system,
+            shape,
+        }
+    }
+
+    pub fn shape(&self) -> SparseShape {
+        self.shape
+    }
+
+    pub fn system(&self) -> &System<R> {
+        &self.system
+    }
+
+    /// `pow[v][e] = x_v^e` for `e` in `0..d`, by sequential
+    /// multiplication — kernel 1's first stage.
+    fn build_power_table(&mut self, x: &[Complex<R>]) {
+        let d = self.shape.d as usize;
+        for (v, &xv) in x.iter().enumerate() {
+            self.pow[v * d] = Complex::one();
+            if d > 1 {
+                self.pow[v * d + 1] = xv;
+                for e in 2..d {
+                    self.pow[v * d + e] = self.pow[v * d + e - 1] * xv;
+                }
+            }
+        }
+    }
+
+    /// Product of `k >= 1` power-table entries (`k − 1` multiplications).
+    fn common_factor(&mut self, factors: &[(u16, u16)]) -> Complex<R> {
+        let d = self.shape.d as usize;
+        let mut cf = self.pow[factors[0].0 as usize * d + (factors[0].1 as usize - 1)];
+        for &(v, e) in &factors[1..] {
+            cf *= self.pow[v as usize * d + (e as usize - 1)];
+        }
+        cf
+    }
+
+    /// Speelpenning derivatives into `loc[1..=k]` — identical to the
+    /// uniform evaluator's §3.2 program, with this monomial's own `k`.
+    fn speelpenning_derivatives(&mut self, x: &[Complex<R>], factors: &[(u16, u16)]) {
+        let k = factors.len();
+        let xi = |j: usize| x[factors[j].0 as usize];
+        match k {
+            0 => {}
+            1 => {
+                self.loc[1] = Complex::one();
+            }
+            2 => {
+                self.loc[1] = xi(1);
+                self.loc[2] = xi(0);
+            }
+            _ => {
+                self.loc[2] = xi(0);
+                for r in 1..=k - 2 {
+                    self.loc[r + 2] = self.loc[r + 1] * xi(r);
+                }
+                let mut q = xi(k - 1);
+                self.loc[k - 1] *= q;
+                for r in 1..=k.saturating_sub(3) {
+                    q *= xi(k - 1 - r);
+                    self.loc[k - r - 1] *= q;
+                }
+                q *= xi(1);
+                self.loc[1] = q;
+            }
+        }
+    }
+}
+
+/// Output index of equation `p`'s value in the `q` layout.
+#[inline]
+fn q_value(p: usize) -> usize {
+    p
+}
+
+/// Output index of `∂f_p/∂x_v` in the `q` layout (groups stride by the
+/// row count, matching the dense pipeline).
+#[inline]
+fn q_deriv(rows: usize, p: usize, v: usize) -> usize {
+    rows * (1 + v) + p
+}
+
+impl<R: Real> SystemEvaluator<R> for SparseAdEvaluator<R> {
+    fn dim(&self) -> usize {
+        self.shape.n
+    }
+
+    fn evaluate(&mut self, x: &[Complex<R>]) -> SystemEval<R> {
+        let shape = self.shape;
+        assert_eq!(x.len(), shape.n, "point dimension mismatch");
+        self.build_power_table(x);
+        let outputs = shape.outputs();
+        self.mons.iter_mut().for_each(|z| *z = Complex::zero());
+        let mut dc_idx = 0usize;
+        let polys = std::mem::take(&mut self.system); // split borrows
+        for (p, poly) in polys.polys().iter().enumerate() {
+            for (j, t) in poly.terms().iter().enumerate() {
+                let factors = t.monomial.factors();
+                let k = factors.len();
+                if k == 0 {
+                    // Constant term: its value is the coefficient, no
+                    // derivatives.
+                    self.mons[j * outputs + q_value(p)] = t.coeff;
+                    continue;
+                }
+                let cf = self.common_factor(factors);
+                self.speelpenning_derivatives(x, factors);
+                for i in 1..=k {
+                    self.loc[i] *= cf;
+                }
+                self.loc[k + 1] = self.loc[k] * x[factors[k - 1].0 as usize];
+                self.mons[j * outputs + q_value(p)] = self.loc[k + 1] * t.coeff;
+                for (i, &(v, _)) in factors.iter().enumerate() {
+                    self.mons[j * outputs + q_deriv(shape.rows, p, v as usize)] =
+                        self.loc[i + 1] * self.deriv_coeffs[dc_idx + i];
+                }
+                dc_idx += k;
+            }
+        }
+        self.system = polys;
+        // Stage 3: branch-free sums over all max_m slots, in slot
+        // order — the sparse sum kernel's program.
+        let mut out = SystemEval::zeros_rect(shape.rows, shape.n);
+        for q in 0..outputs {
+            let mut acc = Complex::<R>::zero();
+            for j in 0..shape.max_m {
+                acc += self.mons[j * outputs + q];
+            }
+            if q < shape.rows {
+                out.values[q] = acc;
+            } else {
+                let v = q / shape.rows - 1;
+                let p = q % shape.rows;
+                out.jacobian[(p, v)] = acc;
+            }
+        }
+        out
+    }
+
+    fn name(&self) -> &str {
+        "cpu-sparse-ad"
+    }
+}
+
+impl<R: Real> crate::system::BatchSystemEvaluator<R> for SparseAdEvaluator<R> {
+    fn max_batch(&self) -> usize {
+        usize::MAX
+    }
+
+    fn evaluate_batch(&mut self, points: &[Vec<Complex<R>>]) -> Vec<SystemEval<R>> {
+        crate::system::loop_evaluate_batch(self, points)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::ad::AdEvaluator;
+    use crate::eval::naive::NaiveEvaluator;
+    use crate::generator::{random_point, random_system, BenchmarkParams};
+    use crate::monomial::Monomial;
+    use crate::polynomial::{Polynomial, Term};
+    use polygpu_complex::C64;
+
+    #[test]
+    fn matches_uniform_ad_bitwise_on_uniform_systems() {
+        for (n, m, k, d, seed) in [
+            (4, 3, 2, 1, 1u64),
+            (5, 4, 3, 2, 2),
+            (8, 6, 4, 5, 3),
+            (32, 8, 9, 2, 5),
+            (32, 8, 16, 10, 6),
+            (6, 2, 1, 4, 7),
+        ] {
+            let params = BenchmarkParams { n, m, k, d, seed };
+            let sys = random_system::<f64>(&params);
+            let mut ad = AdEvaluator::new(sys.clone()).unwrap();
+            let mut sp = SparseAdEvaluator::new(sys);
+            let x = random_point::<f64>(n, seed ^ 0x5151);
+            let a = ad.evaluate(&x);
+            let b = sp.evaluate(&x);
+            // Bitwise: the sparse pipeline on a uniform support performs
+            // the identical float op sequence (the padding sum is empty).
+            assert_eq!(a.values, b.values, "values differ for {params:?}");
+            assert_eq!(a.jacobian, b.jacobian, "jacobian differs for {params:?}");
+        }
+    }
+
+    fn ragged() -> System<f64> {
+        // f0 = 2 x0^3 x1 − x1^2 + 3;  f1 = x0 x1 + x0
+        let p0 = Polynomial::new(vec![
+            Term {
+                coeff: C64::from_f64(2.0, 0.0),
+                monomial: Monomial::new(vec![(0, 3), (1, 1)]).unwrap(),
+            },
+            Term {
+                coeff: C64::from_f64(-1.0, 0.0),
+                monomial: Monomial::new(vec![(1, 2)]).unwrap(),
+            },
+            Term {
+                coeff: C64::from_f64(3.0, 0.0),
+                monomial: Monomial::constant(),
+            },
+        ]);
+        let p1 = Polynomial::new(vec![
+            Term {
+                coeff: C64::one(),
+                monomial: Monomial::new(vec![(0, 1), (1, 1)]).unwrap(),
+            },
+            Term {
+                coeff: C64::one(),
+                monomial: Monomial::var(0),
+            },
+        ]);
+        System::new(2, vec![p0, p1]).unwrap()
+    }
+
+    #[test]
+    fn ragged_system_matches_naive_oracle() {
+        let sys = ragged();
+        let mut sp = SparseAdEvaluator::new(sys.clone());
+        let mut naive = NaiveEvaluator::new(sys);
+        let x = random_point::<f64>(2, 77);
+        let a = sp.evaluate(&x);
+        let b = naive.evaluate(&x);
+        assert!(a.max_difference(&b) < 1e-12);
+    }
+
+    #[test]
+    fn ragged_hand_check() {
+        let sys = ragged();
+        let mut sp = SparseAdEvaluator::new(sys);
+        // x0 = 2, x1 = 1: f0 = 2·8·1 − 1 + 3 = 18, f1 = 2 + 2 = 4.
+        let x = vec![C64::from_f64(2.0, 0.0), C64::from_f64(1.0, 0.0)];
+        let out = sp.evaluate(&x);
+        assert_eq!(out.values[0], C64::from_f64(18.0, 0.0));
+        assert_eq!(out.values[1], C64::from_f64(4.0, 0.0));
+        // ∂f0/∂x0 = 6 x0² x1 = 24; ∂f0/∂x1 = 2 x0³ − 2 x1 = 14.
+        assert_eq!(out.jacobian[(0, 0)], C64::from_f64(24.0, 0.0));
+        assert_eq!(out.jacobian[(0, 1)], C64::from_f64(14.0, 0.0));
+        // ∂f1/∂x0 = x1 + 1 = 2; ∂f1/∂x1 = x0 = 2.
+        assert_eq!(out.jacobian[(1, 0)], C64::from_f64(2.0, 0.0));
+        assert_eq!(out.jacobian[(1, 1)], C64::from_f64(2.0, 0.0));
+    }
+
+    #[test]
+    fn dd_ragged_agrees_with_f64_to_roundoff() {
+        use polygpu_qd::Dd;
+        let sys = ragged();
+        let sys_dd: System<Dd> = sys.convert();
+        let mut sp64 = SparseAdEvaluator::new(sys);
+        let mut sp_dd = SparseAdEvaluator::new(sys_dd);
+        let x = random_point::<f64>(2, 9);
+        let x_dd: Vec<_> = x.iter().map(|z| z.convert::<Dd>()).collect();
+        let a = sp64.evaluate(&x);
+        let b = sp_dd.evaluate(&x_dd);
+        for (va, vb) in a.values.iter().zip(&b.values) {
+            assert!((va.re - vb.re.to_f64()).abs() < 1e-12);
+            assert!((va.im - vb.im.to_f64()).abs() < 1e-12);
+        }
+    }
+}

@@ -127,6 +127,81 @@ fn sample_distinct(n: usize, k: usize, rng: &mut StdRng) -> Vec<usize> {
     pool
 }
 
+/// Parameters for the random **sparse** (ragged) benchmark family:
+/// per-equation monomial counts drawn from `m_min..=m_max` and
+/// per-monomial variable counts from `k_min..=k_max` — no uniform-shape
+/// guarantee, which is exactly what the packed-key encoding and the
+/// polyhedral start machinery exist to handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SparseBenchmarkParams {
+    /// Dimension (variables = polynomials).
+    pub n: usize,
+    /// Per-equation monomial count range (inclusive, `m_min >= 1`).
+    pub m_min: usize,
+    pub m_max: usize,
+    /// Per-monomial variable count range (inclusive; `k_min` may be 0,
+    /// producing constant terms).
+    pub k_min: usize,
+    pub k_max: usize,
+    /// Maximal exponent (`>= 1`); exponents uniform in `1..=d`.
+    pub d: Exp,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SparseBenchmarkParams {
+    /// A ragged cousin of the paper's Table 1 family: `n = 32`,
+    /// `d = 2`, per-equation monomial counts in `8..=32` and
+    /// per-monomial variable counts in `1..=9`.
+    pub fn table1_sparse(seed: u64) -> Self {
+        SparseBenchmarkParams {
+            n: 32,
+            m_min: 8,
+            m_max: 32,
+            k_min: 1,
+            k_max: 9,
+            d: 2,
+            seed,
+        }
+    }
+}
+
+/// Generate a random ragged system. Panics if the ranges are empty,
+/// `k_max > n`, `m_min < 1` or `d < 1`.
+pub fn random_sparse_system<R: Real>(params: &SparseBenchmarkParams) -> System<R> {
+    assert!(
+        params.m_min >= 1 && params.m_min <= params.m_max,
+        "bad m range"
+    );
+    assert!(
+        params.k_min <= params.k_max && params.k_max <= params.n,
+        "bad k range"
+    );
+    assert!(params.d >= 1, "need d >= 1");
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let polys = (0..params.n)
+        .map(|_| {
+            let m = rng.gen_range(params.m_min..=params.m_max);
+            let terms = (0..m)
+                .map(|_| {
+                    let k = rng.gen_range(params.k_min..=params.k_max);
+                    let vars = sample_distinct(params.n, k, &mut rng);
+                    let factors = vars
+                        .into_iter()
+                        .map(|v| (v as Var, rng.gen_range(1..=params.d)))
+                        .collect();
+                    Term {
+                        coeff: random_unit_coeff(&mut rng),
+                        monomial: Monomial::new(factors).expect("distinct vars, exps >= 1"),
+                    }
+                })
+                .collect();
+            Polynomial::new(terms)
+        })
+        .collect();
+    System::new(params.n, polys).expect("generator produces square systems")
+}
+
 /// A random evaluation point with coordinates on the unit circle — the
 /// magnitude-neutral choice used when timing evaluations.
 pub fn random_point<R: Real>(n: usize, seed: u64) -> Vec<Complex<R>> {

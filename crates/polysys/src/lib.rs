@@ -28,14 +28,19 @@ pub mod generator;
 pub mod monomial;
 pub mod parse;
 pub mod polynomial;
+pub mod sparse;
 pub mod system;
 
 pub use classic::{cyclic, katsura, noon};
-pub use eval::{AdEvaluator, NaiveEvaluator, OpCounts};
-pub use generator::{random_point, random_points, random_system, BenchmarkParams};
+pub use eval::{AdEvaluator, NaiveEvaluator, OpCounts, SparseAdEvaluator};
+pub use generator::{
+    random_point, random_points, random_sparse_system, random_system, BenchmarkParams,
+    SparseBenchmarkParams,
+};
 pub use monomial::{Exp, Monomial, MonomialError, Var};
 pub use parse::{parse_polynomial, parse_system, ParseError};
 pub use polynomial::{Polynomial, Term};
+pub use sparse::{SparseShape, SparseSupport};
 pub use system::{
     loop_evaluate_batch, BatchSystemEvaluator, System, SystemError, SystemEval, SystemEvaluator,
     UniformShape,

@@ -1,0 +1,309 @@
+//! Sparse (ragged) support structures: per-equation monomial lists with
+//! arbitrary multi-indices and **no uniform-shape assumption**.
+//!
+//! The paper's benchmark systems are regular — `m` monomials per
+//! polynomial, `k` variables per monomial — which is what
+//! [`UniformShape`](crate::UniformShape) captures and what the dense
+//! `Direct`/`Compact` constant-memory encodings require. Real systems
+//! are sparse and ragged: each equation has its own monomial count and
+//! each monomial its own variable count (including constant terms with
+//! an empty support). [`SparseSupport`] is the shape-free view of a
+//! system's supports that the packed exponent-key encoding and the
+//! polyhedral (mixed-cell) start machinery consume, and
+//! [`SparseShape`] is its summary: the maxima that size device
+//! buffers, shared-memory scratch and zero-padded `Mons` layouts.
+
+use crate::monomial::{Exp, Var};
+use crate::system::System;
+use polygpu_complex::Real;
+
+/// Shape summary of a ragged system: the maxima and totals that size
+/// every downstream buffer. Unlike `UniformShape` this always exists —
+/// a uniform system is just the special case `max_m == m`,
+/// `max_k == k` for every equation and monomial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SparseShape {
+    /// Dimension (number of variables).
+    pub n: usize,
+    /// Number of equations (rows; `== n` for square systems).
+    pub rows: usize,
+    /// Total monomials across all equations.
+    pub total_monomials: usize,
+    /// Largest per-equation monomial count (zero-padding width of the
+    /// sparse `Mons` layout).
+    pub max_m: usize,
+    /// Largest per-monomial variable count (shared-memory scratch
+    /// width; `0` only for systems of constants).
+    pub max_k: usize,
+    /// Largest exponent appearing anywhere (power-table depth), `>= 1`.
+    pub d: Exp,
+    /// `true` when every equation has the same monomial count and every
+    /// monomial the same variable count — i.e. the system also has a
+    /// `UniformShape` and the dense pipeline can evaluate it.
+    pub uniform: bool,
+}
+
+impl SparseShape {
+    /// Outputs per evaluation point: `rows` values plus the `rows × n`
+    /// Jacobian, laid out as the dense pipeline's `q` index.
+    pub fn outputs(&self) -> usize {
+        self.rows * (1 + self.n)
+    }
+
+    /// Elements of the zero-padded sparse `Mons` scratch:
+    /// `max_m × outputs`, mirroring the dense `mons_len`.
+    pub fn mons_len(&self) -> usize {
+        self.max_m * self.outputs()
+    }
+}
+
+/// The supports of a system, detached from its coefficients: for each
+/// equation, the list of its monomials' sorted `(variable, exponent)`
+/// factor lists. This is the input to both the packed exponent-key
+/// encoder (which never sees coefficients) and the polyhedral
+/// mixed-cell computation (which works on the supports as lattice
+/// point sets).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SparseSupport {
+    n: usize,
+    supports: Vec<Vec<Vec<(Var, Exp)>>>,
+}
+
+impl SparseSupport {
+    /// Extract the supports of `system` (coefficients dropped).
+    pub fn of<R: Real>(system: &System<R>) -> Self {
+        let supports = system
+            .polys()
+            .iter()
+            .map(|poly| {
+                poly.terms()
+                    .iter()
+                    .map(|t| t.monomial.factors().to_vec())
+                    .collect()
+            })
+            .collect();
+        SparseSupport {
+            n: system.dim(),
+            supports,
+        }
+    }
+
+    /// Dimension (number of variables).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of equations.
+    pub fn rows(&self) -> usize {
+        self.supports.len()
+    }
+
+    /// The factor lists of equation `p`'s monomials, in term order.
+    pub fn equation(&self, p: usize) -> &[Vec<(Var, Exp)>] {
+        &self.supports[p]
+    }
+
+    /// Equation `p`'s support as dense lattice points in `Z^n` — the
+    /// form the mixed-cell computation consumes.
+    pub fn lattice_points(&self, p: usize) -> Vec<Vec<i64>> {
+        self.supports[p]
+            .iter()
+            .map(|factors| {
+                let mut a = vec![0i64; self.n];
+                for &(v, e) in factors {
+                    a[v as usize] = e as i64;
+                }
+                a
+            })
+            .collect()
+    }
+
+    /// Shape summary (maxima and totals).
+    pub fn shape(&self) -> SparseShape {
+        sparse_shape_of(self.n, self.supports.len(), |p| {
+            self.supports[p].iter().map(|f| f.as_slice())
+        })
+    }
+}
+
+/// Shared shape scan used by [`SparseSupport::shape`] and
+/// [`System::sparse_shape`].
+fn sparse_shape_of<'a, I>(n: usize, rows: usize, eq: impl Fn(usize) -> I) -> SparseShape
+where
+    I: Iterator<Item = &'a [(Var, Exp)]>,
+{
+    let mut total = 0usize;
+    let mut max_m = 0usize;
+    let mut max_k = 0usize;
+    let mut d: Exp = 1;
+    let mut uniform = true;
+    let mut first_m: Option<usize> = None;
+    let mut first_k: Option<usize> = None;
+    for p in 0..rows {
+        let mut m = 0usize;
+        for factors in eq(p) {
+            m += 1;
+            let k = factors.len();
+            max_k = max_k.max(k);
+            match first_k {
+                None => first_k = Some(k),
+                Some(k0) if k0 != k => uniform = false,
+                _ => {}
+            }
+            for &(_, e) in factors {
+                d = d.max(e);
+            }
+        }
+        total += m;
+        max_m = max_m.max(m);
+        match first_m {
+            None => first_m = Some(m),
+            Some(m0) if m0 != m => uniform = false,
+            _ => {}
+        }
+    }
+    // A uniform shape additionally requires k >= 1 (no constant terms):
+    // the dense encodings reject empty supports.
+    if first_k == Some(0) || first_k.is_none() {
+        uniform = false;
+    }
+    SparseShape {
+        n,
+        rows,
+        total_monomials: total,
+        max_m,
+        max_k,
+        d,
+        uniform,
+    }
+}
+
+impl<R: Real> System<R> {
+    /// Shape summary of this system's (possibly ragged) supports.
+    /// Always succeeds — contrast with
+    /// [`System::uniform_shape`](crate::System::uniform_shape), which
+    /// rejects ragged systems.
+    pub fn sparse_shape(&self) -> SparseShape {
+        sparse_shape_of(self.dim(), self.rows(), |p| {
+            self.polys()[p].terms().iter().map(|t| t.monomial.factors())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{random_system, BenchmarkParams};
+    use crate::monomial::Monomial;
+    use crate::polynomial::{Polynomial, Term};
+    use polygpu_complex::C64;
+
+    fn ragged() -> System<f64> {
+        // f0 = x0^2 x1 + x1 + 3;  f1 = x0 x1^3
+        let p0 = Polynomial::new(vec![
+            Term {
+                coeff: C64::one(),
+                monomial: Monomial::new(vec![(0, 2), (1, 1)]).unwrap(),
+            },
+            Term {
+                coeff: C64::one(),
+                monomial: Monomial::var(1),
+            },
+            Term {
+                coeff: C64::from_f64(3.0, 0.0),
+                monomial: Monomial::constant(),
+            },
+        ]);
+        let p1 = Polynomial::new(vec![Term {
+            coeff: C64::one(),
+            monomial: Monomial::new(vec![(0, 1), (1, 3)]).unwrap(),
+        }]);
+        System::new(2, vec![p0, p1]).unwrap()
+    }
+
+    #[test]
+    fn ragged_shape_scans_maxima() {
+        let sys = ragged();
+        let shape = sys.sparse_shape();
+        assert_eq!(shape.n, 2);
+        assert_eq!(shape.rows, 2);
+        assert_eq!(shape.total_monomials, 4);
+        assert_eq!(shape.max_m, 3);
+        assert_eq!(shape.max_k, 2);
+        assert_eq!(shape.d, 3);
+        assert!(!shape.uniform);
+        assert_eq!(shape.outputs(), 2 * 3);
+        assert_eq!(shape.mons_len(), 3 * 6);
+        assert!(sys.uniform_shape().is_err());
+    }
+
+    #[test]
+    fn uniform_system_is_flagged_uniform() {
+        let params = BenchmarkParams {
+            n: 6,
+            m: 4,
+            k: 3,
+            d: 4,
+            seed: 2,
+        };
+        let sys = random_system::<f64>(&params);
+        let shape = sys.sparse_shape();
+        assert!(shape.uniform);
+        let u = sys.uniform_shape().unwrap();
+        assert_eq!(shape.max_m, u.m);
+        assert_eq!(shape.max_k, u.k);
+        assert_eq!(shape.d, u.d);
+        assert_eq!(shape.total_monomials, u.total_monomials());
+        assert_eq!(shape.outputs(), u.outputs());
+    }
+
+    #[test]
+    fn support_detaches_coefficients_and_exposes_lattice_points() {
+        let sys = ragged();
+        let sup = SparseSupport::of(&sys);
+        assert_eq!(sup.n(), 2);
+        assert_eq!(sup.rows(), 2);
+        assert_eq!(sup.equation(0).len(), 3);
+        assert_eq!(sup.equation(0)[0], vec![(0, 2), (1, 1)]);
+        assert_eq!(sup.equation(0)[2], Vec::<(Var, Exp)>::new());
+        assert_eq!(
+            sup.lattice_points(0),
+            vec![vec![2, 1], vec![0, 1], vec![0, 0]]
+        );
+        assert_eq!(sup.lattice_points(1), vec![vec![1, 3]]);
+        assert_eq!(sup.shape(), sys.sparse_shape());
+        // Rescaling coefficients leaves the support unchanged.
+        let scaled: System<f64> = System::new(
+            2,
+            sys.polys()
+                .iter()
+                .map(|p| {
+                    Polynomial::new(
+                        p.terms()
+                            .iter()
+                            .map(|t| Term {
+                                coeff: t.coeff.scale(2.0),
+                                monomial: t.monomial.clone(),
+                            })
+                            .collect(),
+                    )
+                })
+                .collect(),
+        )
+        .unwrap();
+        assert_eq!(SparseSupport::of(&scaled), sup);
+    }
+
+    #[test]
+    fn constant_only_system_is_not_uniform() {
+        let p = Polynomial::new(vec![Term {
+            coeff: C64::one(),
+            monomial: Monomial::constant(),
+        }]);
+        let sys = System::new(1, vec![p]).unwrap();
+        let shape = sys.sparse_shape();
+        assert_eq!(shape.max_k, 0);
+        assert_eq!(shape.d, 1);
+        assert!(!shape.uniform);
+    }
+}

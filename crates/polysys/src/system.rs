@@ -266,6 +266,23 @@ impl<R: Real> System<R> {
         }
         h
     }
+
+    /// [`System::support_hash`] extended with a caller-supplied tag —
+    /// the hook residency caches use to keep *distinct encodings of the
+    /// same support* apart (a dense `Direct` upload and a packed-key
+    /// upload are different constant-memory residents). The tag is
+    /// folded into the FNV stream after the support bytes, so any tag
+    /// (including 0) yields a hash distinct from the untagged one, and
+    /// different tags yield different hashes for the same support.
+    pub fn support_hash_tagged(&self, tag: u64) -> u64 {
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = self.support_hash();
+        for b in tag.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        h
+    }
 }
 
 impl<R: Real> fmt::Display for System<R> {

@@ -1,14 +1,39 @@
 //! The encoded-system cache: repeat targets skip encode/upload.
 //!
-//! Keys are [`System::support_hash`] values — a structure hash that
-//! deliberately **ignores coefficient values** — so every hash hit is
-//! verified with a full `System` equality check before the resident
-//! engine is reused. Eviction is LRU by last service use and is driven
-//! by the owning service (only it can unload from the fleet session);
-//! the cache itself is pure bookkeeping.
+//! Keys are [`cache_key`] values: the system's support hash **tagged
+//! with the service's encoding kind**, so a dense and a packed
+//! encoding of the same support are distinct residents — they occupy
+//! different constant-memory layouts and must never alias. The
+//! underlying support hash deliberately **ignores coefficient
+//! values**, so every hash hit is additionally verified with a full
+//! `System` equality check before the resident engine is reused.
+//! Eviction is LRU by last service use and is driven by the owning
+//! service (only it can unload from the fleet session); the cache
+//! itself is pure bookkeeping.
 
 use polygpu_core::engine::SystemId;
+use polygpu_core::EncodingKind;
 use polygpu_polysys::System;
+
+/// Stable nonzero tag folded into the support hash per encoding kind.
+/// Explicit values (not `as u64` on the enum) so reordering variants
+/// can never silently re-key a deployed cache.
+fn encoding_tag(encoding: EncodingKind) -> u64 {
+    match encoding {
+        EncodingKind::Direct => 1,
+        EncodingKind::Compact => 2,
+        EncodingKind::Packed => 3,
+    }
+}
+
+/// The residency-cache key of `system` under `encoding`:
+/// [`System::support_hash_tagged`] over the encoding's tag. Two
+/// encodings of the same support get distinct keys (their device
+/// layouts differ), and — like the untagged support hash — the key
+/// covers ragged (sparse) supports exactly as it covers uniform ones.
+pub fn cache_key(system: &System<f64>, encoding: EncodingKind) -> u64 {
+    system.support_hash_tagged(encoding_tag(encoding))
+}
 
 /// Hit/miss/eviction counters of the encoded-system cache.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -42,24 +67,29 @@ struct Slot {
     last_used: u64,
 }
 
-/// Support-hash-keyed map from systems to resident [`SystemId`]s.
+/// [`cache_key`]-keyed map from systems to resident [`SystemId`]s.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct SystemCache {
     slots: Vec<Slot>,
     pub(crate) stats: CacheStats,
     tick: u64,
+    /// The service's encoding kind, folded into every key.
+    encoding: EncodingKind,
 }
 
 impl SystemCache {
-    pub(crate) fn new() -> Self {
-        SystemCache::default()
+    pub(crate) fn new(encoding: EncodingKind) -> Self {
+        SystemCache {
+            encoding,
+            ..SystemCache::default()
+        }
     }
 
     /// Resident id of `system`, if cached. A hash match alone is not a
     /// hit: the support hash ignores coefficients, so the candidate is
     /// verified by full equality. Counts a hit and refreshes LRU.
     pub(crate) fn lookup(&mut self, system: &System<f64>) -> Option<SystemId> {
-        let hash = system.support_hash();
+        let hash = cache_key(system, self.encoding);
         self.tick += 1;
         for slot in &mut self.slots {
             if slot.hash == hash && slot.system == *system {
@@ -77,7 +107,7 @@ impl SystemCache {
     pub(crate) fn insert(&mut self, system: System<f64>, id: SystemId) {
         self.tick += 1;
         self.slots.push(Slot {
-            hash: system.support_hash(),
+            hash: cache_key(&system, self.encoding),
             system,
             id,
             last_used: self.tick,
@@ -143,8 +173,27 @@ mod tests {
     }
 
     #[test]
+    fn distinct_encodings_key_distinct_residents() {
+        let a = sys(1);
+        let keys = [
+            cache_key(&a, EncodingKind::Direct),
+            cache_key(&a, EncodingKind::Compact),
+            cache_key(&a, EncodingKind::Packed),
+        ];
+        for i in 0..keys.len() {
+            for j in (i + 1)..keys.len() {
+                assert_ne!(keys[i], keys[j], "encodings {i} and {j} alias");
+            }
+        }
+        // The tagged key is also distinct from the raw support hash.
+        for k in keys {
+            assert_ne!(k, a.support_hash());
+        }
+    }
+
+    #[test]
     fn hash_hit_requires_full_equality() {
-        let mut c = SystemCache::new();
+        let mut c = SystemCache::new(EncodingKind::Direct);
         let a = sys(1);
         // Same supports, different coefficients: hashes collide by
         // design, but the cache must not serve `b` from `a`'s slot.
@@ -159,7 +208,7 @@ mod tests {
 
     #[test]
     fn lru_evicts_the_stalest_slot() {
-        let mut c = SystemCache::new();
+        let mut c = SystemCache::new(EncodingKind::Direct);
         c.insert(sys(1), SystemId::new(0));
         c.insert(sys(2), SystemId::new(1));
         c.insert(sys(3), SystemId::new(2));

@@ -47,7 +47,7 @@ pub mod queue;
 pub mod service;
 pub mod tenant;
 
-pub use cache::CacheStats;
+pub use cache::{cache_key, CacheStats};
 pub use error::ServeError;
 pub use queue::FairQueue;
 pub use service::{JobId, JobOutcome, JobRecord, ServeReport, SolveService, TenantReport};

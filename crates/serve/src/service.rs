@@ -36,7 +36,7 @@ use polygpu_core::{BatchError, EncodeError, SetupError};
 use polygpu_homotopy::homotopy::random_gamma;
 use polygpu_homotopy::lockstep::{track_lockstep_recovering_traced, BatchHomotopy};
 use polygpu_homotopy::queue::{track_queue_recovering_traced, SlotPolicy};
-use polygpu_homotopy::solve::{PrecisionPolicy, SchedulerKind, SolveRequest};
+use polygpu_homotopy::solve::{PrecisionPolicy, SchedulerKind, SolveRequest, StartKind};
 use polygpu_homotopy::UsedPrecision;
 use polygpu_obs::{
     MetaValue, MetricsRegistry, SpanKind, TelemetrySnapshot, TraceSink, Tracer, Track,
@@ -405,13 +405,14 @@ impl SolveService {
             }
             other => return Err(ServeError::UnsupportedBackend { backend: other }),
         };
+        let cache = SystemCache::new(budget.encoding);
         Ok(SolveService {
             budget,
             fleet,
             tenants: Vec::new(),
             queue: FairQueue::new(),
             jobs: Vec::new(),
-            cache: SystemCache::new(),
+            cache,
             seq: 0,
             clock: 0.0,
             trace: TraceSink::noop(),
@@ -513,6 +514,17 @@ impl SolveService {
             PrecisionPolicy::Fixed(UsedPrecision::Double)
         ) {
             return Err(ServeError::UnsupportedPrecision);
+        }
+        if request.start_kind != StartKind::TotalDegree {
+            // The service replays the request's start system itself
+            // (resident engines, session amortization); mixed-cell
+            // start construction stays a solver-side feature for now.
+            return Err(ServeError::BadRequest {
+                reason: format!(
+                    "start kind {:?} is not servable; submit total-degree requests",
+                    request.start_kind
+                ),
+            });
         }
         let shape = request
             .target

@@ -4,13 +4,17 @@
 //! arrival order, the engine caps and the tenant budgets, fault
 //! injection included.
 
+use polygpu_complex::C64;
 use polygpu_core::engine::{Backend, Engine, SystemShardPolicy};
-use polygpu_core::{ClusterPolicy, FaultPlan, ShardMode};
+use polygpu_core::{ClusterPolicy, EncodingKind, FaultPlan, ShardMode};
 use polygpu_gpusim::device::DeviceSpec;
 use polygpu_homotopy::solve::{SolveRequest, StartSelection};
 use polygpu_obs::{CollectingTracer, Span};
-use polygpu_polysys::{random_system, BenchmarkParams, System};
-use polygpu_serve::{Priority, ServeError, SolveService, TenantSpec};
+use polygpu_polysys::{
+    random_sparse_system, random_system, BenchmarkParams, Monomial, Polynomial,
+    SparseBenchmarkParams, System, Term,
+};
+use polygpu_serve::{cache_key, Priority, ServeError, SolveService, TenantSpec};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -147,6 +151,100 @@ fn repeat_targets_amortize_through_the_cache() {
     }
 }
 
+/// `system` with every real part scaled: same supports, different
+/// coefficients — the pair whose support hashes collide by design.
+fn rescaled(system: &System<f64>, factor: f64) -> System<f64> {
+    let polys = system
+        .polys()
+        .iter()
+        .map(|p| {
+            Polynomial::new(
+                p.terms()
+                    .iter()
+                    .map(|t| Term {
+                        coeff: C64 {
+                            re: t.coeff.re * factor,
+                            im: t.coeff.im,
+                        },
+                        monomial: Monomial::new(t.monomial.factors().to_vec()).unwrap(),
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    System::new(system.dim(), polys).unwrap()
+}
+
+/// Collision/aliasing regression for the residency-cache key: the key
+/// covers the encoding kind (a dense and a packed encoding of the same
+/// support are distinct residents) and sparse (ragged) supports, and a
+/// designed support-hash collision never serves one system from
+/// another's resident engine.
+#[test]
+fn cache_key_separates_encodings_and_collisions_never_alias() {
+    // A dense and a packed encoding of the SAME support must be
+    // distinct residents: their constant-memory layouts differ.
+    let a = sys(1);
+    assert_ne!(
+        cache_key(&a, EncodingKind::Direct),
+        cache_key(&a, EncodingKind::Packed),
+        "dense and packed encodings of one support alias"
+    );
+    assert_ne!(
+        cache_key(&a, EncodingKind::Direct),
+        cache_key(&a, EncodingKind::Compact),
+    );
+
+    // The key covers ragged (sparse) supports: distinct ragged
+    // supports key apart, and the encoding tag still separates them.
+    let ragged = |seed| {
+        random_sparse_system::<f64>(&SparseBenchmarkParams {
+            n: 4,
+            m_min: 1,
+            m_max: 3,
+            k_min: 0,
+            k_max: 3,
+            d: 3,
+            seed,
+        })
+    };
+    let (r5, r6) = (ragged(5), ragged(6));
+    assert!(r5.uniform_shape().is_err(), "family must be ragged");
+    assert_ne!(
+        cache_key(&r5, EncodingKind::Packed),
+        cache_key(&r6, EncodingKind::Packed),
+    );
+    assert_ne!(
+        cache_key(&r5, EncodingKind::Direct),
+        cache_key(&r5, EncodingKind::Packed),
+    );
+
+    // Aliasing through the service: rescaled coefficients collide on
+    // the support hash by design, so the second submission must pay
+    // its own load — never be served from the first one's residency.
+    let b = rescaled(&a, 0.5);
+    assert_eq!(a.support_hash(), b.support_hash());
+    assert_eq!(
+        cache_key(&a, EncodingKind::Direct),
+        cache_key(&b, EncodingKind::Direct),
+        "the collision under test disappeared"
+    );
+    let builder = Engine::builder().backend(Backend::GpuBatch { capacity: 4 });
+    let mut svc = SolveService::new(&builder).unwrap();
+    let t = svc.register(TenantSpec::new("acme").with_max_in_flight(8));
+    let req = |s: &System<f64>| SolveRequest::new(s.clone()).with_starts(StartSelection::FirstN(2));
+    svc.submit(t, Priority::Normal, req(&a)).unwrap();
+    svc.submit(t, Priority::Normal, req(&b)).unwrap();
+    svc.submit(t, Priority::Normal, req(&a)).unwrap();
+    let report = svc.run();
+    assert_eq!(report.jobs.len(), 3);
+    assert_eq!(
+        report.cache.misses, 2,
+        "colliding hash aliased: b was served from a's slot"
+    );
+    assert_eq!(report.cache.hits, 1, "the true repeat of a is a hit");
+}
+
 #[test]
 fn never_fits_is_typed_and_free() {
     let builder = Engine::builder().backend(Backend::GpuBatch { capacity: 4 });
@@ -228,6 +326,16 @@ fn bad_requests_are_typed() {
         svc.submit(t, Priority::Normal, esc),
         Err(ServeError::UnsupportedPrecision)
     ));
+    // Mixed-cell start systems are a solver-side feature: the service
+    // replays the start system itself, so the kind rejects typed.
+    let polyhedral =
+        request(1).with_start_kind(polygpu_homotopy::solve::StartKind::MixedCells { lift_seed: 7 });
+    match svc.submit(t, Priority::Normal, polyhedral) {
+        Err(ServeError::BadRequest { reason }) => {
+            assert!(reason.contains("MixedCells"), "{reason}");
+        }
+        other => panic!("expected BadRequest, got {other:?}"),
+    }
 }
 
 #[test]

@@ -19,6 +19,7 @@
 //! | [`gpusim`] | the trace-based SIMT GPU simulator |
 //! | [`core`] | **the paper's contribution**: the three kernels + pipeline |
 //! | [`cluster`] | multi-device sharding with stream-overlapped transfers |
+//! | [`polyhedral`] | mixed-cell (polyhedral) start systems for sparse targets |
 //! | [`homotopy`] | Newton's method and path tracking on top |
 //! | [`obs`] | deterministic tracing and metrics over the modeled timeline |
 //! | [`serve`] | multi-tenant solve service: fair queuing, admission control, encoded-system cache |
@@ -94,6 +95,7 @@ pub use polygpu_core as core;
 pub use polygpu_gpusim as gpusim;
 pub use polygpu_homotopy as homotopy;
 pub use polygpu_obs as obs;
+pub use polygpu_polyhedral as polyhedral;
 pub use polygpu_polysys as polysys;
 pub use polygpu_qd as qd;
 pub use polygpu_serve as serve;
@@ -218,10 +220,11 @@ pub mod prelude {
         chrome_trace_json, phase_rollup, CollectingTracer, MetricDelta, MetricValue,
         MetricsRegistry, NoopTracer, Span, SpanKind, TelemetrySnapshot, TraceSink, Tracer,
     };
+    pub use polygpu_polyhedral::{mixed_cell_starts, BinomialStart, CellError, MixedCellStarts};
     pub use polygpu_polysys::{
-        cost, random_point, random_points, random_system, AdEvaluator, BatchSystemEvaluator,
-        BenchmarkParams, Monomial, NaiveEvaluator, OpCounts, Polynomial, System, SystemEval,
-        SystemEvaluator, Term, UniformShape,
+        cost, random_point, random_points, random_sparse_system, random_system, AdEvaluator,
+        BatchSystemEvaluator, BenchmarkParams, Monomial, NaiveEvaluator, OpCounts, Polynomial,
+        SparseBenchmarkParams, System, SystemEval, SystemEvaluator, Term, UniformShape,
     };
     pub use polygpu_qd::{Dd, Qd, Real};
     pub use polygpu_serve::{

@@ -277,6 +277,144 @@ fn all_backends_honor_the_contract_in_double_double() {
     run_suite::<Dd>();
 }
 
+/// The sparse conformance system: ragged supports — every monomial its
+/// own variable count, constants included — which the paper's Direct
+/// layout cannot express at any degree bound.
+fn sparse_test_system<R: Real>() -> polygpu::polysys::System<R> {
+    random_sparse_system::<R>(&SparseBenchmarkParams {
+        n: 8,
+        m_min: 2,
+        m_max: 5,
+        k_min: 0,
+        k_max: 4,
+        d: 3,
+        seed: 29,
+    })
+}
+
+/// Sparse contract: the ragged system rejects **typed** under the
+/// Direct encoding on every device backend, builds everywhere under
+/// [`EncodingKind::Packed`], and then honors the same single↔batch,
+/// cross-backend bit-identity, typed-error, stats and caps contracts
+/// as the uniform suite — in the same precision `R`.
+fn run_sparse_suite<R: Real>() {
+    let sys = sparse_test_system::<R>();
+    let points = test_points::<R>(POINTS);
+    let mut reference: Option<Vec<SystemEval<R>>> = None;
+    for (name, backend) in backend_cases() {
+        let direct = Engine::builder()
+            .backend(backend.clone())
+            .per_device_capacity(PER_DEVICE)
+            .build(&sys);
+        if name == "cpu-reference" {
+            assert!(direct.is_ok(), "{name}: the reference runs any shape");
+        } else {
+            let err = match direct {
+                Err(e) => e,
+                Ok(_) => panic!("{name}: ragged supports must not encode Direct"),
+            };
+            assert!(err.to_string().contains("expected k"), "{name}: {err}");
+        }
+        let mut engine = Engine::builder()
+            .backend(backend.clone())
+            .per_device_capacity(PER_DEVICE)
+            .encoding(EncodingKind::Packed)
+            .build(&sys)
+            .unwrap_or_else(|e| panic!("{name}: packed build must pass: {e}"));
+        let got = engine.try_evaluate_batch(&points).unwrap();
+        match &reference {
+            None => reference = Some(got),
+            Some(want) => {
+                for (i, (g, w)) in got.iter().zip(want).enumerate() {
+                    assert_eq!(g.values, w.values, "sparse {name} vs cpu, point {i}");
+                    assert_eq!(
+                        g.jacobian.as_slice(),
+                        w.jacobian.as_slice(),
+                        "sparse {name} vs cpu, point {i}"
+                    );
+                }
+            }
+        }
+        contract_single_batch_identity(name, engine.as_mut());
+        contract_typed_errors(name, engine.as_mut());
+        contract_stats(name, engine.as_mut());
+        contract_caps(name, engine.as_mut());
+    }
+}
+
+#[test]
+fn sparse_packed_backends_honor_the_contract_in_double() {
+    run_sparse_suite::<f64>();
+}
+
+#[test]
+fn sparse_packed_backends_honor_the_contract_in_double_double() {
+    run_sparse_suite::<Dd>();
+}
+
+/// Chaos contract over the sparse path: fault injection on packed
+/// engines either recovers bit-identically to the fault-free run or
+/// surfaces typed — same rules as the uniform sweep.
+#[test]
+fn sparse_packed_backends_survive_fault_injection() {
+    let sys = sparse_test_system::<f64>();
+    let points = test_points::<f64>(POINTS);
+    let clean = Engine::builder()
+        .backend(Backend::CpuReference)
+        .build(&sys)
+        .unwrap()
+        .try_evaluate_batch(&points)
+        .unwrap();
+
+    let mut injected_total = 0u64;
+    for (name, backend) in backend_cases() {
+        for seed in 0..6u64 {
+            let mut engine = Engine::builder()
+                .backend(backend.clone())
+                .per_device_capacity(PER_DEVICE)
+                .encoding(EncodingKind::Packed)
+                .fault_plan(FaultPlan::new(seed, 30_000))
+                .recovery(RecoveryPolicy::default())
+                .build(&sys)
+                .expect("arming fault injection must not break the packed build");
+            let mut recovered = None;
+            for _ in 0..4 {
+                match engine.try_evaluate_batch(&points) {
+                    Ok(evals) => {
+                        recovered = Some(evals);
+                        break;
+                    }
+                    Err(BatchError::Fault(e)) => {
+                        if e.kind == FaultKind::DeviceLost {
+                            break;
+                        }
+                    }
+                    Err(BatchError::DegradedFleet { .. }) => break,
+                    Err(e) => panic!("sparse {name} seed {seed}: non-fault error {e}"),
+                }
+            }
+            if let Some(evals) = recovered {
+                for (i, (g, w)) in evals.iter().zip(&clean).enumerate() {
+                    assert_eq!(
+                        g.values, w.values,
+                        "sparse {name} seed {seed} point {i}: recovery must be bit-identical"
+                    );
+                    assert_eq!(
+                        g.jacobian.as_slice(),
+                        w.jacobian.as_slice(),
+                        "sparse {name} seed {seed} point {i}: recovery must be bit-identical"
+                    );
+                }
+            }
+            injected_total += engine.engine_stats().fault.faults;
+        }
+    }
+    assert!(
+        injected_total > 0,
+        "the sparse chaos sweep never injected a fault — the contract went untested"
+    );
+}
+
 /// Chaos contract: with a seeded fault plan armed, every backend
 /// either recovers (internally for cluster fleets, via caller-level
 /// round retries for single devices) — in which case its results are
