@@ -12,6 +12,7 @@
 //! repro cluster             C1: multi-device scaling over D in {1,2,4,8} at P = 256
 //! repro session             S1: multi-system residency table and setup amortization
 //! repro solve               Solver: scheduler x backend table (paths/s, occupancy, escalation)
+//! repro newton              N1: device-resident Newton — corrector mode table, flag-only D2H audit
 //! repro syshard             R1: system (row) sharding — over-budget build + D-sweep
 //! repro chaos               F1: fault injection — solves under device loss/corruption
 //! repro trace               T1: deterministic tracing — span replay, stat reconciliation
@@ -63,6 +64,7 @@ fn main() -> ExitCode {
         "cluster" => cluster(&mut model_ok),
         "session" => session(&mut model_ok),
         "solve" => solve(&mut model_ok),
+        "newton" => newton(&mut model_ok),
         "syshard" => syshard(&mut model_ok),
         "chaos" => chaos(&mut model_ok),
         "trace" => trace(&mut model_ok),
@@ -84,6 +86,7 @@ fn main() -> ExitCode {
             cluster(&mut model_ok);
             session(&mut model_ok);
             solve(&mut model_ok);
+            newton(&mut model_ok);
             syshard(&mut model_ok);
             chaos(&mut model_ok);
             trace(&mut model_ok);
@@ -226,6 +229,27 @@ fn solve(model_ok: &mut bool) {
          size, so only its cross-backend identity is asserted), SlotPolicy::Auto\n\
          sizes the queue front to D x per-device capacity from EngineCaps, and\n\
          escalation re-enters the same scheduler in double-double.\n"
+    );
+}
+
+fn newton(model_ok: &mut bool) {
+    let sweep = newton_sweep();
+    println!("{}", format_newton_sweep(&sweep));
+    for (what, ok) in sweep.checks() {
+        if !ok {
+            *model_ok = false;
+        }
+        println!("{}: {}", what, if ok { "PASS" } else { "FAIL" });
+    }
+    println!(
+        "model: DeviceResident fuses the corrector — evaluate, LU-factor,\n\
+         back-substitute, update — against iterates that stay on the engine,\n\
+         so each Newton iteration downloads only the O(P) convergence-flag\n\
+         vector (FLAG_BYTES per live point) instead of every value and\n\
+         Jacobian. The arithmetic is the shared host driver's either way, so\n\
+         endpoints stay bit-identical to CorrectorMode::Host on every\n\
+         scheduler and backend; the probe reconciles the engine's modeled\n\
+         D2H counter byte-for-byte against the driver's charge log.\n"
     );
 }
 

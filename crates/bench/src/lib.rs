@@ -871,6 +871,7 @@ pub fn solve_sweep() -> SolveSweep {
             residual_tol: 1e-19,
             step_tol: 1e-21,
             max_iters: 8,
+            ..Default::default()
         },
         ..Default::default()
     };
@@ -933,6 +934,311 @@ pub fn format_solve_sweep(sweep: &SolveSweep) -> String {
     s.push_str(&format!(
         "\nescalation demo (1e-19 tolerance, unreachable in f64): {} retried, {} rescued in double-double\n",
         sweep.escalation_retried, sweep.escalation_rescued
+    ));
+    s
+}
+
+/// One row of the corrector-mode sweep behind `repro newton`.
+#[derive(Debug, Clone)]
+pub struct NewtonRow {
+    pub scheduler: &'static str,
+    pub backend: &'static str,
+    pub mode: &'static str,
+    pub successes: usize,
+    pub paths: usize,
+    /// Modeled engine wall seconds of the solve.
+    pub wall_seconds: f64,
+    /// Modeled host-to-device traffic.
+    pub h2d_bytes: u64,
+    /// Modeled device-to-host traffic.
+    pub d2h_bytes: u64,
+    /// Newton updates applied by fused `correct` calls (0 on the host
+    /// path, which corrects through plain evaluation round trips).
+    pub corrector_iterations: u64,
+    /// Modeled on-device LU / back-substitution kernel time.
+    pub factor_seconds: f64,
+    pub backsub_seconds: f64,
+}
+
+/// The corrector-mode sweep plus its deterministic acceptance checks.
+#[derive(Debug, Clone)]
+pub struct NewtonSweep {
+    pub rows: Vec<NewtonRow>,
+    /// `DeviceResident` endpoints bit-identical to `Host` on every
+    /// scheduler × backend pair.
+    pub endpoints_identical: bool,
+    /// The resident solve downloads strictly fewer modeled bytes than
+    /// the host-loop solve on every pair.
+    pub d2h_reduced: bool,
+    /// Micro-audit of one fused `try_correct_batch` call on the
+    /// batched backend: points corrected, …
+    pub points: usize,
+    /// … bytes the fused loop downloaded *beyond* the one final
+    /// endpoint download (i.e. everything that crossed per iteration),
+    pub flag_bytes: u64,
+    /// … the exact flag traffic the driver reported charging
+    /// (`Σ live · FLAG_BYTES` over the rounds), replayed host-side,
+    pub expected_flag_bytes: u64,
+    /// … the one-time endpoint upload/download size (`P·n` elements),
+    pub endpoint_bytes: u64,
+    /// … and what the host loop downloads for the *same* correction
+    /// (values + Jacobians, every iteration).
+    pub host_loop_d2h: u64,
+}
+
+impl NewtonSweep {
+    /// All model-side acceptance bars of `repro newton`, with the
+    /// strings the binary prints.
+    pub fn checks(&self) -> [(&'static str, bool); 4] {
+        [
+            (
+                "identity check (DeviceResident endpoints bit-identical to Host, every scheduler x backend)",
+                self.endpoints_identical,
+            ),
+            (
+                "transfer check (resident solve downloads fewer modeled bytes on every pair)",
+                self.d2h_reduced,
+            ),
+            (
+                "flag check (per-iteration download is exactly the O(P) convergence-flag vector)",
+                self.expected_flag_bytes > 0 && self.flag_bytes == self.expected_flag_bytes,
+            ),
+            (
+                "loop check (fused total download undercuts the host loop's per-iteration traffic)",
+                self.endpoint_bytes + self.flag_bytes < self.host_loop_d2h,
+            ),
+        ]
+    }
+
+    /// All bars in one predicate (what CI gates on).
+    pub fn passes(&self) -> bool {
+        self.checks().iter().all(|(_, ok)| *ok)
+    }
+}
+
+/// The corrector-mode table behind `repro newton`: the `solve_sweep`
+/// request (36 total-degree paths of a dim-2 system) through every
+/// scheduler on the batched-GPU and point-sharded-cluster backends,
+/// once with [`polygpu_core::CorrectorMode::Host`] and once with
+/// [`polygpu_core::CorrectorMode::DeviceResident`], plus a micro-audit
+/// of one fused
+/// `try_correct_batch` call that reconciles its modeled download
+/// byte-for-byte against the driver's reported flag charges. Fully
+/// modeled, hence deterministic.
+pub fn newton_sweep() -> NewtonSweep {
+    use polygpu_cluster::Sharded;
+    use polygpu_core::engine::{AnyEvaluator, EngineBuilder};
+    use polygpu_core::{
+        drive_correct, BatchError, CorrectCharge, CorrectOps, CorrectParams, CorrectorMode,
+        IdentityCombine, FLAG_BYTES,
+    };
+    use polygpu_homotopy::prelude::*;
+    use polygpu_polysys::SystemEval;
+
+    let params = BenchmarkParams {
+        n: 2,
+        m: 2,
+        k: 2,
+        d: 2,
+        seed: 5,
+    };
+    let sys = random_system::<f64>(&params);
+    let start = polygpu_homotopy::start::StartSystem::uniform(2, 6); // 36 paths
+    let req = SolveRequest::new(sys.clone())
+        .with_start(start)
+        .with_gamma_seed(11);
+
+    let per_device = 2usize;
+    let backends: Vec<(&'static str, EngineBuilder<Sharded>)> = vec![
+        (
+            "gpu-batch",
+            polygpu_cluster::engine_builder().backend(polygpu_core::Backend::GpuBatch {
+                capacity: 4 * per_device,
+            }),
+        ),
+        (
+            "cluster",
+            polygpu_cluster::engine_builder()
+                .backend(polygpu_core::Backend::Cluster {
+                    devices: vec![DeviceSpec::tesla_c2050(); 4],
+                    shard: polygpu_core::engine::ClusterPolicy::default().into(),
+                })
+                .per_device_capacity(per_device),
+        ),
+    ];
+    let schedulers = [
+        SchedulerKind::PerPath,
+        SchedulerKind::Lockstep,
+        SchedulerKind::Queue {
+            slots: SlotPolicy::Auto,
+        },
+    ];
+
+    let mut rows = Vec::new();
+    let mut endpoints_identical = true;
+    let mut d2h_reduced = true;
+    for (name, builder) in &backends {
+        for scheduler in schedulers {
+            let mut pair: Vec<(Vec<PathEndpoint>, u64)> = Vec::new();
+            for (mode, label) in [
+                (CorrectorMode::Host, "host"),
+                (CorrectorMode::DeviceResident, "resident"),
+            ] {
+                let report = Solver::from_builder(builder.clone())
+                    .solve(&req.clone().with_scheduler(scheduler).with_corrector(mode))
+                    .expect("sweep systems fit every backend");
+                rows.push(NewtonRow {
+                    scheduler: scheduler.name(),
+                    backend: name,
+                    mode: label,
+                    successes: report.successes(),
+                    paths: report.paths.len(),
+                    wall_seconds: report.engine.wall_clock_seconds(),
+                    h2d_bytes: report.engine.h2d_bytes,
+                    d2h_bytes: report.engine.d2h_bytes,
+                    corrector_iterations: report.engine.corrector_iterations,
+                    factor_seconds: report.engine.factor_seconds,
+                    backsub_seconds: report.engine.backsub_seconds,
+                });
+                pair.push((
+                    report.paths.iter().map(|p| p.endpoint.clone()).collect(),
+                    report.engine.d2h_bytes,
+                ));
+            }
+            endpoints_identical &= pair[0].0 == pair[1].0;
+            d2h_reduced &= pair[1].1 < pair[0].1;
+        }
+    }
+
+    // Micro-audit: one fused correction of P points, reconciled
+    // byte-for-byte against the charges the shared driver reports.
+    // The fused call uploads the iterates once and downloads them
+    // once (the same `P·n` elements each way), so everything the
+    // engine downloaded beyond its upload size is per-iteration
+    // traffic — which must equal the flag words the driver charged.
+    struct ChargeRecorder<'a> {
+        engine: &'a mut dyn AnyEvaluator<f64>,
+        flag_bytes: u64,
+    }
+    impl CorrectOps<f64> for ChargeRecorder<'_> {
+        fn eval(
+            &mut self,
+            points: &[Vec<C64>],
+            _indices: &[usize],
+        ) -> Result<Vec<SystemEval<f64>>, BatchError> {
+            self.engine.try_evaluate_batch(points)
+        }
+        fn charge(&mut self, ev: CorrectCharge) -> Result<(), BatchError> {
+            if let CorrectCharge::Flags { count } = ev {
+                self.flag_bytes += (count * FLAG_BYTES) as u64;
+            }
+            Ok(())
+        }
+    }
+    /// The host loop on the same engine: every round downloads values
+    /// and Jacobians through the ordinary batched evaluation path.
+    struct HostLoop<'a>(&'a mut dyn AnyEvaluator<f64>);
+    impl CorrectOps<f64> for HostLoop<'_> {
+        fn eval(
+            &mut self,
+            points: &[Vec<C64>],
+            _indices: &[usize],
+        ) -> Result<Vec<SystemEval<f64>>, BatchError> {
+            self.0.try_evaluate_batch(points)
+        }
+    }
+
+    let probe_points: Vec<Vec<C64>> = random_points::<f64>(2, 8, 31);
+    let cparams = CorrectParams::default();
+
+    let mut cpu = polygpu_cluster::engine_builder()
+        .backend(polygpu_core::Backend::CpuReference)
+        .build(&sys)
+        .expect("cpu reference always builds");
+    let mut recorder = ChargeRecorder {
+        engine: cpu.as_mut(),
+        flag_bytes: 0,
+    };
+    let mut ref_pts = probe_points.clone();
+    drive_correct(&mut recorder, &mut IdentityCombine, &mut ref_pts, &cparams)
+        .expect("host replay of the probe correction succeeds");
+    let expected_flag_bytes = recorder.flag_bytes;
+
+    let mut fused = backends[0].1.clone().build(&sys).expect("probe fits");
+    fused.reset_engine_stats();
+    let mut fused_pts = probe_points.clone();
+    fused
+        .try_correct_batch(&mut fused_pts, &mut IdentityCombine, &cparams)
+        .expect("fused probe correction succeeds");
+    let fused_stats = fused.engine_stats();
+    let endpoint_bytes = fused_stats.h2d_bytes;
+    let flag_bytes = fused_stats.d2h_bytes.saturating_sub(endpoint_bytes);
+
+    let mut host = backends[0].1.clone().build(&sys).expect("probe fits");
+    host.reset_engine_stats();
+    let mut host_pts = probe_points.clone();
+    drive_correct(
+        &mut HostLoop(host.as_mut()),
+        &mut IdentityCombine,
+        &mut host_pts,
+        &cparams,
+    )
+    .expect("host-loop probe correction succeeds");
+    let host_loop_d2h = host.engine_stats().d2h_bytes;
+    endpoints_identical &= fused_pts == host_pts && fused_pts == ref_pts;
+
+    NewtonSweep {
+        rows,
+        endpoints_identical,
+        d2h_reduced,
+        points: probe_points.len(),
+        flag_bytes,
+        expected_flag_bytes,
+        endpoint_bytes,
+        host_loop_d2h,
+    }
+}
+
+/// Render the corrector-mode sweep in markdown.
+pub fn format_newton_sweep(sweep: &NewtonSweep) -> String {
+    let mut s = String::new();
+    s.push_str(
+        "### Device-resident Newton — corrector mode x scheduler x backend (36 paths, dim-2 system)\n\n",
+    );
+    s.push_str(
+        "| scheduler | backend | corrector | paths ok | modeled wall | H2D | D2H | fused iters | factor+backsub |\n",
+    );
+    s.push_str(
+        "|-----------|---------|-----------|---------:|-------------:|----:|----:|------------:|---------------:|\n",
+    );
+    for r in &sweep.rows {
+        let kernels = if r.factor_seconds > 0.0 {
+            format!("{:.2} us", (r.factor_seconds + r.backsub_seconds) * 1e6)
+        } else {
+            "-".to_string()
+        };
+        s.push_str(&format!(
+            "| {} | {} | {} | {}/{} | {:.1} us | {} KiB | {} KiB | {} | {} |\n",
+            r.scheduler,
+            r.backend,
+            r.mode,
+            r.successes,
+            r.paths,
+            r.wall_seconds * 1e6,
+            r.h2d_bytes / 1024,
+            r.d2h_bytes / 1024,
+            r.corrector_iterations,
+            kernels,
+        ));
+    }
+    s.push_str(&format!(
+        "\nfused probe ({} points): {} B endpoint upload+download, {} B flag downloads \
+         (driver charged {} B); the host loop moves {} B D2H for the same correction\n",
+        sweep.points,
+        sweep.endpoint_bytes,
+        sweep.flag_bytes,
+        sweep.expected_flag_bytes,
+        sweep.host_loop_d2h
     ));
     s
 }
@@ -2632,6 +2938,35 @@ mod tests {
         let s = format_solve_sweep(&sweep);
         assert!(s.contains("| queue | cluster | 4 |"));
         assert!(s.contains("rescued in double-double"));
+    }
+
+    /// The `repro newton` gates: DeviceResident endpoints bit-identical
+    /// to Host everywhere, every resident run downloads fewer modeled
+    /// bytes, and the fused probe's per-iteration D2H reconciles exactly
+    /// with the driver's flag-charge log.
+    #[test]
+    fn newton_sweep_passes_its_gates() {
+        let sweep = newton_sweep();
+        assert_eq!(sweep.rows.len(), 12, "3 schedulers x 2 backends x 2 modes");
+        assert!(sweep.endpoints_identical, "{sweep:?}");
+        assert!(sweep.d2h_reduced, "{sweep:?}");
+        assert!(sweep.expected_flag_bytes > 0);
+        assert_eq!(sweep.flag_bytes, sweep.expected_flag_bytes);
+        assert!(sweep.endpoint_bytes + sweep.flag_bytes < sweep.host_loop_d2h);
+        assert!(sweep.passes());
+        // The fused kernels are charged exactly on the resident rows.
+        for r in &sweep.rows {
+            if r.mode == "resident" {
+                assert!(r.corrector_iterations > 0, "{r:?}");
+                assert!(r.factor_seconds > 0.0 && r.backsub_seconds > 0.0, "{r:?}");
+            } else {
+                assert_eq!(r.corrector_iterations, 0, "{r:?}");
+                assert_eq!(r.factor_seconds, 0.0, "{r:?}");
+            }
+        }
+        let s = format_newton_sweep(&sweep);
+        assert!(s.contains("| queue | cluster | resident |"));
+        assert!(s.contains("flag downloads"));
     }
 
     /// The `repro syshard` gates: the over-budget system is rejected at

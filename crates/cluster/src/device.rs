@@ -9,7 +9,10 @@
 use polygpu_complex::{Complex, Real};
 use polygpu_core::layout::encoding::EncodingKind;
 use polygpu_core::pipeline::{GpuOptions, PipelineStats, SetupError};
-use polygpu_core::{BatchError, BatchGpuEvaluator, SparseBatchGpuEvaluator};
+use polygpu_core::{
+    BatchError, BatchGpuEvaluator, CombineMap, CorrectParams, CorrectStatus,
+    SparseBatchGpuEvaluator,
+};
 use polygpu_gpusim::prelude::DeviceSpec;
 use polygpu_obs::TraceSink;
 use polygpu_polysys::{
@@ -114,6 +117,21 @@ impl<R: Real> DeviceEngine<R> {
         match self {
             DeviceEngine::Dense(e) => e.evaluate_batch(points),
             DeviceEngine::Sparse(e) => e.evaluate_batch(points),
+        }
+    }
+
+    /// Fused device-resident Newton correction of this device's
+    /// sub-batch (see [`BatchGpuEvaluator::try_correct_batch`]). Both
+    /// pipelines guarantee untouched inputs on `Err`.
+    pub(crate) fn try_correct_batch(
+        &mut self,
+        points: &mut [Vec<Complex<R>>],
+        combine: &mut dyn CombineMap<R>,
+        params: &CorrectParams,
+    ) -> Result<Vec<CorrectStatus>, BatchError> {
+        match self {
+            DeviceEngine::Dense(e) => e.try_correct_batch(points, combine, params),
+            DeviceEngine::Sparse(e) => e.try_correct_batch(points, combine, params),
         }
     }
 }

@@ -56,7 +56,9 @@ use polygpu_core::engine::{
     EngineCaps, ShardMode,
 };
 use polygpu_core::pipeline::{FaultConfig, GpuOptions, PipelineStats, SetupError};
-use polygpu_core::BatchError;
+use polygpu_core::{
+    drive_correct, BatchError, CombineMap, CorrectOps, CorrectParams, CorrectStatus, OffsetCombine,
+};
 use polygpu_gpusim::prelude::{DeviceSpec, FaultKind, FaultStats, RecoveryPolicy};
 use polygpu_obs::{MetaValue, MetricsRegistry, SpanKind, TraceSink, Track};
 use polygpu_polysys::{BatchSystemEvaluator, System, SystemEval, SystemEvaluator};
@@ -580,6 +582,229 @@ impl<R: Real> ShardedBatchEvaluator<R> {
             .map(|e| e.expect("every index is evaluated or re-planned"))
             .collect())
     }
+
+    /// Fused device-resident Newton correction across the fleet.
+    ///
+    /// The batch shards exactly like [`Self::try_evaluate_batch`], but
+    /// each device runs the whole evaluate → factor → solve → update
+    /// loop on its own shard — per-iteration traffic is each device's
+    /// `O(P_d)` flag download, never the values/Jacobians. Devices are
+    /// driven sequentially on the host (the [`CombineMap`] is a single
+    /// host-side object), yet the modeled cluster wall clock per round
+    /// is still the **max** over participating devices: the devices
+    /// would run concurrently, only the simulation is serialized.
+    ///
+    /// Recovery mirrors the evaluate path: a faulted shard retries on
+    /// its own device with backoff, a device that exhausts retries (or
+    /// is lost) strands its unfinished points for re-planning over the
+    /// survivors, and with [`RecoveryPolicy::cpu_fallback`] a dead
+    /// fleet finishes on the bit-identical CPU reference. Corrections
+    /// commit into `points` only when every index has a status, so on
+    /// `Err` the inputs are untouched and a caller-level retry replays
+    /// bit for bit.
+    pub fn try_correct_batch(
+        &mut self,
+        points: &mut [Vec<Complex<R>>],
+        combine: &mut dyn CombineMap<R>,
+        params: &CorrectParams,
+    ) -> Result<Vec<CorrectStatus>, BatchError> {
+        /// Remaps a device-local index to the point's position in the
+        /// original batch — the sparse sibling of [`OffsetCombine`]
+        /// for shards whose indices are not contiguous.
+        struct GatherCombine<'a, R: Real> {
+            inner: &'a mut dyn CombineMap<R>,
+            indices: &'a [usize],
+        }
+        impl<R: Real> CombineMap<R> for GatherCombine<'_, R> {
+            fn apply(&mut self, index: usize, x: &[Complex<R>], eval: &mut SystemEval<R>) {
+                self.inner.apply(self.indices[index], x, eval);
+            }
+        }
+        /// Host corrector over the CPU-reference fallback: bit-identical
+        /// values, no modeled device costs.
+        struct CpuCorrectOps<'a, R: Real>(&'a mut CpuFallback<R>);
+        impl<R: Real> CorrectOps<R> for CpuCorrectOps<'_, R> {
+            fn eval(
+                &mut self,
+                points: &[Vec<Complex<R>>],
+                _indices: &[usize],
+            ) -> Result<Vec<SystemEval<R>>, BatchError> {
+                Ok(points.iter().map(|x| self.0.evaluate(x)).collect())
+            }
+        }
+
+        let p = points.len();
+        if p == 0 {
+            return Err(BatchError::Empty);
+        }
+        let capacity = self.max_batch();
+        if p > capacity {
+            return Err(BatchError::CapacityExceeded {
+                points: p,
+                capacity,
+            });
+        }
+        for (i, x) in points.iter().enumerate() {
+            if x.len() != self.n {
+                return Err(BatchError::DimensionMismatch {
+                    point: i,
+                    got: x.len(),
+                    expected: self.n,
+                });
+            }
+        }
+
+        let ndev = self.devices.len();
+        let mut scratch: Vec<Vec<Complex<R>>> = points.to_vec();
+        let mut statuses: Vec<Option<CorrectStatus>> = (0..p).map(|_| None).collect();
+        let mut excluded = self.lost.clone();
+        let mut fault = FaultStats::default();
+        let mut batch_wall = 0.0f64;
+        let mut todo: Vec<usize> = (0..p).collect();
+        let recovery = self.recovery;
+        let wall0 = self.stats.wall_seconds;
+
+        while !todo.is_empty() {
+            let live: Vec<usize> = (0..ndev).filter(|&d| !excluded[d]).collect();
+            if live.is_empty() {
+                if recovery.cpu_fallback {
+                    fault.failovers += 1;
+                    self.trace.emit(
+                        SpanKind::Fallback,
+                        wall0 + batch_wall,
+                        0.0,
+                        4,
+                        &[("points", MetaValue::U64(todo.len() as u64))],
+                    );
+                    let mut cpu = CpuFallback::new(&self.system);
+                    for &i in &todo {
+                        let one = std::slice::from_mut(&mut scratch[i]);
+                        let st = drive_correct(
+                            &mut CpuCorrectOps(&mut cpu),
+                            &mut OffsetCombine {
+                                inner: combine,
+                                offset: i,
+                            },
+                            one,
+                            params,
+                        )?;
+                        statuses[i] = st.into_iter().next();
+                    }
+                    todo.clear();
+                    break;
+                }
+                let lost = excluded.iter().filter(|&&l| l).count();
+                self.stats.fault.merge(&fault);
+                self.stats.wall_seconds += batch_wall;
+                return Err(BatchError::DegradedFleet {
+                    devices: ndev,
+                    lost,
+                });
+            }
+
+            let live_weights: Vec<DeviceWeight> = live.iter().map(|&d| self.weights[d]).collect();
+            let shards: Vec<Shard> = plan(self.policy, todo.len(), &live_weights)
+                .into_iter()
+                .map(|s| s.iter().map(|&j| todo[j]).collect())
+                .collect();
+            todo.clear();
+            let mut round_wall = 0.0f64;
+            for (&d, shard) in live.iter().zip(&shards) {
+                if shard.is_empty() {
+                    continue;
+                }
+                let dev = &mut self.devices[d];
+                let wall_before = dev.stats().wall_seconds;
+                let cap = dev.capacity().max(1);
+                let mut retries = 0u64;
+                let mut backoff = 0.0f64;
+                let mut err = None;
+                let mut done = 0usize;
+                'chunks: for chunk in shard.chunks(cap) {
+                    // The fused loop never commits on `Err`, so the
+                    // gathered iterates stay valid across retries and
+                    // the eventual success is bit-identical to a
+                    // fault-free run.
+                    let mut pts: Vec<Vec<Complex<R>>> =
+                        chunk.iter().map(|&i| scratch[i].clone()).collect();
+                    let mut attempt = 0u32;
+                    loop {
+                        let mut gather = GatherCombine {
+                            inner: combine,
+                            indices: chunk,
+                        };
+                        match dev.try_correct_batch(&mut pts, &mut gather, params) {
+                            Ok(st) => {
+                                for ((&i, x), s) in chunk.iter().zip(pts).zip(st) {
+                                    scratch[i] = x;
+                                    statuses[i] = Some(s);
+                                }
+                                done += chunk.len();
+                                break;
+                            }
+                            Err(BatchError::Fault(fe)) => {
+                                if fe.kind == FaultKind::DeviceLost
+                                    || attempt >= recovery.max_retries
+                                {
+                                    err = Some(fe);
+                                    break 'chunks;
+                                }
+                                backoff += recovery.backoff_seconds(attempt);
+                                attempt += 1;
+                                retries += 1;
+                            }
+                            Err(e) => {
+                                self.stats.fault.merge(&fault);
+                                self.stats.wall_seconds += batch_wall;
+                                return Err(e);
+                            }
+                        }
+                    }
+                }
+                let dev_wall = dev.stats().wall_seconds - wall_before + backoff;
+                fault.retries += retries;
+                fault.recovery_seconds += backoff;
+                self.trace.emit(
+                    SpanKind::Shard,
+                    wall0 + batch_wall,
+                    dev_wall,
+                    4,
+                    &[
+                        ("device", MetaValue::U64(d as u64)),
+                        ("points", MetaValue::U64(shard.len() as u64)),
+                    ],
+                );
+                round_wall = round_wall.max(dev_wall);
+                self.stats.device_wall[d] += dev_wall;
+                if let Some(fe) = err {
+                    excluded[d] = true;
+                    if fe.kind == FaultKind::DeviceLost {
+                        self.lost[d] = true;
+                    }
+                    fault.failovers += 1;
+                    todo.extend(&shard[done..]);
+                }
+            }
+            batch_wall += round_wall;
+        }
+
+        self.trace.emit(
+            SpanKind::Correct,
+            wall0,
+            batch_wall,
+            3,
+            &[("points", MetaValue::U64(p as u64))],
+        );
+        self.stats.fault.merge(&fault);
+        self.stats.wall_seconds += batch_wall;
+        for (dst, src) in points.iter_mut().zip(scratch) {
+            *dst = src;
+        }
+        Ok(statuses
+            .into_iter()
+            .map(|s| s.expect("every index is corrected or re-planned"))
+            .collect())
+    }
 }
 
 impl<R: Real> SystemEvaluator<R> for ShardedBatchEvaluator<R> {
@@ -615,9 +840,19 @@ impl<R: Real> AnyEvaluator<R> for ShardedBatchEvaluator<R> {
         ShardedBatchEvaluator::try_evaluate_batch(self, points)
     }
 
+    fn try_correct_batch(
+        &mut self,
+        points: &mut [Vec<Complex<R>>],
+        combine: &mut dyn CombineMap<R>,
+        params: &CorrectParams,
+    ) -> Result<Vec<CorrectStatus>, BatchError> {
+        ShardedBatchEvaluator::try_correct_batch(self, points, combine, params)
+    }
+
     /// Cluster-level aggregate: evaluations/batches and the cluster
     /// wall clock (max over devices per batch) from [`ClusterStats`],
-    /// resource seconds and counters summed over the devices.
+    /// resource seconds, transfer bytes and counters summed over the
+    /// devices.
     fn engine_stats(&self) -> PipelineStats {
         let mut agg = PipelineStats {
             evaluations: self.stats.evaluations,
@@ -632,6 +867,12 @@ impl<R: Real> AnyEvaluator<R> for ShardedBatchEvaluator<R> {
             agg.kernel_seconds += s.kernel_seconds;
             agg.overhead_seconds += s.overhead_seconds;
             agg.transfer_seconds += s.transfer_seconds;
+            agg.factor_seconds += s.factor_seconds;
+            agg.backsub_seconds += s.backsub_seconds;
+            agg.h2d_bytes += s.h2d_bytes;
+            agg.d2h_bytes += s.d2h_bytes;
+            agg.corrections += s.corrections;
+            agg.corrector_iterations += s.corrector_iterations;
             agg.fault.merge(&s.fault);
         }
         agg

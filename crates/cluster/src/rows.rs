@@ -739,6 +739,15 @@ impl<R: Real> AnyEvaluator<R> for RowShardedEvaluator<R> {
         RowShardedEvaluator::try_evaluate_batch(self, points)
     }
 
+    // No `try_correct_batch` override: under row sharding every
+    // device holds only a row-slice of each Jacobian, so a fused
+    // on-device solve would have to gather the full matrix somewhere
+    // per iteration anyway — exactly what the host corrector's
+    // evaluate round trip already models. The trait default
+    // (`drive_correct` over `try_evaluate_batch`) therefore *is* the
+    // honest device-resident story for this topology, and it stays
+    // bit-identical to every other backend.
+
     /// Cluster-level aggregate: wall clock from [`RowClusterStats`]
     /// (compute max + gather per batch); resource seconds and counters
     /// summed over devices, the gather charged into
@@ -759,6 +768,12 @@ impl<R: Real> AnyEvaluator<R> for RowShardedEvaluator<R> {
             agg.kernel_seconds += d.kernel_seconds;
             agg.overhead_seconds += d.overhead_seconds;
             agg.transfer_seconds += d.transfer_seconds;
+            agg.factor_seconds += d.factor_seconds;
+            agg.backsub_seconds += d.backsub_seconds;
+            agg.h2d_bytes += d.h2d_bytes;
+            agg.d2h_bytes += d.d2h_bytes;
+            agg.corrections += d.corrections;
+            agg.corrector_iterations += d.corrector_iterations;
             agg.fault.merge(&d.fault);
         }
         agg

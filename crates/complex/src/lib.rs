@@ -11,6 +11,7 @@
 //! the schoolbook 4-multiply/2-add form, which is what the CUDA kernels
 //! of the paper perform and what the GPU cost model charges.
 
+pub mod lu;
 pub mod mat;
 
 pub use mat::CMat;

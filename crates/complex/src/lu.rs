@@ -1,0 +1,382 @@
+//! Dense complex LU decomposition with partial pivoting, generic over
+//! the scalar precision.
+//!
+//! Sized for the paper's regime — Jacobians of dimension 30–70, where
+//! "the cost of polynomial evaluation often dominates the cost of
+//! linear algebra operations" (§1) — so a straightforward right-looking
+//! factorization without blocking is appropriate.
+//!
+//! This module lives next to [`CMat`] so that both the host-side Newton
+//! corrector and the simulated device-resident corrector (which models
+//! the factorization as an on-device kernel but executes the identical
+//! arithmetic host-side) share one implementation: the pivoting order —
+//! and therefore every endpoint — is bit-identical by construction.
+
+use crate::{CMat, Complex, Real};
+use std::fmt;
+
+/// The factorization failed: a pivot column was exactly zero or
+/// NaN-poisoned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SingularMatrix {
+    /// Column at which no usable pivot was found.
+    pub column: usize,
+}
+
+impl fmt::Display for SingularMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "matrix is singular at column {}", self.column)
+    }
+}
+
+impl std::error::Error for SingularMatrix {}
+
+/// Typed failure of the LU routines — no input panics the linear
+/// algebra layer; shape violations and singular pivots both surface as
+/// values the caller can route (the solvers map them into
+/// singular-Jacobian-style outcomes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LuError {
+    /// `lu_decompose` needs a square matrix.
+    NotSquare { rows: usize, cols: usize },
+    /// The right-hand side's length does not match the factored matrix.
+    RhsDimension { got: usize, expected: usize },
+    /// A pivot column was exactly zero (or NaN-poisoned).
+    Singular(SingularMatrix),
+}
+
+impl fmt::Display for LuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LuError::NotSquare { rows, cols } => {
+                write!(f, "LU requires a square matrix, got {rows}x{cols}")
+            }
+            LuError::RhsDimension { got, expected } => {
+                write!(f, "rhs has length {got}, expected {expected}")
+            }
+            LuError::Singular(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for LuError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LuError::Singular(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SingularMatrix> for LuError {
+    fn from(e: SingularMatrix) -> Self {
+        LuError::Singular(e)
+    }
+}
+
+/// `P·A = L·U` with unit-diagonal `L` and the permutation stored as a
+/// row map.
+#[derive(Debug, Clone)]
+pub struct LuFactors<R> {
+    lu: CMat<R>,
+    perm: Vec<usize>,
+}
+
+/// Factor `a` (consumed) with partial pivoting by magnitude.
+///
+/// A NaN anywhere in the scanned part of a pivot column poisons the
+/// max-by-magnitude comparison (`NaN > x` is false, so a NaN candidate
+/// silently *loses* the scan and a finite pivot would then propagate
+/// NaN through the elimination); such columns are reported as
+/// [`LuError::Singular`] instead of producing a NaN factorization.
+pub fn lu_decompose<R: Real>(mut a: CMat<R>) -> Result<LuFactors<R>, LuError> {
+    let n = a.rows();
+    if n != a.cols() {
+        return Err(LuError::NotSquare {
+            rows: n,
+            cols: a.cols(),
+        });
+    }
+    let mut perm: Vec<usize> = (0..n).collect();
+    for col in 0..n {
+        // Pivot: largest |a[r][col]| for r >= col. Any NaN among the
+        // candidates makes the ordering meaningless — track it
+        // explicitly, because `mag > best_mag` is false for NaN `mag`
+        // and would otherwise let a finite pivot win the scan and
+        // NaN-propagate during elimination.
+        let mut best = col;
+        let mut best_mag = a[(col, col)].norm_sqr();
+        let mut poisoned = best_mag.is_nan();
+        for r in col + 1..n {
+            let mag = a[(r, col)].norm_sqr();
+            poisoned = poisoned || mag.is_nan();
+            if mag > best_mag {
+                best = r;
+                best_mag = mag;
+            }
+        }
+        // Guard covers an exactly-zero column and NaN poisoning of any
+        // candidate (not just the winning one).
+        if poisoned || best_mag <= R::zero() {
+            return Err(LuError::Singular(SingularMatrix { column: col }));
+        }
+        if best != col {
+            a.swap_rows(col, best);
+            perm.swap(col, best);
+        }
+        let pivot = a[(col, col)];
+        for r in col + 1..n {
+            let factor = a[(r, col)] / pivot;
+            a[(r, col)] = factor;
+            for c in col + 1..n {
+                let sub = factor * a[(col, c)];
+                a[(r, c)] -= sub;
+            }
+        }
+    }
+    Ok(LuFactors { lu: a, perm })
+}
+
+impl<R: Real> LuFactors<R> {
+    /// Solve `A·x = b`.
+    // Triangular substitution reads most clearly with explicit indices.
+    #[allow(clippy::needless_range_loop)]
+    pub fn solve(&self, b: &[Complex<R>]) -> Result<Vec<Complex<R>>, LuError> {
+        let n = self.lu.rows();
+        if b.len() != n {
+            return Err(LuError::RhsDimension {
+                got: b.len(),
+                expected: n,
+            });
+        }
+        // Apply permutation, forward substitution (L has unit diagonal).
+        let mut y: Vec<Complex<R>> = self.perm.iter().map(|&r| b[r]).collect();
+        for i in 1..n {
+            let mut acc = y[i];
+            for j in 0..i {
+                acc -= self.lu[(i, j)] * y[j];
+            }
+            y[i] = acc;
+        }
+        // Back substitution with U.
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for j in i + 1..n {
+                acc -= self.lu[(i, j)] * y[j];
+            }
+            y[i] = acc / self.lu[(i, i)];
+        }
+        Ok(y)
+    }
+
+    /// Magnitude of the determinant estimate `∏ |u_ii|` (useful as a
+    /// crude conditioning signal along a path).
+    pub fn det_magnitude(&self) -> R {
+        let mut m = R::one();
+        for i in 0..self.lu.rows() {
+            m *= self.lu[(i, i)].abs();
+        }
+        m
+    }
+}
+
+/// One-shot solve.
+pub fn solve<R: Real>(a: CMat<R>, b: &[Complex<R>]) -> Result<Vec<Complex<R>>, LuError> {
+    lu_decompose(a)?.solve(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::C64;
+    use polygpu_qd::Dd;
+    use proptest::prelude::*;
+
+    fn residual_norm(a: &CMat<f64>, x: &[C64], b: &[C64]) -> f64 {
+        let ax = a.matvec(x);
+        ax.iter()
+            .zip(b)
+            .map(|(l, r)| (*l - *r).abs())
+            .fold(0.0, f64::max)
+    }
+
+    fn random_mat(n: usize, seed: u64) -> CMat<f64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        CMat::from_fn(n, n, |_, _| C64::new(next(), next()))
+    }
+
+    #[test]
+    fn solves_identity() {
+        let id = CMat::<f64>::identity(4);
+        let b: Vec<C64> = (0..4).map(|i| C64::from_f64(i as f64, 1.0)).collect();
+        let x = solve(id, &b).unwrap();
+        assert_eq!(x, b);
+    }
+
+    #[test]
+    fn solves_random_systems_accurately() {
+        for n in [2usize, 5, 16, 32] {
+            let a = random_mat(n, n as u64);
+            let b: Vec<C64> = (0..n).map(|i| C64::from_f64(1.0, i as f64)).collect();
+            let x = solve(a.clone(), &b).unwrap();
+            let r = residual_norm(&a, &x, &b);
+            assert!(r < 1e-9, "n = {n}: residual {r:e}");
+        }
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        // [[0, 1], [1, 0]] requires a row swap.
+        let a = CMat::from_vec(2, 2, vec![C64::zero(), C64::one(), C64::one(), C64::zero()]);
+        let x = solve(a, &[C64::from_f64(3.0, 0.0), C64::from_f64(7.0, 0.0)]).unwrap();
+        assert_eq!(x[0], C64::from_f64(7.0, 0.0));
+        assert_eq!(x[1], C64::from_f64(3.0, 0.0));
+    }
+
+    #[test]
+    fn singular_matrix_reported() {
+        let a = CMat::from_vec(2, 2, vec![C64::one(), C64::one(), C64::one(), C64::one()]);
+        assert_eq!(
+            lu_decompose(a).unwrap_err(),
+            LuError::Singular(SingularMatrix { column: 1 })
+        );
+        let z = CMat::<f64>::zeros(3, 3);
+        assert_eq!(
+            lu_decompose(z).unwrap_err(),
+            LuError::Singular(SingularMatrix { column: 0 })
+        );
+    }
+
+    /// Shape violations are typed errors, not panics.
+    #[test]
+    fn shape_violations_are_typed() {
+        let rect = CMat::<f64>::zeros(2, 3);
+        assert_eq!(
+            lu_decompose(rect).unwrap_err(),
+            LuError::NotSquare { rows: 2, cols: 3 }
+        );
+        let f = lu_decompose(CMat::<f64>::identity(3)).unwrap();
+        assert_eq!(
+            f.solve(&[C64::one(); 2]).unwrap_err(),
+            LuError::RhsDimension {
+                got: 2,
+                expected: 3
+            }
+        );
+    }
+
+    /// The scan bug the NaN guard exists for: a NaN candidate *below*
+    /// the diagonal loses every `>` comparison, so the finite diagonal
+    /// entry would win the pivot scan and the elimination would divide
+    /// the NaN row by it, silently producing a NaN factorization.
+    #[test]
+    fn nan_below_finite_pivot_is_singular_not_nan() {
+        let mut a = random_mat(4, 9);
+        a[(2, 0)] = C64::new(f64::NAN, 0.0);
+        assert_eq!(
+            lu_decompose(a).unwrap_err(),
+            LuError::Singular(SingularMatrix { column: 0 })
+        );
+    }
+
+    #[test]
+    fn nan_on_diagonal_is_singular() {
+        let mut a = random_mat(3, 4);
+        a[(1, 1)] = C64::new(0.0, f64::NAN);
+        // Column 0 factors fine; the poison shows up when column 1 is
+        // scanned (the update spreads it across the trailing block, so
+        // it is reported no later than column 1).
+        let err = lu_decompose(a).unwrap_err();
+        assert!(matches!(err, LuError::Singular(_)), "{err}");
+    }
+
+    proptest! {
+        /// NaN injected anywhere: the factorization must return the
+        /// typed singular error, never factors containing NaN — and on
+        /// NaN-free inputs this guard must not fire.
+        #[test]
+        fn nan_injection_yields_typed_singular(
+            n in 2usize..7,
+            seed in 0u64..1000,
+            inject in 0u32..2,
+            at in 0usize..49,
+            part_im in 0u32..2,
+        ) {
+            let mut a = random_mat(n, seed);
+            if inject == 1 {
+                let (r, c) = ((at / 7) % n, (at % 7) % n);
+                let mut z = a[(r, c)];
+                if part_im == 1 {
+                    z.im = f64::NAN;
+                } else {
+                    z.re = f64::NAN;
+                }
+                a[(r, c)] = z;
+            }
+            match lu_decompose(a) {
+                Ok(f) => {
+                    // A NaN entry can only survive to a factorization in
+                    // columns the elimination never touched — partial
+                    // pivoting scans every column, so success means the
+                    // factors are NaN-free and solves are too.
+                    let x = f.solve(&vec![C64::one(); n]).unwrap();
+                    prop_assert!(
+                        x.iter().all(|z| !z.re.is_nan() && !z.im.is_nan()),
+                        "solve produced NaN from a successful factorization"
+                    );
+                    prop_assert!(!f.det_magnitude().is_nan());
+                }
+                Err(e) => {
+                    prop_assert!(
+                        matches!(e, LuError::Singular(_)),
+                        "square input must fail as Singular, got {e}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dd_solve_is_more_accurate_than_f64() {
+        // A mildly ill-conditioned matrix: Hilbert-like.
+        let n = 8;
+        let af = CMat::<f64>::from_fn(n, n, |i, j| C64::from_f64(1.0 / (i + j + 1) as f64, 0.0));
+        let b: Vec<C64> = (0..n).map(|_| C64::one()).collect();
+        let xf = solve(af.clone(), &b).unwrap();
+        let ad: CMat<Dd> = af.convert();
+        let bd: Vec<Complex<Dd>> = b.iter().map(|z| z.convert()).collect();
+        let xd = solve(ad.clone(), &bd).unwrap();
+        // Residuals in DD arithmetic.
+        let rf: f64 = {
+            let xfd: Vec<Complex<Dd>> = xf.iter().map(|z| z.convert()).collect();
+            ad.matvec(&xfd)
+                .iter()
+                .zip(&bd)
+                .map(|(l, r)| (*l - *r).abs().to_f64())
+                .fold(0.0, f64::max)
+        };
+        let rd: f64 = ad
+            .matvec(&xd)
+            .iter()
+            .zip(&bd)
+            .map(|(l, r)| (*l - *r).abs().to_f64())
+            .fold(0.0, f64::max);
+        assert!(rd < rf * 1e-10, "dd residual {rd:e} vs f64 {rf:e}");
+    }
+
+    #[test]
+    fn det_magnitude_of_diagonal() {
+        let mut a = CMat::<f64>::zeros(3, 3);
+        a[(0, 0)] = C64::from_f64(2.0, 0.0);
+        a[(1, 1)] = C64::from_f64(0.0, 3.0);
+        a[(2, 2)] = C64::from_f64(-4.0, 0.0);
+        let f = lu_decompose(a).unwrap();
+        assert!((f.det_magnitude() - 24.0).abs() < 1e-12);
+    }
+}

@@ -21,6 +21,9 @@
 //! * a `P = 1` batch degenerates to the single-point pipeline's launch
 //!   counters exactly.
 
+use crate::correct::{
+    drive_correct, CombineMap, CorrectCharge, CorrectOps, CorrectParams, CorrectStatus, FLAG_BYTES,
+};
 use crate::kernels::batch::{
     BatchCommonFactorFromScratch, BatchCommonFactorKernel, BatchLayout, BatchSpeelpenningKernel,
     BatchSumKernel,
@@ -428,6 +431,8 @@ impl<R: Real> BatchGpuEvaluator<R> {
 
         self.stats.evaluations += p as u64;
         self.stats.batches += 1;
+        self.stats.h2d_bytes += (p * shape.n * elem) as u64;
+        self.stats.d2h_bytes += (p * shape.outputs() * elem) as u64;
         self.last_reports.push(r1);
         self.last_reports.push(r2);
         self.last_reports.push(r3);
@@ -543,6 +548,266 @@ impl<R: Real> BatchGpuEvaluator<R> {
         Ok(out.pop().expect("batch of one returns one result"))
     }
 
+    /// Fused device-resident Newton correction: upload the iterates
+    /// once, then per iteration evaluate → factor → back-substitute →
+    /// update entirely on the (simulated) device, downloading only the
+    /// `O(P)` convergence-flag vector ([`FLAG_BYTES`] per live point);
+    /// the corrected endpoints come back in one final transfer.
+    ///
+    /// Endpoints and statuses are **bit-identical** to the host
+    /// corrector (the trait default of
+    /// [`crate::engine::AnyEvaluator::try_correct_batch`]): both run
+    /// [`drive_correct`], which factors through the shared
+    /// [`polygpu_complex::lu`] routine — same pivoting order, same
+    /// arithmetic, different cost charges. The factor and
+    /// back-substitution launches are costed by
+    /// `polygpu_gpusim::linalg` ([`lu_factor_cost`]/[`backsub_cost`])
+    /// and are subject to fault injection like every other modeled
+    /// kernel; a fault aborts the call with `points` untouched, so a
+    /// retry replays bit-identically.
+    pub fn try_correct_batch(
+        &mut self,
+        points: &mut [Vec<Complex<R>>],
+        combine: &mut dyn CombineMap<R>,
+        params: &CorrectParams,
+    ) -> Result<Vec<CorrectStatus>, BatchError> {
+        let shape = self.shape;
+        let p = points.len();
+        if p == 0 {
+            return Err(BatchError::Empty);
+        }
+        if p > self.layout.capacity {
+            return Err(BatchError::CapacityExceeded {
+                points: p,
+                capacity: self.layout.capacity,
+            });
+        }
+        for (i, x) in points.iter().enumerate() {
+            if x.len() != shape.n {
+                return Err(BatchError::DimensionMismatch {
+                    point: i,
+                    got: x.len(),
+                    expected: shape.n,
+                });
+            }
+        }
+        let elem = <Complex<R> as DeviceValue>::DEVICE_BYTES;
+        let wall0 = self.stats.wall_seconds;
+
+        // One upload makes the iterates device-resident.
+        let h2d = transfer_seconds(&self.device, p * shape.n * elem);
+        self.fault_check(OpClass::HostToDevice, h2d, 0.0)?;
+        self.stats.transfer_seconds += h2d;
+        self.stats.h2d_bytes += (p * shape.n * elem) as u64;
+        self.stats.wall_seconds += h2d;
+        if self.opts.trace.enabled() {
+            self.opts
+                .trace
+                .lane(Lane::H2D)
+                .emit(SpanKind::Upload, wall0, h2d, 4, &[]);
+        }
+
+        // The driver mutates scratch; the caller's points are only
+        // committed on full success, so a mid-call fault leaves them
+        // untouched and a retried call replays bit-identically.
+        let mut scratch: Vec<Vec<Complex<R>>> = points.to_vec();
+        let statuses = drive_correct(&mut ResidentOps(self), combine, &mut scratch, params)?;
+
+        // One download brings the corrected endpoints home.
+        let d2h = transfer_seconds(&self.device, p * shape.n * elem);
+        self.fault_check(OpClass::DeviceToHost, d2h, 0.0)?;
+        self.stats.transfer_seconds += d2h;
+        self.stats.d2h_bytes += (p * shape.n * elem) as u64;
+        let dl0 = self.stats.wall_seconds;
+        self.stats.wall_seconds += d2h;
+        if self.opts.trace.enabled() {
+            self.opts
+                .trace
+                .lane(Lane::D2H)
+                .emit(SpanKind::Download, dl0, d2h, 4, &[]);
+        }
+
+        for (dst, src) in points.iter_mut().zip(scratch) {
+            *dst = src;
+        }
+        self.stats.corrections += p as u64;
+        self.stats.corrector_iterations +=
+            statuses.iter().map(|s| s.iterations as u64).sum::<u64>();
+        self.opts.trace.emit(
+            SpanKind::Correct,
+            wall0,
+            self.stats.wall_seconds - wall0,
+            3,
+            &[("points", MetaValue::U64(p as u64))],
+        );
+        Ok(statuses)
+    }
+
+    /// One evaluation round of the fused corrector: the three batched
+    /// kernels against the **resident** live iterates. Staging the
+    /// compacted live subset into the pitched vars buffer models a
+    /// device-side gather (no PCIe traffic); results are decoded from
+    /// the simulated global memory without a download — only
+    /// [`Self::charge_correct`]'s flag read crosses the bus.
+    fn eval_resident(
+        &mut self,
+        points: &[Vec<Complex<R>>],
+    ) -> Result<Vec<SystemEval<R>>, BatchError> {
+        let shape = self.shape;
+        let p = points.len();
+        self.vars_scratch.clear();
+        self.vars_scratch
+            .resize(p * self.layout.vars_stride, Complex::zero());
+        for (i, x) in points.iter().enumerate() {
+            let base = i * self.layout.vars_stride;
+            self.vars_scratch[base..base + shape.n].copy_from_slice(x);
+        }
+        let wall0 = self.stats.wall_seconds;
+        let mut elapsed = 0.0;
+        self.global.host_write(self.vars, 0, &self.vars_scratch);
+
+        let monomial_cfg = self.layout.monomial_cfg(p, &shape, self.opts.block_dim);
+        let output_cfg = self.layout.output_cfg(p, &shape, self.opts.block_dim);
+        self.last_reports.clear();
+        self.fault_check(OpClass::Kernel, self.device.launch_overhead, elapsed)?;
+        let r1 = if self.opts.from_scratch_cf {
+            launch(
+                &self.device,
+                &self.k1_scratch,
+                monomial_cfg,
+                &mut self.global,
+                &self.constant,
+                self.opts.launch,
+            )?
+        } else {
+            launch(
+                &self.device,
+                &self.k1,
+                monomial_cfg,
+                &mut self.global,
+                &self.constant,
+                self.opts.launch,
+            )?
+        };
+        elapsed += r1.timing.total_seconds();
+        self.fault_check(OpClass::Kernel, self.device.launch_overhead, elapsed)?;
+        let r2 = launch(
+            &self.device,
+            &self.k2,
+            monomial_cfg,
+            &mut self.global,
+            &self.constant,
+            self.opts.launch,
+        )?;
+        elapsed += r2.timing.total_seconds();
+        self.fault_check(OpClass::Kernel, self.device.launch_overhead, elapsed)?;
+        let r3 = launch(
+            &self.device,
+            &self.k3,
+            output_cfg,
+            &mut self.global,
+            &self.constant,
+            self.opts.launch,
+        )?;
+        elapsed += r3.timing.total_seconds();
+
+        let raw = self.global.host_read(self.out);
+        let mut evals = Vec::with_capacity(p);
+        for i in 0..p {
+            let base = i * self.layout.out_stride;
+            let mut eval = SystemEval::zeros_rect(shape.rows, shape.n);
+            for q in 0..shape.rows {
+                eval.values[q] = raw[base + q_value(q)];
+                for v in 0..shape.n {
+                    eval.jacobian[(q, v)] = raw[base + q_deriv(shape.rows, q, v)];
+                }
+            }
+            evals.push(eval);
+        }
+
+        self.stats.evaluations += p as u64;
+        self.stats.batches += 1;
+        self.last_reports.push(r1);
+        self.last_reports.push(r2);
+        self.last_reports.push(r3);
+        let mut kernel_total = 0.0;
+        for r in &self.last_reports {
+            self.stats.counters += r.counters;
+            kernel_total += r.timing.kernel_seconds;
+        }
+        self.stats.kernel_seconds += kernel_total;
+        self.stats.overhead_seconds += 3.0 * self.device.launch_overhead;
+        self.stats.wall_seconds += elapsed;
+        if self.opts.trace.enabled() {
+            let tr = &self.opts.trace;
+            let mut t = wall0;
+            for r in &self.last_reports {
+                let d = r.timing.total_seconds();
+                tr.lane(Lane::Compute).emit(SpanKind::Launch, t, d, 4, &[]);
+                t += d;
+            }
+        }
+        Ok(evals)
+    }
+
+    /// Charge one modeled operation of the fused corrector loop: the
+    /// batched LU-factor + back-substitution launches, or the per-round
+    /// convergence-flag download.
+    fn charge_correct(&mut self, ev: CorrectCharge) -> Result<(), BatchError> {
+        let elem = <Complex<R> as DeviceValue>::DEVICE_BYTES;
+        match ev {
+            CorrectCharge::FactorSolve { count } => {
+                let n = self.shape.n;
+                let fac = lu_factor_cost(&self.device, n, count, elem);
+                let bs = backsub_cost(&self.device, n, count, elem);
+                let ft = fac.timing.total_seconds();
+                let bt = bs.timing.total_seconds();
+                self.fault_check(OpClass::Kernel, ft, 0.0)?;
+                let t0 = self.stats.wall_seconds;
+                self.stats.counters += fac.counters;
+                self.stats.kernel_seconds += fac.timing.kernel_seconds;
+                self.stats.overhead_seconds += fac.timing.overhead_seconds;
+                self.stats.factor_seconds += fac.timing.kernel_seconds;
+                self.stats.wall_seconds += ft;
+                if self.opts.trace.enabled() {
+                    self.opts
+                        .trace
+                        .lane(Lane::Compute)
+                        .emit(SpanKind::Factor, t0, ft, 4, &[]);
+                }
+                self.fault_check(OpClass::Kernel, bt, 0.0)?;
+                let t1 = self.stats.wall_seconds;
+                self.stats.counters += bs.counters;
+                self.stats.kernel_seconds += bs.timing.kernel_seconds;
+                self.stats.overhead_seconds += bs.timing.overhead_seconds;
+                self.stats.backsub_seconds += bs.timing.kernel_seconds;
+                self.stats.wall_seconds += bt;
+                if self.opts.trace.enabled() {
+                    self.opts
+                        .trace
+                        .lane(Lane::Compute)
+                        .emit(SpanKind::Backsub, t1, bt, 4, &[]);
+                }
+            }
+            CorrectCharge::Flags { count } => {
+                let bytes = count * FLAG_BYTES;
+                let d2h = transfer_seconds(&self.device, bytes);
+                self.fault_check(OpClass::DeviceToHost, d2h, 0.0)?;
+                let t0 = self.stats.wall_seconds;
+                self.stats.transfer_seconds += d2h;
+                self.stats.d2h_bytes += bytes as u64;
+                self.stats.wall_seconds += d2h;
+                if self.opts.trace.enabled() {
+                    self.opts
+                        .trace
+                        .lane(Lane::D2H)
+                        .emit(SpanKind::Download, t0, d2h, 4, &[]);
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Modeled kernel seconds of the most recent batch (the adaptive
     /// chunk search input; exposed for tests and benches).
     pub fn last_kernel_seconds(&self) -> f64 {
@@ -572,6 +837,27 @@ impl<R: Real> BatchGpuEvaluator<R> {
             elapsed,
             &self.opts.trace,
         )
+    }
+}
+
+/// [`CorrectOps`] view of a [`BatchGpuEvaluator`] during a fused
+/// device-resident correction: evaluation rounds run against the
+/// resident iterates (no per-iteration transfers), and the
+/// factor/back-substitution/flag operations are charged through the
+/// engine's cost model and fault schedule.
+struct ResidentOps<'a, R: Real>(&'a mut BatchGpuEvaluator<R>);
+
+impl<R: Real> CorrectOps<R> for ResidentOps<'_, R> {
+    fn eval(
+        &mut self,
+        points: &[Vec<Complex<R>>],
+        _indices: &[usize],
+    ) -> Result<Vec<SystemEval<R>>, BatchError> {
+        self.0.eval_resident(points)
+    }
+
+    fn charge(&mut self, ev: CorrectCharge) -> Result<(), BatchError> {
+        self.0.charge_correct(ev)
     }
 }
 

@@ -49,6 +49,9 @@
 //! ```
 
 use crate::batch::{BatchError, BatchGpuEvaluator};
+use crate::correct::{
+    drive_correct, CombineMap, CorrectOps, CorrectParams, CorrectStatus, OffsetCombine,
+};
 use crate::layout::encoding::{EncodedSupports, EncodingKind};
 use crate::layout::packed::sparse_packed_bytes;
 use crate::pipeline::{FaultConfig, GpuEvaluator, GpuOptions, PipelineStats, SetupError};
@@ -62,6 +65,7 @@ use polygpu_polysys::{
     SystemError, SystemEval, SystemEvaluator, UniformShape,
 };
 use std::fmt;
+use std::marker::PhantomData;
 use std::sync::Arc;
 
 // ---------------------------------------------------------------------
@@ -267,6 +271,47 @@ pub trait AnyEvaluator<R: Real>: BatchSystemEvaluator<R> {
         Ok(out.pop().expect("batch of one returns one result"))
     }
 
+    /// Fused Newton correction of `points` in place: evaluate →
+    /// factor → solve → update until each point stops (see
+    /// [`crate::correct`]). The default is the **host** corrector —
+    /// every iteration is a full `try_evaluate_batch` round trip
+    /// (chunked to capacity) with the linear solve on the host.
+    /// Batched device engines override this with the device-resident
+    /// loop, which charges the on-device factor/back-substitution
+    /// kernels and only the `O(P)` flag download per iteration — with
+    /// bit-identical endpoints, since both run
+    /// [`crate::correct::drive_correct`].
+    ///
+    /// On `Err` the contents of `points` are unspecified (the
+    /// overrides guarantee untouched inputs; the host default may have
+    /// applied updates) — retry from the caller's own copy.
+    fn try_correct_batch(
+        &mut self,
+        points: &mut [Vec<Complex<R>>],
+        combine: &mut dyn CombineMap<R>,
+        params: &CorrectParams,
+    ) -> Result<Vec<CorrectStatus>, BatchError> {
+        struct HostOps<'a, R: Real, E: AnyEvaluator<R> + ?Sized>(&'a mut E, PhantomData<R>);
+        impl<R: Real, E: AnyEvaluator<R> + ?Sized> CorrectOps<R> for HostOps<'_, R, E> {
+            fn eval(
+                &mut self,
+                points: &[Vec<Complex<R>>],
+                _indices: &[usize],
+            ) -> Result<Vec<SystemEval<R>>, BatchError> {
+                let cap = self.0.caps().capacity.max(1);
+                if points.len() <= cap {
+                    return self.0.try_evaluate_batch(points);
+                }
+                let mut out = Vec::with_capacity(points.len());
+                for chunk in points.chunks(cap) {
+                    out.extend(self.0.try_evaluate_batch(chunk)?);
+                }
+                Ok(out)
+            }
+        }
+        drive_correct(&mut HostOps(self, PhantomData), combine, points, params)
+    }
+
     /// Modeled-cost statistics accumulated so far (all zero for
     /// engines with no device model, e.g. the CPU reference).
     fn engine_stats(&self) -> PipelineStats;
@@ -454,6 +499,15 @@ impl<R: Real> AnyEvaluator<R> for BatchGpuEvaluator<R> {
         BatchGpuEvaluator::try_evaluate_batch(self, points)
     }
 
+    fn try_correct_batch(
+        &mut self,
+        points: &mut [Vec<Complex<R>>],
+        combine: &mut dyn CombineMap<R>,
+        params: &CorrectParams,
+    ) -> Result<Vec<CorrectStatus>, BatchError> {
+        BatchGpuEvaluator::try_correct_batch(self, points, combine, params)
+    }
+
     fn engine_stats(&self) -> PipelineStats {
         self.stats()
     }
@@ -483,6 +537,36 @@ impl<R: Real> AnyEvaluator<R> for SparseGpuEvaluator<R> {
         SparseGpuEvaluator::try_evaluate_batch(self, points)
     }
 
+    fn try_correct_batch(
+        &mut self,
+        points: &mut [Vec<Complex<R>>],
+        combine: &mut dyn CombineMap<R>,
+        params: &CorrectParams,
+    ) -> Result<Vec<CorrectStatus>, BatchError> {
+        validate_batch(self.dim(), points)?;
+        // The inner capacity-1 batch engine runs the fused loop point
+        // by point; a scratch copy keeps a mid-batch fault from
+        // committing a partially-corrected prefix.
+        let mut scratch: Vec<Vec<Complex<R>>> = points.to_vec();
+        let mut out = Vec::with_capacity(points.len());
+        for (i, p) in scratch.iter_mut().enumerate() {
+            let one = std::slice::from_mut(p);
+            let st = self.inner_mut().try_correct_batch(
+                one,
+                &mut OffsetCombine {
+                    inner: combine,
+                    offset: i,
+                },
+                params,
+            )?;
+            out.extend(st);
+        }
+        for (dst, src) in points.iter_mut().zip(scratch) {
+            *dst = src;
+        }
+        Ok(out)
+    }
+
     fn engine_stats(&self) -> PipelineStats {
         self.stats()
     }
@@ -509,6 +593,15 @@ impl<R: Real> AnyEvaluator<R> for SparseBatchGpuEvaluator<R> {
         points: &[Vec<Complex<R>>],
     ) -> Result<Vec<SystemEval<R>>, BatchError> {
         SparseBatchGpuEvaluator::try_evaluate_batch(self, points)
+    }
+
+    fn try_correct_batch(
+        &mut self,
+        points: &mut [Vec<Complex<R>>],
+        combine: &mut dyn CombineMap<R>,
+        params: &CorrectParams,
+    ) -> Result<Vec<CorrectStatus>, BatchError> {
+        SparseBatchGpuEvaluator::try_correct_batch(self, points, combine, params)
     }
 
     fn engine_stats(&self) -> PipelineStats {

@@ -46,6 +46,7 @@
 //! residency via [`engine::Session`].
 
 pub mod batch;
+pub mod correct;
 pub mod engine;
 pub mod kernels;
 pub mod layout;
@@ -53,6 +54,10 @@ pub mod pipeline;
 pub mod sparse;
 
 pub use batch::{expect_batch, BatchError, BatchGpuEvaluator};
+pub use correct::{
+    drive_correct, CombineMap, CorrectCharge, CorrectOps, CorrectParams, CorrectStatus,
+    CorrectStop, CorrectorMode, IdentityCombine, OffsetCombine, FLAG_BYTES,
+};
 pub use engine::{
     AdmissionBudget, AnyEvaluator, Backend, BuildError, ClusterPolicy, ClusterProvider,
     ClusterSpec, Engine, EngineBuilder, EngineCaps, NoCluster, ResidencyRow, Session,

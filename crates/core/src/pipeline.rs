@@ -132,6 +132,25 @@ pub struct PipelineStats {
     pub overhead_seconds: f64,
     /// Modeled PCIe transfer seconds (points up, results down).
     pub transfer_seconds: f64,
+    /// Modeled host→device bytes behind `transfer_seconds` — the
+    /// numerator of the per-iteration traffic comparison between the
+    /// host and device-resident correctors.
+    pub h2d_bytes: u64,
+    /// Modeled device→host bytes. Under `CorrectorMode::DeviceResident`
+    /// the per-iteration share of this is the `O(P)` convergence-flag
+    /// download only.
+    pub d2h_bytes: u64,
+    /// Modeled seconds in batched on-device LU factorization (the
+    /// device-resident corrector's `factor` spans).
+    pub factor_seconds: f64,
+    /// Modeled seconds in batched on-device back-substitution.
+    pub backsub_seconds: f64,
+    /// Fused device-resident corrector calls, in points (a call over
+    /// `P` points counts `P`).
+    pub corrections: u64,
+    /// Newton iterations executed inside fused corrector calls, summed
+    /// over points.
+    pub corrector_iterations: u64,
     /// Modeled wall-clock seconds. Without stream overlap this equals
     /// [`PipelineStats::total_seconds`]; with
     /// [`GpuOptions::overlap_chunks`] `> 1` it is the makespan of the
@@ -208,6 +227,15 @@ impl PipelineStats {
             &format!("{prefix}.global_bytes"),
             self.counters.global_bytes,
         );
+        reg.counter(&format!("{prefix}.h2d_bytes"), self.h2d_bytes);
+        reg.counter(&format!("{prefix}.d2h_bytes"), self.d2h_bytes);
+        reg.counter(&format!("{prefix}.corrections"), self.corrections);
+        reg.counter(
+            &format!("{prefix}.corrector_iterations"),
+            self.corrector_iterations,
+        );
+        reg.gauge(&format!("{prefix}.factor_seconds"), self.factor_seconds);
+        reg.gauge(&format!("{prefix}.backsub_seconds"), self.backsub_seconds);
         reg.gauge(&format!("{prefix}.kernel_seconds"), self.kernel_seconds);
         reg.gauge(&format!("{prefix}.overhead_seconds"), self.overhead_seconds);
         reg.gauge(&format!("{prefix}.transfer_seconds"), self.transfer_seconds);
@@ -232,6 +260,23 @@ impl fmt::Display for PipelineStats {
             "  transfer seconds      {:>12.3e}",
             self.transfer_seconds
         )?;
+        writeln!(
+            f,
+            "  h2d / d2h bytes       {:>12} / {}",
+            self.h2d_bytes, self.d2h_bytes
+        )?;
+        if self.corrections > 0 {
+            writeln!(
+                f,
+                "  fused corrections     {:>12} ({} iterations)",
+                self.corrections, self.corrector_iterations
+            )?;
+            writeln!(
+                f,
+                "  factor / backsub s    {:>12.3e} / {:.3e}",
+                self.factor_seconds, self.backsub_seconds
+            )?;
+        }
         writeln!(
             f,
             "  wall-clock seconds    {:>12.3e}",
@@ -489,6 +534,8 @@ impl<R: Real> GpuEvaluator<R> {
         self.stats.evaluations += 1;
         self.stats.batches += 1;
         self.stats.transfer_seconds += transfer;
+        self.stats.h2d_bytes += (shape.n * elem) as u64;
+        self.stats.d2h_bytes += (shape.outputs() * elem) as u64;
         // Reuse the report vector's storage instead of allocating a
         // fresh `vec![r1, r2, r3]` on every evaluation (this method is
         // the hot loop of Newton correction and path tracking); it was

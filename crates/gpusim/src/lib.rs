@@ -62,6 +62,7 @@ pub mod device;
 pub mod exec;
 pub mod fault;
 pub mod kernel;
+pub mod linalg;
 pub mod mem;
 pub mod obs;
 pub mod occupancy;
@@ -79,6 +80,7 @@ pub mod prelude {
         FaultError, FaultInjector, FaultKind, FaultPlan, FaultStats, OpClass, RecoveryPolicy,
     };
     pub use crate::kernel::{BlockCtx, Kernel, LaunchConfig, ThreadCtx};
+    pub use crate::linalg::{backsub_cost, lu_factor_cost, mgs_factor_cost, LinalgCost};
     pub use crate::mem::{BufferId, ConstId, ConstantMemory, ConstantOverflow, GlobalMem};
     pub use crate::obs::{emit_gather_timeline, emit_timeline};
     pub use crate::occupancy::{occupancy, Limiter, Occupancy};

@@ -268,6 +268,7 @@ mod tests {
             residual_tol: 1e-19, // below f64 round-off
             step_tol: 1e-21,
             max_iters: 8,
+            ..Default::default()
         };
         let params = TrackParams {
             corrector: brutal,
@@ -292,6 +293,7 @@ mod tests {
             residual_tol: 1e-19,
             step_tol: 1e-21,
             max_iters: 10,
+            ..Default::default()
         };
         let params = TrackParams {
             corrector: brutal,

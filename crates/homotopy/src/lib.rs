@@ -44,6 +44,7 @@ pub mod lu;
 pub mod newton;
 pub mod quality;
 pub mod queue;
+pub mod resident;
 pub mod solve;
 pub mod solver;
 pub mod start;
@@ -66,6 +67,9 @@ pub mod prelude {
     pub use crate::queue::{
         track_queue, track_queue_recovering, PathQueue, QueueResult, QueueStats, SlotPolicy,
     };
+    pub use crate::resident::{
+        correct_resident, track_queue_resident, track_resident, HomotopyCombine, ResidentEngine,
+    };
     pub use crate::solve::{
         PathEndpoint, PathReport, PrecisionPolicy, Scheduler, SchedulerKind, SchedulerRun,
         SolveError, SolveReport, SolveRequest, Solver, StartGroup, StartKind, StartSelection,
@@ -73,6 +77,7 @@ pub mod prelude {
     pub use crate::solver::{solve_total_degree, Root, SolveParams, SolveResult};
     pub use crate::start::{AnyStart, StartSystem};
     pub use crate::tracker::{track, PathPoint, TrackOutcome, TrackParams, TrackResult};
+    pub use polygpu_core::CorrectorMode;
 }
 
 pub use prelude::*;

@@ -86,6 +86,9 @@ pub fn newton_batch_recovering<R: Real, E: TryBatchEvaluator<R> + ?Sized>(
         Iterating,
         /// Converged by step size; needs the final residual check.
         FinalCheck,
+        /// Out of iterations; needs one last evaluation so the
+        /// reported residual describes the returned iterate.
+        MaxItersCheck,
         Done,
     }
 
@@ -112,16 +115,14 @@ pub fn newton_batch_recovering<R: Real, E: TryBatchEvaluator<R> + ?Sized>(
 
     for iter in 0..=params.max_iters {
         // `newton` performs exactly `max_iters` regular iterations; a
-        // path still iterating when they are exhausted stops *without*
-        // another evaluation. Only final step-tolerance checks (which
-        // `newton` does inside its last iteration) may still evaluate
-        // in this extra round.
+        // path still iterating when they are exhausted gets one more
+        // evaluation (no update) so its reported residual describes
+        // the returned iterate — the same final evaluation `newton`
+        // performs on its MaxIters exit.
         if iter == params.max_iters {
             for path in paths.iter_mut() {
                 if path.phase == Phase::Iterating {
-                    path.iterations = params.max_iters;
-                    path.stop = Some((false, StopReason::MaxIters));
-                    path.phase = Phase::Done;
+                    path.phase = Phase::MaxItersCheck;
                 }
             }
         }
@@ -139,7 +140,16 @@ pub fn newton_batch_recovering<R: Real, E: TryBatchEvaluator<R> + ?Sized>(
             let resid = max_norm(&e.values);
             path.residuals.push(resid);
             if path.phase == Phase::FinalCheck {
-                path.stop = Some((resid < params.residual_tol * 1e3, StopReason::StepTol));
+                path.stop = Some((
+                    resid < params.residual_tol * params.step_tol_relax,
+                    StopReason::StepTol,
+                ));
+                path.phase = Phase::Done;
+                continue;
+            }
+            if path.phase == Phase::MaxItersCheck {
+                path.iterations = params.max_iters;
+                path.stop = Some((false, StopReason::MaxIters));
                 path.phase = Phase::Done;
                 continue;
             }
@@ -487,6 +497,48 @@ where
     EG: TryBatchEvaluator<R>,
     EF: TryBatchEvaluator<R>,
 {
+    let corrector = params.corrector;
+    track_lockstep_recovering_traced_with(
+        h,
+        starts,
+        params,
+        recovery,
+        trace,
+        &mut |h, pts, t_new, batch_rounds, fault| {
+            let mut at = h.at(t_new);
+            newton_batch_recovering(&mut at, pts, corrector, batch_rounds, recovery, fault)
+        },
+    )
+}
+
+/// [`track_lockstep_recovering_traced`] with the corrector abstracted
+/// out: `correct` runs one whole Newton corrector over the predicted
+/// points at `t_new` (counting batched calls into its `&mut usize` and
+/// faults into its [`FaultReport`]) and returns one [`NewtonResult`]
+/// per point, in order. The default corrector is the host lockstep
+/// Newton ([`newton_batch_recovering`]); the device-resident solve
+/// layer passes the engine's fused corrector instead — both produce
+/// bit-identical results, so the tracking control flow here never
+/// depends on which one runs.
+pub fn track_lockstep_recovering_traced_with<R: Real, EG, EF, C>(
+    h: &mut BatchHomotopy<R, EG, EF>,
+    starts: &[Vec<Complex<R>>],
+    params: TrackParams,
+    recovery: &RecoveryPolicy,
+    trace: &TraceSink,
+    correct: &mut C,
+) -> Result<(LockstepResult<R>, FaultReport), BatchError>
+where
+    EG: TryBatchEvaluator<R>,
+    EF: TryBatchEvaluator<R>,
+    C: FnMut(
+        &mut BatchHomotopy<R, EG, EF>,
+        &[Vec<Complex<R>>],
+        R,
+        &mut usize,
+        &mut FaultReport,
+    ) -> Result<Vec<NewtonResult<R>>, BatchError>,
+{
     let mut fault = FaultReport::default();
     let n_paths = starts.len();
     let mut xs: Vec<Vec<Complex<R>>> = starts.to_vec();
@@ -557,17 +609,13 @@ where
         // points move into the corrector's input instead of being
         // cloned again.
         let (pred_idx, pred_points): (Vec<usize>, Vec<Vec<Complex<R>>>) = preds.into_iter().unzip();
-        let results: Vec<NewtonResult<R>> = {
-            let mut at = h.at(R::from_f64(t_new));
-            newton_batch_recovering(
-                &mut at,
-                &pred_points,
-                params.corrector,
-                &mut batch_rounds,
-                recovery,
-                &mut fault,
-            )?
-        };
+        let results: Vec<NewtonResult<R>> = correct(
+            h,
+            &pred_points,
+            R::from_f64(t_new),
+            &mut batch_rounds,
+            &mut fault,
+        )?;
         corrector_iters += results.iter().map(|r| r.iterations).sum::<usize>();
         if trace.enabled() {
             let retried = fault.retried_rounds - retried0;
@@ -814,6 +862,7 @@ mod tests {
                     residual_tol: 1e-300,
                     step_tol: 1e-300,
                     max_iters: 2,
+                    ..Default::default()
                 },
                 ..Default::default()
             },

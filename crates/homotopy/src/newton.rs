@@ -17,6 +17,14 @@ pub struct NewtonParams {
     pub residual_tol: f64,
     /// Stop when the update max-norm drops below this.
     pub step_tol: f64,
+    /// On a [`StopReason::StepTol`] exit, `converged` is declared
+    /// against `residual_tol * step_tol_relax` rather than
+    /// `residual_tol` itself: a stalled update near the root means the
+    /// iterate has stopped improving, so demanding the full tolerance
+    /// would misreport an essentially-converged point. The factor is
+    /// explicit so callers choose the relaxation (set `1.0` to disable
+    /// it); the default keeps the historical `1e3`.
+    pub step_tol_relax: f64,
     /// Iteration cap.
     pub max_iters: usize,
 }
@@ -26,6 +34,7 @@ impl Default for NewtonParams {
         NewtonParams {
             residual_tol: 1e-12,
             step_tol: 1e-14,
+            step_tol_relax: 1e3,
             max_iters: 20,
         }
     }
@@ -104,7 +113,7 @@ pub fn newton<R: Real, E: SystemEvaluator<R> + ?Sized>(
             let final_resid = max_norm(&eval.evaluate(&x).values);
             residuals.push(final_resid);
             return NewtonResult {
-                converged: final_resid < params.residual_tol * 1e3,
+                converged: final_resid < params.residual_tol * params.step_tol_relax,
                 x,
                 iterations: iter + 1,
                 residuals,
@@ -113,6 +122,12 @@ pub fn newton<R: Real, E: SystemEvaluator<R> + ?Sized>(
             };
         }
     }
+    // Out of iterations with the last update applied: evaluate the
+    // final iterate so the reported residual describes the returned
+    // `x` (and `residuals` keeps one entry per evaluation on every
+    // stop reason).
+    let final_resid = max_norm(&eval.evaluate(&x).values);
+    residuals.push(final_resid);
     NewtonResult {
         x,
         converged: false,
@@ -280,6 +295,117 @@ mod tests {
         assert_eq!(e.residual_norm(), 0.0, "root must be exact by construction");
     }
 
+    /// On every stop reason the residual history must describe the
+    /// returned iterate: one entry per evaluation (`iterations + 1`)
+    /// and the last entry equal to the residual of the returned `x`.
+    /// MaxIters used to return the updated iterate without evaluating
+    /// it, leaving `residuals.last()` describing the *previous* point.
+    #[test]
+    fn residual_history_matches_returned_point_on_every_stop() {
+        struct Diag {
+            singular_after: Option<usize>,
+            calls: usize,
+        }
+        impl SystemEvaluator<f64> for Diag {
+            fn dim(&self) -> usize {
+                2
+            }
+            fn evaluate(&mut self, x: &[C64]) -> SystemEval<f64> {
+                self.calls += 1;
+                let poison = self.singular_after.is_some_and(|k| self.calls > k);
+                // F_i = x_i^2 - i^2, diagonal Jacobian 2 x_i (zeroed
+                // out after `singular_after` calls to force Singular).
+                let values: Vec<C64> = x
+                    .iter()
+                    .enumerate()
+                    .map(|(i, z)| *z * *z - C64::from_f64(((i + 1) * (i + 1)) as f64, 0.0))
+                    .collect();
+                let mut jacobian = polygpu_complex::CMat::zeros(2, 2);
+                for (i, z) in x.iter().enumerate() {
+                    jacobian[(i, i)] = if poison {
+                        C64::from_f64(0.0, 0.0)
+                    } else {
+                        z.scale(2.0)
+                    };
+                }
+                SystemEval { values, jacobian }
+            }
+            fn name(&self) -> &str {
+                "diag"
+            }
+        }
+
+        let check = |r: &NewtonResult<f64>, f: &mut Diag, stop: StopReason| {
+            assert_eq!(r.stop, stop);
+            assert_eq!(
+                r.residuals.len(),
+                r.iterations + 1,
+                "{stop:?}: one residual per evaluation"
+            );
+            let actual = max_norm(&f.evaluate(&r.x).values);
+            let last = *r.residuals.last().unwrap();
+            assert!(
+                (last - actual).abs() <= 1e-15 * actual.max(1.0),
+                "{stop:?}: residuals.last() = {last:e} but returned x has residual {actual:e}"
+            );
+        };
+
+        let x0 = vec![C64::from_f64(5.0, 0.1), C64::from_f64(-7.0, 0.2)];
+
+        // ResidualTol: generous budget, easy basin.
+        let mut f = Diag {
+            singular_after: None,
+            calls: 0,
+        };
+        let r = newton(&mut f, &x0, NewtonParams::default());
+        assert!(r.converged);
+        check(&r, &mut f, StopReason::ResidualTol);
+
+        // MaxIters: cut the budget before convergence.
+        let mut f = Diag {
+            singular_after: None,
+            calls: 0,
+        };
+        let r = newton(
+            &mut f,
+            &x0,
+            NewtonParams {
+                max_iters: 2,
+                ..Default::default()
+            },
+        );
+        assert!(!r.converged);
+        check(&r, &mut f, StopReason::MaxIters);
+
+        // StepTol: an update below step_tol triggers the final
+        // evaluation; a huge step_tol fires it on the first update.
+        let mut f = Diag {
+            singular_after: None,
+            calls: 0,
+        };
+        let r = newton(
+            &mut f,
+            &x0,
+            NewtonParams {
+                residual_tol: 0.0,
+                step_tol: 1e9,
+                ..Default::default()
+            },
+        );
+        check(&r, &mut f, StopReason::StepTol);
+
+        // SingularJacobian: poison the Jacobian after the first call.
+        let mut f = Diag {
+            singular_after: Some(1),
+            calls: 0,
+        };
+        let r = newton(&mut f, &x0, NewtonParams::default());
+        assert!(!r.converged);
+        // Reset poisoning so `check` re-evaluates the genuine residual.
+        f.singular_after = None;
+        check(&r, &mut f, StopReason::SingularJacobian);
+    }
+
     #[test]
     fn double_double_newton_reaches_dd_accuracy() {
         use polygpu_qd::Dd;
@@ -304,6 +430,7 @@ mod tests {
                 residual_tol: 1e-28,
                 step_tol: 1e-30,
                 max_iters: 30,
+                ..Default::default()
             },
         );
         assert!(r.converged, "{:?}", r.residuals);

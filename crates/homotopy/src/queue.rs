@@ -211,6 +211,11 @@ enum Phase {
     /// stop (mirrors `newton`'s extra evaluation), with the iteration
     /// count it will report.
     FinalCheck { iterations: usize },
+    /// The corrector ran out of iterations with the last update
+    /// applied; one more evaluation (no update) so the attempt's
+    /// residual describes the final iterate, as `newton` does on its
+    /// MaxIters exit.
+    MaxItersCheck,
 }
 
 struct Slot<R> {
@@ -247,7 +252,9 @@ impl<R: Real> Slot<R> {
     fn request(&self) -> (&Vec<Complex<R>>, f64) {
         match self.phase {
             Phase::Predict => (&self.x, self.t),
-            Phase::Correct { .. } | Phase::FinalCheck { .. } => (&self.y, self.t_new),
+            Phase::Correct { .. } | Phase::FinalCheck { .. } | Phase::MaxItersCheck => {
+                (&self.y, self.t_new)
+            }
         }
     }
 }
@@ -469,7 +476,7 @@ where
                                         iterations: iter + 1,
                                     };
                                 } else if iter + 1 >= params.corrector.max_iters {
-                                    corrector_done = Some((false, params.corrector.max_iters));
+                                    slot.phase = Phase::MaxItersCheck;
                                 } else {
                                     slot.phase = Phase::Correct { iter: iter + 1 };
                                 }
@@ -484,9 +491,16 @@ where
                     // `newton`'s post-step-tolerance residual check.
                     let final_resid = max_norm(&eval.values);
                     corrector_done = Some((
-                        final_resid < params.corrector.residual_tol * 1e3,
+                        final_resid
+                            < params.corrector.residual_tol * params.corrector.step_tol_relax,
                         iterations,
                     ));
+                }
+                Phase::MaxItersCheck => {
+                    // `newton`'s final evaluation on a MaxIters exit:
+                    // the residual is recorded but never rescues the
+                    // attempt.
+                    corrector_done = Some((false, params.corrector.max_iters));
                 }
             }
 
@@ -708,6 +722,7 @@ mod tests {
                 residual_tol: 1e-300,
                 step_tol: 1e-300,
                 max_iters: 2,
+                ..Default::default()
             },
             ..Default::default()
         };

@@ -46,8 +46,12 @@
 use crate::escalate::UsedPrecision;
 use crate::fallible::FaultReport;
 use crate::homotopy::{random_gamma, Homotopy};
-use crate::lockstep::{track_lockstep_recovering_traced, BatchHomotopy, LockstepPath};
+use crate::lockstep::{
+    track_lockstep_recovering_traced, track_lockstep_recovering_traced_with, BatchHomotopy,
+    LockstepPath,
+};
 use crate::queue::{track_queue_recovering_traced, QueueStats, SlotPolicy};
+use crate::resident::{correct_resident, status_to_newton, track_queue_resident, track_resident};
 use crate::start::{AnyStart, StartSystem};
 use crate::tracker::{track, TrackOutcome, TrackParams};
 use polygpu_complex::{Complex, Real};
@@ -56,7 +60,7 @@ use polygpu_core::engine::{
     NoCluster,
 };
 use polygpu_core::pipeline::PipelineStats;
-use polygpu_core::{BatchError, RecoveryPolicy};
+use polygpu_core::{BatchError, CorrectorMode, RecoveryPolicy};
 use polygpu_obs::{
     MetaValue, MetricsRegistry, SpanKind, TelemetrySnapshot, TraceSink, Tracer, Track,
 };
@@ -146,7 +150,7 @@ impl<R: Real> Scheduler<R> for PerPathScheduler {
         starts: &[Vec<Complex<R>>],
         params: &TrackParams,
         _caps: &EngineCaps,
-        _recovery: &RecoveryPolicy,
+        recovery: &RecoveryPolicy,
         trace: &TraceSink,
     ) -> Result<SchedulerRun<R>, SolveError> {
         let batches_before = h.f.engine_stats().batches;
@@ -155,11 +159,20 @@ impl<R: Real> Scheduler<R> for PerPathScheduler {
             slots: 1,
             ..Default::default()
         };
+        let mut fault = FaultReport::default();
         for (i, x0) in starts.iter().enumerate() {
             let wall0 = h.f.engine_stats().wall_seconds;
             // Borrow the shared endpoints per path: same gamma, same
-            // engine, exactly the legacy `track` call.
-            let mut r = {
+            // engine, exactly the legacy `track` call — or, in
+            // device-resident mode, the same control flow with the
+            // corrector fused on the engine (bit-identical endpoint,
+            // O(P) flag download per iteration instead of the full
+            // value/Jacobian round trip).
+            let mut r = if params.corrector_mode == CorrectorMode::DeviceResident {
+                let mut rounds = 0usize;
+                track_resident(h, x0, params, &mut rounds, recovery, &mut fault)
+                    .map_err(SolveError::Fault)?
+            } else {
                 let mut h1 = Homotopy::new(&mut h.g, &mut h.f, h.gamma);
                 track(&mut h1, x0, *params)
             };
@@ -192,7 +205,7 @@ impl<R: Real> Scheduler<R> for PerPathScheduler {
         Ok(SchedulerRun {
             paths,
             stats,
-            fault: FaultReport::default(),
+            fault,
         })
     }
 }
@@ -217,8 +230,33 @@ impl<R: Real> Scheduler<R> for LockstepScheduler {
         recovery: &RecoveryPolicy,
         trace: &TraceSink,
     ) -> Result<SchedulerRun<R>, SolveError> {
-        let (r, fault) = track_lockstep_recovering_traced(h, starts, *params, recovery, trace)
-            .map_err(SolveError::Fault)?;
+        let (r, fault) = if params.corrector_mode == CorrectorMode::DeviceResident {
+            // Same front, same step control; each round's corrector is
+            // the engine's fused loop instead of one host round trip
+            // per Newton iteration.
+            let corrector = params.corrector;
+            track_lockstep_recovering_traced_with(
+                h,
+                starts,
+                *params,
+                recovery,
+                trace,
+                &mut |h, pts, t_new, rounds, fault| {
+                    let mut points = pts.to_vec();
+                    let ts = vec![t_new; points.len()];
+                    let statuses =
+                        correct_resident(h, &mut points, &ts, &corrector, rounds, recovery, fault)?;
+                    Ok(points
+                        .into_iter()
+                        .zip(statuses)
+                        .map(|(x, s)| status_to_newton(x, s))
+                        .collect())
+                },
+            )
+        } else {
+            track_lockstep_recovering_traced(h, starts, *params, recovery, trace)
+        }
+        .map_err(SolveError::Fault)?;
         let stats = r.stats();
         Ok(SchedulerRun {
             paths: r.paths,
@@ -255,14 +293,18 @@ impl<R: Real> Scheduler<R> for QueueScheduler {
         trace: &TraceSink,
     ) -> Result<SchedulerRun<R>, SolveError> {
         let slots = self.slots.resolve(caps.auto_slots(), starts.len());
-        let (r, fault) = track_queue_recovering_traced(
-            h,
-            starts,
-            *params,
-            SlotPolicy::Fixed(slots),
-            recovery,
-            trace,
-        )
+        let (r, fault) = if params.corrector_mode == CorrectorMode::DeviceResident {
+            track_queue_resident(h, starts, *params, slots, recovery, trace)
+        } else {
+            track_queue_recovering_traced(
+                h,
+                starts,
+                *params,
+                SlotPolicy::Fixed(slots),
+                recovery,
+                trace,
+            )
+        }
         .map_err(SolveError::Fault)?;
         Ok(SchedulerRun {
             paths: r.paths,
@@ -545,6 +587,37 @@ impl SolveRequest {
 
     pub fn with_params(mut self, params: TrackParams) -> Self {
         self.params = params;
+        self
+    }
+
+    /// Where the Newton corrector's linear solves run.
+    /// [`CorrectorMode::Host`] (the default) downloads values and
+    /// Jacobians every iteration; [`CorrectorMode::DeviceResident`]
+    /// runs the fused evaluate → factor → solve → update loop on the
+    /// engine, downloading only the O(paths) convergence-flag vector
+    /// per iteration. Endpoints are bit-identical either way — the
+    /// mode only moves modeled transfer traffic (compare
+    /// [`SolveReport::engine`]'s `h2d_bytes`/`d2h_bytes`).
+    ///
+    /// ```
+    /// use polygpu_core::engine::{Backend, Engine};
+    /// use polygpu_core::CorrectorMode;
+    /// use polygpu_homotopy::solve::{SolveRequest, Solver};
+    /// use polygpu_polysys::{random_system, BenchmarkParams};
+    ///
+    /// let solver = || Solver::from_builder(
+    ///     Engine::builder().backend(Backend::GpuBatch { capacity: 4 }),
+    /// );
+    /// let target = random_system::<f64>(&BenchmarkParams { n: 2, m: 2, k: 2, d: 2, seed: 3 });
+    /// let host = solver().solve(&SolveRequest::new(target.clone())).unwrap();
+    /// let resident = solver()
+    ///     .solve(&SolveRequest::new(target).with_corrector(CorrectorMode::DeviceResident))
+    ///     .unwrap();
+    /// assert_eq!(resident.successes(), host.successes());
+    /// assert!(resident.engine.d2h_bytes < host.engine.d2h_bytes);
+    /// ```
+    pub fn with_corrector(mut self, mode: CorrectorMode) -> Self {
+        self.params.corrector_mode = mode;
         self
     }
 
@@ -1295,6 +1368,12 @@ impl<R: Real> Pass<R> {
         self.engine.kernel_seconds += other.engine.kernel_seconds;
         self.engine.overhead_seconds += other.engine.overhead_seconds;
         self.engine.transfer_seconds += other.engine.transfer_seconds;
+        self.engine.h2d_bytes += other.engine.h2d_bytes;
+        self.engine.d2h_bytes += other.engine.d2h_bytes;
+        self.engine.factor_seconds += other.engine.factor_seconds;
+        self.engine.backsub_seconds += other.engine.backsub_seconds;
+        self.engine.corrections += other.engine.corrections;
+        self.engine.corrector_iterations += other.engine.corrector_iterations;
         self.engine.wall_seconds += other.engine.wall_seconds;
         self.engine.fault.merge(&other.engine.fault);
         self.fault.faults += other.fault.faults;
@@ -1575,6 +1654,7 @@ mod tests {
             residual_tol: 1e-19, // below f64 round-off: every path escalates
             step_tol: 1e-21,
             max_iters: 8,
+            ..Default::default()
         };
         let params = TrackParams {
             corrector: brutal,
@@ -1891,6 +1971,7 @@ mod tests {
             residual_tol: 1e-19,
             step_tol: 1e-21,
             max_iters: 8,
+            ..Default::default()
         };
         let params = TrackParams {
             corrector: brutal,
@@ -2061,6 +2142,7 @@ mod tests {
             residual_tol: 1e-19, // below f64 round-off: every path escalates
             step_tol: 1e-21,
             max_iters: 8,
+            ..Default::default()
         };
         let params = TrackParams {
             corrector: brutal,

@@ -41,6 +41,7 @@ impl Default for SolveParams {
                 residual_tol: 1e-12,
                 step_tol: 1e-14,
                 max_iters: 10,
+                ..NewtonParams::default()
             },
             dedup_tol: 1e-6,
             gamma_seed: 0x9E37,

@@ -10,6 +10,7 @@ use crate::homotopy::Homotopy;
 use crate::lu::lu_decompose;
 use crate::newton::{newton, NewtonParams, NewtonResult};
 use polygpu_complex::{Complex, Real};
+use polygpu_core::CorrectorMode;
 use polygpu_polysys::SystemEvaluator;
 
 /// Step-size and corrector controls.
@@ -23,6 +24,15 @@ pub struct TrackParams {
     pub grow: f64,
     pub easy_iters: usize,
     pub corrector: NewtonParams,
+    /// Where the corrector's linear solves run. [`CorrectorMode::Host`]
+    /// downloads values and Jacobians every iteration and solves on
+    /// the host; [`CorrectorMode::DeviceResident`] runs the fused
+    /// evaluate → factor → solve → update loop on the engine and
+    /// downloads only a per-point flag/residual vector. Endpoints are
+    /// bit-identical either way; only the modeled transfer traffic
+    /// differs. Ignored by hosts that have no engine to keep iterates
+    /// resident on (the scalar [`track`] corrector).
+    pub corrector_mode: CorrectorMode,
     /// Overall cap on predictor-corrector steps (accepted + rejected).
     pub max_steps: usize,
 }
@@ -39,7 +49,9 @@ impl Default for TrackParams {
                 residual_tol: 1e-10,
                 step_tol: 1e-12,
                 max_iters: 6,
+                ..NewtonParams::default()
             },
+            corrector_mode: CorrectorMode::Host,
             max_steps: 10_000,
         }
     }
@@ -271,6 +283,7 @@ mod tests {
                     residual_tol: 1e-300, // unreachable
                     step_tol: 1e-300,
                     max_iters: 2,
+                    ..Default::default()
                 },
                 ..Default::default()
             },

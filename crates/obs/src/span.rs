@@ -53,6 +53,14 @@ pub enum SpanKind {
     Wait,
     /// Cache eviction of a resident encoded system.
     Evict,
+    /// One fused device-resident corrector call (evaluate → factor →
+    /// solve → update without host round trips).
+    Correct,
+    /// Batched on-device LU factorization of the live Jacobians.
+    Factor,
+    /// Batched on-device back-substitution (one rhs per factored
+    /// Jacobian).
+    Backsub,
 }
 
 impl SpanKind {
@@ -77,6 +85,9 @@ impl SpanKind {
             SpanKind::Admit => "admit",
             SpanKind::Wait => "wait",
             SpanKind::Evict => "evict",
+            SpanKind::Correct => "correct",
+            SpanKind::Factor => "factor",
+            SpanKind::Backsub => "backsub",
         }
     }
 }

@@ -407,3 +407,45 @@ fn fault_free_cluster_serve_succeeds() {
     assert_eq!(report.solved(), 2, "{report:?}");
     assert!(!report.degraded);
 }
+
+/// `CorrectorMode::DeviceResident` flows through the service: a
+/// resident job's endpoints (and success count) are bit-identical to
+/// the same request served in host mode — the fused corrector is a
+/// transfer optimization, never a numerical one — across single-device
+/// and row-sharded cluster fleets (the fleet shapes the service hosts).
+#[test]
+fn device_resident_jobs_match_host_jobs_bit_for_bit() {
+    use polygpu_homotopy::CorrectorMode;
+    let backends = [
+        Backend::GpuBatch { capacity: 4 },
+        Backend::Cluster {
+            devices: vec![DeviceSpec::tesla_c2050(); 2],
+            shard: SystemShardPolicy::Contiguous.into(),
+        },
+    ];
+    for backend in backends {
+        let serve = |mode: CorrectorMode| {
+            let builder = Engine::builder()
+                .backend(backend.clone())
+                .per_device_capacity(4);
+            let mut svc = SolveService::new(&builder).unwrap();
+            let t = svc.register(TenantSpec::new("acme").with_max_in_flight(8));
+            for target in [1u64, 2] {
+                svc.submit(t, Priority::Normal, request(target).with_corrector(mode))
+                    .unwrap();
+            }
+            svc.run()
+        };
+        let host = serve(CorrectorMode::Host);
+        let resident = serve(CorrectorMode::DeviceResident);
+        assert_eq!(host.jobs.len(), resident.jobs.len());
+        for (h, r) in host.jobs.iter().zip(&resident.jobs) {
+            assert_eq!(h.outcome, r.outcome, "{backend:?}");
+            assert_eq!(h.successes, r.successes, "{backend:?}");
+            assert_eq!(
+                h.endpoint_checksum, r.endpoint_checksum,
+                "{backend:?}: endpoints must be bit-identical across corrector modes"
+            );
+        }
+    }
+}

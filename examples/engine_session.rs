@@ -84,6 +84,7 @@ fn main() {
             residual_tol: 1e-19,
             step_tol: 1e-21,
             max_iters: 8,
+            ..Default::default()
         },
         ..Default::default()
     };

@@ -5,7 +5,12 @@
 //!
 //! Builds a system with a known root, runs Newton from a perturbed
 //! start on both the GPU pipeline and the CPU reference, and reports
-//! the modeled device cost of the correction.
+//! the modeled device cost of the correction. Then the second act:
+//! the same corrector arithmetic with `CorrectorMode::DeviceResident`,
+//! where the Newton loop runs fused on the engine — iterates stay
+//! device-resident and each iteration downloads only the O(P)
+//! convergence-flag vector instead of every value and Jacobian —
+//! with bit-identical endpoints and the telemetry delta to prove both.
 //!
 //! ```text
 //! cargo run --release --example newton_gpu
@@ -81,5 +86,65 @@ fn main() {
         "  {:.2} us per evaluation ({} kernel launches)",
         stats.seconds_per_eval() * 1e6,
         3 * stats.evaluations
+    );
+
+    // ------------------------------------------------------------------
+    // Act two: the device-resident corrector. Same Newton arithmetic,
+    // but the whole iterate → factor → solve → update loop runs fused
+    // on the engine: one upload, one endpoint download, and per
+    // iteration only the O(P) convergence-flag vector crosses the bus.
+    // ------------------------------------------------------------------
+    let params = BenchmarkParams {
+        n: 2,
+        m: 2,
+        k: 2,
+        d: 2,
+        seed: 3,
+    };
+    let target = random_system::<f64>(&params);
+    let req = SolveRequest::new(target)
+        .with_start(StartSystem::uniform(2, 3)) // 9 paths
+        .with_gamma_seed(7);
+    let solver =
+        || Solver::from_builder(Engine::builder().backend(Backend::GpuBatch { capacity: 8 }));
+
+    let host = solver()
+        .solve(&req.clone().with_corrector(CorrectorMode::Host))
+        .expect("host-corrector solve");
+    let resident = solver()
+        .solve(&req.with_corrector(CorrectorMode::DeviceResident))
+        .expect("device-resident solve");
+
+    // Switching corrector modes changes the modeled traffic, never the
+    // numbers: every path endpoint is bit-identical.
+    let host_endpoints: Vec<_> = host.paths.iter().map(|p| p.endpoint.clone()).collect();
+    let resident_endpoints: Vec<_> = resident.paths.iter().map(|p| p.endpoint.clone()).collect();
+    assert_eq!(
+        host_endpoints, resident_endpoints,
+        "corrector modes must agree bit for bit"
+    );
+
+    println!("\ndevice-resident corrector vs host loop (9 paths, dim-2 target):");
+    println!("  endpoints: bit-identical ({} tracked)", host.paths.len());
+    for (label, report) in [("host", &host), ("resident", &resident)] {
+        let e = &report.engine;
+        println!(
+            "  {label:>8}: {:>8} B up, {:>8} B down, {} fused Newton iters, \
+             {:.1} us factor+backsub",
+            e.h2d_bytes,
+            e.d2h_bytes,
+            e.corrector_iterations,
+            (e.factor_seconds + e.backsub_seconds) * 1e6
+        );
+    }
+    let saved = host.engine.d2h_bytes - resident.engine.d2h_bytes;
+    assert!(
+        resident.engine.d2h_bytes < host.engine.d2h_bytes,
+        "the fused loop must download less"
+    );
+    println!(
+        "  the fused loop kept {saved} B of per-iteration value/Jacobian \
+         downloads on the device\n  (each iteration downloads one 16-byte \
+         convergence flag per live point instead)."
     );
 }

@@ -93,6 +93,7 @@ fn main() {
             residual_tol: 1e-30, // unreachable in f64: run to stagnation
             step_tol: 1e-16,
             max_iters: 12,
+            ..Default::default()
         },
     );
     let best64 = r64.residuals.iter().copied().fold(f64::INFINITY, f64::min);
@@ -108,6 +109,7 @@ fn main() {
             residual_tol: 1e-30,
             step_tol: 1e-31,
             max_iters: 16,
+            ..Default::default()
         },
     );
     let best_dd = rdd.residuals.iter().copied().fold(f64::INFINITY, f64::min);

@@ -209,7 +209,9 @@ pub mod prelude {
     pub use polygpu_complex::{CDd, CMat, CQd, Complex, C64};
     pub use polygpu_core::pipeline::{GpuEvaluator, GpuOptions, PipelineStats};
     pub use polygpu_core::{
-        BatchError, BatchGpuEvaluator, BatchLayout, EncodeError, EncodingKind, SetupError,
+        drive_correct, BatchError, BatchGpuEvaluator, BatchLayout, CombineMap, CorrectOps,
+        CorrectParams, CorrectStatus, CorrectStop, CorrectorMode, EncodeError, EncodingKind,
+        IdentityCombine, OffsetCombine, SetupError, FLAG_BYTES,
     };
     pub use polygpu_gpusim::prelude::{
         Bound, Counters, DeviceSpec, FaultError, FaultKind, FaultPlan, FaultStats, LaunchConfig,

@@ -540,6 +540,245 @@ fn tracing_never_perturbs_any_backend() {
     }
 }
 
+/// The host corrector loop — `drive_correct` over
+/// `try_evaluate_batch`, exactly the `AnyEvaluator` trait default —
+/// replicated here so fused overrides can be compared against it on
+/// the *same* backend.
+struct HostLoop<'a, R: Real>(&'a mut dyn AnyEvaluator<R>);
+
+impl<R: Real> CorrectOps<R> for HostLoop<'_, R> {
+    fn eval(
+        &mut self,
+        points: &[Vec<Complex<R>>],
+        _indices: &[usize],
+    ) -> Result<Vec<SystemEval<R>>, BatchError> {
+        self.0.try_evaluate_batch(points)
+    }
+}
+
+fn correct_params() -> CorrectParams {
+    CorrectParams {
+        max_iters: 6,
+        ..Default::default()
+    }
+}
+
+/// Corrector contract: `try_correct_batch` on every backend — fused
+/// device-resident overrides and host defaults alike — produces
+/// endpoints, statuses, and full residual histories **bit-identical**
+/// to the CPU reference's host loop, in precision `R`.
+fn run_correct_suite<R: Real>() {
+    let sys = test_system::<R>();
+    let points = test_points::<R>(POINTS);
+    let params = correct_params();
+    let mut want_pts = points.clone();
+    let want_st = build::<R>(&Backend::CpuReference, &sys)
+        .try_correct_batch(&mut want_pts, &mut IdentityCombine, &params)
+        .unwrap();
+    for (name, backend) in backend_cases() {
+        let mut engine = build::<R>(&backend, &sys);
+        let mut got_pts = points.clone();
+        let got_st = engine
+            .try_correct_batch(&mut got_pts, &mut IdentityCombine, &params)
+            .unwrap();
+        for i in 0..POINTS {
+            assert_eq!(
+                got_pts[i], want_pts[i],
+                "{name} point {i}: corrected endpoint must be bit-identical to the host loop"
+            );
+            assert_eq!(
+                got_st[i], want_st[i],
+                "{name} point {i}: status and residual history must match"
+            );
+        }
+        // Only the fused overrides charge the corrector counters; the
+        // host-default backends pay through their evaluate round trips.
+        if matches!(name, "gpu-batch" | "cluster") {
+            let stats = engine.engine_stats();
+            assert_eq!(
+                stats.corrections, POINTS as u64,
+                "{name}: corrections counted"
+            );
+            assert!(stats.corrector_iterations > 0, "{name}: iterations counted");
+        }
+    }
+}
+
+#[test]
+fn all_backends_correct_bit_identically_in_double() {
+    run_correct_suite::<f64>();
+}
+
+#[test]
+fn all_backends_correct_bit_identically_in_double_double() {
+    run_correct_suite::<Dd>();
+}
+
+/// Transfer contract: on the batched device backends the fused
+/// corrector's device→host traffic is strictly below the host loop's
+/// (which downloads every value and Jacobian every iteration) — the
+/// per-iteration residual download shrinks to the `O(P)` flag vector —
+/// while the endpoints stay bit-identical.
+#[test]
+fn fused_corrector_downloads_less_than_the_host_loop() {
+    let sys = test_system::<f64>();
+    let points = test_points::<f64>(POINTS);
+    let params = correct_params();
+    for (name, backend) in backend_cases() {
+        if !matches!(name, "gpu-batch" | "cluster") {
+            continue; // no fused override: the host loop *is* the path
+        }
+        let mut host = build::<f64>(&backend, &sys);
+        host.reset_engine_stats();
+        let mut host_pts = points.clone();
+        let host_st = drive_correct(
+            &mut HostLoop(host.as_mut()),
+            &mut IdentityCombine,
+            &mut host_pts,
+            &params,
+        )
+        .unwrap();
+        let host_stats = host.engine_stats();
+
+        let mut fused = build::<f64>(&backend, &sys);
+        fused.reset_engine_stats();
+        let mut fused_pts = points.clone();
+        let fused_st = fused
+            .try_correct_batch(&mut fused_pts, &mut IdentityCombine, &params)
+            .unwrap();
+        let fused_stats = fused.engine_stats();
+
+        assert_eq!(fused_pts, host_pts, "{name}: endpoints bit-identical");
+        assert_eq!(fused_st, host_st, "{name}: statuses bit-identical");
+        assert!(
+            fused_stats.d2h_bytes < host_stats.d2h_bytes,
+            "{name}: fused D2H {} must undercut the host loop's {}",
+            fused_stats.d2h_bytes,
+            host_stats.d2h_bytes
+        );
+        assert!(
+            fused_stats.factor_seconds > 0.0 && fused_stats.backsub_seconds > 0.0,
+            "{name}: on-device factorization must be charged"
+        );
+        assert_eq!(
+            host_stats.factor_seconds, 0.0,
+            "{name}: the host loop factors on the host"
+        );
+    }
+}
+
+/// Chaos contract for the fused corrector: with a seeded fault plan
+/// armed, every backend's `try_correct_batch` either recovers — with
+/// endpoints and statuses **bit-identical** to the fault-free run — or
+/// surfaces a typed `Fault`/`DegradedFleet` error. Each retry starts
+/// from a fresh copy of the inputs, exactly as the trait documents.
+#[test]
+fn fused_corrector_survives_fault_injection() {
+    let sys = test_system::<f64>();
+    let points = test_points::<f64>(POINTS);
+    let params = correct_params();
+    let mut clean_pts = points.clone();
+    let clean_st = build::<f64>(&Backend::CpuReference, &sys)
+        .try_correct_batch(&mut clean_pts, &mut IdentityCombine, &params)
+        .unwrap();
+
+    let mut injected_total = 0u64;
+    for (name, backend) in backend_cases() {
+        for seed in 0..6u64 {
+            let mut engine = Engine::builder()
+                .backend(backend.clone())
+                .per_device_capacity(PER_DEVICE)
+                .fault_plan(FaultPlan::new(seed, 30_000))
+                .recovery(RecoveryPolicy::default())
+                .build(&sys)
+                .expect("arming fault injection must not break provisioning");
+            let mut recovered = None;
+            for _ in 0..4 {
+                let mut pts = points.clone();
+                match engine.try_correct_batch(&mut pts, &mut IdentityCombine, &params) {
+                    Ok(st) => {
+                        recovered = Some((pts, st));
+                        break;
+                    }
+                    Err(BatchError::Fault(e)) => {
+                        if e.kind == FaultKind::DeviceLost {
+                            break;
+                        }
+                    }
+                    Err(BatchError::DegradedFleet { .. }) => break,
+                    Err(e) => panic!("{name} seed {seed}: non-fault error {e}"),
+                }
+            }
+            if let Some((pts, st)) = recovered {
+                for i in 0..POINTS {
+                    assert_eq!(
+                        pts[i], clean_pts[i],
+                        "{name} seed {seed} point {i}: recovery must be bit-identical"
+                    );
+                    assert_eq!(
+                        st[i], clean_st[i],
+                        "{name} seed {seed} point {i}: statuses must survive recovery"
+                    );
+                }
+            }
+            injected_total += engine.engine_stats().fault.faults;
+        }
+    }
+    assert!(
+        injected_total > 0,
+        "the corrector chaos sweep never injected a fault — the contract went untested"
+    );
+}
+
+/// Tracing contract for the fused corrector: a no-op or collecting
+/// tracer changes nothing — endpoints, statuses, and every modeled
+/// stat stay bit-identical to the untraced engine.
+#[test]
+fn tracing_never_perturbs_the_fused_corrector() {
+    use std::sync::Arc;
+
+    let sys = test_system::<f64>();
+    let points = test_points::<f64>(POINTS);
+    let params = correct_params();
+    for (name, backend) in backend_cases() {
+        let mut plain = build::<f64>(&backend, &sys);
+        let mut want_pts = points.clone();
+        let want_st = plain
+            .try_correct_batch(&mut want_pts, &mut IdentityCombine, &params)
+            .unwrap();
+        let want_stats = plain.engine_stats();
+
+        let tracers: [(&str, Arc<dyn Tracer>); 2] = [
+            ("noop", Arc::new(NoopTracer)),
+            ("collecting", Arc::new(CollectingTracer::new())),
+        ];
+        for (mode, tracer) in tracers {
+            let mut traced = Engine::builder()
+                .backend(backend.clone())
+                .per_device_capacity(PER_DEVICE)
+                .tracer(tracer)
+                .build(&sys)
+                .expect("tracing must not break provisioning");
+            let mut got_pts = points.clone();
+            let got_st = traced
+                .try_correct_batch(&mut got_pts, &mut IdentityCombine, &params)
+                .unwrap();
+            assert_eq!(got_pts, want_pts, "{name}/{mode}: endpoints");
+            assert_eq!(got_st, want_st, "{name}/{mode}: statuses");
+            let stats = traced.engine_stats();
+            assert_eq!(
+                stats.wall_seconds, want_stats.wall_seconds,
+                "{name}/{mode}: the modeled wall clock must not move"
+            );
+            assert_eq!(stats.d2h_bytes, want_stats.d2h_bytes, "{name}/{mode}");
+            assert_eq!(
+                stats.corrector_iterations, want_stats.corrector_iterations,
+                "{name}/{mode}"
+            );
+        }
+    }
+}
+
 /// The device-modeled backends report modeled cost; the CPU reference
 /// reports zeroes for the device terms — both through the same trait.
 #[test]

@@ -128,6 +128,7 @@ fn dd_newton_polishes_an_f64_root() {
             residual_tol: 1e-28,
             step_tol: 1e-30,
             max_iters: 10,
+            ..Default::default()
         },
     );
     assert!(rdd.converged, "dd polish failed: {:?}", rdd.residuals);

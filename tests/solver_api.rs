@@ -197,6 +197,7 @@ fn over_budget_system_solves_row_sharded_at_d2_and_d4() {
             residual_tol: 1e-4,
             step_tol: 1e-8,
             max_iters: 6,
+            ..Default::default()
         },
         ..Default::default()
     };
@@ -317,6 +318,7 @@ fn report_surfaces_scheduler_engine_and_escalation_telemetry() {
             residual_tol: 1e-19, // unreachable in f64: every path escalates
             step_tol: 1e-21,
             max_iters: 8,
+            ..Default::default()
         },
         ..Default::default()
     };
